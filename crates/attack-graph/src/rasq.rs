@@ -1,0 +1,216 @@
+//! Relative Attack Surface Quotient (Howard, Pincus & Wing [41]).
+//!
+//! RASQ sums *attack vectors* — "the resources available to the attacker,
+//! the communication channels, and access rights" — each weighted by how
+//! attackable it is. The absolute number is not meaningful; comparing two
+//! versions or two candidate libraries is (the paper's own framing).
+
+use minilang::ast::{ChannelKind, PrivLevel, Program};
+use minilang::{visit, Intrinsic};
+use std::collections::BTreeMap;
+
+/// The attack-vector kinds RASQ enumerates for MiniLang programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VectorKind {
+    /// `@endpoint(network)` function.
+    NetworkEndpoint,
+    /// `@endpoint(local)` function.
+    LocalEndpoint,
+    /// `@endpoint(file)` function.
+    FileEndpoint,
+    /// Call to `recv`/`read_input`/`read_int` (open input channel).
+    InputChannel,
+    /// Call to `send` (output channel an attacker can observe).
+    OutputChannel,
+    /// Call to `getenv` (environment as input).
+    EnvironmentRead,
+    /// Call to `open`/`read_file`/`write_file`/`access` (filesystem access).
+    FileAccess,
+    /// Call to `exec`/`system` (process spawn — a high-value method).
+    ProcessSpawn,
+    /// Function annotated `@priv(root)` (elevated access rights).
+    PrivilegedCode,
+    /// Call to an unresolved external function (unknown behaviour).
+    UnresolvedExtern,
+}
+
+impl VectorKind {
+    /// Attackability weight, following the RASQ idea that root-privileged
+    /// network-reachable vectors dominate.
+    pub fn weight(self) -> f64 {
+        match self {
+            VectorKind::NetworkEndpoint => 1.0,
+            VectorKind::LocalEndpoint => 0.6,
+            VectorKind::FileEndpoint => 0.5,
+            VectorKind::InputChannel => 0.4,
+            VectorKind::OutputChannel => 0.2,
+            VectorKind::EnvironmentRead => 0.3,
+            VectorKind::FileAccess => 0.3,
+            VectorKind::ProcessSpawn => 0.8,
+            VectorKind::PrivilegedCode => 0.9,
+            VectorKind::UnresolvedExtern => 0.25,
+        }
+    }
+}
+
+/// The enumerated attack surface of one program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AttackSurface {
+    /// Vector counts by kind.
+    pub vectors: BTreeMap<VectorKind, usize>,
+    /// The weighted sum.
+    pub quotient: f64,
+}
+
+impl AttackSurface {
+    /// Enumerate and weigh the attack surface.
+    pub fn measure(program: &Program) -> AttackSurface {
+        let mut vectors: BTreeMap<VectorKind, usize> = BTreeMap::new();
+        let mut add = |kind: VectorKind, n: usize| {
+            if n > 0 {
+                *vectors.entry(kind).or_insert(0) += n;
+            }
+        };
+        let defined: Vec<&str> = program.functions().map(|f| f.name.as_str()).collect();
+        for f in program.functions() {
+            for channel in f.endpoint_channels() {
+                let kind = match channel {
+                    ChannelKind::Network => VectorKind::NetworkEndpoint,
+                    ChannelKind::Local => VectorKind::LocalEndpoint,
+                    ChannelKind::File => VectorKind::FileEndpoint,
+                };
+                add(kind, 1);
+            }
+            if f.privilege() == PrivLevel::Root {
+                add(VectorKind::PrivilegedCode, 1);
+            }
+            for callee in visit::collect_calls(&f.body) {
+                match Intrinsic::from_name(callee) {
+                    Some(Intrinsic::Recv | Intrinsic::ReadInput | Intrinsic::ReadInt) => {
+                        add(VectorKind::InputChannel, 1)
+                    }
+                    Some(Intrinsic::Send) => add(VectorKind::OutputChannel, 1),
+                    Some(Intrinsic::Getenv) => add(VectorKind::EnvironmentRead, 1),
+                    Some(
+                        Intrinsic::Open
+                        | Intrinsic::ReadFile
+                        | Intrinsic::WriteFile
+                        | Intrinsic::Access,
+                    ) => add(VectorKind::FileAccess, 1),
+                    Some(Intrinsic::Exec | Intrinsic::System) => {
+                        add(VectorKind::ProcessSpawn, 1)
+                    }
+                    Some(_) => {}
+                    None => {
+                        if !defined.contains(&callee) {
+                            add(VectorKind::UnresolvedExtern, 1);
+                        }
+                    }
+                }
+            }
+        }
+        let quotient = vectors
+            .iter()
+            .map(|(kind, &count)| kind.weight() * count as f64)
+            .sum();
+        AttackSurface { vectors, quotient }
+    }
+
+    /// Count of one vector kind.
+    pub fn count(&self, kind: VectorKind) -> usize {
+        self.vectors.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// The *relative* quotient against a baseline — the "R" in RASQ.
+    /// Values above 1 mean a larger surface than the baseline; a zero
+    /// baseline with a non-zero surface reports infinity-free `f64::MAX`
+    /// stand-in of 1.0-per-unit (callers compare, not do arithmetic).
+    pub fn relative_to(&self, baseline: &AttackSurface) -> f64 {
+        if baseline.quotient <= 0.0 {
+            if self.quotient <= 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.quotient / baseline.quotient
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minilang::{parse_program, Dialect};
+
+    fn surface(src: &str) -> AttackSurface {
+        let p = parse_program("app", Dialect::C, &[("m.c".into(), src.into())]).unwrap();
+        AttackSurface::measure(&p)
+    }
+
+    #[test]
+    fn enumerates_endpoints_and_channels() {
+        let s = surface(
+            "@endpoint(network) fn handle(req: str) { send(0, req); }
+             @endpoint(local) fn cli(arg: str) { }
+             fn worker() { let d: str = recv(1); exec(d); }",
+        );
+        assert_eq!(s.count(VectorKind::NetworkEndpoint), 1);
+        assert_eq!(s.count(VectorKind::LocalEndpoint), 1);
+        assert_eq!(s.count(VectorKind::InputChannel), 1);
+        assert_eq!(s.count(VectorKind::OutputChannel), 1);
+        assert_eq!(s.count(VectorKind::ProcessSpawn), 1);
+        assert!(s.quotient > 0.0);
+    }
+
+    #[test]
+    fn privileged_code_counts() {
+        let s = surface("@priv(root) fn daemon() { }");
+        assert_eq!(s.count(VectorKind::PrivilegedCode), 1);
+    }
+
+    #[test]
+    fn pure_computation_has_empty_surface() {
+        let s = surface("fn add(a: int, b: int) -> int { return a + b; }");
+        assert_eq!(s.quotient, 0.0);
+        assert!(s.vectors.is_empty());
+    }
+
+    #[test]
+    fn quotient_is_weighted_sum() {
+        let s = surface("@endpoint(network) fn h() { } @endpoint(file) fn g() { }");
+        let expected =
+            VectorKind::NetworkEndpoint.weight() + VectorKind::FileEndpoint.weight();
+        assert!((s.quotient - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn network_endpoint_outweighs_local() {
+        let net = surface("@endpoint(network) fn h() { }");
+        let local = surface("@endpoint(local) fn h() { }");
+        assert!(net.quotient > local.quotient);
+    }
+
+    #[test]
+    fn relative_quotient() {
+        let big = surface("@endpoint(network) fn a() { } @endpoint(network) fn b() { }");
+        let small = surface("@endpoint(network) fn a() { }");
+        assert!((big.relative_to(&small) - 2.0).abs() < 1e-12);
+        assert!((small.relative_to(&small) - 1.0).abs() < 1e-12);
+        let empty = surface("fn f() { }");
+        assert_eq!(small.relative_to(&empty), f64::INFINITY);
+        assert_eq!(empty.relative_to(&empty), 1.0);
+    }
+
+    #[test]
+    fn unresolved_externs_counted() {
+        let s = surface("fn f() { plugin_hook(); }");
+        assert_eq!(s.count(VectorKind::UnresolvedExtern), 1);
+    }
+
+    #[test]
+    fn file_access_vectors() {
+        let s = surface("fn f(p: str) { if access(p) { let fd: int = open(p); } }");
+        assert_eq!(s.count(VectorKind::FileAccess), 2);
+    }
+}

@@ -1,0 +1,104 @@
+//! BENCH-PERF (part 1): throughput of the testbed's analysis passes.
+//!
+//! §5.3 claims the metric "requires very little effort from the
+//! developers" because analysis is automated; these benchmarks quantify
+//! that: per-pass wall time over a representative synthesized application.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn sample_program() -> minilang::ast::Program {
+    let spec = corpus::AppSpec {
+        name: "bench-app".into(),
+        dialect: minilang::Dialect::C,
+        domain: corpus::Domain::Server,
+        target_kloc: 1.5,
+        maturity: 0.5,
+        review: 0.5,
+        expertise: 0.5,
+        first_release_year: 2004,
+        seed: 99,
+    };
+    let seeds =
+        vec![(cvedb::Cwe::StackBufferOverflow, true), (cvedb::Cwe::FormatString, false)];
+    corpus::synth::synthesize(&spec, &seeds).program
+}
+
+fn bench_passes(c: &mut Criterion) {
+    let program = sample_program();
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(20);
+
+    group.bench_function("loc", |b| {
+        b.iter(|| black_box(static_analysis::loc::count_program(&program)))
+    });
+    group.bench_function("cyclomatic", |b| {
+        b.iter(|| black_box(static_analysis::cyclomatic::program_complexity(&program)))
+    });
+    group.bench_function("halstead", |b| {
+        b.iter(|| black_box(static_analysis::halstead::program_halstead(&program)))
+    });
+    group.bench_function("counts", |b| {
+        b.iter(|| black_box(static_analysis::counts::program_counts(&program)))
+    });
+    group.bench_function("callgraph", |b| {
+        b.iter(|| black_box(static_analysis::callgraph::CallGraph::build(&program).stats()))
+    });
+    group.bench_function("taint", |b| {
+        b.iter(|| black_box(static_analysis::taint::analyze(&program).flows.len()))
+    });
+    group.bench_function("smells", |b| {
+        b.iter(|| {
+            black_box(
+                static_analysis::smells::detect(
+                    &program,
+                    &static_analysis::smells::Thresholds::default(),
+                )
+                .len(),
+            )
+        })
+    });
+    group.bench_function("bugfind_meta", |b| {
+        b.iter(|| black_box(bugfind::MetaTool::new().run(&program).total()))
+    });
+    group.bench_function("rasq", |b| {
+        b.iter(|| black_box(attack_graph::AttackSurface::measure(&program).quotient))
+    });
+    group.bench_function("full_testbed", |b| {
+        let testbed = clairvoyant::Testbed::new();
+        b.iter(|| black_box(testbed.extract(&program).len()))
+    });
+    group.finish();
+}
+
+fn bench_parsing(c: &mut Criterion) {
+    let spec = corpus::AppSpec {
+        name: "parse-bench".into(),
+        dialect: minilang::Dialect::C,
+        domain: corpus::Domain::Server,
+        target_kloc: 1.5,
+        maturity: 0.5,
+        review: 0.5,
+        expertise: 0.5,
+        first_release_year: 2004,
+        seed: 7,
+    };
+    let out = corpus::synth::synthesize(&spec, &[]);
+    let lines: usize = out.files.iter().map(|(_, s)| s.lines().count()).sum();
+    let mut group = c.benchmark_group("frontend");
+    group.sample_size(20);
+    group.throughput(criterion::Throughput::Elements(lines as u64));
+    group.bench_function("parse_program_lines", |b| {
+        b.iter(|| {
+            black_box(
+                minilang::parse_program("p", minilang::Dialect::C, &out.files)
+                    .expect("parses")
+                    .function_count(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_passes, bench_parsing);
+criterion_main!(benches);

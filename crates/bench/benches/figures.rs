@@ -1,0 +1,34 @@
+//! BENCH-PERF (part 3): end-to-end figure regeneration at smoke scale —
+//! keeps the experiment drivers honest about their cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1_survey", |b| {
+        b.iter(|| black_box(clairvoyant::survey::Figure1::produce(7).result.total_loc()))
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let corpus = corpus::Corpus::generate(&corpus::CorpusConfig::small(10, 7));
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("loc_study", |b| {
+        b.iter(|| black_box(clairvoyant::studies::run_study(&corpus).regression_loc.r_squared))
+    });
+    group.finish();
+}
+
+fn bench_shin(c: &mut Criterion) {
+    let corpus = corpus::Corpus::generate(&corpus::CorpusConfig::small(10, 7));
+    let mut group = c.benchmark_group("exp_shin");
+    group.sample_size(10);
+    group.bench_function("file_study", |b| {
+        b.iter(|| black_box(clairvoyant::files::run_file_study(&corpus, 0.5).recall_at_budget))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1, bench_fig2, bench_shin);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! BENCH-PERF (part 2): cost of corpus generation and model training as
+//! the application count grows — the "prediction model is trained offline"
+//! budget of §1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corpus_generate");
+    group.sample_size(10);
+    for n in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let config = corpus::CorpusConfig::small(n, 5);
+            b.iter(|| black_box(corpus::Corpus::generate(&config).db.len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train");
+    group.sample_size(10);
+    for n in [8usize, 16] {
+        let config = corpus::CorpusConfig::small(n, 5);
+        let corpus = corpus::Corpus::generate(&config);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let model = clairvoyant::Trainer::new().train(&corpus);
+                black_box(model.feature_names.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_evaluation(c: &mut Criterion) {
+    // Applying the metric must be cheap: this is the inner loop of the CI
+    // gate (§5.3).
+    let config = corpus::CorpusConfig::small(10, 5);
+    let corpus = corpus::Corpus::generate(&config);
+    let model = clairvoyant::Trainer::new().train(&corpus);
+    let program = &corpus.apps[0].program;
+    let mut group = c.benchmark_group("evaluate");
+    group.sample_size(20);
+    group.bench_function("security_report", |b| {
+        b.iter(|| black_box(model.evaluate(program).risk_score()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_training, bench_evaluation);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! EXP-SELECT: the §5.2 model-refinement ablation — "the primary challenge
+//! on building this metric will be to refine the trained model, including
+//! filtering features that are irrelevant to the prediction". Sweeps the
+//! top-k Pearson feature filter and reports cross-validated quality, so the
+//! cost of keeping irrelevant features (and of cutting too deep) is
+//! visible.
+
+use clairvoyant::prelude::*;
+use clairvoyant::train::TrainerConfig;
+
+fn main() {
+    let corpus = bench::experiment_corpus();
+    println!("== EXP-SELECT: feature-filter sweep (§5.2) ==\n");
+    println!("{:>10} {:>12} {:>14} {:>14}", "kept", "count R²", "CVSS>7 AUC", "AV:N AUC");
+
+    for top_k in [Some(4usize), Some(8), Some(16), Some(32), Some(64), None] {
+        let trainer = Trainer::with_config(TrainerConfig {
+            top_k_features: top_k,
+            ..Default::default()
+        });
+        let (_, report) = trainer.train_with_report(&corpus);
+        let auc_of = |name: &str| {
+            report
+                .hypothesis_reports
+                .iter()
+                .find(|h| h.hypothesis.name() == name)
+                .and_then(|h| h.report.as_ref())
+                .map(|r| format!("{:.3}", r.auc))
+                .unwrap_or_else(|| "—".to_string())
+        };
+        println!(
+            "{:>10} {:>12.3} {:>14} {:>14}",
+            top_k.map(|k| k.to_string()).unwrap_or_else(|| "all".to_string()),
+            report.count_cv.r_squared,
+            auc_of("cvss_gt_7"),
+            auc_of("av_network"),
+        );
+    }
+    println!(
+        "\nshape check: quality should rise from 4 features, peak in the middle,\n\
+         and hold (or dip slightly) at `all` — filtering matters most when the\n\
+         app count is small relative to the 97-wide unified vector."
+    );
+}

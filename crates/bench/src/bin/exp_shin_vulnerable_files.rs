@@ -1,0 +1,44 @@
+//! EXP-SHIN: predicting vulnerable files from basic metrics.
+//!
+//! §4 of the paper cites Shin et al. [61]: complexity, code churn and
+//! developer-activity metrics "predict 80 % of the vulnerable files" in
+//! Firefox and the RHEL kernel using only basic per-file properties. This
+//! experiment replicates the study at file (module) granularity on the
+//! synthetic corpus, sweeping the inspection budget.
+
+use clairvoyant::files::{file_dataset, run_file_study, FILE_FEATURES};
+
+fn main() {
+    let corpus = bench::experiment_corpus();
+    let rows = file_dataset(&corpus);
+    let vulnerable = rows.iter().filter(|r| r.vulnerable).count();
+    println!("== EXP-SHIN: vulnerable-file prediction ==\n");
+    println!(
+        "{} files across {} applications; {} ({:.0}%) contain a vulnerability",
+        rows.len(),
+        corpus.apps.len(),
+        vulnerable,
+        100.0 * vulnerable as f64 / rows.len() as f64
+    );
+    println!("features: {}\n", FILE_FEATURES.join(", "));
+
+    println!("{:>9} {:>8} {:>8}", "inspect", "recall", "AUC");
+    let mut recall_at_half = 0.0;
+    for budget in [0.10, 0.25, 0.50, 0.75] {
+        let r = run_file_study(&corpus, budget);
+        println!(
+            "{:>8.0}% {:>7.0}% {:>8.3}",
+            budget * 100.0,
+            r.recall_at_budget * 100.0,
+            r.auc
+        );
+        if budget == 0.50 {
+            recall_at_half = r.recall_at_budget;
+        }
+    }
+    println!(
+        "\npaper reference: Shin et al. predict 80% of vulnerable files; \
+         here {:.0}% are caught inspecting half the files",
+        recall_at_half * 100.0
+    );
+}

@@ -1,0 +1,25 @@
+//! EXP-UNIFIED: the paper's central position (§4) — "a weighted aggregation
+//! of multiple metrics can provide a more precise estimation of potential
+//! vulnerabilities" than any single metric. Trains on each feature family
+//! alone and on the unified vector, and compares cross-validated quality.
+
+use clairvoyant::ablation::run_ablation;
+
+fn main() {
+    let corpus = bench::experiment_corpus();
+    println!("== EXP-UNIFIED: unified model vs single metric families ==\n");
+    let result = run_ablation(&corpus);
+    println!("{result}");
+    let unified = result.unified();
+    let loc = result.loc_only();
+    let best = result.best_single();
+    println!(
+        "unified R² = {:.3} vs LoC-only {:.3} (best single family: {} at {:.3})",
+        unified.count_r2, loc.count_r2, best.family, best.count_r2
+    );
+    if unified.count_r2 > loc.count_r2 {
+        println!("✓ the unified aggregation beats counting lines of code");
+    } else {
+        println!("✗ unified model failed to beat LoC at this scale");
+    }
+}

@@ -1,0 +1,36 @@
+//! FIG-2: lines of code vs number of vulnerabilities.
+//!
+//! Reproduces the paper's Figure 2: per-application kLoC (measured with the
+//! cloc-equivalent analysis) against CVE counts, on log-log axes, with the
+//! OLS trend line and R². Paper reference: 164 apps (126 C / 20 C++ /
+//! 6 Python / 12 Java), trend `log10(v) = 0.17 + 0.39·log10(kLoC)`,
+//! R² = 24.66 %.
+
+use clairvoyant::studies::run_study;
+
+fn main() {
+    let corpus = bench::experiment_corpus();
+    let study = run_study(&corpus);
+
+    println!("== Figure 2: LoC vs vulnerabilities ==\n");
+    println!("{study}\n");
+    println!(
+        "paper reference: log10(v) = 0.17 + 0.39·log10(kLoC), R² = 24.66% over 164 apps"
+    );
+    println!("\nscatter (kLoC, vulns, language):");
+    for p in study.points.iter().take(20) {
+        println!("  {:>8.2} kLoC  {:>4} vulns  {:<7} {}", p.kloc, p.vulnerabilities, p.dialect.name(), p.app);
+    }
+    if study.points.len() > 20 {
+        println!("  … {} more applications", study.points.len() - 20);
+    }
+    println!("\nper-language mean vulnerability counts:");
+    for d in minilang::Dialect::ALL {
+        if let Some(mean) = study.mean_vulns_for(d) {
+            println!("  {:<7} {:.1}", d.name(), mean);
+        }
+    }
+    let r2 = study.regression_loc.r_squared;
+    println!("\nconclusion: LoC explains {:.1}% of the variance — {}", r2 * 100.0,
+        if r2 < 0.5 { "a weak metric, as the paper argues" } else { "stronger than the paper's corpus" });
+}

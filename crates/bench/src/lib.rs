@@ -1,0 +1,83 @@
+//! Shared experiment scaffolding for the bench binaries.
+//!
+//! Every figure/table regenerator works on a corpus whose scale is chosen
+//! by the `CLAIRVOYANT_SCALE` environment variable:
+//!
+//! * `paper` — the full 164-application corpus with the paper's language
+//!   mix (126 C / 20 C++ / 6 Python / 12 Java); minutes of compute;
+//! * `mid` (default) — 64 applications, same proportions, small sizes;
+//! * `small` — 16 applications, for smoke runs.
+
+use corpus::{Corpus, CorpusConfig};
+
+/// Scale selection for experiment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Paper,
+    Mid,
+    Small,
+}
+
+impl Scale {
+    /// Read from `CLAIRVOYANT_SCALE` (default `mid`).
+    pub fn from_env() -> Scale {
+        match std::env::var("CLAIRVOYANT_SCALE").as_deref() {
+            Ok("paper") => Scale::Paper,
+            Ok("small") => Scale::Small,
+            _ => Scale::Mid,
+        }
+    }
+
+    /// The corpus configuration for this scale.
+    pub fn config(self) -> CorpusConfig {
+        match self {
+            Scale::Paper => CorpusConfig::paper(),
+            Scale::Mid => CorpusConfig {
+                language_mix: [49, 8, 2, 5], // the paper's mix, ~2.6x down
+                short_history_apps: 4,
+                min_kloc: 0.25,
+                max_kloc: 8.0,
+                seed: 20170408,
+                target_loc_r2: 0.2466,
+            },
+            Scale::Small => CorpusConfig {
+                language_mix: [12, 2, 1, 1],
+                short_history_apps: 2,
+                min_kloc: 0.2,
+                max_kloc: 2.0,
+                seed: 20170408,
+                target_loc_r2: 0.2466,
+            },
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Paper => "paper",
+            Scale::Mid => "mid",
+            Scale::Small => "small",
+        }
+    }
+}
+
+/// Generate (and time) the experiment corpus at the chosen scale.
+pub fn experiment_corpus() -> Corpus {
+    let scale = Scale::from_env();
+    let started = std::time::Instant::now();
+    let corpus = Corpus::generate(&scale.config());
+    let lines: usize = corpus
+        .apps
+        .iter()
+        .flat_map(|a| a.files.iter())
+        .map(|(_, s)| s.lines().count())
+        .sum();
+    eprintln!(
+        "[scale={}] generated {} apps / {} CVEs / {} source lines in {:.1}s",
+        scale.name(),
+        corpus.apps.len(),
+        corpus.db.len(),
+        lines,
+        started.elapsed().as_secs_f64()
+    );
+    corpus
+}

@@ -1,0 +1,83 @@
+//! Diagnostics emitted by the checkers.
+
+use minilang::Span;
+use std::fmt;
+
+/// How serious a finding is (tool-assigned, not ground truth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DiagSeverity {
+    /// Code-quality note (dead store, style).
+    Note,
+    /// Possible bug.
+    Warning,
+    /// Near-certain bug.
+    Error,
+}
+
+/// One finding from one tool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Emitting tool name (stable identifier, e.g. `"bufcheck"`).
+    pub tool: &'static str,
+    /// Rule identifier within the tool, e.g. `"index-unproved"`.
+    pub rule: &'static str,
+    pub severity: DiagSeverity,
+    /// Function containing the finding.
+    pub function: String,
+    /// Module path containing the finding.
+    pub module: String,
+    pub span: Span,
+    /// The CWE class this pattern suggests, when the tool can say.
+    pub cwe_hint: Option<u32>,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            DiagSeverity::Note => "note",
+            DiagSeverity::Warning => "warning",
+            DiagSeverity::Error => "error",
+        };
+        write!(
+            f,
+            "{}:{} [{}/{}] {sev}: {} (in `{}`)",
+            self.module, self.span, self.tool, self.rule, self.message, self.function
+        )?;
+        if let Some(cwe) = self.cwe_hint {
+            write!(f, " [CWE-{cwe}]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let d = Diagnostic {
+            tool: "bufcheck",
+            rule: "index-oob",
+            severity: DiagSeverity::Error,
+            function: "handle".into(),
+            module: "src/net.c".into(),
+            span: Span::new(0, 4, 12, 5),
+            cwe_hint: Some(121),
+            message: "index 8 outside buffer of 8".into(),
+        };
+        let text = d.to_string();
+        assert!(text.contains("src/net.c:12:5"));
+        assert!(text.contains("bufcheck/index-oob"));
+        assert!(text.contains("error"));
+        assert!(text.contains("CWE-121"));
+        assert!(text.contains("`handle`"));
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(DiagSeverity::Error > DiagSeverity::Warning);
+        assert!(DiagSeverity::Warning > DiagSeverity::Note);
+    }
+}

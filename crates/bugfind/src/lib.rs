@@ -1,0 +1,35 @@
+//! bugfind — lint-style bug-finding tools and a meta-tool combiner.
+//!
+//! §4.2 of the paper: *"We can also extract information from existing
+//! bug-finding tools. … A simple way is to feed the bug reports or count of
+//! bug types into the machine learning engine."* The cited tool families
+//! (Lint for C, FindBugs/PMD/JLint-style pattern detectors, Rutar et al.'s
+//! meta-tool that combines their output) are reproduced as ten checkers
+//! over MiniLang plus [`meta::MetaTool`]:
+//!
+//! | checker | pattern | CWE hint |
+//! |---|---|---|
+//! | [`checkers::BufferOverflowChecker`] | index not provably inside the buffer | 121 |
+//! | [`checkers::FormatStringChecker`] | non-literal format string reaching `printf`/`sprintf` | 134 |
+//! | [`checkers::IntegerOverflowChecker`] | unchecked arithmetic sizing an allocation/index | 190 |
+//! | [`checkers::UntrustedInputChecker`] | endpoint parameter used without a validation branch | 20 |
+//! | [`checkers::ToctouChecker`] | `access(p)` then `open`/`read_file`/`write_file(p)` | 367 |
+//! | [`checkers::DeadStoreChecker`] | value stored and never read | — |
+//! | [`checkers::HardcodedCredentialChecker`] | literal secret in `auth_check` / password compare | 798 |
+//! | [`checkers::PathTraversalChecker`] | tainted path reaching filesystem calls unvalidated | 22 |
+//! | [`checkers::AllocLifetimeChecker`] | use-after-free and never-freed allocations | 416 / 401 |
+//! | [`checkers::InfoExposureChecker`] | secret material written to a network channel | 200 |
+//!
+//! Checkers are deliberately *noisy in realistic ways* (dominance and
+//! interval reasoning, not oracle knowledge), so the false-positive
+//! behaviour the paper worries about ("the concern with many bug-finding
+//! tools is a high false positive rate") is measurable against corpus
+//! seeding.
+
+pub mod checkers;
+pub mod diagnostic;
+pub mod meta;
+
+pub use checkers::{all_checkers, Checker};
+pub use diagnostic::{DiagSeverity, Diagnostic};
+pub use meta::{MetaReport, MetaTool};

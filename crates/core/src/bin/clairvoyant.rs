@@ -1,0 +1,161 @@
+//! The `clairvoyant` command-line tool.
+//!
+//! A thin CLI over the library for day-to-day use in the §5.3 developer
+//! workflow. Input files are MiniLang sources (see the `minilang` crate
+//! docs for the grammar); the file extension picks the comment dialect
+//! (`.c`/`.cc` → C-family, `.py` → Python, `.java` → Java).
+//!
+//! ```text
+//! clairvoyant lint <files…>              run the bug-finding suite
+//! clairvoyant features <files…>          print the testbed feature vector
+//! clairvoyant evaluate [--json] <files…> train (cached-size corpus) + report
+//! clairvoyant compare <fileA> <fileB>    pick the lower-risk candidate
+//! clairvoyant gate <before> <after>      CI gate: exit 1 if risk rises
+//! ```
+
+use clairvoyant::prelude::*;
+use clairvoyant::report::security_report_json;
+use clairvoyant::Testbed;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "lint" => lint(rest),
+        "features" => features(rest),
+        "evaluate" => evaluate(rest),
+        "compare" => compare(rest),
+        "gate" => gate(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage: clairvoyant <command> [args]
+
+commands:
+  lint <files…>               run the 10-checker bug-finding suite
+  features <files…>           print the testbed feature vector (97 features)
+  evaluate [--json] <files…>  train the metric and print a security report
+  compare <fileA> <fileB>     evaluate two candidates, pick the safer one
+  gate <before> <after>       CI gate: exit 1 when the change raises risk";
+
+fn dialect_of(path: &str) -> Dialect {
+    match path.rsplit('.').next() {
+        Some("py") => Dialect::Python,
+        Some("java") => Dialect::Java,
+        Some("cc" | "cpp") => Dialect::Cpp,
+        _ => Dialect::C,
+    }
+}
+
+fn load_program(name: &str, paths: &[String]) -> Result<minilang::ast::Program, String> {
+    if paths.is_empty() {
+        return Err("no input files".to_string());
+    }
+    let mut files = Vec::new();
+    for path in paths {
+        let source = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        files.push((path.clone(), source));
+    }
+    let dialect = dialect_of(&paths[0]);
+    minilang::parse_program(name, dialect, &files).map_err(|e| format!("parse error: {e}"))
+}
+
+/// The CLI's trained model: a fixed-seed mid-size corpus, trained once per
+/// invocation (a production deployment would persist the model; retraining
+/// keeps this binary self-contained and deterministic).
+fn trained_model() -> TrainedModel {
+    let mut config = CorpusConfig::small(20, 20170408);
+    config.language_mix = [15, 2, 1, 2];
+    let corpus = Corpus::generate(&config);
+    Trainer::new().train(&corpus)
+}
+
+fn lint(paths: &[String]) -> Result<ExitCode, String> {
+    let program = load_program("input", paths)?;
+    let report = bugfind::MetaTool::new().run(&program);
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    println!(
+        "{} findings ({} errors, {} warnings, {} notes)",
+        report.total(),
+        report.count_severity(bugfind::DiagSeverity::Error),
+        report.count_severity(bugfind::DiagSeverity::Warning),
+        report.count_severity(bugfind::DiagSeverity::Note),
+    );
+    Ok(if report.count_severity(bugfind::DiagSeverity::Error) > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn features(paths: &[String]) -> Result<ExitCode, String> {
+    let program = load_program("input", paths)?;
+    let fv = Testbed::new().extract(&program);
+    println!("{fv}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn evaluate(args: &[String]) -> Result<ExitCode, String> {
+    let (json, paths): (bool, Vec<String>) = match args.split_first() {
+        Some((flag, rest)) if flag == "--json" => (true, rest.to_vec()),
+        _ => (false, args.to_vec()),
+    };
+    let program = load_program("input", &paths)?;
+    eprintln!("training the metric (fixed-seed corpus)…");
+    let model = trained_model();
+    let report = model.evaluate(&program);
+    if json {
+        println!("{}", security_report_json(&report));
+    } else {
+        println!("{report}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn compare(args: &[String]) -> Result<ExitCode, String> {
+    let [a, b] = args else {
+        return Err("compare needs exactly two files".to_string());
+    };
+    let pa = load_program(a, &[a.clone()])?;
+    let pb = load_program(b, &[b.clone()])?;
+    eprintln!("training the metric (fixed-seed corpus)…");
+    let model = trained_model();
+    let cmp = compare_programs(&model, &pa, &pb);
+    println!("{cmp}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn gate(args: &[String]) -> Result<ExitCode, String> {
+    let [before, after] = args else {
+        return Err("gate needs exactly two files (before, after)".to_string());
+    };
+    let pb = load_program("before", &[before.clone()])?;
+    let pa = load_program("after", &[after.clone()])?;
+    eprintln!("training the metric (fixed-seed corpus)…");
+    let model = trained_model();
+    let delta = version_delta(&model, &pb, &pa);
+    println!("{delta}");
+    Ok(match delta.verdict {
+        clairvoyant::compare::RiskChange::Raised => ExitCode::FAILURE,
+        _ => ExitCode::SUCCESS,
+    })
+}

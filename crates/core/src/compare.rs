@@ -1,0 +1,193 @@
+//! Comparing programs and versions (§1, §5.3).
+//!
+//! *"In selecting between two library implementations for use in a web
+//! service, our proposed metric would identify which is less likely to have
+//! vulnerabilities"* — [`compare_programs`]. And the CI-gate use: *"the
+//! classifier can give the developer an evaluation of, say, whether a code
+//! change has raised or lowered the risk than the previous version of the
+//! code"* — [`version_delta`].
+
+use crate::metric::SecurityReport;
+use crate::train::TrainedModel;
+use minilang::ast::Program;
+use std::fmt;
+
+/// Outcome of an A/B comparison.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    pub a: SecurityReport,
+    pub b: SecurityReport,
+}
+
+impl Comparison {
+    /// Name of the lower-risk candidate (ties go to `a`).
+    pub fn preferred(&self) -> &str {
+        if self.b.risk_score() < self.a.risk_score() {
+            &self.b.app
+        } else {
+            &self.a.app
+        }
+    }
+
+    /// Risk-score difference `b − a` (negative: b is safer).
+    pub fn delta(&self) -> f64 {
+        self.b.risk_score() - self.a.risk_score()
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: risk {:.0}/100, predicted vulns {:.1}",
+            self.a.app,
+            self.a.risk_score(),
+            self.a.predicted_vulnerabilities
+        )?;
+        writeln!(
+            f,
+            "{}: risk {:.0}/100, predicted vulns {:.1}",
+            self.b.app,
+            self.b.risk_score(),
+            self.b.predicted_vulnerabilities
+        )?;
+        write!(f, "prefer `{}`", self.preferred())
+    }
+}
+
+/// Evaluate two candidate programs and compare.
+pub fn compare_programs(model: &TrainedModel, a: &Program, b: &Program) -> Comparison {
+    Comparison { a: model.evaluate(a), b: model.evaluate(b) }
+}
+
+/// The version-gate verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RiskChange {
+    Lowered,
+    Unchanged,
+    Raised,
+}
+
+/// Result of evaluating a code change.
+#[derive(Debug, Clone)]
+pub struct VersionDelta {
+    pub before: SecurityReport,
+    pub after: SecurityReport,
+    /// Score delta (after − before).
+    pub score_delta: f64,
+    pub verdict: RiskChange,
+}
+
+impl fmt::Display for VersionDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let word = match self.verdict {
+            RiskChange::Lowered => "LOWERED",
+            RiskChange::Unchanged => "UNCHANGED",
+            RiskChange::Raised => "RAISED",
+        };
+        write!(
+            f,
+            "risk {word}: {:.1} → {:.1} ({:+.1})",
+            self.before.risk_score(),
+            self.after.risk_score(),
+            self.score_delta
+        )
+    }
+}
+
+/// Evaluate a code change: `before` vs `after` versions of one application.
+/// Deltas within ±1 risk point count as unchanged (measurement noise).
+pub fn version_delta(model: &TrainedModel, before: &Program, after: &Program) -> VersionDelta {
+    let before_report = model.evaluate(before);
+    let after_report = model.evaluate(after);
+    let score_delta = after_report.risk_score() - before_report.risk_score();
+    let verdict = if score_delta > 1.0 {
+        RiskChange::Raised
+    } else if score_delta < -1.0 {
+        RiskChange::Lowered
+    } else {
+        RiskChange::Unchanged
+    };
+    VersionDelta { before: before_report, after: after_report, score_delta, verdict }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::shared_model;
+    use minilang::{parse_program, Dialect};
+
+    fn model() -> &'static TrainedModel {
+        shared_model()
+    }
+
+    fn program(name: &str, src: &str) -> Program {
+        parse_program(name, Dialect::C, &[("m.c".into(), src.into())]).unwrap()
+    }
+
+    const RISKY: &str = "@endpoint(network) @priv(root)
+        fn handle(req: str, n: int) {
+            let buf: str[16];
+            strcpy(buf, req);
+            system(req);
+            printf(req);
+            buf[n] = req;
+        }";
+
+    const SAFE: &str = "@endpoint(network)
+        fn handle(req: str, n: int) {
+            if n < 0 || n > 15 { return; }
+            if strlen(req) > 15 { return; }
+            let buf: str[16];
+            strncpy(buf, req, 15);
+            log_msg(\"handled\");
+        }";
+
+    #[test]
+    fn prefers_the_safer_library() {
+        let m = model();
+        let risky = program("libfast", RISKY);
+        let safe = program("libsafe", SAFE);
+        let cmp = compare_programs(m, &risky, &safe);
+        assert_eq!(cmp.preferred(), "libsafe", "\n{cmp}");
+        assert!(cmp.delta() < 0.0);
+        // Symmetric call agrees.
+        let cmp2 = compare_programs(m, &safe, &risky);
+        assert_eq!(cmp2.preferred(), "libsafe");
+    }
+
+    #[test]
+    fn hardening_change_lowers_risk() {
+        let m = model();
+        let before = program("app", RISKY);
+        let after = program("app", SAFE);
+        let delta = version_delta(m, &before, &after);
+        assert_eq!(delta.verdict, RiskChange::Lowered, "\n{delta}");
+        assert!(delta.score_delta < 0.0);
+    }
+
+    #[test]
+    fn identity_change_is_unchanged() {
+        let m = model();
+        let v = program("app", SAFE);
+        let delta = version_delta(m, &v, &v);
+        assert_eq!(delta.verdict, RiskChange::Unchanged);
+        assert_eq!(delta.score_delta, 0.0);
+    }
+
+    #[test]
+    fn regression_change_raises_risk() {
+        let m = model();
+        let delta = version_delta(m, &program("app", SAFE), &program("app", RISKY));
+        assert_eq!(delta.verdict, RiskChange::Raised, "\n{delta}");
+    }
+
+    #[test]
+    fn display_formats() {
+        let m = model();
+        let cmp = compare_programs(m, &program("a", SAFE), &program("b", RISKY));
+        assert!(cmp.to_string().contains("prefer"));
+        let delta = version_delta(m, &program("a", SAFE), &program("a", RISKY));
+        assert!(delta.to_string().contains("RAISED"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Dynamic-trace features — the paper's proposed improvement (§5.3).
+//!
+//! *"One potential improvement is to collect dynamic traces; dynamic
+//! properties of a program may further yield additional insights or
+//! accuracy. For ease of deployment and integration with current
+//! development tools, we focus on static analysis."*
+//!
+//! This module implements the improvement the paper deferred: every
+//! endpoint function is executed concretely (via `minilang::interp`) with
+//! attacker-controlled inputs, and the observed runtime behaviour becomes a
+//! `dyn.*` feature family:
+//!
+//! * `dyn.oob_writes` — out-of-bounds writes that *actually happened*;
+//! * `dyn.tainted_sink_calls` — attacker data that *actually reached* a
+//!   dangerous sink (no static over-approximation);
+//! * coverage and loop statistics that proxy input-handling complexity.
+//!
+//! The static testbed stays the default (matching the paper's deployment
+//! argument); [`dynamic_features`] is opt-in via
+//! [`extended_feature_vector`] and evaluated by the `exp_dynamic` bench.
+
+use minilang::ast::Program;
+use minilang::{interp, InterpConfig};
+use static_analysis::FeatureVector;
+
+/// Aggregated dynamic observations over a program's endpoints.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DynamicSummary {
+    /// Endpoints executed.
+    pub endpoints_run: usize,
+    pub statements: u64,
+    pub oob_writes: u64,
+    pub tainted_sink_calls: u64,
+    pub uninitialized_reads: u64,
+    pub max_loop_iterations: u64,
+    /// Distinct functions covered across all endpoint runs.
+    pub functions_covered: usize,
+    /// Endpoints whose run exhausted the fuel budget (possible hangs).
+    pub fuel_exhausted: usize,
+    /// Mean branch bias across runs (0.5 = balanced).
+    pub mean_branch_bias: f64,
+}
+
+/// Execute every endpoint with attacker inputs and aggregate the traces.
+/// Programs without endpoints fall back to running every root function
+/// (the library case: all public API functions are entry points).
+pub fn run_endpoints(program: &Program, config: &InterpConfig) -> DynamicSummary {
+    let mut entry_names: Vec<&str> = program
+        .functions()
+        .filter(|f| !f.endpoint_channels().is_empty())
+        .map(|f| f.name.as_str())
+        .collect();
+    if entry_names.is_empty() {
+        let callgraph = static_analysis::callgraph::CallGraph::build(program);
+        let stats_roots: Vec<&str> = {
+            // Roots: functions no one calls.
+            let mut called: Vec<&str> = Vec::new();
+            for f in &callgraph.functions {
+                for callee in callgraph.callees(f) {
+                    called.push(callee);
+                }
+            }
+            program
+                .functions()
+                .map(|f| f.name.as_str())
+                .filter(|n| !called.contains(n))
+                .take(8)
+                .collect()
+        };
+        entry_names = stats_roots;
+    }
+
+    let mut summary = DynamicSummary::default();
+    let mut covered: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut bias_sum = 0.0;
+    for name in &entry_names {
+        let trace = interp::run_function(program, name, config);
+        summary.endpoints_run += 1;
+        summary.statements += trace.statements;
+        summary.oob_writes += trace.oob_writes;
+        summary.tainted_sink_calls += trace.tainted_sink_calls;
+        summary.uninitialized_reads += trace.uninitialized_reads;
+        summary.max_loop_iterations =
+            summary.max_loop_iterations.max(trace.max_loop_iterations);
+        summary.fuel_exhausted += trace.fuel_exhausted as usize;
+        bias_sum += trace.branch_bias();
+        covered.extend(trace.functions_called);
+    }
+    summary.functions_covered = covered.len();
+    summary.mean_branch_bias = if summary.endpoints_run == 0 {
+        0.5
+    } else {
+        bias_sum / summary.endpoints_run as f64
+    };
+    summary
+}
+
+/// The `dyn.*` feature family.
+pub fn dynamic_features(program: &Program) -> FeatureVector {
+    let summary = run_endpoints(program, &InterpConfig::default());
+    let mut fv = FeatureVector::new();
+    fv.set("dyn.endpoints_run", summary.endpoints_run as f64);
+    fv.set("dyn.statements", summary.statements as f64);
+    fv.set("dyn.oob_writes", summary.oob_writes as f64);
+    fv.set("dyn.tainted_sink_calls", summary.tainted_sink_calls as f64);
+    fv.set("dyn.uninitialized_reads", summary.uninitialized_reads as f64);
+    fv.set("dyn.max_loop_iterations", summary.max_loop_iterations as f64);
+    fv.set("dyn.functions_covered", summary.functions_covered as f64);
+    fv.set("dyn.fuel_exhausted", summary.fuel_exhausted as f64);
+    fv.set("dyn.branch_bias", summary.mean_branch_bias);
+    let coverage = if program.function_count() == 0 {
+        0.0
+    } else {
+        summary.functions_covered as f64 / program.function_count() as f64
+    };
+    fv.set("dyn.function_coverage", coverage);
+    fv
+}
+
+/// The static testbed vector extended with the `dyn.*` family.
+pub fn extended_feature_vector(program: &Program) -> FeatureVector {
+    let mut fv = crate::testbed::Testbed::new().extract(program);
+    fv.merge(&dynamic_features(program));
+    fv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minilang::{parse_program, Dialect};
+
+    fn program(src: &str) -> Program {
+        parse_program("t", Dialect::C, &[("m.c".into(), src.into())]).unwrap()
+    }
+
+    #[test]
+    fn endpoint_with_overflow_shows_dynamic_evidence() {
+        let p = program(
+            "@endpoint(network)
+             fn handle(req: str) { let b: str[16]; strcpy(b, req); system(req); }",
+        );
+        let fv = dynamic_features(&p);
+        assert!(fv.get_or_zero("dyn.oob_writes") >= 1.0);
+        assert!(fv.get_or_zero("dyn.tainted_sink_calls") >= 1.0);
+        assert_eq!(fv.get_or_zero("dyn.endpoints_run"), 1.0);
+    }
+
+    #[test]
+    fn hardened_endpoint_is_dynamically_clean() {
+        let p = program(
+            "@endpoint(network)
+             fn handle(req: str) {
+                 if strlen(req) > 15 { return; }
+                 let b: str[16];
+                 strncpy(b, req, 15);
+                 log_msg(b);
+             }",
+        );
+        let fv = dynamic_features(&p);
+        assert_eq!(fv.get_or_zero("dyn.oob_writes"), 0.0);
+        assert_eq!(fv.get_or_zero("dyn.tainted_sink_calls"), 0.0);
+    }
+
+    #[test]
+    fn library_without_endpoints_runs_roots() {
+        let p = program(
+            "fn api_entry(x: int) -> int { return helper(x); }
+             fn helper(x: int) -> int { return x * 2; }",
+        );
+        let s = run_endpoints(&p, &InterpConfig::default());
+        assert!(s.endpoints_run >= 1);
+        assert!(s.functions_covered >= 2);
+    }
+
+    #[test]
+    fn coverage_is_a_fraction() {
+        let p = program(
+            "@endpoint(network) fn handle(req: str) { worker(); }
+             fn worker() { }
+             fn never_called() { }",
+        );
+        let fv = dynamic_features(&p);
+        let cov = fv.get_or_zero("dyn.function_coverage");
+        assert!((0.0..=1.0).contains(&cov));
+        assert!((cov - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extended_vector_includes_both_families() {
+        let p = program("@endpoint(network) fn handle(req: str) { log_msg(req); }");
+        let fv = extended_feature_vector(&p);
+        assert!(!fv.with_prefix("dyn.").is_empty());
+        assert!(!fv.with_prefix("taint.").is_empty());
+        assert!(fv.len() >= 80);
+    }
+
+    #[test]
+    fn dynamic_features_are_deterministic() {
+        let p = program(
+            "@endpoint(network) fn handle(req: str, n: int) {
+                 let acc: int = 0;
+                 for i = 0; i < 9; i += 1 { acc += i; }
+                 printf(\"%d\", acc);
+             }",
+        );
+        assert_eq!(dynamic_features(&p), dynamic_features(&p));
+    }
+}

@@ -1,0 +1,183 @@
+//! The hypothesis battery (§5.2).
+//!
+//! *"We use machine learning to train a series of hypotheses on the sample
+//! applications: For example, how many high-severity vulnerabilities exist
+//! in an application (i.e., CVSS > 7)? Does an application contain any
+//! vulnerabilities that are accessible from the network (i.e., Attack
+//! Vectors = N)? Does an application suffer any stack-based buffer overflow
+//! (i.e., CWE = 121)?"*
+//!
+//! Each [`Hypothesis`] is a binary question answered from an application's
+//! CVE history ([`cvedb::AppHistory`]); the trainer fits one classifier per
+//! hypothesis.
+
+use cvedb::{AppHistory, Cwe, CweCategory};
+use std::fmt;
+
+/// A binary question about an application's vulnerability history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hypothesis {
+    /// Any vulnerability with CVSS > 7 (the paper's worked example H1).
+    AnyHighSeverity,
+    /// Any vulnerability with attack vector = network (H2).
+    AnyNetworkAttackable,
+    /// Any vulnerability of the given weakness class (H3 is CWE-121).
+    AnyCwe(Cwe),
+    /// Any vulnerability in the given weakness category.
+    AnyCategory(CweCategory),
+    /// Strictly more than `n` total reported vulnerabilities.
+    MoreThan(usize),
+    /// Mean CVSS score above the threshold (tenths, to stay `Eq`).
+    MeanScoreAbove(u32),
+}
+
+impl Hypothesis {
+    /// Stable short name for tables and reports.
+    pub fn name(&self) -> String {
+        match self {
+            Hypothesis::AnyHighSeverity => "cvss_gt_7".to_string(),
+            Hypothesis::AnyNetworkAttackable => "av_network".to_string(),
+            Hypothesis::AnyCwe(cwe) => format!("cwe_{}", cwe.id()),
+            Hypothesis::AnyCategory(cat) => format!("cat_{}", cat.name()),
+            Hypothesis::MoreThan(n) => format!("more_than_{n}"),
+            Hypothesis::MeanScoreAbove(tenths) => format!("mean_score_gt_{tenths}"),
+        }
+    }
+
+    /// Human-readable question, quoting the paper's phrasing where it has one.
+    pub fn question(&self) -> String {
+        match self {
+            Hypothesis::AnyHighSeverity => {
+                "does the application have any high-severity vulnerability (CVSS > 7)?".into()
+            }
+            Hypothesis::AnyNetworkAttackable => {
+                "is any vulnerability accessible from the network (AV = N)?".into()
+            }
+            Hypothesis::AnyCwe(cwe) => {
+                format!("does the application suffer any {} ({})?", cwe.name(), cwe)
+            }
+            Hypothesis::AnyCategory(cat) => {
+                format!("any vulnerability in the {cat} category?")
+            }
+            Hypothesis::MoreThan(n) => format!("more than {n} reported vulnerabilities?"),
+            Hypothesis::MeanScoreAbove(tenths) => {
+                format!("mean CVSS score above {:.1}?", *tenths as f64 / 10.0)
+            }
+        }
+    }
+
+    /// The ground-truth label for one application history.
+    pub fn label(&self, history: &AppHistory) -> usize {
+        let truth = match self {
+            Hypothesis::AnyHighSeverity => history.high_severity > 0,
+            Hypothesis::AnyNetworkAttackable => history.network_attackable > 0,
+            Hypothesis::AnyCwe(cwe) => history.cwe_count(*cwe) > 0,
+            Hypothesis::AnyCategory(cat) => history.category_count(*cat) > 0,
+            Hypothesis::MoreThan(n) => history.total > *n,
+            Hypothesis::MeanScoreAbove(tenths) => {
+                history.mean_score > *tenths as f64 / 10.0
+            }
+        };
+        truth as usize
+    }
+}
+
+impl fmt::Display for Hypothesis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// The standard battery: the paper's three worked examples plus per-category
+/// questions and count/severity bins.
+pub fn standard_battery() -> Vec<Hypothesis> {
+    let mut battery = vec![
+        Hypothesis::AnyHighSeverity,
+        Hypothesis::AnyNetworkAttackable,
+        Hypothesis::AnyCwe(Cwe::StackBufferOverflow),
+        Hypothesis::AnyCwe(Cwe::FormatString),
+        Hypothesis::AnyCwe(Cwe::CommandInjection),
+        Hypothesis::AnyCwe(Cwe::ImproperInputValidation),
+        Hypothesis::MoreThan(10),
+        Hypothesis::MeanScoreAbove(70),
+    ];
+    for cat in CweCategory::ALL {
+        battery.push(Hypothesis::AnyCategory(cat));
+    }
+    battery
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvedb::{CveDatabase, CveId, CveRecord, Date};
+
+    fn history(vectors: &[(&str, Cwe)]) -> AppHistory {
+        let mut db = CveDatabase::new();
+        for (i, (vector, cwe)) in vectors.iter().enumerate() {
+            db.insert(CveRecord {
+                id: CveId::new(2016, i as u32 + 1),
+                app: "app".into(),
+                published: Date::new(2016, 1 + (i as u8 % 12), 1).unwrap(),
+                cwe: *cwe,
+                cvss3: Some(vector.parse().unwrap()),
+                cvss2: None,
+                description: String::new(),
+            });
+        }
+        db.history("app").unwrap()
+    }
+
+    const CRIT: &str = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"; // 9.8
+    const LOCAL_LOW: &str = "CVSS:3.0/AV:L/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N"; // low
+
+    #[test]
+    fn worked_examples_label_correctly() {
+        let h = history(&[(CRIT, Cwe::StackBufferOverflow), (LOCAL_LOW, Cwe::InfoExposure)]);
+        assert_eq!(Hypothesis::AnyHighSeverity.label(&h), 1);
+        assert_eq!(Hypothesis::AnyNetworkAttackable.label(&h), 1);
+        assert_eq!(Hypothesis::AnyCwe(Cwe::StackBufferOverflow).label(&h), 1);
+        assert_eq!(Hypothesis::AnyCwe(Cwe::FormatString).label(&h), 0);
+        assert_eq!(Hypothesis::AnyCategory(CweCategory::MemorySafety).label(&h), 1);
+        assert_eq!(Hypothesis::AnyCategory(CweCategory::Concurrency).label(&h), 0);
+    }
+
+    #[test]
+    fn clean_history_labels_zero() {
+        let h = history(&[(LOCAL_LOW, Cwe::InfoExposure)]);
+        assert_eq!(Hypothesis::AnyHighSeverity.label(&h), 0);
+        assert_eq!(Hypothesis::AnyNetworkAttackable.label(&h), 0);
+        assert_eq!(Hypothesis::MoreThan(10).label(&h), 0);
+    }
+
+    #[test]
+    fn count_and_mean_thresholds() {
+        let many: Vec<(&str, Cwe)> = (0..12).map(|_| (CRIT, Cwe::FormatString)).collect();
+        let h = history(&many);
+        assert_eq!(Hypothesis::MoreThan(10).label(&h), 1);
+        assert_eq!(Hypothesis::MoreThan(12).label(&h), 0);
+        assert_eq!(Hypothesis::MeanScoreAbove(70).label(&h), 1);
+        assert_eq!(Hypothesis::MeanScoreAbove(99).label(&h), 0);
+    }
+
+    #[test]
+    fn names_are_stable_and_unique() {
+        let battery = standard_battery();
+        let mut names: Vec<String> = battery.iter().map(|h| h.name()).collect();
+        assert!(names.contains(&"cvss_gt_7".to_string()));
+        assert!(names.contains(&"av_network".to_string()));
+        assert!(names.contains(&"cwe_121".to_string()));
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), battery.len());
+    }
+
+    #[test]
+    fn questions_mention_the_key_terms() {
+        assert!(Hypothesis::AnyHighSeverity.question().contains("CVSS > 7"));
+        assert!(Hypothesis::AnyNetworkAttackable.question().contains("AV = N"));
+        assert!(Hypothesis::AnyCwe(Cwe::StackBufferOverflow)
+            .question()
+            .contains("CWE-121"));
+    }
+}

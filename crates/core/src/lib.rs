@@ -1,0 +1,105 @@
+//! Clairvoyant — a predictive security-metric framework.
+//!
+//! Reproduction of *"A Clairvoyant Approach to Evaluating Software
+//! (In)Security"* (Jain, Tsai & Porter, HotOS '17). The paper proposes a
+//! "grand, unified model" that predicts the risk, severity and
+//! classification of future vulnerabilities in a program by correlating
+//! statically-collected code properties with CVE-database ground truth via
+//! machine learning.
+//!
+//! The pipeline (the paper's Figure 4):
+//!
+//! ```text
+//!  CVE database ──select apps──▶ labels (CVSS>7? AV:N? CWE-121? …)
+//!  applications ──[testbed]────▶ feature vectors (LoC, complexity, …)
+//!                      │
+//!                      ▼
+//!        secml training with stratified cross-validation
+//!                      │
+//!                      ▼
+//!            TrainedModel (inspectable weights)
+//!                      │
+//!                      ▼
+//!   SecurityReport for any new codebase: predicted vulnerability count,
+//!   per-hypothesis risk, top contributing code properties, action hints
+//! ```
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use clairvoyant::prelude::*;
+//!
+//! // 1. Generate the training corpus (offline stand-in for CVE + GitHub).
+//! let corpus = Corpus::generate(&CorpusConfig::small(12, 42));
+//!
+//! // 2. Train the unified model.
+//! let model = Trainer::new().train(&corpus);
+//!
+//! // 3. Evaluate any program.
+//! let app = &corpus.apps[0].program;
+//! let report = model.evaluate(app);
+//! println!("{report}");
+//! ```
+
+pub mod ablation;
+pub mod compare;
+pub mod dynamic;
+pub mod files;
+pub mod hypothesis;
+pub mod metric;
+pub mod report;
+pub mod studies;
+pub mod survey;
+pub mod system;
+pub mod testbed;
+pub mod train;
+
+pub use compare::{compare_programs, version_delta, Comparison};
+pub use hypothesis::{standard_battery, Hypothesis};
+pub use metric::SecurityReport;
+pub use system::{evaluate_system, Component, Containment, Exposure, SystemReport, SystemSpec};
+pub use testbed::Testbed;
+pub use train::{Learner, TrainedModel, Trainer, TrainingReport};
+
+/// Convenient re-exports for examples and benches.
+pub mod prelude {
+    pub use crate::compare::{compare_programs, version_delta};
+    pub use crate::hypothesis::{standard_battery, Hypothesis};
+    pub use crate::metric::SecurityReport;
+    pub use crate::testbed::Testbed;
+    pub use crate::train::{Learner, TrainedModel, Trainer};
+    pub use corpus::{Corpus, CorpusConfig};
+    pub use minilang::{parse_program, Dialect};
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared, lazily-built test fixtures: corpus generation plus training
+    //! is the expensive part of this crate's tests, so every test module
+    //! reuses one mid-size corpus and one trained model.
+
+    use crate::train::{TrainedModel, Trainer, TrainerConfig};
+    use corpus::{Corpus, CorpusConfig};
+    use std::sync::OnceLock;
+
+    pub fn shared_corpus() -> &'static Corpus {
+        static CORPUS: OnceLock<Corpus> = OnceLock::new();
+        CORPUS.get_or_init(|| {
+            let mut config = CorpusConfig::small(24, 20177);
+            config.language_mix = [18, 2, 2, 2];
+            config.max_kloc = 2.0;
+            Corpus::generate(&config)
+        })
+    }
+
+    pub fn shared_model() -> &'static TrainedModel {
+        static MODEL: OnceLock<TrainedModel> = OnceLock::new();
+        MODEL.get_or_init(|| {
+            Trainer::with_config(TrainerConfig {
+                top_k_features: Some(14),
+                ..Default::default()
+            })
+            .train(shared_corpus())
+        })
+    }
+}

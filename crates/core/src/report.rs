@@ -1,0 +1,221 @@
+//! Plain JSON serialization for reports.
+//!
+//! CI integrations (the §5.3 workflow) want machine-readable output. To
+//! keep the dependency set inside the allowed offline list we ship a small
+//! JSON writer instead of pulling `serde_json`; the value model covers
+//! everything the reports need.
+
+use crate::metric::SecurityReport;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Build an object from pairs.
+    pub fn object(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    fn write_escaped(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Number(n) => {
+                if n.is_finite() {
+                    // Integers print without a trailing `.0`.
+                    if n.fract() == 0.0 && n.abs() < 1e15 {
+                        out.push_str(&format!("{}", *n as i64));
+                    } else {
+                        out.push_str(&format!("{n}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::String(s) => Self::write_escaped(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Self::write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s);
+        f.write_str(&s)
+    }
+}
+
+/// Serialize a [`SecurityReport`] to a JSON string.
+pub fn security_report_json(report: &SecurityReport) -> String {
+    let hypotheses: Vec<Json> = report
+        .hypotheses
+        .iter()
+        .map(|(h, p)| {
+            Json::object(vec![
+                ("hypothesis", Json::String(h.name())),
+                ("question", Json::String(h.question())),
+                ("probability", Json::Number(*p)),
+            ])
+        })
+        .collect();
+    let attributions: Vec<Json> = report
+        .attributions
+        .iter()
+        .map(|a| {
+            Json::object(vec![
+                ("feature", Json::String(a.feature.clone())),
+                ("weight", Json::Number(a.weight)),
+                ("value", Json::Number(a.value)),
+                ("contribution", Json::Number(a.contribution)),
+            ])
+        })
+        .collect();
+    let hints: Vec<Json> = report
+        .hints
+        .iter()
+        .map(|h| {
+            Json::object(vec![
+                ("advice", Json::String(h.advice.clone())),
+                ("because", Json::String(h.because.clone())),
+            ])
+        })
+        .collect();
+    Json::object(vec![
+        ("app", Json::String(report.app.clone())),
+        ("predicted_vulnerabilities", Json::Number(report.predicted_vulnerabilities)),
+        (
+            "high_severity_risk",
+            report.high_severity_risk.map(Json::Number).unwrap_or(Json::Null),
+        ),
+        ("network_risk", report.network_risk.map(Json::Number).unwrap_or(Json::Null)),
+        (
+            "severity_counts",
+            Json::Array(
+                report
+                    .severity_counts
+                    .iter()
+                    .map(|(band, n)| {
+                        Json::object(vec![
+                            ("band", Json::String(band.name().to_string())),
+                            ("predicted", Json::Number(*n)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("structural_risk", Json::Number(report.structural_risk)),
+        ("risk_score", Json::Number(report.risk_score())),
+        ("hypotheses", Json::Array(hypotheses)),
+        ("attributions", Json::Array(attributions)),
+        ("hints", Json::Array(hints)),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_values() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::Bool(true).to_string(), "true");
+        assert_eq!(Json::Number(3.0).to_string(), "3");
+        assert_eq!(Json::Number(3.25).to_string(), "3.25");
+        assert_eq!(Json::Number(f64::NAN).to_string(), "null");
+        assert_eq!(Json::String("a\"b".into()).to_string(), r#""a\"b""#);
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        assert_eq!(Json::String("x\n\t\u{1}".into()).to_string(), "\"x\\n\\t\\u0001\"");
+    }
+
+    #[test]
+    fn arrays_and_objects() {
+        let v = Json::object(vec![
+            ("b", Json::Array(vec![Json::Number(1.0), Json::Number(2.0)])),
+            ("a", Json::Bool(false)),
+        ]);
+        // BTreeMap: keys come out sorted.
+        assert_eq!(v.to_string(), r#"{"a":false,"b":[1,2]}"#);
+    }
+
+    #[test]
+    fn report_serializes() {
+        use crate::metric::{Attribution, Hint};
+        let report = SecurityReport {
+            app: "demo".into(),
+            predicted_vulnerabilities: 4.2,
+            high_severity_risk: Some(0.75),
+            network_risk: None,
+            hypotheses: vec![(crate::hypothesis::Hypothesis::AnyHighSeverity, 0.75)],
+            severity_counts: vec![(crate::train::SeverityBand::Medium, 2.5)],
+            structural_risk: 0.4,
+            attributions: vec![Attribution {
+                feature: "taint.flows".into(),
+                value: 1.5,
+                weight: 0.8,
+                contribution: 1.2,
+            }],
+            hints: vec![Hint { advice: "fix it".into(), because: "risk".into() }],
+        };
+        let json = security_report_json(&report);
+        assert!(json.contains(r#""app":"demo""#));
+        assert!(json.contains(r#""network_risk":null"#));
+        assert!(json.contains(r#""hypothesis":"cvss_gt_7""#));
+        assert!(json.contains(r#""advice":"fix it""#));
+        // Must be structurally valid enough to round-trip braces.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

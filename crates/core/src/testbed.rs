@@ -1,0 +1,163 @@
+//! The automated testbed (§5.1).
+//!
+//! *"We also need an automated framework to collect all the code properties
+//! from the sample applications."* The testbed runs every collector family
+//! over a program and flattens the results into one [`FeatureVector`]:
+//!
+//! * the `static-analysis` standard registry (LoC, cyclomatic, Halstead,
+//!   counts, call graph, data flow, taint, bounds, paths, smells, language);
+//! * the `bugfind` meta-tool (per-rule report counts, severity mix,
+//!   multi-tool agreement) — §4.2's "feed the bug reports or count of bug
+//!   types into the machine learning engine";
+//! * the `attack-graph` crate (RASQ quotient and per-vector counts, attack
+//!   graph reachability/shortest-path metrics) — §4.1.
+
+use attack_graph::{interaction_facts, AttackGraph, AttackSurface, VectorKind};
+use bugfind::{DiagSeverity, MetaTool};
+use minilang::ast::Program;
+use static_analysis::{standard_registry, FeatureVector, Registry};
+
+/// The full feature extractor.
+pub struct Testbed {
+    registry: Registry,
+    metatool: MetaTool,
+}
+
+impl Default for Testbed {
+    fn default() -> Self {
+        Testbed { registry: standard_registry(), metatool: MetaTool::new() }
+    }
+}
+
+impl Testbed {
+    /// The standard testbed with every collector enabled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Extract the full feature vector for one program.
+    pub fn extract(&self, program: &Program) -> FeatureVector {
+        let mut fv = self.registry.run(program);
+        self.add_bugfind_features(program, &mut fv);
+        self.add_attack_features(program, &mut fv);
+        fv
+    }
+
+    fn add_bugfind_features(&self, program: &Program, fv: &mut FeatureVector) {
+        let report = self.metatool.run(program);
+        fv.set("bugfind.total", report.total() as f64);
+        fv.set("bugfind.errors", report.count_severity(DiagSeverity::Error) as f64);
+        fv.set("bugfind.warnings", report.count_severity(DiagSeverity::Warning) as f64);
+        fv.set("bugfind.notes", report.count_severity(DiagSeverity::Note) as f64);
+        fv.set("bugfind.multi_tool_sites", report.multi_tool_sites as f64);
+        // Per-CWE hint counts for the classes the hypotheses ask about.
+        for cwe in [20u32, 22, 121, 134, 190, 200, 367, 401, 416, 798] {
+            fv.set(format!("bugfind.cwe_{cwe}"), report.count_cwe(cwe) as f64);
+        }
+        // Density: findings per function (size-independent signal).
+        let functions = program.function_count().max(1) as f64;
+        fv.set("bugfind.density", report.total() as f64 / functions);
+    }
+
+    fn add_attack_features(&self, program: &Program, fv: &mut FeatureVector) {
+        let surface = AttackSurface::measure(program);
+        fv.set("rasq.quotient", surface.quotient);
+        let kinds = [
+            (VectorKind::NetworkEndpoint, "rasq.network_endpoints"),
+            (VectorKind::LocalEndpoint, "rasq.local_endpoints"),
+            (VectorKind::FileEndpoint, "rasq.file_endpoints"),
+            (VectorKind::InputChannel, "rasq.input_channels"),
+            (VectorKind::ProcessSpawn, "rasq.process_spawns"),
+            (VectorKind::PrivilegedCode, "rasq.privileged_functions"),
+            (VectorKind::UnresolvedExtern, "rasq.unresolved_externs"),
+        ];
+        for (kind, name) in kinds {
+            fv.set(name, surface.count(kind) as f64);
+        }
+
+        // Attack graph: exploit facts are the endpoints whose parameters can
+        // reach a dangerous sink (the exposed taint flows).
+        let taint = static_analysis::taint::analyze(program);
+        let vulnerable: Vec<String> = taint
+            .flows
+            .iter()
+            .filter(|f| f.via_parameters)
+            .map(|f| f.function.clone())
+            .collect();
+        let graph = AttackGraph::from_facts(interaction_facts(program, &vulnerable));
+        let metrics = graph.metrics();
+        fv.set("attackgraph.goal_reachable", metrics.goal_reachable as u8 as f64);
+        fv.set(
+            "attackgraph.shortest_path",
+            metrics.shortest_path_len.map(|n| n as f64).unwrap_or(0.0),
+        );
+        fv.set(
+            "attackgraph.easiest_cost",
+            metrics.easiest_path_cost.unwrap_or(10.0),
+        );
+        fv.set("attackgraph.paths", metrics.minimal_paths as f64);
+        fv.set("attackgraph.exploits", metrics.exploit_count as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minilang::{parse_program, Dialect};
+
+    fn program(src: &str) -> Program {
+        parse_program("app", Dialect::C, &[("m.c".into(), src.into())]).unwrap()
+    }
+
+    #[test]
+    fn extracts_all_feature_families() {
+        let p = program(
+            "@endpoint(network)
+             fn handle(req: str) { let buf: str[32]; strcpy(buf, req); }
+             fn util(n: int) -> int { return n * 2; }",
+        );
+        let fv = Testbed::new().extract(&p);
+        for prefix in ["loc.", "cyclomatic.", "taint.", "bugfind.", "rasq.", "attackgraph."] {
+            assert!(!fv.with_prefix(prefix).is_empty(), "missing family {prefix}");
+        }
+        assert!(fv.len() >= 70, "expected a wide unified vector, got {}", fv.len());
+    }
+
+    #[test]
+    fn vulnerable_endpoint_makes_goal_reachable() {
+        let p = program(
+            "@endpoint(network) @priv(root)
+             fn handle(req: str) { system(req); }",
+        );
+        let fv = Testbed::new().extract(&p);
+        assert_eq!(fv.get("attackgraph.goal_reachable"), Some(1.0));
+        assert!(fv.get("bugfind.total").unwrap() > 0.0);
+        assert!(fv.get("rasq.quotient").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn clean_program_is_low_risk_across_families() {
+        let p = program("fn pure(a: int, b: int) -> int { return a + b; }");
+        let fv = Testbed::new().extract(&p);
+        assert_eq!(fv.get("attackgraph.goal_reachable"), Some(0.0));
+        assert_eq!(fv.get("bugfind.total"), Some(0.0));
+        assert_eq!(fv.get("rasq.quotient"), Some(0.0));
+        assert_eq!(fv.get("taint.flows"), Some(0.0));
+    }
+
+    #[test]
+    fn feature_names_are_stable_across_programs() {
+        let a = Testbed::new().extract(&program("fn f() { }"));
+        let b = Testbed::new().extract(&program(
+            "@endpoint(network) fn g(q: str) { exec(q); }",
+        ));
+        assert_eq!(a.names(), b.names(), "feature schema must not depend on program content");
+    }
+
+    #[test]
+    fn density_is_size_normalized() {
+        let p = program("fn f(s: str) { printf(s); }");
+        let fv = Testbed::new().extract(&p);
+        assert_eq!(fv.get("bugfind.density"), Some(1.0));
+    }
+}

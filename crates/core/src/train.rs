@@ -1,0 +1,574 @@
+//! The training phase (§5.2, Figure 4).
+//!
+//! Assembles the dataset (testbed features × CVE-derived labels over the
+//! §5.1-selected applications), applies the data transformations the paper
+//! lists among the main challenges (log transform for heavy-tailed counts,
+//! standardization, optional feature filtering), trains one classifier per
+//! hypothesis plus a vulnerability-count regressor, and cross-validates
+//! everything "within the ground truth".
+
+use crate::hypothesis::{standard_battery, Hypothesis};
+use crate::testbed::Testbed;
+use corpus::Corpus;
+use cvedb::SelectionCriteria;
+use secml::dataset::Dataset;
+use secml::eval::{
+    cross_validate_classifier, cross_validate_regressor, ClassificationReport, RegressionReport,
+};
+use secml::forest::{ForestConfig, RandomForest};
+use secml::knn::Knn;
+use secml::linreg::LinearRegression;
+use secml::logreg::LogisticRegression;
+use secml::nb::GaussianNb;
+use secml::preprocess::Standardizer;
+use secml::select::{info_gain_scores, pearson_scores, top_k};
+use secml::tree::DecisionTree;
+use secml::{Classifier, Regressor};
+use std::fmt;
+
+/// A heap-allocated classifier usable across threads (models are stored in
+/// shared `TrainedModel`s).
+pub type BoxedClassifier = Box<dyn Classifier + Send + Sync>;
+
+/// Which learner family to use for the hypothesis classifiers — the
+/// "tuning the parameters to the learning algorithms" knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Learner {
+    Logistic,
+    NaiveBayes,
+    DecisionTree,
+    RandomForest,
+    Knn,
+}
+
+impl Learner {
+    pub const ALL: [Learner; 5] = [
+        Learner::Logistic,
+        Learner::NaiveBayes,
+        Learner::DecisionTree,
+        Learner::RandomForest,
+        Learner::Knn,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Learner::Logistic => "logistic",
+            Learner::NaiveBayes => "naive-bayes",
+            Learner::DecisionTree => "decision-tree",
+            Learner::RandomForest => "random-forest",
+            Learner::Knn => "knn",
+        }
+    }
+
+    /// Instantiate an untrained classifier.
+    pub fn make(self) -> BoxedClassifier {
+        match self {
+            Learner::Logistic => Box::new(LogisticRegression::new()),
+            Learner::NaiveBayes => Box::new(GaussianNb::new()),
+            Learner::DecisionTree => Box::new(DecisionTree::new()),
+            Learner::RandomForest => Box::new(RandomForest::with_config(ForestConfig {
+                n_trees: 20,
+                ..Default::default()
+            })),
+            Learner::Knn => Box::new(Knn::new(5)),
+        }
+    }
+}
+
+impl fmt::Display for Learner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How the top-k feature filter ranks candidates (§5.2's "filtering
+/// features that are irrelevant to the prediction").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionMethod {
+    /// |Pearson correlation| against the log-count target.
+    #[default]
+    PearsonVsCount,
+    /// Information gain against the CVSS>7 labels (the Weka
+    /// `InfoGainAttributeEval` route).
+    InfoGainVsHighSeverity,
+}
+
+/// Trainer configuration.
+#[derive(Debug, Clone)]
+pub struct TrainerConfig {
+    pub learner: Learner,
+    pub folds: usize,
+    /// Keep only the top-k features by the configured ranking
+    /// (None = keep all) — §5.2's "filtering features that are irrelevant".
+    pub top_k_features: Option<usize>,
+    /// Ranking used by the top-k filter.
+    pub selection_method: SelectionMethod,
+    /// Apply signed log1p before standardization.
+    pub log_transform: bool,
+    /// Which applications qualify as ground truth.
+    pub selection: SelectionCriteria,
+    /// Restrict features to one name prefix (ablation hook; None = all).
+    pub feature_prefix: Option<String>,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            learner: Learner::Logistic,
+            folds: 5,
+            top_k_features: None,
+            selection_method: SelectionMethod::default(),
+            log_transform: true,
+            selection: SelectionCriteria::default(),
+            feature_prefix: None,
+        }
+    }
+}
+
+/// Builds [`TrainedModel`]s from a corpus.
+#[derive(Default)]
+pub struct Trainer {
+    pub config: TrainerConfig,
+}
+
+impl Trainer {
+    pub fn new() -> Trainer {
+        Trainer::default()
+    }
+
+    pub fn with_config(config: TrainerConfig) -> Trainer {
+        Trainer { config }
+    }
+
+    pub fn with_learner(learner: Learner) -> Trainer {
+        Trainer { config: TrainerConfig { learner, ..Default::default() } }
+    }
+
+    /// Train on the corpus; panics if no application passes selection
+    /// (a corpus misconfiguration, not a runtime condition).
+    pub fn train(&self, corpus: &Corpus) -> TrainedModel {
+        self.train_with_report(corpus).0
+    }
+
+    /// Train and also return the cross-validation report.
+    pub fn train_with_report(&self, corpus: &Corpus) -> (TrainedModel, TrainingReport) {
+        let testbed = Testbed::new();
+        let histories = corpus.db.select(&self.config.selection);
+        assert!(
+            !histories.is_empty(),
+            "no application passed the ground-truth selection criteria"
+        );
+
+        // Feature matrix over the selected applications.
+        let items: Vec<(String, Vec<(String, f64)>)> = histories
+            .iter()
+            .map(|h| {
+                let app = corpus
+                    .apps
+                    .iter()
+                    .find(|a| a.spec.name == h.app)
+                    .unwrap_or_else(|| panic!("history for unknown app {}", h.app));
+                let fv = testbed.extract(&app.program);
+                (h.app.clone(), fv.iter().map(|(k, v)| (k.to_string(), v)).collect())
+            })
+            .collect();
+        let mut dataset = Dataset::from_named(&items);
+        if let Some(prefix) = &self.config.feature_prefix {
+            dataset = dataset.project_prefix(prefix);
+        }
+
+        // Count target (log10, as in Figure 2).
+        let counts: Vec<f64> = histories.iter().map(|h| (h.total as f64).log10()).collect();
+
+        // Transformations.
+        let mut rows = dataset.rows.clone();
+        if self.config.log_transform {
+            secml::preprocess::log1p_rows(&mut rows);
+        }
+        let standardizer = Standardizer::fit(&rows);
+        standardizer.transform(&mut rows);
+
+        // Feature filtering (Pearson vs the count target, or info gain vs
+        // the high-severity labels).
+        let kept: Vec<usize> = match self.config.top_k_features {
+            Some(k) => {
+                let scores = match self.config.selection_method {
+                    SelectionMethod::PearsonVsCount => pearson_scores(&rows, &counts),
+                    SelectionMethod::InfoGainVsHighSeverity => {
+                        let labels: Vec<usize> = histories
+                            .iter()
+                            .map(|h| Hypothesis::AnyHighSeverity.label(h))
+                            .collect();
+                        info_gain_scores(&rows, &labels)
+                    }
+                };
+                let mut idx = top_k(&scores, k.min(dataset.width()));
+                idx.sort_unstable();
+                idx
+            }
+            None => (0..dataset.width()).collect(),
+        };
+        let feature_names: Vec<String> =
+            kept.iter().map(|&i| dataset.feature_names[i].clone()).collect();
+        let rows: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| kept.iter().map(|&i| r[i]).collect())
+            .collect();
+
+        // Hypothesis classifiers.
+        let battery = standard_battery();
+        let mut hypotheses = Vec::new();
+        let mut hypothesis_reports = Vec::new();
+        for hypothesis in battery {
+            let labels: Vec<usize> = histories.iter().map(|h| hypothesis.label(h)).collect();
+            let positives: usize = labels.iter().sum();
+            if positives == 0 || positives == labels.len() {
+                hypothesis_reports.push(HypothesisOutcome {
+                    hypothesis,
+                    report: None,
+                    base_rate: positives as f64 / labels.len() as f64,
+                });
+                continue; // degenerate: the constant answer is exact
+            }
+            let report = cross_validate_classifier(
+                || self.config.learner.make(),
+                &rows,
+                &labels,
+                self.config.folds,
+            );
+            let mut model = self.config.learner.make();
+            model.fit(&rows, &labels);
+            hypothesis_reports.push(HypothesisOutcome {
+                hypothesis,
+                report: Some(report),
+                base_rate: positives as f64 / labels.len() as f64,
+            });
+            hypotheses.push((hypothesis, model));
+        }
+
+        // Count regressor (always linear, for inspectable weights).
+        let count_cv = cross_validate_regressor(
+            || LinearRegression::ridge(1.0),
+            &rows,
+            &counts,
+            self.config.folds,
+        );
+        let mut count_model = LinearRegression::ridge(1.0);
+        count_model.fit(&rows, &counts);
+
+        // Per-severity-band count regressors — the paper's metric "predicts
+        // the number, severity, classification, and impact": high/critical,
+        // medium, and low report counts are modelled separately
+        // (log10(1+n) targets).
+        let severity_models: Vec<(SeverityBand, LinearRegression)> = SeverityBand::ALL
+            .iter()
+            .map(|&band| {
+                let targets: Vec<f64> = histories
+                    .iter()
+                    .map(|h| (1.0 + band.count(h) as f64).log10())
+                    .collect();
+                let mut model = LinearRegression::ridge(1.0);
+                model.fit(&rows, &targets);
+                (band, model)
+            })
+            .collect();
+
+        // Auxiliary risk model for attributions: logistic on CVSS>7 when
+        // trainable, else reuse the count weights.
+        let risk_labels: Vec<usize> =
+            histories.iter().map(|h| Hypothesis::AnyHighSeverity.label(h)).collect();
+        let risk_weights = if risk_labels.iter().sum::<usize>() > 0
+            && risk_labels.iter().sum::<usize>() < risk_labels.len()
+        {
+            let mut lr = LogisticRegression::new();
+            lr.fit(&rows, &risk_labels);
+            lr.weights
+        } else {
+            count_model.coefficients.clone()
+        };
+
+        let report = TrainingReport {
+            n_apps: histories.len(),
+            n_features: feature_names.len(),
+            learner: self.config.learner,
+            hypothesis_reports,
+            count_cv,
+        };
+        let model = TrainedModel {
+            feature_names,
+            log_transform: self.config.log_transform,
+            standardizer,
+            kept,
+            all_feature_names: dataset.feature_names,
+            hypotheses,
+            count_model,
+            severity_models,
+            risk_weights,
+        };
+        (model, report)
+    }
+}
+
+/// Cross-validation outcome for one hypothesis.
+#[derive(Debug, Clone)]
+pub struct HypothesisOutcome {
+    pub hypothesis: Hypothesis,
+    /// None when the labels were degenerate (single class) in this corpus.
+    pub report: Option<ClassificationReport>,
+    /// Fraction of positive labels.
+    pub base_rate: f64,
+}
+
+/// The full training report (the numbers EXP-HYP prints).
+#[derive(Debug, Clone)]
+pub struct TrainingReport {
+    pub n_apps: usize,
+    pub n_features: usize,
+    pub learner: Learner,
+    pub hypothesis_reports: Vec<HypothesisOutcome>,
+    pub count_cv: RegressionReport,
+}
+
+impl fmt::Display for TrainingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trained on {} apps × {} features with {}",
+            self.n_apps, self.n_features, self.learner
+        )?;
+        writeln!(
+            f,
+            "count regression (log10): R² = {:.3}, MAE = {:.3}",
+            self.count_cv.r_squared, self.count_cv.mae
+        )?;
+        for h in &self.hypothesis_reports {
+            match &h.report {
+                Some(r) => writeln!(
+                    f,
+                    "  {:<24} acc={:.2} f1={:.2} auc={:.2} (base rate {:.2})",
+                    h.hypothesis.name(),
+                    r.accuracy,
+                    r.f1,
+                    r.auc,
+                    h.base_rate
+                )?,
+                None => writeln!(
+                    f,
+                    "  {:<24} degenerate (base rate {:.2})",
+                    h.hypothesis.name(),
+                    h.base_rate
+                )?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A trained, applicable model — the §5.3 deliverable.
+pub struct TrainedModel {
+    /// Names of the kept features, in column order.
+    pub feature_names: Vec<String>,
+    pub log_transform: bool,
+    standardizer: Standardizer,
+    /// Indices of kept features within the full schema.
+    kept: Vec<usize>,
+    all_feature_names: Vec<String>,
+    hypotheses: Vec<(Hypothesis, BoxedClassifier)>,
+    /// log10-count regressor.
+    pub count_model: LinearRegression,
+    /// Per-severity-band count regressors (log10(1+n) targets).
+    severity_models: Vec<(SeverityBand, LinearRegression)>,
+    /// Weights used for per-feature attribution.
+    pub risk_weights: Vec<f64>,
+}
+
+/// The severity bands the metric predicts counts for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeverityBand {
+    /// CVSS ≥ 7.0 (High + Critical).
+    HighOrCritical,
+    /// CVSS 4.0 – 6.9.
+    Medium,
+    /// CVSS 0.1 – 3.9.
+    Low,
+}
+
+impl SeverityBand {
+    pub const ALL: [SeverityBand; 3] =
+        [SeverityBand::HighOrCritical, SeverityBand::Medium, SeverityBand::Low];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            SeverityBand::HighOrCritical => "high/critical",
+            SeverityBand::Medium => "medium",
+            SeverityBand::Low => "low",
+        }
+    }
+
+    /// Ground-truth count of reports in this band for one history.
+    pub fn count(self, history: &cvedb::AppHistory) -> usize {
+        use cvss::Severity;
+        let get = |s: Severity| history.by_severity.get(&s).copied().unwrap_or(0);
+        match self {
+            SeverityBand::HighOrCritical => get(Severity::High) + get(Severity::Critical),
+            SeverityBand::Medium => get(Severity::Medium),
+            SeverityBand::Low => get(Severity::Low) + get(Severity::None),
+        }
+    }
+}
+
+impl TrainedModel {
+    /// Transform a raw feature vector into the model's input row.
+    pub fn prepare_row(&self, fv: &static_analysis::FeatureVector) -> Vec<f64> {
+        let mut full: Vec<f64> = self
+            .all_feature_names
+            .iter()
+            .map(|name| fv.get_or_zero(name))
+            .collect();
+        if self.log_transform {
+            for v in full.iter_mut() {
+                *v = v.signum() * v.abs().ln_1p();
+            }
+        }
+        self.standardizer.transform_row(&mut full);
+        self.kept.iter().map(|&i| full[i]).collect()
+    }
+
+    /// Predicted probability for one hypothesis (None if it was degenerate
+    /// at training time).
+    pub fn hypothesis_probability(
+        &self,
+        hypothesis: Hypothesis,
+        row: &[f64],
+    ) -> Option<f64> {
+        self.hypotheses
+            .iter()
+            .find(|(h, _)| *h == hypothesis)
+            .map(|(_, m)| m.predict_proba(row))
+    }
+
+    /// All trained hypotheses with their probabilities for `row`.
+    pub fn all_hypotheses(&self, row: &[f64]) -> Vec<(Hypothesis, f64)> {
+        self.hypotheses.iter().map(|(h, m)| (*h, m.predict_proba(row))).collect()
+    }
+
+    /// Predicted vulnerability count (back-transformed from log10).
+    pub fn predicted_count(&self, row: &[f64]) -> f64 {
+        10f64.powf(self.count_model.predict(row)).max(0.0)
+    }
+
+    /// Predicted report counts per severity band.
+    pub fn predicted_severity_counts(&self, row: &[f64]) -> Vec<(SeverityBand, f64)> {
+        self.severity_models
+            .iter()
+            .map(|(band, model)| {
+                (*band, (10f64.powf(model.predict(row)) - 1.0).max(0.0))
+            })
+            .collect()
+    }
+
+    /// Evaluate a program end-to-end into a [`crate::SecurityReport`].
+    pub fn evaluate(&self, program: &minilang::ast::Program) -> crate::SecurityReport {
+        crate::metric::evaluate(self, program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    fn corpus() -> &'static Corpus {
+        crate::testutil::shared_corpus()
+    }
+
+    #[test]
+    fn trains_and_reports() {
+        let corpus = corpus();
+        let (model, report) = Trainer::new().train_with_report(corpus);
+        assert!(report.n_apps >= 20);
+        assert!(report.n_features >= 70);
+        assert_eq!(model.feature_names.len(), report.n_features);
+        // The degenerate/trained split covers the whole battery.
+        assert_eq!(report.hypothesis_reports.len(), standard_battery().len());
+        // At least a few hypotheses are non-degenerate on a 10-app corpus.
+        let trained = report.hypothesis_reports.iter().filter(|h| h.report.is_some()).count();
+        assert!(trained >= 3, "only {trained} hypotheses trainable");
+    }
+
+    #[test]
+    fn prediction_is_finite_and_positive() {
+        let corpus = corpus();
+        let model = Trainer::new().train(corpus);
+        let fv = Testbed::new().extract(&corpus.apps[0].program);
+        let row = model.prepare_row(&fv);
+        let count = model.predicted_count(&row);
+        assert!(count.is_finite() && count >= 0.0);
+        for (_, p) in model.all_hypotheses(&row) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn feature_selection_reduces_width() {
+        let corpus = corpus();
+        let trainer = Trainer::with_config(TrainerConfig {
+            top_k_features: Some(10),
+            ..Default::default()
+        });
+        let (model, report) = trainer.train_with_report(corpus);
+        assert_eq!(report.n_features, 10);
+        assert_eq!(model.feature_names.len(), 10);
+    }
+
+    #[test]
+    fn prefix_restriction_works() {
+        let corpus = corpus();
+        let trainer = Trainer::with_config(TrainerConfig {
+            feature_prefix: Some("loc.".into()),
+            ..Default::default()
+        });
+        let (model, _) = trainer.train_with_report(corpus);
+        assert!(model.feature_names.iter().all(|n| n.starts_with("loc.")));
+    }
+
+    #[test]
+    fn info_gain_selection_works() {
+        let corpus = corpus();
+        let trainer = Trainer::with_config(TrainerConfig {
+            top_k_features: Some(10),
+            selection_method: SelectionMethod::InfoGainVsHighSeverity,
+            ..Default::default()
+        });
+        let (model, report) = trainer.train_with_report(corpus);
+        assert_eq!(report.n_features, 10);
+        // The two rankings select from the same pool but need not agree.
+        let pearson = Trainer::with_config(TrainerConfig {
+            top_k_features: Some(10),
+            ..Default::default()
+        })
+        .train(corpus);
+        assert_eq!(model.feature_names.len(), pearson.feature_names.len());
+    }
+
+    #[test]
+    fn all_learners_train() {
+        let corpus = corpus();
+        for learner in Learner::ALL {
+            let model = Trainer::with_learner(learner).train(corpus);
+            let fv = Testbed::new().extract(&corpus.apps[0].program);
+            let row = model.prepare_row(&fv);
+            let p = model.hypothesis_probability(Hypothesis::AnyHighSeverity, &row);
+            if let Some(p) = p {
+                assert!((0.0..=1.0).contains(&p), "{learner}: {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn report_display_is_readable() {
+        let corpus = corpus();
+        let (_, report) = Trainer::new().train_with_report(corpus);
+        let text = report.to_string();
+        assert!(text.contains("count regression"));
+        assert!(text.contains("cvss_gt_7") || text.contains("degenerate"));
+    }
+}

@@ -1,0 +1,284 @@
+//! The Figure 1 substrate: a synthetic proceedings corpus and the
+//! evaluation-method survey classifier.
+//!
+//! Figure 1 of the paper counts, across CCS/PLDI/SOSP/ASPLOS/EuroSys
+//! proceedings, how many papers evaluate security via lines of code (384),
+//! via CVE-report counts (116), and via formal verification (31). We cannot
+//! ship those proceedings, so this module generates a synthetic paper
+//! corpus with known per-venue rates calibrated to the published totals,
+//! and a text classifier that re-derives the counts the way the authors'
+//! survey did — by scanning evaluation sections for indicator phrases.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The five venues the paper surveys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Venue {
+    Ccs,
+    Pldi,
+    Sosp,
+    Asplos,
+    Eurosys,
+}
+
+impl Venue {
+    pub const ALL: [Venue; 5] = [Venue::Ccs, Venue::Pldi, Venue::Sosp, Venue::Asplos, Venue::Eurosys];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Venue::Ccs => "CCS",
+            Venue::Pldi => "PLDI",
+            Venue::Sosp => "SOSP",
+            Venue::Asplos => "ASPLOS",
+            Venue::Eurosys => "EuroSys",
+        }
+    }
+
+    /// Papers in the surveyed window, and the per-venue counts using each
+    /// evaluation method `(papers, loc, cve, verified)`. The venue split is
+    /// synthetic; the totals match the paper's Figure 1: 384 / 116 / 31.
+    fn profile(self) -> (usize, usize, usize, usize) {
+        match self {
+            Venue::Ccs => (620, 120, 60, 8),
+            Venue::Pldi => (240, 30, 6, 9),
+            Venue::Sosp => (180, 60, 14, 7),
+            Venue::Asplos => (300, 84, 16, 3),
+            Venue::Eurosys => (200, 90, 20, 4),
+        }
+    }
+}
+
+/// Which evaluation methods a paper uses (a paper can use several).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvalMethods {
+    pub lines_of_code: bool,
+    pub cve_counts: bool,
+    pub formal_verification: bool,
+}
+
+/// One synthetic paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurveyPaper {
+    pub venue: Venue,
+    pub title: String,
+    /// The evaluation-section prose the classifier scans.
+    pub evaluation_text: String,
+    /// Ground truth for classifier validation.
+    pub truth: EvalMethods,
+}
+
+const LOC_SENTENCES: &[&str] = &[
+    "Our trusted computing base is only 4,200 lines of code, an order of magnitude smaller than the baseline.",
+    "We reduce the TCB size from 310 kLoC to 12 kLoC.",
+    "The enclave runtime comprises 8,900 lines of code, compared to 1.2 MLoC for the monolithic design.",
+];
+
+const CVE_SENTENCES: &[&str] = &[
+    "Of the 57 CVE reports filed against the daemon since 2010, our design structurally prevents 49.",
+    "We analyzed 112 entries from the CVE database affecting commodity hypervisors.",
+    "The kernel accumulated 23 CVE reports in this subsystem during the study period.",
+];
+
+const FV_SENTENCES: &[&str] = &[
+    "All components are formally verified in Coq against the high-level specification.",
+    "We prove functional correctness with a machine-checked proof in Isabelle/HOL.",
+    "The protocol core is formally verified; the proof comprises 18,000 lines of Coq.",
+];
+
+const FILLER_SENTENCES: &[&str] = &[
+    "Throughput improves by 2.3x on the YCSB workloads.",
+    "We evaluate on a 32-node cluster with 100 GbE interconnect.",
+    "Median latency drops from 840 us to 170 us under contention.",
+    "The prototype supports unmodified POSIX applications.",
+    "Cache miss rates fall by 41 percent on the graph workloads.",
+];
+
+const TITLE_STEMS: &[&str] = &[
+    "Efficient Isolation for", "Rethinking", "A Verified Stack for", "Scalable", "Practical",
+    "Fast and Safe", "Transparent", "Lightweight",
+];
+
+const TITLE_TOPICS: &[&str] = &[
+    "Serverless Runtimes", "Kernel Extensions", "Distributed Snapshots", "Memory Tiering",
+    "Enclave Computing", "Network Functions", "File Systems", "Browser Sandboxes",
+];
+
+/// Generate the proceedings corpus, calibrated to the Figure 1 totals.
+pub fn generate_proceedings(seed: u64) -> Vec<SurveyPaper> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut papers = Vec::new();
+    for venue in Venue::ALL {
+        let (total, loc, cve, fv) = venue.profile();
+        // Method flags per paper index: the first `loc` get LoC, an
+        // overlapping window gets CVE, a further window gets FV; shuffle at
+        // the end so ordering carries no signal.
+        for i in 0..total {
+            let truth = EvalMethods {
+                lines_of_code: i < loc,
+                // CVE users overlap the LoC users by half, as real security
+                // evaluations often cite both.
+                cve_counts: i >= loc / 2 && i < loc / 2 + cve,
+                formal_verification: i >= total - fv,
+            };
+            let mut sentences: Vec<&str> = Vec::new();
+            if truth.lines_of_code {
+                sentences.push(LOC_SENTENCES[rng.gen_range(0..LOC_SENTENCES.len())]);
+            }
+            if truth.cve_counts {
+                sentences.push(CVE_SENTENCES[rng.gen_range(0..CVE_SENTENCES.len())]);
+            }
+            if truth.formal_verification {
+                sentences.push(FV_SENTENCES[rng.gen_range(0..FV_SENTENCES.len())]);
+            }
+            for _ in 0..rng.gen_range(2..5) {
+                sentences.push(FILLER_SENTENCES[rng.gen_range(0..FILLER_SENTENCES.len())]);
+            }
+            // Mild shuffle of sentence order.
+            for k in (1..sentences.len()).rev() {
+                let j = rng.gen_range(0..=k);
+                sentences.swap(k, j);
+            }
+            papers.push(SurveyPaper {
+                venue,
+                title: format!(
+                    "{} {} ({})",
+                    TITLE_STEMS[rng.gen_range(0..TITLE_STEMS.len())],
+                    TITLE_TOPICS[rng.gen_range(0..TITLE_TOPICS.len())],
+                    i
+                ),
+                evaluation_text: sentences.join(" "),
+                truth,
+            });
+        }
+    }
+    // Shuffle the whole corpus.
+    for k in (1..papers.len()).rev() {
+        let j = rng.gen_range(0..=k);
+        papers.swap(k, j);
+    }
+    papers
+}
+
+/// Classify one paper's evaluation text by indicator phrases — the survey
+/// methodology of Figure 1.
+pub fn classify(text: &str) -> EvalMethods {
+    let lower = text.to_ascii_lowercase();
+    let has = |needles: &[&str]| needles.iter().any(|n| lower.contains(n));
+    EvalMethods {
+        lines_of_code: has(&["lines of code", "kloc", "mloc", "tcb size", "loc)"]),
+        cve_counts: has(&["cve report", "cve database", "cve-", "entries from the cve"]),
+        formal_verification: has(&[
+            "formally verified",
+            "machine-checked proof",
+            "we prove functional correctness",
+            "verified in coq",
+        ]),
+    }
+}
+
+/// Survey results: per-venue counts per method.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SurveyResult {
+    /// `(venue, loc, cve, verified)` rows in `Venue::ALL` order.
+    pub rows: Vec<(Venue, usize, usize, usize)>,
+}
+
+impl SurveyResult {
+    pub fn total_loc(&self) -> usize {
+        self.rows.iter().map(|r| r.1).sum()
+    }
+
+    pub fn total_cve(&self) -> usize {
+        self.rows.iter().map(|r| r.2).sum()
+    }
+
+    pub fn total_verified(&self) -> usize {
+        self.rows.iter().map(|r| r.3).sum()
+    }
+}
+
+/// Run the classifier over a proceedings corpus.
+pub fn run_survey(papers: &[SurveyPaper]) -> SurveyResult {
+    let mut rows: Vec<(Venue, usize, usize, usize)> =
+        Venue::ALL.iter().map(|&v| (v, 0, 0, 0)).collect();
+    for paper in papers {
+        let methods = classify(&paper.evaluation_text);
+        let row = rows
+            .iter_mut()
+            .find(|(v, ..)| *v == paper.venue)
+            .expect("venue row exists");
+        row.1 += methods.lines_of_code as usize;
+        row.2 += methods.cve_counts as usize;
+        row.3 += methods.formal_verification as usize;
+    }
+    SurveyResult { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_totals_match_figure_1() {
+        let papers = generate_proceedings(1);
+        let truth_loc = papers.iter().filter(|p| p.truth.lines_of_code).count();
+        let truth_cve = papers.iter().filter(|p| p.truth.cve_counts).count();
+        let truth_fv = papers.iter().filter(|p| p.truth.formal_verification).count();
+        assert_eq!(truth_loc, 384);
+        assert_eq!(truth_cve, 116);
+        assert_eq!(truth_fv, 31);
+    }
+
+    #[test]
+    fn classifier_recovers_ground_truth() {
+        let papers = generate_proceedings(2);
+        for p in &papers {
+            let got = classify(&p.evaluation_text);
+            assert_eq!(got, p.truth, "misclassified: {}", p.evaluation_text);
+        }
+    }
+
+    #[test]
+    fn survey_counts_match_paper() {
+        let papers = generate_proceedings(3);
+        let result = run_survey(&papers);
+        assert_eq!(result.total_loc(), 384);
+        assert_eq!(result.total_cve(), 116);
+        assert_eq!(result.total_verified(), 31);
+        assert_eq!(result.rows.len(), 5);
+    }
+
+    #[test]
+    fn loc_dominates_in_every_systems_venue() {
+        let papers = generate_proceedings(4);
+        let result = run_survey(&papers);
+        for (venue, loc, cve, fv) in &result.rows {
+            if *venue != Venue::Pldi {
+                assert!(loc > cve, "{}: {loc} vs {cve}", venue.name());
+            }
+            assert!(loc + cve > *fv, "{}", venue.name());
+        }
+    }
+
+    #[test]
+    fn classifier_handles_negatives() {
+        let m = classify("Throughput improves by 2x; we evaluate on a 32-node cluster.");
+        assert_eq!(m, EvalMethods::default());
+        // A clock-related sentence must not trip the LoC matcher.
+        let m = classify("The clock synchronization protocol has low overhead.");
+        assert!(!m.lines_of_code);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate_proceedings(9), generate_proceedings(9));
+        assert_ne!(generate_proceedings(9), generate_proceedings(10));
+    }
+
+    #[test]
+    fn venue_names() {
+        let names: Vec<&str> = Venue::ALL.iter().map(|v| v.name()).collect();
+        assert_eq!(names, vec!["CCS", "PLDI", "SOSP", "ASPLOS", "EuroSys"]);
+    }
+}

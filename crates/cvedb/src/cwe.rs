@@ -1,0 +1,257 @@
+//! Common Weakness Enumeration subset.
+//!
+//! The paper's classification hypotheses are CWE-indexed ("Does an
+//! application suffer any stack-based buffer overflow (i.e., CWE = 121)?").
+//! This module carries the weakness classes the corpus can seed and the
+//! testbed's checkers can detect.
+
+use std::fmt;
+
+/// The weakness classes modelled by the framework.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Cwe {
+    /// CWE-20: Improper Input Validation.
+    ImproperInputValidation,
+    /// CWE-22: Path Traversal.
+    PathTraversal,
+    /// CWE-78: OS Command Injection.
+    CommandInjection,
+    /// CWE-79: Cross-site Scripting (substituted by tainted `send` output).
+    CrossSiteScripting,
+    /// CWE-89: SQL Injection (substituted by tainted query strings).
+    SqlInjection,
+    /// CWE-121: Stack-based Buffer Overflow — the paper's worked example.
+    StackBufferOverflow,
+    /// CWE-122: Heap-based Buffer Overflow.
+    HeapBufferOverflow,
+    /// CWE-134: Use of Externally-Controlled Format String.
+    FormatString,
+    /// CWE-190: Integer Overflow or Wraparound.
+    IntegerOverflow,
+    /// CWE-200: Exposure of Sensitive Information.
+    InfoExposure,
+    /// CWE-287: Improper Authentication.
+    ImproperAuthentication,
+    /// CWE-306: Missing Authentication for Critical Function.
+    MissingAuthentication,
+    /// CWE-367: Time-of-check Time-of-use (TOCTOU) Race Condition.
+    Toctou,
+    /// CWE-401: Memory Leak (missing release).
+    MemoryLeak,
+    /// CWE-416: Use After Free.
+    UseAfterFree,
+    /// CWE-457: Use of Uninitialized Variable.
+    UninitializedVariable,
+    /// CWE-476: NULL Pointer Dereference.
+    NullDereference,
+    /// CWE-798: Use of Hard-coded Credentials.
+    HardcodedCredentials,
+}
+
+/// Coarse weakness categories, used for per-category hypotheses and for the
+/// corpus seeding priors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CweCategory {
+    MemorySafety,
+    Injection,
+    InputValidation,
+    Authentication,
+    ResourceManagement,
+    InformationLeak,
+    Concurrency,
+}
+
+impl Cwe {
+    /// All modelled weaknesses.
+    pub const ALL: [Cwe; 18] = [
+        Cwe::ImproperInputValidation,
+        Cwe::PathTraversal,
+        Cwe::CommandInjection,
+        Cwe::CrossSiteScripting,
+        Cwe::SqlInjection,
+        Cwe::StackBufferOverflow,
+        Cwe::HeapBufferOverflow,
+        Cwe::FormatString,
+        Cwe::IntegerOverflow,
+        Cwe::InfoExposure,
+        Cwe::ImproperAuthentication,
+        Cwe::MissingAuthentication,
+        Cwe::Toctou,
+        Cwe::MemoryLeak,
+        Cwe::UseAfterFree,
+        Cwe::UninitializedVariable,
+        Cwe::NullDereference,
+        Cwe::HardcodedCredentials,
+    ];
+
+    /// The numeric CWE id.
+    pub fn id(self) -> u32 {
+        match self {
+            Cwe::ImproperInputValidation => 20,
+            Cwe::PathTraversal => 22,
+            Cwe::CommandInjection => 78,
+            Cwe::CrossSiteScripting => 79,
+            Cwe::SqlInjection => 89,
+            Cwe::StackBufferOverflow => 121,
+            Cwe::HeapBufferOverflow => 122,
+            Cwe::FormatString => 134,
+            Cwe::IntegerOverflow => 190,
+            Cwe::InfoExposure => 200,
+            Cwe::ImproperAuthentication => 287,
+            Cwe::MissingAuthentication => 306,
+            Cwe::Toctou => 367,
+            Cwe::MemoryLeak => 401,
+            Cwe::UseAfterFree => 416,
+            Cwe::UninitializedVariable => 457,
+            Cwe::NullDereference => 476,
+            Cwe::HardcodedCredentials => 798,
+        }
+    }
+
+    /// Lookup by numeric id.
+    pub fn from_id(id: u32) -> Option<Cwe> {
+        Cwe::ALL.iter().copied().find(|c| c.id() == id)
+    }
+
+    /// Official short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Cwe::ImproperInputValidation => "Improper Input Validation",
+            Cwe::PathTraversal => "Path Traversal",
+            Cwe::CommandInjection => "OS Command Injection",
+            Cwe::CrossSiteScripting => "Cross-site Scripting",
+            Cwe::SqlInjection => "SQL Injection",
+            Cwe::StackBufferOverflow => "Stack-based Buffer Overflow",
+            Cwe::HeapBufferOverflow => "Heap-based Buffer Overflow",
+            Cwe::FormatString => "Use of Externally-Controlled Format String",
+            Cwe::IntegerOverflow => "Integer Overflow or Wraparound",
+            Cwe::InfoExposure => "Exposure of Sensitive Information",
+            Cwe::ImproperAuthentication => "Improper Authentication",
+            Cwe::MissingAuthentication => "Missing Authentication for Critical Function",
+            Cwe::Toctou => "Time-of-check Time-of-use Race Condition",
+            Cwe::MemoryLeak => "Missing Release of Memory",
+            Cwe::UseAfterFree => "Use After Free",
+            Cwe::UninitializedVariable => "Use of Uninitialized Variable",
+            Cwe::NullDereference => "NULL Pointer Dereference",
+            Cwe::HardcodedCredentials => "Use of Hard-coded Credentials",
+        }
+    }
+
+    /// The coarse category.
+    pub fn category(self) -> CweCategory {
+        match self {
+            Cwe::StackBufferOverflow
+            | Cwe::HeapBufferOverflow
+            | Cwe::UseAfterFree
+            | Cwe::NullDereference
+            | Cwe::UninitializedVariable
+            | Cwe::IntegerOverflow => CweCategory::MemorySafety,
+            Cwe::CommandInjection | Cwe::SqlInjection | Cwe::CrossSiteScripting
+            | Cwe::FormatString => CweCategory::Injection,
+            Cwe::ImproperInputValidation | Cwe::PathTraversal => CweCategory::InputValidation,
+            Cwe::ImproperAuthentication
+            | Cwe::MissingAuthentication
+            | Cwe::HardcodedCredentials => CweCategory::Authentication,
+            Cwe::MemoryLeak => CweCategory::ResourceManagement,
+            Cwe::InfoExposure => CweCategory::InformationLeak,
+            Cwe::Toctou => CweCategory::Concurrency,
+        }
+    }
+
+    /// Whether this weakness can occur in a memory-safe language — the
+    /// corpus only seeds memory-corruption classes into C/C++ applications,
+    /// mirroring the paper's "pointer errors are precluded by higher-level
+    /// languages" observation.
+    pub fn requires_memory_unsafety(self) -> bool {
+        matches!(
+            self,
+            Cwe::StackBufferOverflow
+                | Cwe::HeapBufferOverflow
+                | Cwe::UseAfterFree
+                | Cwe::NullDereference
+                | Cwe::UninitializedVariable
+        )
+    }
+}
+
+impl fmt::Display for Cwe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CWE-{}", self.id())
+    }
+}
+
+impl CweCategory {
+    pub const ALL: [CweCategory; 7] = [
+        CweCategory::MemorySafety,
+        CweCategory::Injection,
+        CweCategory::InputValidation,
+        CweCategory::Authentication,
+        CweCategory::ResourceManagement,
+        CweCategory::InformationLeak,
+        CweCategory::Concurrency,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            CweCategory::MemorySafety => "memory-safety",
+            CweCategory::Injection => "injection",
+            CweCategory::InputValidation => "input-validation",
+            CweCategory::Authentication => "authentication",
+            CweCategory::ResourceManagement => "resource-management",
+            CweCategory::InformationLeak => "information-leak",
+            CweCategory::Concurrency => "concurrency",
+        }
+    }
+}
+
+impl fmt::Display for CweCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip() {
+        for c in Cwe::ALL {
+            assert_eq!(Cwe::from_id(c.id()), Some(c));
+        }
+        assert_eq!(Cwe::from_id(99999), None);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids: Vec<u32> = Cwe::ALL.iter().map(|c| c.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), Cwe::ALL.len());
+    }
+
+    #[test]
+    fn papers_worked_example_is_cwe_121() {
+        assert_eq!(Cwe::StackBufferOverflow.id(), 121);
+        assert_eq!(Cwe::StackBufferOverflow.to_string(), "CWE-121");
+        assert_eq!(Cwe::StackBufferOverflow.category(), CweCategory::MemorySafety);
+        assert!(Cwe::StackBufferOverflow.requires_memory_unsafety());
+    }
+
+    #[test]
+    fn injection_classes_are_language_agnostic() {
+        assert!(!Cwe::CommandInjection.requires_memory_unsafety());
+        assert!(!Cwe::FormatString.requires_memory_unsafety());
+        assert!(!Cwe::HardcodedCredentials.requires_memory_unsafety());
+    }
+
+    #[test]
+    fn every_category_is_populated() {
+        for cat in CweCategory::ALL {
+            assert!(
+                Cwe::ALL.iter().any(|c| c.category() == cat),
+                "category {cat} has no weaknesses"
+            );
+        }
+    }
+}

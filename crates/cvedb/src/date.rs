@@ -1,0 +1,124 @@
+//! A minimal calendar date.
+//!
+//! The selection rule of §5.1 only needs year-resolution arithmetic ("at
+//! least a 5-year history": newest report minus oldest report), so a simple
+//! `(year, month, day)` triple with day-count conversion suffices — no
+//! external date crate.
+
+use std::fmt;
+
+/// A calendar date (proleptic Gregorian, validity-checked on construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    pub year: i32,
+    pub month: u8,
+    pub day: u8,
+}
+
+impl Date {
+    /// Construct a date; returns `None` for out-of-range components.
+    pub fn new(year: i32, month: u8, day: u8) -> Option<Date> {
+        if !(1..=12).contains(&month) {
+            return None;
+        }
+        if day == 0 || day > days_in_month(year, month) {
+            return None;
+        }
+        Some(Date { year, month, day })
+    }
+
+    /// Days since 0000-03-01 (a civil-calendar epoch that keeps leap-day
+    /// handling simple; only differences matter here).
+    pub fn day_number(&self) -> i64 {
+        // Howard Hinnant's days_from_civil algorithm.
+        let y = self.year as i64 - (self.month <= 2) as i64;
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400;
+        let m = self.month as i64;
+        let d = self.day as i64;
+        let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1;
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+        era * 146_097 + doe
+    }
+
+    /// Whole days from `self` to `other` (positive when `other` is later).
+    pub fn days_until(&self, other: &Date) -> i64 {
+        other.day_number() - self.day_number()
+    }
+
+    /// Fractional years from `self` to `other`.
+    pub fn years_until(&self, other: &Date) -> f64 {
+        self.days_until(other) as f64 / 365.25
+    }
+}
+
+fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if (year % 4 == 0 && year % 100 != 0) || year % 400 == 0 {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Date::new(2017, 4, 30).is_some());
+        assert!(Date::new(2017, 13, 1).is_none());
+        assert!(Date::new(2017, 0, 1).is_none());
+        assert!(Date::new(2017, 2, 29).is_none()); // not a leap year
+        assert!(Date::new(2016, 2, 29).is_some()); // leap year
+        assert!(Date::new(2000, 2, 29).is_some()); // 400-rule leap year
+        assert!(Date::new(1900, 2, 29).is_none()); // 100-rule non-leap
+        assert!(Date::new(2017, 4, 31).is_none());
+    }
+
+    #[test]
+    fn day_differences() {
+        let a = Date::new(2017, 1, 1).unwrap();
+        let b = Date::new(2017, 1, 2).unwrap();
+        assert_eq!(a.days_until(&b), 1);
+        assert_eq!(b.days_until(&a), -1);
+        let y2016 = Date::new(2016, 1, 1).unwrap();
+        let y2017 = Date::new(2017, 1, 1).unwrap();
+        assert_eq!(y2016.days_until(&y2017), 366); // 2016 is a leap year
+    }
+
+    #[test]
+    fn years_until_fractional() {
+        let a = Date::new(2010, 6, 15).unwrap();
+        let b = Date::new(2015, 6, 15).unwrap();
+        let y = a.years_until(&b);
+        assert!((y - 5.0).abs() < 0.01, "{y}");
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        let early = Date::new(2012, 5, 1).unwrap();
+        let later = Date::new(2012, 5, 2).unwrap();
+        let much_later = Date::new(2013, 1, 1).unwrap();
+        assert!(early < later);
+        assert!(later < much_later);
+    }
+
+    #[test]
+    fn display_iso() {
+        assert_eq!(Date::new(2017, 4, 9).unwrap().to_string(), "2017-04-09");
+    }
+}

@@ -1,0 +1,29 @@
+//! CVE database substrate.
+//!
+//! §5.1 of the paper: *"We propose to collect the past vulnerabilities from
+//! the CVE (Common Vulnerabilities and Exposures) database. … Our study will
+//! focus on open-source applications which have at least a 5-year history in
+//! the CVE database."* This crate models that database offline:
+//!
+//! * [`cwe`] — a working subset of the Common Weakness Enumeration
+//!   taxonomy (ids, names, categories, per-language applicability);
+//! * [`record`] — CVE records with ids, dates, CWE classification, and
+//!   CVSS v3 / v2 vectors;
+//! * [`store`] — the queryable database: per-application history, severity
+//!   and classification aggregation, and the paper's selection rules
+//!   (≥ 5-year history, converging report rate);
+//! * [`date`] — a minimal calendar date (no external chrono dependency).
+//!
+//! The records themselves are synthesized by the `corpus` crate; this crate
+//! is only the storage/query layer, mirroring the role the real CVE/NVD
+//! export plays for the paper.
+
+pub mod cwe;
+pub mod date;
+pub mod record;
+pub mod store;
+
+pub use cwe::{Cwe, CweCategory};
+pub use date::Date;
+pub use record::{CveId, CveRecord};
+pub use store::{AppHistory, CveDatabase, SelectionCriteria};

@@ -1,0 +1,174 @@
+//! CVE records.
+
+use crate::cwe::Cwe;
+use crate::date::Date;
+use cvss::{Cvss2, Cvss3, Severity};
+use std::fmt;
+use std::str::FromStr;
+
+/// A CVE identifier, e.g. `CVE-2016-10142`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CveId {
+    pub year: i32,
+    pub number: u32,
+}
+
+impl CveId {
+    pub fn new(year: i32, number: u32) -> CveId {
+        CveId { year, number }
+    }
+}
+
+impl fmt::Display for CveId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CVE-{}-{:04}", self.year, self.number)
+    }
+}
+
+/// Error parsing a CVE identifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCveIdError(pub String);
+
+impl fmt::Display for ParseCveIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid CVE id: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseCveIdError {}
+
+impl FromStr for CveId {
+    type Err = ParseCveIdError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseCveIdError(s.to_string());
+        let rest = s.strip_prefix("CVE-").ok_or_else(err)?;
+        let (year, number) = rest.split_once('-').ok_or_else(err)?;
+        Ok(CveId {
+            year: year.parse().map_err(|_| err())?,
+            number: number.parse().map_err(|_| err())?,
+        })
+    }
+}
+
+/// One vulnerability report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CveRecord {
+    pub id: CveId,
+    /// Name of the affected application.
+    pub app: String,
+    /// Publication date.
+    pub published: Date,
+    /// Weakness classification.
+    pub cwe: Cwe,
+    /// CVSS v3.0 vector (records from 2016 onward, as in NVD).
+    pub cvss3: Option<Cvss3>,
+    /// CVSS v2 vector (all records carry one in NVD's export).
+    pub cvss2: Option<Cvss2>,
+    /// Free-text description.
+    pub description: String,
+}
+
+impl CveRecord {
+    /// The effective numeric score: v3 when present, else v2, else 0.
+    pub fn score(&self) -> f64 {
+        match (&self.cvss3, &self.cvss2) {
+            (Some(v3), _) => v3.base_score(),
+            (None, Some(v2)) => v2.base_score(),
+            (None, None) => 0.0,
+        }
+    }
+
+    /// Severity band of the effective score.
+    pub fn severity(&self) -> Severity {
+        Severity::from_score(self.score())
+    }
+
+    /// The paper's H1 label contribution: CVSS > 7.
+    pub fn is_high_severity(&self) -> bool {
+        self.score() > 7.0
+    }
+
+    /// The paper's H2 label contribution: attack vector = network.
+    pub fn is_network_attackable(&self) -> bool {
+        match (&self.cvss3, &self.cvss2) {
+            (Some(v3), _) => v3.is_network_attackable(),
+            (None, Some(v2)) => v2.av == cvss::v2::AccessVector::Network,
+            (None, None) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvss::v3::{
+        AttackComplexity, AttackVector, Impact, PrivilegesRequired, Scope, UserInteraction,
+    };
+
+    fn record(cvss3: Option<Cvss3>, cvss2: Option<Cvss2>) -> CveRecord {
+        CveRecord {
+            id: CveId::new(2016, 1234),
+            app: "httpd".into(),
+            published: Date::new(2016, 7, 1).unwrap(),
+            cwe: Cwe::StackBufferOverflow,
+            cvss3,
+            cvss2,
+            description: "test".into(),
+        }
+    }
+
+    #[test]
+    fn cve_id_parse_and_display() {
+        let id: CveId = "CVE-2016-10142".parse().unwrap();
+        assert_eq!(id, CveId::new(2016, 10142));
+        assert_eq!(id.to_string(), "CVE-2016-10142");
+        assert_eq!(CveId::new(2016, 7).to_string(), "CVE-2016-0007");
+        assert!("CVE-xx-1".parse::<CveId>().is_err());
+        assert!("2016-10142".parse::<CveId>().is_err());
+    }
+
+    #[test]
+    fn score_prefers_v3() {
+        let v3 = Cvss3::base(
+            AttackVector::Network,
+            AttackComplexity::Low,
+            PrivilegesRequired::None,
+            UserInteraction::None,
+            Scope::Unchanged,
+            Impact::High,
+            Impact::High,
+            Impact::High,
+        );
+        let v2: Cvss2 = "AV:L/AC:H/Au:M/C:P/I:N/A:N".parse().unwrap();
+        let r = record(Some(v3), Some(v2));
+        assert_eq!(r.score(), 9.8);
+        assert!(r.is_high_severity());
+        assert!(r.is_network_attackable());
+    }
+
+    #[test]
+    fn falls_back_to_v2() {
+        let v2: Cvss2 = "AV:N/AC:L/Au:N/C:C/I:C/A:C".parse().unwrap();
+        let r = record(None, Some(v2));
+        assert_eq!(r.score(), 10.0);
+        assert!(r.is_network_attackable());
+    }
+
+    #[test]
+    fn no_vector_scores_zero() {
+        let r = record(None, None);
+        assert_eq!(r.score(), 0.0);
+        assert!(!r.is_high_severity());
+        assert!(!r.is_network_attackable());
+        assert_eq!(r.severity(), cvss::Severity::None);
+    }
+
+    #[test]
+    fn ids_order_chronologically_then_numerically() {
+        let a = CveId::new(2015, 9999);
+        let b = CveId::new(2016, 1);
+        let c = CveId::new(2016, 2);
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,313 @@
+//! The queryable CVE store and the paper's application-selection rules.
+
+use crate::cwe::{Cwe, CweCategory};
+use crate::date::Date;
+use crate::record::CveRecord;
+use cvss::Severity;
+use std::collections::BTreeMap;
+
+/// The paper's §5.1 selection criteria.
+#[derive(Debug, Clone, Copy)]
+pub struct SelectionCriteria {
+    /// Minimum span between the oldest and newest report ("at least a
+    /// 5-year history in the CVE database").
+    pub min_history_years: f64,
+    /// Minimum total reports (degenerate one-report histories have no
+    /// meaningful span).
+    pub min_reports: usize,
+    /// "Converging history": the report rate over the most recent
+    /// `recent_window_years` must not exceed `max_recent_rate_ratio` times
+    /// the application's lifetime average rate — applications still in a
+    /// vulnerability-discovery boom are excluded as unstable ground truth.
+    pub recent_window_years: f64,
+    pub max_recent_rate_ratio: f64,
+}
+
+impl Default for SelectionCriteria {
+    fn default() -> Self {
+        SelectionCriteria {
+            min_history_years: 5.0,
+            min_reports: 2,
+            recent_window_years: 2.0,
+            max_recent_rate_ratio: 2.0,
+        }
+    }
+}
+
+/// Aggregated view of one application's vulnerability history — the label
+/// source for every hypothesis in the training phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppHistory {
+    pub app: String,
+    pub total: usize,
+    pub oldest: Date,
+    pub newest: Date,
+    pub high_severity: usize,
+    pub network_attackable: usize,
+    pub by_severity: BTreeMap<Severity, usize>,
+    pub by_cwe: BTreeMap<Cwe, usize>,
+    pub by_category: BTreeMap<CweCategory, usize>,
+    pub max_score: f64,
+    pub mean_score: f64,
+}
+
+impl AppHistory {
+    /// Years between the oldest and newest report.
+    pub fn span_years(&self) -> f64 {
+        self.oldest.years_until(&self.newest)
+    }
+
+    /// Count of reports classified under `cwe`.
+    pub fn cwe_count(&self, cwe: Cwe) -> usize {
+        self.by_cwe.get(&cwe).copied().unwrap_or(0)
+    }
+
+    /// Count of reports in a weakness category.
+    pub fn category_count(&self, cat: CweCategory) -> usize {
+        self.by_category.get(&cat).copied().unwrap_or(0)
+    }
+}
+
+/// An in-memory CVE database with per-application indexes.
+#[derive(Debug, Clone, Default)]
+pub struct CveDatabase {
+    records: Vec<CveRecord>,
+    by_app: BTreeMap<String, Vec<usize>>,
+}
+
+impl CveDatabase {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert one record.
+    pub fn insert(&mut self, record: CveRecord) {
+        let idx = self.records.len();
+        self.by_app.entry(record.app.clone()).or_default().push(idx);
+        self.records.push(record);
+    }
+
+    /// Total records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records, unordered.
+    pub fn records(&self) -> &[CveRecord] {
+        &self.records
+    }
+
+    /// Application names with at least one record.
+    pub fn apps(&self) -> impl Iterator<Item = &str> {
+        self.by_app.keys().map(|s| s.as_str())
+    }
+
+    /// Records for one application, in publication order.
+    pub fn records_for(&self, app: &str) -> Vec<&CveRecord> {
+        let mut out: Vec<&CveRecord> = self
+            .by_app
+            .get(app)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.records[i])
+            .collect();
+        out.sort_by_key(|r| (r.published, r.id));
+        out
+    }
+
+    /// Aggregate one application's history (None when it has no records).
+    pub fn history(&self, app: &str) -> Option<AppHistory> {
+        let records = self.records_for(app);
+        if records.is_empty() {
+            return None;
+        }
+        let mut h = AppHistory {
+            app: app.to_string(),
+            total: records.len(),
+            oldest: records[0].published,
+            newest: records[records.len() - 1].published,
+            high_severity: 0,
+            network_attackable: 0,
+            by_severity: BTreeMap::new(),
+            by_cwe: BTreeMap::new(),
+            by_category: BTreeMap::new(),
+            max_score: 0.0,
+            mean_score: 0.0,
+        };
+        let mut score_sum = 0.0;
+        for r in &records {
+            let score = r.score();
+            score_sum += score;
+            h.max_score = h.max_score.max(score);
+            h.high_severity += r.is_high_severity() as usize;
+            h.network_attackable += r.is_network_attackable() as usize;
+            *h.by_severity.entry(r.severity()).or_insert(0) += 1;
+            *h.by_cwe.entry(r.cwe).or_insert(0) += 1;
+            *h.by_category.entry(r.cwe.category()).or_insert(0) += 1;
+        }
+        h.mean_score = score_sum / records.len() as f64;
+        Some(h)
+    }
+
+    /// Apply the paper's selection: applications with a sufficiently long,
+    /// converging history. Returns histories sorted by application name.
+    pub fn select(&self, criteria: &SelectionCriteria) -> Vec<AppHistory> {
+        let mut out = Vec::new();
+        for app in self.by_app.keys() {
+            let Some(h) = self.history(app) else { continue };
+            if h.total < criteria.min_reports {
+                continue;
+            }
+            if h.span_years() < criteria.min_history_years {
+                continue;
+            }
+            // Converging history: recent report rate vs lifetime rate.
+            let span = h.span_years().max(0.1);
+            let lifetime_rate = h.total as f64 / span;
+            let records = self.records_for(app);
+            let cutoff_days = (criteria.recent_window_years * 365.25) as i64;
+            let recent = records
+                .iter()
+                .filter(|r| r.published.days_until(&h.newest) < cutoff_days)
+                .count();
+            let recent_rate = recent as f64 / criteria.recent_window_years;
+            // Small-sample guard: with few reports the newest one always
+            // falls inside the window, which would spuriously reject every
+            // low-count history. A boom needs at least 3 recent reports.
+            if recent >= 3 && recent_rate > criteria.max_recent_rate_ratio * lifetime_rate {
+                continue;
+            }
+            out.push(h);
+        }
+        out
+    }
+
+    /// Count of records per publication year — used to render the dataset
+    /// card (TAB-A).
+    pub fn counts_by_year(&self) -> BTreeMap<i32, usize> {
+        let mut out = BTreeMap::new();
+        for r in &self.records {
+            *out.entry(r.published.year).or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::CveId;
+    use cvss::Cvss3;
+
+    fn rec(app: &str, year: i32, month: u8, n: u32, vector: &str, cwe: Cwe) -> CveRecord {
+        CveRecord {
+            id: CveId::new(year, n),
+            app: app.to_string(),
+            published: Date::new(year, month, 1).unwrap(),
+            cwe,
+            cvss3: Some(vector.parse::<Cvss3>().unwrap()),
+            cvss2: None,
+            description: String::new(),
+        }
+    }
+
+    const CRIT: &str = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"; // 9.8
+    const MED: &str = "CVSS:3.0/AV:L/AC:H/PR:L/UI:N/S:U/C:L/I:L/A:N"; // ~4.x
+    const LOCAL_HIGH: &str = "CVSS:3.0/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H"; // 7.8
+
+    fn sample_db() -> CveDatabase {
+        let mut db = CveDatabase::new();
+        // httpd: 2010–2016 history, mixed severities.
+        db.insert(rec("httpd", 2010, 1, 1, CRIT, Cwe::StackBufferOverflow));
+        db.insert(rec("httpd", 2012, 6, 2, MED, Cwe::ImproperInputValidation));
+        db.insert(rec("httpd", 2014, 3, 3, LOCAL_HIGH, Cwe::Toctou));
+        db.insert(rec("httpd", 2016, 9, 4, CRIT, Cwe::FormatString));
+        // libtiny: short 1-year history — excluded by the 5-year rule.
+        db.insert(rec("libtiny", 2015, 1, 5, MED, Cwe::InfoExposure));
+        db.insert(rec("libtiny", 2016, 1, 6, MED, Cwe::InfoExposure));
+        // booming: 6-year span but all reports in the last year — excluded
+        // as non-converging.
+        db.insert(rec("booming", 2010, 1, 7, MED, Cwe::InfoExposure));
+        for n in 8..20 {
+            db.insert(rec("booming", 2016, 6, n, MED, Cwe::InfoExposure));
+        }
+        db
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let db = sample_db();
+        assert_eq!(db.len(), 4 + 2 + 13);
+        assert_eq!(db.apps().count(), 3);
+        let recs = db.records_for("httpd");
+        assert_eq!(recs.len(), 4);
+        // Publication-ordered.
+        assert!(recs.windows(2).all(|w| w[0].published <= w[1].published));
+        assert!(db.records_for("nope").is_empty());
+    }
+
+    #[test]
+    fn history_aggregates() {
+        let db = sample_db();
+        let h = db.history("httpd").unwrap();
+        assert_eq!(h.total, 4);
+        assert_eq!(h.high_severity, 3); // two 9.8s and one 7.8
+        assert_eq!(h.network_attackable, 2);
+        assert_eq!(h.cwe_count(Cwe::StackBufferOverflow), 1);
+        assert_eq!(h.category_count(CweCategory::MemorySafety), 1);
+        assert!(h.span_years() > 6.0);
+        assert_eq!(h.max_score, 9.8);
+        assert!(h.mean_score > 0.0 && h.mean_score < 9.8);
+        assert!(db.history("ghost").is_none());
+    }
+
+    #[test]
+    fn selection_applies_five_year_rule() {
+        let db = sample_db();
+        let selected = db.select(&SelectionCriteria::default());
+        let names: Vec<&str> = selected.iter().map(|h| h.app.as_str()).collect();
+        assert!(names.contains(&"httpd"));
+        assert!(!names.contains(&"libtiny"), "short history must be excluded");
+    }
+
+    #[test]
+    fn selection_excludes_non_converging() {
+        let db = sample_db();
+        let selected = db.select(&SelectionCriteria::default());
+        let names: Vec<&str> = selected.iter().map(|h| h.app.as_str()).collect();
+        assert!(!names.contains(&"booming"), "boom-phase app must be excluded");
+    }
+
+    #[test]
+    fn selection_min_reports() {
+        let mut db = CveDatabase::new();
+        db.insert(rec("single", 2010, 1, 1, CRIT, Cwe::StackBufferOverflow));
+        let selected = db.select(&SelectionCriteria::default());
+        assert!(selected.is_empty());
+    }
+
+    #[test]
+    fn counts_by_year() {
+        let db = sample_db();
+        let by_year = db.counts_by_year();
+        assert_eq!(by_year[&2010], 2);
+        assert_eq!(by_year[&2016], 1 + 1 + 12);
+    }
+
+    #[test]
+    fn relaxed_criteria_admit_more() {
+        let db = sample_db();
+        let relaxed = SelectionCriteria {
+            min_history_years: 0.5,
+            max_recent_rate_ratio: 100.0,
+            ..Default::default()
+        };
+        assert_eq!(db.select(&relaxed).len(), 3);
+    }
+}

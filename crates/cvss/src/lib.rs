@@ -1,0 +1,26 @@
+//! CVSS — Common Vulnerability Scoring System.
+//!
+//! The paper's ground truth (§5.1) is the CVE database, where "for each
+//! vulnerability, its classification, impact, and severity is represented by
+//! a metric called Common Vulnerability Scoring System (CVSS) (the current
+//! version is v3.0)". The hypotheses the model trains on are CVSS-derived:
+//! `CVSS > 7?`, `AV = N?`, per-factor impact questions.
+//!
+//! This crate is a from-scratch, spec-complete implementation of:
+//!
+//! * **CVSS v3.0** base, temporal and environmental scores ([`v3`]),
+//!   validated against worked examples from the FIRST specification and
+//!   published NVD scores;
+//! * **CVSS v2** base scores ([`v2`]) for legacy records;
+//! * vector-string parsing and printing for both, round-trip tested;
+//! * the qualitative severity bands ([`severity`]).
+
+pub mod severity;
+pub mod v2;
+pub mod v3;
+
+pub use severity::Severity;
+pub use v2::Cvss2;
+pub use v3::{
+    AttackComplexity, AttackVector, Cvss3, Impact, PrivilegesRequired, Scope, UserInteraction,
+};

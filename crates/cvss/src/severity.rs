@@ -1,0 +1,98 @@
+//! Qualitative severity rating scale (CVSS v3.0 §5).
+
+use std::fmt;
+
+/// The five qualitative severity bands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Score 0.0.
+    None,
+    /// Score 0.1 – 3.9.
+    Low,
+    /// Score 4.0 – 6.9.
+    Medium,
+    /// Score 7.0 – 8.9.
+    High,
+    /// Score 9.0 – 10.0.
+    Critical,
+}
+
+impl Severity {
+    /// Classify a CVSS score (scores are clamped into `[0, 10]` first).
+    pub fn from_score(score: f64) -> Severity {
+        let s = score.clamp(0.0, 10.0);
+        if s < 0.05 {
+            Severity::None
+        } else if s < 3.95 {
+            Severity::Low
+        } else if s < 6.95 {
+            Severity::Medium
+        } else if s < 8.95 {
+            Severity::High
+        } else {
+            Severity::Critical
+        }
+    }
+
+    /// Name as printed by NVD.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::None => "NONE",
+            Severity::Low => "LOW",
+            Severity::Medium => "MEDIUM",
+            Severity::High => "HIGH",
+            Severity::Critical => "CRITICAL",
+        }
+    }
+
+    /// The paper's headline hypothesis: "how many high-severity
+    /// vulnerabilities exist in an application (i.e., CVSS > 7)?"
+    pub fn is_high_or_critical(self) -> bool {
+        matches!(self, Severity::High | Severity::Critical)
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_boundaries() {
+        assert_eq!(Severity::from_score(0.0), Severity::None);
+        assert_eq!(Severity::from_score(0.1), Severity::Low);
+        assert_eq!(Severity::from_score(3.9), Severity::Low);
+        assert_eq!(Severity::from_score(4.0), Severity::Medium);
+        assert_eq!(Severity::from_score(6.9), Severity::Medium);
+        assert_eq!(Severity::from_score(7.0), Severity::High);
+        assert_eq!(Severity::from_score(8.9), Severity::High);
+        assert_eq!(Severity::from_score(9.0), Severity::Critical);
+        assert_eq!(Severity::from_score(10.0), Severity::Critical);
+    }
+
+    #[test]
+    fn out_of_range_scores_clamped() {
+        assert_eq!(Severity::from_score(-1.0), Severity::None);
+        assert_eq!(Severity::from_score(11.0), Severity::Critical);
+    }
+
+    #[test]
+    fn ordering_matches_badness() {
+        assert!(Severity::Critical > Severity::High);
+        assert!(Severity::High > Severity::Medium);
+        assert!(Severity::Medium > Severity::Low);
+        assert!(Severity::Low > Severity::None);
+    }
+
+    #[test]
+    fn high_or_critical_split() {
+        assert!(Severity::High.is_high_or_critical());
+        assert!(Severity::Critical.is_high_or_critical());
+        assert!(!Severity::Medium.is_high_or_critical());
+    }
+}

@@ -1,0 +1,307 @@
+//! CVSS v2 base scoring, for legacy CVE records (pre-2016 entries in the
+//! corpus carry v2 vectors only, as in the real CVE database).
+
+use crate::severity::Severity;
+use std::fmt;
+use std::str::FromStr;
+
+/// Access Vector (AV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessVector {
+    Local,
+    AdjacentNetwork,
+    Network,
+}
+
+impl AccessVector {
+    fn weight(self) -> f64 {
+        match self {
+            AccessVector::Local => 0.395,
+            AccessVector::AdjacentNetwork => 0.646,
+            AccessVector::Network => 1.0,
+        }
+    }
+
+    fn letter(self) -> &'static str {
+        match self {
+            AccessVector::Local => "L",
+            AccessVector::AdjacentNetwork => "A",
+            AccessVector::Network => "N",
+        }
+    }
+}
+
+/// Access Complexity (AC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessComplexity {
+    High,
+    Medium,
+    Low,
+}
+
+impl AccessComplexity {
+    fn weight(self) -> f64 {
+        match self {
+            AccessComplexity::High => 0.35,
+            AccessComplexity::Medium => 0.61,
+            AccessComplexity::Low => 0.71,
+        }
+    }
+
+    fn letter(self) -> &'static str {
+        match self {
+            AccessComplexity::High => "H",
+            AccessComplexity::Medium => "M",
+            AccessComplexity::Low => "L",
+        }
+    }
+}
+
+/// Authentication (Au).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Authentication {
+    Multiple,
+    Single,
+    None,
+}
+
+impl Authentication {
+    fn weight(self) -> f64 {
+        match self {
+            Authentication::Multiple => 0.45,
+            Authentication::Single => 0.56,
+            Authentication::None => 0.704,
+        }
+    }
+
+    fn letter(self) -> &'static str {
+        match self {
+            Authentication::Multiple => "M",
+            Authentication::Single => "S",
+            Authentication::None => "N",
+        }
+    }
+}
+
+/// C/I/A impact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImpactV2 {
+    None,
+    Partial,
+    Complete,
+}
+
+impl ImpactV2 {
+    fn weight(self) -> f64 {
+        match self {
+            ImpactV2::None => 0.0,
+            ImpactV2::Partial => 0.275,
+            ImpactV2::Complete => 0.660,
+        }
+    }
+
+    fn letter(self) -> &'static str {
+        match self {
+            ImpactV2::None => "N",
+            ImpactV2::Partial => "P",
+            ImpactV2::Complete => "C",
+        }
+    }
+}
+
+/// A CVSS v2 base vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cvss2 {
+    pub av: AccessVector,
+    pub ac: AccessComplexity,
+    pub au: Authentication,
+    pub c: ImpactV2,
+    pub i: ImpactV2,
+    pub a: ImpactV2,
+}
+
+impl Cvss2 {
+    /// Impact = 10.41 × (1 − (1−C)(1−I)(1−A)).
+    pub fn impact(&self) -> f64 {
+        10.41
+            * (1.0
+                - (1.0 - self.c.weight()) * (1.0 - self.i.weight()) * (1.0 - self.a.weight()))
+    }
+
+    /// Exploitability = 20 × AV × AC × Au.
+    pub fn exploitability(&self) -> f64 {
+        20.0 * self.av.weight() * self.ac.weight() * self.au.weight()
+    }
+
+    /// BaseScore = round₁(((0.6·Impact) + (0.4·Exploitability) − 1.5) × f(Impact)).
+    pub fn base_score(&self) -> f64 {
+        let impact = self.impact();
+        let f = if impact == 0.0 { 0.0 } else { 1.176 };
+        let raw = ((0.6 * impact) + (0.4 * self.exploitability()) - 1.5) * f;
+        (raw * 10.0).round() / 10.0
+    }
+
+    /// v2 has no official bands; NVD maps v2 scores onto Low/Medium/High.
+    /// We reuse the v3 bands for uniform aggregation.
+    pub fn severity(&self) -> Severity {
+        Severity::from_score(self.base_score())
+    }
+
+    /// Vector string, e.g. `AV:N/AC:L/Au:N/C:C/I:C/A:C`.
+    pub fn vector(&self) -> String {
+        format!(
+            "AV:{}/AC:{}/Au:{}/C:{}/I:{}/A:{}",
+            self.av.letter(),
+            self.ac.letter(),
+            self.au.letter(),
+            self.c.letter(),
+            self.i.letter(),
+            self.a.letter(),
+        )
+    }
+}
+
+impl fmt::Display for Cvss2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.vector())
+    }
+}
+
+/// Error parsing a v2 vector string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseV2Error(pub String);
+
+impl fmt::Display for ParseV2Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid CVSS v2 vector: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseV2Error {}
+
+impl FromStr for Cvss2 {
+    type Err = ParseV2Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = |msg: &str| ParseV2Error(format!("{msg} in `{s}`"));
+        let body = s.strip_prefix('(').unwrap_or(s);
+        let body = body.strip_suffix(')').unwrap_or(body);
+        let mut av = None;
+        let mut ac = None;
+        let mut au = None;
+        let mut c = None;
+        let mut i = None;
+        let mut a = None;
+        for part in body.split('/') {
+            let (key, value) = part.split_once(':').ok_or_else(|| err("metric missing `:`"))?;
+            match key {
+                "AV" => {
+                    av = Some(match value {
+                        "L" => AccessVector::Local,
+                        "A" => AccessVector::AdjacentNetwork,
+                        "N" => AccessVector::Network,
+                        _ => return Err(err("bad AV")),
+                    })
+                }
+                "AC" => {
+                    ac = Some(match value {
+                        "H" => AccessComplexity::High,
+                        "M" => AccessComplexity::Medium,
+                        "L" => AccessComplexity::Low,
+                        _ => return Err(err("bad AC")),
+                    })
+                }
+                "Au" => {
+                    au = Some(match value {
+                        "M" => Authentication::Multiple,
+                        "S" => Authentication::Single,
+                        "N" => Authentication::None,
+                        _ => return Err(err("bad Au")),
+                    })
+                }
+                "C" | "I" | "A" => {
+                    let v = match value {
+                        "N" => ImpactV2::None,
+                        "P" => ImpactV2::Partial,
+                        "C" => ImpactV2::Complete,
+                        _ => return Err(err("bad impact")),
+                    };
+                    match key {
+                        "C" => c = Some(v),
+                        "I" => i = Some(v),
+                        _ => a = Some(v),
+                    }
+                }
+                _ => return Err(err("unknown metric")),
+            }
+        }
+        Ok(Cvss2 {
+            av: av.ok_or_else(|| err("missing AV"))?,
+            ac: ac.ok_or_else(|| err("missing AC"))?,
+            au: au.ok_or_else(|| err("missing Au"))?,
+            c: c.ok_or_else(|| err("missing C"))?,
+            i: i.ok_or_else(|| err("missing I"))?,
+            a: a.ok_or_else(|| err("missing A"))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score(vector: &str) -> f64 {
+        vector.parse::<Cvss2>().unwrap().base_score()
+    }
+
+    /// Worked examples from the CVSS v2 guide and NVD.
+    #[test]
+    fn nvd_reference_scores() {
+        // CVE-2002-0392 (Apache chunked encoding) — 7.5.
+        assert_eq!(score("AV:N/AC:L/Au:N/C:P/I:P/A:P"), 7.5);
+        // Full remote root — 10.0.
+        assert_eq!(score("AV:N/AC:L/Au:N/C:C/I:C/A:C"), 10.0);
+        // CVE-2003-0818 (MS04-007) variants — 6.8 for AC:M single-auth free.
+        assert_eq!(score("AV:N/AC:M/Au:N/C:P/I:P/A:P"), 6.8);
+        // Local complete compromise (classic kernel bug) — 7.2.
+        assert_eq!(score("AV:L/AC:L/Au:N/C:C/I:C/A:C"), 7.2);
+        // Remote DoS — 5.0.
+        assert_eq!(score("AV:N/AC:L/Au:N/C:N/I:N/A:P"), 5.0);
+    }
+
+    #[test]
+    fn zero_impact_is_zero_score() {
+        assert_eq!(score("AV:N/AC:L/Au:N/C:N/I:N/A:N"), 0.0);
+    }
+
+    #[test]
+    fn parenthesized_vector_accepted() {
+        assert_eq!(score("(AV:N/AC:L/Au:N/C:C/I:C/A:C)"), 10.0);
+    }
+
+    #[test]
+    fn round_trip() {
+        for s in [
+            "AV:N/AC:L/Au:N/C:C/I:C/A:C",
+            "AV:L/AC:H/Au:M/C:P/I:N/A:P",
+            "AV:A/AC:M/Au:S/C:N/I:P/A:C",
+        ] {
+            assert_eq!(s.parse::<Cvss2>().unwrap().vector(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!("".parse::<Cvss2>().is_err());
+        assert!("AV:N/AC:L/Au:N/C:C/I:C".parse::<Cvss2>().is_err());
+        assert!("AV:N/AC:Q/Au:N/C:C/I:C/A:C".parse::<Cvss2>().is_err());
+    }
+
+    #[test]
+    fn severity_mapping() {
+        assert_eq!("AV:N/AC:L/Au:N/C:C/I:C/A:C".parse::<Cvss2>().unwrap().severity(),
+                   Severity::Critical);
+        assert_eq!("AV:N/AC:L/Au:N/C:N/I:N/A:P".parse::<Cvss2>().unwrap().severity(),
+                   Severity::Medium);
+    }
+}

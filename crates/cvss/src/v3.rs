@@ -1,0 +1,761 @@
+//! CVSS v3.0 — base, temporal and environmental scoring.
+//!
+//! Implements the equations of the FIRST "Common Vulnerability Scoring
+//! System v3.0: Specification Document" exactly, including the Scope-changed
+//! impact curve and the round-up-to-one-decimal semantics.
+
+use crate::severity::Severity;
+use std::fmt;
+use std::str::FromStr;
+
+/// Attack Vector (AV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AttackVector {
+    Network,
+    Adjacent,
+    Local,
+    Physical,
+}
+
+impl AttackVector {
+    fn weight(self) -> f64 {
+        match self {
+            AttackVector::Network => 0.85,
+            AttackVector::Adjacent => 0.62,
+            AttackVector::Local => 0.55,
+            AttackVector::Physical => 0.2,
+        }
+    }
+
+    fn letter(self) -> &'static str {
+        match self {
+            AttackVector::Network => "N",
+            AttackVector::Adjacent => "A",
+            AttackVector::Local => "L",
+            AttackVector::Physical => "P",
+        }
+    }
+}
+
+/// Attack Complexity (AC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AttackComplexity {
+    Low,
+    High,
+}
+
+impl AttackComplexity {
+    fn weight(self) -> f64 {
+        match self {
+            AttackComplexity::Low => 0.77,
+            AttackComplexity::High => 0.44,
+        }
+    }
+
+    fn letter(self) -> &'static str {
+        match self {
+            AttackComplexity::Low => "L",
+            AttackComplexity::High => "H",
+        }
+    }
+}
+
+/// Privileges Required (PR).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PrivilegesRequired {
+    None,
+    Low,
+    High,
+}
+
+impl PrivilegesRequired {
+    /// PR weight depends on whether Scope is changed.
+    fn weight(self, scope: Scope) -> f64 {
+        match (self, scope) {
+            (PrivilegesRequired::None, _) => 0.85,
+            (PrivilegesRequired::Low, Scope::Unchanged) => 0.62,
+            (PrivilegesRequired::Low, Scope::Changed) => 0.68,
+            (PrivilegesRequired::High, Scope::Unchanged) => 0.27,
+            (PrivilegesRequired::High, Scope::Changed) => 0.5,
+        }
+    }
+
+    fn letter(self) -> &'static str {
+        match self {
+            PrivilegesRequired::None => "N",
+            PrivilegesRequired::Low => "L",
+            PrivilegesRequired::High => "H",
+        }
+    }
+}
+
+/// User Interaction (UI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UserInteraction {
+    None,
+    Required,
+}
+
+impl UserInteraction {
+    fn weight(self) -> f64 {
+        match self {
+            UserInteraction::None => 0.85,
+            UserInteraction::Required => 0.62,
+        }
+    }
+
+    fn letter(self) -> &'static str {
+        match self {
+            UserInteraction::None => "N",
+            UserInteraction::Required => "R",
+        }
+    }
+}
+
+/// Scope (S).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Scope {
+    Unchanged,
+    Changed,
+}
+
+impl Scope {
+    fn letter(self) -> &'static str {
+        match self {
+            Scope::Unchanged => "U",
+            Scope::Changed => "C",
+        }
+    }
+}
+
+/// Confidentiality / Integrity / Availability impact (C, I, A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Impact {
+    None,
+    Low,
+    High,
+}
+
+impl Impact {
+    fn weight(self) -> f64 {
+        match self {
+            Impact::None => 0.0,
+            Impact::Low => 0.22,
+            Impact::High => 0.56,
+        }
+    }
+
+    fn letter(self) -> &'static str {
+        match self {
+            Impact::None => "N",
+            Impact::Low => "L",
+            Impact::High => "H",
+        }
+    }
+}
+
+/// Exploit Code Maturity (E) — temporal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExploitMaturity {
+    #[default]
+    NotDefined,
+    Unproven,
+    ProofOfConcept,
+    Functional,
+    High,
+}
+
+impl ExploitMaturity {
+    fn weight(self) -> f64 {
+        match self {
+            ExploitMaturity::NotDefined | ExploitMaturity::High => 1.0,
+            ExploitMaturity::Functional => 0.97,
+            ExploitMaturity::ProofOfConcept => 0.94,
+            ExploitMaturity::Unproven => 0.91,
+        }
+    }
+
+    fn letter(self) -> &'static str {
+        match self {
+            ExploitMaturity::NotDefined => "X",
+            ExploitMaturity::Unproven => "U",
+            ExploitMaturity::ProofOfConcept => "P",
+            ExploitMaturity::Functional => "F",
+            ExploitMaturity::High => "H",
+        }
+    }
+}
+
+/// Remediation Level (RL) — temporal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RemediationLevel {
+    #[default]
+    NotDefined,
+    OfficialFix,
+    TemporaryFix,
+    Workaround,
+    Unavailable,
+}
+
+impl RemediationLevel {
+    fn weight(self) -> f64 {
+        match self {
+            RemediationLevel::NotDefined | RemediationLevel::Unavailable => 1.0,
+            RemediationLevel::Workaround => 0.97,
+            RemediationLevel::TemporaryFix => 0.96,
+            RemediationLevel::OfficialFix => 0.95,
+        }
+    }
+
+    fn letter(self) -> &'static str {
+        match self {
+            RemediationLevel::NotDefined => "X",
+            RemediationLevel::OfficialFix => "O",
+            RemediationLevel::TemporaryFix => "T",
+            RemediationLevel::Workaround => "W",
+            RemediationLevel::Unavailable => "U",
+        }
+    }
+}
+
+/// Report Confidence (RC) — temporal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReportConfidence {
+    #[default]
+    NotDefined,
+    Unknown,
+    Reasonable,
+    Confirmed,
+}
+
+impl ReportConfidence {
+    fn weight(self) -> f64 {
+        match self {
+            ReportConfidence::NotDefined | ReportConfidence::Confirmed => 1.0,
+            ReportConfidence::Reasonable => 0.96,
+            ReportConfidence::Unknown => 0.92,
+        }
+    }
+
+    fn letter(self) -> &'static str {
+        match self {
+            ReportConfidence::NotDefined => "X",
+            ReportConfidence::Unknown => "U",
+            ReportConfidence::Reasonable => "R",
+            ReportConfidence::Confirmed => "C",
+        }
+    }
+}
+
+/// Security requirement (CR / IR / AR) — environmental.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Requirement {
+    #[default]
+    NotDefined,
+    Low,
+    Medium,
+    High,
+}
+
+impl Requirement {
+    fn weight(self) -> f64 {
+        match self {
+            Requirement::NotDefined | Requirement::Medium => 1.0,
+            Requirement::High => 1.5,
+            Requirement::Low => 0.5,
+        }
+    }
+
+    fn letter(self) -> &'static str {
+        match self {
+            Requirement::NotDefined => "X",
+            Requirement::Low => "L",
+            Requirement::Medium => "M",
+            Requirement::High => "H",
+        }
+    }
+}
+
+/// A full CVSS v3.0 vector (base mandatory; temporal/environmental optional).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cvss3 {
+    pub av: AttackVector,
+    pub ac: AttackComplexity,
+    pub pr: PrivilegesRequired,
+    pub ui: UserInteraction,
+    pub scope: Scope,
+    pub c: Impact,
+    pub i: Impact,
+    pub a: Impact,
+    // Temporal.
+    pub e: ExploitMaturity,
+    pub rl: RemediationLevel,
+    pub rc: ReportConfidence,
+    // Environmental (security requirements; modified base metrics omitted —
+    // the corpus never emits them, and NotDefined means "same as base").
+    pub cr: Requirement,
+    pub ir: Requirement,
+    pub ar: Requirement,
+}
+
+impl Cvss3 {
+    /// A base-only vector.
+    #[allow(clippy::too_many_arguments)]
+    pub fn base(
+        av: AttackVector,
+        ac: AttackComplexity,
+        pr: PrivilegesRequired,
+        ui: UserInteraction,
+        scope: Scope,
+        c: Impact,
+        i: Impact,
+        a: Impact,
+    ) -> Cvss3 {
+        Cvss3 {
+            av,
+            ac,
+            pr,
+            ui,
+            scope,
+            c,
+            i,
+            a,
+            e: ExploitMaturity::default(),
+            rl: RemediationLevel::default(),
+            rc: ReportConfidence::default(),
+            cr: Requirement::default(),
+            ir: Requirement::default(),
+            ar: Requirement::default(),
+        }
+    }
+
+    /// Impact Sub-Score Base: `1 − (1−C)(1−I)(1−A)`.
+    fn isc_base(&self) -> f64 {
+        1.0 - (1.0 - self.c.weight()) * (1.0 - self.i.weight()) * (1.0 - self.a.weight())
+    }
+
+    /// Impact sub-score, with the Scope-changed curve.
+    pub fn impact_subscore(&self) -> f64 {
+        let isc = self.isc_base();
+        match self.scope {
+            Scope::Unchanged => 6.42 * isc,
+            Scope::Changed => 7.52 * (isc - 0.029) - 3.25 * (isc - 0.02).powi(15),
+        }
+    }
+
+    /// Exploitability sub-score: `8.22 × AV × AC × PR × UI`.
+    pub fn exploitability_subscore(&self) -> f64 {
+        8.22 * self.av.weight()
+            * self.ac.weight()
+            * self.pr.weight(self.scope)
+            * self.ui.weight()
+    }
+
+    /// The base score (0.0 – 10.0, one decimal).
+    pub fn base_score(&self) -> f64 {
+        let impact = self.impact_subscore();
+        if impact <= 0.0 {
+            return 0.0;
+        }
+        let sum = impact + self.exploitability_subscore();
+        match self.scope {
+            Scope::Unchanged => roundup(sum.min(10.0)),
+            Scope::Changed => roundup((1.08 * sum).min(10.0)),
+        }
+    }
+
+    /// The temporal score: `Roundup(Base × E × RL × RC)`.
+    pub fn temporal_score(&self) -> f64 {
+        roundup(
+            self.base_score() * self.e.weight() * self.rl.weight() * self.rc.weight(),
+        )
+    }
+
+    /// The environmental score with modified metrics = base metrics and
+    /// security requirements applied (CR/IR/AR).
+    pub fn environmental_score(&self) -> f64 {
+        let misc_base = (1.0
+            - (1.0 - self.c.weight() * self.cr.weight())
+                * (1.0 - self.i.weight() * self.ir.weight())
+                * (1.0 - self.a.weight() * self.ar.weight()))
+        .min(0.915);
+        let m_impact = match self.scope {
+            Scope::Unchanged => 6.42 * misc_base,
+            Scope::Changed => 7.52 * (misc_base - 0.029) - 3.25 * (misc_base - 0.02).powi(15),
+        };
+        if m_impact <= 0.0 {
+            return 0.0;
+        }
+        let m_exploitability = self.exploitability_subscore();
+        let inner = match self.scope {
+            Scope::Unchanged => roundup((m_impact + m_exploitability).min(10.0)),
+            Scope::Changed => roundup((1.08 * (m_impact + m_exploitability)).min(10.0)),
+        };
+        roundup(inner * self.e.weight() * self.rl.weight() * self.rc.weight())
+    }
+
+    /// Severity band of the base score.
+    pub fn severity(&self) -> Severity {
+        Severity::from_score(self.base_score())
+    }
+
+    /// The paper's hypothesis H1: is this a high-severity vulnerability
+    /// (CVSS > 7)?
+    pub fn is_high_severity(&self) -> bool {
+        self.base_score() > 7.0
+    }
+
+    /// The paper's hypothesis H2: network attack vector (AV = N)?
+    pub fn is_network_attackable(&self) -> bool {
+        self.av == AttackVector::Network
+    }
+
+    /// Format the base (plus any non-default temporal/environmental
+    /// metrics) as a vector string.
+    pub fn vector(&self) -> String {
+        let mut s = format!(
+            "CVSS:3.0/AV:{}/AC:{}/PR:{}/UI:{}/S:{}/C:{}/I:{}/A:{}",
+            self.av.letter(),
+            self.ac.letter(),
+            self.pr.letter(),
+            self.ui.letter(),
+            self.scope.letter(),
+            self.c.letter(),
+            self.i.letter(),
+            self.a.letter(),
+        );
+        if self.e != ExploitMaturity::NotDefined {
+            s.push_str(&format!("/E:{}", self.e.letter()));
+        }
+        if self.rl != RemediationLevel::NotDefined {
+            s.push_str(&format!("/RL:{}", self.rl.letter()));
+        }
+        if self.rc != ReportConfidence::NotDefined {
+            s.push_str(&format!("/RC:{}", self.rc.letter()));
+        }
+        if self.cr != Requirement::NotDefined {
+            s.push_str(&format!("/CR:{}", self.cr.letter()));
+        }
+        if self.ir != Requirement::NotDefined {
+            s.push_str(&format!("/IR:{}", self.ir.letter()));
+        }
+        if self.ar != Requirement::NotDefined {
+            s.push_str(&format!("/AR:{}", self.ar.letter()));
+        }
+        s
+    }
+}
+
+impl fmt::Display for Cvss3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.vector())
+    }
+}
+
+/// CVSS v3.0 Roundup: the smallest number with one decimal place that is
+/// equal to or higher than the input. Implemented on a fixed-point grid to
+/// dodge binary floating-point artifacts (the v3.1 clarification).
+pub fn roundup(value: f64) -> f64 {
+    let int = (value * 100_000.0).round() as i64;
+    if int % 10_000 == 0 {
+        int as f64 / 100_000.0
+    } else {
+        ((int / 10_000) + 1) as f64 / 10.0
+    }
+}
+
+/// Error parsing a vector string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseVectorError(pub String);
+
+impl fmt::Display for ParseVectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid CVSS v3 vector: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseVectorError {}
+
+impl FromStr for Cvss3 {
+    type Err = ParseVectorError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = |msg: &str| ParseVectorError(format!("{msg} in `{s}`"));
+        let body = s
+            .strip_prefix("CVSS:3.0/")
+            .or_else(|| s.strip_prefix("CVSS:3.1/"))
+            .ok_or_else(|| err("missing CVSS:3.x prefix"))?;
+
+        let mut av = None;
+        let mut ac = None;
+        let mut pr = None;
+        let mut ui = None;
+        let mut scope = None;
+        let mut c = None;
+        let mut i = None;
+        let mut a = None;
+        let mut e = ExploitMaturity::NotDefined;
+        let mut rl = RemediationLevel::NotDefined;
+        let mut rc = ReportConfidence::NotDefined;
+        let mut cr = Requirement::NotDefined;
+        let mut ir = Requirement::NotDefined;
+        let mut ar = Requirement::NotDefined;
+
+        for part in body.split('/') {
+            let (key, value) =
+                part.split_once(':').ok_or_else(|| err("metric missing `:`"))?;
+            match key {
+                "AV" => {
+                    av = Some(match value {
+                        "N" => AttackVector::Network,
+                        "A" => AttackVector::Adjacent,
+                        "L" => AttackVector::Local,
+                        "P" => AttackVector::Physical,
+                        _ => return Err(err("bad AV")),
+                    })
+                }
+                "AC" => {
+                    ac = Some(match value {
+                        "L" => AttackComplexity::Low,
+                        "H" => AttackComplexity::High,
+                        _ => return Err(err("bad AC")),
+                    })
+                }
+                "PR" => {
+                    pr = Some(match value {
+                        "N" => PrivilegesRequired::None,
+                        "L" => PrivilegesRequired::Low,
+                        "H" => PrivilegesRequired::High,
+                        _ => return Err(err("bad PR")),
+                    })
+                }
+                "UI" => {
+                    ui = Some(match value {
+                        "N" => UserInteraction::None,
+                        "R" => UserInteraction::Required,
+                        _ => return Err(err("bad UI")),
+                    })
+                }
+                "S" => {
+                    scope = Some(match value {
+                        "U" => Scope::Unchanged,
+                        "C" => Scope::Changed,
+                        _ => return Err(err("bad S")),
+                    })
+                }
+                "C" | "I" | "A" => {
+                    let v = match value {
+                        "N" => Impact::None,
+                        "L" => Impact::Low,
+                        "H" => Impact::High,
+                        _ => return Err(err("bad impact")),
+                    };
+                    match key {
+                        "C" => c = Some(v),
+                        "I" => i = Some(v),
+                        _ => a = Some(v),
+                    }
+                }
+                "E" => {
+                    e = match value {
+                        "X" => ExploitMaturity::NotDefined,
+                        "U" => ExploitMaturity::Unproven,
+                        "P" => ExploitMaturity::ProofOfConcept,
+                        "F" => ExploitMaturity::Functional,
+                        "H" => ExploitMaturity::High,
+                        _ => return Err(err("bad E")),
+                    }
+                }
+                "RL" => {
+                    rl = match value {
+                        "X" => RemediationLevel::NotDefined,
+                        "O" => RemediationLevel::OfficialFix,
+                        "T" => RemediationLevel::TemporaryFix,
+                        "W" => RemediationLevel::Workaround,
+                        "U" => RemediationLevel::Unavailable,
+                        _ => return Err(err("bad RL")),
+                    }
+                }
+                "RC" => {
+                    rc = match value {
+                        "X" => ReportConfidence::NotDefined,
+                        "U" => ReportConfidence::Unknown,
+                        "R" => ReportConfidence::Reasonable,
+                        "C" => ReportConfidence::Confirmed,
+                        _ => return Err(err("bad RC")),
+                    }
+                }
+                "CR" | "IR" | "AR" => {
+                    let v = match value {
+                        "X" => Requirement::NotDefined,
+                        "L" => Requirement::Low,
+                        "M" => Requirement::Medium,
+                        "H" => Requirement::High,
+                        _ => return Err(err("bad requirement")),
+                    };
+                    match key {
+                        "CR" => cr = v,
+                        "IR" => ir = v,
+                        _ => ar = v,
+                    }
+                }
+                _ => return Err(err("unknown metric")),
+            }
+        }
+
+        Ok(Cvss3 {
+            av: av.ok_or_else(|| err("missing AV"))?,
+            ac: ac.ok_or_else(|| err("missing AC"))?,
+            pr: pr.ok_or_else(|| err("missing PR"))?,
+            ui: ui.ok_or_else(|| err("missing UI"))?,
+            scope: scope.ok_or_else(|| err("missing S"))?,
+            c: c.ok_or_else(|| err("missing C"))?,
+            i: i.ok_or_else(|| err("missing I"))?,
+            a: a.ok_or_else(|| err("missing A"))?,
+            e,
+            rl,
+            rc,
+            cr,
+            ir,
+            ar,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score(vector: &str) -> f64 {
+        vector.parse::<Cvss3>().unwrap().base_score()
+    }
+
+    /// Published NVD v3.0 base scores.
+    #[test]
+    fn nvd_reference_scores() {
+        // Full remote compromise (e.g. CVE-2014-6271 "Shellshock" rescored).
+        assert_eq!(score("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"), 9.8);
+        // Scope-changed full compromise caps at 10.0.
+        assert_eq!(score("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H"), 10.0);
+        // Local privilege escalation (classic kernel LPE shape).
+        assert_eq!(score("CVSS:3.0/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H"), 7.8);
+        // Reflected XSS (CVE-2013-1937 shape).
+        assert_eq!(score("CVSS:3.0/AV:N/AC:L/PR:N/UI:R/S:C/C:L/I:L/A:N"), 6.1);
+        // Information disclosure.
+        assert_eq!(score("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:L/I:N/A:N"), 5.3);
+        // DoS only.
+        assert_eq!(score("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:H"), 7.5);
+        // Physical, high complexity, low impact.
+        assert_eq!(score("CVSS:3.0/AV:P/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N"), 1.6);
+    }
+
+    #[test]
+    fn no_impact_is_zero() {
+        assert_eq!(score("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N"), 0.0);
+        assert_eq!(score("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:C/C:N/I:N/A:N"), 0.0);
+    }
+
+    #[test]
+    fn scope_changed_pr_weights() {
+        // Same metrics, PR:L — scope change lifts the PR weight 0.62 → 0.68.
+        let unchanged = score("CVSS:3.0/AV:N/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H");
+        let changed = score("CVSS:3.0/AV:N/AC:L/PR:L/UI:N/S:C/C:H/I:H/A:H");
+        assert_eq!(unchanged, 8.8);
+        assert_eq!(changed, 9.9);
+    }
+
+    #[test]
+    fn roundup_matches_spec() {
+        assert_eq!(roundup(4.02), 4.1);
+        assert_eq!(roundup(4.0), 4.0);
+        assert_eq!(roundup(4.00000001), 4.0); // grid snap (v3.1 clarification)
+        assert_eq!(roundup(0.0), 0.0);
+        assert_eq!(roundup(9.86), 9.9);
+    }
+
+    #[test]
+    fn temporal_score_discounts() {
+        let v: Cvss3 = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H/E:U/RL:O/RC:U"
+            .parse()
+            .unwrap();
+        // 9.8 × 0.91 × 0.95 × 0.92 = 7.79... → 7.8
+        assert_eq!(v.temporal_score(), 7.8);
+        // Not-defined temporal metrics leave the score unchanged.
+        let base_only: Cvss3 = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse().unwrap();
+        assert_eq!(base_only.temporal_score(), base_only.base_score());
+    }
+
+    #[test]
+    fn environmental_requirements_shift_score() {
+        let base: Cvss3 = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N".parse().unwrap();
+        assert_eq!(base.environmental_score(), base.base_score());
+        let high_cr: Cvss3 =
+            "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N/CR:H".parse().unwrap();
+        assert!(high_cr.environmental_score() > base.base_score());
+        let low_cr: Cvss3 =
+            "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N/CR:L".parse().unwrap();
+        assert!(low_cr.environmental_score() < base.base_score());
+    }
+
+    #[test]
+    fn vector_round_trip() {
+        for s in [
+            "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",
+            "CVSS:3.0/AV:L/AC:H/PR:H/UI:R/S:C/C:L/I:L/A:N",
+            "CVSS:3.0/AV:P/AC:L/PR:L/UI:N/S:U/C:N/I:L/A:H",
+            "CVSS:3.0/AV:A/AC:H/PR:N/UI:R/S:U/C:H/I:N/A:N/E:P/RL:W/RC:R",
+            "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H/CR:H/IR:L/AR:M",
+        ] {
+            let parsed: Cvss3 = s.parse().unwrap();
+            assert_eq!(parsed.vector(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!("".parse::<Cvss3>().is_err());
+        assert!("CVSS:3.0/AV:N".parse::<Cvss3>().is_err()); // missing metrics
+        assert!("CVSS:3.0/AV:Z/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse::<Cvss3>().is_err());
+        assert!("AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse::<Cvss3>().is_err()); // no prefix
+        assert!("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H/ZZ:Q".parse::<Cvss3>().is_err());
+    }
+
+    #[test]
+    fn v31_prefix_accepted() {
+        let v: Cvss3 = "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse().unwrap();
+        assert_eq!(v.base_score(), 9.8);
+    }
+
+    #[test]
+    fn hypothesis_helpers() {
+        let v: Cvss3 = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse().unwrap();
+        assert!(v.is_high_severity());
+        assert!(v.is_network_attackable());
+        assert_eq!(v.severity(), Severity::Critical);
+        let low: Cvss3 = "CVSS:3.0/AV:P/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N".parse().unwrap();
+        assert!(!low.is_high_severity());
+        assert!(!low.is_network_attackable());
+        assert_eq!(low.severity(), Severity::Low);
+    }
+
+    #[test]
+    fn subscores_are_in_spec_ranges() {
+        let v: Cvss3 = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse().unwrap();
+        assert!((v.exploitability_subscore() - 3.887).abs() < 0.01);
+        assert!((v.impact_subscore() - 5.873).abs() < 0.01);
+    }
+
+    #[test]
+    fn base_scores_cover_all_bands() {
+        let vectors_and_bands = [
+            ("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N", Severity::None),
+            ("CVSS:3.0/AV:P/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N", Severity::Low),
+            ("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:L/I:N/A:N", Severity::Medium),
+            ("CVSS:3.0/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H", Severity::High),
+            ("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", Severity::Critical),
+        ];
+        for (v, band) in vectors_and_bands {
+            assert_eq!(v.parse::<Cvss3>().unwrap().severity(), band, "{v}");
+        }
+    }
+}

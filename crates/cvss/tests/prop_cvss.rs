@@ -1,0 +1,131 @@
+//! Property tests: CVSS scoring invariants over the whole metric space.
+
+use cvss::v3::*;
+use cvss::{Cvss2, Severity};
+use proptest::prelude::*;
+
+fn av() -> impl Strategy<Value = AttackVector> {
+    prop_oneof![
+        Just(AttackVector::Network),
+        Just(AttackVector::Adjacent),
+        Just(AttackVector::Local),
+        Just(AttackVector::Physical),
+    ]
+}
+
+fn ac() -> impl Strategy<Value = AttackComplexity> {
+    prop_oneof![Just(AttackComplexity::Low), Just(AttackComplexity::High)]
+}
+
+fn pr() -> impl Strategy<Value = PrivilegesRequired> {
+    prop_oneof![
+        Just(PrivilegesRequired::None),
+        Just(PrivilegesRequired::Low),
+        Just(PrivilegesRequired::High),
+    ]
+}
+
+fn ui() -> impl Strategy<Value = UserInteraction> {
+    prop_oneof![Just(UserInteraction::None), Just(UserInteraction::Required)]
+}
+
+fn scope() -> impl Strategy<Value = Scope> {
+    prop_oneof![Just(Scope::Unchanged), Just(Scope::Changed)]
+}
+
+fn impact() -> impl Strategy<Value = Impact> {
+    prop_oneof![Just(Impact::None), Just(Impact::Low), Just(Impact::High)]
+}
+
+fn base() -> impl Strategy<Value = Cvss3> {
+    (av(), ac(), pr(), ui(), scope(), impact(), impact(), impact())
+        .prop_map(|(av, ac, pr, ui, s, c, i, a)| Cvss3::base(av, ac, pr, ui, s, c, i, a))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Scores are always in [0, 10] with one decimal digit.
+    #[test]
+    fn base_score_in_range_and_one_decimal(v in base()) {
+        let score = v.base_score();
+        prop_assert!((0.0..=10.0).contains(&score));
+        let tenths = score * 10.0;
+        prop_assert!((tenths - tenths.round()).abs() < 1e-9, "{score} not one-decimal");
+    }
+
+    /// Vector strings round-trip exactly.
+    #[test]
+    fn vector_round_trip(v in base()) {
+        let text = v.vector();
+        let parsed: Cvss3 = text.parse().unwrap();
+        prop_assert_eq!(parsed, v);
+        prop_assert_eq!(parsed.vector(), text);
+    }
+
+    /// Zero impact always scores zero; any impact scores above zero.
+    #[test]
+    fn zero_impact_iff_zero_score(v in base()) {
+        let no_impact = v.c == Impact::None && v.i == Impact::None && v.a == Impact::None;
+        prop_assert_eq!(v.base_score() == 0.0, no_impact, "{}", v.vector());
+    }
+
+    /// Monotonicity: raising confidentiality impact never lowers the score.
+    #[test]
+    fn raising_impact_is_monotone(v in base()) {
+        let bump = |imp: Impact| match imp {
+            Impact::None => Impact::Low,
+            Impact::Low | Impact::High => Impact::High,
+        };
+        let mut worse = v;
+        worse.c = bump(v.c);
+        prop_assert!(worse.base_score() >= v.base_score());
+    }
+
+    /// Network attack vector is never easier to defend than physical.
+    #[test]
+    fn network_scores_at_least_physical(v in base()) {
+        let mut net = v;
+        net.av = AttackVector::Network;
+        let mut phys = v;
+        phys.av = AttackVector::Physical;
+        prop_assert!(net.base_score() >= phys.base_score());
+    }
+
+    /// Temporal score never exceeds the base score.
+    #[test]
+    fn temporal_bounded_by_base(v in base(), e in 0usize..5, rl in 0usize..5, rc in 0usize..4) {
+        let mut t = v;
+        t.e = [ExploitMaturity::NotDefined, ExploitMaturity::Unproven,
+               ExploitMaturity::ProofOfConcept, ExploitMaturity::Functional,
+               ExploitMaturity::High][e];
+        t.rl = [RemediationLevel::NotDefined, RemediationLevel::OfficialFix,
+                RemediationLevel::TemporaryFix, RemediationLevel::Workaround,
+                RemediationLevel::Unavailable][rl];
+        t.rc = [ReportConfidence::NotDefined, ReportConfidence::Unknown,
+                ReportConfidence::Reasonable, ReportConfidence::Confirmed][rc];
+        prop_assert!(t.temporal_score() <= t.base_score() + 1e-9);
+        prop_assert!((0.0..=10.0).contains(&t.temporal_score()));
+    }
+
+    /// Severity bands are consistent with scores.
+    #[test]
+    fn severity_band_matches_score(v in base()) {
+        let score = v.base_score();
+        let sev = v.severity();
+        match sev {
+            Severity::None => prop_assert!(score == 0.0),
+            Severity::Low => prop_assert!((0.1..=3.9).contains(&score)),
+            Severity::Medium => prop_assert!((4.0..=6.9).contains(&score)),
+            Severity::High => prop_assert!((7.0..=8.9).contains(&score)),
+            Severity::Critical => prop_assert!(score >= 9.0),
+        }
+    }
+
+    /// The parser never panics on arbitrary strings.
+    #[test]
+    fn parser_total(s in "\\PC{0,60}") {
+        let _ = s.parse::<Cvss3>();
+        let _ = s.parse::<Cvss2>();
+    }
+}

@@ -1,0 +1,543 @@
+//! Abstract syntax tree.
+//!
+//! The AST is the shared substrate for every code-property analysis in the
+//! framework: the testbed (LoC, complexity, Halstead, counts), the data- and
+//! control-flow analyses, the path explorer, the code-smell detectors, the
+//! bug-finding tools, and the attack-surface enumeration.
+
+use crate::dialect::Dialect;
+use crate::span::Span;
+use std::fmt;
+
+/// A whole application: a set of modules plus metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Application name (e.g. `"httpd"`).
+    pub name: String,
+    /// The primary dialect (language) of the application, per Figure 2's
+    /// "primarily C / C++ / Python / Java" categorization.
+    pub dialect: Dialect,
+    /// Source modules (files).
+    pub modules: Vec<Module>,
+}
+
+impl Program {
+    /// Create an empty program.
+    pub fn new(name: impl Into<String>, dialect: Dialect) -> Self {
+        Program { name: name.into(), dialect, modules: Vec::new() }
+    }
+
+    /// Iterate all functions across all modules.
+    pub fn functions(&self) -> impl Iterator<Item = &Function> {
+        self.modules.iter().flat_map(|m| m.functions.iter())
+    }
+
+    /// Total number of functions.
+    pub fn function_count(&self) -> usize {
+        self.modules.iter().map(|m| m.functions.len()).sum()
+    }
+
+    /// Find a function by name anywhere in the program.
+    pub fn find_function(&self, name: &str) -> Option<&Function> {
+        self.functions().find(|f| f.name == name)
+    }
+}
+
+/// One source file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// File path, e.g. `"src/net/server.c"`.
+    pub path: String,
+    /// Dialect this file is written in (normally the program's dialect).
+    pub dialect: Dialect,
+    /// The raw source text the module was parsed from; kept so line-oriented
+    /// analyses (cloc-style LoC classification) can run without re-emission.
+    pub source: String,
+    /// Module-level (global) variable declarations.
+    pub globals: Vec<Global>,
+    /// Function definitions in declaration order.
+    pub functions: Vec<Function>,
+}
+
+/// A module-level variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    pub name: String,
+    pub ty: Type,
+    /// Optional constant initializer.
+    pub init: Option<Expr>,
+    pub span: Span,
+}
+
+/// A security-relevant annotation attached to a function.
+///
+/// Annotations model the deployment facts (which interfaces are exposed to
+/// the network, which code runs privileged) that the RASQ attack-surface
+/// measure and the attack-graph builder need.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Annotation {
+    /// `@endpoint(network | local | file)` — the function is an entry point
+    /// reachable through the named channel kind.
+    Endpoint(ChannelKind),
+    /// `@priv(root | user)` — privilege level the function executes at.
+    Priv(PrivLevel),
+    /// `@untrusted` — every parameter is attacker-controlled.
+    Untrusted,
+    /// `@deprecated` — counted as a code smell.
+    Deprecated,
+}
+
+impl Annotation {
+    /// True if this is any `@endpoint(..)` annotation.
+    pub fn is_endpoint(&self) -> bool {
+        matches!(self, Annotation::Endpoint(_))
+    }
+}
+
+/// The kind of channel through which an endpoint is reachable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ChannelKind {
+    /// Remote network access — maps to CVSS `AV:N`.
+    Network,
+    /// Local IPC / CLI — maps to CVSS `AV:L`.
+    Local,
+    /// File-based input — maps to CVSS `AV:L` with higher complexity.
+    File,
+}
+
+impl ChannelKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            ChannelKind::Network => "network",
+            ChannelKind::Local => "local",
+            ChannelKind::File => "file",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "network" => ChannelKind::Network,
+            "local" => ChannelKind::Local,
+            "file" => ChannelKind::File,
+            _ => return None,
+        })
+    }
+}
+
+/// Privilege level a function executes at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PrivLevel {
+    User,
+    Root,
+}
+
+impl PrivLevel {
+    pub fn name(self) -> &'static str {
+        match self {
+            PrivLevel::User => "user",
+            PrivLevel::Root => "root",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "user" => PrivLevel::User,
+            "root" => PrivLevel::Root,
+            _ => return None,
+        })
+    }
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    pub name: String,
+    pub params: Vec<Param>,
+    pub ret: Type,
+    pub body: Block,
+    pub annotations: Vec<Annotation>,
+    pub span: Span,
+}
+
+impl Function {
+    /// The channel kinds this function is directly exposed on.
+    pub fn endpoint_channels(&self) -> Vec<ChannelKind> {
+        self.annotations
+            .iter()
+            .filter_map(|a| match a {
+                Annotation::Endpoint(k) => Some(*k),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The declared privilege level (defaults to [`PrivLevel::User`]).
+    pub fn privilege(&self) -> PrivLevel {
+        self.annotations
+            .iter()
+            .find_map(|a| match a {
+                Annotation::Priv(p) => Some(*p),
+                _ => None,
+            })
+            .unwrap_or(PrivLevel::User)
+    }
+
+    /// True if parameters are marked attacker-controlled.
+    pub fn is_untrusted(&self) -> bool {
+        self.annotations.contains(&Annotation::Untrusted)
+    }
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    pub name: String,
+    pub ty: Type,
+    pub span: Span,
+}
+
+/// MiniLang types.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    Int,
+    Float,
+    Bool,
+    Str,
+    /// A fixed-size buffer of the element type, e.g. `int[64]` / `str[256]`.
+    /// Buffers are the substrate for the memory-corruption CWE recipes.
+    Array(Box<Type>, usize),
+    Void,
+}
+
+impl Type {
+    /// The declared capacity if this is a buffer type.
+    pub fn buffer_capacity(&self) -> Option<usize> {
+        match self {
+            Type::Array(_, n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Float => write!(f, "float"),
+            Type::Bool => write!(f, "bool"),
+            Type::Str => write!(f, "str"),
+            Type::Array(elem, n) => write!(f, "{elem}[{n}]"),
+            Type::Void => write!(f, "void"),
+        }
+    }
+}
+
+/// A `{ ... }` block of statements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+    pub span: Span,
+}
+
+impl Block {
+    pub fn new(stmts: Vec<Stmt>, span: Span) -> Self {
+        Block { stmts, span }
+    }
+}
+
+/// A statement with its span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    pub kind: StmtKind,
+    pub span: Span,
+}
+
+impl Stmt {
+    pub fn new(kind: StmtKind, span: Span) -> Self {
+        Stmt { kind, span }
+    }
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `let name: ty = init;`
+    Let { name: String, ty: Type, init: Option<Expr> },
+    /// `lhs = rhs;` or `lhs[i] = rhs;` — `op` is `None` for plain `=`,
+    /// or the compound operator for `+=` etc.
+    Assign { target: LValue, op: Option<BinaryOp>, value: Expr },
+    /// `if cond { .. } else { .. }`
+    If { cond: Expr, then_branch: Block, else_branch: Option<Block> },
+    /// `while cond { .. }`
+    While { cond: Expr, body: Block },
+    /// `for init; cond; step { .. }` — `init`/`step` are simple statements.
+    For { init: Option<Box<Stmt>>, cond: Option<Expr>, step: Option<Box<Stmt>>, body: Block },
+    /// `switch expr { case k: {..} ... default: {..} }`
+    Switch { scrutinee: Expr, cases: Vec<SwitchCase>, default: Option<Block> },
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `return expr?;`
+    Return(Option<Expr>),
+    /// A bare expression (usually a call) followed by `;`.
+    Expr(Expr),
+    /// A nested `{ ... }` block.
+    Block(Block),
+}
+
+/// One `case k: { .. }` arm of a switch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchCase {
+    pub value: i64,
+    pub body: Block,
+    pub span: Span,
+}
+
+/// The target of an assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// `x = ..`
+    Var(String, Span),
+    /// `buf[i] = ..`
+    Index { base: String, index: Expr, span: Span },
+}
+
+impl LValue {
+    /// The root variable being written.
+    pub fn base_name(&self) -> &str {
+        match self {
+            LValue::Var(name, _) => name,
+            LValue::Index { base, .. } => base,
+        }
+    }
+
+    pub fn span(&self) -> Span {
+        match self {
+            LValue::Var(_, s) => *s,
+            LValue::Index { span, .. } => *span,
+        }
+    }
+}
+
+/// An expression with its span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub span: Span,
+}
+
+impl Expr {
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+
+    /// Convenience constructors used by the corpus synthesizer.
+    pub fn int(v: i64) -> Self {
+        Expr::new(ExprKind::Int(v), Span::dummy())
+    }
+
+    pub fn var(name: impl Into<String>) -> Self {
+        Expr::new(ExprKind::Var(name.into()), Span::dummy())
+    }
+
+    pub fn str_lit(s: impl Into<String>) -> Self {
+        Expr::new(ExprKind::Str(s.into()), Span::dummy())
+    }
+
+    pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Self {
+        Expr::new(ExprKind::Call { callee: name.into(), args }, Span::dummy())
+    }
+
+    pub fn binary(op: BinaryOp, lhs: Expr, rhs: Expr) -> Self {
+        Expr::new(ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, Span::dummy())
+    }
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Var(String),
+    /// `buf[i]`
+    Index { base: Box<Expr>, index: Box<Expr> },
+    Unary { op: UnaryOp, operand: Box<Expr> },
+    Binary { op: BinaryOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    /// `callee(args...)` — callee may be a user function or an intrinsic.
+    Call { callee: String, args: Vec<Expr> },
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    Neg,
+    Not,
+}
+
+impl UnaryOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            UnaryOp::Neg => "-",
+            UnaryOp::Not => "!",
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl BinaryOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Rem => "%",
+            BinaryOp::And => "&&",
+            BinaryOp::Or => "||",
+            BinaryOp::BitAnd => "&",
+            BinaryOp::BitOr => "|",
+            BinaryOp::BitXor => "^",
+            BinaryOp::Shl => "<<",
+            BinaryOp::Shr => ">>",
+            BinaryOp::Eq => "==",
+            BinaryOp::Ne => "!=",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+        }
+    }
+
+    /// True for `== != < <= > >=` — these create decision points in McCabe
+    /// complexity only when used in branch conditions, and they bound buffer
+    /// indices for the overflow checker's dominance test.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+        )
+    }
+
+    /// True for `&&` / `||` — each short-circuit adds a decision point.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinaryOp::And | BinaryOp::Or)
+    }
+
+    /// True for arithmetic operators that can overflow an `int`.
+    pub fn can_overflow(self) -> bool {
+        matches!(self, BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Shl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_function() -> Function {
+        Function {
+            name: "f".into(),
+            params: vec![],
+            ret: Type::Void,
+            body: Block::default(),
+            annotations: vec![
+                Annotation::Endpoint(ChannelKind::Network),
+                Annotation::Priv(PrivLevel::Root),
+            ],
+            span: Span::dummy(),
+        }
+    }
+
+    #[test]
+    fn endpoint_channels_extracted() {
+        let f = sample_function();
+        assert_eq!(f.endpoint_channels(), vec![ChannelKind::Network]);
+        assert_eq!(f.privilege(), PrivLevel::Root);
+        assert!(!f.is_untrusted());
+    }
+
+    #[test]
+    fn default_privilege_is_user() {
+        let mut f = sample_function();
+        f.annotations.clear();
+        assert_eq!(f.privilege(), PrivLevel::User);
+    }
+
+    #[test]
+    fn buffer_capacity() {
+        assert_eq!(Type::Array(Box::new(Type::Int), 64).buffer_capacity(), Some(64));
+        assert_eq!(Type::Int.buffer_capacity(), None);
+    }
+
+    #[test]
+    fn type_display() {
+        assert_eq!(Type::Array(Box::new(Type::Str), 256).to_string(), "str[256]");
+        assert_eq!(Type::Void.to_string(), "void");
+    }
+
+    #[test]
+    fn channel_and_priv_names_round_trip() {
+        for k in [ChannelKind::Network, ChannelKind::Local, ChannelKind::File] {
+            assert_eq!(ChannelKind::from_name(k.name()), Some(k));
+        }
+        for p in [PrivLevel::User, PrivLevel::Root] {
+            assert_eq!(PrivLevel::from_name(p.name()), Some(p));
+        }
+        assert_eq!(ChannelKind::from_name("bluetooth"), None);
+    }
+
+    #[test]
+    fn operator_classifications() {
+        assert!(BinaryOp::Lt.is_comparison());
+        assert!(BinaryOp::And.is_logical());
+        assert!(BinaryOp::Add.can_overflow());
+        assert!(!BinaryOp::Div.can_overflow());
+        assert!(!BinaryOp::Add.is_comparison());
+    }
+
+    #[test]
+    fn lvalue_base_name() {
+        let lv = LValue::Index { base: "buf".into(), index: Expr::int(3), span: Span::dummy() };
+        assert_eq!(lv.base_name(), "buf");
+        assert_eq!(LValue::Var("x".into(), Span::dummy()).base_name(), "x");
+    }
+
+    #[test]
+    fn program_function_lookup() {
+        let mut p = Program::new("app", Dialect::C);
+        p.modules.push(Module {
+            path: "m.c".into(),
+            dialect: Dialect::C,
+            source: String::new(),
+            globals: vec![],
+            functions: vec![sample_function()],
+        });
+        assert_eq!(p.function_count(), 1);
+        assert!(p.find_function("f").is_some());
+        assert!(p.find_function("g").is_none());
+    }
+}

@@ -1,0 +1,123 @@
+//! Surface dialects.
+//!
+//! The paper's Figure 2 categorizes the 164 surveyed applications by primary
+//! programming language (126 C, 20 C++, 6 Python, 12 Java) and asks whether
+//! language choice correlates with vulnerability counts. MiniLang keeps one
+//! core grammar but exposes four *dialects* that differ in:
+//!
+//! * comment syntax (what the lexer skips and the cloc-equivalent counts);
+//! * memory-safety priors (the `corpus` generator seeds pointer-style bugs
+//!   such as CWE-121 only in unsafe dialects);
+//! * cosmetic keyword spellings handled by the pretty-printer.
+//!
+//! This gives the per-language analyses in `static-analysis` and the
+//! language-prior logic in `corpus` real work, instead of a tag field.
+
+use std::fmt;
+
+/// The surface language an application module is (notionally) written in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dialect {
+    /// C-style surface: `//` and `/* ... */` comments, unsafe buffers.
+    C,
+    /// C++-style surface: same comments as C, unsafe buffers, richer stdlib.
+    Cpp,
+    /// Python-style surface: `#` line comments and `"""..."""` block
+    /// comments; memory-safe (no raw buffer overflow recipes).
+    Python,
+    /// Java-style surface: `//`, `/* ... */` and `/** ... */` doc comments;
+    /// memory-safe.
+    Java,
+}
+
+impl Dialect {
+    /// All dialects, in the order the paper lists them.
+    pub const ALL: [Dialect; 4] = [Dialect::C, Dialect::Cpp, Dialect::Python, Dialect::Java];
+
+    /// The line-comment introducer for this dialect.
+    pub fn line_comment(self) -> &'static str {
+        match self {
+            Dialect::C | Dialect::Cpp | Dialect::Java => "//",
+            Dialect::Python => "#",
+        }
+    }
+
+    /// The block-comment delimiters, `(open, close)`.
+    pub fn block_comment(self) -> (&'static str, &'static str) {
+        match self {
+            Dialect::C | Dialect::Cpp | Dialect::Java => ("/*", "*/"),
+            Dialect::Python => ("\"\"\"", "\"\"\""),
+        }
+    }
+
+    /// Whether the dialect permits raw, bounds-unchecked buffer writes.
+    ///
+    /// The corpus generator only seeds memory-corruption CWEs (121, 122) in
+    /// unsafe dialects, mirroring the paper's observation that "some common
+    /// bug patterns, such as pointer errors, are precluded by higher-level
+    /// languages".
+    pub fn is_memory_unsafe(self) -> bool {
+        matches!(self, Dialect::C | Dialect::Cpp)
+    }
+
+    /// Conventional source-file extension, used by module path synthesis.
+    pub fn extension(self) -> &'static str {
+        match self {
+            Dialect::C => "c",
+            Dialect::Cpp => "cc",
+            Dialect::Python => "py",
+            Dialect::Java => "java",
+        }
+    }
+
+    /// Human-readable name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dialect::C => "C",
+            Dialect::Cpp => "C++",
+            Dialect::Python => "Python",
+            Dialect::Java => "Java",
+        }
+    }
+}
+
+impl fmt::Display for Dialect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comment_syntax_is_per_dialect() {
+        assert_eq!(Dialect::C.line_comment(), "//");
+        assert_eq!(Dialect::Python.line_comment(), "#");
+        assert_eq!(Dialect::Java.block_comment(), ("/*", "*/"));
+        assert_eq!(Dialect::Python.block_comment(), ("\"\"\"", "\"\"\""));
+    }
+
+    #[test]
+    fn memory_safety_split_matches_paper() {
+        assert!(Dialect::C.is_memory_unsafe());
+        assert!(Dialect::Cpp.is_memory_unsafe());
+        assert!(!Dialect::Python.is_memory_unsafe());
+        assert!(!Dialect::Java.is_memory_unsafe());
+    }
+
+    #[test]
+    fn names_match_figure_legend() {
+        let names: Vec<&str> = Dialect::ALL.iter().map(|d| d.name()).collect();
+        assert_eq!(names, ["C", "C++", "Python", "Java"]);
+    }
+
+    #[test]
+    fn extensions_are_distinct() {
+        let mut exts: Vec<&str> = Dialect::ALL.iter().map(|d| d.extension()).collect();
+        exts.sort_unstable();
+        exts.dedup();
+        assert_eq!(exts.len(), 4);
+    }
+}

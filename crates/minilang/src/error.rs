@@ -1,0 +1,73 @@
+//! Lex and parse errors.
+
+use crate::span::Span;
+use std::fmt;
+
+/// An error produced while tokenizing a module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub message: String,
+    pub span: Span,
+}
+
+impl LexError {
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        LexError { message: message.into(), span }
+    }
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// An error produced while parsing a module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub message: String,
+    pub span: Span,
+}
+
+impl ParseError {
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        ParseError { message: message.into(), span }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, span: e.span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_location() {
+        let e = ParseError::new("expected `;`", Span::new(0, 1, 3, 9));
+        assert_eq!(e.to_string(), "parse error at 3:9: expected `;`");
+        let l = LexError::new("unterminated string", Span::new(0, 1, 2, 4));
+        assert_eq!(l.to_string(), "lex error at 2:4: unterminated string");
+    }
+
+    #[test]
+    fn lex_error_converts_to_parse_error() {
+        let l = LexError::new("bad char", Span::new(5, 6, 1, 6));
+        let p: ParseError = l.into();
+        assert_eq!(p.message, "bad char");
+        assert_eq!(p.span.start, 5);
+    }
+}

@@ -1,0 +1,850 @@
+//! A concrete interpreter with dynamic taint and bounds tracking.
+//!
+//! §5.3 of the paper: *"One potential improvement is to collect dynamic
+//! traces; dynamic properties of a program may further yield additional
+//! insights or accuracy."* This module is that improvement: it executes a
+//! function with synthetic attacker-controlled inputs and records an
+//! [`ExecutionTrace`] — statement/branch coverage, loop behaviour, dynamic
+//! taint reaching dangerous sinks, and out-of-bounds writes observed at
+//! runtime (events static analysis can only approximate).
+//!
+//! The interpreter is deliberately defensive: fuel-bounded, recursion-
+//! bounded, and total — malformed programs produce truncated traces, never
+//! panics.
+
+use crate::ast::*;
+use crate::intrinsics::Intrinsic;
+use std::collections::{BTreeSet, HashMap};
+
+/// A runtime value, carrying a dynamic taint bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TValue {
+    pub value: Value,
+    pub tainted: bool,
+}
+
+impl TValue {
+    pub fn clean(value: Value) -> TValue {
+        TValue { value, tainted: false }
+    }
+
+    pub fn tainted(value: Value) -> TValue {
+        TValue { value, tainted: true }
+    }
+
+    fn truthy(&self) -> bool {
+        match &self.value {
+            Value::Bool(b) => *b,
+            Value::Int(v) => *v != 0,
+            Value::Float(v) => *v != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::Array(_) => true,
+            Value::Void => false,
+        }
+    }
+}
+
+/// Concrete values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Str(String),
+    /// Fixed-capacity buffer; the length never exceeds the declared
+    /// capacity (out-of-bounds writes are recorded and dropped).
+    Array(Vec<TValue>),
+    Void,
+}
+
+impl Value {
+    fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v,
+            Value::Bool(b) => *b as i64,
+            Value::Float(v) => *v as i64,
+            Value::Str(s) => s.len() as i64,
+            _ => 0,
+        }
+    }
+
+    fn as_str(&self) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            Value::Int(v) => v.to_string(),
+            Value::Float(v) => v.to_string(),
+            Value::Bool(b) => b.to_string(),
+            _ => String::new(),
+        }
+    }
+}
+
+/// Interpreter limits and synthetic-input configuration.
+#[derive(Debug, Clone)]
+pub struct InterpConfig {
+    /// Statement budget (shared across calls).
+    pub fuel: u64,
+    /// Maximum call depth.
+    pub max_depth: usize,
+    /// The attacker-controlled string served by `read_input`/`recv`/…
+    pub attacker_string: String,
+    /// The attacker-controlled integer served by `read_int`.
+    pub attacker_int: i64,
+}
+
+impl Default for InterpConfig {
+    fn default() -> Self {
+        InterpConfig {
+            fuel: 50_000,
+            max_depth: 32,
+            attacker_string: format!("{}%n%s", "A".repeat(96)),
+            attacker_int: 1 << 20,
+        }
+    }
+}
+
+/// What one execution observed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecutionTrace {
+    /// Statements executed.
+    pub statements: u64,
+    /// Branches taken (true edge / false edge).
+    pub branches_true: u64,
+    pub branches_false: u64,
+    /// Distinct user functions that ran.
+    pub functions_called: BTreeSet<String>,
+    /// Largest single-loop iteration count observed.
+    pub max_loop_iterations: u64,
+    /// Out-of-bounds writes observed (index writes past capacity, or
+    /// unbounded copies larger than the destination buffer).
+    pub oob_writes: u64,
+    /// Dangerous-sink calls that received tainted data at runtime.
+    pub tainted_sink_calls: u64,
+    /// Reads of never-written locals.
+    pub uninitialized_reads: u64,
+    /// True when the fuel budget stopped execution.
+    pub fuel_exhausted: bool,
+    /// The function ran to completion (an explicit or implicit return).
+    pub completed: bool,
+}
+
+impl ExecutionTrace {
+    /// Fraction of branch decisions that went to the true edge — a crude
+    /// balance statistic (0.5 ≈ balanced).
+    pub fn branch_bias(&self) -> f64 {
+        let total = self.branches_true + self.branches_false;
+        if total == 0 {
+            0.5
+        } else {
+            self.branches_true as f64 / total as f64
+        }
+    }
+}
+
+/// Outcome of a statement or block.
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(TValue),
+    /// Fuel exhausted — unwind everything.
+    Stop,
+}
+
+/// Run `function` of `program` with every parameter set to an
+/// attacker-controlled value (the paper's threat model for endpoints).
+pub fn run_function(
+    program: &Program,
+    function: &str,
+    config: &InterpConfig,
+) -> ExecutionTrace {
+    let mut interp = Interp {
+        program,
+        config,
+        fuel: config.fuel,
+        trace: ExecutionTrace::default(),
+    };
+    let Some(f) = program.find_function(function) else {
+        return interp.trace;
+    };
+    let args: Vec<TValue> = f.params.iter().map(|p| interp.attacker_value(&p.ty)).collect();
+    let flow = interp.call(f, args, 0);
+    interp.trace.completed = matches!(flow, Flow::Normal | Flow::Return(_));
+    interp.trace
+}
+
+struct Interp<'a> {
+    program: &'a Program,
+    config: &'a InterpConfig,
+    fuel: u64,
+    trace: ExecutionTrace,
+}
+
+/// One lexical environment (no closures; flat per-call scope).
+type Env = HashMap<String, TValue>;
+
+impl<'a> Interp<'a> {
+    fn attacker_value(&self, ty: &Type) -> TValue {
+        match ty {
+            Type::Int => TValue::tainted(Value::Int(self.config.attacker_int)),
+            Type::Float => TValue::tainted(Value::Float(1e9)),
+            Type::Bool => TValue::tainted(Value::Bool(true)),
+            Type::Str => TValue::tainted(Value::Str(self.config.attacker_string.clone())),
+            Type::Array(elem, n) => TValue::tainted(Value::Array(vec![
+                self.attacker_value(elem);
+                (*n).min(64)
+            ])),
+            Type::Void => TValue::clean(Value::Void),
+        }
+    }
+
+    fn default_value(&self, ty: &Type) -> TValue {
+        match ty {
+            Type::Int => TValue::clean(Value::Int(0)),
+            Type::Float => TValue::clean(Value::Float(0.0)),
+            Type::Bool => TValue::clean(Value::Bool(false)),
+            Type::Str => TValue::clean(Value::Str(String::new())),
+            Type::Array(elem, n) => TValue::clean(Value::Array(vec![
+                self.default_value(elem);
+                (*n).min(4096)
+            ])),
+            Type::Void => TValue::clean(Value::Void),
+        }
+    }
+
+    fn call(&mut self, f: &Function, args: Vec<TValue>, depth: usize) -> Flow {
+        if depth >= self.config.max_depth {
+            return Flow::Normal; // treat as an opaque no-op call
+        }
+        self.trace.functions_called.insert(f.name.clone());
+        let mut env: Env = Env::new();
+        for (param, arg) in f.params.iter().zip(args) {
+            env.insert(param.name.clone(), arg);
+        }
+        // Missing arguments become defaults.
+        for param in f.params.iter().skip(env.len()) {
+            env.insert(param.name.clone(), self.default_value(&param.ty));
+        }
+        self.block(&f.body, &mut env, depth)
+    }
+
+    fn block(&mut self, block: &Block, env: &mut Env, depth: usize) -> Flow {
+        for stmt in &block.stmts {
+            match self.stmt(stmt, env, depth) {
+                Flow::Normal => {}
+                other => return other,
+            }
+        }
+        Flow::Normal
+    }
+
+    fn burn(&mut self) -> bool {
+        if self.fuel == 0 {
+            self.trace.fuel_exhausted = true;
+            return false;
+        }
+        self.fuel -= 1;
+        self.trace.statements += 1;
+        true
+    }
+
+    fn stmt(&mut self, stmt: &Stmt, env: &mut Env, depth: usize) -> Flow {
+        if !self.burn() {
+            return Flow::Stop;
+        }
+        match &stmt.kind {
+            StmtKind::Let { name, ty, init } => {
+                let value = match init {
+                    Some(e) => self.eval(e, env, depth),
+                    None => {
+                        // Track "declared but never written" via a sentinel:
+                        // defaults are fine to read for arrays/strings, but
+                        // reading an uninitialized int is recorded lazily in
+                        // eval (we mark with Void here for scalars).
+                        match ty {
+                            Type::Array(..) => self.default_value(ty),
+                            _ => TValue::clean(Value::Void),
+                        }
+                    }
+                };
+                env.insert(name.clone(), value);
+                Flow::Normal
+            }
+            StmtKind::Assign { target, op, value } => {
+                let mut rhs = self.eval(value, env, depth);
+                match target {
+                    LValue::Var(name, _) => {
+                        if let Some(binary) = op {
+                            let cur = self.read_var(name, env);
+                            rhs = self.binary(*binary, cur, rhs);
+                        }
+                        env.insert(name.clone(), rhs);
+                    }
+                    LValue::Index { base, index, .. } => {
+                        let idx = self.eval(index, env, depth).value.as_int();
+                        if let Some(binary) = op {
+                            let cur = self.index_read(base, idx, env);
+                            rhs = self.binary(*binary, cur, rhs);
+                        }
+                        self.index_write(base, idx, rhs, env);
+                    }
+                }
+                Flow::Normal
+            }
+            StmtKind::If { cond, then_branch, else_branch } => {
+                let taken = self.eval(cond, env, depth).truthy();
+                if taken {
+                    self.trace.branches_true += 1;
+                    self.block(then_branch, env, depth)
+                } else {
+                    self.trace.branches_false += 1;
+                    match else_branch {
+                        Some(eb) => self.block(eb, env, depth),
+                        None => Flow::Normal,
+                    }
+                }
+            }
+            StmtKind::While { cond, body } => {
+                let mut iterations: u64 = 0;
+                loop {
+                    if !self.burn() {
+                        return Flow::Stop;
+                    }
+                    if !self.eval(cond, env, depth).truthy() {
+                        self.trace.branches_false += 1;
+                        break;
+                    }
+                    self.trace.branches_true += 1;
+                    iterations += 1;
+                    match self.block(body, env, depth) {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        other => return other,
+                    }
+                }
+                self.trace.max_loop_iterations =
+                    self.trace.max_loop_iterations.max(iterations);
+                Flow::Normal
+            }
+            StmtKind::For { init, cond, step, body } => {
+                if let Some(i) = init {
+                    match self.stmt(i, env, depth) {
+                        Flow::Normal => {}
+                        other => return other,
+                    }
+                }
+                let mut iterations: u64 = 0;
+                loop {
+                    if !self.burn() {
+                        return Flow::Stop;
+                    }
+                    let go = match cond {
+                        Some(c) => self.eval(c, env, depth).truthy(),
+                        None => true,
+                    };
+                    if !go {
+                        self.trace.branches_false += 1;
+                        break;
+                    }
+                    if cond.is_some() {
+                        self.trace.branches_true += 1;
+                    }
+                    iterations += 1;
+                    match self.block(body, env, depth) {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        other => return other,
+                    }
+                    if let Some(s) = step {
+                        match self.stmt(s, env, depth) {
+                            Flow::Normal => {}
+                            other => return other,
+                        }
+                    }
+                }
+                self.trace.max_loop_iterations =
+                    self.trace.max_loop_iterations.max(iterations);
+                Flow::Normal
+            }
+            StmtKind::Switch { scrutinee, cases, default } => {
+                let v = self.eval(scrutinee, env, depth).value.as_int();
+                for case in cases {
+                    if case.value == v {
+                        return match self.block(&case.body, env, depth) {
+                            Flow::Break => Flow::Normal,
+                            other => other,
+                        };
+                    }
+                }
+                match default {
+                    Some(d) => match self.block(d, env, depth) {
+                        Flow::Break => Flow::Normal,
+                        other => other,
+                    },
+                    None => Flow::Normal,
+                }
+            }
+            StmtKind::Break => Flow::Break,
+            StmtKind::Continue => Flow::Continue,
+            StmtKind::Return(value) => {
+                let v = match value {
+                    Some(e) => self.eval(e, env, depth),
+                    None => TValue::clean(Value::Void),
+                };
+                Flow::Return(v)
+            }
+            StmtKind::Expr(e) => {
+                self.eval(e, env, depth);
+                Flow::Normal
+            }
+            StmtKind::Block(b) => self.block(b, env, depth),
+        }
+    }
+
+    fn read_var(&mut self, name: &str, env: &Env) -> TValue {
+        match env.get(name) {
+            Some(v) => {
+                if v.value == Value::Void {
+                    self.trace.uninitialized_reads += 1;
+                    TValue::clean(Value::Int(0))
+                } else {
+                    v.clone()
+                }
+            }
+            // Globals and never-declared names read as clean zero.
+            None => TValue::clean(Value::Int(0)),
+        }
+    }
+
+    fn index_read(&mut self, base: &str, idx: i64, env: &Env) -> TValue {
+        match env.get(base).map(|v| &v.value) {
+            Some(Value::Array(items)) => {
+                if idx >= 0 && (idx as usize) < items.len() {
+                    items[idx as usize].clone()
+                } else {
+                    TValue::clean(Value::Int(0))
+                }
+            }
+            Some(Value::Str(s)) => {
+                let tainted = env.get(base).map(|v| v.tainted).unwrap_or(false);
+                let ch = s
+                    .as_bytes()
+                    .get(idx.max(0) as usize)
+                    .map(|&b| (b as char).to_string())
+                    .unwrap_or_default();
+                TValue { value: Value::Str(ch), tainted }
+            }
+            _ => TValue::clean(Value::Int(0)),
+        }
+    }
+
+    fn index_write(&mut self, base: &str, idx: i64, value: TValue, env: &mut Env) {
+        match env.get_mut(base) {
+            Some(TValue { value: Value::Array(items), tainted }) => {
+                if idx >= 0 && (idx as usize) < items.len() {
+                    *tainted |= value.tainted;
+                    items[idx as usize] = value;
+                } else {
+                    self.trace.oob_writes += 1;
+                }
+            }
+            _ => {
+                // Writing into a non-array (str buffers): treat as an
+                // append-at-index; out of declared range is unobservable
+                // here, so only negative indices count.
+                if idx < 0 {
+                    self.trace.oob_writes += 1;
+                }
+            }
+        }
+    }
+
+    fn binary(&mut self, op: BinaryOp, lhs: TValue, rhs: TValue) -> TValue {
+        let tainted = lhs.tainted || rhs.tainted;
+        let value = match op {
+            BinaryOp::Add => match (&lhs.value, &rhs.value) {
+                (Value::Str(a), b) => Value::Str(format!("{a}{}", b.as_str())),
+                (a, Value::Str(b)) => Value::Str(format!("{}{b}", a.as_str())),
+                (Value::Float(a), b) => Value::Float(a + b.as_int() as f64),
+                (a, Value::Float(b)) => Value::Float(a.as_int() as f64 + b),
+                (a, b) => Value::Int(a.as_int().wrapping_add(b.as_int())),
+            },
+            BinaryOp::Sub => Value::Int(lhs.value.as_int().wrapping_sub(rhs.value.as_int())),
+            BinaryOp::Mul => Value::Int(lhs.value.as_int().wrapping_mul(rhs.value.as_int())),
+            BinaryOp::Div => {
+                let d = rhs.value.as_int();
+                Value::Int(if d == 0 { 0 } else { lhs.value.as_int().wrapping_div(d) })
+            }
+            BinaryOp::Rem => {
+                let d = rhs.value.as_int();
+                Value::Int(if d == 0 { 0 } else { lhs.value.as_int().wrapping_rem(d) })
+            }
+            BinaryOp::And => Value::Bool(lhs.truthy() && rhs.truthy()),
+            BinaryOp::Or => Value::Bool(lhs.truthy() || rhs.truthy()),
+            BinaryOp::BitAnd => Value::Int(lhs.value.as_int() & rhs.value.as_int()),
+            BinaryOp::BitOr => Value::Int(lhs.value.as_int() | rhs.value.as_int()),
+            BinaryOp::BitXor => Value::Int(lhs.value.as_int() ^ rhs.value.as_int()),
+            BinaryOp::Shl => {
+                Value::Int(lhs.value.as_int().wrapping_shl(rhs.value.as_int() as u32 & 63))
+            }
+            BinaryOp::Shr => {
+                Value::Int(lhs.value.as_int().wrapping_shr(rhs.value.as_int() as u32 & 63))
+            }
+            BinaryOp::Eq => Value::Bool(compare(&lhs.value, &rhs.value) == 0),
+            BinaryOp::Ne => Value::Bool(compare(&lhs.value, &rhs.value) != 0),
+            BinaryOp::Lt => Value::Bool(compare(&lhs.value, &rhs.value) < 0),
+            BinaryOp::Le => Value::Bool(compare(&lhs.value, &rhs.value) <= 0),
+            BinaryOp::Gt => Value::Bool(compare(&lhs.value, &rhs.value) > 0),
+            BinaryOp::Ge => Value::Bool(compare(&lhs.value, &rhs.value) >= 0),
+        };
+        TValue { value, tainted }
+    }
+
+    fn eval(&mut self, expr: &Expr, env: &mut Env, depth: usize) -> TValue {
+        match &expr.kind {
+            ExprKind::Int(v) => TValue::clean(Value::Int(*v)),
+            ExprKind::Float(v) => TValue::clean(Value::Float(*v)),
+            ExprKind::Str(s) => TValue::clean(Value::Str(s.clone())),
+            ExprKind::Bool(b) => TValue::clean(Value::Bool(*b)),
+            ExprKind::Var(name) => self.read_var(name, env),
+            ExprKind::Index { base, index } => {
+                let idx = self.eval(index, env, depth).value.as_int();
+                if let ExprKind::Var(name) = &base.kind {
+                    self.index_read(name, idx, env)
+                } else {
+                    TValue::clean(Value::Int(0))
+                }
+            }
+            ExprKind::Unary { op, operand } => {
+                let v = self.eval(operand, env, depth);
+                let value = match op {
+                    UnaryOp::Neg => Value::Int(v.value.as_int().wrapping_neg()),
+                    UnaryOp::Not => Value::Bool(!v.truthy()),
+                };
+                TValue { value, tainted: v.tainted }
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                let l = self.eval(lhs, env, depth);
+                // Short-circuit without evaluating the right side.
+                match op {
+                    BinaryOp::And if !l.truthy() => {
+                        return TValue { value: Value::Bool(false), tainted: l.tainted }
+                    }
+                    BinaryOp::Or if l.truthy() => {
+                        return TValue { value: Value::Bool(true), tainted: l.tainted }
+                    }
+                    _ => {}
+                }
+                let r = self.eval(rhs, env, depth);
+                self.binary(*op, l, r)
+            }
+            ExprKind::Call { callee, args } => {
+                let arg_values: Vec<TValue> =
+                    args.iter().map(|a| self.eval(a, env, depth)).collect();
+                if let Some(intrinsic) = Intrinsic::from_name(callee) {
+                    return self.intrinsic(intrinsic, args, arg_values, env);
+                }
+                if let Some(f) = self.program.find_function(callee) {
+                    return match self.call(f, arg_values, depth + 1) {
+                        Flow::Return(v) => v,
+                        _ => TValue::clean(Value::Void),
+                    };
+                }
+                // Unresolved extern: clean zero.
+                TValue::clean(Value::Int(0))
+            }
+        }
+    }
+
+    fn intrinsic(
+        &mut self,
+        intrinsic: Intrinsic,
+        arg_exprs: &[Expr],
+        args: Vec<TValue>,
+        env: &mut Env,
+    ) -> TValue {
+        use Intrinsic::*;
+        let any_tainted = args.iter().any(|a| a.tainted);
+        if intrinsic.is_dangerous_sink() && any_tainted {
+            self.trace.tainted_sink_calls += 1;
+        }
+        match intrinsic {
+            ReadInput | Recv | Getenv | ReadFile => {
+                TValue::tainted(Value::Str(self.config.attacker_string.clone()))
+            }
+            ReadInt => TValue::tainted(Value::Int(self.config.attacker_int)),
+            Atoi => {
+                let s = args.first().map(|a| a.value.as_str()).unwrap_or_default();
+                let parsed = s
+                    .chars()
+                    .take_while(|c| c.is_ascii_digit())
+                    .collect::<String>()
+                    .parse()
+                    .unwrap_or(self.config.attacker_int);
+                TValue { value: Value::Int(parsed), tainted: any_tainted }
+            }
+            Strlen => {
+                let n = args.first().map(|a| a.value.as_str().len()).unwrap_or(0);
+                TValue { value: Value::Int(n as i64), tainted: any_tainted }
+            }
+            Hash => TValue {
+                value: Value::Int(args.first().map(|a| a.value.as_str().len() as i64 * 31).unwrap_or(0)),
+                tainted: any_tainted,
+            },
+            Strcpy | Strcat | Memcpy | Sprintf => {
+                // Copy into the destination variable; detect overflow of the
+                // declared buffer capacity when it is still known (buffers
+                // decay to plain strings after the first copy, after which
+                // the attacker-string-length heuristic applies).
+                let payload = args
+                    .get(1)
+                    .cloned()
+                    .unwrap_or(TValue::clean(Value::Str(String::new())));
+                if let Some(ExprKind::Var(dst)) = arg_exprs.first().map(|e| &e.kind) {
+                    let capacity = match env.get(dst.as_str()).map(|v| &v.value) {
+                        Some(Value::Array(items)) => Some(items.len()),
+                        _ => None,
+                    };
+                    let overflowed = match capacity {
+                        Some(cap) => payload.value.as_str().len() > cap,
+                        None => payload.value.as_str().len() > 64,
+                    };
+                    if overflowed {
+                        self.trace.oob_writes += 1;
+                    }
+                    let existing = env.get(dst.as_str()).map(|v| v.value.clone());
+                    let new_value = match (intrinsic, existing) {
+                        (Strcat, Some(Value::Str(old))) => {
+                            Value::Str(format!("{old}{}", payload.value.as_str()))
+                        }
+                        _ => Value::Str(payload.value.as_str()),
+                    };
+                    env.insert(
+                        dst.clone(),
+                        TValue { value: new_value, tainted: payload.tainted },
+                    );
+                }
+                TValue::clean(Value::Void)
+            }
+            Strncpy => {
+                let payload = args.get(1).cloned().unwrap_or(TValue::clean(Value::Str(String::new())));
+                let n = args.get(2).map(|a| a.value.as_int().max(0) as usize).unwrap_or(0);
+                if let Some(ExprKind::Var(dst)) = arg_exprs.first().map(|e| &e.kind) {
+                    let truncated: String = payload.value.as_str().chars().take(n).collect();
+                    env.insert(
+                        dst.clone(),
+                        TValue { value: Value::Str(truncated), tainted: payload.tainted },
+                    );
+                }
+                TValue::clean(Value::Void)
+            }
+            Alloc => {
+                let n = args.first().map(|a| a.value.as_int()).unwrap_or(0);
+                TValue::clean(Value::Str(" ".repeat(n.clamp(0, 4096) as usize)))
+            }
+            RandInt => {
+                // Deterministic "random": keeps traces reproducible.
+                let n = args.first().map(|a| a.value.as_int()).unwrap_or(1).max(1);
+                TValue::clean(Value::Int(n / 2))
+            }
+            AuthCheck => TValue::clean(Value::Bool(false)),
+            Access => TValue::clean(Value::Bool(true)),
+            Open => TValue::clean(Value::Int(3)),
+            Printf | Send | WriteFile | Exec | System | LogMsg | Free => {
+                TValue::clean(Value::Void)
+            }
+        }
+    }
+}
+
+fn compare(a: &Value, b: &Value) -> i32 {
+    match (a, b) {
+        (Value::Str(x), Value::Str(y)) => x.cmp(y) as i32,
+        (Value::Float(x), y) => {
+            let y = y.as_int() as f64;
+            if *x < y {
+                -1
+            } else if *x > y {
+                1
+            } else {
+                0
+            }
+        }
+        (x, Value::Float(y)) => -compare(&Value::Float(*y), x),
+        (x, y) => x.as_int().cmp(&y.as_int()) as i32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_program, Dialect};
+
+    fn trace(src: &str, function: &str) -> ExecutionTrace {
+        let p = parse_program("t", Dialect::C, &[("m.c".into(), src.into())]).unwrap();
+        run_function(&p, function, &InterpConfig::default())
+    }
+
+    #[test]
+    fn straight_line_completes() {
+        let t = trace("fn f() { let x: int = 1; x = x + 2; }", "f");
+        assert!(t.completed);
+        assert_eq!(t.statements, 2);
+        assert!(!t.fuel_exhausted);
+        assert!(t.functions_called.contains("f"));
+    }
+
+    #[test]
+    fn branches_counted_by_direction() {
+        let t = trace(
+            "fn f() { let x: int = 5; if x > 3 { x = 1; } if x > 3 { x = 2; } }",
+            "f",
+        );
+        assert_eq!(t.branches_true, 1);
+        assert_eq!(t.branches_false, 1);
+    }
+
+    #[test]
+    fn loops_count_iterations() {
+        let t = trace("fn f() { let i: int = 0; while i < 7 { i = i + 1; } }", "f");
+        assert_eq!(t.max_loop_iterations, 7);
+        assert!(t.completed);
+    }
+
+    #[test]
+    fn for_loop_with_break() {
+        let t = trace(
+            "fn f() { for i = 0; i < 100; i += 1 { if i == 3 { break; } } }",
+            "f",
+        );
+        assert_eq!(t.max_loop_iterations, 4);
+    }
+
+    #[test]
+    fn infinite_loop_exhausts_fuel_not_time() {
+        let t = trace("fn f() { while true { log_msg(\"spin\"); } }", "f");
+        assert!(t.fuel_exhausted);
+        assert!(!t.completed);
+    }
+
+    #[test]
+    fn tainted_input_reaching_sink_is_recorded() {
+        let t = trace("fn f() { let s: str = read_input(); system(s); }", "f");
+        assert_eq!(t.tainted_sink_calls, 1);
+    }
+
+    #[test]
+    fn attacker_parameters_are_tainted() {
+        let t = trace("fn handle(req: str) { exec(req); }", "handle");
+        assert_eq!(t.tainted_sink_calls, 1);
+    }
+
+    #[test]
+    fn sanitized_value_is_clean_at_sink() {
+        let t = trace("fn f() { let s: str = read_input(); s = \"fixed\"; system(s); }", "f");
+        assert_eq!(t.tainted_sink_calls, 0);
+    }
+
+    #[test]
+    fn dynamic_oob_write_detected() {
+        let t = trace("fn f(n: int) { let buf: int[8]; buf[n] = 1; }", "f");
+        // n is the attacker int (1<<20) — way past capacity.
+        assert_eq!(t.oob_writes, 1);
+    }
+
+    #[test]
+    fn in_bounds_write_is_silent() {
+        let t = trace("fn f() { let buf: int[8]; buf[3] = 1; }", "f");
+        assert_eq!(t.oob_writes, 0);
+    }
+
+    #[test]
+    fn guarded_write_is_safe_at_runtime() {
+        let t = trace(
+            "fn f(n: int) { let buf: int[8]; if n >= 0 && n < 8 { buf[n] = 1; } }",
+            "f",
+        );
+        assert_eq!(t.oob_writes, 0);
+        assert_eq!(t.branches_false, 1); // the guard rejected the attacker value
+    }
+
+    #[test]
+    fn strcpy_overflow_detected_dynamically() {
+        let t = trace("fn handle(req: str) { let b: str[16]; strcpy(b, req); }", "handle");
+        // The synthetic attacker string is longer than any small buffer.
+        assert!(t.oob_writes >= 1);
+    }
+
+    #[test]
+    fn strncpy_is_bounded() {
+        let t = trace(
+            "fn handle(req: str) { let b: str[16]; strncpy(b, req, 15); log_msg(b); }",
+            "handle",
+        );
+        assert_eq!(t.oob_writes, 0);
+    }
+
+    #[test]
+    fn user_calls_recurse_and_record_coverage() {
+        let t = trace(
+            "fn a() { b(); }
+             fn b() { c(); }
+             fn c() { log_msg(\"leaf\"); }",
+            "a",
+        );
+        assert_eq!(t.functions_called.len(), 3);
+    }
+
+    #[test]
+    fn recursion_is_depth_bounded() {
+        let t = trace("fn f(n: int) -> int { return f(n - 1); }", "f");
+        assert!(t.completed, "depth bound must terminate recursion");
+    }
+
+    #[test]
+    fn uninitialized_scalar_read_recorded() {
+        let t = trace("fn f() -> int { let x: int; return x + 1; }", "f");
+        assert_eq!(t.uninitialized_reads, 1);
+    }
+
+    #[test]
+    fn switch_dispatch() {
+        let t = trace(
+            "fn f() { let x: int = 2; switch x { case 1: { log_msg(\"a\"); } case 2: { log_msg(\"b\"); } default: { } } }",
+            "f",
+        );
+        assert!(t.completed);
+    }
+
+    #[test]
+    fn atoi_propagates_dynamic_taint() {
+        let t = trace(
+            "fn f() { let n: int = atoi(read_input()); printf(\"%d\", n); }",
+            "f",
+        );
+        assert_eq!(t.tainted_sink_calls, 1);
+    }
+
+    #[test]
+    fn branch_bias_statistic() {
+        let t = trace(
+            "fn f() { let i: int = 0; while i < 3 { i += 1; } }",
+            "f",
+        );
+        // 3 true + 1 false.
+        assert!((t.branch_bias() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_function_returns_empty_trace() {
+        let t = trace("fn f() { }", "ghost");
+        assert_eq!(t.statements, 0);
+        assert!(!t.completed);
+    }
+
+    #[test]
+    fn division_by_zero_is_total() {
+        let t = trace("fn f(n: int) { let x: int = 10 / (n - n); let y: int = 10 % (n - n); }", "f");
+        assert!(t.completed);
+    }
+}

@@ -1,0 +1,234 @@
+//! I/O and library intrinsics.
+//!
+//! MiniLang programs call a fixed set of intrinsic functions modelled on the
+//! C standard library and POSIX calls that dominate real CVE root causes.
+//! The taint analysis, the attack-surface analysis (RASQ), and the §4.2
+//! bug-finding tools all key off these: `read_input`/`recv`/`getenv` are
+//! taint *sources*, `strcpy`/`sprintf`/`exec`/`system` are dangerous *sinks*.
+
+use std::fmt;
+
+/// The fixed set of intrinsic functions known to every analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intrinsic {
+    /// `read_input() -> str` — read untrusted data from stdin.
+    ReadInput,
+    /// `read_int() -> int` — read an untrusted integer from stdin.
+    ReadInt,
+    /// `recv(chan: int) -> str` — read untrusted data from a network channel.
+    Recv,
+    /// `send(chan: int, data: str)` — write to a network channel.
+    Send,
+    /// `getenv(name: str) -> str` — read an environment variable (untrusted).
+    Getenv,
+    /// `read_file(path: str) -> str` — read a file.
+    ReadFile,
+    /// `write_file(path: str, data: str)` — write a file.
+    WriteFile,
+    /// `open(path: str) -> int` — open a file descriptor.
+    Open,
+    /// `access(path: str) -> bool` — check file permissions (TOCTOU pair of `open`).
+    Access,
+    /// `exec(cmd: str)` — execute a program (command-injection sink).
+    Exec,
+    /// `system(cmd: str)` — shell out (command-injection sink).
+    System,
+    /// `printf(fmt: str, ...)` — formatted output (format-string sink).
+    Printf,
+    /// `sprintf(dst: str, fmt: str, ...)` — formatted copy into a buffer.
+    Sprintf,
+    /// `strcpy(dst: str, src: str)` — unchecked string copy (CWE-121 sink).
+    Strcpy,
+    /// `strncpy(dst: str, src: str, n: int)` — bounded string copy.
+    Strncpy,
+    /// `memcpy(dst: str, src: str, n: int)` — unchecked memory copy.
+    Memcpy,
+    /// `strlen(s: str) -> int` — string length.
+    Strlen,
+    /// `strcat(dst: str, src: str)` — unchecked concatenation.
+    Strcat,
+    /// `atoi(s: str) -> int` — parse integer (propagates taint).
+    Atoi,
+    /// `alloc(n: int) -> str` — allocate a buffer of `n` bytes.
+    Alloc,
+    /// `free(p: str)` — release a buffer.
+    Free,
+    /// `hash(s: str) -> int` — pure helper.
+    Hash,
+    /// `log_msg(s: str)` — diagnostic logging (benign sink).
+    LogMsg,
+    /// `rand_int(n: int) -> int` — pseudo-random value.
+    RandInt,
+    /// `auth_check(user: str, pass: str) -> bool` — credential comparison
+    /// (hardcoded-credential checker watches its literal arguments).
+    AuthCheck,
+}
+
+impl Intrinsic {
+    /// All intrinsics.
+    pub const ALL: [Intrinsic; 25] = [
+        Intrinsic::ReadInput,
+        Intrinsic::ReadInt,
+        Intrinsic::Recv,
+        Intrinsic::Send,
+        Intrinsic::Getenv,
+        Intrinsic::ReadFile,
+        Intrinsic::WriteFile,
+        Intrinsic::Open,
+        Intrinsic::Access,
+        Intrinsic::Exec,
+        Intrinsic::System,
+        Intrinsic::Printf,
+        Intrinsic::Sprintf,
+        Intrinsic::Strcpy,
+        Intrinsic::Strncpy,
+        Intrinsic::Memcpy,
+        Intrinsic::Strlen,
+        Intrinsic::Strcat,
+        Intrinsic::Atoi,
+        Intrinsic::Alloc,
+        Intrinsic::Free,
+        Intrinsic::Hash,
+        Intrinsic::LogMsg,
+        Intrinsic::RandInt,
+        Intrinsic::AuthCheck,
+    ];
+
+    /// Resolve a callee name to an intrinsic, if it is one.
+    pub fn from_name(name: &str) -> Option<Intrinsic> {
+        Intrinsic::ALL.iter().copied().find(|i| i.name() == name)
+    }
+
+    /// The spelling used in source code.
+    pub fn name(self) -> &'static str {
+        match self {
+            Intrinsic::ReadInput => "read_input",
+            Intrinsic::ReadInt => "read_int",
+            Intrinsic::Recv => "recv",
+            Intrinsic::Send => "send",
+            Intrinsic::Getenv => "getenv",
+            Intrinsic::ReadFile => "read_file",
+            Intrinsic::WriteFile => "write_file",
+            Intrinsic::Open => "open",
+            Intrinsic::Access => "access",
+            Intrinsic::Exec => "exec",
+            Intrinsic::System => "system",
+            Intrinsic::Printf => "printf",
+            Intrinsic::Sprintf => "sprintf",
+            Intrinsic::Strcpy => "strcpy",
+            Intrinsic::Strncpy => "strncpy",
+            Intrinsic::Memcpy => "memcpy",
+            Intrinsic::Strlen => "strlen",
+            Intrinsic::Strcat => "strcat",
+            Intrinsic::Atoi => "atoi",
+            Intrinsic::Alloc => "alloc",
+            Intrinsic::Free => "free",
+            Intrinsic::Hash => "hash",
+            Intrinsic::LogMsg => "log_msg",
+            Intrinsic::RandInt => "rand_int",
+            Intrinsic::AuthCheck => "auth_check",
+        }
+    }
+
+    /// True for intrinsics that introduce attacker-controlled data.
+    pub fn is_taint_source(self) -> bool {
+        matches!(
+            self,
+            Intrinsic::ReadInput
+                | Intrinsic::ReadInt
+                | Intrinsic::Recv
+                | Intrinsic::Getenv
+                | Intrinsic::ReadFile
+        )
+    }
+
+    /// True for intrinsics where tainted data is dangerous.
+    pub fn is_dangerous_sink(self) -> bool {
+        matches!(
+            self,
+            Intrinsic::Exec
+                | Intrinsic::System
+                | Intrinsic::Sprintf
+                | Intrinsic::Strcpy
+                | Intrinsic::Strcat
+                | Intrinsic::Memcpy
+                | Intrinsic::Printf
+        )
+    }
+
+    /// True for intrinsics that propagate taint from arguments to result.
+    pub fn propagates_taint(self) -> bool {
+        matches!(self, Intrinsic::Atoi | Intrinsic::Hash | Intrinsic::Strlen)
+    }
+
+    /// True for intrinsics that perform external I/O — these count toward
+    /// the RASQ attack-surface channel enumeration.
+    pub fn is_io_channel(self) -> bool {
+        matches!(
+            self,
+            Intrinsic::ReadInput
+                | Intrinsic::ReadInt
+                | Intrinsic::Recv
+                | Intrinsic::Send
+                | Intrinsic::ReadFile
+                | Intrinsic::WriteFile
+                | Intrinsic::Open
+                | Intrinsic::Access
+                | Intrinsic::Exec
+                | Intrinsic::System
+                | Intrinsic::Getenv
+        )
+    }
+}
+
+impl fmt::Display for Intrinsic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_round_trips() {
+        for i in Intrinsic::ALL {
+            assert_eq!(Intrinsic::from_name(i.name()), Some(i));
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_user_functions() {
+        assert_eq!(Intrinsic::from_name("handle_request"), None);
+        assert_eq!(Intrinsic::from_name(""), None);
+    }
+
+    #[test]
+    fn sources_and_sinks_are_disjoint() {
+        for i in Intrinsic::ALL {
+            assert!(
+                !(i.is_taint_source() && i.is_dangerous_sink()),
+                "{i} is both source and sink"
+            );
+        }
+    }
+
+    #[test]
+    fn classic_cwe_sinks_are_flagged() {
+        assert!(Intrinsic::Strcpy.is_dangerous_sink());
+        assert!(Intrinsic::System.is_dangerous_sink());
+        assert!(Intrinsic::Printf.is_dangerous_sink());
+        assert!(!Intrinsic::Strncpy.is_dangerous_sink());
+        assert!(!Intrinsic::LogMsg.is_dangerous_sink());
+    }
+
+    #[test]
+    fn io_channels_cover_sources() {
+        for i in Intrinsic::ALL {
+            if i.is_taint_source() {
+                assert!(i.is_io_channel(), "{i} reads external data but is not a channel");
+            }
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! Hand-written lexer.
+//!
+//! The lexer is dialect-aware only for comments: `//` + `/* */` in the
+//! C-family dialects, `#` + `"""..."""` in the Python dialect. Comments are
+//! skipped (with a count kept for sanity checks); all other tokens are shared
+//! across dialects.
+
+use crate::dialect::Dialect;
+use crate::error::LexError;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Streaming tokenizer over a module's source text.
+pub struct Lexer<'src> {
+    src: &'src str,
+    bytes: &'src [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    dialect: Dialect,
+    /// Number of comments skipped (line + block), for diagnostics.
+    pub comments_skipped: usize,
+}
+
+impl<'src> Lexer<'src> {
+    /// Create a lexer for `src` in the given dialect.
+    pub fn new(src: &'src str, dialect: Dialect) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1, dialect, comments_skipped: 0 }
+    }
+
+    /// Tokenize the entire input, ending with a single [`TokenKind::Eof`].
+    pub fn tokenize(mut self) -> Result<Vec<Token>, LexError> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let is_eof = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if is_eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        // Byte-level comparison: `self.pos` may sit mid-way through a
+        // multi-byte character while skipping comment bodies.
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn bump_str(&mut self, s: &str) {
+        for _ in 0..s.len() {
+            self.bump();
+        }
+    }
+
+    fn here(&self) -> Span {
+        Span::new(self.pos, self.pos, self.line, self.col)
+    }
+
+    /// Skip whitespace and comments; returns an error on an unterminated
+    /// block comment.
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                _ => {
+                    let line_intro = self.dialect.line_comment();
+                    let (block_open, block_close) = self.dialect.block_comment();
+                    if self.starts_with(line_intro) {
+                        self.comments_skipped += 1;
+                        while let Some(b) = self.peek() {
+                            if b == b'\n' {
+                                break;
+                            }
+                            self.bump();
+                        }
+                        continue;
+                    }
+                    if self.starts_with(block_open) {
+                        let open_span = self.here();
+                        self.comments_skipped += 1;
+                        self.bump_str(block_open);
+                        loop {
+                            if self.starts_with(block_close) {
+                                self.bump_str(block_close);
+                                break;
+                            }
+                            if self.bump().is_none() {
+                                return Err(LexError::new(
+                                    "unterminated block comment",
+                                    open_span,
+                                ));
+                            }
+                        }
+                        continue;
+                    }
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Produce the next token.
+    pub fn next_token(&mut self) -> Result<Token, LexError> {
+        self.skip_trivia()?;
+        let start = self.pos;
+        let (line, col) = (self.line, self.col);
+        let span_from = |lexer: &Self| Span::new(start, lexer.pos, line, col);
+
+        let Some(b) = self.peek() else {
+            return Ok(Token::new(TokenKind::Eof, span_from(self)));
+        };
+
+        // MiniLang source is ASCII outside comments; reject other bytes
+        // up front so slicing below never straddles a char boundary.
+        if !b.is_ascii() {
+            let ch = self.src[self.pos..].chars().next().unwrap_or('\u{fffd}');
+            for _ in 0..ch.len_utf8() {
+                self.bump();
+            }
+            return Err(LexError::new(
+                format!("unexpected character `{ch}`"),
+                span_from(self),
+            ));
+        }
+
+        // Identifiers and keywords.
+        if b.is_ascii_alphabetic() || b == b'_' {
+            while let Some(c) = self.peek() {
+                if c.is_ascii_alphanumeric() || c == b'_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let text = &self.src[start..self.pos];
+            let kind = TokenKind::keyword(text)
+                .unwrap_or_else(|| TokenKind::Ident(text.to_string()));
+            return Ok(Token::new(kind, span_from(self)));
+        }
+
+        // Numbers: integer or float (single dot, digits either side).
+        if b.is_ascii_digit() {
+            let mut saw_dot = false;
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    self.bump();
+                } else if c == b'.' && !saw_dot && self.peek2().is_some_and(|d| d.is_ascii_digit())
+                {
+                    saw_dot = true;
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let text = &self.src[start..self.pos];
+            let kind = if saw_dot {
+                TokenKind::Float(text.parse().map_err(|_| {
+                    LexError::new(format!("invalid float literal `{text}`"), span_from(self))
+                })?)
+            } else {
+                TokenKind::Int(text.parse().map_err(|_| {
+                    LexError::new(format!("integer literal `{text}` out of range"), span_from(self))
+                })?)
+            };
+            return Ok(Token::new(kind, span_from(self)));
+        }
+
+        // String literals with simple escapes.
+        if b == b'"' {
+            self.bump();
+            let mut value = String::new();
+            loop {
+                match self.bump() {
+                    None | Some(b'\n') => {
+                        return Err(LexError::new("unterminated string literal", span_from(self)))
+                    }
+                    Some(b'"') => break,
+                    Some(b'\\') => match self.bump() {
+                        Some(b'n') => value.push('\n'),
+                        Some(b't') => value.push('\t'),
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'"') => value.push('"'),
+                        Some(b'%') => value.push('%'),
+                        other => {
+                            return Err(LexError::new(
+                                format!(
+                                    "unknown escape `\\{}`",
+                                    other.map(|c| c as char).unwrap_or('?')
+                                ),
+                                span_from(self),
+                            ))
+                        }
+                    },
+                    Some(c) if c.is_ascii() => value.push(c as char),
+                    Some(_) => {
+                        return Err(LexError::new(
+                            "non-ASCII character in string literal",
+                            span_from(self),
+                        ))
+                    }
+                }
+            }
+            return Ok(Token::new(TokenKind::Str(value), span_from(self)));
+        }
+
+        // Operators and punctuation (longest match first).
+        let end = (self.pos + 2).min(self.src.len());
+        let two: &str = self.src.get(self.pos..end).unwrap_or("");
+        let two_kind = match two {
+            "->" => Some(TokenKind::Arrow),
+            "==" => Some(TokenKind::EqEq),
+            "!=" => Some(TokenKind::NotEq),
+            "<=" => Some(TokenKind::Le),
+            ">=" => Some(TokenKind::Ge),
+            "&&" => Some(TokenKind::AndAnd),
+            "||" => Some(TokenKind::OrOr),
+            "<<" => Some(TokenKind::Shl),
+            ">>" => Some(TokenKind::Shr),
+            "+=" => Some(TokenKind::PlusEq),
+            "-=" => Some(TokenKind::MinusEq),
+            "*=" => Some(TokenKind::StarEq),
+            "/=" => Some(TokenKind::SlashEq),
+            _ => None,
+        };
+        if let Some(kind) = two_kind {
+            self.bump();
+            self.bump();
+            return Ok(Token::new(kind, span_from(self)));
+        }
+
+        let one_kind = match b {
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b',' => TokenKind::Comma,
+            b';' => TokenKind::Semi,
+            b':' => TokenKind::Colon,
+            b'@' => TokenKind::At,
+            b'=' => TokenKind::Assign,
+            b'+' => TokenKind::Plus,
+            b'-' => TokenKind::Minus,
+            b'*' => TokenKind::Star,
+            b'/' => TokenKind::Slash,
+            b'%' => TokenKind::Percent,
+            b'!' => TokenKind::Bang,
+            b'&' => TokenKind::Amp,
+            b'|' => TokenKind::Pipe,
+            b'^' => TokenKind::Caret,
+            b'<' => TokenKind::Lt,
+            b'>' => TokenKind::Gt,
+            other => {
+                return Err(LexError::new(
+                    format!("unexpected character `{}`", other as char),
+                    span_from(self),
+                ))
+            }
+        };
+        self.bump();
+        Ok(Token::new(one_kind, span_from(self)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str, dialect: Dialect) -> Vec<TokenKind> {
+        Lexer::new(src, dialect).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_function_header() {
+        let ks = kinds("fn f(x: int) -> int {", Dialect::C);
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::KwFn,
+                TokenKind::Ident("f".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("x".into()),
+                TokenKind::Colon,
+                TokenKind::KwInt,
+                TokenKind::RParen,
+                TokenKind::Arrow,
+                TokenKind::KwInt,
+                TokenKind::LBrace,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_c_comments() {
+        let ks = kinds("a // comment\n/* block\nspanning */ b", Dialect::C);
+        assert_eq!(
+            ks,
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn skips_python_comments() {
+        let ks = kinds("a # comment\n\"\"\" docstring \"\"\" b", Dialect::Python);
+        assert_eq!(
+            ks,
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn hash_is_error_in_c_dialect() {
+        let err = Lexer::new("#", Dialect::C).tokenize().unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn numbers_int_and_float() {
+        let ks = kinds("42 3.25 7", Dialect::C);
+        assert_eq!(
+            ks,
+            vec![TokenKind::Int(42), TokenKind::Float(3.25), TokenKind::Int(7), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn dot_without_following_digit_is_not_float() {
+        // `1.` should lex as Int(1) then an error on the bare dot.
+        let err = Lexer::new("1.", Dialect::C).tokenize().unwrap_err();
+        assert!(err.message.contains("unexpected character `.`"));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let ks = kinds(r#""a\n\t\"\\%d""#, Dialect::C);
+        assert_eq!(ks[0], TokenKind::Str("a\n\t\"\\%d".into()));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        let err = Lexer::new("\"abc", Dialect::C).tokenize().unwrap_err();
+        assert!(err.message.contains("unterminated string"));
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_error() {
+        let err = Lexer::new("/* never closed", Dialect::C).tokenize().unwrap_err();
+        assert!(err.message.contains("unterminated block comment"));
+    }
+
+    #[test]
+    fn two_char_operators_win_over_one_char() {
+        let ks = kinds("<= < << =", Dialect::C);
+        assert_eq!(
+            ks,
+            vec![TokenKind::Le, TokenKind::Lt, TokenKind::Shl, TokenKind::Assign, TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn tracks_line_and_column() {
+        let toks = Lexer::new("a\n  b", Dialect::C).tokenize().unwrap();
+        assert_eq!((toks[0].span.line, toks[0].span.col), (1, 1));
+        assert_eq!((toks[1].span.line, toks[1].span.col), (2, 3));
+    }
+
+    #[test]
+    fn counts_skipped_comments() {
+        let mut lx = Lexer::new("// one\n/* two */ x", Dialect::C);
+        let mut toks = Vec::new();
+        loop {
+            let t = lx.next_token().unwrap();
+            let eof = t.kind == TokenKind::Eof;
+            toks.push(t);
+            if eof {
+                break;
+            }
+        }
+        assert_eq!(lx.comments_skipped, 2);
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        assert_eq!(kinds("", Dialect::Java), vec![TokenKind::Eof]);
+        assert_eq!(kinds("   \n\t ", Dialect::Java), vec![TokenKind::Eof]);
+    }
+}

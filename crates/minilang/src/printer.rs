@@ -1,0 +1,388 @@
+//! Pretty-printer.
+//!
+//! Emits canonical MiniLang source from an AST. The corpus generator builds
+//! ASTs and prints them (interleaving dialect-styled comments) to produce the
+//! module source text; the property tests round-trip `parse ∘ print` to pin
+//! the grammar.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Render a module's items as canonical source text.
+///
+/// Note: this prints the AST, not `module.source` — comments are not
+/// preserved (the corpus generator adds its own when synthesizing files).
+pub fn print_module(module: &Module) -> String {
+    let mut p = Printer::new();
+    for g in &module.globals {
+        p.global(g);
+    }
+    for f in &module.functions {
+        p.function(f);
+    }
+    p.out
+}
+
+/// Render a single function.
+pub fn print_function(f: &Function) -> String {
+    let mut p = Printer::new();
+    p.function(f);
+    p.out
+}
+
+/// Render a single expression (used in diagnostics).
+pub fn print_expr(e: &Expr) -> String {
+    let mut p = Printer::new();
+    p.expr(e);
+    p.out
+}
+
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn new() -> Self {
+        Printer { out: String::new(), indent: 0 }
+    }
+
+    fn line(&mut self, text: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn global(&mut self, g: &Global) {
+        let mut s = format!("global {}: {}", g.name, g.ty);
+        if let Some(init) = &g.init {
+            let mut p = Printer::new();
+            p.expr(init);
+            let _ = write!(s, " = {}", p.out);
+        }
+        s.push(';');
+        self.line(&s);
+    }
+
+    fn function(&mut self, f: &Function) {
+        for ann in &f.annotations {
+            let text = match ann {
+                Annotation::Endpoint(k) => format!("@endpoint({})", k.name()),
+                Annotation::Priv(p) => format!("@priv({})", p.name()),
+                Annotation::Untrusted => "@untrusted".to_string(),
+                Annotation::Deprecated => "@deprecated".to_string(),
+            };
+            self.line(&text);
+        }
+        let params: Vec<String> =
+            f.params.iter().map(|p| format!("{}: {}", p.name, p.ty)).collect();
+        let header = if f.ret == Type::Void {
+            format!("fn {}({}) {{", f.name, params.join(", "))
+        } else {
+            format!("fn {}({}) -> {} {{", f.name, params.join(", "), f.ret)
+        };
+        self.line(&header);
+        self.indent += 1;
+        for s in &f.body.stmts {
+            self.stmt(s);
+        }
+        self.indent -= 1;
+        self.line("}");
+    }
+
+    fn block_inline(&mut self, b: &Block) {
+        self.out.push_str("{\n");
+        self.indent += 1;
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+        self.indent -= 1;
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push('}');
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Let { name, ty, init } => {
+                let mut text = format!("let {name}: {ty}");
+                if let Some(e) = init {
+                    let mut p = Printer::new();
+                    p.expr(e);
+                    let _ = write!(text, " = {}", p.out);
+                }
+                text.push(';');
+                self.line(&text);
+            }
+            StmtKind::Assign { target, op, value } => {
+                let mut text = String::new();
+                match target {
+                    LValue::Var(name, _) => text.push_str(name),
+                    LValue::Index { base, index, .. } => {
+                        let mut p = Printer::new();
+                        p.expr(index);
+                        let _ = write!(text, "{base}[{}]", p.out);
+                    }
+                }
+                match op {
+                    None => text.push_str(" = "),
+                    Some(o) => {
+                        let _ = write!(text, " {}= ", o.symbol());
+                    }
+                }
+                let mut p = Printer::new();
+                p.expr(value);
+                text.push_str(&p.out);
+                text.push(';');
+                self.line(&text);
+            }
+            StmtKind::If { cond, then_branch, else_branch } => {
+                let mut p = Printer::new();
+                p.expr(cond);
+                self.start_line(&format!("if {} ", p.out));
+                self.block_inline(then_branch);
+                if let Some(eb) = else_branch {
+                    self.out.push_str(" else ");
+                    self.block_inline(eb);
+                }
+                self.out.push('\n');
+            }
+            StmtKind::While { cond, body } => {
+                let mut p = Printer::new();
+                p.expr(cond);
+                self.start_line(&format!("while {} ", p.out));
+                self.block_inline(body);
+                self.out.push('\n');
+            }
+            StmtKind::For { init, cond, step, body } => {
+                let part = |stmt: &Option<Box<Stmt>>| -> String {
+                    stmt.as_ref()
+                        .map(|s| {
+                            let mut p = Printer::new();
+                            p.stmt(s);
+                            // Strip trailing ";\n" and leading indent.
+                            p.out.trim().trim_end_matches(';').to_string()
+                        })
+                        .unwrap_or_default()
+                };
+                let cond_text = cond
+                    .as_ref()
+                    .map(|c| {
+                        let mut p = Printer::new();
+                        p.expr(c);
+                        p.out
+                    })
+                    .unwrap_or_default();
+                self.start_line(&format!("for {}; {}; {} ", part(init), cond_text, part(step)));
+                self.block_inline(body);
+                self.out.push('\n');
+            }
+            StmtKind::Switch { scrutinee, cases, default } => {
+                let mut p = Printer::new();
+                p.expr(scrutinee);
+                self.start_line(&format!("switch {} {{\n", p.out));
+                self.indent += 1;
+                for case in cases {
+                    self.start_line(&format!("case {}: ", case.value));
+                    self.block_inline(&case.body);
+                    self.out.push('\n');
+                }
+                if let Some(d) = default {
+                    self.start_line("default: ");
+                    self.block_inline(d);
+                    self.out.push('\n');
+                }
+                self.indent -= 1;
+                self.line("}");
+            }
+            StmtKind::Break => self.line("break;"),
+            StmtKind::Continue => self.line("continue;"),
+            StmtKind::Return(value) => match value {
+                None => self.line("return;"),
+                Some(e) => {
+                    let mut p = Printer::new();
+                    p.expr(e);
+                    self.line(&format!("return {};", p.out));
+                }
+            },
+            StmtKind::Expr(e) => {
+                let mut p = Printer::new();
+                p.expr(e);
+                self.line(&format!("{};", p.out));
+            }
+            StmtKind::Block(b) => {
+                self.start_line("");
+                self.block_inline(b);
+                self.out.push('\n');
+            }
+        }
+    }
+
+    /// Write the indent and `text` without a trailing newline.
+    fn start_line(&mut self, text: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(text);
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::Int(v) => {
+                let _ = write!(self.out, "{v}");
+            }
+            ExprKind::Float(v) => {
+                // Always keep a decimal point so the literal re-lexes as float.
+                if v.fract() == 0.0 && v.is_finite() {
+                    let _ = write!(self.out, "{v:.1}");
+                } else {
+                    let _ = write!(self.out, "{v}");
+                }
+            }
+            ExprKind::Str(s) => {
+                self.out.push('"');
+                for ch in s.chars() {
+                    match ch {
+                        '\n' => self.out.push_str("\\n"),
+                        '\t' => self.out.push_str("\\t"),
+                        '"' => self.out.push_str("\\\""),
+                        '\\' => self.out.push_str("\\\\"),
+                        c => self.out.push(c),
+                    }
+                }
+                self.out.push('"');
+            }
+            ExprKind::Bool(b) => {
+                let _ = write!(self.out, "{b}");
+            }
+            ExprKind::Var(name) => self.out.push_str(name),
+            ExprKind::Index { base, index } => {
+                self.expr_paren_if_compound(base);
+                self.out.push('[');
+                self.expr(index);
+                self.out.push(']');
+            }
+            ExprKind::Unary { op, operand } => {
+                self.out.push_str(op.symbol());
+                self.expr_paren_if_compound(operand);
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                // Fully parenthesize nested binaries: unambiguous and
+                // guarantees the parse∘print round-trip is structure-exact.
+                self.expr_paren_if_compound(lhs);
+                let _ = write!(self.out, " {} ", op.symbol());
+                self.expr_paren_if_compound(rhs);
+            }
+            ExprKind::Call { callee, args } => {
+                self.out.push_str(callee);
+                self.out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(a);
+                }
+                self.out.push(')');
+            }
+        }
+    }
+
+    fn expr_paren_if_compound(&mut self, e: &Expr) {
+        // Negative literals are parenthesized too: `0 + -1` would reparse as
+        // a unary negation, which prints as `0 + (-1)` — parenthesizing up
+        // front keeps printing canonical (print∘parse∘print = print).
+        let needs_paren = match &e.kind {
+            ExprKind::Binary { .. } | ExprKind::Unary { .. } => true,
+            ExprKind::Int(v) => *v < 0,
+            ExprKind::Float(v) => *v < 0.0,
+            _ => false,
+        };
+        if needs_paren {
+            self.out.push('(');
+            self.expr(e);
+            self.out.push(')');
+        } else {
+            self.expr(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dialect::Dialect;
+    use crate::parser::parse_module;
+
+    /// Parse, print, re-parse; the two ASTs must match modulo spans/source.
+    fn round_trip(src: &str) {
+        let m1 = parse_module("t.c", src, Dialect::C).expect("first parse");
+        let printed = print_module(&m1);
+        let m2 = parse_module("t.c", &printed, Dialect::C)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- printed ---\n{printed}"));
+        assert_eq!(strip(&m1), strip(&m2), "--- printed ---\n{printed}");
+    }
+
+    /// Erase spans and source so structural equality is meaningful.
+    fn strip(m: &Module) -> String {
+        // Printing is canonical, so compare by printing both.
+        print_module(m)
+    }
+
+    #[test]
+    fn round_trips_every_construct() {
+        round_trip(
+            r#"
+            global limit: int = 100;
+            @endpoint(network) @priv(root)
+            fn handle(req: str, n: int) -> int {
+                let buf: str[64];
+                let i: int = 0;
+                while i < n {
+                    buf[i] = req[i];
+                    i += 1;
+                }
+                for j = 0; j < 10; j += 2 {
+                    if (j % 2) == 0 && n > 3 {
+                        continue;
+                    } else {
+                        break;
+                    }
+                }
+                switch n {
+                    case 1: { return 1; }
+                    case -2: { printf("%d", n); }
+                    default: { log_msg("other"); }
+                }
+                return strlen(buf) * -n + (2 << 1);
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn round_trips_floats_and_bools() {
+        round_trip("fn f() -> float { let x: float = 2.0; let b: bool = true; return x * 1.5; }");
+    }
+
+    #[test]
+    fn round_trips_string_escapes() {
+        round_trip(r#"fn f() { printf("a\n\t\"b\"\\c"); }"#);
+    }
+
+    #[test]
+    fn round_trips_nested_blocks_and_empty_for() {
+        round_trip("fn f() { { let x: int = 1; } for ; ; { break; } }");
+    }
+
+    #[test]
+    fn print_expr_is_parenthesized() {
+        let m = parse_module("t.c", "fn f() -> int { return 1 + 2 * 3; }", Dialect::C).unwrap();
+        let crate::ast::StmtKind::Return(Some(e)) = &m.functions[0].body.stmts[0].kind else {
+            panic!()
+        };
+        assert_eq!(print_expr(e), "1 + (2 * 3)");
+    }
+}

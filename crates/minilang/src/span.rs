@@ -1,0 +1,94 @@
+//! Source locations.
+//!
+//! Every token, statement and expression carries a [`Span`] so that analyses
+//! and bug-finding tools can report findings with line-accurate positions,
+//! exactly as the lint-style tools the paper leverages in §4.2 do.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a module's source text, plus the
+/// 1-based line/column of its start for human-readable diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+    /// 1-based column number of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// A span covering `[start, end)` starting at `line:col`.
+    pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
+        Span { start, end, line, col }
+    }
+
+    /// The zero-width span used for synthesized nodes.
+    pub fn dummy() -> Self {
+        Span::default()
+    }
+
+    /// A span covering both `self` and `other` (keeps `self`'s line/col).
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    /// Number of bytes covered.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True if the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_keeps_extremes() {
+        let a = Span::new(4, 9, 1, 5);
+        let b = Span::new(12, 20, 2, 3);
+        let m = a.to(b);
+        assert_eq!((m.start, m.end), (4, 20));
+        assert_eq!((m.line, m.col), (1, 5));
+    }
+
+    #[test]
+    fn merge_is_order_insensitive_for_range() {
+        let a = Span::new(4, 9, 1, 5);
+        let b = Span::new(12, 20, 2, 3);
+        let m1 = a.to(b);
+        let m2 = b.to(a);
+        assert_eq!((m1.start, m1.end), (m2.start, m2.end));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(Span::new(3, 7, 1, 1).len(), 4);
+        assert!(Span::dummy().is_empty());
+        assert!(!Span::new(0, 1, 1, 1).is_empty());
+    }
+
+    #[test]
+    fn display_shows_line_col() {
+        assert_eq!(Span::new(0, 1, 7, 13).to_string(), "7:13");
+    }
+}

@@ -1,0 +1,229 @@
+//! Lexical tokens.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A lexical token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+impl Token {
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+/// The kinds of tokens MiniLang's lexer produces.
+///
+/// Comments are *not* tokens: the lexer skips them (recording only counts),
+/// because the line-classification work the paper assigns to `cloc` is done
+/// by `static_analysis::loc` directly on the source text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Literals and identifiers.
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Ident(String),
+
+    // Keywords.
+    KwFn,
+    KwLet,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwSwitch,
+    KwCase,
+    KwDefault,
+    KwBreak,
+    KwContinue,
+    KwReturn,
+    KwTrue,
+    KwFalse,
+    KwGlobal,
+    KwInt,
+    KwFloat,
+    KwBool,
+    KwStr,
+    KwVoid,
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    Arrow,    // ->
+    At,       // @ (annotations)
+    Assign,   // =
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Bang,
+    Amp,      // & (bitwise and / address-of-lite)
+    Pipe,     // |
+    Caret,    // ^
+    Shl,      // <<
+    Shr,      // >>
+    AndAnd,   // &&
+    OrOr,     // ||
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Keyword lookup for an identifier-shaped lexeme.
+    pub fn keyword(ident: &str) -> Option<TokenKind> {
+        Some(match ident {
+            "fn" => TokenKind::KwFn,
+            "let" => TokenKind::KwLet,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "for" => TokenKind::KwFor,
+            "switch" => TokenKind::KwSwitch,
+            "case" => TokenKind::KwCase,
+            "default" => TokenKind::KwDefault,
+            "break" => TokenKind::KwBreak,
+            "continue" => TokenKind::KwContinue,
+            "return" => TokenKind::KwReturn,
+            "true" => TokenKind::KwTrue,
+            "false" => TokenKind::KwFalse,
+            "global" => TokenKind::KwGlobal,
+            "int" => TokenKind::KwInt,
+            "float" => TokenKind::KwFloat,
+            "bool" => TokenKind::KwBool,
+            "str" => TokenKind::KwStr,
+            "void" => TokenKind::KwVoid,
+            _ => return None,
+        })
+    }
+
+    /// Short printable name used in parse-error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::Float(v) => format!("float `{v}`"),
+            TokenKind::Str(_) => "string literal".to_string(),
+            TokenKind::Ident(name) => format!("identifier `{name}`"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.symbol()),
+        }
+    }
+
+    /// The literal spelling of a fixed token (empty for variable tokens).
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            TokenKind::KwFn => "fn",
+            TokenKind::KwLet => "let",
+            TokenKind::KwIf => "if",
+            TokenKind::KwElse => "else",
+            TokenKind::KwWhile => "while",
+            TokenKind::KwFor => "for",
+            TokenKind::KwSwitch => "switch",
+            TokenKind::KwCase => "case",
+            TokenKind::KwDefault => "default",
+            TokenKind::KwBreak => "break",
+            TokenKind::KwContinue => "continue",
+            TokenKind::KwReturn => "return",
+            TokenKind::KwTrue => "true",
+            TokenKind::KwFalse => "false",
+            TokenKind::KwGlobal => "global",
+            TokenKind::KwInt => "int",
+            TokenKind::KwFloat => "float",
+            TokenKind::KwBool => "bool",
+            TokenKind::KwStr => "str",
+            TokenKind::KwVoid => "void",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Comma => ",",
+            TokenKind::Semi => ";",
+            TokenKind::Colon => ":",
+            TokenKind::Arrow => "->",
+            TokenKind::At => "@",
+            TokenKind::Assign => "=",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::Bang => "!",
+            TokenKind::Amp => "&",
+            TokenKind::Pipe => "|",
+            TokenKind::Caret => "^",
+            TokenKind::Shl => "<<",
+            TokenKind::Shr => ">>",
+            TokenKind::AndAnd => "&&",
+            TokenKind::OrOr => "||",
+            TokenKind::EqEq => "==",
+            TokenKind::NotEq => "!=",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::PlusEq => "+=",
+            TokenKind::MinusEq => "-=",
+            TokenKind::StarEq => "*=",
+            TokenKind::SlashEq => "/=",
+            TokenKind::Int(_) | TokenKind::Float(_) | TokenKind::Str(_) | TokenKind::Ident(_) => "",
+            TokenKind::Eof => "<eof>",
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_round_trip_through_symbol() {
+        for kw in ["fn", "let", "if", "else", "while", "for", "switch", "return", "global"] {
+            let tok = TokenKind::keyword(kw).expect("is a keyword");
+            assert_eq!(tok.symbol(), kw);
+        }
+    }
+
+    #[test]
+    fn non_keywords_are_identifiers() {
+        assert!(TokenKind::keyword("handle_request").is_none());
+        assert!(TokenKind::keyword("strcpy").is_none());
+    }
+
+    #[test]
+    fn describe_variable_tokens() {
+        assert_eq!(TokenKind::Int(42).describe(), "integer `42`");
+        assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier `x`");
+        assert_eq!(TokenKind::Eof.describe(), "end of input");
+    }
+}

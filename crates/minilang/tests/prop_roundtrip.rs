@@ -1,0 +1,232 @@
+//! Property tests: for any well-formed AST, `parse(print(ast))` succeeds and
+//! re-prints to the identical canonical text. This pins the grammar against
+//! lexer/parser/printer drift — crucial because the corpus generator feeds
+//! printed ASTs back through the parser before analysis.
+
+use minilang::ast::*;
+use minilang::{parse_module, print_module, Dialect, Span};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    // Avoid keywords and intrinsics by prefixing.
+    "[a-z][a-z0-9_]{0,8}".prop_map(|s| format!("v_{s}"))
+}
+
+fn ty() -> impl Strategy<Value = Type> {
+    prop_oneof![
+        Just(Type::Int),
+        Just(Type::Float),
+        Just(Type::Bool),
+        Just(Type::Str),
+        (1usize..512).prop_map(|n| Type::Array(Box::new(Type::Int), n)),
+        (1usize..512).prop_map(|n| Type::Array(Box::new(Type::Str), n)),
+    ]
+}
+
+fn literal() -> impl Strategy<Value = ExprKind> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(ExprKind::Int),
+        (0.5f64..100.0).prop_map(ExprKind::Float),
+        "[ -~&&[^\"\\\\%]]{0,12}".prop_map(ExprKind::Str),
+        any::<bool>().prop_map(ExprKind::Bool),
+    ]
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        literal().prop_map(|k| Expr::new(k, Span::dummy())),
+        ident().prop_map(Expr::var),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), binop()).prop_map(|(l, r, op)| Expr::binary(op, l, r)),
+            (inner.clone()).prop_map(|e| Expr::new(
+                ExprKind::Unary { op: UnaryOp::Neg, operand: Box::new(e) },
+                Span::dummy()
+            )),
+            (ident(), prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(name, args)| Expr::call(name, args)),
+            (ident(), inner).prop_map(|(base, idx)| Expr::new(
+                ExprKind::Index { base: Box::new(Expr::var(base)), index: Box::new(idx) },
+                Span::dummy()
+            )),
+        ]
+    })
+}
+
+fn binop() -> impl Strategy<Value = BinaryOp> {
+    prop_oneof![
+        Just(BinaryOp::Add),
+        Just(BinaryOp::Sub),
+        Just(BinaryOp::Mul),
+        Just(BinaryOp::Div),
+        Just(BinaryOp::Rem),
+        Just(BinaryOp::And),
+        Just(BinaryOp::Or),
+        Just(BinaryOp::BitXor),
+        Just(BinaryOp::Shl),
+        Just(BinaryOp::Eq),
+        Just(BinaryOp::Lt),
+        Just(BinaryOp::Ge),
+    ]
+}
+
+fn stmt() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        (ident(), ty(), prop::option::of(expr())).prop_map(|(name, ty, init)| Stmt::new(
+            StmtKind::Let { name, ty, init },
+            Span::dummy()
+        )),
+        (ident(), expr()).prop_map(|(name, value)| Stmt::new(
+            StmtKind::Assign { target: LValue::Var(name, Span::dummy()), op: None, value },
+            Span::dummy()
+        )),
+        (ident(), expr(), expr()).prop_map(|(base, index, value)| Stmt::new(
+            StmtKind::Assign {
+                target: LValue::Index { base, index, span: Span::dummy() },
+                op: Some(BinaryOp::Add),
+                value
+            },
+            Span::dummy()
+        )),
+        prop::option::of(expr())
+            .prop_map(|v| Stmt::new(StmtKind::Return(v), Span::dummy())),
+        expr().prop_map(|e| Stmt::new(StmtKind::Expr(e), Span::dummy())),
+        Just(Stmt::new(StmtKind::Break, Span::dummy())),
+        Just(Stmt::new(StmtKind::Continue, Span::dummy())),
+    ];
+    leaf.prop_recursive(3, 32, 4, |inner| {
+        let block = prop::collection::vec(inner.clone(), 0..4)
+            .prop_map(|stmts| Block::new(stmts, Span::dummy()));
+        prop_oneof![
+            (expr(), block.clone(), prop::option::of(block.clone())).prop_map(
+                |(cond, then_branch, else_branch)| Stmt::new(
+                    StmtKind::If { cond, then_branch, else_branch },
+                    Span::dummy()
+                )
+            ),
+            (expr(), block.clone()).prop_map(|(cond, body)| Stmt::new(
+                StmtKind::While { cond, body },
+                Span::dummy()
+            )),
+            (
+                prop::collection::vec((-20i64..20, block.clone()), 0..3),
+                prop::option::of(block.clone()),
+                expr()
+            )
+                .prop_map(|(arms, default, scrutinee)| {
+                    let cases = arms
+                        .into_iter()
+                        .map(|(value, body)| SwitchCase { value, body, span: Span::dummy() })
+                        .collect();
+                    Stmt::new(StmtKind::Switch { scrutinee, cases, default }, Span::dummy())
+                }),
+            block.prop_map(|b| Stmt::new(StmtKind::Block(b), Span::dummy())),
+        ]
+    })
+}
+
+fn function() -> impl Strategy<Value = Function> {
+    (
+        ident(),
+        prop::collection::vec((ident(), ty()), 0..4),
+        prop::collection::vec(stmt(), 0..6),
+        prop_oneof![
+            Just(vec![]),
+            Just(vec![Annotation::Endpoint(ChannelKind::Network)]),
+            Just(vec![Annotation::Priv(PrivLevel::Root), Annotation::Untrusted]),
+        ],
+    )
+        .prop_map(|(name, params, stmts, annotations)| Function {
+            name,
+            params: params
+                .into_iter()
+                .enumerate()
+                .map(|(i, (n, ty))| Param { name: format!("{n}_{i}"), ty, span: Span::dummy() })
+                .collect(),
+            ret: Type::Int,
+            body: Block::new(
+                stmts
+                    .into_iter()
+                    .chain(std::iter::once(Stmt::new(
+                        StmtKind::Return(Some(Expr::int(0))),
+                        Span::dummy(),
+                    )))
+                    .collect(),
+                Span::dummy(),
+            ),
+            annotations,
+            span: Span::dummy(),
+        })
+}
+
+fn module() -> impl Strategy<Value = Module> {
+    (
+        prop::collection::vec((ident(), ty()), 0..3),
+        prop::collection::vec(function(), 1..4),
+    )
+        .prop_map(|(globals, mut functions)| {
+            // Deduplicate function names (printer/parser don't care, but a
+            // realistic module shouldn't have collisions).
+            for (i, f) in functions.iter_mut().enumerate() {
+                f.name = format!("{}_{i}", f.name);
+            }
+            Module {
+                path: "gen.c".into(),
+                dialect: Dialect::C,
+                source: String::new(),
+                globals: globals
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (name, ty))| Global {
+                        name: format!("{name}_{i}"),
+                        ty,
+                        init: None,
+                        span: Span::dummy(),
+                    })
+                    .collect(),
+                functions,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// print → parse → print is a fixed point (canonical form).
+    #[test]
+    fn print_parse_print_is_identity(m in module()) {
+        let printed = print_module(&m);
+        let reparsed = parse_module("gen.c", &printed, Dialect::C)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n---\n{printed}")))?;
+        let reprinted = print_module(&reparsed);
+        prop_assert_eq!(printed, reprinted);
+    }
+
+    /// Structural facts survive the round trip.
+    #[test]
+    fn roundtrip_preserves_structure(m in module()) {
+        let printed = print_module(&m);
+        let reparsed = parse_module("gen.c", &printed, Dialect::C).unwrap();
+        prop_assert_eq!(m.functions.len(), reparsed.functions.len());
+        prop_assert_eq!(m.globals.len(), reparsed.globals.len());
+        for (a, b) in m.functions.iter().zip(&reparsed.functions) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(a.params.len(), b.params.len());
+            prop_assert_eq!(&a.annotations, &b.annotations);
+        }
+    }
+
+    /// The lexer never panics on arbitrary input (errors are Results).
+    #[test]
+    fn lexer_total_on_arbitrary_input(s in "\\PC{0,200}") {
+        let _ = minilang::Lexer::new(&s, Dialect::C).tokenize();
+        let _ = minilang::Lexer::new(&s, Dialect::Python).tokenize();
+    }
+
+    /// The parser never panics on arbitrary token-ish input.
+    #[test]
+    fn parser_total_on_arbitrary_input(s in "[a-z0-9{}();:=<>!&|+*/,\\[\\]\" \n@-]{0,120}") {
+        let _ = parse_module("t.c", &s, Dialect::C);
+    }
+}

@@ -1,0 +1,182 @@
+//! Named-column datasets.
+
+use std::collections::BTreeSet;
+
+/// A feature matrix with named columns and an optional numeric or binary
+/// class target — the ARFF-file role in the paper's Weka pipeline.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Dataset {
+    /// Column names, in column order.
+    pub feature_names: Vec<String>,
+    /// Row-major feature matrix; every row has `feature_names.len()` values.
+    pub rows: Vec<Vec<f64>>,
+    /// Per-row identifiers (application names), parallel to `rows`.
+    pub ids: Vec<String>,
+}
+
+impl Dataset {
+    /// Build a dataset from per-item `(id, features)` pairs where features
+    /// are `(name, value)` lists. Columns are the union of all names, in
+    /// sorted order; missing values become 0.0 (collectors always emit the
+    /// full set, so this is a safety net, not an imputation strategy).
+    pub fn from_named(items: &[(String, Vec<(String, f64)>)]) -> Dataset {
+        let names: BTreeSet<&str> = items
+            .iter()
+            .flat_map(|(_, fv)| fv.iter().map(|(k, _)| k.as_str()))
+            .collect();
+        let feature_names: Vec<String> = names.into_iter().map(String::from).collect();
+        let mut rows = Vec::with_capacity(items.len());
+        let mut ids = Vec::with_capacity(items.len());
+        for (id, fv) in items {
+            let mut row = vec![0.0; feature_names.len()];
+            for (k, v) in fv {
+                if let Ok(i) = feature_names.binary_search(k) {
+                    row[i] = *v;
+                }
+            }
+            rows.push(row);
+            ids.push(id.clone());
+        }
+        Dataset { feature_names, rows, ids }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of feature columns.
+    pub fn width(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Column index by name.
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.feature_names.iter().position(|n| n == name)
+    }
+
+    /// Extract one column's values.
+    pub fn column_values(&self, index: usize) -> Vec<f64> {
+        self.rows.iter().map(|r| r[index]).collect()
+    }
+
+    /// A new dataset keeping only the named columns (in the given order).
+    /// Unknown names are skipped.
+    pub fn project(&self, names: &[&str]) -> Dataset {
+        let indices: Vec<usize> = names.iter().filter_map(|n| self.column(n)).collect();
+        Dataset {
+            feature_names: indices.iter().map(|&i| self.feature_names[i].clone()).collect(),
+            rows: self
+                .rows
+                .iter()
+                .map(|r| indices.iter().map(|&i| r[i]).collect())
+                .collect(),
+            ids: self.ids.clone(),
+        }
+    }
+
+    /// A new dataset keeping only columns whose name starts with `prefix` —
+    /// the single-family ablation helper.
+    pub fn project_prefix(&self, prefix: &str) -> Dataset {
+        let names: Vec<&str> = self
+            .feature_names
+            .iter()
+            .filter(|n| n.starts_with(prefix))
+            .map(|n| n.as_str())
+            .collect();
+        self.project(&names)
+    }
+
+    /// The subset of rows at `indices` (cloned).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            feature_names: self.feature_names.clone(),
+            rows: indices.iter().map(|&i| self.rows[i].clone()).collect(),
+            ids: indices.iter().map(|&i| self.ids[i].clone()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::from_named(&[
+            ("app1".into(), vec![("loc".into(), 10.0), ("cyclo".into(), 3.0)]),
+            ("app2".into(), vec![("cyclo".into(), 5.0), ("loc".into(), 20.0)]),
+            ("app3".into(), vec![("loc".into(), 30.0)]),
+        ])
+    }
+
+    #[test]
+    fn columns_are_union_sorted() {
+        let d = sample();
+        assert_eq!(d.feature_names, vec!["cyclo", "loc"]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.width(), 2);
+    }
+
+    #[test]
+    fn rows_align_regardless_of_input_order() {
+        let d = sample();
+        assert_eq!(d.rows[0], vec![3.0, 10.0]);
+        assert_eq!(d.rows[1], vec![5.0, 20.0]);
+        // Missing cyclo for app3 defaults to 0.
+        assert_eq!(d.rows[2], vec![0.0, 30.0]);
+        assert_eq!(d.ids, vec!["app1", "app2", "app3"]);
+    }
+
+    #[test]
+    fn column_lookup_and_values() {
+        let d = sample();
+        assert_eq!(d.column("loc"), Some(1));
+        assert_eq!(d.column("nope"), None);
+        assert_eq!(d.column_values(1), vec![10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn project_keeps_order_and_skips_unknown() {
+        let d = sample();
+        let p = d.project(&["loc", "ghost"]);
+        assert_eq!(p.feature_names, vec!["loc"]);
+        assert_eq!(p.rows, vec![vec![10.0], vec![20.0], vec![30.0]]);
+        assert_eq!(p.ids.len(), 3);
+    }
+
+    #[test]
+    fn project_prefix_filters() {
+        let d = Dataset::from_named(&[(
+            "a".into(),
+            vec![
+                ("loc.code".into(), 1.0),
+                ("loc.blank".into(), 2.0),
+                ("taint.flows".into(), 3.0),
+            ],
+        )]);
+        let p = d.project_prefix("loc.");
+        assert_eq!(p.width(), 2);
+        assert!(p.column("taint.flows").is_none());
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let d = sample();
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.ids, vec!["app3", "app1"]);
+        assert_eq!(s.rows[0][1], 30.0);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = Dataset::from_named(&[]);
+        assert!(d.is_empty());
+        assert_eq!(d.width(), 0);
+    }
+}

@@ -1,0 +1,358 @@
+//! Model evaluation: classification and regression metrics plus stratified
+//! k-fold cross-validation — "with cross validation within the ground
+//! truth" (paper §1, §5.2 and Figure 4).
+
+use crate::{Classifier, Regressor};
+
+/// A 2×2 confusion matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfusionMatrix {
+    pub tp: usize,
+    pub tn: usize,
+    pub fp: usize,
+    pub fn_: usize,
+}
+
+impl ConfusionMatrix {
+    /// Tally predictions against truth.
+    pub fn from_predictions(truth: &[usize], predicted: &[usize]) -> ConfusionMatrix {
+        let mut m = ConfusionMatrix::default();
+        for (&t, &p) in truth.iter().zip(predicted) {
+            match (t, p) {
+                (1, 1) => m.tp += 1,
+                (0, 0) => m.tn += 1,
+                (0, 1) => m.fp += 1,
+                _ => m.fn_ += 1,
+            }
+        }
+        m
+    }
+
+    pub fn total(&self) -> usize {
+        self.tp + self.tn + self.fp + self.fn_
+    }
+
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / self.total() as f64
+    }
+
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fp) as f64
+    }
+
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fn_) as f64
+    }
+
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Classification metrics bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClassificationReport {
+    pub matrix: ConfusionMatrix,
+    pub accuracy: f64,
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+    pub auc: f64,
+}
+
+impl ClassificationReport {
+    /// Compute from truth, hard predictions and scores (for AUC).
+    pub fn compute(truth: &[usize], predicted: &[usize], scores: &[f64]) -> Self {
+        let matrix = ConfusionMatrix::from_predictions(truth, predicted);
+        ClassificationReport {
+            matrix,
+            accuracy: matrix.accuracy(),
+            precision: matrix.precision(),
+            recall: matrix.recall(),
+            f1: matrix.f1(),
+            auc: roc_auc(truth, scores),
+        }
+    }
+}
+
+/// Area under the ROC curve via the rank-sum (Mann-Whitney) formulation,
+/// with midrank tie handling. Returns 0.5 when one class is absent.
+pub fn roc_auc(truth: &[usize], scores: &[f64]) -> f64 {
+    let pos = truth.iter().filter(|&&t| t == 1).count();
+    let neg = truth.len() - pos;
+    if pos == 0 || neg == 0 {
+        return 0.5;
+    }
+    // Rank scores ascending with midranks for ties.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+    let mut ranks = vec![0.0; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = midrank;
+        }
+        i = j + 1;
+    }
+    let rank_sum: f64 = truth
+        .iter()
+        .zip(&ranks)
+        .filter(|(&t, _)| t == 1)
+        .map(|(_, &r)| r)
+        .sum();
+    (rank_sum - pos as f64 * (pos as f64 + 1.0) / 2.0) / (pos as f64 * neg as f64)
+}
+
+/// Regression metrics bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RegressionReport {
+    /// Coefficient of determination (can be negative for bad fits).
+    pub r_squared: f64,
+    pub mae: f64,
+    pub rmse: f64,
+    pub n: usize,
+}
+
+impl RegressionReport {
+    /// Compute from truth and predictions.
+    pub fn compute(truth: &[f64], predicted: &[f64]) -> Self {
+        assert_eq!(truth.len(), predicted.len());
+        let n = truth.len();
+        if n == 0 {
+            return RegressionReport::default();
+        }
+        let mean = truth.iter().sum::<f64>() / n as f64;
+        let ss_tot: f64 = truth.iter().map(|v| (v - mean) * (v - mean)).sum();
+        let ss_res: f64 =
+            truth.iter().zip(predicted).map(|(t, p)| (t - p) * (t - p)).sum();
+        let mae = truth.iter().zip(predicted).map(|(t, p)| (t - p).abs()).sum::<f64>() / n as f64;
+        let rmse = (ss_res / n as f64).sqrt();
+        let r_squared = if ss_tot < 1e-12 { 0.0 } else { 1.0 - ss_res / ss_tot };
+        RegressionReport { r_squared, mae, rmse, n }
+    }
+}
+
+/// Deterministic stratified k-fold split: returns per-fold test index sets.
+/// Class proportions are preserved per fold; assignment round-robins within
+/// each class so results are reproducible without an RNG.
+pub fn stratified_folds(labels: &[usize], k: usize) -> Vec<Vec<usize>> {
+    let k = k.max(2);
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for class in [0usize, 1] {
+        let members: Vec<usize> =
+            (0..labels.len()).filter(|&i| labels[i] == class).collect();
+        for (pos, &i) in members.iter().enumerate() {
+            folds[pos % k].push(i);
+        }
+    }
+    folds.retain(|f| !f.is_empty());
+    folds
+}
+
+/// Plain k-fold for regression targets.
+pub fn folds(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let k = k.max(2);
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for i in 0..n {
+        out[i % k].push(i);
+    }
+    out.retain(|f| !f.is_empty());
+    out
+}
+
+/// Cross-validate a classifier factory: for each fold, train on the rest and
+/// evaluate on the fold; returns the pooled report over all held-out rows.
+pub fn cross_validate_classifier<C: Classifier>(
+    make: impl Fn() -> C,
+    x: &[Vec<f64>],
+    y: &[usize],
+    k: usize,
+) -> ClassificationReport {
+    let fold_sets = stratified_folds(y, k);
+    let mut truth = Vec::new();
+    let mut hard = Vec::new();
+    let mut scores = Vec::new();
+    for test in &fold_sets {
+        let test_set: std::collections::HashSet<usize> = test.iter().copied().collect();
+        let train_idx: Vec<usize> =
+            (0..x.len()).filter(|i| !test_set.contains(i)).collect();
+        let tx: Vec<Vec<f64>> = train_idx.iter().map(|&i| x[i].clone()).collect();
+        let ty: Vec<usize> = train_idx.iter().map(|&i| y[i]).collect();
+        let mut model = make();
+        model.fit(&tx, &ty);
+        for &i in test {
+            truth.push(y[i]);
+            let p = model.predict_proba(&x[i]);
+            scores.push(p);
+            hard.push((p >= 0.5) as usize);
+        }
+    }
+    ClassificationReport::compute(&truth, &hard, &scores)
+}
+
+/// Cross-validate a regressor factory; pooled report over held-out rows.
+pub fn cross_validate_regressor<R: Regressor>(
+    make: impl Fn() -> R,
+    x: &[Vec<f64>],
+    y: &[f64],
+    k: usize,
+) -> RegressionReport {
+    let fold_sets = folds(x.len(), k);
+    let mut truth = Vec::new();
+    let mut predicted = Vec::new();
+    for test in &fold_sets {
+        let test_set: std::collections::HashSet<usize> = test.iter().copied().collect();
+        let train_idx: Vec<usize> =
+            (0..x.len()).filter(|i| !test_set.contains(i)).collect();
+        let tx: Vec<Vec<f64>> = train_idx.iter().map(|&i| x[i].clone()).collect();
+        let ty: Vec<f64> = train_idx.iter().map(|&i| y[i]).collect();
+        let mut model = make();
+        model.fit(&tx, &ty);
+        for &i in test {
+            truth.push(y[i]);
+            predicted.push(model.predict(&x[i]));
+        }
+    }
+    RegressionReport::compute(&truth, &predicted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logreg::LogisticRegression;
+    use crate::linreg::LinearRegression;
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let m = ConfusionMatrix::from_predictions(&[1, 1, 0, 0, 1], &[1, 0, 0, 1, 1]);
+        assert_eq!((m.tp, m.fn_, m.tn, m.fp), (2, 1, 1, 1));
+        assert!((m.accuracy() - 0.6).abs() < 1e-12);
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_matrix_metrics_are_zero_not_nan() {
+        let m = ConfusionMatrix::default();
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let truth = [0, 0, 1, 1];
+        assert_eq!(roc_auc(&truth, &[0.1, 0.2, 0.8, 0.9]), 1.0);
+        assert_eq!(roc_auc(&truth, &[0.9, 0.8, 0.2, 0.1]), 0.0);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        let truth = [0, 1, 0, 1];
+        let same = [0.5, 0.5, 0.5, 0.5];
+        assert!((roc_auc(&truth, &same) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_single_class_is_half() {
+        assert_eq!(roc_auc(&[1, 1, 1], &[0.1, 0.2, 0.3]), 0.5);
+        assert_eq!(roc_auc(&[0, 0], &[0.1, 0.2]), 0.5);
+    }
+
+    #[test]
+    fn auc_handles_ties_with_midranks() {
+        // Two pos and two neg all tied → 0.5.
+        assert!((roc_auc(&[0, 1, 0, 1], &[0.3, 0.3, 0.3, 0.3]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regression_report_perfect_fit() {
+        let truth = [1.0, 2.0, 3.0];
+        let r = RegressionReport::compute(&truth, &truth);
+        assert_eq!(r.r_squared, 1.0);
+        assert_eq!(r.mae, 0.0);
+        assert_eq!(r.rmse, 0.0);
+    }
+
+    #[test]
+    fn regression_report_mean_predictor_r2_zero() {
+        let truth = [1.0, 2.0, 3.0];
+        let mean = [2.0, 2.0, 2.0];
+        let r = RegressionReport::compute(&truth, &mean);
+        assert!(r.r_squared.abs() < 1e-12);
+        assert!(r.mae > 0.0);
+    }
+
+    #[test]
+    fn regression_report_bad_fit_negative_r2() {
+        let truth = [1.0, 2.0, 3.0];
+        let bad = [10.0, -10.0, 10.0];
+        assert!(RegressionReport::compute(&truth, &bad).r_squared < 0.0);
+    }
+
+    #[test]
+    fn stratified_folds_preserve_class_presence() {
+        // 20 rows, 25% positive.
+        let labels: Vec<usize> = (0..20).map(|i| (i % 4 == 0) as usize).collect();
+        let folds = stratified_folds(&labels, 5);
+        assert_eq!(folds.len(), 5);
+        let all: Vec<usize> = folds.iter().flatten().copied().collect();
+        assert_eq!(all.len(), 20);
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20, "folds must partition");
+        for f in &folds {
+            assert!(f.iter().any(|&i| labels[i] == 1), "fold lost the minority class");
+        }
+    }
+
+    #[test]
+    fn plain_folds_partition() {
+        let f = folds(10, 3);
+        let total: usize = f.iter().map(|x| x.len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn cv_classifier_on_separable_data_scores_high() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            let v = i as f64 - 20.0 + if i % 2 == 0 { 0.3 } else { -0.3 };
+            x.push(vec![v]);
+            y.push((v > 0.0) as usize);
+        }
+        let report = cross_validate_classifier(LogisticRegression::new, &x, &y, 5);
+        assert!(report.accuracy > 0.9, "acc = {}", report.accuracy);
+        assert!(report.auc > 0.95, "auc = {}", report.auc);
+    }
+
+    #[test]
+    fn cv_regressor_on_linear_data_scores_high() {
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] + 1.0).collect();
+        let report = cross_validate_regressor(LinearRegression::new, &x, &y, 5);
+        assert!(report.r_squared > 0.99);
+    }
+}

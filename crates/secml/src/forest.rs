@@ -1,0 +1,214 @@
+//! Random forests: bagging + per-tree feature subsampling over the
+//! decision/regression trees.
+
+use crate::tree::{DecisionTree, RegressionTree, TreeConfig};
+use crate::{Classifier, Regressor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Shared forest hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ForestConfig {
+    pub n_trees: usize,
+    pub tree: TreeConfig,
+    /// Features sampled per tree as a fraction of the total (√p-style
+    /// defaults are achieved by the caller choosing ~ `1/√p`).
+    pub feature_fraction: f64,
+    /// RNG seed — forests are deterministic for a given seed.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig { n_trees: 30, tree: TreeConfig::default(), feature_fraction: 0.6, seed: 42 }
+    }
+}
+
+fn bootstrap(rng: &mut StdRng, n: usize) -> Vec<usize> {
+    (0..n).map(|_| rng.gen_range(0..n)).collect()
+}
+
+fn feature_pool(rng: &mut StdRng, cols: usize, fraction: f64) -> Vec<usize> {
+    let k = ((cols as f64 * fraction).ceil() as usize).clamp(1, cols.max(1));
+    let mut all: Vec<usize> = (0..cols).collect();
+    all.shuffle(rng);
+    all.truncate(k);
+    all
+}
+
+/// Random-forest classifier: mean of per-tree leaf probabilities.
+#[derive(Debug, Clone, Default)]
+pub struct RandomForest {
+    pub config: ForestConfig,
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_config(config: ForestConfig) -> Self {
+        RandomForest { config, trees: Vec::new() }
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) {
+        assert_eq!(x.len(), y.len(), "row/label count mismatch");
+        self.trees.clear();
+        if x.is_empty() {
+            return;
+        }
+        let cols = x[0].len();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        for _ in 0..self.config.n_trees {
+            let sample = bootstrap(&mut rng, x.len());
+            let bx: Vec<Vec<f64>> = sample.iter().map(|&i| x[i].clone()).collect();
+            let by: Vec<usize> = sample.iter().map(|&i| y[i]).collect();
+            let pool = feature_pool(&mut rng, cols, self.config.feature_fraction);
+            let mut tree = DecisionTree::with_config(self.config.tree);
+            tree.fit_with_pool(&bx, &by, &pool);
+            self.trees.push(tree);
+        }
+    }
+
+    fn predict_proba(&self, row: &[f64]) -> f64 {
+        if self.trees.is_empty() {
+            return 0.5;
+        }
+        self.trees.iter().map(|t| t.predict_proba(row)).sum::<f64>() / self.trees.len() as f64
+    }
+}
+
+/// Random-forest regressor: mean of per-tree predictions.
+#[derive(Debug, Clone, Default)]
+pub struct RandomForestRegressor {
+    pub config: ForestConfig,
+    trees: Vec<RegressionTree>,
+}
+
+impl RandomForestRegressor {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_config(config: ForestConfig) -> Self {
+        RandomForestRegressor { config, trees: Vec::new() }
+    }
+}
+
+impl Regressor for RandomForestRegressor {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len(), "row/target count mismatch");
+        self.trees.clear();
+        if x.is_empty() {
+            return;
+        }
+        let cols = x[0].len();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        for _ in 0..self.config.n_trees {
+            let sample = bootstrap(&mut rng, x.len());
+            let bx: Vec<Vec<f64>> = sample.iter().map(|&i| x[i].clone()).collect();
+            let by: Vec<f64> = sample.iter().map(|&i| y[i]).collect();
+            let pool = feature_pool(&mut rng, cols, self.config.feature_fraction);
+            let mut tree = RegressionTree::with_config(self.config.tree);
+            tree.fit_with_pool(&bx, &by, &pool);
+            self.trees.push(tree);
+        }
+    }
+
+    fn predict(&self, row: &[f64]) -> f64 {
+        if self.trees.is_empty() {
+            return 0.0;
+        }
+        self.trees.iter().map(|t| t.predict(row)).sum::<f64>() / self.trees.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_threshold() -> (Vec<Vec<f64>>, Vec<usize>) {
+        // class = x0 + x1 > 10, with an irrelevant third feature.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..80 {
+            let a = (i % 10) as f64;
+            let b = (i / 10) as f64;
+            x.push(vec![a, b, (i % 3) as f64]);
+            y.push((a + b > 10.0) as usize);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn forest_learns_threshold() {
+        let (x, y) = noisy_threshold();
+        let mut f = RandomForest::new();
+        f.fit(&x, &y);
+        let correct = x.iter().zip(&y).filter(|(r, &l)| f.predict(r) == l).count();
+        assert!(
+            correct as f64 / x.len() as f64 > 0.9,
+            "accuracy {}",
+            correct as f64 / x.len() as f64
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (x, y) = noisy_threshold();
+        let mut f1 = RandomForest::new();
+        f1.fit(&x, &y);
+        let mut f2 = RandomForest::new();
+        f2.fit(&x, &y);
+        for row in &x {
+            assert_eq!(f1.predict_proba(row), f2.predict_proba(row));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (x, y) = noisy_threshold();
+        let mut f1 = RandomForest::with_config(ForestConfig { seed: 1, ..Default::default() });
+        f1.fit(&x, &y);
+        let mut f2 = RandomForest::with_config(ForestConfig { seed: 2, ..Default::default() });
+        f2.fit(&x, &y);
+        let any_diff =
+            x.iter().any(|r| (f1.predict_proba(r) - f2.predict_proba(r)).abs() > 1e-12);
+        assert!(any_diff);
+    }
+
+    #[test]
+    fn probabilities_average_over_trees() {
+        let (x, y) = noisy_threshold();
+        let mut f = RandomForest::with_config(ForestConfig { n_trees: 30, ..Default::default() });
+        f.fit(&x, &y);
+        let p = f.predict_proba(&[9.0, 9.0, 0.0]);
+        assert!(p > 0.8);
+        let p = f.predict_proba(&[0.0, 0.0, 0.0]);
+        assert!(p < 0.2);
+    }
+
+    #[test]
+    fn regressor_fits_smooth_function() {
+        let x: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 / 6.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0] + 1.0).collect();
+        let mut f = RandomForestRegressor::new();
+        f.fit(&x, &y);
+        let pred = f.predict(&[5.0]);
+        assert!((pred - 16.0).abs() < 2.0, "pred = {pred}");
+    }
+
+    #[test]
+    fn empty_fit_is_harmless() {
+        let mut f = RandomForest::new();
+        f.fit(&[], &[]);
+        assert_eq!(f.predict_proba(&[1.0]), 0.5);
+        let mut r = RandomForestRegressor::new();
+        r.fit(&[], &[]);
+        assert_eq!(r.predict(&[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! k-nearest-neighbours classification.
+
+use crate::Classifier;
+
+/// k-NN with Euclidean distance. Features should be standardized first —
+/// the trainer's pipeline does this — or large-magnitude columns dominate.
+#[derive(Debug, Clone)]
+pub struct Knn {
+    pub k: usize,
+    x: Vec<Vec<f64>>,
+    y: Vec<usize>,
+}
+
+impl Default for Knn {
+    fn default() -> Self {
+        Knn { k: 5, x: Vec::new(), y: Vec::new() }
+    }
+}
+
+impl Knn {
+    pub fn new(k: usize) -> Knn {
+        Knn { k: k.max(1), ..Default::default() }
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl Classifier for Knn {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) {
+        assert_eq!(x.len(), y.len(), "row/label count mismatch");
+        self.x = x.to_vec();
+        self.y = y.to_vec();
+    }
+
+    fn predict_proba(&self, row: &[f64]) -> f64 {
+        if self.x.is_empty() {
+            return 0.5;
+        }
+        let mut dists: Vec<(f64, usize)> = self
+            .x
+            .iter()
+            .zip(&self.y)
+            .map(|(r, &label)| (sq_dist(row, r), label))
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        let votes: usize = dists[..k].iter().map(|&(_, l)| l).sum();
+        votes as f64 / k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            x.push(vec![i as f64 * 0.1, 0.0]);
+            y.push(0);
+            x.push(vec![5.0 + i as f64 * 0.1, 5.0]);
+            y.push(1);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn classifies_blobs() {
+        let (x, y) = two_blobs();
+        let mut m = Knn::new(3);
+        m.fit(&x, &y);
+        assert_eq!(m.predict(&[0.3, 0.1]), 0);
+        assert_eq!(m.predict(&[5.3, 5.1]), 1);
+    }
+
+    #[test]
+    fn proba_is_vote_fraction() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0], vec![10.0]];
+        let y = vec![0, 1, 1, 0];
+        let mut m = Knn::new(3);
+        m.fit(&x, &y);
+        // Neighbours of 1.5: {1.0(1), 2.0(1), 0.0(0)} → 2/3.
+        assert!((m.predict_proba(&[1.5]) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![0, 1];
+        let mut m = Knn::new(50);
+        m.fit(&x, &y);
+        assert_eq!(m.predict_proba(&[0.0]), 0.5);
+    }
+
+    #[test]
+    fn k_one_memorizes() {
+        let (x, y) = two_blobs();
+        let mut m = Knn::new(1);
+        m.fit(&x, &y);
+        let correct = x.iter().zip(&y).filter(|(r, &l)| m.predict(r) == l).count();
+        assert_eq!(correct, x.len());
+    }
+
+    #[test]
+    fn unfitted_predicts_half() {
+        let m = Knn::new(3);
+        assert_eq!(m.predict_proba(&[1.0]), 0.5);
+    }
+
+    #[test]
+    fn zero_k_clamps_to_one() {
+        let m = Knn::new(0);
+        assert_eq!(m.k, 1);
+    }
+}

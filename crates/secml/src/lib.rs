@@ -1,0 +1,69 @@
+//! secml — a small, self-contained machine-learning library.
+//!
+//! The paper's Figure 4 pipes code-property feature vectors and CVE-derived
+//! labels into "a data mining tool, such as Weka" with cross-validation.
+//! Offline we replace Weka with this crate:
+//!
+//! * [`dataset`] — named-column datasets with class or numeric targets;
+//! * [`preprocess`] — standardization, min-max scaling, log transforms;
+//! * [`select`] — correlation and information-gain feature ranking;
+//! * classifiers: [`logreg`] (L2 logistic regression), [`nb`] (gaussian
+//!   naive Bayes), [`tree`] (entropy decision tree), [`forest`] (random
+//!   forest), [`knn`] (k-nearest neighbours);
+//! * regressors: [`linreg`] (OLS / ridge via normal equations),
+//!   regression trees;
+//! * [`eval`] — accuracy/precision/recall/F1/AUC, R²/MAE/RMSE, confusion
+//!   matrices, and stratified k-fold cross-validation.
+//!
+//! Models whose weights are inspectable (linear/logistic regression) expose
+//! them — §5.3 of the paper turns those weights into "which code property
+//! drives the predicted risk" developer hints.
+
+pub mod dataset;
+pub mod eval;
+pub mod forest;
+pub mod knn;
+pub mod linalg;
+pub mod linreg;
+pub mod logreg;
+pub mod nb;
+pub mod preprocess;
+pub mod select;
+pub mod tree;
+
+pub use dataset::Dataset;
+pub use eval::{ClassificationReport, ConfusionMatrix, RegressionReport};
+
+/// A trained binary classifier: predicts the probability of class 1.
+pub trait Classifier {
+    /// Fit on rows `x` and binary labels `y` (0/1). Panics if lengths differ.
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]);
+    /// Probability that `row` belongs to class 1.
+    fn predict_proba(&self, row: &[f64]) -> f64;
+    /// Hard prediction at the 0.5 threshold.
+    fn predict(&self, row: &[f64]) -> usize {
+        (self.predict_proba(row) >= 0.5) as usize
+    }
+}
+
+/// A trained regressor.
+pub trait Regressor {
+    /// Fit on rows `x` and numeric targets `y`.
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]);
+    /// Predict the target for `row`.
+    fn predict(&self, row: &[f64]) -> f64;
+}
+
+impl<T: Classifier + ?Sized> Classifier for Box<T> {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) {
+        (**self).fit(x, y);
+    }
+
+    fn predict_proba(&self, row: &[f64]) -> f64 {
+        (**self).predict_proba(row)
+    }
+
+    fn predict(&self, row: &[f64]) -> usize {
+        (**self).predict(row)
+    }
+}

@@ -1,0 +1,164 @@
+//! Minimal dense linear algebra for the normal-equations solvers.
+
+/// Solve `A·x = b` for square `A` by Gaussian elimination with partial
+/// pivoting. Returns `None` when `A` is singular (pivot below `1e-12`).
+///
+/// `a` is row-major and is consumed as the workspace.
+pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = a.len();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    debug_assert!(a.iter().all(|row| row.len() == n));
+    debug_assert_eq!(b.len(), n);
+
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+            .expect("non-empty range");
+        if a[pivot_row][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+
+        // Eliminate below.
+        #[allow(clippy::needless_range_loop)]
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = b[row];
+        for k in (row + 1)..n {
+            sum -= a[row][k] * x[k];
+        }
+        x[row] = sum / a[row][row];
+    }
+    Some(x)
+}
+
+/// `Aᵀ·A` (+ `ridge`·I on the diagonal) for a row-major design matrix with a
+/// leading intercept column assumed already present.
+pub fn gram(x: &[Vec<f64>], ridge: f64) -> Vec<Vec<f64>> {
+    let cols = x.first().map(|r| r.len()).unwrap_or(0);
+    let mut g = vec![vec![0.0; cols]; cols];
+    for row in x {
+        for i in 0..cols {
+            for j in i..cols {
+                g[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..cols {
+        for j in 0..i {
+            g[i][j] = g[j][i];
+        }
+        g[i][i] += ridge;
+    }
+    g
+}
+
+/// `Aᵀ·y`.
+pub fn xty(x: &[Vec<f64>], y: &[f64]) -> Vec<f64> {
+    let cols = x.first().map(|r| r.len()).unwrap_or(0);
+    let mut out = vec![0.0; cols];
+    for (row, &target) in x.iter().zip(y) {
+        for (o, &v) in out.iter_mut().zip(row) {
+            *o += v * target;
+        }
+    }
+    out
+}
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve(a, vec![3.0, -4.0]).unwrap();
+        assert_eq!(x, vec![3.0, -4.0]);
+    }
+
+    #[test]
+    fn solves_general_system() {
+        // 2x + y = 5; x - y = 1  →  x = 2, y = 1.
+        let a = vec![vec![2.0, 1.0], vec![1.0, -1.0]];
+        let x = solve(a, vec![5.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // First pivot position is 0 — requires a row swap.
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve(a, vec![2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn singular_matrix_is_none() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn empty_system() {
+        assert_eq!(solve(vec![], vec![]), Some(vec![]));
+    }
+
+    #[test]
+    fn gram_and_xty() {
+        let x = vec![vec![1.0, 2.0], vec![1.0, 3.0]];
+        let g = gram(&x, 0.0);
+        // [[2, 5], [5, 13]]
+        assert_eq!(g, vec![vec![2.0, 5.0], vec![5.0, 13.0]]);
+        let g_ridge = gram(&x, 0.5);
+        assert_eq!(g_ridge[0][0], 2.5);
+        assert_eq!(g_ridge[1][1], 13.5);
+        assert_eq!(g_ridge[0][1], 5.0);
+        let v = xty(&x, &[10.0, 20.0]);
+        assert_eq!(v, vec![30.0, 80.0]);
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn three_by_three() {
+        let a = vec![
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ];
+        let x = solve(a, vec![8.0, -11.0, -3.0]).unwrap();
+        // Known solution: x=2, y=3, z=-1.
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+        assert!((x[2] + 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,194 @@
+//! Ordinary least squares and ridge regression via the normal equations.
+//!
+//! Linear regression is both a predictor (expected vulnerability counts) and
+//! the measurement-study tool: Figure 2's trend line
+//! `log10(#vuln) = 0.17 + 0.39·log10(kLoC)` and its R² = 24.66 % are an OLS
+//! fit, which [`simple_regression`] reproduces directly.
+
+use crate::linalg;
+use crate::Regressor;
+
+/// Linear regression, optionally ridge-regularized.
+///
+/// After [`fit`](Regressor::fit), `intercept` and `coefficients` hold the
+/// learned weights — the paper's §5.3 attribution source.
+#[derive(Debug, Clone, Default)]
+pub struct LinearRegression {
+    /// L2 penalty (0 = OLS). The intercept is never penalized.
+    pub ridge: f64,
+    pub intercept: f64,
+    pub coefficients: Vec<f64>,
+}
+
+impl LinearRegression {
+    /// An OLS model.
+    pub fn new() -> LinearRegression {
+        LinearRegression::default()
+    }
+
+    /// A ridge model with penalty `lambda`.
+    pub fn ridge(lambda: f64) -> LinearRegression {
+        LinearRegression { ridge: lambda, ..Default::default() }
+    }
+}
+
+impl Regressor for LinearRegression {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len(), "row/target count mismatch");
+        let cols = x.first().map(|r| r.len()).unwrap_or(0);
+        // Design matrix with a leading 1s column.
+        let design: Vec<Vec<f64>> = x
+            .iter()
+            .map(|r| std::iter::once(1.0).chain(r.iter().copied()).collect())
+            .collect();
+        let mut g = linalg::gram(&design, self.ridge);
+        // Un-penalize the intercept.
+        g[0][0] -= self.ridge;
+        // Guard the intercept-only degenerate case where n = 0.
+        if design.is_empty() {
+            self.intercept = 0.0;
+            self.coefficients = vec![0.0; cols];
+            return;
+        }
+        let v = linalg::xty(&design, y);
+        match linalg::solve(g, v) {
+            Some(beta) => {
+                self.intercept = beta[0];
+                self.coefficients = beta[1..].to_vec();
+            }
+            None => {
+                // Singular (collinear features, tiny n): retry with a small
+                // ridge so fit never fails outright.
+                let mut fallback = LinearRegression::ridge(self.ridge.max(1e-6) * 10.0);
+                fallback.fit(x, y);
+                self.intercept = fallback.intercept;
+                self.coefficients = fallback.coefficients;
+            }
+        }
+    }
+
+    fn predict(&self, row: &[f64]) -> f64 {
+        self.intercept + linalg::dot(&self.coefficients, row)
+    }
+}
+
+/// Result of a one-variable OLS fit `y = intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimpleRegression {
+    pub slope: f64,
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+    /// Pearson correlation.
+    pub r: f64,
+    pub n: usize,
+}
+
+/// Fit `y = a + b·x` and report R² — the Figure 2 / Figure 3 statistic.
+pub fn simple_regression(x: &[f64], y: &[f64]) -> SimpleRegression {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    if n < 2 {
+        return SimpleRegression { slope: 0.0, intercept: 0.0, r_squared: 0.0, r: 0.0, n };
+    }
+    let nf = n as f64;
+    let mx = x.iter().sum::<f64>() / nf;
+    let my = y.iter().sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        sxx += (a - mx) * (a - mx);
+        syy += (b - my) * (b - my);
+        sxy += (a - mx) * (b - my);
+    }
+    if sxx < 1e-12 || syy < 1e-12 {
+        return SimpleRegression { slope: 0.0, intercept: my, r_squared: 0.0, r: 0.0, n };
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r = sxy / (sxx.sqrt() * syy.sqrt());
+    SimpleRegression { slope, intercept, r_squared: r * r, r, n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_relation() {
+        // y = 2 + 3·a − b
+        let x: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i % 5) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 2.0 + 3.0 * r[0] - r[1]).collect();
+        let mut m = LinearRegression::new();
+        m.fit(&x, &y);
+        assert!((m.intercept - 2.0).abs() < 1e-8);
+        assert!((m.coefficients[0] - 3.0).abs() < 1e-8);
+        assert!((m.coefficients[1] + 1.0).abs() < 1e-8);
+        assert!((m.predict(&[10.0, 2.0]) - 30.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn ridge_shrinks_coefficients() {
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 5.0 * r[0]).collect();
+        let mut ols = LinearRegression::new();
+        ols.fit(&x, &y);
+        let mut ridge = LinearRegression::ridge(1000.0);
+        ridge.fit(&x, &y);
+        assert!(ridge.coefficients[0].abs() < ols.coefficients[0].abs());
+        assert!(ridge.coefficients[0] > 0.0);
+    }
+
+    #[test]
+    fn collinear_features_fall_back_to_ridge() {
+        // Two identical columns — OLS normal equations are singular.
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| 2.0 * i as f64).collect();
+        let mut m = LinearRegression::new();
+        m.fit(&x, &y);
+        // The fit must succeed and still predict well.
+        let err = (m.predict(&[5.0, 5.0]) - 10.0).abs();
+        assert!(err < 0.1, "err = {err}");
+    }
+
+    #[test]
+    fn simple_regression_on_perfect_line() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 1.5 * v - 2.0).collect();
+        let r = simple_regression(&x, &y);
+        assert!((r.slope - 1.5).abs() < 1e-10);
+        assert!((r.intercept + 2.0).abs() < 1e-10);
+        assert!((r.r_squared - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn simple_regression_on_noise_has_low_r2() {
+        // A deterministic "noise" pattern with no linear trend.
+        let x: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let r = simple_regression(&x, &y);
+        assert!(r.r_squared < 0.05, "r² = {}", r.r_squared);
+    }
+
+    #[test]
+    fn simple_regression_degenerate_inputs() {
+        let r = simple_regression(&[1.0], &[2.0]);
+        assert_eq!(r.r_squared, 0.0);
+        // Constant x.
+        let r = simple_regression(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(r.slope, 0.0);
+        assert_eq!(r.r_squared, 0.0);
+    }
+
+    #[test]
+    fn negative_correlation_r_is_negative() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 10.0 - v).collect();
+        let r = simple_regression(&x, &y);
+        assert!(r.r < -0.999);
+        assert!(r.r_squared > 0.999);
+    }
+}

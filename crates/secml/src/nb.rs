@@ -1,0 +1,168 @@
+//! Gaussian naive Bayes.
+
+use crate::Classifier;
+
+/// Gaussian naive Bayes for binary classes: per-class feature means and
+/// variances plus class priors, combined under the independence assumption.
+#[derive(Debug, Clone, Default)]
+pub struct GaussianNb {
+    /// `stats[class][feature] = (mean, variance)`.
+    stats: [Vec<(f64, f64)>; 2],
+    /// Log class priors.
+    log_priors: [f64; 2],
+    fitted: bool,
+}
+
+impl GaussianNb {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn class_stats(x: &[Vec<f64>], rows: &[usize], cols: usize) -> Vec<(f64, f64)> {
+        let n = rows.len().max(1) as f64;
+        let mut out = vec![(0.0, 0.0); cols];
+        for &r in rows {
+            for (o, v) in out.iter_mut().zip(&x[r]) {
+                o.0 += v;
+            }
+        }
+        for o in &mut out {
+            o.0 /= n;
+        }
+        for &r in rows {
+            for (o, v) in out.iter_mut().zip(&x[r]) {
+                o.1 += (v - o.0) * (v - o.0);
+            }
+        }
+        for o in &mut out {
+            // Variance floor keeps zero-variance features finite.
+            o.1 = (o.1 / n).max(1e-9);
+        }
+        out
+    }
+
+    fn log_likelihood(&self, class: usize, row: &[f64]) -> f64 {
+        let mut ll = self.log_priors[class];
+        for (&v, &(mean, var)) in row.iter().zip(&self.stats[class]) {
+            ll += -0.5 * ((v - mean) * (v - mean) / var + var.ln() + (2.0 * std::f64::consts::PI).ln());
+        }
+        ll
+    }
+}
+
+impl Classifier for GaussianNb {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) {
+        assert_eq!(x.len(), y.len(), "row/label count mismatch");
+        let cols = x.first().map(|r| r.len()).unwrap_or(0);
+        let class0: Vec<usize> = (0..x.len()).filter(|&i| y[i] == 0).collect();
+        let class1: Vec<usize> = (0..x.len()).filter(|&i| y[i] == 1).collect();
+        let n = x.len().max(1) as f64;
+        // Laplace-smoothed priors so an absent class never yields -inf.
+        self.log_priors = [
+            ((class0.len() as f64 + 1.0) / (n + 2.0)).ln(),
+            ((class1.len() as f64 + 1.0) / (n + 2.0)).ln(),
+        ];
+        self.stats = [
+            Self::class_stats(x, &class0, cols),
+            Self::class_stats(x, &class1, cols),
+        ];
+        self.fitted = true;
+    }
+
+    fn predict_proba(&self, row: &[f64]) -> f64 {
+        if !self.fitted {
+            return 0.5;
+        }
+        let l0 = self.log_likelihood(0, row);
+        let l1 = self.log_likelihood(1, row);
+        // Softmax over two log-likelihoods, numerically stable.
+        let m = l0.max(l1);
+        let e0 = (l0 - m).exp();
+        let e1 = (l1 - m).exp();
+        e1 / (e0 + e1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clusters() -> (Vec<Vec<f64>>, Vec<usize>) {
+        // Two well-separated Gaussian-ish clusters, deterministic jitter.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            let j = (i % 5) as f64 * 0.1;
+            x.push(vec![0.0 + j, 1.0 - j]);
+            y.push(0);
+            x.push(vec![5.0 + j, 6.0 - j]);
+            y.push(1);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn separates_clusters() {
+        let (x, y) = clusters();
+        let mut m = GaussianNb::new();
+        m.fit(&x, &y);
+        assert_eq!(m.predict(&[0.2, 0.9]), 0);
+        assert_eq!(m.predict(&[5.2, 5.9]), 1);
+        assert!(m.predict_proba(&[5.0, 6.0]) > 0.99);
+        assert!(m.predict_proba(&[0.0, 1.0]) < 0.01);
+    }
+
+    #[test]
+    fn training_accuracy_is_high() {
+        let (x, y) = clusters();
+        let mut m = GaussianNb::new();
+        m.fit(&x, &y);
+        let correct = x.iter().zip(&y).filter(|(r, &l)| m.predict(r) == l).count();
+        assert_eq!(correct, x.len());
+    }
+
+    #[test]
+    fn zero_variance_feature_does_not_nan() {
+        let x = vec![vec![1.0, 3.0], vec![1.0, 4.0], vec![1.0, 10.0], vec![1.0, 11.0]];
+        let y = vec![0, 0, 1, 1];
+        let mut m = GaussianNb::new();
+        m.fit(&x, &y);
+        let p = m.predict_proba(&[1.0, 10.5]);
+        assert!(p.is_finite());
+        assert!(p > 0.5);
+    }
+
+    #[test]
+    fn unfitted_predicts_half() {
+        let m = GaussianNb::new();
+        assert_eq!(m.predict_proba(&[1.0]), 0.5);
+    }
+
+    #[test]
+    fn single_class_training_is_finite() {
+        let x = vec![vec![1.0], vec![2.0]];
+        let y = vec![0, 0];
+        let mut m = GaussianNb::new();
+        m.fit(&x, &y);
+        let p = m.predict_proba(&[1.5]);
+        assert!(p.is_finite());
+        assert!(p < 0.5);
+    }
+
+    #[test]
+    fn prior_imbalance_shifts_boundary() {
+        // Same likelihoods, heavily imbalanced priors.
+        let mut x = vec![];
+        let mut y = vec![];
+        for i in 0..50 {
+            x.push(vec![(i % 10) as f64 / 10.0]);
+            y.push(0);
+        }
+        x.push(vec![0.45]);
+        y.push(1);
+        let mut m = GaussianNb::new();
+        m.fit(&x, &y);
+        // Ambiguous point leans to the overwhelming prior.
+        assert_eq!(m.predict(&[0.5]), 0);
+    }
+}

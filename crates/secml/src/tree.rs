@@ -1,0 +1,370 @@
+//! Decision trees: entropy-based classification and variance-reduction
+//! regression (the C4.5-style learner in the zoo).
+
+use crate::{Classifier, Regressor};
+
+/// A binary decision tree.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        /// Class-1 probability (classification) or mean target (regression).
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+impl Node {
+    fn predict(&self, row: &[f64]) -> f64 {
+        match self {
+            Node::Leaf { value } => *value,
+            Node::Split { feature, threshold, left, right } => {
+                if row.get(*feature).copied().unwrap_or(0.0) <= *threshold {
+                    left.predict(row)
+                } else {
+                    right.predict(row)
+                }
+            }
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 0,
+            Node::Split { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+}
+
+/// Hyper-parameters shared by both tree flavors.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    pub max_depth: usize,
+    pub min_samples_split: usize,
+    /// Consider only this many features per split (None = all) — the
+    /// random-forest hook; the indices are supplied by the caller.
+    pub min_gain: f64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig { max_depth: 8, min_samples_split: 4, min_gain: 1e-7 }
+    }
+}
+
+/// Criterion: entropy for classification, variance for regression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Criterion {
+    Entropy,
+    Variance,
+}
+
+fn impurity(values: &[f64], criterion: Criterion) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    match criterion {
+        Criterion::Entropy => {
+            let n = values.len() as f64;
+            let p1 = values.iter().sum::<f64>() / n;
+            let p0 = 1.0 - p1;
+            let mut h = 0.0;
+            for p in [p0, p1] {
+                if p > 0.0 {
+                    h -= p * p.log2();
+                }
+            }
+            h
+        }
+        Criterion::Variance => {
+            let n = values.len() as f64;
+            let mean = values.iter().sum::<f64>() / n;
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n
+        }
+    }
+}
+
+/// Grow a tree on the rows at `indices`. `feature_pool` limits candidate
+/// split features (random forests pass a subsample; plain trees pass all).
+fn grow(
+    x: &[Vec<f64>],
+    y: &[f64],
+    indices: &[usize],
+    depth: usize,
+    config: &TreeConfig,
+    criterion: Criterion,
+    feature_pool: &[usize],
+) -> Node {
+    let values: Vec<f64> = indices.iter().map(|&i| y[i]).collect();
+    let mean = values.iter().sum::<f64>() / values.len().max(1) as f64;
+    let parent_impurity = impurity(&values, criterion);
+
+    if depth >= config.max_depth
+        || indices.len() < config.min_samples_split
+        || parent_impurity <= 0.0
+    {
+        return Node::Leaf { value: mean };
+    }
+
+    // Best split over the feature pool: candidate thresholds are midpoints
+    // between consecutive distinct sorted values.
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+    for &feature in feature_pool {
+        let mut vals: Vec<f64> = indices.iter().map(|&i| x[i][feature]).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("finite feature"));
+        vals.dedup();
+        if vals.len() < 2 {
+            continue;
+        }
+        for w in vals.windows(2) {
+            let threshold = (w[0] + w[1]) / 2.0;
+            let (mut left, mut right) = (Vec::new(), Vec::new());
+            for &i in indices {
+                if x[i][feature] <= threshold {
+                    left.push(y[i]);
+                } else {
+                    right.push(y[i]);
+                }
+            }
+            if left.is_empty() || right.is_empty() {
+                continue;
+            }
+            let n = indices.len() as f64;
+            let weighted = (left.len() as f64 / n) * impurity(&left, criterion)
+                + (right.len() as f64 / n) * impurity(&right, criterion);
+            let gain = parent_impurity - weighted;
+            if best.is_none_or(|(_, _, g)| gain > g) {
+                best = Some((feature, threshold, gain));
+            }
+        }
+    }
+
+    match best {
+        Some((feature, threshold, gain)) if gain > config.min_gain => {
+            let (mut li, mut ri) = (Vec::new(), Vec::new());
+            for &i in indices {
+                if x[i][feature] <= threshold {
+                    li.push(i);
+                } else {
+                    ri.push(i);
+                }
+            }
+            Node::Split {
+                feature,
+                threshold,
+                left: Box::new(grow(x, y, &li, depth + 1, config, criterion, feature_pool)),
+                right: Box::new(grow(x, y, &ri, depth + 1, config, criterion, feature_pool)),
+            }
+        }
+        _ => Node::Leaf { value: mean },
+    }
+}
+
+/// Entropy-criterion decision-tree classifier.
+#[derive(Debug, Clone, Default)]
+pub struct DecisionTree {
+    pub config: TreeConfig,
+    root: Option<Node>,
+}
+
+impl DecisionTree {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_config(config: TreeConfig) -> Self {
+        DecisionTree { config, root: None }
+    }
+
+    /// Depth of the grown tree (0 = single leaf / unfitted).
+    pub fn depth(&self) -> usize {
+        self.root.as_ref().map(|r| r.depth()).unwrap_or(0)
+    }
+
+    /// Fit restricted to a feature subset (random-forest hook).
+    pub fn fit_with_pool(&mut self, x: &[Vec<f64>], y: &[usize], pool: &[usize]) {
+        let yf: Vec<f64> = y.iter().map(|&v| v as f64).collect();
+        let indices: Vec<usize> = (0..x.len()).collect();
+        if indices.is_empty() {
+            self.root = Some(Node::Leaf { value: 0.5 });
+            return;
+        }
+        self.root = Some(grow(x, &yf, &indices, 0, &self.config, Criterion::Entropy, pool));
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) {
+        assert_eq!(x.len(), y.len(), "row/label count mismatch");
+        let cols = x.first().map(|r| r.len()).unwrap_or(0);
+        let pool: Vec<usize> = (0..cols).collect();
+        self.fit_with_pool(x, y, &pool);
+    }
+
+    fn predict_proba(&self, row: &[f64]) -> f64 {
+        self.root.as_ref().map(|r| r.predict(row)).unwrap_or(0.5)
+    }
+}
+
+/// Variance-reduction regression tree.
+#[derive(Debug, Clone, Default)]
+pub struct RegressionTree {
+    pub config: TreeConfig,
+    root: Option<Node>,
+}
+
+impl RegressionTree {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_config(config: TreeConfig) -> Self {
+        RegressionTree { config, root: None }
+    }
+
+    /// Fit restricted to a feature subset (random-forest hook).
+    pub fn fit_with_pool(&mut self, x: &[Vec<f64>], y: &[f64], pool: &[usize]) {
+        let indices: Vec<usize> = (0..x.len()).collect();
+        if indices.is_empty() {
+            self.root = Some(Node::Leaf { value: 0.0 });
+            return;
+        }
+        self.root = Some(grow(x, y, &indices, 0, &self.config, Criterion::Variance, pool));
+    }
+}
+
+impl Regressor for RegressionTree {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len(), "row/target count mismatch");
+        let cols = x.first().map(|r| r.len()).unwrap_or(0);
+        let pool: Vec<usize> = (0..cols).collect();
+        self.fit_with_pool(x, y, &pool);
+    }
+
+    fn predict(&self, row: &[f64]) -> f64 {
+        self.root.as_ref().map(|r| r.predict(row)).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_threshold_rule() {
+        // class = x > 3
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 2.0]).collect();
+        let y: Vec<usize> = x.iter().map(|r| (r[0] > 3.0) as usize).collect();
+        let mut t = DecisionTree::new();
+        t.fit(&x, &y);
+        assert_eq!(t.predict(&[1.0]), 0);
+        assert_eq!(t.predict(&[8.0]), 1);
+        assert!(t.depth() >= 1);
+    }
+
+    #[test]
+    fn learns_conjunction_with_depth_two() {
+        // class = (x0 > 0.5) AND (x1 > 0.5): needs two nested splits.
+        // (XOR, by contrast, defeats greedy entropy trees: every first
+        // split has zero gain.)
+        let x = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![0.1, 0.1],
+            vec![0.1, 0.9],
+            vec![0.9, 0.1],
+            vec![0.9, 0.9],
+        ];
+        let y = vec![0, 0, 0, 1, 0, 0, 0, 1];
+        let mut t = DecisionTree::with_config(TreeConfig {
+            min_samples_split: 2,
+            ..Default::default()
+        });
+        t.fit(&x, &y);
+        let correct = x.iter().zip(&y).filter(|(r, &l)| t.predict(r) == l).count();
+        assert_eq!(correct, 8);
+        assert!(t.depth() >= 2);
+    }
+
+    #[test]
+    fn max_depth_limits_growth() {
+        let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let y: Vec<usize> = (0..64).map(|i| (i % 2) as usize).collect();
+        let mut t = DecisionTree::with_config(TreeConfig {
+            max_depth: 3,
+            min_samples_split: 2,
+            ..Default::default()
+        });
+        t.fit(&x, &y);
+        assert!(t.depth() <= 3);
+    }
+
+    #[test]
+    fn pure_node_is_leaf() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![1, 1, 1];
+        let mut t = DecisionTree::new();
+        t.fit(&x, &y);
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.predict(&[99.0]), 1);
+    }
+
+    #[test]
+    fn unfitted_tree_predicts_half() {
+        let t = DecisionTree::new();
+        assert_eq!(t.predict_proba(&[1.0]), 0.5);
+    }
+
+    #[test]
+    fn regression_tree_fits_step_function() {
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| if r[0] < 15.0 { 2.0 } else { 10.0 }).collect();
+        let mut t = RegressionTree::new();
+        t.fit(&x, &y);
+        assert!((t.predict(&[5.0]) - 2.0).abs() < 1e-9);
+        assert!((t.predict(&[25.0]) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_tree_piecewise_approximation() {
+        // y = x²: deeper trees approximate better.
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 5.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] * r[0]).collect();
+        let mut shallow = RegressionTree::with_config(TreeConfig {
+            max_depth: 1,
+            min_samples_split: 2,
+            ..Default::default()
+        });
+        shallow.fit(&x, &y);
+        let mut deep = RegressionTree::with_config(TreeConfig {
+            max_depth: 6,
+            min_samples_split: 2,
+            ..Default::default()
+        });
+        deep.fit(&x, &y);
+        let mse = |t: &RegressionTree| {
+            x.iter()
+                .zip(&y)
+                .map(|(r, &v)| (t.predict(r) - v) * (t.predict(r) - v))
+                .sum::<f64>()
+                / x.len() as f64
+        };
+        assert!(mse(&deep) < mse(&shallow) / 4.0);
+    }
+
+    #[test]
+    fn empty_fit_is_harmless() {
+        let mut t = DecisionTree::new();
+        t.fit(&[], &[]);
+        assert_eq!(t.predict_proba(&[1.0]), 0.5);
+        let mut rt = RegressionTree::new();
+        Regressor::fit(&mut rt, &[], &[]);
+        assert_eq!(rt.predict(&[1.0]), 0.0);
+    }
+}

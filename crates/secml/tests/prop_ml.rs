@@ -1,0 +1,123 @@
+//! Property tests over the ML library's numeric invariants.
+
+use proptest::prelude::*;
+use secml::eval::{roc_auc, stratified_folds, ConfusionMatrix, RegressionReport};
+use secml::linreg::{simple_regression, LinearRegression};
+use secml::logreg::LogisticRegression;
+use secml::preprocess::Standardizer;
+use secml::{Classifier, Regressor};
+
+fn labelled_rows() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<usize>)> {
+    prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0, any::<bool>()), 8..40).prop_map(
+        |points| {
+            let rows = points.iter().map(|(a, b, _)| vec![*a, *b]).collect();
+            let labels = points.iter().map(|(_, _, l)| *l as usize).collect();
+            (rows, labels)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Probabilities are probabilities, whatever the data.
+    #[test]
+    fn classifier_probabilities_in_unit_interval((rows, labels) in labelled_rows()) {
+        let mut m = LogisticRegression::new();
+        m.fit(&rows, &labels);
+        for row in &rows {
+            let p = m.predict_proba(row);
+            prop_assert!((0.0..=1.0).contains(&p), "{p}");
+        }
+    }
+
+    /// AUC is symmetric under score negation: AUC(s) + AUC(-s) = 1 for
+    /// tie-free scores.
+    #[test]
+    fn auc_negation_symmetry(scores in prop::collection::vec(-100f64..100.0, 6..40)) {
+        // Deduplicate to avoid ties; build alternating labels.
+        let mut s = scores.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s.dedup();
+        prop_assume!(s.len() >= 4);
+        let labels: Vec<usize> = (0..s.len()).map(|i| i % 2).collect();
+        let neg: Vec<f64> = s.iter().map(|v| -v).collect();
+        let auc = roc_auc(&labels, &s);
+        let auc_neg = roc_auc(&labels, &neg);
+        prop_assert!((auc + auc_neg - 1.0).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&auc));
+    }
+
+    /// Stratified folds partition the index set and keep both classes in
+    /// every fold when feasible.
+    #[test]
+    fn stratified_folds_partition(labels in prop::collection::vec(0usize..2, 10..80), k in 2usize..6) {
+        let folds = stratified_folds(&labels, k);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..labels.len()).collect::<Vec<_>>());
+        let pos = labels.iter().filter(|&&l| l == 1).count();
+        let neg = labels.len() - pos;
+        if pos >= k && neg >= k {
+            for f in &folds {
+                prop_assert!(f.iter().any(|&i| labels[i] == 1));
+                prop_assert!(f.iter().any(|&i| labels[i] == 0));
+            }
+        }
+    }
+
+    /// Confusion-matrix metrics stay in [0, 1].
+    #[test]
+    fn confusion_metrics_bounded(truth in prop::collection::vec(0usize..2, 1..60), flips in prop::collection::vec(any::<bool>(), 1..60)) {
+        let predicted: Vec<usize> = truth
+            .iter()
+            .zip(flips.iter().chain(std::iter::repeat(&false)))
+            .map(|(&t, &f)| if f { 1 - t } else { t })
+            .collect();
+        let m = ConfusionMatrix::from_predictions(&truth, &predicted);
+        for v in [m.accuracy(), m.precision(), m.recall(), m.f1()] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        prop_assert_eq!(m.total(), truth.len().min(predicted.len()));
+    }
+
+    /// OLS on exactly-linear data recovers the relation regardless of the
+    /// sampled coefficients.
+    #[test]
+    fn ols_recovers_exact_line(slope in -5.0f64..5.0, intercept in -10.0f64..10.0) {
+        let x: Vec<f64> = (0..25).map(|i| i as f64 / 2.0).collect();
+        let y: Vec<f64> = x.iter().map(|v| intercept + slope * v).collect();
+        let fit = simple_regression(&x, &y);
+        prop_assert!((fit.slope - slope).abs() < 1e-8);
+        prop_assert!((fit.intercept - intercept).abs() < 1e-7);
+        let mut model = LinearRegression::new();
+        let rows: Vec<Vec<f64>> = x.iter().map(|v| vec![*v]).collect();
+        model.fit(&rows, &y);
+        prop_assert!((model.coefficients[0] - slope).abs() < 1e-6);
+    }
+
+    /// R² of a model's own training predictions on linear data is ≈ 1 and
+    /// never NaN on constant data.
+    #[test]
+    fn regression_report_total(targets in prop::collection::vec(-100f64..100.0, 2..40)) {
+        let report = RegressionReport::compute(&targets, &targets);
+        prop_assert_eq!(report.mae, 0.0);
+        prop_assert!(report.r_squared == 1.0 || report.r_squared == 0.0); // 0 for constant y
+    }
+
+    /// Standardization then inverse ordering: z-scores preserve order.
+    #[test]
+    fn standardizer_preserves_order(values in prop::collection::vec(-1e4f64..1e4, 3..50)) {
+        let rows: Vec<Vec<f64>> = values.iter().map(|v| vec![*v]).collect();
+        let st = Standardizer::fit(&rows);
+        let mut transformed = rows.clone();
+        st.transform(&mut transformed);
+        for (a, b) in values.windows(2).map(|w| (w[0], w[1])).zip(transformed.windows(2).map(|w| (w[0][0], w[1][0]))).map(|((a, b), (ta, tb))| ((a, ta), (b, tb))) {
+            let ((raw_a, z_a), (raw_b, z_b)) = (a, b);
+            if raw_a < raw_b {
+                prop_assert!(z_a <= z_b);
+            }
+            prop_assert!(z_a.is_finite() && z_b.is_finite());
+        }
+    }
+}

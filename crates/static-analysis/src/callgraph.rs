@@ -1,0 +1,240 @@
+//! Call-graph construction and control-flow statistics (Allen [15]).
+//!
+//! §4.1: *"Control flow analysis can determine numbers of calling and
+//! returning targets in a program."* The call graph also drives the
+//! interprocedural taint summaries and the attack-surface reachability
+//! analysis (which endpoints can reach which dangerous operations).
+
+use minilang::ast::Program;
+use minilang::visit;
+use minilang::Intrinsic;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// The program call graph over user-defined functions, with intrinsic calls
+/// recorded separately.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// Function names in definition order.
+    pub functions: Vec<String>,
+    /// Edges: caller → set of callees (user functions only).
+    pub calls: BTreeMap<String, BTreeSet<String>>,
+    /// Caller → multiset of intrinsic callees.
+    pub intrinsic_calls: BTreeMap<String, Vec<Intrinsic>>,
+    /// Calls to names that are neither defined functions nor intrinsics
+    /// (unresolved externs — counted as an attack-surface unknown).
+    pub unresolved: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl CallGraph {
+    /// Build the call graph of a program.
+    pub fn build(program: &Program) -> CallGraph {
+        let defined: BTreeSet<&str> =
+            program.functions().map(|f| f.name.as_str()).collect();
+        let mut cg = CallGraph::default();
+        for f in program.functions() {
+            cg.functions.push(f.name.clone());
+            let calls = cg.calls.entry(f.name.clone()).or_default();
+            let intr = cg.intrinsic_calls.entry(f.name.clone()).or_default();
+            let unresolved = cg.unresolved.entry(f.name.clone()).or_default();
+            for callee in visit::collect_calls(&f.body) {
+                if let Some(i) = Intrinsic::from_name(callee) {
+                    intr.push(i);
+                } else if defined.contains(callee) {
+                    calls.insert(callee.to_string());
+                } else {
+                    unresolved.insert(callee.to_string());
+                }
+            }
+        }
+        cg
+    }
+
+    /// Direct user-function callees of `name`.
+    pub fn callees(&self, name: &str) -> impl Iterator<Item = &str> {
+        self.calls.get(name).into_iter().flatten().map(|s| s.as_str())
+    }
+
+    /// Functions transitively reachable from `roots` (including the roots
+    /// themselves when defined).
+    pub fn reachable_from<'a>(
+        &self,
+        roots: impl IntoIterator<Item = &'a str>,
+    ) -> BTreeSet<String> {
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut queue: VecDeque<String> = roots
+            .into_iter()
+            .filter(|r| self.calls.contains_key(*r))
+            .map(|r| r.to_string())
+            .collect();
+        for r in &queue {
+            seen.insert(r.clone());
+        }
+        while let Some(f) = queue.pop_front() {
+            for callee in self.callees(&f) {
+                if seen.insert(callee.to_string()) {
+                    queue.push_back(callee.to_string());
+                }
+            }
+        }
+        seen
+    }
+
+    /// Summary statistics used as features.
+    pub fn stats(&self) -> CallGraphStats {
+        let call_edges: usize = self.calls.values().map(|s| s.len()).sum();
+        let intrinsic_edges: usize = self.intrinsic_calls.values().map(|v| v.len()).sum();
+        let unresolved_edges: usize = self.unresolved.values().map(|s| s.len()).sum();
+        // In-degree = number of distinct callers per function ("returning
+        // targets"); out-degree = calls per function ("calling targets").
+        let mut in_degree: BTreeMap<&str, usize> = BTreeMap::new();
+        for callees in self.calls.values() {
+            for c in callees {
+                *in_degree.entry(c.as_str()).or_insert(0) += 1;
+            }
+        }
+        let max_out = self.calls.values().map(|s| s.len()).max().unwrap_or(0);
+        let max_in = in_degree.values().copied().max().unwrap_or(0);
+        let leaves = self
+            .functions
+            .iter()
+            .filter(|f| self.calls.get(*f).is_none_or(|s| s.is_empty()))
+            .count();
+        // Roots: functions never called by another user function.
+        let roots = self
+            .functions
+            .iter()
+            .filter(|f| !in_degree.contains_key(f.as_str()))
+            .count();
+        CallGraphStats {
+            functions: self.functions.len(),
+            call_edges,
+            intrinsic_edges,
+            unresolved_edges,
+            max_out_degree: max_out,
+            max_in_degree: max_in,
+            leaf_functions: leaves,
+            root_functions: roots,
+            recursive_functions: self.count_recursive(),
+        }
+    }
+
+    /// Functions that participate in a call cycle (including self-recursion).
+    fn count_recursive(&self) -> usize {
+        // A function is recursive iff it can reach itself.
+        self.functions
+            .iter()
+            .filter(|f| {
+                let mut seen = BTreeSet::new();
+                let mut queue: VecDeque<&str> =
+                    self.callees(f).collect::<Vec<_>>().into();
+                while let Some(c) = queue.pop_front() {
+                    if c == f.as_str() {
+                        return true;
+                    }
+                    if seen.insert(c.to_string()) {
+                        queue.extend(self.callees(c));
+                    }
+                }
+                false
+            })
+            .count()
+    }
+}
+
+/// Feature summary of the call graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CallGraphStats {
+    pub functions: usize,
+    pub call_edges: usize,
+    pub intrinsic_edges: usize,
+    pub unresolved_edges: usize,
+    pub max_out_degree: usize,
+    pub max_in_degree: usize,
+    pub leaf_functions: usize,
+    pub root_functions: usize,
+    pub recursive_functions: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minilang::{parse_program, Dialect};
+
+    fn graph(src: &str) -> CallGraph {
+        let p = parse_program("app", Dialect::C, &[("m.c".into(), src.into())]).unwrap();
+        CallGraph::build(&p)
+    }
+
+    #[test]
+    fn builds_user_and_intrinsic_edges() {
+        let cg = graph(
+            "fn a() { b(); printf(\"x\"); }
+             fn b() { c(); c(); }
+             fn c() { }",
+        );
+        assert_eq!(cg.callees("a").collect::<Vec<_>>(), vec!["b"]);
+        assert_eq!(cg.callees("b").collect::<Vec<_>>(), vec!["c"]);
+        assert_eq!(cg.intrinsic_calls["a"], vec![Intrinsic::Printf]);
+        let s = cg.stats();
+        assert_eq!(s.functions, 3);
+        assert_eq!(s.call_edges, 2); // duplicate b→c deduplicated
+        assert_eq!(s.intrinsic_edges, 1);
+        assert_eq!(s.leaf_functions, 1);
+        assert_eq!(s.root_functions, 1);
+    }
+
+    #[test]
+    fn unresolved_calls_are_tracked() {
+        let cg = graph("fn a() { mystery(); }");
+        assert_eq!(cg.unresolved["a"].len(), 1);
+        assert_eq!(cg.stats().unresolved_edges, 1);
+    }
+
+    #[test]
+    fn reachability_is_transitive() {
+        let cg = graph(
+            "fn main() { worker(); }
+             fn worker() { helper(); }
+             fn helper() { }
+             fn unused() { helper(); }",
+        );
+        let r = cg.reachable_from(["main"]);
+        assert!(r.contains("main") && r.contains("worker") && r.contains("helper"));
+        assert!(!r.contains("unused"));
+    }
+
+    #[test]
+    fn reachable_from_undefined_root_is_empty() {
+        let cg = graph("fn a() { }");
+        assert!(cg.reachable_from(["nope"]).is_empty());
+    }
+
+    #[test]
+    fn self_recursion_detected() {
+        let cg = graph("fn f(n: int) -> int { if n > 0 { return f(n - 1); } return 0; }");
+        assert_eq!(cg.stats().recursive_functions, 1);
+    }
+
+    #[test]
+    fn mutual_recursion_detected() {
+        let cg = graph(
+            "fn even(n: int) -> bool { if n == 0 { return true; } return odd(n - 1); }
+             fn odd(n: int) -> bool { if n == 0 { return false; } return even(n - 1); }",
+        );
+        assert_eq!(cg.stats().recursive_functions, 2);
+    }
+
+    #[test]
+    fn degrees() {
+        let cg = graph(
+            "fn hub() { a(); b(); c(); }
+             fn a() { shared(); }
+             fn b() { shared(); }
+             fn c() { shared(); }
+             fn shared() { }",
+        );
+        let s = cg.stats();
+        assert_eq!(s.max_out_degree, 3);
+        assert_eq!(s.max_in_degree, 3);
+    }
+}

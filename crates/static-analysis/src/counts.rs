@@ -1,0 +1,194 @@
+//! Basic structural counts.
+//!
+//! Shin et al. [61] predicted 80 % of vulnerable files from "most basic
+//! properties of code files such as LoC, number of functions, number of
+//! declarations, lines of preprocessed code, number of branches, and number
+//! of input and output arguments to a function". This module supplies those
+//! counts plus the interface counts the TCB-comparison literature uses.
+
+use minilang::ast::{Function, Module, Program, StmtKind, Type};
+use minilang::visit;
+
+/// Structural counts for a module or program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StructuralCounts {
+    /// Function definitions.
+    pub functions: usize,
+    /// Local `let` declarations plus globals.
+    pub declarations: usize,
+    /// Global variables.
+    pub globals: usize,
+    /// Branch statements (`if`, `while`, conditional `for`, `switch` arms).
+    pub branches: usize,
+    /// Loop statements (`while` + `for`).
+    pub loops: usize,
+    /// Total formal parameters across functions ("input arguments").
+    pub parameters: usize,
+    /// Functions returning a value ("output arguments").
+    pub returning_functions: usize,
+    /// Functions annotated as endpoints — the program's *interfaces*.
+    pub endpoints: usize,
+    /// Functions annotated `@priv(root)`.
+    pub privileged_functions: usize,
+    /// Buffer declarations (`T[n]` locals, params or globals).
+    pub buffers: usize,
+    /// Total declared buffer capacity in elements.
+    pub buffer_capacity: usize,
+    /// Call expressions.
+    pub calls: usize,
+    /// Return statements.
+    pub returns: usize,
+}
+
+impl StructuralCounts {
+    fn add_function(&mut self, f: &Function) {
+        self.functions += 1;
+        self.parameters += f.params.len();
+        if f.ret != Type::Void {
+            self.returning_functions += 1;
+        }
+        if !f.endpoint_channels().is_empty() {
+            self.endpoints += 1;
+        }
+        if f.privilege() == minilang::ast::PrivLevel::Root {
+            self.privileged_functions += 1;
+        }
+        for p in &f.params {
+            if let Some(cap) = p.ty.buffer_capacity() {
+                self.buffers += 1;
+                self.buffer_capacity += cap;
+            }
+        }
+        visit::walk_stmts(&f.body, &mut |stmt| match &stmt.kind {
+            StmtKind::Let { ty, .. } => {
+                self.declarations += 1;
+                if let Some(cap) = ty.buffer_capacity() {
+                    self.buffers += 1;
+                    self.buffer_capacity += cap;
+                }
+            }
+            StmtKind::If { .. } | StmtKind::While { .. } => {
+                self.branches += 1;
+                if matches!(stmt.kind, StmtKind::While { .. }) {
+                    self.loops += 1;
+                }
+            }
+            StmtKind::For { cond, .. } => {
+                self.loops += 1;
+                if cond.is_some() {
+                    self.branches += 1;
+                }
+            }
+            StmtKind::Switch { cases, .. } => self.branches += cases.len(),
+            StmtKind::Return(_) => self.returns += 1,
+            _ => {}
+        });
+        self.calls += visit::collect_calls(&f.body).len();
+    }
+
+    fn add_module(&mut self, m: &Module) {
+        self.globals += m.globals.len();
+        self.declarations += m.globals.len();
+        for g in &m.globals {
+            if let Some(cap) = g.ty.buffer_capacity() {
+                self.buffers += 1;
+                self.buffer_capacity += cap;
+            }
+        }
+        for f in &m.functions {
+            self.add_function(f);
+        }
+    }
+}
+
+/// Counts for one module.
+pub fn module_counts(module: &Module) -> StructuralCounts {
+    let mut c = StructuralCounts::default();
+    c.add_module(module);
+    c
+}
+
+/// Counts across a whole program.
+pub fn program_counts(program: &Program) -> StructuralCounts {
+    let mut c = StructuralCounts::default();
+    for m in &program.modules {
+        c.add_module(m);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minilang::{parse_module, Dialect};
+
+    fn counts(src: &str) -> StructuralCounts {
+        module_counts(&parse_module("t.c", src, Dialect::C).unwrap())
+    }
+
+    #[test]
+    fn counts_everything_once() {
+        let c = counts(
+            "global limit: int = 9;
+             global table: int[128];
+             @endpoint(network) @priv(root)
+             fn handle(req: str, n: int) -> int {
+                 let buf: str[64];
+                 let i: int = 0;
+                 while i < n {
+                     if i % 2 == 0 { i += 1; } else { i += 2; }
+                 }
+                 for j = 0; j < 4; j += 1 { send(0, req); }
+                 switch n { case 1: { } case 2: { } default: { } }
+                 return i;
+             }
+             fn helper() { log_msg(\"hi\"); }",
+        );
+        assert_eq!(c.functions, 2);
+        assert_eq!(c.globals, 2);
+        assert_eq!(c.declarations, 4); // 2 globals + buf + i
+        assert_eq!(c.parameters, 2);
+        assert_eq!(c.returning_functions, 1);
+        assert_eq!(c.endpoints, 1);
+        assert_eq!(c.privileged_functions, 1);
+        assert_eq!(c.buffers, 2); // table + buf
+        assert_eq!(c.buffer_capacity, 192);
+        assert_eq!(c.branches, 1 + 1 + 1 + 2); // while, if, for-cond, 2 cases
+        assert_eq!(c.loops, 2);
+        assert_eq!(c.calls, 2); // send, log_msg
+        assert_eq!(c.returns, 1);
+    }
+
+    #[test]
+    fn empty_module_is_zero() {
+        assert_eq!(counts(""), StructuralCounts::default());
+    }
+
+    #[test]
+    fn param_buffers_counted() {
+        let c = counts("fn f(buf: int[32]) { }");
+        assert_eq!(c.buffers, 1);
+        assert_eq!(c.buffer_capacity, 32);
+    }
+
+    #[test]
+    fn unconditional_for_is_loop_not_branch() {
+        let c = counts("fn f() { for ; ; { break; } }");
+        assert_eq!(c.loops, 1);
+        assert_eq!(c.branches, 0);
+    }
+
+    #[test]
+    fn program_counts_aggregate_modules() {
+        let files = vec![
+            ("a.c".to_string(), "fn a() {}".to_string()),
+            ("b.c".to_string(), "global g: int; fn b(x: int) -> int { return x; }".to_string()),
+        ];
+        let p = minilang::parse_program("app", Dialect::C, &files).unwrap();
+        let c = program_counts(&p);
+        assert_eq!(c.functions, 2);
+        assert_eq!(c.globals, 1);
+        assert_eq!(c.parameters, 1);
+        assert_eq!(c.returns, 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! Named feature vectors.
+//!
+//! The paper's testbed (Figure 4) feeds a flat vector of numeric code
+//! properties into the machine-learning stage. [`FeatureVector`] is that
+//! vector: an ordered map from feature name to value. Collectors append to
+//! it; the `secml` dataset builder aligns vectors by name across
+//! applications.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An ordered collection of named numeric features.
+///
+/// Insertion overwrites: the last writer of a name wins (collectors are
+/// expected to use distinct, namespaced names such as `loc.code` or
+/// `taint.flows`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FeatureVector {
+    values: BTreeMap<String, f64>,
+}
+
+impl FeatureVector {
+    /// An empty vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set feature `name` to `value`. Non-finite values are clamped to 0 so
+    /// a degenerate analysis result cannot poison the training matrix.
+    pub fn set(&mut self, name: impl Into<String>, value: f64) {
+        let v = if value.is_finite() { value } else { 0.0 };
+        self.values.insert(name.into(), v);
+    }
+
+    /// Fetch a feature by name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.values.get(name).copied()
+    }
+
+    /// Fetch a feature, defaulting to 0.0 — convenient for optional
+    /// collector families.
+    pub fn get_or_zero(&self, name: &str) -> f64 {
+        self.get(name).unwrap_or(0.0)
+    }
+
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no features have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterate `(name, value)` in name order (stable across runs — feature
+    /// matrices must align column-wise between training and prediction).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// The feature names, in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.values.keys().map(|k| k.as_str()).collect()
+    }
+
+    /// Merge `other` into `self` (other's values win on collision).
+    pub fn merge(&mut self, other: &FeatureVector) {
+        for (k, v) in other.iter() {
+            self.values.insert(k.to_string(), v);
+        }
+    }
+
+    /// Restrict to features whose name starts with `prefix` — used by the
+    /// single-family ablation experiment (EXP-UNIFIED).
+    pub fn with_prefix(&self, prefix: &str) -> FeatureVector {
+        FeatureVector {
+            values: self
+                .values
+                .iter()
+                .filter(|(k, _)| k.starts_with(prefix))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for FeatureVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{k} = {v:.4}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(String, f64)> for FeatureVector {
+    fn from_iter<T: IntoIterator<Item = (String, f64)>>(iter: T) -> Self {
+        let mut fv = FeatureVector::new();
+        for (k, v) in iter {
+            fv.set(k, v);
+        }
+        fv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_and_default() {
+        let mut fv = FeatureVector::new();
+        assert!(fv.is_empty());
+        fv.set("loc.code", 120.0);
+        assert_eq!(fv.get("loc.code"), Some(120.0));
+        assert_eq!(fv.get("missing"), None);
+        assert_eq!(fv.get_or_zero("missing"), 0.0);
+        assert_eq!(fv.len(), 1);
+    }
+
+    #[test]
+    fn non_finite_values_are_clamped() {
+        let mut fv = FeatureVector::new();
+        fv.set("a", f64::NAN);
+        fv.set("b", f64::INFINITY);
+        assert_eq!(fv.get("a"), Some(0.0));
+        assert_eq!(fv.get("b"), Some(0.0));
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut fv = FeatureVector::new();
+        fv.set("z", 1.0);
+        fv.set("a", 2.0);
+        fv.set("m", 3.0);
+        let names: Vec<&str> = fv.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "m", "z"]);
+    }
+
+    #[test]
+    fn merge_overwrites() {
+        let mut a = FeatureVector::new();
+        a.set("x", 1.0);
+        a.set("y", 2.0);
+        let mut b = FeatureVector::new();
+        b.set("y", 9.0);
+        b.set("z", 3.0);
+        a.merge(&b);
+        assert_eq!(a.get("y"), Some(9.0));
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn prefix_filter() {
+        let fv: FeatureVector = [
+            ("loc.code".to_string(), 1.0),
+            ("loc.comment".to_string(), 2.0),
+            ("taint.flows".to_string(), 3.0),
+        ]
+        .into_iter()
+        .collect();
+        let loc = fv.with_prefix("loc.");
+        assert_eq!(loc.len(), 2);
+        assert!(loc.get("taint.flows").is_none());
+    }
+
+    #[test]
+    fn display_formats_lines() {
+        let mut fv = FeatureVector::new();
+        fv.set("a", 1.5);
+        fv.set("b", 2.0);
+        assert_eq!(fv.to_string(), "a = 1.5000\nb = 2.0000");
+    }
+}

@@ -1,0 +1,41 @@
+//! Static analyses — the Clairvoyant "testbed" building blocks.
+//!
+//! §5.1 of the paper calls for "an automated framework to collect all the
+//! code properties from the sample applications", citing `cloc`, CCCC and
+//! Metrix++ for the basic measures and a body of research analyses for the
+//! richer ones (§4.1). This crate implements each of them over MiniLang:
+//!
+//! | paper citation | module |
+//! |---|---|
+//! | `cloc` line counting | [`loc`] |
+//! | McCabe cyclomatic complexity \[47\] | [`cyclomatic`] |
+//! | Halstead software science \[37\] | [`halstead`] |
+//! | control-flow analysis (Allen \[15\]) | [`cfg`], [`callgraph`] |
+//! | precise data-flow analysis \[56\] | [`dataflow`] |
+//! | taint / exposure of inputs | [`taint`] |
+//! | abstract interpretation \[27\] | [`interval`] |
+//! | symbolic execution path counts (KLEE \[22\]) | [`paths`] |
+//! | "code smell" research \[45–68\] | [`smells`] |
+//! | basic counts (functions, declarations, branches, args) | [`counts`] |
+//! | extensible collector registry (Metrix++ role) | [`registry`], [`features`] |
+//!
+//! Every analysis exposes a plain function from AST to a result struct, plus
+//! a [`registry::MetricCollector`] adapter that flattens the result into
+//! named [`features::FeatureVector`] entries for the ML stage.
+
+pub mod callgraph;
+pub mod cfg;
+pub mod counts;
+pub mod cyclomatic;
+pub mod dataflow;
+pub mod features;
+pub mod halstead;
+pub mod interval;
+pub mod loc;
+pub mod paths;
+pub mod registry;
+pub mod smells;
+pub mod taint;
+
+pub use features::FeatureVector;
+pub use registry::{standard_registry, MetricCollector, Registry};

@@ -1,0 +1,514 @@
+//! Interprocedural taint analysis.
+//!
+//! Tracks attacker-controlled data from *sources* (`read_input`, `recv`,
+//! `getenv`, `read_file`, parameters of `@untrusted`/`@endpoint` functions)
+//! to *dangerous sinks* (`strcpy`, `sprintf`, `exec`, `system`, `printf`,
+//! `strcat`, `memcpy`). A source-to-sink flow is the code shape behind most
+//! of the CWE classes the paper's hypotheses target (121 stack overflow, 134
+//! format string, 78 command injection), so flow counts are among the
+//! strongest features the testbed collects.
+//!
+//! The analysis is a two-phase interprocedural fixpoint:
+//!
+//! 1. **Summaries** — for every function, compute (a) whether it can return
+//!    source-derived data unconditionally and (b) whether tainted parameters
+//!    can flow to its return value, iterating until the summary set is
+//!    stable (handles recursion).
+//! 2. **Entry propagation** — parameters are tainted for annotated entry
+//!    points, then call sites with tainted arguments taint their callee's
+//!    parameters, to fixpoint; a final intraprocedural pass per function
+//!    records every sink call receiving tainted data.
+
+use crate::cfg::{Cfg, NodeKind};
+use minilang::ast::{Expr, ExprKind, Function, LValue, Program, StmtKind};
+use minilang::{visit, Intrinsic, Span};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How a function may produce tainted output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TaintSummary {
+    /// Returns data derived from a taint source even with clean parameters.
+    pub returns_taint_always: bool,
+    /// Returns data derived from its parameters (so tainted args taint the
+    /// return value).
+    pub returns_taint_if_param: bool,
+    /// With tainted parameters, some dangerous sink inside the function (or
+    /// its callees) receives tainted data.
+    pub param_reaches_sink: bool,
+}
+
+/// One detected source→sink flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaintFlow {
+    /// Function containing the sink call.
+    pub function: String,
+    /// The dangerous intrinsic receiving tainted data.
+    pub sink: Intrinsic,
+    /// Location of the sink call.
+    pub span: Span,
+    /// True when the taint entered through the function's own parameters
+    /// (an *exposed* flow — reachable from an interface); false when it was
+    /// produced by a source call inside the function body.
+    pub via_parameters: bool,
+}
+
+/// Whole-program taint results.
+#[derive(Debug, Clone, Default)]
+pub struct TaintReport {
+    pub flows: Vec<TaintFlow>,
+    /// Functions whose parameters may carry attacker data (annotated entry
+    /// points plus functions reached by tainted arguments).
+    pub tainted_entry_functions: BTreeSet<String>,
+    /// Total taint-source call sites in the program.
+    pub source_calls: usize,
+    /// Total dangerous-sink call sites in the program.
+    pub sink_calls: usize,
+    /// Per-function summaries (kept for the attack-graph exploit templates).
+    pub summaries: BTreeMap<String, TaintSummary>,
+}
+
+impl TaintReport {
+    /// Flows reachable from an interface — the ones an attacker can drive.
+    pub fn exposed_flows(&self) -> usize {
+        self.flows.iter().filter(|f| f.via_parameters).count()
+    }
+}
+
+/// Run the analysis over a program.
+pub fn analyze(program: &Program) -> TaintReport {
+    let functions: BTreeMap<&str, &Function> =
+        program.functions().map(|f| (f.name.as_str(), f)).collect();
+
+    // Phase 1: summaries to fixpoint.
+    let mut summaries: BTreeMap<String, TaintSummary> =
+        functions.keys().map(|&n| (n.to_string(), TaintSummary::default())).collect();
+    loop {
+        let mut changed = false;
+        for (&name, &f) in &functions {
+            // (a) clean parameters.
+            let clean = intra(f, false, &summaries);
+            // (b) all parameters tainted.
+            let dirty = intra(f, true, &summaries);
+            let new = TaintSummary {
+                returns_taint_always: clean.returns_taint,
+                // Only attribute to params what clean analysis cannot explain.
+                returns_taint_if_param: dirty.returns_taint,
+                param_reaches_sink: dirty.hit_sink,
+            };
+            let entry = summaries.get_mut(name).expect("summary exists");
+            if *entry != new {
+                *entry = new;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Phase 2: which functions run with tainted parameters?
+    let mut tainted_entry: BTreeSet<String> = program
+        .functions()
+        .filter(|f| f.is_untrusted() || !f.endpoint_channels().is_empty())
+        .map(|f| f.name.clone())
+        .collect();
+    loop {
+        let mut changed = false;
+        for (&name, &f) in &functions {
+            let params_tainted = tainted_entry.contains(name);
+            let result = intra(f, params_tainted, &summaries);
+            for callee in result.tainted_arg_callees {
+                if functions.contains_key(callee.as_str()) && tainted_entry.insert(callee) {
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Final pass: collect flows and counts.
+    let mut report = TaintReport {
+        tainted_entry_functions: tainted_entry.clone(),
+        summaries: summaries.clone(),
+        ..Default::default()
+    };
+    for (&name, &f) in &functions {
+        let params_tainted = tainted_entry.contains(name);
+        let result = intra(f, params_tainted, &summaries);
+        for (sink, span, needed_params) in result.sink_hits {
+            report.flows.push(TaintFlow {
+                function: name.to_string(),
+                sink,
+                span,
+                via_parameters: needed_params && params_tainted,
+            });
+        }
+        visit::walk_exprs(&f.body, &mut |e| {
+            if let ExprKind::Call { callee, .. } = &e.kind {
+                if let Some(i) = Intrinsic::from_name(callee) {
+                    if i.is_taint_source() {
+                        report.source_calls += 1;
+                    }
+                    if i.is_dangerous_sink() {
+                        report.sink_calls += 1;
+                    }
+                }
+            }
+        });
+    }
+    report
+}
+
+/// Result of one intraprocedural pass.
+struct IntraResult {
+    returns_taint: bool,
+    hit_sink: bool,
+    /// Sink call sites receiving tainted data: (sink, span, and whether the
+    /// taint disappears when parameters are clean).
+    sink_hits: Vec<(Intrinsic, Span, bool)>,
+    /// User callees that received a tainted argument.
+    tainted_arg_callees: Vec<String>,
+}
+
+/// Forward taint fixpoint over one function's CFG.
+fn intra(
+    f: &Function,
+    params_tainted: bool,
+    summaries: &BTreeMap<String, TaintSummary>,
+) -> IntraResult {
+    let cfg = Cfg::build(f);
+    let order = cfg.reverse_postorder();
+    let entry_set: BTreeSet<String> = if params_tainted {
+        f.params.iter().map(|p| p.name.clone()).collect()
+    } else {
+        BTreeSet::new()
+    };
+
+    let mut in_sets: Vec<BTreeSet<String>> = vec![BTreeSet::new(); cfg.node_count()];
+    let mut out_sets: Vec<BTreeSet<String>> = vec![BTreeSet::new(); cfg.node_count()];
+    in_sets[cfg.entry] = entry_set.clone();
+    out_sets[cfg.entry] = entry_set;
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &id in &order {
+            if id == cfg.entry {
+                continue;
+            }
+            let mut inset: BTreeSet<String> = BTreeSet::new();
+            for &p in &cfg.nodes[id].preds {
+                inset.extend(out_sets[p].iter().cloned());
+            }
+            let outset = transfer(&cfg.nodes[id].kind, &inset, summaries);
+            if outset != out_sets[id] {
+                out_sets[id] = outset;
+                changed = true;
+            }
+            in_sets[id] = inset;
+        }
+    }
+
+    // Collect results with the stabilized sets, comparing against a
+    // clean-parameter baseline to attribute parameter-dependence.
+    let mut result = IntraResult {
+        returns_taint: false,
+        hit_sink: false,
+        sink_hits: Vec::new(),
+        tainted_arg_callees: Vec::new(),
+    };
+    for (id, node) in cfg.nodes.iter().enumerate() {
+        let tainted = &in_sets[id];
+        let exprs: Vec<&Expr> = match &node.kind {
+            NodeKind::Stmt(stmt) => {
+                if let StmtKind::Return(Some(v)) = &stmt.kind {
+                    if expr_tainted(v, tainted, summaries) {
+                        result.returns_taint = true;
+                    }
+                }
+                visit::stmt_exprs(stmt)
+            }
+            NodeKind::Cond(c) => vec![c],
+            _ => vec![],
+        };
+        for root in exprs {
+            visit::walk_expr(root, &mut |e| {
+                if let ExprKind::Call { callee, args } = &e.kind {
+                    let any_arg_tainted =
+                        args.iter().any(|a| expr_tainted(a, tainted, summaries));
+                    if let Some(i) = Intrinsic::from_name(callee) {
+                        if i.is_dangerous_sink() && any_arg_tainted {
+                            result.hit_sink = true;
+                            // Parameter dependence: would this argument still
+                            // be tainted with no tainted vars at all? If the
+                            // arg contains a direct source call it would.
+                            let from_source_only = args
+                                .iter()
+                                .any(|a| expr_tainted(a, &BTreeSet::new(), summaries));
+                            result.sink_hits.push((i, e.span, !from_source_only));
+                        }
+                    } else if any_arg_tainted {
+                        result.tainted_arg_callees.push(callee.clone());
+                        // Callee-side sinks count as a hit for the summary.
+                        if summaries.get(callee).is_some_and(|s| s.param_reaches_sink) {
+                            result.hit_sink = true;
+                        }
+                    }
+                }
+            });
+        }
+    }
+    result
+}
+
+/// Transfer function: the tainted-variable set after executing `kind`.
+fn transfer(
+    kind: &NodeKind<'_>,
+    inset: &BTreeSet<String>,
+    summaries: &BTreeMap<String, TaintSummary>,
+) -> BTreeSet<String> {
+    let mut out = inset.clone();
+    if let NodeKind::Stmt(stmt) = kind {
+        match &stmt.kind {
+            StmtKind::Let { name, init, .. } => {
+                let t = init.as_ref().is_some_and(|e| expr_tainted(e, inset, summaries));
+                if t {
+                    out.insert(name.clone());
+                } else {
+                    out.remove(name);
+                }
+            }
+            StmtKind::Assign { target, op, value } => {
+                let rhs_tainted = expr_tainted(value, inset, summaries);
+                match target {
+                    LValue::Var(name, _) => {
+                        let keeps = op.is_some() && inset.contains(name);
+                        if rhs_tainted || keeps {
+                            out.insert(name.clone());
+                        } else {
+                            out.remove(name);
+                        }
+                    }
+                    // Weak update: a tainted element taints the buffer and a
+                    // clean write never cleanses it.
+                    LValue::Index { base, .. } => {
+                        if rhs_tainted {
+                            out.insert(base.clone());
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Is the value of `e` attacker-controlled under `tainted`?
+fn expr_tainted(
+    e: &Expr,
+    tainted: &BTreeSet<String>,
+    summaries: &BTreeMap<String, TaintSummary>,
+) -> bool {
+    match &e.kind {
+        ExprKind::Int(_) | ExprKind::Float(_) | ExprKind::Str(_) | ExprKind::Bool(_) => false,
+        ExprKind::Var(name) => tainted.contains(name),
+        ExprKind::Index { base, index } => {
+            expr_tainted(base, tainted, summaries) || expr_tainted(index, tainted, summaries)
+        }
+        ExprKind::Unary { operand, .. } => expr_tainted(operand, tainted, summaries),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            expr_tainted(lhs, tainted, summaries) || expr_tainted(rhs, tainted, summaries)
+        }
+        ExprKind::Call { callee, args } => {
+            if let Some(i) = Intrinsic::from_name(callee) {
+                if i.is_taint_source() {
+                    return true;
+                }
+                if i.propagates_taint() {
+                    return args.iter().any(|a| expr_tainted(a, tainted, summaries));
+                }
+                false
+            } else if let Some(s) = summaries.get(callee) {
+                s.returns_taint_always
+                    || (s.returns_taint_if_param
+                        && args.iter().any(|a| expr_tainted(a, tainted, summaries)))
+            } else {
+                // Unresolved extern: assume it launders taint away. The
+                // bug-finding tools keep a separate eye on unresolved calls.
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minilang::{parse_program, Dialect};
+
+    fn report(src: &str) -> TaintReport {
+        let p = parse_program("app", Dialect::C, &[("m.c".into(), src.into())]).unwrap();
+        analyze(&p)
+    }
+
+    #[test]
+    fn direct_source_to_sink() {
+        let r = report("fn f() { let s: str = read_input(); system(s); }");
+        assert_eq!(r.flows.len(), 1);
+        assert_eq!(r.flows[0].sink, Intrinsic::System);
+        assert!(!r.flows[0].via_parameters);
+        assert_eq!(r.source_calls, 1);
+        assert_eq!(r.sink_calls, 1);
+    }
+
+    #[test]
+    fn clean_data_to_sink_is_no_flow() {
+        let r = report("fn f() { system(\"ls\"); }");
+        assert!(r.flows.is_empty());
+        assert_eq!(r.sink_calls, 1);
+    }
+
+    #[test]
+    fn taint_through_assignment_chain() {
+        let r = report(
+            "fn f() { let a: str = recv(0); let b: str = a; let c: str = b; exec(c); }",
+        );
+        assert_eq!(r.flows.len(), 1);
+    }
+
+    #[test]
+    fn overwrite_cleanses() {
+        let r = report("fn f() { let a: str = recv(0); a = \"fixed\"; exec(a); }");
+        assert!(r.flows.is_empty());
+    }
+
+    #[test]
+    fn branch_keeps_taint_on_either_path() {
+        let r = report(
+            "fn f(n: int) {
+                let a: str = \"safe\";
+                if n > 0 { a = read_input(); }
+                exec(a);
+            }",
+        );
+        assert_eq!(r.flows.len(), 1);
+    }
+
+    #[test]
+    fn endpoint_parameters_are_tainted() {
+        let r = report("@endpoint(network) fn handle(req: str) { strcpy(req, req); }");
+        assert_eq!(r.flows.len(), 1);
+        assert!(r.flows[0].via_parameters);
+        assert!(r.tainted_entry_functions.contains("handle"));
+    }
+
+    #[test]
+    fn unannotated_parameters_are_clean() {
+        let r = report("fn helper(s: str) { exec(s); }");
+        assert!(r.flows.is_empty());
+        // The summary still records the latent param→sink flow.
+        assert!(r.summaries["helper"].param_reaches_sink);
+    }
+
+    #[test]
+    fn taint_propagates_through_call_return() {
+        let r = report(
+            "fn get() -> str { return read_input(); }
+             fn f() { let s: str = get(); system(s); }",
+        );
+        assert_eq!(r.flows.len(), 1);
+        assert!(r.summaries["get"].returns_taint_always);
+    }
+
+    #[test]
+    fn taint_propagates_into_callee_params() {
+        let r = report(
+            "@endpoint(network) fn handle(req: str) { helper(req); }
+             fn helper(s: str) { exec(s); }",
+        );
+        assert_eq!(r.flows.len(), 1);
+        assert_eq!(r.flows[0].function, "helper");
+        assert!(r.tainted_entry_functions.contains("helper"));
+    }
+
+    #[test]
+    fn identity_function_propagates_param_taint() {
+        let r = report(
+            "fn id(s: str) -> str { return s; }
+             fn f() { let x: str = id(recv(0)); exec(x); }",
+        );
+        assert_eq!(r.flows.len(), 1);
+        assert!(r.summaries["id"].returns_taint_if_param);
+        assert!(!r.summaries["id"].returns_taint_always);
+    }
+
+    #[test]
+    fn atoi_propagates_rand_does_not() {
+        let r1 = report("fn f() { let n: int = atoi(read_input()); exec(\"x\" ); system(\"a\"); printf(\"%d\", n); }");
+        assert_eq!(r1.flows.len(), 1); // printf receives tainted n
+        let r2 = report("fn f() { let n: int = rand_int(9); printf(\"%d\", n); }");
+        assert!(r2.flows.is_empty());
+    }
+
+    #[test]
+    fn buffer_weak_update_taints_whole_buffer() {
+        let r = report(
+            "fn f(i: int) {
+                let buf: str[16];
+                buf[i] = read_input();
+                buf[0] = \"x\";
+                exec(buf[1]);
+            }",
+        );
+        assert_eq!(r.flows.len(), 1);
+    }
+
+    #[test]
+    fn loop_carried_taint_reaches_fixpoint() {
+        let r = report(
+            "fn f(n: int) {
+                let acc: str = \"\";
+                let i: int = 0;
+                while i < n {
+                    acc = strcat_helper(acc, recv(0));
+                    i += 1;
+                }
+                system(acc);
+            }
+            fn strcat_helper(a: str, b: str) -> str { return b; }",
+        );
+        assert_eq!(r.flows.len(), 1);
+    }
+
+    #[test]
+    fn recursive_function_summary_terminates() {
+        let r = report(
+            "fn f(n: int) -> str {
+                if n == 0 { return read_input(); }
+                return f(n - 1);
+            }
+            fn g() { exec(f(3)); }",
+        );
+        assert!(r.summaries["f"].returns_taint_always);
+        assert_eq!(r.flows.len(), 1);
+    }
+
+    #[test]
+    fn exposed_vs_internal_flows() {
+        let r = report(
+            "@endpoint(network) fn a(req: str) { strcpy(req, req); }
+             fn b() { system(getenv(\"PATH\")); }",
+        );
+        assert_eq!(r.flows.len(), 2);
+        assert_eq!(r.exposed_flows(), 1);
+    }
+
+    #[test]
+    fn strncpy_is_not_a_sink() {
+        let r = report("fn f(buf: str[8]) { strncpy(buf, read_input(), 8); }");
+        assert!(r.flows.is_empty());
+    }
+}

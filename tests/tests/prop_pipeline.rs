@@ -1,0 +1,54 @@
+//! Property-based integration tests: arbitrary corpus configurations must
+//! always yield parseable programs, valid CVSS vectors, and analyzable
+//! feature vectors.
+
+use corpus::{Corpus, CorpusConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn any_small_corpus_is_well_formed(
+        n in 3usize..7,
+        seed in 0u64..10_000,
+        max_kloc in 0.4f64..1.6,
+    ) {
+        let mut config = CorpusConfig::small(n, seed);
+        config.max_kloc = max_kloc;
+        let corpus = Corpus::generate(&config);
+
+        prop_assert!(corpus.db.len() >= 2 * config.n_apps());
+        for app in &corpus.apps {
+            // Programs parsed from the emitted files (synthesize would have
+            // panicked otherwise) — re-check top-level shape.
+            prop_assert!(app.program.function_count() > 0);
+            prop_assert_eq!(app.program.modules.len(), app.files.len());
+            // Every CVE record round-trips a valid CVSS vector.
+            for record in corpus.db.records_for(&app.spec.name) {
+                if let Some(v3) = &record.cvss3 {
+                    let text = v3.vector();
+                    let reparsed: cvss::Cvss3 = text.parse().unwrap();
+                    prop_assert_eq!(reparsed.base_score(), v3.base_score());
+                }
+                prop_assert!(record.score() >= 0.0 && record.score() <= 10.0);
+            }
+        }
+    }
+
+    #[test]
+    fn feature_extraction_is_total_over_corpus_programs(
+        seed in 0u64..10_000,
+    ) {
+        let config = CorpusConfig::small(3, seed);
+        let corpus = Corpus::generate(&config);
+        let testbed = clairvoyant::Testbed::new();
+        for app in corpus.apps.iter().take(2) {
+            let fv = testbed.extract(&app.program);
+            prop_assert!(fv.len() >= 70);
+            for (name, value) in fv.iter() {
+                prop_assert!(value.is_finite(), "{} is not finite", name);
+            }
+        }
+    }
+}
