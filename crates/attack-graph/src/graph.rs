@@ -71,7 +71,14 @@ pub fn interaction_facts(program: &Program, vulnerable_functions: &[String]) -> 
                 ChannelKind::File => (Zone::Local, 0.5),
             };
             facts.push(ExploitFact {
-                pre: (pre_zone, if pre_zone == Zone::Remote { Privilege::None } else { Privilege::User }),
+                pre: (
+                    pre_zone,
+                    if pre_zone == Zone::Remote {
+                        Privilege::None
+                    } else {
+                        Privilege::User
+                    },
+                ),
                 post: (Zone::Local, granted),
                 via: f.name.clone(),
                 difficulty,
@@ -230,7 +237,12 @@ mod tests {
     use minilang::{parse_program, Dialect};
 
     fn fact(pre: State, post: State, via: &str, difficulty: f64) -> ExploitFact {
-        ExploitFact { pre, post, via: via.into(), difficulty }
+        ExploitFact {
+            pre,
+            post,
+            via: via.into(),
+            difficulty,
+        }
     }
 
     #[test]
@@ -322,7 +334,10 @@ mod tests {
         let p = parse_program(
             "app",
             Dialect::C,
-            &[("m.c".into(), "@endpoint(local) @priv(root) fn su(a: str) { }".into())],
+            &[(
+                "m.c".into(),
+                "@endpoint(local) @priv(root) fn su(a: str) { }".into(),
+            )],
         )
         .unwrap();
         let facts = interaction_facts(&p, &["su".to_string()]);
@@ -346,8 +361,7 @@ mod tests {
             )],
         )
         .unwrap();
-        let facts =
-            interaction_facts(&p, &["handle".to_string(), "helper".to_string()]);
+        let facts = interaction_facts(&p, &["handle".to_string(), "helper".to_string()]);
         let g = AttackGraph::from_facts(facts);
         let m = g.metrics();
         assert!(m.goal_reachable);

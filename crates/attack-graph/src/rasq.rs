@@ -97,9 +97,7 @@ impl AttackSurface {
                         | Intrinsic::WriteFile
                         | Intrinsic::Access,
                     ) => add(VectorKind::FileAccess, 1),
-                    Some(Intrinsic::Exec | Intrinsic::System) => {
-                        add(VectorKind::ProcessSpawn, 1)
-                    }
+                    Some(Intrinsic::Exec | Intrinsic::System) => add(VectorKind::ProcessSpawn, 1),
                     Some(_) => {}
                     None => {
                         if !defined.contains(&callee) {
@@ -179,8 +177,7 @@ mod tests {
     #[test]
     fn quotient_is_weighted_sum() {
         let s = surface("@endpoint(network) fn h() { } @endpoint(file) fn g() { }");
-        let expected =
-            VectorKind::NetworkEndpoint.weight() + VectorKind::FileEndpoint.weight();
+        let expected = VectorKind::NetworkEndpoint.weight() + VectorKind::FileEndpoint.weight();
         assert!((s.quotient - expected).abs() < 1e-12);
     }
 

@@ -2,10 +2,14 @@
 //!
 //! §5.3 claims the metric "requires very little effort from the
 //! developers" because analysis is automated; these benchmarks quantify
-//! that: per-pass wall time over a representative synthesized application.
+//! that: per-pass wall time over a representative synthesized application,
+//! plus corpus-scale extraction through the pipeline engine (sequential
+//! vs multi-worker vs warm cache), whose `PipelineReport` JSON prints as
+//! `BENCH_PIPELINE` lines for tracking.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use bench::harness::{black_box, Criterion, Throughput};
+use bench::{criterion_group, criterion_main};
+use clairvoyant::prelude::*;
 
 fn sample_program() -> minilang::ast::Program {
     let spec = corpus::AppSpec {
@@ -19,8 +23,10 @@ fn sample_program() -> minilang::ast::Program {
         first_release_year: 2004,
         seed: 99,
     };
-    let seeds =
-        vec![(cvedb::Cwe::StackBufferOverflow, true), (cvedb::Cwe::FormatString, false)];
+    let seeds = vec![
+        (cvedb::Cwe::StackBufferOverflow, true),
+        (cvedb::Cwe::FormatString, false),
+    ];
     corpus::synth::synthesize(&spec, &seeds).program
 }
 
@@ -87,7 +93,7 @@ fn bench_parsing(c: &mut Criterion) {
     let lines: usize = out.files.iter().map(|(_, s)| s.lines().count()).sum();
     let mut group = c.benchmark_group("frontend");
     group.sample_size(20);
-    group.throughput(criterion::Throughput::Elements(lines as u64));
+    group.throughput(Throughput::Elements(lines as u64));
     group.bench_function("parse_program_lines", |b| {
         b.iter(|| {
             black_box(
@@ -100,5 +106,54 @@ fn bench_parsing(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_passes, bench_parsing);
+/// Corpus-scale extraction through the pipeline engine. One timed run per
+/// configuration (the batch itself is the repetition); each run's
+/// `PipelineReport` prints as a `BENCH_PIPELINE` JSON line.
+fn bench_pipeline(c: &mut Criterion) {
+    let corpus = Corpus::generate(&CorpusConfig::small(16, 20177));
+    let configs = [
+        (
+            "sequential",
+            PipelineConfig::default().jobs(1).cache(CacheMode::Off),
+        ),
+        (
+            "workers_4",
+            PipelineConfig::default().jobs(4).cache(CacheMode::Off),
+        ),
+    ];
+    let mut group = c.benchmark_group("pipeline_extract");
+    group.sample_size(5);
+    group.throughput(Throughput::Elements(corpus.apps.len() as u64));
+    for (name, config) in configs {
+        let mut last_report = None;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let out = extract_corpus(&corpus, config.clone());
+                last_report = Some(out.report.clone());
+                black_box(out.features.len())
+            })
+        });
+        if let Some(report) = last_report {
+            println!("BENCH_PIPELINE {}", report.to_json());
+        }
+    }
+    // Warm cache: one engine reused, second batch served from memory.
+    let mut engine = pipeline::Pipeline::new(Testbed::new());
+    let apps: Vec<&corpus::GeneratedApp> = corpus.apps.iter().collect();
+    clairvoyant::extract::extract_apps_with(&mut engine, apps.iter().copied());
+    let mut last_report = None;
+    group.bench_function("warm_cache", |b| {
+        b.iter(|| {
+            let out = clairvoyant::extract::extract_apps_with(&mut engine, apps.iter().copied());
+            last_report = Some(out.report.clone());
+            black_box(out.features.len())
+        })
+    });
+    if let Some(report) = last_report {
+        println!("BENCH_PIPELINE {}", report.to_json());
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_passes, bench_parsing, bench_pipeline);
 criterion_main!(benches);

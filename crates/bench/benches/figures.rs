@@ -1,8 +1,8 @@
 //! BENCH-PERF (part 3): end-to-end figure regeneration at smoke scale —
 //! keeps the experiment drivers honest about their cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use bench::harness::{black_box, Criterion};
+use bench::{criterion_group, criterion_main};
 
 fn bench_fig1(c: &mut Criterion) {
     c.bench_function("fig1_survey", |b| {
@@ -15,7 +15,13 @@ fn bench_fig2(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig2");
     group.sample_size(10);
     group.bench_function("loc_study", |b| {
-        b.iter(|| black_box(clairvoyant::studies::run_study(&corpus).regression_loc.r_squared))
+        b.iter(|| {
+            black_box(
+                clairvoyant::studies::run_study(&corpus)
+                    .regression_loc
+                    .r_squared,
+            )
+        })
     });
     group.finish();
 }

@@ -1,9 +1,10 @@
 //! BENCH-PERF (part 2): cost of corpus generation and model training as
 //! the application count grows — the "prediction model is trained offline"
-//! budget of §1.
+//! budget of §1. Training extraction goes through the pipeline engine;
+//! the last run's `PipelineReport` prints as a `BENCH_PIPELINE` line.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use bench::harness::{black_box, BenchmarkId, Criterion};
+use bench::{criterion_group, criterion_main};
 
 fn bench_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("corpus_generate");
@@ -20,15 +21,20 @@ fn bench_generation(c: &mut Criterion) {
 fn bench_training(c: &mut Criterion) {
     let mut group = c.benchmark_group("train");
     group.sample_size(10);
+    let mut last_extraction = None;
     for n in [8usize, 16] {
         let config = corpus::CorpusConfig::small(n, 5);
         let corpus = corpus::Corpus::generate(&config);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                let model = clairvoyant::Trainer::new().train(&corpus);
+                let (model, report) = clairvoyant::Trainer::new().train_with_report(&corpus);
+                last_extraction = Some(report.extraction);
                 black_box(model.feature_names.len())
             })
         });
+    }
+    if let Some(report) = last_extraction {
+        println!("BENCH_PIPELINE {}", report.to_json());
     }
     group.finish();
 }

@@ -31,8 +31,11 @@ fn main() {
     ];
 
     // One meta-tool run per app, reused across classes.
-    let reports: Vec<(&corpus::GeneratedApp, bugfind::MetaReport)> =
-        corpus.apps.iter().map(|a| (a, tool.run(&a.program))).collect();
+    let reports: Vec<(&corpus::GeneratedApp, bugfind::MetaReport)> = corpus
+        .apps
+        .iter()
+        .map(|a| (a, tool.run(&a.program)))
+        .collect();
 
     println!(
         "{:<28} {:>8} {:>8} {:>8} {:>8}",
@@ -55,8 +58,16 @@ fn main() {
                 (false, false) => tn += 1,
             }
         }
-        let recall = if tp + fn_ == 0 { f64::NAN } else { tp as f64 / (tp + fn_) as f64 };
-        let fp_rate = if fp + tn == 0 { f64::NAN } else { fp as f64 / (fp + tn) as f64 };
+        let recall = if tp + fn_ == 0 {
+            f64::NAN
+        } else {
+            tp as f64 / (tp + fn_) as f64
+        };
+        let fp_rate = if fp + tn == 0 {
+            f64::NAN
+        } else {
+            fp as f64 / (fp + tn) as f64
+        };
         println!(
             "{:<28} {:>8} {:>7.0}% {:>7.0}% {:>8}",
             format!("{cwe} ({checker})"),

@@ -4,7 +4,8 @@
 //! which dynamic signals carry weight.
 
 use clairvoyant::dynamic::dynamic_features;
-use clairvoyant::Testbed;
+use clairvoyant::extract::extract_apps;
+use clairvoyant::PipelineConfig;
 use cvedb::SelectionCriteria;
 use secml::eval::cross_validate_regressor;
 use secml::linreg::LinearRegression;
@@ -15,14 +16,25 @@ fn main() {
     let histories = corpus.db.select(&SelectionCriteria::default());
     println!("== EXP-DYN: static vs static+dynamic features ==\n");
 
-    let testbed = Testbed::new();
+    let apps: Vec<&corpus::GeneratedApp> = histories
+        .iter()
+        .map(|h| {
+            corpus
+                .apps
+                .iter()
+                .find(|a| a.spec.name == h.app)
+                .expect("app exists")
+        })
+        .collect();
+    let extraction = extract_apps(apps.iter().copied(), PipelineConfig::default());
+    println!("BENCH_PIPELINE {}", extraction.report.to_json());
+
     let mut static_rows: Vec<Vec<f64>> = Vec::new();
     let mut extended_rows: Vec<Vec<f64>> = Vec::new();
     let mut dyn_totals: Vec<(String, f64, f64)> = Vec::new();
     let mut counts: Vec<f64> = Vec::new();
-    for h in &histories {
-        let app = corpus.apps.iter().find(|a| a.spec.name == h.app).expect("app exists");
-        let fv = testbed.extract(&app.program);
+    for (h, app) in histories.iter().zip(&apps) {
+        let fv = extraction.get(&h.app).expect("extracted").clone();
         let dynamic = dynamic_features(&app.program);
         dyn_totals.push((
             h.app.clone(),
@@ -49,15 +61,27 @@ fn main() {
     let extended_cv =
         cross_validate_regressor(|| LinearRegression::ridge(1.0), &extended_rows, &counts, 5);
 
-    println!("count regression (log10 CVEs), 5-fold CV over {} apps:", counts.len());
-    println!("  static only      R² = {:.3}  MAE = {:.3}", static_cv.r_squared, static_cv.mae);
-    println!("  static + dynamic R² = {:.3}  MAE = {:.3}", extended_cv.r_squared, extended_cv.mae);
+    println!(
+        "count regression (log10 CVEs), 5-fold CV over {} apps:",
+        counts.len()
+    );
+    println!(
+        "  static only      R² = {:.3}  MAE = {:.3}",
+        static_cv.r_squared, static_cv.mae
+    );
+    println!(
+        "  static + dynamic R² = {:.3}  MAE = {:.3}",
+        extended_cv.r_squared, extended_cv.mae
+    );
     let delta = extended_cv.r_squared - static_cv.r_squared;
-    println!("  ΔR² = {delta:+.3} — {}", if delta > 0.0 {
-        "dynamic traces add signal, as §5.3 hypothesizes"
-    } else {
-        "no measurable gain at this scale (the static testbed already covers it)"
-    });
+    println!(
+        "  ΔR² = {delta:+.3} — {}",
+        if delta > 0.0 {
+            "dynamic traces add signal, as §5.3 hypothesizes"
+        } else {
+            "no measurable gain at this scale (the static testbed already covers it)"
+        }
+    );
 
     println!("\ndynamic evidence per app (top 8 by runtime OOB writes):");
     dyn_totals.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));

@@ -11,14 +11,19 @@ use clairvoyant::train::TrainerConfig;
 fn main() {
     let corpus = bench::experiment_corpus();
     println!("== EXP-SELECT: feature-filter sweep (§5.2) ==\n");
-    println!("{:>10} {:>12} {:>14} {:>14}", "kept", "count R²", "CVSS>7 AUC", "AV:N AUC");
+    println!(
+        "{:>10} {:>12} {:>14} {:>14}",
+        "kept", "count R²", "CVSS>7 AUC", "AV:N AUC"
+    );
 
+    let mut extraction = None;
     for top_k in [Some(4usize), Some(8), Some(16), Some(32), Some(64), None] {
         let trainer = Trainer::with_config(TrainerConfig {
             top_k_features: top_k,
             ..Default::default()
         });
         let (_, report) = trainer.train_with_report(&corpus);
+        extraction = Some(report.extraction.clone());
         let auc_of = |name: &str| {
             report
                 .hypothesis_reports
@@ -30,7 +35,9 @@ fn main() {
         };
         println!(
             "{:>10} {:>12.3} {:>14} {:>14}",
-            top_k.map(|k| k.to_string()).unwrap_or_else(|| "all".to_string()),
+            top_k
+                .map(|k| k.to_string())
+                .unwrap_or_else(|| "all".to_string()),
             report.count_cv.r_squared,
             auc_of("cvss_gt_7"),
             auc_of("av_network"),
@@ -41,4 +48,7 @@ fn main() {
          and hold (or dip slightly) at `all` — filtering matters most when the\n\
          app count is small relative to the 97-wide unified vector."
     );
+    if let Some(e) = extraction {
+        println!("BENCH_PIPELINE {}", e.to_json());
+    }
 }

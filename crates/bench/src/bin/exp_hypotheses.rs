@@ -10,6 +10,7 @@ fn main() {
     let corpus = bench::experiment_corpus();
     println!("== EXP-HYP: hypothesis battery, cross-validated ==\n");
 
+    let mut extraction = None;
     for learner in Learner::ALL {
         let trainer = Trainer::with_config(TrainerConfig {
             learner,
@@ -17,6 +18,7 @@ fn main() {
             ..Default::default()
         });
         let (_, report) = trainer.train_with_report(&corpus);
+        extraction = Some(report.extraction.clone());
         println!("--- learner: {learner} ---");
         let mut shown = 0;
         for h in &report.hypothesis_reports {
@@ -46,4 +48,7 @@ fn main() {
         "shape check: the battery's AUCs should generally beat 0.5 (chance) and the\n\
          count R² should beat the LoC-only study (Figure 2) — see exp_unified_vs_single."
     );
+    if let Some(e) = extraction {
+        println!("BENCH_PIPELINE {}", e.to_json());
+    }
 }

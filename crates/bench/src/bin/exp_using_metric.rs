@@ -10,15 +10,24 @@ fn main() {
     let corpus = bench::experiment_corpus();
     // Hold out the last few selected applications from training.
     let selected = corpus.db.select(&SelectionCriteria::default());
-    let holdout: Vec<&str> =
-        selected.iter().rev().take(3).map(|h| h.app.as_str()).collect();
+    let holdout: Vec<&str> = selected
+        .iter()
+        .rev()
+        .take(3)
+        .map(|h| h.app.as_str())
+        .collect();
     println!("== EXP-METRIC: applying the trained metric (§5.3) ==\n");
 
-    let model = Trainer::new().train(&corpus);
+    let (model, train_report) = Trainer::new().train_with_report(&corpus);
+    println!("BENCH_PIPELINE {}", train_report.extraction.to_json());
 
     println!("--- held-out application reports ---");
     for name in &holdout {
-        let app = corpus.apps.iter().find(|a| a.spec.name == *name).expect("app exists");
+        let app = corpus
+            .apps
+            .iter()
+            .find(|a| a.spec.name == *name)
+            .expect("app exists");
         let truth = corpus.db.history(name).expect("history exists");
         let report = model.evaluate(&app.program);
         println!(

@@ -19,6 +19,10 @@ fn main() {
         figure.result.total_cve(),
         figure.result.total_verified(),
     );
-    assert_eq!((loc, cve, fv), (384, 116, 31), "survey drifted from calibration");
+    assert_eq!(
+        (loc, cve, fv),
+        (384, 116, 31),
+        "survey drifted from calibration"
+    );
     println!("reproduced exactly: LoC {loc}, CVE {cve}, verified {fv} ✓");
 }

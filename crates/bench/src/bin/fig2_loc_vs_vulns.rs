@@ -14,12 +14,16 @@ fn main() {
 
     println!("== Figure 2: LoC vs vulnerabilities ==\n");
     println!("{study}\n");
-    println!(
-        "paper reference: log10(v) = 0.17 + 0.39·log10(kLoC), R² = 24.66% over 164 apps"
-    );
+    println!("paper reference: log10(v) = 0.17 + 0.39·log10(kLoC), R² = 24.66% over 164 apps");
     println!("\nscatter (kLoC, vulns, language):");
     for p in study.points.iter().take(20) {
-        println!("  {:>8.2} kLoC  {:>4} vulns  {:<7} {}", p.kloc, p.vulnerabilities, p.dialect.name(), p.app);
+        println!(
+            "  {:>8.2} kLoC  {:>4} vulns  {:<7} {}",
+            p.kloc,
+            p.vulnerabilities,
+            p.dialect.name(),
+            p.app
+        );
     }
     if study.points.len() > 20 {
         println!("  … {} more applications", study.points.len() - 20);
@@ -31,6 +35,13 @@ fn main() {
         }
     }
     let r2 = study.regression_loc.r_squared;
-    println!("\nconclusion: LoC explains {:.1}% of the variance — {}", r2 * 100.0,
-        if r2 < 0.5 { "a weak metric, as the paper argues" } else { "stronger than the paper's corpus" });
+    println!(
+        "\nconclusion: LoC explains {:.1}% of the variance — {}",
+        r2 * 100.0,
+        if r2 < 0.5 {
+            "a weak metric, as the paper argues"
+        } else {
+            "stronger than the paper's corpus"
+        }
+    );
 }

@@ -17,13 +17,19 @@ fn main() {
     for p in study.points.iter().take(20) {
         println!(
             "  {:>8} CC  {:>4} vulns  {:<7} {}",
-            p.cyclomatic, p.vulnerabilities, p.dialect.name(), p.app
+            p.cyclomatic,
+            p.vulnerabilities,
+            p.dialect.name(),
+            p.app
         );
     }
     if study.points.len() > 20 {
         println!("  … {} more applications", study.points.len() - 20);
     }
-    let (r2_cc, r2_loc) = (study.regression_cc.r_squared, study.regression_loc.r_squared);
+    let (r2_cc, r2_loc) = (
+        study.regression_cc.r_squared,
+        study.regression_loc.r_squared,
+    );
     println!(
         "\nconclusion: complexity R² = {:.1}% vs LoC R² = {:.1}% — both weak, \
          no single property suffices (the paper's §3.2)",

@@ -30,7 +30,11 @@ fn main() {
     let started = std::time::Instant::now();
     let (model, report) = Trainer::new().train_with_report(&corpus);
     println!("{report}");
-    println!("  (training wall time: {:.1}s)\n", started.elapsed().as_secs_f64());
+    println!(
+        "  (training wall time: {:.1}s)\n",
+        started.elapsed().as_secs_f64()
+    );
+    println!("BENCH_PIPELINE {}", report.extraction.to_json());
 
     // Stage 5: the trained weights are inspectable (§5.3: "each weight in
     // the trained model shows the importance of the corresponding code

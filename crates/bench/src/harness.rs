@@ -1,0 +1,221 @@
+//! Hand-rolled benchmark harness.
+//!
+//! A drop-in stand-in for the slice of criterion's API the benches use
+//! (`Criterion`, groups, `bench_function`, `bench_with_input`,
+//! `Throughput`, the `criterion_group!`/`criterion_main!` macros) —
+//! criterion itself is unreachable in the offline registry. Each
+//! measurement is one warm-up pass plus `sample_size` timed iterations;
+//! results print as human-readable lines on stderr and as machine-readable
+//! `BENCH {…}` JSON lines on stdout for BENCH_* tracking.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle, passed to every bench function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn new() -> Self {
+        Criterion::default()
+    }
+
+    /// Open a named group of related measurements.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            group: name.to_string(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Measure a stand-alone function (implicit single-entry group).
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        self.benchmark_group(name).run("", f);
+    }
+}
+
+/// Identifies one measurement within a group (criterion-compatible shell).
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter(p: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: p.to_string(),
+        }
+    }
+
+    pub fn new(function: impl Into<String>, p: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), p),
+        }
+    }
+}
+
+/// Units processed per iteration, for derived throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A group of measurements sharing a sample size and throughput unit.
+pub struct BenchmarkGroup {
+    group: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed iterations per measurement (min 5).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run(name, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(&id.name, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let label = if name.is_empty() {
+            self.group.clone()
+        } else {
+            format!("{}/{}", self.group, name)
+        };
+        report(&label, &bencher.samples, self.throughput);
+    }
+}
+
+/// Collects the timed iterations for one measurement.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`: one warm-up call, then `sample_size` measured calls.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        black_box(f());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(label: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        eprintln!("bench {label}: no samples (b.iter never called)");
+        return;
+    }
+    let mut ns: Vec<u128> = samples.iter().map(|d| d.as_nanos()).collect();
+    ns.sort_unstable();
+    let min = ns[0];
+    let median = ns[ns.len() / 2];
+    let mean = ns.iter().sum::<u128>() / ns.len() as u128;
+    let mut json = format!(
+        "{{\"bench\":\"{label}\",\"samples\":{},\"min_ns\":{min},\"median_ns\":{median},\"mean_ns\":{mean}",
+        ns.len()
+    );
+    let mut human_extra = String::new();
+    if let Some(t) = throughput {
+        let (units, unit_name) = match t {
+            Throughput::Elements(n) => (n, "elems"),
+            Throughput::Bytes(n) => (n, "bytes"),
+        };
+        if median > 0 {
+            let per_sec = units as f64 * 1e9 / median as f64;
+            json.push_str(&format!(",\"{unit_name}_per_sec\":{per_sec:.1}"));
+            human_extra = format!(", {per_sec:.0} {unit_name}/s");
+        }
+    }
+    json.push('}');
+    eprintln!("bench {label}: median {}{human_extra}", human_time(median));
+    println!("BENCH {json}");
+}
+
+fn human_time(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Declares a bench group function running each listed bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::harness::Criterion::new();
+            $( $f(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() { $( $group(); )+ }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(5);
+        let mut calls = 0u32;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        // 1 warm-up + 5 samples.
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn human_time_scales() {
+        assert_eq!(human_time(12), "12ns");
+        assert_eq!(human_time(1_500), "1.50µs");
+        assert_eq!(human_time(2_000_000), "2.00ms");
+        assert_eq!(human_time(3_500_000_000), "3.50s");
+    }
+}

@@ -10,6 +10,8 @@
 
 use corpus::{Corpus, CorpusConfig};
 
+pub mod harness;
+
 /// Scale selection for experiment runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {

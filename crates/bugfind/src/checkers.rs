@@ -108,7 +108,8 @@ impl Checker for BufferOverflowChecker {
                 let roots: Vec<&Expr> = match &node.kind {
                     NodeKind::Stmt(stmt) => {
                         if let StmtKind::Assign {
-                            target: LValue::Index { base, index, span }, ..
+                            target: LValue::Index { base, index, span },
+                            ..
                         } = &stmt.kind
                         {
                             report(base, index, *span);
@@ -144,9 +145,7 @@ impl Checker for BufferOverflowChecker {
                                     module: module.path.clone(),
                                     span: e.span,
                                     cwe_hint: Some(121),
-                                    message: format!(
-                                        "unbounded strcpy into fixed buffer `{dst}`"
-                                    ),
+                                    message: format!("unbounded strcpy into fixed buffer `{dst}`"),
                                 });
                             }
                         }
@@ -171,7 +170,9 @@ impl Checker for FormatStringChecker {
         let mut out = Vec::new();
         for_each_function(program, |module, function| {
             visit::walk_exprs(&function.body, &mut |e| {
-                let ExprKind::Call { callee, args } = &e.kind else { return };
+                let ExprKind::Call { callee, args } = &e.kind else {
+                    return;
+                };
                 let fmt_arg = match Intrinsic::from_name(callee) {
                     Some(Intrinsic::Printf) => args.first(),
                     Some(Intrinsic::Sprintf) => args.get(1),
@@ -206,7 +207,8 @@ impl IntegerOverflowChecker {
         visit::walk_expr(e, &mut |sub| {
             if let ExprKind::Binary { op, lhs, rhs } = &sub.kind {
                 if op.can_overflow() {
-                    let small_const = |x: &Expr| matches!(x.kind, ExprKind::Int(v) if v.abs() < 4096);
+                    let small_const =
+                        |x: &Expr| matches!(x.kind, ExprKind::Int(v) if v.abs() < 4096);
                     if !small_const(lhs) && !small_const(rhs) {
                         found = true;
                     }
@@ -239,17 +241,17 @@ impl Checker for IntegerOverflowChecker {
             };
             visit::walk_exprs(&function.body, &mut |e| match &e.kind {
                 ExprKind::Call { callee, args }
-                    if Intrinsic::from_name(callee) == Some(Intrinsic::Alloc) => {
-                        if let Some(size) = args.first() {
-                            if Self::risky_arith(size) {
-                                push(e.span, "allocation size from unchecked arithmetic".into());
-                            }
+                    if Intrinsic::from_name(callee) == Some(Intrinsic::Alloc) =>
+                {
+                    if let Some(size) = args.first() {
+                        if Self::risky_arith(size) {
+                            push(e.span, "allocation size from unchecked arithmetic".into());
                         }
                     }
-                ExprKind::Index { index, .. }
-                    if Self::risky_arith(index) => {
-                        push(e.span, "buffer index from unchecked arithmetic".into());
-                    }
+                }
+                ExprKind::Index { index, .. } if Self::risky_arith(index) => {
+                    push(e.span, "buffer index from unchecked arithmetic".into());
+                }
                 _ => {}
             });
         });
@@ -407,10 +409,7 @@ impl Checker for DeadStoreChecker {
             let lv = dataflow::liveness(&cfg);
             let params: Vec<&str> = function.params.iter().map(|p| p.name.as_str()).collect();
             for def in &rd.defs {
-                if !def.strong
-                    || params.contains(&def.var.as_str())
-                    || globals.contains(&def.var)
-                {
+                if !def.strong || params.contains(&def.var.as_str()) || globals.contains(&def.var) {
                     continue;
                 }
                 if !lv.is_live_out(def.node, &def.var) {
@@ -459,18 +458,19 @@ impl Checker for HardcodedCredentialChecker {
             visit::walk_exprs(&function.body, &mut |e| match &e.kind {
                 ExprKind::Call { callee, args }
                     if Intrinsic::from_name(callee) == Some(Intrinsic::AuthCheck)
-                    && args.iter().any(|a| matches!(a.kind, ExprKind::Str(_))) => {
-                        out.push(Diagnostic {
-                            tool: "credcheck",
-                            rule: "literal-credential",
-                            severity: DiagSeverity::Error,
-                            function: function.name.clone(),
-                            module: module.path.clone(),
-                            span: e.span,
-                            cwe_hint: Some(798),
-                            message: "literal credential passed to auth_check".into(),
-                        });
-                    }
+                        && args.iter().any(|a| matches!(a.kind, ExprKind::Str(_))) =>
+                {
+                    out.push(Diagnostic {
+                        tool: "credcheck",
+                        rule: "literal-credential",
+                        severity: DiagSeverity::Error,
+                        function: function.name.clone(),
+                        module: module.path.clone(),
+                        span: e.span,
+                        cwe_hint: Some(798),
+                        message: "literal credential passed to auth_check".into(),
+                    });
+                }
                 ExprKind::Binary { op, lhs, rhs } if op.is_comparison() => {
                     let pair = [(lhs, rhs), (rhs, lhs)];
                     for (var_side, lit_side) in pair {
@@ -517,7 +517,10 @@ mod tests {
 
     #[test]
     fn bufcheck_flags_constant_oob_as_error() {
-        let d = run(&BufferOverflowChecker, "fn f() { let b: int[4]; b[4] = 1; }");
+        let d = run(
+            &BufferOverflowChecker,
+            "fn f() { let b: int[4]; b[4] = 1; }",
+        );
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].severity, DiagSeverity::Error);
         assert_eq!(d[0].rule, "index-oob");
@@ -526,7 +529,10 @@ mod tests {
 
     #[test]
     fn bufcheck_flags_unproved_as_warning() {
-        let d = run(&BufferOverflowChecker, "fn f(i: int) { let b: int[4]; b[i] = 1; }");
+        let d = run(
+            &BufferOverflowChecker,
+            "fn f(i: int) { let b: int[4]; b[i] = 1; }",
+        );
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].severity, DiagSeverity::Warning);
     }
@@ -560,22 +566,34 @@ mod tests {
 
     #[test]
     fn fmtcheck_checks_sprintf_second_arg() {
-        let d = run(&FormatStringChecker, "fn f(b: str, s: str) { sprintf(b, s); }");
+        let d = run(
+            &FormatStringChecker,
+            "fn f(b: str, s: str) { sprintf(b, s); }",
+        );
         assert_eq!(d.len(), 1);
-        let clean = run(&FormatStringChecker, "fn f(b: str, s: str) { sprintf(b, \"%s\", s); }");
+        let clean = run(
+            &FormatStringChecker,
+            "fn f(b: str, s: str) { sprintf(b, \"%s\", s); }",
+        );
         assert!(clean.is_empty());
     }
 
     #[test]
     fn intcheck_flags_alloc_arith() {
-        let d = run(&IntegerOverflowChecker, "fn f(n: int, m: int) { let p: str = alloc(n * m); }");
+        let d = run(
+            &IntegerOverflowChecker,
+            "fn f(n: int, m: int) { let p: str = alloc(n * m); }",
+        );
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].cwe_hint, Some(190));
     }
 
     #[test]
     fn intcheck_ignores_small_constant_arith() {
-        let d = run(&IntegerOverflowChecker, "fn f(n: int) { let p: str = alloc(n + 16); }");
+        let d = run(
+            &IntegerOverflowChecker,
+            "fn f(n: int) { let p: str = alloc(n + 16); }",
+        );
         assert!(d.is_empty());
     }
 
@@ -640,14 +658,20 @@ mod tests {
 
     #[test]
     fn deadstore_reports_notes() {
-        let d = run(&DeadStoreChecker, "fn f() { let x: int = 1; x = 2; log_msg(\"k\"); }");
+        let d = run(
+            &DeadStoreChecker,
+            "fn f() { let x: int = 1; x = 2; log_msg(\"k\"); }",
+        );
         assert_eq!(d.len(), 2);
         assert!(d.iter().all(|x| x.severity == DiagSeverity::Note));
     }
 
     #[test]
     fn credcheck_flags_literal_in_auth() {
-        let d = run(&HardcodedCredentialChecker, "fn f(u: str) { auth_check(u, \"hunter2\"); }");
+        let d = run(
+            &HardcodedCredentialChecker,
+            "fn f(u: str) { auth_check(u, \"hunter2\"); }",
+        );
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].severity, DiagSeverity::Error);
         assert_eq!(d[0].cwe_hint, Some(798));
@@ -704,13 +728,20 @@ mod tests {
             &AllocLifetimeChecker,
             "fn f() { let p: str = alloc(16); free(p); log_msg(p); }",
         );
-        assert!(d.iter().any(|x| x.rule == "use-after-free" && x.cwe_hint == Some(416)));
+        assert!(d
+            .iter()
+            .any(|x| x.rule == "use-after-free" && x.cwe_hint == Some(416)));
     }
 
     #[test]
     fn alloccheck_flags_leak() {
-        let d = run(&AllocLifetimeChecker, "fn f() { let p: str = alloc(16); log_msg(p); }");
-        assert!(d.iter().any(|x| x.rule == "memory-leak" && x.cwe_hint == Some(401)));
+        let d = run(
+            &AllocLifetimeChecker,
+            "fn f() { let p: str = alloc(16); log_msg(p); }",
+        );
+        assert!(d
+            .iter()
+            .any(|x| x.rule == "memory-leak" && x.cwe_hint == Some(401)));
     }
 
     #[test]
@@ -781,13 +812,16 @@ impl Checker for PathTraversalChecker {
                 Vec::new()
             };
             visit::walk_stmts(&function.body, &mut |s| {
-                if let StmtKind::Let { name, init: Some(e), .. } = &s.kind {
+                if let StmtKind::Let {
+                    name,
+                    init: Some(e),
+                    ..
+                } = &s.kind
+                {
                     let mut from_source = false;
                     visit::walk_expr(e, &mut |sub| {
                         if let ExprKind::Call { callee, .. } = &sub.kind {
-                            if Intrinsic::from_name(callee)
-                                .is_some_and(|i| i.is_taint_source())
-                            {
+                            if Intrinsic::from_name(callee).is_some_and(|i| i.is_taint_source()) {
                                 from_source = true;
                             }
                         }
@@ -826,7 +860,9 @@ impl Checker for PathTraversalChecker {
                 }
             });
             visit::walk_exprs(&function.body, &mut |e| {
-                let ExprKind::Call { callee, args } = &e.kind else { return };
+                let ExprKind::Call { callee, args } = &e.kind else {
+                    return;
+                };
                 let is_fs = matches!(
                     Intrinsic::from_name(callee),
                     Some(Intrinsic::ReadFile | Intrinsic::WriteFile | Intrinsic::Open)
@@ -871,7 +907,12 @@ impl Checker for AllocLifetimeChecker {
             // Source-order events on alloc'd variables.
             let mut allocated: Vec<String> = Vec::new();
             visit::walk_stmts(&function.body, &mut |s| {
-                if let StmtKind::Let { name, init: Some(e), .. } = &s.kind {
+                if let StmtKind::Let {
+                    name,
+                    init: Some(e),
+                    ..
+                } = &s.kind
+                {
                     let mut from_alloc = false;
                     visit::walk_expr(e, &mut |sub| {
                         if let ExprKind::Call { callee, .. } = &sub.kind {
@@ -985,7 +1026,9 @@ impl Checker for InfoExposureChecker {
                 return;
             }
             visit::walk_exprs(&function.body, &mut |e| {
-                let ExprKind::Call { callee, args } = &e.kind else { return };
+                let ExprKind::Call { callee, args } = &e.kind else {
+                    return;
+                };
                 if Intrinsic::from_name(callee) != Some(Intrinsic::Send) {
                     return;
                 }

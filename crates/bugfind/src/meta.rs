@@ -47,7 +47,9 @@ pub struct MetaTool {
 
 impl Default for MetaTool {
     fn default() -> Self {
-        MetaTool { checkers: all_checkers() }
+        MetaTool {
+            checkers: all_checkers(),
+        }
     }
 }
 
@@ -176,7 +178,8 @@ mod tests {
 
     #[test]
     fn severity_counts() {
-        let p = program("fn f() { let b: int[2]; b[9] = 1; let z: int = 5; z = 6; log_msg(\"x\"); }");
+        let p =
+            program("fn f() { let b: int[2]; b[9] = 1; let z: int = 5; z = 6; log_msg(\"x\"); }");
         let report = MetaTool::new().run(&p);
         assert!(report.count_severity(DiagSeverity::Error) >= 1);
         assert!(report.count_severity(DiagSeverity::Note) >= 1);

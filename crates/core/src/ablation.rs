@@ -45,7 +45,10 @@ pub struct AblationResult {
 impl AblationResult {
     /// The unified row.
     pub fn unified(&self) -> &AblationRow {
-        self.rows.iter().find(|r| r.family == "unified").expect("unified row present")
+        self.rows
+            .iter()
+            .find(|r| r.family == "unified")
+            .expect("unified row present")
     }
 
     /// Best single-family row by count R².
@@ -59,13 +62,20 @@ impl AblationResult {
 
     /// The LoC-only row — the de-facto metric the paper argues against.
     pub fn loc_only(&self) -> &AblationRow {
-        self.rows.iter().find(|r| r.family == "loc.").expect("loc row present")
+        self.rows
+            .iter()
+            .find(|r| r.family == "loc.")
+            .expect("loc row present")
     }
 }
 
 impl fmt::Display for AblationResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<14} {:>10} {:>14} {:>10}", "features", "count R²", "CVSS>7 AUC", "width")?;
+        writeln!(
+            f,
+            "{:<14} {:>10} {:>14} {:>10}",
+            "features", "count R²", "CVSS>7 AUC", "width"
+        )?;
         for row in &self.rows {
             let auc = row
                 .high_sev_auc

@@ -12,14 +12,24 @@
 //! clairvoyant compare <fileA> <fileB>    pick the lower-risk candidate
 //! clairvoyant gate <before> <after>      CI gate: exit 1 if risk rises
 //! ```
+//!
+//! Commands that train the metric extract corpus features through the
+//! pipeline engine; `--jobs`, `--cache-dir` and `--no-cache` tune it.
 
 use clairvoyant::prelude::*;
 use clairvoyant::report::security_report_json;
 use clairvoyant::Testbed;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (engine, args) = match parse_engine_flags(std::env::args().skip(1).collect()) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
     let Some((command, rest)) = args.split_first() else {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
@@ -27,9 +37,9 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "lint" => lint(rest),
         "features" => features(rest),
-        "evaluate" => evaluate(rest),
-        "compare" => compare(rest),
-        "gate" => gate(rest),
+        "evaluate" => evaluate(rest, &engine),
+        "compare" => compare(rest, &engine),
+        "gate" => gate(rest, &engine),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -45,14 +55,45 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: clairvoyant <command> [args]
+const USAGE: &str = "usage: clairvoyant [options] <command> [args]
 
 commands:
   lint <files…>               run the 10-checker bug-finding suite
   features <files…>           print the testbed feature vector (97 features)
   evaluate [--json] <files…>  train the metric and print a security report
   compare <fileA> <fileB>     evaluate two candidates, pick the safer one
-  gate <before> <after>       CI gate: exit 1 when the change raises risk";
+  gate <before> <after>       CI gate: exit 1 when the change raises risk
+
+options (pipeline engine, for commands that train the metric):
+  --jobs <N>                  extraction worker threads (0 = all cores)
+  --cache-dir <PATH>          persist the feature cache under PATH
+  --no-cache                  disable the feature cache entirely";
+
+/// Strip the pipeline-engine flags (accepted anywhere on the command line)
+/// and fold them into a [`PipelineConfig`].
+fn parse_engine_flags(args: Vec<String>) -> Result<(PipelineConfig, Vec<String>), String> {
+    let mut config = PipelineConfig::default();
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                let value = it.next().ok_or("--jobs needs a number")?;
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| format!("--jobs: `{value}` is not a number"))?;
+                config = config.jobs(n);
+            }
+            "--cache-dir" => {
+                let dir = it.next().ok_or("--cache-dir needs a path")?;
+                config = config.cache(CacheMode::Disk(PathBuf::from(dir)));
+            }
+            "--no-cache" => config = config.cache(CacheMode::Off),
+            _ => rest.push(arg),
+        }
+    }
+    Ok((config, rest))
+}
 
 fn dialect_of(path: &str) -> Dialect {
     match path.rsplit('.').next() {
@@ -69,8 +110,8 @@ fn load_program(name: &str, paths: &[String]) -> Result<minilang::ast::Program, 
     }
     let mut files = Vec::new();
     for path in paths {
-        let source = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
         files.push((path.clone(), source));
     }
     let dialect = dialect_of(&paths[0]);
@@ -79,12 +120,26 @@ fn load_program(name: &str, paths: &[String]) -> Result<minilang::ast::Program, 
 
 /// The CLI's trained model: a fixed-seed mid-size corpus, trained once per
 /// invocation (a production deployment would persist the model; retraining
-/// keeps this binary self-contained and deterministic).
-fn trained_model() -> TrainedModel {
+/// keeps this binary self-contained and deterministic). Corpus features go
+/// through the pipeline engine, so `--cache-dir` makes repeat invocations
+/// skip re-extraction entirely.
+fn trained_model(engine: &PipelineConfig) -> TrainedModel {
     let mut config = CorpusConfig::small(20, 20170408);
     config.language_mix = [15, 2, 1, 2];
     let corpus = Corpus::generate(&config);
-    Trainer::new().train(&corpus)
+    let trainer = Trainer::with_config(TrainerConfig {
+        pipeline: engine.clone(),
+        ..Default::default()
+    });
+    let (model, report) = trainer.train_with_report(&corpus);
+    eprintln!(
+        "extraction: {:.1} programs/sec on {} worker(s), {}/{} cache hits",
+        report.extraction.throughput(),
+        report.extraction.jobs,
+        report.extraction.cache_hits,
+        report.extraction.programs,
+    );
+    model
 }
 
 fn lint(paths: &[String]) -> Result<ExitCode, String> {
@@ -114,14 +169,14 @@ fn features(paths: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn evaluate(args: &[String]) -> Result<ExitCode, String> {
+fn evaluate(args: &[String], engine: &PipelineConfig) -> Result<ExitCode, String> {
     let (json, paths): (bool, Vec<String>) = match args.split_first() {
         Some((flag, rest)) if flag == "--json" => (true, rest.to_vec()),
         _ => (false, args.to_vec()),
     };
     let program = load_program("input", &paths)?;
     eprintln!("training the metric (fixed-seed corpus)…");
-    let model = trained_model();
+    let model = trained_model(engine);
     let report = model.evaluate(&program);
     if json {
         println!("{}", security_report_json(&report));
@@ -131,27 +186,27 @@ fn evaluate(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn compare(args: &[String]) -> Result<ExitCode, String> {
+fn compare(args: &[String], engine: &PipelineConfig) -> Result<ExitCode, String> {
     let [a, b] = args else {
         return Err("compare needs exactly two files".to_string());
     };
     let pa = load_program(a, &[a.clone()])?;
     let pb = load_program(b, &[b.clone()])?;
     eprintln!("training the metric (fixed-seed corpus)…");
-    let model = trained_model();
+    let model = trained_model(engine);
     let cmp = compare_programs(&model, &pa, &pb);
     println!("{cmp}");
     Ok(ExitCode::SUCCESS)
 }
 
-fn gate(args: &[String]) -> Result<ExitCode, String> {
+fn gate(args: &[String], engine: &PipelineConfig) -> Result<ExitCode, String> {
     let [before, after] = args else {
         return Err("gate needs exactly two files (before, after)".to_string());
     };
     let pb = load_program("before", &[before.clone()])?;
     let pa = load_program("after", &[after.clone()])?;
     eprintln!("training the metric (fixed-seed corpus)…");
-    let model = trained_model();
+    let model = trained_model(engine);
     let delta = version_delta(&model, &pb, &pa);
     println!("{delta}");
     Ok(match delta.verdict {

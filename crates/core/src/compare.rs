@@ -57,7 +57,10 @@ impl fmt::Display for Comparison {
 
 /// Evaluate two candidate programs and compare.
 pub fn compare_programs(model: &TrainedModel, a: &Program, b: &Program) -> Comparison {
-    Comparison { a: model.evaluate(a), b: model.evaluate(b) }
+    Comparison {
+        a: model.evaluate(a),
+        b: model.evaluate(b),
+    }
 }
 
 /// The version-gate verdict.
@@ -108,7 +111,12 @@ pub fn version_delta(model: &TrainedModel, before: &Program, after: &Program) ->
     } else {
         RiskChange::Unchanged
     };
-    VersionDelta { before: before_report, after: after_report, score_delta, verdict }
+    VersionDelta {
+        before: before_report,
+        after: after_report,
+        score_delta,
+        verdict,
+    }
 }
 
 #[cfg(test)]

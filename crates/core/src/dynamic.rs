@@ -80,8 +80,7 @@ pub fn run_endpoints(program: &Program, config: &InterpConfig) -> DynamicSummary
         summary.oob_writes += trace.oob_writes;
         summary.tainted_sink_calls += trace.tainted_sink_calls;
         summary.uninitialized_reads += trace.uninitialized_reads;
-        summary.max_loop_iterations =
-            summary.max_loop_iterations.max(trace.max_loop_iterations);
+        summary.max_loop_iterations = summary.max_loop_iterations.max(trace.max_loop_iterations);
         summary.fuel_exhausted += trace.fuel_exhausted as usize;
         bias_sum += trace.branch_bias();
         covered.extend(trace.functions_called);
@@ -103,8 +102,14 @@ pub fn dynamic_features(program: &Program) -> FeatureVector {
     fv.set("dyn.statements", summary.statements as f64);
     fv.set("dyn.oob_writes", summary.oob_writes as f64);
     fv.set("dyn.tainted_sink_calls", summary.tainted_sink_calls as f64);
-    fv.set("dyn.uninitialized_reads", summary.uninitialized_reads as f64);
-    fv.set("dyn.max_loop_iterations", summary.max_loop_iterations as f64);
+    fv.set(
+        "dyn.uninitialized_reads",
+        summary.uninitialized_reads as f64,
+    );
+    fv.set(
+        "dyn.max_loop_iterations",
+        summary.max_loop_iterations as f64,
+    );
     fv.set("dyn.functions_covered", summary.functions_covered as f64);
     fv.set("dyn.fuel_exhausted", summary.fuel_exhausted as f64);
     fv.set("dyn.branch_bias", summary.mean_branch_bias);

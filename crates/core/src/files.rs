@@ -96,8 +96,7 @@ pub fn run_file_study(corpus: &Corpus, budget_fraction: f64) -> FileStudyResult 
     let mut scores = vec![0.0f64; rows.len()];
     for fold in stratified_folds(&labels, 5) {
         let in_fold: std::collections::HashSet<usize> = fold.iter().copied().collect();
-        let train_idx: Vec<usize> =
-            (0..rows.len()).filter(|i| !in_fold.contains(i)).collect();
+        let train_idx: Vec<usize> = (0..rows.len()).filter(|i| !in_fold.contains(i)).collect();
         let tx: Vec<Vec<f64>> = train_idx.iter().map(|&i| x[i].clone()).collect();
         let ty: Vec<usize> = train_idx.iter().map(|&i| labels[i]).collect();
         let mut model = RandomForest::with_config(ForestConfig {
@@ -166,7 +165,11 @@ mod tests {
     #[test]
     fn classifier_beats_chance() {
         let result = run_file_study(corpus(), 0.3);
-        assert!(result.auc > 0.55, "AUC {} is no better than chance", result.auc);
+        assert!(
+            result.auc > 0.55,
+            "AUC {} is no better than chance",
+            result.auc
+        );
         assert!(result.files > 20);
     }
 
@@ -176,7 +179,11 @@ mod tests {
         let small = run_file_study(c, 0.1);
         let large = run_file_study(c, 0.8);
         assert!(large.recall_at_budget >= small.recall_at_budget);
-        assert!(large.recall_at_budget > 0.7, "recall {}", large.recall_at_budget);
+        assert!(
+            large.recall_at_budget > 0.7,
+            "recall {}",
+            large.recall_at_budget
+        );
     }
 
     #[test]

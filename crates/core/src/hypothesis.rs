@@ -74,9 +74,7 @@ impl Hypothesis {
             Hypothesis::AnyCwe(cwe) => history.cwe_count(*cwe) > 0,
             Hypothesis::AnyCategory(cat) => history.category_count(*cat) > 0,
             Hypothesis::MoreThan(n) => history.total > *n,
-            Hypothesis::MeanScoreAbove(tenths) => {
-                history.mean_score > *tenths as f64 / 10.0
-            }
+            Hypothesis::MeanScoreAbove(tenths) => history.mean_score > *tenths as f64 / 10.0,
         };
         truth as usize
     }
@@ -133,13 +131,22 @@ mod tests {
 
     #[test]
     fn worked_examples_label_correctly() {
-        let h = history(&[(CRIT, Cwe::StackBufferOverflow), (LOCAL_LOW, Cwe::InfoExposure)]);
+        let h = history(&[
+            (CRIT, Cwe::StackBufferOverflow),
+            (LOCAL_LOW, Cwe::InfoExposure),
+        ]);
         assert_eq!(Hypothesis::AnyHighSeverity.label(&h), 1);
         assert_eq!(Hypothesis::AnyNetworkAttackable.label(&h), 1);
         assert_eq!(Hypothesis::AnyCwe(Cwe::StackBufferOverflow).label(&h), 1);
         assert_eq!(Hypothesis::AnyCwe(Cwe::FormatString).label(&h), 0);
-        assert_eq!(Hypothesis::AnyCategory(CweCategory::MemorySafety).label(&h), 1);
-        assert_eq!(Hypothesis::AnyCategory(CweCategory::Concurrency).label(&h), 0);
+        assert_eq!(
+            Hypothesis::AnyCategory(CweCategory::MemorySafety).label(&h),
+            1
+        );
+        assert_eq!(
+            Hypothesis::AnyCategory(CweCategory::Concurrency).label(&h),
+            0
+        );
     }
 
     #[test]
@@ -175,7 +182,9 @@ mod tests {
     #[test]
     fn questions_mention_the_key_terms() {
         assert!(Hypothesis::AnyHighSeverity.question().contains("CVSS > 7"));
-        assert!(Hypothesis::AnyNetworkAttackable.question().contains("AV = N"));
+        assert!(Hypothesis::AnyNetworkAttackable
+            .question()
+            .contains("AV = N"));
         assert!(Hypothesis::AnyCwe(Cwe::StackBufferOverflow)
             .question()
             .contains("CWE-121"));

@@ -44,6 +44,7 @@
 pub mod ablation;
 pub mod compare;
 pub mod dynamic;
+pub mod extract;
 pub mod files;
 pub mod hypothesis;
 pub mod metric;
@@ -55,8 +56,12 @@ pub mod testbed;
 pub mod train;
 
 pub use compare::{compare_programs, version_delta, Comparison};
+pub use extract::{extract_corpus, CorpusFeatures};
 pub use hypothesis::{standard_battery, Hypothesis};
 pub use metric::SecurityReport;
+// Re-export the engine types so downstream users configure extraction
+// without naming the pipeline crate.
+pub use pipeline::{CacheMode, PipelineConfig, PipelineReport};
 pub use system::{evaluate_system, Component, Containment, Exposure, SystemReport, SystemSpec};
 pub use testbed::Testbed;
 pub use train::{Learner, TrainedModel, Trainer, TrainingReport};
@@ -64,12 +69,14 @@ pub use train::{Learner, TrainedModel, Trainer, TrainingReport};
 /// Convenient re-exports for examples and benches.
 pub mod prelude {
     pub use crate::compare::{compare_programs, version_delta};
+    pub use crate::extract::{extract_corpus, CorpusFeatures};
     pub use crate::hypothesis::{standard_battery, Hypothesis};
     pub use crate::metric::SecurityReport;
     pub use crate::testbed::Testbed;
-    pub use crate::train::{Learner, TrainedModel, Trainer};
+    pub use crate::train::{Learner, TrainedModel, Trainer, TrainerConfig};
     pub use corpus::{Corpus, CorpusConfig};
     pub use minilang::{parse_program, Dialect};
+    pub use pipeline::{CacheMode, PipelineConfig, PipelineReport};
 }
 
 #[cfg(test)]

@@ -65,7 +65,10 @@ impl SecurityReport {
     /// A coarse scalar "risk score" (0–100) blending the learned
     /// predictions (count, severity) with the direct structural signals.
     pub fn risk_score(&self) -> f64 {
-        let count_part = (self.predicted_vulnerabilities.max(0.0) + 1.0).log10().min(3.0) / 3.0;
+        let count_part = (self.predicted_vulnerabilities.max(0.0) + 1.0)
+            .log10()
+            .min(3.0)
+            / 3.0;
         let sev_part = self.high_severity_risk.unwrap_or(0.5);
         (40.0 * count_part + 25.0 * sev_part + 35.0 * self.structural_risk).clamp(0.0, 100.0)
     }
@@ -82,7 +85,11 @@ impl SecurityReport {
 impl fmt::Display for SecurityReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "security report for `{}`", self.app)?;
-        writeln!(f, "  predicted vulnerabilities: {:.1}", self.predicted_vulnerabilities)?;
+        writeln!(
+            f,
+            "  predicted vulnerabilities: {:.1}",
+            self.predicted_vulnerabilities
+        )?;
         if let Some(p) = self.high_severity_risk {
             writeln!(f, "  high-severity risk (CVSS>7): {:.0}%", p * 100.0)?;
         }
@@ -184,7 +191,11 @@ fn derive_hints(
 ) -> Vec<Hint> {
     let mut hints = Vec::new();
     let prob = |target: &Hypothesis| {
-        hypotheses.iter().find(|(h, _)| h == target).map(|(_, p)| *p).unwrap_or(0.0)
+        hypotheses
+            .iter()
+            .find(|(h, _)| h == target)
+            .map(|(_, p)| *p)
+            .unwrap_or(0.0)
     };
     if prob(&Hypothesis::AnyCwe(Cwe::StackBufferOverflow)) > 0.5
         || fv.get_or_zero("bounds.unproved_ratio") > 0.5
@@ -196,8 +207,7 @@ fn derive_hints(
     }
     if prob(&Hypothesis::AnyNetworkAttackable) > 0.5 {
         hints.push(Hint {
-            advice: "place the application behind a firewall or intrusion-protection system"
-                .into(),
+            advice: "place the application behind a firewall or intrusion-protection system".into(),
             because: "a network attack is predicted".into(),
         });
     }
@@ -272,7 +282,10 @@ mod tests {
         .unwrap();
         let report = model.evaluate(&p);
         assert!(
-            report.hints.iter().any(|h| h.advice.contains("bounds checking")),
+            report
+                .hints
+                .iter()
+                .any(|h| h.advice.contains("bounds checking")),
             "hints: {:?}",
             report.hints
         );
@@ -302,6 +315,8 @@ mod tests {
         if let Some(p) = p {
             assert!((0.0..=1.0).contains(&p));
         }
-        assert!(report.cwe_risk(Cwe::MemoryLeak).is_none_or(|p| (0.0..=1.0).contains(&p)));
+        assert!(report
+            .cwe_risk(Cwe::MemoryLeak)
+            .is_none_or(|p| (0.0..=1.0).contains(&p)));
     }
 }

@@ -132,12 +132,21 @@ pub fn security_report_json(report: &SecurityReport) -> String {
         .collect();
     Json::object(vec![
         ("app", Json::String(report.app.clone())),
-        ("predicted_vulnerabilities", Json::Number(report.predicted_vulnerabilities)),
+        (
+            "predicted_vulnerabilities",
+            Json::Number(report.predicted_vulnerabilities),
+        ),
         (
             "high_severity_risk",
-            report.high_severity_risk.map(Json::Number).unwrap_or(Json::Null),
+            report
+                .high_severity_risk
+                .map(Json::Number)
+                .unwrap_or(Json::Null),
         ),
-        ("network_risk", report.network_risk.map(Json::Number).unwrap_or(Json::Null)),
+        (
+            "network_risk",
+            report.network_risk.map(Json::Number).unwrap_or(Json::Null),
+        ),
         (
             "severity_counts",
             Json::Array(
@@ -178,7 +187,10 @@ mod tests {
 
     #[test]
     fn escapes_control_characters() {
-        assert_eq!(Json::String("x\n\t\u{1}".into()).to_string(), "\"x\\n\\t\\u0001\"");
+        assert_eq!(
+            Json::String("x\n\t\u{1}".into()).to_string(),
+            "\"x\\n\\t\\u0001\""
+        );
     }
 
     #[test]
@@ -208,7 +220,10 @@ mod tests {
                 weight: 0.8,
                 contribution: 1.2,
             }],
-            hints: vec![Hint { advice: "fix it".into(), because: "risk".into() }],
+            hints: vec![Hint {
+                advice: "fix it".into(),
+                because: "risk".into(),
+            }],
         };
         let json = security_report_json(&report);
         assert!(json.contains(r#""app":"demo""#));

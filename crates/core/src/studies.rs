@@ -44,14 +44,15 @@ pub struct StudyResult {
 impl StudyResult {
     /// Mean vulnerabilities per app for one language (None if no apps).
     pub fn mean_vulns_for(&self, dialect: Dialect) -> Option<f64> {
-        let points: Vec<&StudyPoint> =
-            self.points.iter().filter(|p| p.dialect == dialect).collect();
+        let points: Vec<&StudyPoint> = self
+            .points
+            .iter()
+            .filter(|p| p.dialect == dialect)
+            .collect();
         if points.is_empty() {
             return None;
         }
-        Some(
-            points.iter().map(|p| p.vulnerabilities as f64).sum::<f64>() / points.len() as f64,
-        )
+        Some(points.iter().map(|p| p.vulnerabilities as f64).sum::<f64>() / points.len() as f64)
     }
 }
 
@@ -114,10 +115,14 @@ pub fn run_study(corpus: &Corpus) -> StudyResult {
     }
 
     let log_kloc: Vec<f64> = points.iter().map(|p| p.kloc.max(1e-3).log10()).collect();
-    let log_cc: Vec<f64> =
-        points.iter().map(|p| (p.cyclomatic.max(1) as f64).log10()).collect();
-    let log_v: Vec<f64> =
-        points.iter().map(|p| (p.vulnerabilities.max(1) as f64).log10()).collect();
+    let log_cc: Vec<f64> = points
+        .iter()
+        .map(|p| (p.cyclomatic.max(1) as f64).log10())
+        .collect();
+    let log_v: Vec<f64> = points
+        .iter()
+        .map(|p| (p.vulnerabilities.max(1) as f64).log10())
+        .collect();
 
     StudyResult {
         regression_loc: simple_regression(&log_kloc, &log_v),
@@ -155,7 +160,11 @@ mod tests {
         let corpus = Corpus::generate(&config);
         let study = run_study(&corpus);
         let r2 = study.regression_loc.r_squared;
-        assert!(study.regression_loc.slope > 0.0, "slope {}", study.regression_loc.slope);
+        assert!(
+            study.regression_loc.slope > 0.0,
+            "slope {}",
+            study.regression_loc.slope
+        );
         assert!(
             (0.02..0.75).contains(&r2),
             "R² should be weak-but-present, got {r2:.3}"

@@ -16,7 +16,10 @@ impl Figure1 {
     pub fn produce(seed: u64) -> Figure1 {
         let papers = survey::generate_proceedings(seed);
         let result = survey::run_survey(&papers);
-        Figure1 { result, papers_surveyed: papers.len() }
+        Figure1 {
+            result,
+            papers_surveyed: papers.len(),
+        }
     }
 }
 
@@ -25,7 +28,11 @@ type RowPick = fn(&(Venue, usize, usize, usize)) -> usize;
 
 impl fmt::Display for Figure1 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "survey of {} papers across 5 venues", self.papers_surveyed)?;
+        writeln!(
+            f,
+            "survey of {} papers across 5 venues",
+            self.papers_surveyed
+        )?;
         writeln!(
             f,
             "{:<26} {:>5} {:>5} {:>5} {:>7} {:>8}",
@@ -40,9 +47,21 @@ impl fmt::Display for Figure1 {
                 .unwrap_or(0)
         };
         let methods: [(&str, RowPick, usize); 3] = [
-            ("Papers using Lines of Code", |r| r.1, self.result.total_loc()),
-            ("Papers using # of CVE reports", |r| r.2, self.result.total_cve()),
-            ("Papers formally verified", |r| r.3, self.result.total_verified()),
+            (
+                "Papers using Lines of Code",
+                |r| r.1,
+                self.result.total_loc(),
+            ),
+            (
+                "Papers using # of CVE reports",
+                |r| r.2,
+                self.result.total_cve(),
+            ),
+            (
+                "Papers formally verified",
+                |r| r.3,
+                self.result.total_verified(),
+            ),
         ];
         for (label, pick, total) in methods {
             writeln!(

@@ -142,7 +142,10 @@ impl fmt::Display for SystemReport {
         }
         writeln!(f, "  weakest link: {}", self.weakest)?;
         if let Some((from, to)) = &self.escalation_chain {
-            writeln!(f, "  escalation chain: {from} → {to} (privileged, uncontained)")?;
+            writeln!(
+                f,
+                "  escalation chain: {from} → {to} (privileged, uncontained)"
+            )?;
         }
         write!(f, "  system risk: {:.0}/100", self.score)
     }
@@ -155,14 +158,19 @@ impl fmt::Display for SystemReport {
 /// chain bonus captures network-facing → privileged lateral movement that
 /// containment boundaries dampen.
 pub fn evaluate_system(model: &TrainedModel, system: &SystemSpec) -> SystemReport {
-    assert!(!system.components.is_empty(), "a system needs at least one component");
+    assert!(
+        !system.components.is_empty(),
+        "a system needs at least one component"
+    );
     let mut components: Vec<ComponentReport> = system
         .components
         .iter()
         .map(|c| {
             let report = model.evaluate(&c.program);
-            let privileged =
-                c.program.functions().any(|f| f.privilege() == PrivLevel::Root);
+            let privileged = c
+                .program
+                .functions()
+                .any(|f| f.privilege() == PrivLevel::Root);
             let weighted_risk = report.risk_score() * c.exposure.weight();
             ComponentReport {
                 name: c.name.clone(),
@@ -179,7 +187,9 @@ pub fn evaluate_system(model: &TrainedModel, system: &SystemSpec) -> SystemRepor
     let weakest = components
         .iter()
         .max_by(|a, b| {
-            a.weighted_risk.partial_cmp(&b.weighted_risk).expect("finite risks")
+            a.weighted_risk
+                .partial_cmp(&b.weighted_risk)
+                .expect("finite risks")
         })
         .expect("non-empty")
         .name
@@ -209,8 +219,7 @@ pub fn evaluate_system(model: &TrainedModel, system: &SystemSpec) -> SystemRepor
                     la.partial_cmp(&lb).expect("finite")
                 });
             if let Some(target) = target {
-                let lateral =
-                    target.report.risk_score() * target.containment.lateral_factor();
+                let lateral = target.report.risk_score() * target.containment.lateral_factor();
                 if lateral > 25.0 {
                     escalation_chain = Some((entry.name.clone(), target.name.clone()));
                     chain_bonus = 0.2 * lateral;
@@ -225,10 +234,18 @@ pub fn evaluate_system(model: &TrainedModel, system: &SystemSpec) -> SystemRepor
         .fold(0.0f64, f64::max);
     let score = (base + chain_bonus).clamp(0.0, 100.0);
     components.sort_by(|a, b| {
-        b.weighted_risk.partial_cmp(&a.weighted_risk).expect("finite")
+        b.weighted_risk
+            .partial_cmp(&a.weighted_risk)
+            .expect("finite")
     });
 
-    SystemReport { system: system.name.clone(), components, weakest, score, escalation_chain }
+    SystemReport {
+        system: system.name.clone(),
+        components,
+        weakest,
+        score,
+        escalation_chain,
+    }
 }
 
 #[cfg(test)]
@@ -237,12 +254,7 @@ mod tests {
     use crate::testutil::shared_model;
     use minilang::{parse_program, Dialect};
 
-    fn component(
-        name: &str,
-        src: &str,
-        exposure: Exposure,
-        containment: Containment,
-    ) -> Component {
+    fn component(name: &str, src: &str, exposure: Exposure, containment: Containment) -> Component {
         Component {
             name: name.to_string(),
             program: parse_program(name, Dialect::C, &[("m.c".into(), src.into())]).unwrap(),
@@ -253,8 +265,7 @@ mod tests {
 
     const RISKY_FRONT: &str = "@endpoint(network)
         fn handle(req: str) { let b: str[16]; strcpy(b, req); system(req); }";
-    const SAFE_WORKER: &str =
-        "fn work(n: int) -> int { if n < 0 { return 0; } return n * 2; }";
+    const SAFE_WORKER: &str = "fn work(n: int) -> int { if n < 0 { return 0; } return n * 2; }";
     const ROOT_AGENT: &str = "@endpoint(local) @priv(root)
         fn apply(cfg: str) { write_file(\"/etc\", cfg); exec(cfg); }";
 
@@ -262,7 +273,12 @@ mod tests {
         SystemSpec {
             name: "stack".into(),
             components: vec![
-                component("frontend", RISKY_FRONT, Exposure::NetworkFacing, Containment::None),
+                component(
+                    "frontend",
+                    RISKY_FRONT,
+                    Exposure::NetworkFacing,
+                    Containment::None,
+                ),
                 component("worker", SAFE_WORKER, Exposure::Internal, Containment::None),
                 component("agent", ROOT_AGENT, Exposure::Infrastructure, containment),
             ],
@@ -274,7 +290,11 @@ mod tests {
         let model = shared_model();
         let report = evaluate_system(model, &sys(Containment::None));
         assert_eq!(report.weakest, "frontend");
-        let front = report.components.iter().find(|c| c.name == "frontend").unwrap();
+        let front = report
+            .components
+            .iter()
+            .find(|c| c.name == "frontend")
+            .unwrap();
         assert!(report.score >= front.weighted_risk);
         assert!((0.0..=100.0).contains(&report.score));
     }

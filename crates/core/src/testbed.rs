@@ -25,7 +25,10 @@ pub struct Testbed {
 
 impl Default for Testbed {
     fn default() -> Self {
-        Testbed { registry: standard_registry(), metatool: MetaTool::new() }
+        Testbed {
+            registry: standard_registry(),
+            metatool: MetaTool::new(),
+        }
     }
 }
 
@@ -46,9 +49,18 @@ impl Testbed {
     fn add_bugfind_features(&self, program: &Program, fv: &mut FeatureVector) {
         let report = self.metatool.run(program);
         fv.set("bugfind.total", report.total() as f64);
-        fv.set("bugfind.errors", report.count_severity(DiagSeverity::Error) as f64);
-        fv.set("bugfind.warnings", report.count_severity(DiagSeverity::Warning) as f64);
-        fv.set("bugfind.notes", report.count_severity(DiagSeverity::Note) as f64);
+        fv.set(
+            "bugfind.errors",
+            report.count_severity(DiagSeverity::Error) as f64,
+        );
+        fv.set(
+            "bugfind.warnings",
+            report.count_severity(DiagSeverity::Warning) as f64,
+        );
+        fv.set(
+            "bugfind.notes",
+            report.count_severity(DiagSeverity::Note) as f64,
+        );
         fv.set("bugfind.multi_tool_sites", report.multi_tool_sites as f64);
         // Per-CWE hint counts for the classes the hypotheses ask about.
         for cwe in [20u32, 22, 121, 134, 190, 200, 367, 401, 416, 798] {
@@ -86,7 +98,10 @@ impl Testbed {
             .collect();
         let graph = AttackGraph::from_facts(interaction_facts(program, &vulnerable));
         let metrics = graph.metrics();
-        fv.set("attackgraph.goal_reachable", metrics.goal_reachable as u8 as f64);
+        fv.set(
+            "attackgraph.goal_reachable",
+            metrics.goal_reachable as u8 as f64,
+        );
         fv.set(
             "attackgraph.shortest_path",
             metrics.shortest_path_len.map(|n| n as f64).unwrap_or(0.0),
@@ -97,6 +112,47 @@ impl Testbed {
         );
         fv.set("attackgraph.paths", metrics.minimal_paths as f64);
         fv.set("attackgraph.exploits", metrics.exploit_count as f64);
+    }
+}
+
+/// Version of the testbed's collector schema, part of every pipeline
+/// cache key. Bump whenever a collector is added, removed, or changes
+/// meaning — stale cached vectors are invalidated wholesale.
+pub const TESTBED_SCHEMA_VERSION: u64 = 1;
+
+impl pipeline::Extractor for Testbed {
+    fn extract(&self, program: &Program) -> FeatureVector {
+        Testbed::extract(self, program)
+    }
+
+    fn schema_version(&self) -> u64 {
+        TESTBED_SCHEMA_VERSION
+    }
+
+    /// The schema-stable degraded vector: every feature name the testbed
+    /// emits, all zero. Feature names are program-independent (asserted
+    /// by `feature_names_are_stable_across_programs` below), so one
+    /// probe extraction over a trivial program yields the full schema.
+    fn degraded(&self) -> FeatureVector {
+        static SCHEMA: std::sync::OnceLock<Vec<String>> = std::sync::OnceLock::new();
+        SCHEMA
+            .get_or_init(|| {
+                let probe = minilang::parse_program(
+                    "schema-probe",
+                    minilang::Dialect::C,
+                    &[("probe.c".to_string(), "fn probe() { }".to_string())],
+                )
+                .expect("trivial probe program parses");
+                Testbed::new()
+                    .extract(&probe)
+                    .names()
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect()
+            })
+            .iter()
+            .map(|name| (name.clone(), 0.0))
+            .collect()
     }
 }
 
@@ -117,10 +173,24 @@ mod tests {
              fn util(n: int) -> int { return n * 2; }",
         );
         let fv = Testbed::new().extract(&p);
-        for prefix in ["loc.", "cyclomatic.", "taint.", "bugfind.", "rasq.", "attackgraph."] {
-            assert!(!fv.with_prefix(prefix).is_empty(), "missing family {prefix}");
+        for prefix in [
+            "loc.",
+            "cyclomatic.",
+            "taint.",
+            "bugfind.",
+            "rasq.",
+            "attackgraph.",
+        ] {
+            assert!(
+                !fv.with_prefix(prefix).is_empty(),
+                "missing family {prefix}"
+            );
         }
-        assert!(fv.len() >= 70, "expected a wide unified vector, got {}", fv.len());
+        assert!(
+            fv.len() >= 70,
+            "expected a wide unified vector, got {}",
+            fv.len()
+        );
     }
 
     #[test]
@@ -148,10 +218,26 @@ mod tests {
     #[test]
     fn feature_names_are_stable_across_programs() {
         let a = Testbed::new().extract(&program("fn f() { }"));
-        let b = Testbed::new().extract(&program(
-            "@endpoint(network) fn g(q: str) { exec(q); }",
-        ));
-        assert_eq!(a.names(), b.names(), "feature schema must not depend on program content");
+        let b = Testbed::new().extract(&program("@endpoint(network) fn g(q: str) { exec(q); }"));
+        assert_eq!(
+            a.names(),
+            b.names(),
+            "feature schema must not depend on program content"
+        );
+    }
+
+    #[test]
+    fn degraded_vector_matches_live_schema() {
+        use pipeline::Extractor as _;
+        let testbed = Testbed::new();
+        let degraded = testbed.degraded();
+        let live = testbed.extract(&program("fn f(s: str) { printf(s); }"));
+        assert_eq!(
+            degraded.names(),
+            live.names(),
+            "degraded vector must be schema-stable"
+        );
+        assert!(degraded.iter().all(|(_, v)| v == 0.0));
     }
 
     #[test]

@@ -7,10 +7,11 @@
 //! hypothesis plus a vulnerability-count regressor, and cross-validates
 //! everything "within the ground truth".
 
+use crate::extract;
 use crate::hypothesis::{standard_battery, Hypothesis};
-use crate::testbed::Testbed;
 use corpus::Corpus;
 use cvedb::SelectionCriteria;
+use pipeline::{PipelineConfig, PipelineReport};
 use secml::dataset::Dataset;
 use secml::eval::{
     cross_validate_classifier, cross_validate_regressor, ClassificationReport, RegressionReport,
@@ -109,6 +110,11 @@ pub struct TrainerConfig {
     pub selection: SelectionCriteria,
     /// Restrict features to one name prefix (ablation hook; None = all).
     pub feature_prefix: Option<String>,
+    /// Feature-extraction engine settings: worker count, cache mode,
+    /// per-program budget. Defaults to auto workers with an in-memory
+    /// cache; parallel extraction is byte-identical to sequential, so
+    /// training stays deterministic regardless of `jobs`.
+    pub pipeline: PipelineConfig,
 }
 
 impl Default for TrainerConfig {
@@ -121,6 +127,7 @@ impl Default for TrainerConfig {
             log_transform: true,
             selection: SelectionCriteria::default(),
             feature_prefix: None,
+            pipeline: PipelineConfig::default(),
         }
     }
 }
@@ -141,7 +148,12 @@ impl Trainer {
     }
 
     pub fn with_learner(learner: Learner) -> Trainer {
-        Trainer { config: TrainerConfig { learner, ..Default::default() } }
+        Trainer {
+            config: TrainerConfig {
+                learner,
+                ..Default::default()
+            },
+        }
     }
 
     /// Train on the corpus; panics if no application passes selection
@@ -152,24 +164,35 @@ impl Trainer {
 
     /// Train and also return the cross-validation report.
     pub fn train_with_report(&self, corpus: &Corpus) -> (TrainedModel, TrainingReport) {
-        let testbed = Testbed::new();
         let histories = corpus.db.select(&self.config.selection);
         assert!(
             !histories.is_empty(),
             "no application passed the ground-truth selection criteria"
         );
 
-        // Feature matrix over the selected applications.
-        let items: Vec<(String, Vec<(String, f64)>)> = histories
+        // Feature matrix over the selected applications, extracted
+        // through the pipeline engine (parallel + cached + fault
+        // isolated; output order matches `histories`).
+        let selected: Vec<&corpus::GeneratedApp> = histories
             .iter()
             .map(|h| {
-                let app = corpus
+                corpus
                     .apps
                     .iter()
                     .find(|a| a.spec.name == h.app)
-                    .unwrap_or_else(|| panic!("history for unknown app {}", h.app));
-                let fv = testbed.extract(&app.program);
-                (h.app.clone(), fv.iter().map(|(k, v)| (k.to_string(), v)).collect())
+                    .unwrap_or_else(|| panic!("history for unknown app {}", h.app))
+            })
+            .collect();
+        let extraction =
+            extract::extract_apps(selected.iter().copied(), self.config.pipeline.clone());
+        let items: Vec<(String, Vec<(String, f64)>)> = extraction
+            .features
+            .iter()
+            .map(|(name, fv)| {
+                (
+                    name.clone(),
+                    fv.iter().map(|(k, v)| (k.to_string(), v)).collect(),
+                )
             })
             .collect();
         let mut dataset = Dataset::from_named(&items);
@@ -208,8 +231,10 @@ impl Trainer {
             }
             None => (0..dataset.width()).collect(),
         };
-        let feature_names: Vec<String> =
-            kept.iter().map(|&i| dataset.feature_names[i].clone()).collect();
+        let feature_names: Vec<String> = kept
+            .iter()
+            .map(|&i| dataset.feature_names[i].clone())
+            .collect();
         let rows: Vec<Vec<f64>> = rows
             .iter()
             .map(|r| kept.iter().map(|&i| r[i]).collect())
@@ -275,8 +300,10 @@ impl Trainer {
 
         // Auxiliary risk model for attributions: logistic on CVSS>7 when
         // trainable, else reuse the count weights.
-        let risk_labels: Vec<usize> =
-            histories.iter().map(|h| Hypothesis::AnyHighSeverity.label(h)).collect();
+        let risk_labels: Vec<usize> = histories
+            .iter()
+            .map(|h| Hypothesis::AnyHighSeverity.label(h))
+            .collect();
         let risk_weights = if risk_labels.iter().sum::<usize>() > 0
             && risk_labels.iter().sum::<usize>() < risk_labels.len()
         {
@@ -293,6 +320,7 @@ impl Trainer {
             learner: self.config.learner,
             hypothesis_reports,
             count_cv,
+            extraction: extraction.report,
         };
         let model = TrainedModel {
             feature_names,
@@ -327,6 +355,8 @@ pub struct TrainingReport {
     pub learner: Learner,
     pub hypothesis_reports: Vec<HypothesisOutcome>,
     pub count_cv: RegressionReport,
+    /// Feature-extraction engine report (throughput, cache, failures).
+    pub extraction: PipelineReport,
 }
 
 impl fmt::Display for TrainingReport {
@@ -335,6 +365,15 @@ impl fmt::Display for TrainingReport {
             f,
             "trained on {} apps × {} features with {}",
             self.n_apps, self.n_features, self.learner
+        )?;
+        writeln!(
+            f,
+            "extraction: {:.1} programs/sec on {} worker(s), {}/{} cache hits, {} degraded",
+            self.extraction.throughput(),
+            self.extraction.jobs,
+            self.extraction.cache_hits,
+            self.extraction.programs,
+            self.extraction.errors.len()
         )?;
         writeln!(
             f,
@@ -394,8 +433,11 @@ pub enum SeverityBand {
 }
 
 impl SeverityBand {
-    pub const ALL: [SeverityBand; 3] =
-        [SeverityBand::HighOrCritical, SeverityBand::Medium, SeverityBand::Low];
+    pub const ALL: [SeverityBand; 3] = [
+        SeverityBand::HighOrCritical,
+        SeverityBand::Medium,
+        SeverityBand::Low,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -436,11 +478,7 @@ impl TrainedModel {
 
     /// Predicted probability for one hypothesis (None if it was degenerate
     /// at training time).
-    pub fn hypothesis_probability(
-        &self,
-        hypothesis: Hypothesis,
-        row: &[f64],
-    ) -> Option<f64> {
+    pub fn hypothesis_probability(&self, hypothesis: Hypothesis, row: &[f64]) -> Option<f64> {
         self.hypotheses
             .iter()
             .find(|(h, _)| *h == hypothesis)
@@ -449,7 +487,10 @@ impl TrainedModel {
 
     /// All trained hypotheses with their probabilities for `row`.
     pub fn all_hypotheses(&self, row: &[f64]) -> Vec<(Hypothesis, f64)> {
-        self.hypotheses.iter().map(|(h, m)| (*h, m.predict_proba(row))).collect()
+        self.hypotheses
+            .iter()
+            .map(|(h, m)| (*h, m.predict_proba(row)))
+            .collect()
     }
 
     /// Predicted vulnerability count (back-transformed from log10).
@@ -461,9 +502,7 @@ impl TrainedModel {
     pub fn predicted_severity_counts(&self, row: &[f64]) -> Vec<(SeverityBand, f64)> {
         self.severity_models
             .iter()
-            .map(|(band, model)| {
-                (*band, (10f64.powf(model.predict(row)) - 1.0).max(0.0))
-            })
+            .map(|(band, model)| (*band, (10f64.powf(model.predict(row)) - 1.0).max(0.0)))
             .collect()
     }
 
@@ -476,6 +515,8 @@ impl TrainedModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testbed::Testbed;
+
     fn corpus() -> &'static Corpus {
         crate::testutil::shared_corpus()
     }
@@ -490,7 +531,11 @@ mod tests {
         // The degenerate/trained split covers the whole battery.
         assert_eq!(report.hypothesis_reports.len(), standard_battery().len());
         // At least a few hypotheses are non-degenerate on a 10-app corpus.
-        let trained = report.hypothesis_reports.iter().filter(|h| h.report.is_some()).count();
+        let trained = report
+            .hypothesis_reports
+            .iter()
+            .filter(|h| h.report.is_some())
+            .count();
         assert!(trained >= 3, "only {trained} hypotheses trainable");
     }
 

@@ -24,8 +24,16 @@ pub const SNAPSHOT_YEAR: i32 = 2017;
 
 /// Derive the CVSS v3 vector for a seeded vulnerability.
 pub fn derive_cvss3(seed: &SeededVuln, rng: &mut StdRng) -> Cvss3 {
-    let av = if seed.exposed { AttackVector::Network } else { AttackVector::Local };
-    let pr = if seed.exposed { PrivilegesRequired::None } else { PrivilegesRequired::Low };
+    let av = if seed.exposed {
+        AttackVector::Network
+    } else {
+        AttackVector::Local
+    };
+    let pr = if seed.exposed {
+        PrivilegesRequired::None
+    } else {
+        PrivilegesRequired::Low
+    };
     // Races and logic subtleties are harder to exploit.
     let ac = match seed.cwe {
         Cwe::Toctou | Cwe::IntegerOverflow | Cwe::UseAfterFree => AttackComplexity::High,
@@ -37,9 +45,17 @@ pub fn derive_cvss3(seed: &SeededVuln, rng: &mut StdRng) -> Cvss3 {
             }
         }
     };
-    let ui = if rng.gen_bool(0.12) { UserInteraction::Required } else { UserInteraction::None };
+    let ui = if rng.gen_bool(0.12) {
+        UserInteraction::Required
+    } else {
+        UserInteraction::None
+    };
     // Root carriers break out of the component's authorization scope.
-    let scope = if seed.priv_root { Scope::Changed } else { Scope::Unchanged };
+    let scope = if seed.priv_root {
+        Scope::Changed
+    } else {
+        Scope::Unchanged
+    };
     let (c, i, a) = impact_profile(seed.cwe);
     Cvss3::base(av, ac, pr, ui, scope, c, i, a)
 }
@@ -62,9 +78,9 @@ fn impact_profile(cwe: Cwe) -> (Impact, Impact, Impact) {
         Cwe::MemoryLeak => (None, None, High),
         Cwe::UninitializedVariable => (Low, None, Low),
         Cwe::NullDereference => (None, None, High),
-        Cwe::ImproperAuthentication
-        | Cwe::MissingAuthentication
-        | Cwe::HardcodedCredentials => (High, High, None),
+        Cwe::ImproperAuthentication | Cwe::MissingAuthentication | Cwe::HardcodedCredentials => {
+            (High, High, None)
+        }
     }
 }
 
@@ -78,12 +94,20 @@ pub fn derive_cvss2(seed: &SeededVuln) -> Cvss2 {
         Impact::None => ImpactV2::None,
     };
     Cvss2 {
-        av: if seed.exposed { AccessVector::Network } else { AccessVector::Local },
+        av: if seed.exposed {
+            AccessVector::Network
+        } else {
+            AccessVector::Local
+        },
         ac: match seed.cwe {
             Cwe::Toctou | Cwe::IntegerOverflow | Cwe::UseAfterFree => AccessComplexity::High,
             _ => AccessComplexity::Low,
         },
-        au: if seed.exposed { Authentication::None } else { Authentication::Single },
+        au: if seed.exposed {
+            Authentication::None
+        } else {
+            Authentication::Single
+        },
         c: to_v2(c3),
         i: to_v2(i3),
         a: to_v2(a3),
@@ -118,7 +142,11 @@ pub fn synthesize_history(
         let year = first_year + (frac * span_years).floor() as i32;
         let year = year.clamp(first_year, SNAPSHOT_YEAR);
         let month = rng.gen_range(1..=12u8);
-        let month = if year == SNAPSHOT_YEAR { month.min(4) } else { month };
+        let month = if year == SNAPSHOT_YEAR {
+            month.min(4)
+        } else {
+            month
+        };
         let day = rng.gen_range(1..=28u8);
         let published = Date::new(year, month, day).expect("valid synthetic date");
 
@@ -236,8 +264,9 @@ mod tests {
     fn v3_only_from_2016() {
         let mut rng = StdRng::seed_from_u64(5);
         let mut next = 100;
-        let seeds: Vec<SeededVuln> =
-            (0..12).map(|i| seed(Cwe::ALL[i % Cwe::ALL.len()], true, false)).collect();
+        let seeds: Vec<SeededVuln> = (0..12)
+            .map(|i| seed(Cwe::ALL[i % Cwe::ALL.len()], true, false))
+            .collect();
         let records = synthesize_history(&spec(), &seeds, &mut next, &mut rng);
         for r in &records {
             assert_eq!(r.cvss3.is_some(), r.published.year >= 2016, "{}", r.id);

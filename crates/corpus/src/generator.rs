@@ -71,7 +71,12 @@ impl CorpusConfig {
         let c = (n * 3).div_ceil(4);
         let rest = n - c;
         CorpusConfig {
-            language_mix: [c, rest.min(1), rest.saturating_sub(2).min(1), rest.saturating_sub(1).min(1)],
+            language_mix: [
+                c,
+                rest.min(1),
+                rest.saturating_sub(2).min(1),
+                rest.saturating_sub(1).min(1),
+            ],
             short_history_apps: 1,
             min_kloc: 0.2,
             max_kloc: 1.6,
@@ -133,8 +138,13 @@ impl Corpus {
         // Short-history rejects: young projects whose records cannot span
         // five years.
         for _ in 0..config.short_history_apps {
-            let mut spec =
-                AppSpec::sample(index, Dialect::C, &mut rng, config.min_kloc, config.max_kloc);
+            let mut spec = AppSpec::sample(
+                index,
+                Dialect::C,
+                &mut rng,
+                config.min_kloc,
+                config.max_kloc,
+            );
             index += 1;
             spec.first_release_year = 2014;
             spec.name = format!("young-{}", spec.name);
@@ -142,7 +152,11 @@ impl Corpus {
             apps.push(app);
         }
 
-        Corpus { config: config.clone(), apps, db }
+        Corpus {
+            config: config.clone(),
+            apps,
+            db,
+        }
     }
 
     fn generate_app(
@@ -154,12 +168,21 @@ impl Corpus {
     ) -> GeneratedApp {
         let target_vulns = cal.vuln_count(spec, rng);
         let seeds = sample_cwes(spec, target_vulns, rng);
-        let SynthOutput { files, program, seeded } = synth::synthesize(spec, &seeds);
+        let SynthOutput {
+            files,
+            program,
+            seeded,
+        } = synth::synthesize(spec, &seeds);
         let records = cve::synthesize_history(spec, &seeded, next_cve, rng);
         for r in records {
             db.insert(r);
         }
-        GeneratedApp { spec: spec.clone(), program, files, seeded }
+        GeneratedApp {
+            spec: spec.clone(),
+            program,
+            files,
+            seeded,
+        }
     }
 }
 
@@ -300,11 +323,18 @@ mod tests {
     fn small_corpus_generates_and_selects() {
         let config = CorpusConfig::small(8, 42);
         let corpus = Corpus::generate(&config);
-        assert_eq!(corpus.apps.len(), config.n_apps() + config.short_history_apps);
+        assert_eq!(
+            corpus.apps.len(),
+            config.n_apps() + config.short_history_apps
+        );
         assert!(!corpus.db.is_empty());
         let selected = corpus.db.select(&SelectionCriteria::default());
         // All long-history apps pass; short-history rejects do not.
-        assert!(selected.len() >= config.n_apps() - 1, "selected {}", selected.len());
+        assert!(
+            selected.len() >= config.n_apps() - 1,
+            "selected {}",
+            selected.len()
+        );
         assert!(selected.iter().all(|h| !h.app.starts_with("young-")));
     }
 
@@ -371,7 +401,10 @@ mod tests {
         let resid =
             cal.quality_coeff * cal.quality_coeff * var_q + cal.noise_sigma * cal.noise_sigma;
         let implied_r2 = explained / (explained + resid);
-        assert!((implied_r2 - config.target_loc_r2).abs() < 0.01, "implied {implied_r2}");
+        assert!(
+            (implied_r2 - config.target_loc_r2).abs() < 0.01,
+            "implied {implied_r2}"
+        );
     }
 
     #[test]

@@ -27,7 +27,12 @@ pub enum Domain {
 }
 
 impl Domain {
-    pub const ALL: [Domain; 4] = [Domain::Server, Domain::Library, Domain::CliTool, Domain::Desktop];
+    pub const ALL: [Domain; 4] = [
+        Domain::Server,
+        Domain::Library,
+        Domain::CliTool,
+        Domain::Desktop,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -80,7 +85,11 @@ impl AppSpec {
             Domain::CliTool => 2.0,
             Domain::Desktop => 2.0,
         };
-        ((base + self.target_kloc.sqrt()) as usize).max(if self.domain == Domain::Library { 0 } else { 1 })
+        ((base + self.target_kloc.sqrt()) as usize).max(if self.domain == Domain::Library {
+            0
+        } else {
+            1
+        })
     }
 
     /// Sample a spec from per-language priors.
@@ -105,7 +114,7 @@ impl AppSpec {
         let log_kloc = rng.gen_range(lo.ln()..=hi.ln().max(lo.ln() + 1e-9));
         let domain = match dialect {
             Dialect::Python => {
-                [Domain::CliTool, Domain::Library, Domain::Server][rng.gen_range(0..3)]
+                [Domain::CliTool, Domain::Library, Domain::Server][rng.gen_range(0..3usize)]
             }
             _ => Domain::ALL[rng.gen_range(0..Domain::ALL.len())],
         };
@@ -169,7 +178,10 @@ mod tests {
     fn python_projects_are_smaller_on_average() {
         let mut r = rng();
         let mean = |d: Dialect, r: &mut StdRng| -> f64 {
-            (0..80).map(|i| AppSpec::sample(i, d, r, 0.3, 20.0).target_kloc).sum::<f64>() / 80.0
+            (0..80)
+                .map(|i| AppSpec::sample(i, d, r, 0.3, 20.0).target_kloc)
+                .sum::<f64>()
+                / 80.0
         };
         let c = mean(Dialect::C, &mut r);
         let py = mean(Dialect::Python, &mut r);

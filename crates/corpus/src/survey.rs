@@ -23,7 +23,13 @@ pub enum Venue {
 }
 
 impl Venue {
-    pub const ALL: [Venue; 5] = [Venue::Ccs, Venue::Pldi, Venue::Sosp, Venue::Asplos, Venue::Eurosys];
+    pub const ALL: [Venue; 5] = [
+        Venue::Ccs,
+        Venue::Pldi,
+        Venue::Sosp,
+        Venue::Asplos,
+        Venue::Eurosys,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -95,13 +101,25 @@ const FILLER_SENTENCES: &[&str] = &[
 ];
 
 const TITLE_STEMS: &[&str] = &[
-    "Efficient Isolation for", "Rethinking", "A Verified Stack for", "Scalable", "Practical",
-    "Fast and Safe", "Transparent", "Lightweight",
+    "Efficient Isolation for",
+    "Rethinking",
+    "A Verified Stack for",
+    "Scalable",
+    "Practical",
+    "Fast and Safe",
+    "Transparent",
+    "Lightweight",
 ];
 
 const TITLE_TOPICS: &[&str] = &[
-    "Serverless Runtimes", "Kernel Extensions", "Distributed Snapshots", "Memory Tiering",
-    "Enclave Computing", "Network Functions", "File Systems", "Browser Sandboxes",
+    "Serverless Runtimes",
+    "Kernel Extensions",
+    "Distributed Snapshots",
+    "Memory Tiering",
+    "Enclave Computing",
+    "Network Functions",
+    "File Systems",
+    "Browser Sandboxes",
 ];
 
 /// Generate the proceedings corpus, calibrated to the Figure 1 totals.
@@ -224,7 +242,10 @@ mod tests {
         let papers = generate_proceedings(1);
         let truth_loc = papers.iter().filter(|p| p.truth.lines_of_code).count();
         let truth_cve = papers.iter().filter(|p| p.truth.cve_counts).count();
-        let truth_fv = papers.iter().filter(|p| p.truth.formal_verification).count();
+        let truth_fv = papers
+            .iter()
+            .filter(|p| p.truth.formal_verification)
+            .count();
         assert_eq!(truth_loc, 384);
         assert_eq!(truth_cve, 116);
         assert_eq!(truth_fv, 31);

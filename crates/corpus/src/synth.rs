@@ -78,7 +78,14 @@ pub fn synthesize(spec: &AppSpec, seeds: &[(Cwe, bool)]) -> SynthOutput {
                 1 => Type::Void,
                 _ => Type::Str,
             };
-            plans.push(FnPlan { name, module: m, params, ret, annotations: vec![], seed: None });
+            plans.push(FnPlan {
+                name,
+                module: m,
+                params,
+                ret,
+                annotations: vec![],
+                seed: None,
+            });
         }
     }
 
@@ -120,8 +127,7 @@ pub fn synthesize(spec: &AppSpec, seeds: &[(Cwe, bool)]) -> SynthOutput {
         let candidates: Vec<usize> = (0..plans.len())
             .filter(|i| !used.contains(i))
             .filter(|&i| {
-                let is_endpoint =
-                    plans[i].annotations.iter().any(|a| a.is_endpoint());
+                let is_endpoint = plans[i].annotations.iter().any(|a| a.is_endpoint());
                 if exposed {
                     is_endpoint || i >= endpoint_count
                 } else {
@@ -162,7 +168,8 @@ pub fn synthesize(spec: &AppSpec, seeds: &[(Cwe, bool)]) -> SynthOutput {
         used.push(idx);
         let plan = &mut plans[idx];
         if exposed && !plan.annotations.iter().any(|a| a.is_endpoint()) {
-            plan.annotations.push(Annotation::Endpoint(ChannelKind::Network));
+            plan.annotations
+                .push(Annotation::Endpoint(ChannelKind::Network));
             if plan.params.is_empty() {
                 plan.params.push(("req".into(), Type::Str));
             } else {
@@ -170,8 +177,9 @@ pub fn synthesize(spec: &AppSpec, seeds: &[(Cwe, bool)]) -> SynthOutput {
             }
         }
         plan.seed = Some((cwe, exposed));
-        let priv_root =
-            plan.annotations.contains(&Annotation::Priv(PrivLevel::Root));
+        let priv_root = plan
+            .annotations
+            .contains(&Annotation::Priv(PrivLevel::Root));
         seeded.push(SeededVuln {
             cwe,
             function: plan.name.clone(),
@@ -196,7 +204,11 @@ pub fn synthesize(spec: &AppSpec, seeds: &[(Cwe, bool)]) -> SynthOutput {
         for g in 0..rng.gen_range(0..3usize) {
             module.globals.push(Global {
                 name: format!("g_{m}_{g}"),
-                ty: if rng.gen_bool(0.7) { Type::Int } else { Type::Str },
+                ty: if rng.gen_bool(0.7) {
+                    Type::Int
+                } else {
+                    Type::Str
+                },
                 init: rng.gen_bool(0.6).then(|| Expr::int(rng.gen_range(0..100))),
                 span: Span::dummy(),
             });
@@ -223,7 +235,11 @@ pub fn synthesize(spec: &AppSpec, seeds: &[(Cwe, bool)]) -> SynthOutput {
                 params: plan
                     .params
                     .iter()
-                    .map(|(n, t)| Param { name: n.clone(), ty: t.clone(), span: Span::dummy() })
+                    .map(|(n, t)| Param {
+                        name: n.clone(),
+                        ty: t.clone(),
+                        span: Span::dummy(),
+                    })
                     .collect(),
                 ret: plan.ret.clone(),
                 body,
@@ -241,12 +257,16 @@ pub fn synthesize(spec: &AppSpec, seeds: &[(Cwe, bool)]) -> SynthOutput {
     let program = minilang::parse_program(&spec.name, spec.dialect, &files)
         .unwrap_or_else(|e| panic!("synthesized program failed to parse: {e}"));
 
-    SynthOutput { files, program, seeded }
+    SynthOutput {
+        files,
+        program,
+        seeded,
+    }
 }
 
 const FN_STEMS: &[&str] = &[
-    "handle", "parse", "process", "dispatch", "update", "compute", "format", "validate",
-    "encode", "decode", "lookup", "flush", "init", "scan", "merge", "route",
+    "handle", "parse", "process", "dispatch", "update", "compute", "format", "validate", "encode",
+    "decode", "lookup", "flush", "init", "scan", "merge", "route",
 ];
 
 const COMMENTS: &[&str] = &[
@@ -295,7 +315,11 @@ impl BodyGen<'_> {
 
         // Body length: low review quality produces occasional long methods.
         let base_len = self.rng.gen_range(4..14);
-        let long_tail = if self.rng.gen_bool((1.0 - self.quality) * 0.15) { 55 } else { 0 };
+        let long_tail = if self.rng.gen_bool((1.0 - self.quality) * 0.15) {
+            55
+        } else {
+            0
+        };
         let len = base_len + long_tail;
 
         // Leading declarations.
@@ -309,7 +333,11 @@ impl BodyGen<'_> {
                 ),
                 _ => (Type::Int, Some(Expr::int(self.rng.gen_range(0..64)))),
             };
-            stmts.push(stmt(StmtKind::Let { name: name.clone(), ty: ty.clone(), init }));
+            stmts.push(stmt(StmtKind::Let {
+                name: name.clone(),
+                ty: ty.clone(),
+                init,
+            }));
             locals.push((name, ty));
         }
 
@@ -325,9 +353,7 @@ impl BodyGen<'_> {
                     then_branch: Block::new(vec![self.return_stmt()], Span::dummy()),
                     else_branch: None,
                 }));
-            } else if let Some((pname, _)) =
-                self.params.iter().find(|(_, t)| *t == Type::Str)
-            {
+            } else if let Some((pname, _)) = self.params.iter().find(|(_, t)| *t == Type::Str) {
                 stmts.push(stmt(StmtKind::If {
                     cond: Expr::binary(
                         BinaryOp::Gt,
@@ -390,7 +416,11 @@ impl BodyGen<'_> {
             .filter(|(_, t)| *t == Type::Int)
             .map(|(n, _)| n.as_str())
             .collect();
-        match (int_locals.is_empty(), int_params.is_empty(), self.rng.gen_range(0..3)) {
+        match (
+            int_locals.is_empty(),
+            int_params.is_empty(),
+            self.rng.gen_range(0..3),
+        ) {
             (false, _, 0) => Expr::var(int_locals[self.rng.gen_range(0..int_locals.len())]),
             (_, false, 1) => Expr::var(int_params[self.rng.gen_range(0..int_params.len())]),
             _ => Expr::int(self.rng.gen_range(0..256)),
@@ -421,7 +451,10 @@ impl BodyGen<'_> {
                         value: Expr::binary(op, a, b),
                     })
                 } else {
-                    stmt(StmtKind::Expr(Expr::call("log_msg", vec![Expr::str_lit("step")])))
+                    stmt(StmtKind::Expr(Expr::call(
+                        "log_msg",
+                        vec![Expr::str_lit("step")],
+                    )))
                 }
             }
             // New declaration.
@@ -429,7 +462,11 @@ impl BodyGen<'_> {
                 let name = format!("t{}", locals.len());
                 let init = self.int_operand(locals);
                 locals.push((name.clone(), Type::Int));
-                stmt(StmtKind::Let { name, ty: Type::Int, init: Some(init) })
+                stmt(StmtKind::Let {
+                    name,
+                    ty: Type::Int,
+                    init: Some(init),
+                })
             }
             // Branch.
             3 | 4 => {
@@ -445,7 +482,10 @@ impl BodyGen<'_> {
                         value: Expr::int(1),
                     })
                 } else {
-                    stmt(StmtKind::Expr(Expr::call("log_msg", vec![Expr::str_lit("branch")])))
+                    stmt(StmtKind::Expr(Expr::call(
+                        "log_msg",
+                        vec![Expr::str_lit("branch")],
+                    )))
                 };
                 let with_else = self.rng.gen_bool(0.4);
                 stmt(StmtKind::If {
@@ -544,11 +584,7 @@ impl BodyGen<'_> {
                             init: Some(Expr::int(0)),
                         }),
                         stmt(StmtKind::While {
-                            cond: Expr::binary(
-                                BinaryOp::Lt,
-                                Expr::var(&name),
-                                Expr::int(bound),
-                            ),
+                            cond: Expr::binary(BinaryOp::Lt, Expr::var(&name), Expr::int(bound)),
                             body: Block::new(
                                 vec![stmt(StmtKind::Assign {
                                     target: LValue::Var(name.clone(), Span::dummy()),
@@ -592,7 +628,10 @@ impl BodyGen<'_> {
                 }
             }
             // Benign I/O (logging / metrics).
-            _ => stmt(StmtKind::Expr(Expr::call("log_msg", vec![Expr::str_lit("ok")]))),
+            _ => stmt(StmtKind::Expr(Expr::call(
+                "log_msg",
+                vec![Expr::str_lit("ok")],
+            ))),
         }
     }
 
@@ -666,10 +705,17 @@ mod tests {
         let seeds = vec![(Cwe::StackBufferOverflow, true), (Cwe::FormatString, false)];
         let out = synthesize(&spec(1.2, 5), &seeds);
         assert_eq!(out.seeded.len(), 2);
-        let carrier = out.seeded.iter().find(|s| s.cwe == Cwe::StackBufferOverflow).unwrap();
+        let carrier = out
+            .seeded
+            .iter()
+            .find(|s| s.cwe == Cwe::StackBufferOverflow)
+            .unwrap();
         assert!(carrier.exposed);
         // The carrier function exists and is an endpoint (exposed seed).
-        let f = out.program.find_function(&carrier.function).expect("carrier exists");
+        let f = out
+            .program
+            .find_function(&carrier.function)
+            .expect("carrier exists");
         assert!(!f.endpoint_channels().is_empty());
     }
 
@@ -688,9 +734,8 @@ mod tests {
     fn size_tracks_target_roughly() {
         let small = synthesize(&spec(0.4, 3), &[]);
         let big = synthesize(&spec(4.0, 3), &[]);
-        let lines = |o: &SynthOutput| -> usize {
-            o.files.iter().map(|(_, s)| s.lines().count()).sum()
-        };
+        let lines =
+            |o: &SynthOutput| -> usize { o.files.iter().map(|(_, s)| s.lines().count()).sum() };
         assert!(lines(&big) > 4 * lines(&small));
     }
 
@@ -719,7 +764,11 @@ mod tests {
         let comment_lines = |o: &SynthOutput| -> usize {
             o.files
                 .iter()
-                .map(|(_, s)| s.lines().filter(|l| l.trim_start().starts_with("//")).count())
+                .map(|(_, s)| {
+                    s.lines()
+                        .filter(|l| l.trim_start().starts_with("//"))
+                        .count()
+                })
                 .sum()
         };
         let lo_out = synthesize(&lo, &[]);

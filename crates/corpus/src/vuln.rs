@@ -31,7 +31,11 @@ fn stmt(kind: StmtKind) -> Stmt {
 }
 
 fn let_str(name: &str, init: Expr) -> Stmt {
-    stmt(StmtKind::Let { name: name.into(), ty: Type::Str, init: Some(init) })
+    stmt(StmtKind::Let {
+        name: name.into(),
+        ty: Type::Str,
+        init: Some(init),
+    })
 }
 
 /// The attacker-controlled string expression for this carrier: a string
@@ -57,7 +61,7 @@ fn tainted_int(int_params: &[&str], str_params: &[&str], rng: &mut StdRng) -> Ex
 /// Unknown/unseedable classes fall back to the closest modelled pattern
 /// (documented per arm) so the function is total over [`Cwe::ALL`].
 pub fn recipe(cwe: Cwe, str_params: &[&str], int_params: &[&str], rng: &mut StdRng) -> Vec<Stmt> {
-    let cap = [16i64, 32, 64, 128][rng.gen_range(0..4)];
+    let cap = [16i64, 32, 64, 128][rng.gen_range(0..4usize)];
     match cwe {
         // Stack buffer overflow: unbounded copy of attacker data into a
         // fixed stack buffer.
@@ -125,7 +129,10 @@ pub fn recipe(cwe: Cwe, str_params: &[&str], int_params: &[&str], rng: &mut StdR
             let n = tainted_int(int_params, str_params, rng);
             let m = tainted_int(int_params, str_params, rng);
             vec![
-                let_str("obuf", Expr::call("alloc", vec![Expr::binary(BinaryOp::Mul, n, m)])),
+                let_str(
+                    "obuf",
+                    Expr::call("alloc", vec![Expr::binary(BinaryOp::Mul, n, m)]),
+                ),
                 stmt(StmtKind::Expr(Expr::call("free", vec![Expr::var("obuf")]))),
             ]
         }
@@ -134,7 +141,10 @@ pub fn recipe(cwe: Cwe, str_params: &[&str], int_params: &[&str], rng: &mut StdR
         // up-front validation for seeded carriers of this class).
         Cwe::ImproperInputValidation => vec![stmt(StmtKind::Expr(Expr::call(
             "write_file",
-            vec![Expr::str_lit("/var/lib/state"), tainted_str(str_params, rng)],
+            vec![
+                Expr::str_lit("/var/lib/state"),
+                tainted_str(str_params, rng),
+            ],
         )))],
         // Path traversal: attacker-controlled path opened directly.
         Cwe::PathTraversal => vec![
@@ -183,7 +193,10 @@ pub fn recipe(cwe: Cwe, str_params: &[&str], int_params: &[&str], rng: &mut StdR
         // Information exposure: secret material written to an
         // attacker-observable channel.
         Cwe::InfoExposure => vec![
-            let_str("secret_key", Expr::call("getenv", vec![Expr::str_lit("API_SECRET")])),
+            let_str(
+                "secret_key",
+                Expr::call("getenv", vec![Expr::str_lit("API_SECRET")]),
+            ),
             stmt(StmtKind::Expr(Expr::call(
                 "send",
                 vec![Expr::int(0), Expr::var("secret_key")],
@@ -191,10 +204,17 @@ pub fn recipe(cwe: Cwe, str_params: &[&str], int_params: &[&str], rng: &mut StdR
         ],
         // Uninitialized variable use.
         Cwe::UninitializedVariable => vec![
-            stmt(StmtKind::Let { name: "uv".into(), ty: Type::Int, init: None }),
+            stmt(StmtKind::Let {
+                name: "uv".into(),
+                ty: Type::Int,
+                init: None,
+            }),
             stmt(StmtKind::Expr(Expr::call(
                 "printf",
-                vec![Expr::str_lit("%d"), Expr::binary(BinaryOp::Add, Expr::var("uv"), Expr::int(1))],
+                vec![
+                    Expr::str_lit("%d"),
+                    Expr::binary(BinaryOp::Add, Expr::var("uv"), Expr::int(1)),
+                ],
             ))),
         ],
         // Improper / missing authentication: a privileged action guarded by
@@ -231,7 +251,10 @@ pub fn recipe(cwe: Cwe, str_params: &[&str], int_params: &[&str], rng: &mut StdR
         Cwe::UseAfterFree => vec![
             let_str("uaf", Expr::call("alloc", vec![Expr::int(cap)])),
             stmt(StmtKind::Expr(Expr::call("free", vec![Expr::var("uaf")]))),
-            stmt(StmtKind::Expr(Expr::call("log_msg", vec![Expr::var("uaf")]))),
+            stmt(StmtKind::Expr(Expr::call(
+                "log_msg",
+                vec![Expr::var("uaf")],
+            ))),
         ],
         Cwe::NullDereference => vec![
             stmt(StmtKind::Let {
@@ -270,8 +293,16 @@ mod tests {
             functions: vec![Function {
                 name: "carrier".into(),
                 params: vec![
-                    Param { name: "req".into(), ty: Type::Str, span: Span::dummy() },
-                    Param { name: "n".into(), ty: Type::Int, span: Span::dummy() },
+                    Param {
+                        name: "req".into(),
+                        ty: Type::Str,
+                        span: Span::dummy(),
+                    },
+                    Param {
+                        name: "n".into(),
+                        ty: Type::Int,
+                        span: Span::dummy(),
+                    },
                 ],
                 ret: Type::Void,
                 body: Block::new(stmts, Span::dummy()),
@@ -289,7 +320,10 @@ mod tests {
         for cwe in Cwe::ALL {
             let m = harness(cwe);
             assert_eq!(m.functions.len(), 1);
-            assert!(!m.functions[0].body.stmts.is_empty(), "{cwe} emitted no code");
+            assert!(
+                !m.functions[0].body.stmts.is_empty(),
+                "{cwe} emitted no code"
+            );
         }
     }
 
@@ -308,8 +342,11 @@ mod tests {
     #[test]
     fn format_string_recipe_triggers_fmtcheck() {
         let m = harness(Cwe::FormatString);
-        let program =
-            minilang::Program { name: "t".into(), dialect: Dialect::C, modules: vec![m] };
+        let program = minilang::Program {
+            name: "t".into(),
+            dialect: Dialect::C,
+            modules: vec![m],
+        };
         let report = bugfind::MetaTool::new().run(&program);
         assert!(report.count_cwe(134) >= 1);
     }
@@ -317,8 +354,11 @@ mod tests {
     #[test]
     fn toctou_recipe_triggers_racecheck() {
         let m = harness(Cwe::Toctou);
-        let program =
-            minilang::Program { name: "t".into(), dialect: Dialect::C, modules: vec![m] };
+        let program = minilang::Program {
+            name: "t".into(),
+            dialect: Dialect::C,
+            modules: vec![m],
+        };
         let report = bugfind::MetaTool::new().run(&program);
         assert!(report.count_cwe(367) >= 1);
     }
@@ -326,8 +366,11 @@ mod tests {
     #[test]
     fn credential_recipe_triggers_credcheck() {
         let m = harness(Cwe::HardcodedCredentials);
-        let program =
-            minilang::Program { name: "t".into(), dialect: Dialect::C, modules: vec![m] };
+        let program = minilang::Program {
+            name: "t".into(),
+            dialect: Dialect::C,
+            modules: vec![m],
+        };
         let report = bugfind::MetaTool::new().run(&program);
         assert!(report.count_cwe(798) >= 1);
     }
@@ -335,8 +378,11 @@ mod tests {
     #[test]
     fn command_injection_recipe_creates_taint_flow() {
         let m = harness(Cwe::CommandInjection);
-        let program =
-            minilang::Program { name: "t".into(), dialect: Dialect::C, modules: vec![m] };
+        let program = minilang::Program {
+            name: "t".into(),
+            dialect: Dialect::C,
+            modules: vec![m],
+        };
         let taint = static_analysis::taint::analyze(&program);
         assert_eq!(taint.flows.len(), 1);
         assert!(taint.flows[0].via_parameters);
@@ -345,7 +391,11 @@ mod tests {
     #[test]
     fn recipes_without_params_still_work() {
         let mut rng = StdRng::seed_from_u64(2);
-        for cwe in [Cwe::CommandInjection, Cwe::FormatString, Cwe::IntegerOverflow] {
+        for cwe in [
+            Cwe::CommandInjection,
+            Cwe::FormatString,
+            Cwe::IntegerOverflow,
+        ] {
             let stmts = recipe(cwe, &[], &[], &mut rng);
             assert!(!stmts.is_empty());
         }

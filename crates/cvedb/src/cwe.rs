@@ -146,7 +146,9 @@ impl Cwe {
             | Cwe::NullDereference
             | Cwe::UninitializedVariable
             | Cwe::IntegerOverflow => CweCategory::MemorySafety,
-            Cwe::CommandInjection | Cwe::SqlInjection | Cwe::CrossSiteScripting
+            Cwe::CommandInjection
+            | Cwe::SqlInjection
+            | Cwe::CrossSiteScripting
             | Cwe::FormatString => CweCategory::Injection,
             Cwe::ImproperInputValidation | Cwe::PathTraversal => CweCategory::InputValidation,
             Cwe::ImproperAuthentication
@@ -234,7 +236,10 @@ mod tests {
     fn papers_worked_example_is_cwe_121() {
         assert_eq!(Cwe::StackBufferOverflow.id(), 121);
         assert_eq!(Cwe::StackBufferOverflow.to_string(), "CWE-121");
-        assert_eq!(Cwe::StackBufferOverflow.category(), CweCategory::MemorySafety);
+        assert_eq!(
+            Cwe::StackBufferOverflow.category(),
+            CweCategory::MemorySafety
+        );
         assert!(Cwe::StackBufferOverflow.requires_memory_unsafety());
     }
 

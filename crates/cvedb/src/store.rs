@@ -273,7 +273,10 @@ mod tests {
         let selected = db.select(&SelectionCriteria::default());
         let names: Vec<&str> = selected.iter().map(|h| h.app.as_str()).collect();
         assert!(names.contains(&"httpd"));
-        assert!(!names.contains(&"libtiny"), "short history must be excluded");
+        assert!(
+            !names.contains(&"libtiny"),
+            "short history must be excluded"
+        );
     }
 
     #[test]
@@ -281,7 +284,10 @@ mod tests {
         let db = sample_db();
         let selected = db.select(&SelectionCriteria::default());
         let names: Vec<&str> = selected.iter().map(|h| h.app.as_str()).collect();
-        assert!(!names.contains(&"booming"), "boom-phase app must be excluded");
+        assert!(
+            !names.contains(&"booming"),
+            "boom-phase app must be excluded"
+        );
     }
 
     #[test]

@@ -123,9 +123,7 @@ pub struct Cvss2 {
 impl Cvss2 {
     /// Impact = 10.41 × (1 − (1−C)(1−I)(1−A)).
     pub fn impact(&self) -> f64 {
-        10.41
-            * (1.0
-                - (1.0 - self.c.weight()) * (1.0 - self.i.weight()) * (1.0 - self.a.weight()))
+        10.41 * (1.0 - (1.0 - self.c.weight()) * (1.0 - self.i.weight()) * (1.0 - self.a.weight()))
     }
 
     /// Exploitability = 20 × AV × AC × Au.
@@ -193,7 +191,9 @@ impl FromStr for Cvss2 {
         let mut i = None;
         let mut a = None;
         for part in body.split('/') {
-            let (key, value) = part.split_once(':').ok_or_else(|| err("metric missing `:`"))?;
+            let (key, value) = part
+                .split_once(':')
+                .ok_or_else(|| err("metric missing `:`"))?;
             match key {
                 "AV" => {
                     av = Some(match value {
@@ -299,9 +299,19 @@ mod tests {
 
     #[test]
     fn severity_mapping() {
-        assert_eq!("AV:N/AC:L/Au:N/C:C/I:C/A:C".parse::<Cvss2>().unwrap().severity(),
-                   Severity::Critical);
-        assert_eq!("AV:N/AC:L/Au:N/C:N/I:N/A:P".parse::<Cvss2>().unwrap().severity(),
-                   Severity::Medium);
+        assert_eq!(
+            "AV:N/AC:L/Au:N/C:C/I:C/A:C"
+                .parse::<Cvss2>()
+                .unwrap()
+                .severity(),
+            Severity::Critical
+        );
+        assert_eq!(
+            "AV:N/AC:L/Au:N/C:N/I:N/A:P"
+                .parse::<Cvss2>()
+                .unwrap()
+                .severity(),
+            Severity::Medium
+        );
     }
 }

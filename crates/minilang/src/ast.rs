@@ -24,7 +24,11 @@ pub struct Program {
 impl Program {
     /// Create an empty program.
     pub fn new(name: impl Into<String>, dialect: Dialect) -> Self {
-        Program { name: name.into(), dialect, modules: Vec::new() }
+        Program {
+            name: name.into(),
+            dialect,
+            modules: Vec::new(),
+        }
     }
 
     /// Iterate all functions across all modules.
@@ -262,18 +266,39 @@ impl Stmt {
 #[derive(Debug, Clone, PartialEq)]
 pub enum StmtKind {
     /// `let name: ty = init;`
-    Let { name: String, ty: Type, init: Option<Expr> },
+    Let {
+        name: String,
+        ty: Type,
+        init: Option<Expr>,
+    },
     /// `lhs = rhs;` or `lhs[i] = rhs;` — `op` is `None` for plain `=`,
     /// or the compound operator for `+=` etc.
-    Assign { target: LValue, op: Option<BinaryOp>, value: Expr },
+    Assign {
+        target: LValue,
+        op: Option<BinaryOp>,
+        value: Expr,
+    },
     /// `if cond { .. } else { .. }`
-    If { cond: Expr, then_branch: Block, else_branch: Option<Block> },
+    If {
+        cond: Expr,
+        then_branch: Block,
+        else_branch: Option<Block>,
+    },
     /// `while cond { .. }`
     While { cond: Expr, body: Block },
     /// `for init; cond; step { .. }` — `init`/`step` are simple statements.
-    For { init: Option<Box<Stmt>>, cond: Option<Expr>, step: Option<Box<Stmt>>, body: Block },
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Box<Stmt>>,
+        body: Block,
+    },
     /// `switch expr { case k: {..} ... default: {..} }`
-    Switch { scrutinee: Expr, cases: Vec<SwitchCase>, default: Option<Block> },
+    Switch {
+        scrutinee: Expr,
+        cases: Vec<SwitchCase>,
+        default: Option<Block>,
+    },
     /// `break;`
     Break,
     /// `continue;`
@@ -300,7 +325,11 @@ pub enum LValue {
     /// `x = ..`
     Var(String, Span),
     /// `buf[i] = ..`
-    Index { base: String, index: Expr, span: Span },
+    Index {
+        base: String,
+        index: Expr,
+        span: Span,
+    },
 }
 
 impl LValue {
@@ -346,11 +375,24 @@ impl Expr {
     }
 
     pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Self {
-        Expr::new(ExprKind::Call { callee: name.into(), args }, Span::dummy())
+        Expr::new(
+            ExprKind::Call {
+                callee: name.into(),
+                args,
+            },
+            Span::dummy(),
+        )
     }
 
     pub fn binary(op: BinaryOp, lhs: Expr, rhs: Expr) -> Self {
-        Expr::new(ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, Span::dummy())
+        Expr::new(
+            ExprKind::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            },
+            Span::dummy(),
+        )
     }
 }
 
@@ -363,11 +405,24 @@ pub enum ExprKind {
     Bool(bool),
     Var(String),
     /// `buf[i]`
-    Index { base: Box<Expr>, index: Box<Expr> },
-    Unary { op: UnaryOp, operand: Box<Expr> },
-    Binary { op: BinaryOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Index {
+        base: Box<Expr>,
+        index: Box<Expr>,
+    },
+    Unary {
+        op: UnaryOp,
+        operand: Box<Expr>,
+    },
+    Binary {
+        op: BinaryOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     /// `callee(args...)` — callee may be a user function or an intrinsic.
-    Call { callee: String, args: Vec<Expr> },
+    Call {
+        callee: String,
+        args: Vec<Expr>,
+    },
 }
 
 /// Unary operators.
@@ -450,7 +505,10 @@ impl BinaryOp {
 
     /// True for arithmetic operators that can overflow an `int`.
     pub fn can_overflow(self) -> bool {
-        matches!(self, BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Shl)
+        matches!(
+            self,
+            BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Shl
+        )
     }
 }
 
@@ -489,13 +547,19 @@ mod tests {
 
     #[test]
     fn buffer_capacity() {
-        assert_eq!(Type::Array(Box::new(Type::Int), 64).buffer_capacity(), Some(64));
+        assert_eq!(
+            Type::Array(Box::new(Type::Int), 64).buffer_capacity(),
+            Some(64)
+        );
         assert_eq!(Type::Int.buffer_capacity(), None);
     }
 
     #[test]
     fn type_display() {
-        assert_eq!(Type::Array(Box::new(Type::Str), 256).to_string(), "str[256]");
+        assert_eq!(
+            Type::Array(Box::new(Type::Str), 256).to_string(),
+            "str[256]"
+        );
         assert_eq!(Type::Void.to_string(), "void");
     }
 
@@ -521,7 +585,11 @@ mod tests {
 
     #[test]
     fn lvalue_base_name() {
-        let lv = LValue::Index { base: "buf".into(), index: Expr::int(3), span: Span::dummy() };
+        let lv = LValue::Index {
+            base: "buf".into(),
+            index: Expr::int(3),
+            span: Span::dummy(),
+        };
         assert_eq!(lv.base_name(), "buf");
         assert_eq!(LValue::Var("x".into(), Span::dummy()).base_name(), "x");
     }

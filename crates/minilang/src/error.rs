@@ -12,7 +12,10 @@ pub struct LexError {
 
 impl LexError {
     pub fn new(message: impl Into<String>, span: Span) -> Self {
-        LexError { message: message.into(), span }
+        LexError {
+            message: message.into(),
+            span,
+        }
     }
 }
 
@@ -33,7 +36,10 @@ pub struct ParseError {
 
 impl ParseError {
     pub fn new(message: impl Into<String>, span: Span) -> Self {
-        ParseError { message: message.into(), span }
+        ParseError {
+            message: message.into(),
+            span,
+        }
     }
 }
 
@@ -47,7 +53,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, span: e.span }
+        ParseError {
+            message: e.message,
+            span: e.span,
+        }
     }
 }
 

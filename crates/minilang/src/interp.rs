@@ -25,11 +25,17 @@ pub struct TValue {
 
 impl TValue {
     pub fn clean(value: Value) -> TValue {
-        TValue { value, tainted: false }
+        TValue {
+            value,
+            tainted: false,
+        }
     }
 
     pub fn tainted(value: Value) -> TValue {
-        TValue { value, tainted: true }
+        TValue {
+            value,
+            tainted: true,
+        }
     }
 
     fn truthy(&self) -> bool {
@@ -153,11 +159,7 @@ enum Flow {
 
 /// Run `function` of `program` with every parameter set to an
 /// attacker-controlled value (the paper's threat model for endpoints).
-pub fn run_function(
-    program: &Program,
-    function: &str,
-    config: &InterpConfig,
-) -> ExecutionTrace {
+pub fn run_function(program: &Program, function: &str, config: &InterpConfig) -> ExecutionTrace {
     let mut interp = Interp {
         program,
         config,
@@ -167,7 +169,11 @@ pub fn run_function(
     let Some(f) = program.find_function(function) else {
         return interp.trace;
     };
-    let args: Vec<TValue> = f.params.iter().map(|p| interp.attacker_value(&p.ty)).collect();
+    let args: Vec<TValue> = f
+        .params
+        .iter()
+        .map(|p| interp.attacker_value(&p.ty))
+        .collect();
     let flow = interp.call(f, args, 0);
     interp.trace.completed = matches!(flow, Flow::Normal | Flow::Return(_));
     interp.trace
@@ -190,10 +196,9 @@ impl<'a> Interp<'a> {
             Type::Float => TValue::tainted(Value::Float(1e9)),
             Type::Bool => TValue::tainted(Value::Bool(true)),
             Type::Str => TValue::tainted(Value::Str(self.config.attacker_string.clone())),
-            Type::Array(elem, n) => TValue::tainted(Value::Array(vec![
-                self.attacker_value(elem);
-                (*n).min(64)
-            ])),
+            Type::Array(elem, n) => {
+                TValue::tainted(Value::Array(vec![self.attacker_value(elem); (*n).min(64)]))
+            }
             Type::Void => TValue::clean(Value::Void),
         }
     }
@@ -204,10 +209,9 @@ impl<'a> Interp<'a> {
             Type::Float => TValue::clean(Value::Float(0.0)),
             Type::Bool => TValue::clean(Value::Bool(false)),
             Type::Str => TValue::clean(Value::Str(String::new())),
-            Type::Array(elem, n) => TValue::clean(Value::Array(vec![
-                self.default_value(elem);
-                (*n).min(4096)
-            ])),
+            Type::Array(elem, n) => {
+                TValue::clean(Value::Array(vec![self.default_value(elem); (*n).min(4096)]))
+            }
             Type::Void => TValue::clean(Value::Void),
         }
     }
@@ -291,7 +295,11 @@ impl<'a> Interp<'a> {
                 }
                 Flow::Normal
             }
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let taken = self.eval(cond, env, depth).truthy();
                 if taken {
                     self.trace.branches_true += 1;
@@ -322,11 +330,15 @@ impl<'a> Interp<'a> {
                         other => return other,
                     }
                 }
-                self.trace.max_loop_iterations =
-                    self.trace.max_loop_iterations.max(iterations);
+                self.trace.max_loop_iterations = self.trace.max_loop_iterations.max(iterations);
                 Flow::Normal
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 if let Some(i) = init {
                     match self.stmt(i, env, depth) {
                         Flow::Normal => {}
@@ -362,11 +374,14 @@ impl<'a> Interp<'a> {
                         }
                     }
                 }
-                self.trace.max_loop_iterations =
-                    self.trace.max_loop_iterations.max(iterations);
+                self.trace.max_loop_iterations = self.trace.max_loop_iterations.max(iterations);
                 Flow::Normal
             }
-            StmtKind::Switch { scrutinee, cases, default } => {
+            StmtKind::Switch {
+                scrutinee,
+                cases,
+                default,
+            } => {
                 let v = self.eval(scrutinee, env, depth).value.as_int();
                 for case in cases {
                     if case.value == v {
@@ -432,7 +447,10 @@ impl<'a> Interp<'a> {
                     .get(idx.max(0) as usize)
                     .map(|&b| (b as char).to_string())
                     .unwrap_or_default();
-                TValue { value: Value::Str(ch), tainted }
+                TValue {
+                    value: Value::Str(ch),
+                    tainted,
+                }
             }
             _ => TValue::clean(Value::Int(0)),
         }
@@ -440,7 +458,10 @@ impl<'a> Interp<'a> {
 
     fn index_write(&mut self, base: &str, idx: i64, value: TValue, env: &mut Env) {
         match env.get_mut(base) {
-            Some(TValue { value: Value::Array(items), tainted }) => {
+            Some(TValue {
+                value: Value::Array(items),
+                tainted,
+            }) => {
                 if idx >= 0 && (idx as usize) < items.len() {
                     *tainted |= value.tainted;
                     items[idx as usize] = value;
@@ -473,23 +494,35 @@ impl<'a> Interp<'a> {
             BinaryOp::Mul => Value::Int(lhs.value.as_int().wrapping_mul(rhs.value.as_int())),
             BinaryOp::Div => {
                 let d = rhs.value.as_int();
-                Value::Int(if d == 0 { 0 } else { lhs.value.as_int().wrapping_div(d) })
+                Value::Int(if d == 0 {
+                    0
+                } else {
+                    lhs.value.as_int().wrapping_div(d)
+                })
             }
             BinaryOp::Rem => {
                 let d = rhs.value.as_int();
-                Value::Int(if d == 0 { 0 } else { lhs.value.as_int().wrapping_rem(d) })
+                Value::Int(if d == 0 {
+                    0
+                } else {
+                    lhs.value.as_int().wrapping_rem(d)
+                })
             }
             BinaryOp::And => Value::Bool(lhs.truthy() && rhs.truthy()),
             BinaryOp::Or => Value::Bool(lhs.truthy() || rhs.truthy()),
             BinaryOp::BitAnd => Value::Int(lhs.value.as_int() & rhs.value.as_int()),
             BinaryOp::BitOr => Value::Int(lhs.value.as_int() | rhs.value.as_int()),
             BinaryOp::BitXor => Value::Int(lhs.value.as_int() ^ rhs.value.as_int()),
-            BinaryOp::Shl => {
-                Value::Int(lhs.value.as_int().wrapping_shl(rhs.value.as_int() as u32 & 63))
-            }
-            BinaryOp::Shr => {
-                Value::Int(lhs.value.as_int().wrapping_shr(rhs.value.as_int() as u32 & 63))
-            }
+            BinaryOp::Shl => Value::Int(
+                lhs.value
+                    .as_int()
+                    .wrapping_shl(rhs.value.as_int() as u32 & 63),
+            ),
+            BinaryOp::Shr => Value::Int(
+                lhs.value
+                    .as_int()
+                    .wrapping_shr(rhs.value.as_int() as u32 & 63),
+            ),
             BinaryOp::Eq => Value::Bool(compare(&lhs.value, &rhs.value) == 0),
             BinaryOp::Ne => Value::Bool(compare(&lhs.value, &rhs.value) != 0),
             BinaryOp::Lt => Value::Bool(compare(&lhs.value, &rhs.value) < 0),
@@ -521,17 +554,26 @@ impl<'a> Interp<'a> {
                     UnaryOp::Neg => Value::Int(v.value.as_int().wrapping_neg()),
                     UnaryOp::Not => Value::Bool(!v.truthy()),
                 };
-                TValue { value, tainted: v.tainted }
+                TValue {
+                    value,
+                    tainted: v.tainted,
+                }
             }
             ExprKind::Binary { op, lhs, rhs } => {
                 let l = self.eval(lhs, env, depth);
                 // Short-circuit without evaluating the right side.
                 match op {
                     BinaryOp::And if !l.truthy() => {
-                        return TValue { value: Value::Bool(false), tainted: l.tainted }
+                        return TValue {
+                            value: Value::Bool(false),
+                            tainted: l.tainted,
+                        }
                     }
                     BinaryOp::Or if l.truthy() => {
-                        return TValue { value: Value::Bool(true), tainted: l.tainted }
+                        return TValue {
+                            value: Value::Bool(true),
+                            tainted: l.tainted,
+                        }
                     }
                     _ => {}
                 }
@@ -581,14 +623,24 @@ impl<'a> Interp<'a> {
                     .collect::<String>()
                     .parse()
                     .unwrap_or(self.config.attacker_int);
-                TValue { value: Value::Int(parsed), tainted: any_tainted }
+                TValue {
+                    value: Value::Int(parsed),
+                    tainted: any_tainted,
+                }
             }
             Strlen => {
                 let n = args.first().map(|a| a.value.as_str().len()).unwrap_or(0);
-                TValue { value: Value::Int(n as i64), tainted: any_tainted }
+                TValue {
+                    value: Value::Int(n as i64),
+                    tainted: any_tainted,
+                }
             }
             Hash => TValue {
-                value: Value::Int(args.first().map(|a| a.value.as_str().len() as i64 * 31).unwrap_or(0)),
+                value: Value::Int(
+                    args.first()
+                        .map(|a| a.value.as_str().len() as i64 * 31)
+                        .unwrap_or(0),
+                ),
                 tainted: any_tainted,
             },
             Strcpy | Strcat | Memcpy | Sprintf => {
@@ -621,19 +673,31 @@ impl<'a> Interp<'a> {
                     };
                     env.insert(
                         dst.clone(),
-                        TValue { value: new_value, tainted: payload.tainted },
+                        TValue {
+                            value: new_value,
+                            tainted: payload.tainted,
+                        },
                     );
                 }
                 TValue::clean(Value::Void)
             }
             Strncpy => {
-                let payload = args.get(1).cloned().unwrap_or(TValue::clean(Value::Str(String::new())));
-                let n = args.get(2).map(|a| a.value.as_int().max(0) as usize).unwrap_or(0);
+                let payload = args
+                    .get(1)
+                    .cloned()
+                    .unwrap_or(TValue::clean(Value::Str(String::new())));
+                let n = args
+                    .get(2)
+                    .map(|a| a.value.as_int().max(0) as usize)
+                    .unwrap_or(0);
                 if let Some(ExprKind::Var(dst)) = arg_exprs.first().map(|e| &e.kind) {
                     let truncated: String = payload.value.as_str().chars().take(n).collect();
                     env.insert(
                         dst.clone(),
-                        TValue { value: Value::Str(truncated), tainted: payload.tainted },
+                        TValue {
+                            value: Value::Str(truncated),
+                            tainted: payload.tainted,
+                        },
                     );
                 }
                 TValue::clean(Value::Void)
@@ -650,9 +714,7 @@ impl<'a> Interp<'a> {
             AuthCheck => TValue::clean(Value::Bool(false)),
             Access => TValue::clean(Value::Bool(true)),
             Open => TValue::clean(Value::Int(3)),
-            Printf | Send | WriteFile | Exec | System | LogMsg | Free => {
-                TValue::clean(Value::Void)
-            }
+            Printf | Send | WriteFile | Exec | System | LogMsg | Free => TValue::clean(Value::Void),
         }
     }
 }
@@ -741,7 +803,10 @@ mod tests {
 
     #[test]
     fn sanitized_value_is_clean_at_sink() {
-        let t = trace("fn f() { let s: str = read_input(); s = \"fixed\"; system(s); }", "f");
+        let t = trace(
+            "fn f() { let s: str = read_input(); s = \"fixed\"; system(s); }",
+            "f",
+        );
         assert_eq!(t.tainted_sink_calls, 0);
     }
 
@@ -770,7 +835,10 @@ mod tests {
 
     #[test]
     fn strcpy_overflow_detected_dynamically() {
-        let t = trace("fn handle(req: str) { let b: str[16]; strcpy(b, req); }", "handle");
+        let t = trace(
+            "fn handle(req: str) { let b: str[16]; strcpy(b, req); }",
+            "handle",
+        );
         // The synthetic attacker string is longer than any small buffer.
         assert!(t.oob_writes >= 1);
     }
@@ -827,10 +895,7 @@ mod tests {
 
     #[test]
     fn branch_bias_statistic() {
-        let t = trace(
-            "fn f() { let i: int = 0; while i < 3 { i += 1; } }",
-            "f",
-        );
+        let t = trace("fn f() { let i: int = 0; while i < 3 { i += 1; } }", "f");
         // 3 true + 1 false.
         assert!((t.branch_bias() - 0.75).abs() < 1e-12);
     }
@@ -844,7 +909,10 @@ mod tests {
 
     #[test]
     fn division_by_zero_is_total() {
-        let t = trace("fn f(n: int) { let x: int = 10 / (n - n); let y: int = 10 % (n - n); }", "f");
+        let t = trace(
+            "fn f(n: int) { let x: int = 10 / (n - n); let y: int = 10 % (n - n); }",
+            "f",
+        );
         assert!(t.completed);
     }
 }

@@ -227,7 +227,10 @@ mod tests {
     fn io_channels_cover_sources() {
         for i in Intrinsic::ALL {
             if i.is_taint_source() {
-                assert!(i.is_io_channel(), "{i} reads external data but is not a channel");
+                assert!(
+                    i.is_io_channel(),
+                    "{i} reads external data but is not a channel"
+                );
             }
         }
     }

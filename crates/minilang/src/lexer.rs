@@ -25,7 +25,15 @@ pub struct Lexer<'src> {
 impl<'src> Lexer<'src> {
     /// Create a lexer for `src` in the given dialect.
     pub fn new(src: &'src str, dialect: Dialect) -> Self {
-        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1, dialect, comments_skipped: 0 }
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            dialect,
+            comments_skipped: 0,
+        }
     }
 
     /// Tokenize the entire input, ending with a single [`TokenKind::Eof`].
@@ -108,10 +116,7 @@ impl<'src> Lexer<'src> {
                                 break;
                             }
                             if self.bump().is_none() {
-                                return Err(LexError::new(
-                                    "unterminated block comment",
-                                    open_span,
-                                ));
+                                return Err(LexError::new("unterminated block comment", open_span));
                             }
                         }
                         continue;
@@ -156,8 +161,8 @@ impl<'src> Lexer<'src> {
                 }
             }
             let text = &self.src[start..self.pos];
-            let kind = TokenKind::keyword(text)
-                .unwrap_or_else(|| TokenKind::Ident(text.to_string()));
+            let kind =
+                TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()));
             return Ok(Token::new(kind, span_from(self)));
         }
 
@@ -182,7 +187,10 @@ impl<'src> Lexer<'src> {
                 })?)
             } else {
                 TokenKind::Int(text.parse().map_err(|_| {
-                    LexError::new(format!("integer literal `{text}` out of range"), span_from(self))
+                    LexError::new(
+                        format!("integer literal `{text}` out of range"),
+                        span_from(self),
+                    )
                 })?)
             };
             return Ok(Token::new(kind, span_from(self)));
@@ -195,7 +203,10 @@ impl<'src> Lexer<'src> {
             loop {
                 match self.bump() {
                     None | Some(b'\n') => {
-                        return Err(LexError::new("unterminated string literal", span_from(self)))
+                        return Err(LexError::new(
+                            "unterminated string literal",
+                            span_from(self),
+                        ))
                     }
                     Some(b'"') => break,
                     Some(b'\\') => match self.bump() {
@@ -291,7 +302,12 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str, dialect: Dialect) -> Vec<TokenKind> {
-        Lexer::new(src, dialect).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+        Lexer::new(src, dialect)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -320,7 +336,11 @@ mod tests {
         let ks = kinds("a // comment\n/* block\nspanning */ b", Dialect::C);
         assert_eq!(
             ks,
-            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
         );
     }
 
@@ -329,7 +349,11 @@ mod tests {
         let ks = kinds("a # comment\n\"\"\" docstring \"\"\" b", Dialect::Python);
         assert_eq!(
             ks,
-            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
         );
     }
 
@@ -344,7 +368,12 @@ mod tests {
         let ks = kinds("42 3.25 7", Dialect::C);
         assert_eq!(
             ks,
-            vec![TokenKind::Int(42), TokenKind::Float(3.25), TokenKind::Int(7), TokenKind::Eof]
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(3.25),
+                TokenKind::Int(7),
+                TokenKind::Eof
+            ]
         );
     }
 
@@ -369,7 +398,9 @@ mod tests {
 
     #[test]
     fn unterminated_block_comment_is_error() {
-        let err = Lexer::new("/* never closed", Dialect::C).tokenize().unwrap_err();
+        let err = Lexer::new("/* never closed", Dialect::C)
+            .tokenize()
+            .unwrap_err();
         assert!(err.message.contains("unterminated block comment"));
     }
 
@@ -378,7 +409,13 @@ mod tests {
         let ks = kinds("<= < << =", Dialect::C);
         assert_eq!(
             ks,
-            vec![TokenKind::Le, TokenKind::Lt, TokenKind::Shl, TokenKind::Assign, TokenKind::Eof]
+            vec![
+                TokenKind::Le,
+                TokenKind::Lt,
+                TokenKind::Shl,
+                TokenKind::Assign,
+                TokenKind::Eof
+            ]
         );
     }
 

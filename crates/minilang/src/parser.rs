@@ -35,7 +35,13 @@ pub fn parse_module(path: &str, source: &str, dialect: Dialect) -> Result<Module
     let tokens = Lexer::new(source, dialect).tokenize()?;
     let mut parser = Parser::new(tokens);
     let (globals, functions) = parser.module_items()?;
-    Ok(Module { path: path.to_string(), dialect, source: source.to_string(), globals, functions })
+    Ok(Module {
+        path: path.to_string(),
+        dialect,
+        source: source.to_string(),
+        globals,
+        functions,
+    })
 }
 
 /// Parse a set of `(path, source)` files into a [`Program`].
@@ -97,7 +103,11 @@ impl Parser {
             Ok(self.advance())
         } else {
             Err(ParseError::new(
-                format!("expected {}, found {}", kind.describe(), self.peek_kind().describe()),
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    self.peek_kind().describe()
+                ),
                 self.peek().span,
             ))
         }
@@ -135,9 +145,18 @@ impl Parser {
         let (name, _) = self.expect_ident()?;
         self.expect(TokenKind::Colon)?;
         let ty = self.ty()?;
-        let init = if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
+        let init = if self.eat(&TokenKind::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let end = self.expect(TokenKind::Semi)?.span;
-        Ok(Global { name, ty, init, span: start.to(end) })
+        Ok(Global {
+            name,
+            ty,
+            init,
+            span: start.to(end),
+        })
     }
 
     fn annotations(&mut self) -> Result<Vec<Annotation>, ParseError> {
@@ -165,7 +184,10 @@ impl Parser {
                 ("untrusted", None) => Annotation::Untrusted,
                 ("deprecated", None) => Annotation::Deprecated,
                 _ => {
-                    return Err(ParseError::new(format!("unknown annotation `@{name}`"), span));
+                    return Err(ParseError::new(
+                        format!("unknown annotation `@{name}`"),
+                        span,
+                    ));
                 }
             };
             out.push(ann);
@@ -184,17 +206,32 @@ impl Parser {
                 let (pname, pspan) = self.expect_ident()?;
                 self.expect(TokenKind::Colon)?;
                 let ty = self.ty()?;
-                params.push(Param { name: pname, ty, span: pspan });
+                params.push(Param {
+                    name: pname,
+                    ty,
+                    span: pspan,
+                });
                 if !self.eat(&TokenKind::Comma) {
                     break;
                 }
             }
         }
         self.expect(TokenKind::RParen)?;
-        let ret = if self.eat(&TokenKind::Arrow) { self.ty()? } else { Type::Void };
+        let ret = if self.eat(&TokenKind::Arrow) {
+            self.ty()?
+        } else {
+            Type::Void
+        };
         let body = self.block()?;
         let span = start.to(body.span);
-        Ok(Function { name, params, ret, body, annotations, span })
+        Ok(Function {
+            name,
+            params,
+            ret,
+            body,
+            annotations,
+            span,
+        })
     }
 
     fn ty(&mut self) -> Result<Type, ParseError> {
@@ -251,7 +288,11 @@ impl Parser {
                 let (name, _) = self.expect_ident()?;
                 self.expect(TokenKind::Colon)?;
                 let ty = self.ty()?;
-                let init = if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
+                let init = if self.eat(&TokenKind::Assign) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
                 let end = self.expect(TokenKind::Semi)?.span;
                 Ok(Stmt::new(StmtKind::Let { name, ty, init }, start.to(end)))
             }
@@ -271,7 +312,11 @@ impl Parser {
                     Some(Box::new(self.simple_stmt()?))
                 };
                 self.expect(TokenKind::Semi)?;
-                let cond = if self.check(&TokenKind::Semi) { None } else { Some(self.expr()?) };
+                let cond = if self.check(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(TokenKind::Semi)?;
                 let step = if self.check(&TokenKind::LBrace) {
                     None
@@ -280,7 +325,15 @@ impl Parser {
                 };
                 let body = self.block()?;
                 let span = start.to(body.span);
-                Ok(Stmt::new(StmtKind::For { init, cond, step, body }, span))
+                Ok(Stmt::new(
+                    StmtKind::For {
+                        init,
+                        cond,
+                        step,
+                        body,
+                    },
+                    span,
+                ))
             }
             TokenKind::KwSwitch => {
                 self.advance();
@@ -330,7 +383,14 @@ impl Parser {
                     }
                 }
                 let end = self.expect(TokenKind::RBrace)?.span;
-                Ok(Stmt::new(StmtKind::Switch { scrutinee, cases, default }, start.to(end)))
+                Ok(Stmt::new(
+                    StmtKind::Switch {
+                        scrutinee,
+                        cases,
+                        default,
+                    },
+                    start.to(end),
+                ))
             }
             TokenKind::KwBreak => {
                 self.advance();
@@ -344,7 +404,11 @@ impl Parser {
             }
             TokenKind::KwReturn => {
                 self.advance();
-                let value = if self.check(&TokenKind::Semi) { None } else { Some(self.expr()?) };
+                let value = if self.check(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 let end = self.expect(TokenKind::Semi)?.span;
                 Ok(Stmt::new(StmtKind::Return(value), start.to(end)))
             }
@@ -377,8 +441,18 @@ impl Parser {
         } else {
             None
         };
-        let end = else_branch.as_ref().map(|b| b.span).unwrap_or(then_branch.span);
-        Ok(Stmt::new(StmtKind::If { cond, then_branch, else_branch }, start.to(end)))
+        let end = else_branch
+            .as_ref()
+            .map(|b| b.span)
+            .unwrap_or(then_branch.span);
+        Ok(Stmt::new(
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            },
+            start.to(end),
+        ))
     }
 
     /// An assignment or bare expression, without the trailing `;`
@@ -415,7 +489,10 @@ impl Parser {
                     index: (**index).clone(),
                     span: expr.span,
                 }),
-                _ => Err(ParseError::new("assignment target must be `name[index]`", expr.span)),
+                _ => Err(ParseError::new(
+                    "assignment target must be `name[index]`",
+                    expr.span,
+                )),
             },
             _ => Err(ParseError::new("invalid assignment target", expr.span)),
         }
@@ -460,7 +537,11 @@ impl Parser {
             let rhs = self.binary_expr(bp + 1)?;
             let span = lhs.span.to(rhs.span);
             lhs = Expr::new(
-                ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
                 span,
             );
         }
@@ -478,7 +559,13 @@ impl Parser {
             self.advance();
             let operand = self.unary_expr()?;
             let span = start.to(operand.span);
-            return Ok(Expr::new(ExprKind::Unary { op, operand: Box::new(operand) }, span));
+            return Ok(Expr::new(
+                ExprKind::Unary {
+                    op,
+                    operand: Box::new(operand),
+                },
+                span,
+            ));
         }
         self.postfix_expr()
     }
@@ -490,7 +577,10 @@ impl Parser {
             let end = self.expect(TokenKind::RBracket)?.span;
             let span = expr.span.to(end);
             expr = Expr::new(
-                ExprKind::Index { base: Box::new(expr), index: Box::new(index) },
+                ExprKind::Index {
+                    base: Box::new(expr),
+                    index: Box::new(index),
+                },
                 span,
             );
         }
@@ -533,7 +623,10 @@ impl Parser {
                         }
                     }
                     let end = self.expect(TokenKind::RParen)?.span;
-                    Ok(Expr::new(ExprKind::Call { callee: name, args }, tok.span.to(end)))
+                    Ok(Expr::new(
+                        ExprKind::Call { callee: name, args },
+                        tok.span.to(end),
+                    ))
                 } else {
                     Ok(Expr::new(ExprKind::Var(name), tok.span))
                 }
@@ -597,24 +690,48 @@ mod tests {
     fn precedence_mul_over_add() {
         let m = parse("fn f() -> int { return 1 + 2 * 3; }");
         let body = &m.functions[0].body.stmts[0];
-        let StmtKind::Return(Some(e)) = &body.kind else { panic!() };
-        let ExprKind::Binary { op: BinaryOp::Add, rhs, .. } = &e.kind else {
+        let StmtKind::Return(Some(e)) = &body.kind else {
+            panic!()
+        };
+        let ExprKind::Binary {
+            op: BinaryOp::Add,
+            rhs,
+            ..
+        } = &e.kind
+        else {
             panic!("expected + at root, got {e:?}")
         };
-        assert!(matches!(rhs.kind, ExprKind::Binary { op: BinaryOp::Mul, .. }));
+        assert!(matches!(
+            rhs.kind,
+            ExprKind::Binary {
+                op: BinaryOp::Mul,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn precedence_comparison_over_logical() {
         let m = parse("fn f(a: int, b: int) -> bool { return a < 1 && b > 2; }");
-        let StmtKind::Return(Some(e)) = &m.functions[0].body.stmts[0].kind else { panic!() };
-        assert!(matches!(e.kind, ExprKind::Binary { op: BinaryOp::And, .. }));
+        let StmtKind::Return(Some(e)) = &m.functions[0].body.stmts[0].kind else {
+            panic!()
+        };
+        assert!(matches!(
+            e.kind,
+            ExprKind::Binary {
+                op: BinaryOp::And,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn parses_if_else_chain() {
         let m = parse("fn f(x: int) { if x < 0 { return; } else if x == 0 { } else { } }");
-        let StmtKind::If { else_branch: Some(eb), .. } = &m.functions[0].body.stmts[0].kind
+        let StmtKind::If {
+            else_branch: Some(eb),
+            ..
+        } = &m.functions[0].body.stmts[0].kind
         else {
             panic!()
         };
@@ -626,7 +743,10 @@ mod tests {
     #[test]
     fn parses_for_loop() {
         let m = parse("fn f() { for i = 0; i < 10; i += 1 { log_msg(\"x\"); } }");
-        let StmtKind::For { init, cond, step, .. } = &m.functions[0].body.stmts[0].kind else {
+        let StmtKind::For {
+            init, cond, step, ..
+        } = &m.functions[0].body.stmts[0].kind
+        else {
             panic!()
         };
         assert!(init.is_some() && cond.is_some() && step.is_some());
@@ -635,7 +755,10 @@ mod tests {
     #[test]
     fn for_loop_slots_optional() {
         let m = parse("fn f() { for ; ; { break; } }");
-        let StmtKind::For { init, cond, step, .. } = &m.functions[0].body.stmts[0].kind else {
+        let StmtKind::For {
+            init, cond, step, ..
+        } = &m.functions[0].body.stmts[0].kind
+        else {
             panic!()
         };
         assert!(init.is_none() && cond.is_none() && step.is_none());
@@ -643,9 +766,8 @@ mod tests {
 
     #[test]
     fn parses_switch() {
-        let m = parse(
-            "fn f(x: int) { switch x { case 1: { return; } case -2: { } default: { } } }",
-        );
+        let m =
+            parse("fn f(x: int) { switch x { case 1: { return; } case -2: { } default: { } } }");
         let StmtKind::Switch { cases, default, .. } = &m.functions[0].body.stmts[0].kind else {
             panic!()
         };
@@ -668,10 +790,14 @@ mod tests {
     #[test]
     fn parses_buffer_declaration_and_index_assignment() {
         let m = parse("fn f() { let buf: int[64]; buf[3] = 7; }");
-        let StmtKind::Let { ty, .. } = &m.functions[0].body.stmts[0].kind else { panic!() };
+        let StmtKind::Let { ty, .. } = &m.functions[0].body.stmts[0].kind else {
+            panic!()
+        };
         assert_eq!(ty.buffer_capacity(), Some(64));
-        let StmtKind::Assign { target: LValue::Index { base, .. }, .. } =
-            &m.functions[0].body.stmts[1].kind
+        let StmtKind::Assign {
+            target: LValue::Index { base, .. },
+            ..
+        } = &m.functions[0].body.stmts[1].kind
         else {
             panic!()
         };
@@ -681,11 +807,17 @@ mod tests {
     #[test]
     fn compound_assignment() {
         let m = parse("fn f() { let x: int = 0; x += 2; x *= 3; }");
-        let StmtKind::Assign { op: Some(BinaryOp::Add), .. } = &m.functions[0].body.stmts[1].kind
+        let StmtKind::Assign {
+            op: Some(BinaryOp::Add),
+            ..
+        } = &m.functions[0].body.stmts[1].kind
         else {
             panic!()
         };
-        let StmtKind::Assign { op: Some(BinaryOp::Mul), .. } = &m.functions[0].body.stmts[2].kind
+        let StmtKind::Assign {
+            op: Some(BinaryOp::Mul),
+            ..
+        } = &m.functions[0].body.stmts[2].kind
         else {
             panic!()
         };
@@ -694,8 +826,12 @@ mod tests {
     #[test]
     fn call_statement_and_nested_calls() {
         let m = parse("fn f() { printf(\"%d\", strlen(read_input())); }");
-        let StmtKind::Expr(e) = &m.functions[0].body.stmts[0].kind else { panic!() };
-        let ExprKind::Call { callee, args } = &e.kind else { panic!() };
+        let StmtKind::Expr(e) = &m.functions[0].body.stmts[0].kind else {
+            panic!()
+        };
+        let ExprKind::Call { callee, args } = &e.kind else {
+            panic!()
+        };
         assert_eq!(callee, "printf");
         assert_eq!(args.len(), 2);
     }
@@ -732,13 +868,24 @@ mod tests {
     #[test]
     fn parenthesized_expression_overrides_precedence() {
         let m = parse("fn f() -> int { return (1 + 2) * 3; }");
-        let StmtKind::Return(Some(e)) = &m.functions[0].body.stmts[0].kind else { panic!() };
-        assert!(matches!(e.kind, ExprKind::Binary { op: BinaryOp::Mul, .. }));
+        let StmtKind::Return(Some(e)) = &m.functions[0].body.stmts[0].kind else {
+            panic!()
+        };
+        assert!(matches!(
+            e.kind,
+            ExprKind::Binary {
+                op: BinaryOp::Mul,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn nested_block_statement() {
         let m = parse("fn f() { { let x: int = 1; } }");
-        assert!(matches!(m.functions[0].body.stmts[0].kind, StmtKind::Block(_)));
+        assert!(matches!(
+            m.functions[0].body.stmts[0].kind,
+            StmtKind::Block(_)
+        ));
     }
 }

@@ -44,7 +44,10 @@ struct Printer {
 
 impl Printer {
     fn new() -> Self {
-        Printer { out: String::new(), indent: 0 }
+        Printer {
+            out: String::new(),
+            indent: 0,
+        }
     }
 
     fn line(&mut self, text: &str) {
@@ -76,8 +79,11 @@ impl Printer {
             };
             self.line(&text);
         }
-        let params: Vec<String> =
-            f.params.iter().map(|p| format!("{}: {}", p.name, p.ty)).collect();
+        let params: Vec<String> = f
+            .params
+            .iter()
+            .map(|p| format!("{}: {}", p.name, p.ty))
+            .collect();
         let header = if f.ret == Type::Void {
             format!("fn {}({}) {{", f.name, params.join(", "))
         } else {
@@ -139,7 +145,11 @@ impl Printer {
                 text.push(';');
                 self.line(&text);
             }
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let mut p = Printer::new();
                 p.expr(cond);
                 self.start_line(&format!("if {} ", p.out));
@@ -157,7 +167,12 @@ impl Printer {
                 self.block_inline(body);
                 self.out.push('\n');
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 let part = |stmt: &Option<Box<Stmt>>| -> String {
                     stmt.as_ref()
                         .map(|s| {
@@ -176,11 +191,20 @@ impl Printer {
                         p.out
                     })
                     .unwrap_or_default();
-                self.start_line(&format!("for {}; {}; {} ", part(init), cond_text, part(step)));
+                self.start_line(&format!(
+                    "for {}; {}; {} ",
+                    part(init),
+                    cond_text,
+                    part(step)
+                ));
                 self.block_inline(body);
                 self.out.push('\n');
             }
-            StmtKind::Switch { scrutinee, cases, default } => {
+            StmtKind::Switch {
+                scrutinee,
+                cases,
+                default,
+            } => {
                 let mut p = Printer::new();
                 p.expr(scrutinee);
                 self.start_line(&format!("switch {} {{\n", p.out));

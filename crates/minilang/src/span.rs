@@ -23,7 +23,12 @@ pub struct Span {
 impl Span {
     /// A span covering `[start, end)` starting at `line:col`.
     pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
-        Span { start, end, line, col }
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
     }
 
     /// The zero-width span used for synthesized nodes.

@@ -61,22 +61,22 @@ pub enum TokenKind {
     Comma,
     Semi,
     Colon,
-    Arrow,    // ->
-    At,       // @ (annotations)
-    Assign,   // =
+    Arrow,  // ->
+    At,     // @ (annotations)
+    Assign, // =
     Plus,
     Minus,
     Star,
     Slash,
     Percent,
     Bang,
-    Amp,      // & (bitwise and / address-of-lite)
-    Pipe,     // |
-    Caret,    // ^
-    Shl,      // <<
-    Shr,      // >>
-    AndAnd,   // &&
-    OrOr,     // ||
+    Amp,    // & (bitwise and / address-of-lite)
+    Pipe,   // |
+    Caret,  // ^
+    Shl,    // <<
+    Shr,    // >>
+    AndAnd, // &&
+    OrOr,   // ||
     EqEq,
     NotEq,
     Lt,
@@ -208,7 +208,9 @@ mod tests {
 
     #[test]
     fn keywords_round_trip_through_symbol() {
-        for kw in ["fn", "let", "if", "else", "while", "for", "switch", "return", "global"] {
+        for kw in [
+            "fn", "let", "if", "else", "while", "for", "switch", "return", "global",
+        ] {
             let tok = TokenKind::keyword(kw).expect("is a keyword");
             assert_eq!(tok.symbol(), kw);
         }

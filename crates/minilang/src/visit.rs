@@ -17,14 +17,20 @@ pub fn walk_stmts<'a>(block: &'a Block, f: &mut dyn FnMut(&'a Stmt)) {
 fn walk_stmt<'a>(stmt: &'a Stmt, f: &mut dyn FnMut(&'a Stmt)) {
     f(stmt);
     match &stmt.kind {
-        StmtKind::If { then_branch, else_branch, .. } => {
+        StmtKind::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
             walk_stmts(then_branch, f);
             if let Some(eb) = else_branch {
                 walk_stmts(eb, f);
             }
         }
         StmtKind::While { body, .. } => walk_stmts(body, f),
-        StmtKind::For { init, step, body, .. } => {
+        StmtKind::For {
+            init, step, body, ..
+        } => {
             if let Some(i) = init {
                 walk_stmt(i, f);
             }
@@ -139,7 +145,11 @@ pub fn collect_var_reads(block: &Block) -> Vec<&str> {
 pub fn max_nesting_depth(block: &Block) -> usize {
     fn stmt_depth(stmt: &Stmt) -> usize {
         let inner = match &stmt.kind {
-            StmtKind::If { then_branch, else_branch, .. } => {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 let t = block_depth(then_branch);
                 let e = else_branch.as_ref().map(block_depth).unwrap_or(0);
                 t.max(e)
@@ -147,7 +157,11 @@ pub fn max_nesting_depth(block: &Block) -> usize {
             StmtKind::While { body, .. } => block_depth(body),
             StmtKind::For { body, .. } => block_depth(body),
             StmtKind::Switch { cases, default, .. } => {
-                let c = cases.iter().map(|c| block_depth(&c.body)).max().unwrap_or(0);
+                let c = cases
+                    .iter()
+                    .map(|c| block_depth(&c.body))
+                    .max()
+                    .unwrap_or(0);
                 let d = default.as_ref().map(block_depth).unwrap_or(0);
                 c.max(d)
             }
@@ -197,7 +211,10 @@ mod tests {
     #[test]
     fn collect_calls_includes_nested_and_duplicate() {
         let b = body("fn f() { printf(\"%d\", strlen(read_input())); printf(\"x\"); }");
-        assert_eq!(collect_calls(&b), vec!["printf", "strlen", "read_input", "printf"]);
+        assert_eq!(
+            collect_calls(&b),
+            vec!["printf", "strlen", "read_input", "printf"]
+        );
     }
 
     #[test]

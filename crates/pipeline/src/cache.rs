@@ -1,0 +1,299 @@
+//! Content-addressed feature-vector cache.
+//!
+//! The cache key is an FNV-1a 64-bit digest over everything that can
+//! change an extraction result:
+//!
+//! ```text
+//! key = fnv1a64( schema_version ‖ dialect ‖ (path ‖ source)* )
+//! ```
+//!
+//! * `schema_version` — the extractor's collector-schema version; bumping
+//!   it invalidates every entry at once (new collector, changed feature
+//!   names…);
+//! * `dialect` — the same source parses differently per dialect;
+//! * the files — length-prefixed path and source text of every module, in
+//!   batch order. Editing one byte of one file of one program changes
+//!   exactly that program's key and nobody else's.
+//!
+//! The program *name* is deliberately not part of the key: the cache is
+//! content-addressed, so renaming an app (or two apps sharing identical
+//! sources) still hits.
+//!
+//! Storage is an in-memory map, optionally persisted as JSONL (one entry
+//! per line) under a cache directory for warm re-runs across processes.
+//! Unparseable lines are treated as misses, never as errors — a corrupt
+//! store degrades to a cold cache.
+
+use crate::fnv::Fnv1a;
+use static_analysis::FeatureVector;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// Where cached feature vectors live.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum CacheMode {
+    /// Every program re-extracts, every run.
+    Off,
+    /// Warm within one process (one `Pipeline` value).
+    #[default]
+    Memory,
+    /// Memory plus a JSONL store under this directory.
+    Disk(PathBuf),
+}
+
+/// File name of the on-disk store inside the cache directory.
+pub const STORE_FILE: &str = "feature-cache.jsonl";
+
+/// Compute the content-addressed key for one program's sources.
+pub fn cache_key(
+    schema_version: u64,
+    dialect: minilang::Dialect,
+    files: &[(String, String)],
+) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(schema_version);
+    h.write_str(&format!("{dialect:?}"));
+    for (path, source) in files {
+        h.write_str(path);
+        h.write_str(source);
+    }
+    h.finish()
+}
+
+/// The feature-vector cache backing a [`crate::Pipeline`].
+#[derive(Debug, Default)]
+pub struct FeatureCache {
+    mode: CacheMode,
+    map: HashMap<u64, FeatureVector>,
+    /// Entries added since the last persist.
+    dirty: Vec<u64>,
+}
+
+impl FeatureCache {
+    /// Open a cache in the given mode, loading the disk store if present.
+    pub fn open(mode: CacheMode) -> FeatureCache {
+        let mut cache = FeatureCache {
+            mode,
+            map: HashMap::new(),
+            dirty: Vec::new(),
+        };
+        if let CacheMode::Disk(dir) = &cache.mode {
+            cache.map = load_store(&dir.join(STORE_FILE));
+        }
+        cache
+    }
+
+    pub fn mode(&self) -> &CacheMode {
+        &self.mode
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn get(&self, key: u64) -> Option<&FeatureVector> {
+        if self.mode == CacheMode::Off {
+            return None;
+        }
+        self.map.get(&key)
+    }
+
+    pub fn insert(&mut self, key: u64, fv: FeatureVector) {
+        if self.mode == CacheMode::Off {
+            return;
+        }
+        if self.map.insert(key, fv).is_none() {
+            self.dirty.push(key);
+        }
+    }
+
+    /// Append new entries to the JSONL store (no-op unless `Disk`).
+    pub fn persist(&mut self) -> std::io::Result<()> {
+        let CacheMode::Disk(dir) = &self.mode else {
+            self.dirty.clear();
+            return Ok(());
+        };
+        if self.dirty.is_empty() {
+            return Ok(());
+        }
+        std::fs::create_dir_all(dir)?;
+        let mut out = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join(STORE_FILE))?;
+        for key in self.dirty.drain(..) {
+            if let Some(fv) = self.map.get(&key) {
+                writeln!(out, "{}", entry_json(key, fv))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One JSONL line: `{"key":"0123456789abcdef","features":{"name":1.5,…}}`.
+///
+/// `f64` values are written with Rust's shortest-roundtrip formatting, so
+/// reading the line back yields bit-identical floats.
+fn entry_json(key: u64, fv: &FeatureVector) -> String {
+    let features: Vec<String> = fv
+        .iter()
+        .map(|(name, value)| format!("{}:{}", crate::report::json_str(name), fmt_f64(value)))
+        .collect();
+    format!(
+        "{{\"key\":\"{key:016x}\",\"features\":{{{}}}}}",
+        features.join(",")
+    )
+}
+
+fn fmt_f64(v: f64) -> String {
+    // `{:?}` is Rust's shortest representation that round-trips exactly;
+    // make integral values explicit floats so the line stays obviously
+    // typed (`1.0`, not `1`).
+    format!("{v:?}")
+}
+
+/// Load the JSONL store, skipping lines that fail to parse.
+fn load_store(path: &Path) -> HashMap<u64, FeatureVector> {
+    let mut map = HashMap::new();
+    let Ok(file) = std::fs::File::open(path) else {
+        return map;
+    };
+    for line in BufReader::new(file).lines().map_while(Result::ok) {
+        if let Some((key, fv)) = parse_entry(&line) {
+            map.insert(key, fv);
+        }
+    }
+    map
+}
+
+/// Parse one store line. Only the exact shape `entry_json` emits is
+/// accepted (feature names never need escape sequences beyond `\"` and
+/// `\\`, which are handled); anything else returns `None` → cache miss.
+fn parse_entry(line: &str) -> Option<(u64, FeatureVector)> {
+    let rest = line.strip_prefix("{\"key\":\"")?;
+    let (hex, rest) = rest.split_once('"')?;
+    let key = u64::from_str_radix(hex, 16).ok()?;
+    let body = rest.strip_prefix(",\"features\":{")?.strip_suffix("}}")?;
+    let mut fv = FeatureVector::new();
+    let mut s = body;
+    while !s.is_empty() {
+        s = s.strip_prefix('"')?;
+        let (name, tail) = split_json_string(s)?;
+        s = tail.strip_prefix(':')?;
+        let value_end = s.find(',').unwrap_or(s.len());
+        let value: f64 = s[..value_end].parse().ok()?;
+        fv.set(name, value);
+        s = &s[value_end..];
+        s = s.strip_prefix(',').unwrap_or(s);
+    }
+    Some((key, fv))
+}
+
+/// Split `name","rest` handling `\"` / `\\` escapes in the name.
+fn split_json_string(s: &str) -> Option<(String, &str)> {
+    let mut name = String::new();
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Some((name, &s[i + 1..])),
+            '\\' => match chars.next()?.1 {
+                '"' => name.push('"'),
+                '\\' => name.push('\\'),
+                'n' => name.push('\n'),
+                other => name.push(other),
+            },
+            c => name.push(c),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minilang::Dialect;
+
+    fn fv(pairs: &[(&str, f64)]) -> FeatureVector {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    fn files(src: &str) -> Vec<(String, String)> {
+        vec![("main.c".to_string(), src.to_string())]
+    }
+
+    #[test]
+    fn key_changes_with_source_dialect_and_schema() {
+        let base = cache_key(1, Dialect::C, &files("fn f() { }"));
+        assert_eq!(base, cache_key(1, Dialect::C, &files("fn f() { }")));
+        assert_ne!(
+            base,
+            cache_key(1, Dialect::C, &files("fn f() { let x: int; }"))
+        );
+        assert_ne!(base, cache_key(1, Dialect::Python, &files("fn f() { }")));
+        assert_ne!(base, cache_key(2, Dialect::C, &files("fn f() { }")));
+    }
+
+    #[test]
+    fn key_ignores_program_name_but_not_paths() {
+        let a = cache_key(1, Dialect::C, &[("a.c".into(), "fn f() { }".into())]);
+        let b = cache_key(1, Dialect::C, &[("b.c".into(), "fn f() { }".into())]);
+        assert_ne!(a, b, "module path participates in the key");
+    }
+
+    #[test]
+    fn memory_mode_round_trips() {
+        let mut cache = FeatureCache::open(CacheMode::Memory);
+        cache.insert(42, fv(&[("loc.code", 10.0)]));
+        assert_eq!(cache.get(42).unwrap().get("loc.code"), Some(10.0));
+        assert!(cache.get(43).is_none());
+    }
+
+    #[test]
+    fn off_mode_never_stores() {
+        let mut cache = FeatureCache::open(CacheMode::Off);
+        cache.insert(42, fv(&[("a", 1.0)]));
+        assert!(cache.get(42).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn entry_json_round_trips_exactly() {
+        let vector = fv(&[
+            ("loc.code", 1234.0),
+            ("halstead.volume", 8239.471823712),
+            ("weird\"name", -0.25),
+            ("tiny", 1e-300),
+        ]);
+        let line = entry_json(0xdead_beef, &vector);
+        let (key, parsed) = parse_entry(&line).expect("parses");
+        assert_eq!(key, 0xdead_beef);
+        assert_eq!(parsed, vector);
+    }
+
+    #[test]
+    fn disk_store_survives_reopen_and_ignores_garbage() {
+        let dir = std::env::temp_dir().join(format!("clairvoyant-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cache = FeatureCache::open(CacheMode::Disk(dir.clone()));
+        cache.insert(7, fv(&[("x", 1.5)]));
+        cache.persist().unwrap();
+        // Corrupt the store with a partial line.
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join(STORE_FILE))
+            .unwrap()
+            .write_all(b"{\"key\":\"zzzz\n")
+            .unwrap();
+
+        let reopened = FeatureCache::open(CacheMode::Disk(dir.clone()));
+        assert_eq!(reopened.len(), 1);
+        assert_eq!(reopened.get(7).unwrap().get("x"), Some(1.5));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,81 @@
+//! FNV-1a 64-bit hashing for content-addressed cache keys.
+//!
+//! The cache key must be stable across processes and platforms, so the
+//! std `DefaultHasher` (randomized, unspecified algorithm) is out. FNV-1a
+//! is the classic tiny stable hash: one multiply and one xor per byte.
+
+const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a 64-bit hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a {
+            state: OFFSET_BASIS,
+        }
+    }
+}
+
+impl Fnv1a {
+    pub fn new() -> Fnv1a {
+        Fnv1a::default()
+    }
+
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(PRIME);
+        }
+        self
+    }
+
+    /// Hash a length-prefixed string: prefixing with the length keeps
+    /// `("ab","c")` and `("a","bc")` from colliding when several strings
+    /// are fed in sequence.
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write(&(s.len() as u64).to_le_bytes());
+        self.write(s.as_bytes())
+    }
+
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write(&v.to_le_bytes())
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot convenience.
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(hash_bytes(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(hash_bytes(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(hash_bytes(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn length_prefix_prevents_concat_collisions() {
+        let mut a = Fnv1a::new();
+        a.write_str("ab").write_str("c");
+        let mut b = Fnv1a::new();
+        b.write_str("a").write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,207 @@
+//! Pipeline observability: per-stage timings, cache counters, errors,
+//! throughput — everything a corpus-scale sweep needs to print.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Why one program's extraction degraded (the batch itself never fails).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// A collector panicked; the payload message is preserved.
+    Panicked(String),
+    /// Extraction finished but blew the per-program wall-clock budget.
+    BudgetExceeded { limit_ms: u64, took_ms: u64 },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Panicked(msg) => write!(f, "collector panicked: {msg}"),
+            PipelineError::BudgetExceeded { limit_ms, took_ms } => {
+                write!(f, "budget exceeded: {took_ms}ms > {limit_ms}ms limit")
+            }
+        }
+    }
+}
+
+/// Cumulative wall time per pipeline stage, summed across workers.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimings {
+    /// Hashing sources + cache probes.
+    pub cache_lookup: Duration,
+    /// Running the extractor over cache misses.
+    pub extract: Duration,
+    /// Writing the on-disk store back out.
+    pub cache_persist: Duration,
+}
+
+/// The summary of one batch run.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineReport {
+    /// Programs in the batch.
+    pub programs: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Programs served from the feature cache.
+    pub cache_hits: usize,
+    /// Programs that ran the extractor.
+    pub cache_misses: usize,
+    /// Programs that degraded, with why (`(program name, error)`).
+    pub errors: Vec<(String, PipelineError)>,
+    /// Per-stage cumulative timings (sum over workers, so `extract` can
+    /// exceed `wall` when workers overlap).
+    pub stages: StageTimings,
+    /// End-to-end wall time of the batch.
+    pub wall: Duration,
+}
+
+impl PipelineReport {
+    /// Programs per second of wall time.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.programs as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of the batch served from cache, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.programs == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.programs as f64
+        }
+    }
+
+    /// Machine-readable single-line JSON for BENCH_* trajectory tracking.
+    pub fn to_json(&self) -> String {
+        let errors: Vec<String> = self
+            .errors
+            .iter()
+            .map(|(name, e)| {
+                format!(
+                    "{{\"program\":{},\"error\":{}}}",
+                    json_str(name),
+                    json_str(&e.to_string())
+                )
+            })
+            .collect();
+        format!(
+            "{{\"programs\":{},\"jobs\":{},\"cache_hits\":{},\"cache_misses\":{},\
+             \"hit_rate\":{:.4},\"wall_ms\":{:.3},\"cache_lookup_ms\":{:.3},\
+             \"extract_ms\":{:.3},\"cache_persist_ms\":{:.3},\
+             \"programs_per_sec\":{:.3},\"errors\":[{}]}}",
+            self.programs,
+            self.jobs,
+            self.cache_hits,
+            self.cache_misses,
+            self.hit_rate(),
+            self.wall.as_secs_f64() * 1e3,
+            self.stages.cache_lookup.as_secs_f64() * 1e3,
+            self.stages.extract.as_secs_f64() * 1e3,
+            self.stages.cache_persist.as_secs_f64() * 1e3,
+            self.throughput(),
+            errors.join(",")
+        )
+    }
+}
+
+impl fmt::Display for PipelineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pipeline: {} programs on {} worker(s) in {:.1}ms ({:.1} programs/sec)",
+            self.programs,
+            self.jobs,
+            self.wall.as_secs_f64() * 1e3,
+            self.throughput()
+        )?;
+        writeln!(
+            f,
+            "  cache: {} hits / {} misses ({:.0}% hit rate)",
+            self.cache_hits,
+            self.cache_misses,
+            self.hit_rate() * 100.0
+        )?;
+        write!(
+            f,
+            "  stages: lookup {:.1}ms, extract {:.1}ms, persist {:.1}ms",
+            self.stages.cache_lookup.as_secs_f64() * 1e3,
+            self.stages.extract.as_secs_f64() * 1e3,
+            self.stages.cache_persist.as_secs_f64() * 1e3
+        )?;
+        for (name, e) in &self.errors {
+            write!(f, "\n  degraded: {name}: {e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_and_hit_rate() {
+        let report = PipelineReport {
+            programs: 10,
+            jobs: 2,
+            cache_hits: 9,
+            cache_misses: 1,
+            wall: Duration::from_millis(500),
+            ..Default::default()
+        };
+        assert!((report.throughput() - 20.0).abs() < 1e-9);
+        assert!((report.hit_rate() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_is_one_line_and_escaped() {
+        let report = PipelineReport {
+            programs: 1,
+            jobs: 1,
+            cache_misses: 1,
+            errors: vec![("we\"ird".into(), PipelineError::Panicked("boom\n".into()))],
+            ..Default::default()
+        };
+        let json = report.to_json();
+        assert_eq!(json.lines().count(), 1);
+        assert!(json.contains("\\\"ird"));
+        assert!(json.contains("\\n"));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn display_mentions_degraded_programs() {
+        let report = PipelineReport {
+            programs: 2,
+            jobs: 1,
+            cache_misses: 2,
+            errors: vec![("app-7".into(), PipelineError::Panicked("x".into()))],
+            ..Default::default()
+        };
+        let text = report.to_string();
+        assert!(text.contains("degraded: app-7"));
+    }
+}

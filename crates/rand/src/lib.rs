@@ -1,0 +1,281 @@
+//! In-tree, dependency-free stand-in for the tiny slice of the `rand`
+//! crate this workspace uses.
+//!
+//! The build environment has no access to a crates.io registry, so the
+//! real `rand` cannot be fetched. This shim provides the same *paths and
+//! call signatures* (`rand::rngs::StdRng`, `rand::Rng`,
+//! `rand::SeedableRng`, `rand::seq::SliceRandom`) backed by a
+//! [splitmix64](https://prng.di.unimi.it/splitmix64.c) generator — a
+//! 64-bit state, statistically solid, trivially seedable PRNG.
+//!
+//! Properties the workspace relies on and this shim preserves:
+//!
+//! * **Determinism** — `seed_from_u64(s)` yields the same stream on every
+//!   platform and every run; the synthetic corpus stays a pure function of
+//!   its configuration.
+//! * **Stream independence** — distinct seeds give uncorrelated streams
+//!   (splitmix64 is the generator the reference `rand` itself uses to
+//!   expand `seed_from_u64` seeds).
+//!
+//! The *values* drawn for a given seed differ from the real `StdRng`
+//! (ChaCha12), so absolute numbers in any previously recorded corpus
+//! change; all corpus-level statistics are calibrated, not hard-coded, so
+//! downstream behaviour is preserved.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform draw from `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Construction from a 64-bit seed (the only constructor the workspace
+/// uses).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard generator: splitmix64.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+}
+
+/// Types drawable uniformly by [`Rng::gen`].
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_f64()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`]. The output type `T` is a trait
+/// parameter (mirroring the real `rand`) so that return-type inference
+/// fixes the element type of a bare range literal: `let i: usize =
+/// rng.gen_range(0..4)` types the literal as `Range<usize>`.
+pub trait SampleRange<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range on empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range on empty range");
+        // The closed upper bound is hit with probability 0; treating the
+        // range as half-open keeps the math simple and is exactly what
+        // the callers (quality factors in [0, 1]) expect.
+        start + rng.next_f64() * (end - start)
+    }
+}
+
+/// The user-facing draw methods, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        self.next_f64() < p
+    }
+
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod seq {
+    use super::RngCore;
+
+    /// Slice helpers (`shuffle`, `choose`) — the `rand::seq` subset in use.
+    pub trait SliceRandom {
+        type Item;
+
+        /// Fisher–Yates shuffle, in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly chosen element, `None` on an empty slice.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[(rng.next_u64() % self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(3..18usize);
+            assert!((3..18).contains(&v));
+            let w = r.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&w));
+            let f = r.gen_range(-0.25..0.25f64);
+            assert!((-0.25..0.25).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2700..3300).contains(&hits), "p=0.3 gave {hits}/10000");
+    }
+
+    #[test]
+    fn uniformity_is_rough_but_sane() {
+        // splitmix64 passes BigCrush; this just guards against a typo in
+        // the mixing constants.
+        let mut r = StdRng::seed_from_u64(1);
+        let mut buckets = [0usize; 8];
+        for _ in 0..8000 {
+            buckets[r.gen_range(0..8usize)] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!((800..1200).contains(&b), "bucket {i}: {b}");
+        }
+    }
+
+    #[test]
+    fn shuffle_and_choose() {
+        let mut r = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..32).collect();
+        let original = v.clone();
+        v.shuffle(&mut r);
+        assert_ne!(v, original, "32 elements staying put is ~impossible");
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, original);
+        assert!(original.contains(v.choose(&mut r).unwrap()));
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+    }
+}

@@ -37,7 +37,11 @@ impl Dataset {
             rows.push(row);
             ids.push(id.clone());
         }
-        Dataset { feature_names, rows, ids }
+        Dataset {
+            feature_names,
+            rows,
+            ids,
+        }
     }
 
     /// Number of rows.
@@ -70,7 +74,10 @@ impl Dataset {
     pub fn project(&self, names: &[&str]) -> Dataset {
         let indices: Vec<usize> = names.iter().filter_map(|n| self.column(n)).collect();
         Dataset {
-            feature_names: indices.iter().map(|&i| self.feature_names[i].clone()).collect(),
+            feature_names: indices
+                .iter()
+                .map(|&i| self.feature_names[i].clone())
+                .collect(),
             rows: self
                 .rows
                 .iter()
@@ -108,8 +115,14 @@ mod tests {
 
     fn sample() -> Dataset {
         Dataset::from_named(&[
-            ("app1".into(), vec![("loc".into(), 10.0), ("cyclo".into(), 3.0)]),
-            ("app2".into(), vec![("cyclo".into(), 5.0), ("loc".into(), 20.0)]),
+            (
+                "app1".into(),
+                vec![("loc".into(), 10.0), ("cyclo".into(), 3.0)],
+            ),
+            (
+                "app2".into(),
+                vec![("cyclo".into(), 5.0), ("loc".into(), 20.0)],
+            ),
             ("app3".into(), vec![("loc".into(), 30.0)]),
         ])
     }

@@ -141,12 +141,29 @@ impl RegressionReport {
         }
         let mean = truth.iter().sum::<f64>() / n as f64;
         let ss_tot: f64 = truth.iter().map(|v| (v - mean) * (v - mean)).sum();
-        let ss_res: f64 =
-            truth.iter().zip(predicted).map(|(t, p)| (t - p) * (t - p)).sum();
-        let mae = truth.iter().zip(predicted).map(|(t, p)| (t - p).abs()).sum::<f64>() / n as f64;
+        let ss_res: f64 = truth
+            .iter()
+            .zip(predicted)
+            .map(|(t, p)| (t - p) * (t - p))
+            .sum();
+        let mae = truth
+            .iter()
+            .zip(predicted)
+            .map(|(t, p)| (t - p).abs())
+            .sum::<f64>()
+            / n as f64;
         let rmse = (ss_res / n as f64).sqrt();
-        let r_squared = if ss_tot < 1e-12 { 0.0 } else { 1.0 - ss_res / ss_tot };
-        RegressionReport { r_squared, mae, rmse, n }
+        let r_squared = if ss_tot < 1e-12 {
+            0.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
+        RegressionReport {
+            r_squared,
+            mae,
+            rmse,
+            n,
+        }
     }
 }
 
@@ -157,8 +174,7 @@ pub fn stratified_folds(labels: &[usize], k: usize) -> Vec<Vec<usize>> {
     let k = k.max(2);
     let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
     for class in [0usize, 1] {
-        let members: Vec<usize> =
-            (0..labels.len()).filter(|&i| labels[i] == class).collect();
+        let members: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] == class).collect();
         for (pos, &i) in members.iter().enumerate() {
             folds[pos % k].push(i);
         }
@@ -192,8 +208,7 @@ pub fn cross_validate_classifier<C: Classifier>(
     let mut scores = Vec::new();
     for test in &fold_sets {
         let test_set: std::collections::HashSet<usize> = test.iter().copied().collect();
-        let train_idx: Vec<usize> =
-            (0..x.len()).filter(|i| !test_set.contains(i)).collect();
+        let train_idx: Vec<usize> = (0..x.len()).filter(|i| !test_set.contains(i)).collect();
         let tx: Vec<Vec<f64>> = train_idx.iter().map(|&i| x[i].clone()).collect();
         let ty: Vec<usize> = train_idx.iter().map(|&i| y[i]).collect();
         let mut model = make();
@@ -220,8 +235,7 @@ pub fn cross_validate_regressor<R: Regressor>(
     let mut predicted = Vec::new();
     for test in &fold_sets {
         let test_set: std::collections::HashSet<usize> = test.iter().copied().collect();
-        let train_idx: Vec<usize> =
-            (0..x.len()).filter(|i| !test_set.contains(i)).collect();
+        let train_idx: Vec<usize> = (0..x.len()).filter(|i| !test_set.contains(i)).collect();
         let tx: Vec<Vec<f64>> = train_idx.iter().map(|&i| x[i].clone()).collect();
         let ty: Vec<f64> = train_idx.iter().map(|&i| y[i]).collect();
         let mut model = make();
@@ -237,8 +251,8 @@ pub fn cross_validate_regressor<R: Regressor>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::logreg::LogisticRegression;
     use crate::linreg::LinearRegression;
+    use crate::logreg::LogisticRegression;
 
     #[test]
     fn confusion_matrix_counts() {
@@ -323,7 +337,10 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), 20, "folds must partition");
         for f in &folds {
-            assert!(f.iter().any(|&i| labels[i] == 1), "fold lost the minority class");
+            assert!(
+                f.iter().any(|&i| labels[i] == 1),
+                "fold lost the minority class"
+            );
         }
     }
 

@@ -13,13 +13,20 @@ pub struct Knn {
 
 impl Default for Knn {
     fn default() -> Self {
-        Knn { k: 5, x: Vec::new(), y: Vec::new() }
+        Knn {
+            k: 5,
+            x: Vec::new(),
+            y: Vec::new(),
+        }
     }
 }
 
 impl Knn {
     pub fn new(k: usize) -> Knn {
-        Knn { k: k.max(1), ..Default::default() }
+        Knn {
+            k: k.max(1),
+            ..Default::default()
+        }
     }
 }
 

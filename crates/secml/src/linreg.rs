@@ -28,7 +28,10 @@ impl LinearRegression {
 
     /// A ridge model with penalty `lambda`.
     pub fn ridge(lambda: f64) -> LinearRegression {
-        LinearRegression { ridge: lambda, ..Default::default() }
+        LinearRegression {
+            ridge: lambda,
+            ..Default::default()
+        }
     }
 }
 
@@ -89,7 +92,13 @@ pub fn simple_regression(x: &[f64], y: &[f64]) -> SimpleRegression {
     assert_eq!(x.len(), y.len());
     let n = x.len();
     if n < 2 {
-        return SimpleRegression { slope: 0.0, intercept: 0.0, r_squared: 0.0, r: 0.0, n };
+        return SimpleRegression {
+            slope: 0.0,
+            intercept: 0.0,
+            r_squared: 0.0,
+            r: 0.0,
+            n,
+        };
     }
     let nf = n as f64;
     let mx = x.iter().sum::<f64>() / nf;
@@ -103,12 +112,24 @@ pub fn simple_regression(x: &[f64], y: &[f64]) -> SimpleRegression {
         sxy += (a - mx) * (b - my);
     }
     if sxx < 1e-12 || syy < 1e-12 {
-        return SimpleRegression { slope: 0.0, intercept: my, r_squared: 0.0, r: 0.0, n };
+        return SimpleRegression {
+            slope: 0.0,
+            intercept: my,
+            r_squared: 0.0,
+            r: 0.0,
+            n,
+        };
     }
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
     let r = sxy / (sxx.sqrt() * syy.sqrt());
-    SimpleRegression { slope, intercept, r_squared: r * r, r, n }
+    SimpleRegression {
+        slope,
+        intercept,
+        r_squared: r * r,
+        r,
+        n,
+    }
 }
 
 #[cfg(test)]
@@ -118,9 +139,7 @@ mod tests {
     #[test]
     fn recovers_exact_linear_relation() {
         // y = 2 + 3·a − b
-        let x: Vec<Vec<f64>> = (0..20)
-            .map(|i| vec![i as f64, (i % 5) as f64])
-            .collect();
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, (i % 5) as f64]).collect();
         let y: Vec<f64> = x.iter().map(|r| 2.0 + 3.0 * r[0] - r[1]).collect();
         let mut m = LinearRegression::new();
         m.fit(&x, &y);
@@ -168,7 +187,9 @@ mod tests {
     fn simple_regression_on_noise_has_low_r2() {
         // A deterministic "noise" pattern with no linear trend.
         let x: Vec<f64> = (0..40).map(|i| i as f64).collect();
-        let y: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let y: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let r = simple_regression(&x, &y);
         assert!(r.r_squared < 0.05, "r² = {}", r.r_squared);
     }

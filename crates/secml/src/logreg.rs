@@ -22,7 +22,13 @@ pub struct LogisticRegression {
 
 impl Default for LogisticRegression {
     fn default() -> Self {
-        LogisticRegression { l2: 1e-3, learning_rate: 0.1, epochs: 500, weights: Vec::new(), bias: 0.0 }
+        LogisticRegression {
+            l2: 1e-3,
+            learning_rate: 0.1,
+            epochs: 500,
+            weights: Vec::new(),
+            bias: 0.0,
+        }
     }
 }
 
@@ -137,9 +143,15 @@ mod tests {
     #[test]
     fn l2_shrinks_weights() {
         let (x, y) = separable();
-        let mut weak = LogisticRegression { l2: 0.0001, ..Default::default() };
+        let mut weak = LogisticRegression {
+            l2: 0.0001,
+            ..Default::default()
+        };
         weak.fit(&x, &y);
-        let mut strong = LogisticRegression { l2: 1.0, ..Default::default() };
+        let mut strong = LogisticRegression {
+            l2: 1.0,
+            ..Default::default()
+        };
         strong.fit(&x, &y);
         assert!(strong.weights[0].abs() < weak.weights[0].abs());
     }

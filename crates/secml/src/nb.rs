@@ -44,7 +44,8 @@ impl GaussianNb {
     fn log_likelihood(&self, class: usize, row: &[f64]) -> f64 {
         let mut ll = self.log_priors[class];
         for (&v, &(mean, var)) in row.iter().zip(&self.stats[class]) {
-            ll += -0.5 * ((v - mean) * (v - mean) / var + var.ln() + (2.0 * std::f64::consts::PI).ln());
+            ll += -0.5
+                * ((v - mean) * (v - mean) / var + var.ln() + (2.0 * std::f64::consts::PI).ln());
         }
         ll
     }
@@ -123,7 +124,12 @@ mod tests {
 
     #[test]
     fn zero_variance_feature_does_not_nan() {
-        let x = vec![vec![1.0, 3.0], vec![1.0, 4.0], vec![1.0, 10.0], vec![1.0, 11.0]];
+        let x = vec![
+            vec![1.0, 3.0],
+            vec![1.0, 4.0],
+            vec![1.0, 10.0],
+            vec![1.0, 11.0],
+        ];
         let y = vec![0, 0, 1, 1];
         let mut m = GaussianNb::new();
         m.fit(&x, &y);

@@ -84,7 +84,11 @@ impl MinMaxScaler {
     pub fn transform_row(&self, row: &mut [f64]) {
         for ((v, lo), hi) in row.iter_mut().zip(&self.mins).zip(&self.maxs) {
             let range = hi - lo;
-            *v = if range < 1e-12 { 0.0 } else { (*v - lo) / range };
+            *v = if range < 1e-12 {
+                0.0
+            } else {
+                (*v - lo) / range
+            };
         }
     }
 
@@ -118,8 +122,8 @@ mod tests {
         for col in 0..2 {
             let vals: Vec<f64> = rows.iter().map(|r| r[col]).collect();
             let mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
-            let var: f64 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-                / vals.len() as f64;
+            let var: f64 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
             assert!(mean.abs() < 1e-10);
             assert!((var - 1.0).abs() < 1e-10);
         }

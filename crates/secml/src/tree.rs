@@ -22,7 +22,12 @@ impl Node {
     fn predict(&self, row: &[f64]) -> f64 {
         match self {
             Node::Leaf { value } => *value,
-            Node::Split { feature, threshold, left, right } => {
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
                 if row.get(*feature).copied().unwrap_or(0.0) <= *threshold {
                     left.predict(row)
                 } else {
@@ -52,7 +57,11 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        TreeConfig { max_depth: 8, min_samples_split: 4, min_gain: 1e-7 }
+        TreeConfig {
+            max_depth: 8,
+            min_samples_split: 4,
+            min_gain: 1e-7,
+        }
     }
 }
 
@@ -193,7 +202,15 @@ impl DecisionTree {
             self.root = Some(Node::Leaf { value: 0.5 });
             return;
         }
-        self.root = Some(grow(x, &yf, &indices, 0, &self.config, Criterion::Entropy, pool));
+        self.root = Some(grow(
+            x,
+            &yf,
+            &indices,
+            0,
+            &self.config,
+            Criterion::Entropy,
+            pool,
+        ));
     }
 }
 
@@ -233,7 +250,15 @@ impl RegressionTree {
             self.root = Some(Node::Leaf { value: 0.0 });
             return;
         }
-        self.root = Some(grow(x, y, &indices, 0, &self.config, Criterion::Variance, pool));
+        self.root = Some(grow(
+            x,
+            y,
+            &indices,
+            0,
+            &self.config,
+            Criterion::Variance,
+            pool,
+        ));
     }
 }
 
@@ -324,7 +349,10 @@ mod tests {
     #[test]
     fn regression_tree_fits_step_function() {
         let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
-        let y: Vec<f64> = x.iter().map(|r| if r[0] < 15.0 { 2.0 } else { 10.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| if r[0] < 15.0 { 2.0 } else { 10.0 })
+            .collect();
         let mut t = RegressionTree::new();
         t.fit(&x, &y);
         assert!((t.predict(&[5.0]) - 2.0).abs() < 1e-9);

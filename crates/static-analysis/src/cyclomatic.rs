@@ -44,7 +44,10 @@ pub fn function_complexity(f: &Function) -> FunctionComplexity {
         }
         _ => {}
     });
-    FunctionComplexity { graph, decision: decisions + 1 }
+    FunctionComplexity {
+        graph,
+        decision: decisions + 1,
+    }
 }
 
 fn short_circuits(cond: &minilang::Expr) -> usize {
@@ -82,7 +85,11 @@ impl ComplexityStats {
         ComplexityStats {
             total,
             max: values.iter().copied().max().unwrap_or(0),
-            mean: if values.is_empty() { 0.0 } else { total as f64 / values.len() as f64 },
+            mean: if values.is_empty() {
+                0.0
+            } else {
+                total as f64 / values.len() as f64
+            },
             over_10: values.iter().filter(|&&v| v > 10).count(),
             functions: values.len(),
         }
@@ -91,15 +98,20 @@ impl ComplexityStats {
 
 /// Complexity statistics for one module.
 pub fn module_complexity(module: &Module) -> ComplexityStats {
-    let values: Vec<usize> =
-        module.functions.iter().map(|f| function_complexity(f).decision).collect();
+    let values: Vec<usize> = module
+        .functions
+        .iter()
+        .map(|f| function_complexity(f).decision)
+        .collect();
     ComplexityStats::from_values(&values)
 }
 
 /// Complexity statistics across a whole program.
 pub fn program_complexity(program: &Program) -> ComplexityStats {
-    let values: Vec<usize> =
-        program.functions().map(|f| function_complexity(f).decision).collect();
+    let values: Vec<usize> = program
+        .functions()
+        .map(|f| function_complexity(f).decision)
+        .collect();
     ComplexityStats::from_values(&values)
 }
 

@@ -29,7 +29,10 @@ pub struct BitSet {
 impl BitSet {
     /// An empty set over a universe of `len` elements.
     pub fn new(len: usize) -> Self {
-        BitSet { words: vec![0; len.div_ceil(64)], len }
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     pub fn insert(&mut self, i: usize) -> bool {
@@ -163,7 +166,11 @@ pub fn reaching_definitions(cfg: &Cfg<'_>) -> ReachingDefs {
         if let Some((var, strong)) = node_def(&node.kind) {
             let def_id = defs.len();
             defs_of_var.entry(var.clone()).or_default().push(def_id);
-            defs.push(Def { var, node: id, strong });
+            defs.push(Def {
+                var,
+                node: id,
+                strong,
+            });
             defs_at[id] = Some(def_id);
         }
     }
@@ -232,7 +239,8 @@ impl Liveness {
 
     /// True if `name` is live out of `node`.
     pub fn is_live_out(&self, node: NodeId, name: &str) -> bool {
-        self.var_id(name).is_some_and(|v| self.live_out[node].contains(v))
+        self.var_id(name)
+            .is_some_and(|v| self.live_out[node].contains(v))
     }
 }
 
@@ -254,8 +262,7 @@ pub fn liveness(cfg: &Cfg<'_>) -> Liveness {
             .into_iter()
             .map(|n| intern(n, &mut vars, &mut id_of))
             .collect();
-        let d = node_def(&node.kind)
-            .map(|(n, strong)| (intern(n, &mut vars, &mut id_of), strong));
+        let d = node_def(&node.kind).map(|(n, strong)| (intern(n, &mut vars, &mut id_of), strong));
         uses.push(u);
         defs.push(d);
     }
@@ -290,7 +297,11 @@ pub fn liveness(cfg: &Cfg<'_>) -> Liveness {
             live_out[id] = out;
         }
     }
-    Liveness { vars, live_out, live_in }
+    Liveness {
+        vars,
+        live_out,
+        live_in,
+    }
 }
 
 /// Aggregate data-flow statistics used as features.
@@ -326,7 +337,10 @@ pub fn dataflow_stats(cfg: &Cfg<'_>, params: &[String], globals: &[String]) -> D
         }
     }
 
-    let mut stats = DataflowStats { defs: rd.defs.len(), ..Default::default() };
+    let mut stats = DataflowStats {
+        defs: rd.defs.len(),
+        ..Default::default()
+    };
 
     // du pairs + uninitialized uses.
     for (id, node) in cfg.nodes.iter().enumerate() {
@@ -336,9 +350,8 @@ pub fn dataflow_stats(cfg: &Cfg<'_>, params: &[String], globals: &[String]) -> D
                 .filter(|&d| rd.defs[d].var == used)
                 .collect();
             stats.du_pairs += reaching.len();
-            let is_tracked_local = locals.contains(&used)
-                && !params.contains(&used)
-                && !globals.contains(&used);
+            let is_tracked_local =
+                locals.contains(&used) && !params.contains(&used) && !globals.contains(&used);
             if reaching.is_empty() && is_tracked_local {
                 stats.possibly_uninitialized_uses += 1;
             }
@@ -422,15 +435,22 @@ mod tests {
 
     #[test]
     fn strong_def_kills_previous() {
-        with_cfg("fn f() { let x: int = 1; x = 2; let y: int = x; }", |cfg, _| {
-            let rd = reaching_definitions(cfg);
-            let y_node = rd.defs.iter().find(|d| d.var == "y").unwrap().node;
-            let reaching: Vec<usize> =
-                rd.reach_in[y_node].iter().filter(|&d| rd.defs[d].var == "x").collect();
-            // Only the second def of x reaches.
-            assert_eq!(reaching.len(), 1);
-            assert!(rd.defs[reaching[0]].node > rd.defs.iter().find(|d| d.var == "x").unwrap().node);
-        });
+        with_cfg(
+            "fn f() { let x: int = 1; x = 2; let y: int = x; }",
+            |cfg, _| {
+                let rd = reaching_definitions(cfg);
+                let y_node = rd.defs.iter().find(|d| d.var == "y").unwrap().node;
+                let reaching: Vec<usize> = rd.reach_in[y_node]
+                    .iter()
+                    .filter(|&d| rd.defs[d].var == "x")
+                    .collect();
+                // Only the second def of x reaches.
+                assert_eq!(reaching.len(), 1);
+                assert!(
+                    rd.defs[reaching[0]].node > rd.defs.iter().find(|d| d.var == "x").unwrap().node
+                );
+            },
+        );
     }
 
     #[test]
@@ -440,8 +460,10 @@ mod tests {
             |cfg, _| {
                 let rd = reaching_definitions(cfg);
                 let y_node = rd.defs.iter().find(|d| d.var == "y").unwrap().node;
-                let reaching_b =
-                    rd.reach_in[y_node].iter().filter(|&d| rd.defs[d].var == "b").count();
+                let reaching_b = rd.reach_in[y_node]
+                    .iter()
+                    .filter(|&d| rd.defs[d].var == "b")
+                    .count();
                 // b[0]= and b[i]= both reach (weak defs never kill); the
                 // bare `let b` declaration is not a def.
                 assert_eq!(reaching_b, 2);
@@ -456,8 +478,10 @@ mod tests {
             |cfg, _| {
                 let rd = reaching_definitions(cfg);
                 let y_node = rd.defs.iter().find(|d| d.var == "y").unwrap().node;
-                let reaching_x =
-                    rd.reach_in[y_node].iter().filter(|&d| rd.defs[d].var == "x").count();
+                let reaching_x = rd.reach_in[y_node]
+                    .iter()
+                    .filter(|&d| rd.defs[d].var == "x")
+                    .count();
                 // Both branch defs reach the join; the initial def is killed
                 // on both paths.
                 assert_eq!(reaching_x, 2);
@@ -472,8 +496,10 @@ mod tests {
             |cfg, _| {
                 let rd = reaching_definitions(cfg);
                 let z_node = rd.defs.iter().find(|d| d.var == "z").unwrap().node;
-                let reaching_i =
-                    rd.reach_in[z_node].iter().filter(|&d| rd.defs[d].var == "i").count();
+                let reaching_i = rd.reach_in[z_node]
+                    .iter()
+                    .filter(|&d| rd.defs[d].var == "i")
+                    .count();
                 // Initial def and loop-body def both reach after the loop.
                 assert_eq!(reaching_i, 2);
             },
@@ -495,7 +521,8 @@ mod tests {
 
     #[test]
     fn loop_carried_variable_is_live() {
-        let s = stats("fn f(n: int) -> int { let i: int = 0; while i < n { i = i + 1; } return i; }");
+        let s =
+            stats("fn f(n: int) -> int { let i: int = 0; while i < n { i = i + 1; } return i; }");
         assert_eq!(s.dead_stores, 0);
         assert!(s.du_pairs >= 4);
     }

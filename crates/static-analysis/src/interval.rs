@@ -26,7 +26,10 @@ pub struct Interval {
 }
 
 impl Interval {
-    pub const TOP: Interval = Interval { lo: i64::MIN, hi: i64::MAX };
+    pub const TOP: Interval = Interval {
+        lo: i64::MIN,
+        hi: i64::MAX,
+    };
     pub const BOTTOM: Interval = Interval { lo: 1, hi: 0 };
 
     /// The interval `[v, v]`.
@@ -60,12 +63,18 @@ impl Interval {
         if other.is_bottom() {
             return *self;
         }
-        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
     }
 
     /// Greatest lower bound.
     pub fn meet(&self, other: &Interval) -> Interval {
-        Interval { lo: self.lo.max(other.lo), hi: self.hi.min(other.hi) }
+        Interval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
     }
 
     /// Standard widening: unstable bounds jump to ±∞.
@@ -77,8 +86,16 @@ impl Interval {
             return *self;
         }
         Interval {
-            lo: if newer.lo < self.lo { i64::MIN } else { self.lo },
-            hi: if newer.hi > self.hi { i64::MAX } else { self.hi },
+            lo: if newer.lo < self.lo {
+                i64::MIN
+            } else {
+                self.lo
+            },
+            hi: if newer.hi > self.hi {
+                i64::MAX
+            } else {
+                self.hi
+            },
         }
     }
 
@@ -138,7 +155,10 @@ impl Interval {
         ];
         let lo = corners.iter().copied().min().expect("non-empty");
         let hi = corners.iter().copied().max().expect("non-empty");
-        Interval { lo: Self::sat(lo), hi: Self::sat(hi) }
+        Interval {
+            lo: Self::sat(lo),
+            hi: Self::sat(hi),
+        }
     }
 
     /// Abstract remainder `self % other` for positive divisors: result in
@@ -148,7 +168,10 @@ impl Interval {
             return Interval::BOTTOM;
         }
         if other.lo > 0 && self.lo >= 0 && other.hi < i64::MAX {
-            Interval { lo: 0, hi: (other.hi - 1).min(self.hi) }
+            Interval {
+                lo: 0,
+                hi: (other.hi - 1).min(self.hi),
+            }
         } else {
             Interval::TOP
         }
@@ -178,10 +201,14 @@ pub fn eval(expr: &Expr, env: &Env) -> Interval {
         ExprKind::Int(v) => Interval::constant(*v),
         ExprKind::Bool(b) => Interval::constant(*b as i64),
         ExprKind::Var(name) => env.get(name).copied().unwrap_or(Interval::TOP),
-        ExprKind::Unary { op: UnaryOp::Neg, operand } => {
-            Interval::constant(0).sub(&eval(operand, env))
-        }
-        ExprKind::Unary { op: UnaryOp::Not, operand } => {
+        ExprKind::Unary {
+            op: UnaryOp::Neg,
+            operand,
+        } => Interval::constant(0).sub(&eval(operand, env)),
+        ExprKind::Unary {
+            op: UnaryOp::Not,
+            operand,
+        } => {
             let v = eval(operand, env);
             if v == Interval::constant(0) {
                 Interval::constant(1)
@@ -295,15 +322,26 @@ pub fn assume(cond: &Expr, truth: bool, env: &Env) -> Option<Env> {
             }
             Some(out)
         }
-        ExprKind::Binary { op: BinaryOp::And, lhs, rhs } if truth => {
+        ExprKind::Binary {
+            op: BinaryOp::And,
+            lhs,
+            rhs,
+        } if truth => {
             let e1 = assume(lhs, true, env)?;
             assume(rhs, true, &e1)
         }
-        ExprKind::Binary { op: BinaryOp::Or, lhs, rhs } if !truth => {
+        ExprKind::Binary {
+            op: BinaryOp::Or,
+            lhs,
+            rhs,
+        } if !truth => {
             let e1 = assume(lhs, false, env)?;
             assume(rhs, false, &e1)
         }
-        ExprKind::Unary { op: UnaryOp::Not, operand } => assume(operand, !truth, env),
+        ExprKind::Unary {
+            op: UnaryOp::Not,
+            operand,
+        } => assume(operand, !truth, env),
         ExprKind::Bool(b) => {
             if *b == truth {
                 Some(env.clone())
@@ -416,9 +454,13 @@ pub fn analyze_cfg(cfg: &Cfg<'_>, f: &Function) -> IntervalAnalysis {
             // Join over incoming edge-refined environments.
             let mut joined: Option<Env> = None;
             for &p in &cfg.nodes[id].preds {
-                let Some(pred_env) = envs[p].as_ref() else { continue };
+                let Some(pred_env) = envs[p].as_ref() else {
+                    continue;
+                };
                 let contributed = edge_env(cfg, p, id, pred_env);
-                let Some(contributed) = contributed else { continue };
+                let Some(contributed) = contributed else {
+                    continue;
+                };
                 joined = Some(match joined {
                     None => contributed,
                     Some(j) => join_env(&j, &contributed),
@@ -484,15 +526,21 @@ pub fn apply_node_public(kind: &NodeKind<'_>, env: Env) -> Env {
 fn apply_node(kind: &NodeKind<'_>, mut env: Env) -> Env {
     if let NodeKind::Stmt(stmt) = kind {
         match &stmt.kind {
-            StmtKind::Let { name, ty, init }
-                if *ty == Type::Int => {
-                    let v = init.as_ref().map(|e| eval(e, &env)).unwrap_or(Interval::TOP);
-                    env.insert(name.clone(), v);
-                }
+            StmtKind::Let { name, ty, init } if *ty == Type::Int => {
+                let v = init
+                    .as_ref()
+                    .map(|e| eval(e, &env))
+                    .unwrap_or(Interval::TOP);
+                env.insert(name.clone(), v);
+            }
             // Assignments track every scalar variable, including
             // `for`-loop counters that were never declared with `let`.
             // Non-integer values evaluate to Top, which is sound.
-            StmtKind::Assign { target: LValue::Var(name, _), op, value } => {
+            StmtKind::Assign {
+                target: LValue::Var(name, _),
+                op,
+                value,
+            } => {
                 let rhs = eval(value, &env);
                 let new = match op {
                     None => rhs,
@@ -600,7 +648,8 @@ pub fn check_bounds(f: &Function) -> BoundsReport {
         let exprs: Vec<&Expr> = match &node.kind {
             NodeKind::Stmt(stmt) => {
                 if let StmtKind::Assign {
-                    target: LValue::Index { base, index, .. }, ..
+                    target: LValue::Index { base, index, .. },
+                    ..
                 } = &stmt.kind
                 {
                     check(base, index);
@@ -646,7 +695,10 @@ mod tests {
         assert_eq!(a.add(&b), Interval::new(-1, 5));
         assert_eq!(a.sub(&b), Interval::new(-1, 5));
         assert_eq!(a.mul(&b), Interval::new(-6, 6));
-        assert_eq!(Interval::new(0, 100).rem(&Interval::constant(8)), Interval::new(0, 7));
+        assert_eq!(
+            Interval::new(0, 100).rem(&Interval::constant(8)),
+            Interval::new(0, 7)
+        );
     }
 
     #[test]
@@ -755,7 +807,9 @@ mod tests {
         let mut env = Env::new();
         env.insert("x".into(), Interval::new(5, 5));
         let m = func("fn f(x: int) { if x < 3 { } }");
-        let StmtKind::If { cond, .. } = &m.functions[0].body.stmts[0].kind else { panic!() };
+        let StmtKind::If { cond, .. } = &m.functions[0].body.stmts[0].kind else {
+            panic!()
+        };
         assert!(assume(cond, true, &env).is_none());
         assert!(assume(cond, false, &env).is_some());
     }
@@ -771,7 +825,14 @@ mod tests {
             }",
         );
         let r = check_bounds(&m.functions[0]);
-        assert_eq!(r, BoundsReport { safe: 2, out_of_bounds: 1, unknown: 0 });
+        assert_eq!(
+            r,
+            BoundsReport {
+                safe: 2,
+                out_of_bounds: 1,
+                unknown: 0
+            }
+        );
     }
 
     #[test]
@@ -814,7 +875,9 @@ mod tests {
         let mut env = Env::new();
         env.insert("x".into(), Interval::new(0, 5));
         let m = func("fn f(x: int) -> bool { return x < 10; }");
-        let StmtKind::Return(Some(e)) = &m.functions[0].body.stmts[0].kind else { panic!() };
+        let StmtKind::Return(Some(e)) = &m.functions[0].body.stmts[0].kind else {
+            panic!()
+        };
         assert_eq!(eval(e, &env), Interval::constant(1));
     }
 }

@@ -126,7 +126,12 @@ pub fn count_source(source: &str, dialect: Dialect) -> LocCounts {
 
 /// Byte width of the character starting at `i` (1 for ASCII).
 fn utf8_step(s: &str, i: usize) -> usize {
-    s[i..].chars().next().map(|c| c.len_utf8()).max(Some(1)).unwrap_or(1)
+    s[i..]
+        .chars()
+        .next()
+        .map(|c| c.len_utf8())
+        .max(Some(1))
+        .unwrap_or(1)
 }
 
 /// Count one module using its own dialect.
@@ -151,7 +156,14 @@ mod tests {
     fn classifies_code_comment_blank() {
         let src = "let x: int = 1;\n// only comment\n\n   \nx = 2; // trailing\n";
         let c = count_source(src, Dialect::C);
-        assert_eq!(c, LocCounts { code: 2, comment: 1, blank: 2 });
+        assert_eq!(
+            c,
+            LocCounts {
+                code: 2,
+                comment: 1,
+                blank: 2
+            }
+        );
         assert_eq!(c.total(), 5);
     }
 
@@ -159,7 +171,14 @@ mod tests {
     fn block_comment_spanning_lines() {
         let src = "a;\n/* one\n two\n three */\nb;\n";
         let c = count_source(src, Dialect::C);
-        assert_eq!(c, LocCounts { code: 2, comment: 3, blank: 0 });
+        assert_eq!(
+            c,
+            LocCounts {
+                code: 2,
+                comment: 3,
+                blank: 0
+            }
+        );
     }
 
     #[test]
@@ -167,14 +186,28 @@ mod tests {
         let src = "a; /* comment\nstill comment */ b;\n";
         let c = count_source(src, Dialect::C);
         // Line 1 has code then comment → code; line 2 has comment then code → code.
-        assert_eq!(c, LocCounts { code: 2, comment: 0, blank: 0 });
+        assert_eq!(
+            c,
+            LocCounts {
+                code: 2,
+                comment: 0,
+                blank: 0
+            }
+        );
     }
 
     #[test]
     fn comment_marker_inside_string_is_code() {
         let src = "printf(\"// not a comment /* nope */\");\n";
         let c = count_source(src, Dialect::C);
-        assert_eq!(c, LocCounts { code: 1, comment: 0, blank: 0 });
+        assert_eq!(
+            c,
+            LocCounts {
+                code: 1,
+                comment: 0,
+                blank: 0
+            }
+        );
     }
 
     #[test]
@@ -189,7 +222,14 @@ mod tests {
     fn python_dialect_hash_comments() {
         let src = "x = 1\n# comment\n\"\"\" block\nstill \"\"\"\ny = 2\n";
         let c = count_source(src, Dialect::Python);
-        assert_eq!(c, LocCounts { code: 2, comment: 3, blank: 0 });
+        assert_eq!(
+            c,
+            LocCounts {
+                code: 2,
+                comment: 3,
+                blank: 0
+            }
+        );
     }
 
     #[test]
@@ -212,7 +252,11 @@ mod tests {
 
     #[test]
     fn totals_and_ratios() {
-        let c = LocCounts { code: 200, comment: 50, blank: 10 };
+        let c = LocCounts {
+            code: 200,
+            comment: 50,
+            blank: 10,
+        };
         assert_eq!(c.total(), 260);
         assert!((c.kloc() - 0.2).abs() < 1e-12);
         assert!((c.comment_ratio() - 0.25).abs() < 1e-12);
@@ -223,7 +267,14 @@ mod tests {
     fn unterminated_block_comment_runs_to_eof() {
         let src = "a;\n/* unterminated\nmore\n";
         let c = count_source(src, Dialect::C);
-        assert_eq!(c, LocCounts { code: 1, comment: 2, blank: 0 });
+        assert_eq!(
+            c,
+            LocCounts {
+                code: 1,
+                comment: 2,
+                blank: 0
+            }
+        );
     }
 
     #[test]

@@ -32,7 +32,12 @@ pub struct PathConfig {
 
 impl Default for PathConfig {
     fn default() -> Self {
-        PathConfig { loop_bound: 2, max_states: 20_000, prune_infeasible: true, input_range: None }
+        PathConfig {
+            loop_bound: 2,
+            max_states: 20_000,
+            prune_infeasible: true,
+            input_range: None,
+        }
     }
 }
 
@@ -66,11 +71,20 @@ pub fn explore(f: &Function, config: &PathConfig) -> PathReport {
         }
     }
 
-    let mut report =
-        PathReport { paths: 0, infeasible: 0, loop_bounded: 0, capped: false, states: 0 };
+    let mut report = PathReport {
+        paths: 0,
+        infeasible: 0,
+        loop_bounded: 0,
+        capped: false,
+        states: 0,
+    };
     // Depth-first over (node, env, per-edge traversal counts). Edge counts
     // are path-local, so they ride along on the stack.
-    let mut stack: Vec<State> = vec![State { node: cfg.entry, env, edge_counts: Vec::new() }];
+    let mut stack: Vec<State> = vec![State {
+        node: cfg.entry,
+        env,
+        edge_counts: Vec::new(),
+    }];
     while let Some(state) = stack.pop() {
         report.states += 1;
         if report.states >= config.max_states {
@@ -122,7 +136,11 @@ pub fn explore(f: &Function, config: &PathConfig) -> PathReport {
                 Some((_, c)) => *c += 1,
                 None => edge_counts.push((key, 1)),
             }
-            stack.push(State { node: succ, env, edge_counts });
+            stack.push(State {
+                node: succ,
+                env,
+                edge_counts,
+            });
         }
     }
     report
@@ -203,7 +221,10 @@ mod tests {
 
     #[test]
     fn without_pruning_all_paths_counted() {
-        let cfg = PathConfig { prune_infeasible: false, ..Default::default() };
+        let cfg = PathConfig {
+            prune_infeasible: false,
+            ..Default::default()
+        };
         let r = paths(
             "fn f(x: int) {
                 if x > 0 { log_msg(\"a\"); }
@@ -217,8 +238,14 @@ mod tests {
 
     #[test]
     fn loop_paths_bounded() {
-        let cfg = PathConfig { loop_bound: 2, ..Default::default() };
-        let r = paths("fn f(n: int) { let i: int = 0; while i < n { i += 1; } }", &cfg);
+        let cfg = PathConfig {
+            loop_bound: 2,
+            ..Default::default()
+        };
+        let r = paths(
+            "fn f(n: int) { let i: int = 0; while i < n { i += 1; } }",
+            &cfg,
+        );
         // 0, 1 or 2 iterations complete; deeper unrollings are bounded away.
         assert_eq!(r.paths, 3);
         assert!(r.loop_bounded > 0);
@@ -232,7 +259,10 @@ mod tests {
             input_range: Some((0, 1)),
             ..Default::default()
         };
-        let r = paths("fn f(n: int) { let i: int = 0; while i < n { i += 1; } }", &cfg);
+        let r = paths(
+            "fn f(n: int) { let i: int = 0; while i < n { i += 1; } }",
+            &cfg,
+        );
         assert_eq!(r.paths, 2);
     }
 
@@ -257,7 +287,10 @@ mod tests {
 
     #[test]
     fn state_cap_reported() {
-        let cfg = PathConfig { max_states: 10, ..Default::default() };
+        let cfg = PathConfig {
+            max_states: 10,
+            ..Default::default()
+        };
         let r = paths(
             "fn f(a: int, b: int, c: int, d: int) {
                 if a > 0 { } if b > 0 { } if c > 0 { } if d > 0 { }

@@ -8,7 +8,9 @@
 
 use crate::features::FeatureVector;
 use crate::paths::PathConfig;
-use crate::{callgraph, counts, cyclomatic, dataflow, halstead, interval, loc, paths, smells, taint};
+use crate::{
+    callgraph, counts, cyclomatic, dataflow, halstead, interval, loc, paths, smells, taint,
+};
 use minilang::ast::Program;
 
 /// One analysis that contributes features for a program.
@@ -175,7 +177,10 @@ impl MetricCollector for CallGraphCollector {
         out.set("callgraph.max_in_degree", s.max_in_degree as f64);
         out.set("callgraph.leaf_functions", s.leaf_functions as f64);
         out.set("callgraph.root_functions", s.root_functions as f64);
-        out.set("callgraph.recursive_functions", s.recursive_functions as f64);
+        out.set(
+            "callgraph.recursive_functions",
+            s.recursive_functions as f64,
+        );
     }
 }
 
@@ -206,7 +211,10 @@ impl MetricCollector for DataflowCollector {
         out.set("dataflow.defs", total.defs as f64);
         out.set("dataflow.du_pairs", total.du_pairs as f64);
         out.set("dataflow.dead_stores", total.dead_stores as f64);
-        out.set("dataflow.uninitialized_uses", total.possibly_uninitialized_uses as f64);
+        out.set(
+            "dataflow.uninitialized_uses",
+            total.possibly_uninitialized_uses as f64,
+        );
     }
 }
 
@@ -224,7 +232,10 @@ impl MetricCollector for TaintCollector {
         out.set("taint.exposed_flows", r.exposed_flows() as f64);
         out.set("taint.source_calls", r.source_calls as f64);
         out.set("taint.sink_calls", r.sink_calls as f64);
-        out.set("taint.tainted_entry_functions", r.tainted_entry_functions.len() as f64);
+        out.set(
+            "taint.tainted_entry_functions",
+            r.tainted_entry_functions.len() as f64,
+        );
     }
 }
 
@@ -268,7 +279,10 @@ impl MetricCollector for PathCollector {
     fn collect(&self, program: &Program, out: &mut FeatureVector) {
         // Per-function exploration with modest bounds; sum of log-counts so
         // one explosive function doesn't swamp the feature.
-        let config = PathConfig { max_states: 4_000, ..Default::default() };
+        let config = PathConfig {
+            max_states: 4_000,
+            ..Default::default()
+        };
         let mut feasible = 0f64;
         let mut infeasible = 0usize;
         let mut log_sum = 0f64;
@@ -329,7 +343,10 @@ impl MetricCollector for LanguageCollector {
             let name = format!("lang.is_{}", d.extension());
             out.set(name, (program.dialect == d) as u8 as f64);
         }
-        out.set("lang.memory_unsafe", program.dialect.is_memory_unsafe() as u8 as f64);
+        out.set(
+            "lang.memory_unsafe",
+            program.dialect.is_memory_unsafe() as u8 as f64,
+        );
     }
 }
 
@@ -365,8 +382,17 @@ mod tests {
         let fv = standard_registry().run(&program());
         // Every collector family must contribute.
         for prefix in [
-            "loc.", "cyclomatic.", "halstead.", "counts.", "callgraph.", "dataflow.", "taint.",
-            "bounds.", "paths.", "smells.", "lang.",
+            "loc.",
+            "cyclomatic.",
+            "halstead.",
+            "counts.",
+            "callgraph.",
+            "dataflow.",
+            "taint.",
+            "bounds.",
+            "paths.",
+            "smells.",
+            "lang.",
         ] {
             assert!(
                 !fv.with_prefix(prefix).is_empty(),

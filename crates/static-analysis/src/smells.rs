@@ -156,7 +156,13 @@ fn detect_function(
     deprecated: &[&str],
     smells: &mut Vec<Smell>,
 ) {
-    let mut push = |kind| smells.push(Smell { kind, site: f.name.clone(), span: f.span });
+    let mut push = |kind| {
+        smells.push(Smell {
+            kind,
+            site: f.name.clone(),
+            span: f.span,
+        })
+    };
 
     // Long method: measured in source lines spanned by the body.
     let body_lines = count_stmts(f);
@@ -307,8 +313,9 @@ mod tests {
 
     #[test]
     fn commented_module_is_clean() {
-        let stmts: Vec<String> =
-            (0..60).map(|i| format!("// step {i}\nlet v{i}: int = {i};")).collect();
+        let stmts: Vec<String> = (0..60)
+            .map(|i| format!("// step {i}\nlet v{i}: int = {i};"))
+            .collect();
         let src = format!("fn f() {{\n{}\n}}", stmts.join("\n"));
         let s = smells_in(&src);
         assert!(!has(&s, SmellKind::SparseComments));

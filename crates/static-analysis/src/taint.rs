@@ -80,8 +80,10 @@ pub fn analyze(program: &Program) -> TaintReport {
         program.functions().map(|f| (f.name.as_str(), f)).collect();
 
     // Phase 1: summaries to fixpoint.
-    let mut summaries: BTreeMap<String, TaintSummary> =
-        functions.keys().map(|&n| (n.to_string(), TaintSummary::default())).collect();
+    let mut summaries: BTreeMap<String, TaintSummary> = functions
+        .keys()
+        .map(|&n| (n.to_string(), TaintSummary::default()))
+        .collect();
     loop {
         let mut changed = false;
         for (&name, &f) in &functions {
@@ -236,8 +238,7 @@ fn intra(
         for root in exprs {
             visit::walk_expr(root, &mut |e| {
                 if let ExprKind::Call { callee, args } = &e.kind {
-                    let any_arg_tainted =
-                        args.iter().any(|a| expr_tainted(a, tainted, summaries));
+                    let any_arg_tainted = args.iter().any(|a| expr_tainted(a, tainted, summaries));
                     if let Some(i) = Intrinsic::from_name(callee) {
                         if i.is_dangerous_sink() && any_arg_tainted {
                             result.hit_sink = true;
@@ -273,7 +274,9 @@ fn transfer(
     if let NodeKind::Stmt(stmt) = kind {
         match &stmt.kind {
             StmtKind::Let { name, init, .. } => {
-                let t = init.as_ref().is_some_and(|e| expr_tainted(e, inset, summaries));
+                let t = init
+                    .as_ref()
+                    .is_some_and(|e| expr_tainted(e, inset, summaries));
                 if t {
                     out.insert(name.clone());
                 } else {
@@ -373,9 +376,7 @@ mod tests {
 
     #[test]
     fn taint_through_assignment_chain() {
-        let r = report(
-            "fn f() { let a: str = recv(0); let b: str = a; let c: str = b; exec(c); }",
-        );
+        let r = report("fn f() { let a: str = recv(0); let b: str = a; let c: str = b; exec(c); }");
         assert_eq!(r.flows.len(), 1);
     }
 

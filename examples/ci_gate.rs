@@ -57,7 +57,10 @@ fn main() {
     let corpus = Corpus::generate(&config);
     let model = Trainer::new().train(&corpus);
 
-    let versions = [("v1 → v2 (hardening)", V1, V2), ("v2 → v3 (admin feature)", V2, V3)];
+    let versions = [
+        ("v1 → v2 (hardening)", V1, V2),
+        ("v2 → v3 (admin feature)", V2, V3),
+    ];
     let mut failures = 0;
     for (label, before_src, after_src) in versions {
         let before = parse_program(

@@ -57,14 +57,19 @@ fn main() {
     let corpus = Corpus::generate(&config);
     let model = Trainer::new().train(&corpus);
 
-    for (label, containment) in
-        [("flat deployment (no containment)", Containment::None),
-         ("config agent inside a VM", Containment::Vm)]
-    {
+    for (label, containment) in [
+        ("flat deployment (no containment)", Containment::None),
+        ("config agent inside a VM", Containment::Vm),
+    ] {
         let system = SystemSpec {
             name: format!("web-stack / {label}"),
             components: vec![
-                component("frontend", FRONTEND, Exposure::NetworkFacing, Containment::None),
+                component(
+                    "frontend",
+                    FRONTEND,
+                    Exposure::NetworkFacing,
+                    Containment::None,
+                ),
                 component("worker", WORKER, Exposure::Internal, Containment::None),
                 component("config-agent", AGENT, Exposure::Infrastructure, containment),
             ],

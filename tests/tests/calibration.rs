@@ -63,7 +63,11 @@ fn corpus_scale_card_matches_config() {
     let corpus = corpus();
     let study = run_study(corpus);
     // 40 long-history apps configured; nearly all must survive selection.
-    assert!(study.points.len() >= 37, "only {} selected", study.points.len());
+    assert!(
+        study.points.len() >= 37,
+        "only {} selected",
+        study.points.len()
+    );
     let sum: usize = study.language_counts.iter().sum();
     assert_eq!(sum, study.points.len());
     // C dominates, as in the paper's 126/164.

@@ -45,7 +45,10 @@ fn bufcheck_detects_most_seeded_stack_overflows() {
     }
     assert!(seeded > 0, "corpus seeded no CWE-121 at all");
     let rate = detected as f64 / seeded as f64;
-    assert!(rate >= 0.9, "bufcheck caught only {detected}/{seeded} seeded apps");
+    assert!(
+        rate >= 0.9,
+        "bufcheck caught only {detected}/{seeded} seeded apps"
+    );
 }
 
 #[test]
@@ -84,8 +87,7 @@ fn exposed_seeds_make_cvss_network_vectors() {
             // Records are publication-ordered, seeds insertion-ordered, so
             // match by CWE multiset membership instead of position.
             let _ = record;
-            let matching: Vec<_> =
-                records.iter().filter(|r| r.cwe == seed.cwe).collect();
+            let matching: Vec<_> = records.iter().filter(|r| r.cwe == seed.cwe).collect();
             assert!(!matching.is_empty());
             if seed.exposed {
                 assert!(

@@ -72,8 +72,20 @@ fn testbed_features_cover_every_family_on_corpus_apps() {
     let t = Testbed::new();
     let fv = t.extract(&corpus.apps[0].program);
     for prefix in [
-        "loc.", "cyclomatic.", "halstead.", "counts.", "callgraph.", "dataflow.", "taint.",
-        "bounds.", "paths.", "smells.", "lang.", "bugfind.", "rasq.", "attackgraph.",
+        "loc.",
+        "cyclomatic.",
+        "halstead.",
+        "counts.",
+        "callgraph.",
+        "dataflow.",
+        "taint.",
+        "bounds.",
+        "paths.",
+        "smells.",
+        "lang.",
+        "bugfind.",
+        "rasq.",
+        "attackgraph.",
     ] {
         assert!(!fv.with_prefix(prefix).is_empty(), "missing {prefix}");
     }

