@@ -7,6 +7,7 @@ use clairvoyant::dynamic::dynamic_features;
 use clairvoyant::extract::extract_apps;
 use clairvoyant::PipelineConfig;
 use cvedb::SelectionCriteria;
+use secml::dataset::ColMatrix;
 use secml::eval::cross_validate_regressor;
 use secml::linreg::LinearRegression;
 use secml::preprocess::{log1p_rows, Standardizer};
@@ -56,10 +57,16 @@ fn main() {
     prep(&mut static_rows);
     prep(&mut extended_rows);
 
+    let static_matrix = ColMatrix::from_rows(&static_rows);
+    let extended_matrix = ColMatrix::from_rows(&extended_rows);
     let static_cv =
-        cross_validate_regressor(|| LinearRegression::ridge(1.0), &static_rows, &counts, 5);
-    let extended_cv =
-        cross_validate_regressor(|| LinearRegression::ridge(1.0), &extended_rows, &counts, 5);
+        cross_validate_regressor(|| LinearRegression::ridge(1.0), &static_matrix, &counts, 5);
+    let extended_cv = cross_validate_regressor(
+        || LinearRegression::ridge(1.0),
+        &extended_matrix,
+        &counts,
+        5,
+    );
 
     println!(
         "count regression (log10 CVEs), 5-fold CV over {} apps:",

@@ -505,6 +505,277 @@ impl Checker for HardcodedCredentialChecker {
 // Re-check that the Type import is used (buffer capacities come through it).
 const _: fn(&Type) -> Option<usize> = Type::buffer_capacity;
 
+/// CWE-22: a tainted path (parameter of an untrusted/endpoint function, or
+/// data from an input intrinsic) flowing into `read_file`/`write_file`/
+/// `open` without a validating branch on it.
+pub struct PathTraversalChecker;
+
+impl Checker for PathTraversalChecker {
+    fn name(&self) -> &'static str {
+        "pathcheck"
+    }
+
+    fn check(&self, program: &Program) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let taint = static_analysis::taint::analyze(program);
+        for_each_function(program, |module, function| {
+            let entry_tainted = taint.tainted_entry_functions.contains(&function.name);
+            // Variables holding raw input in this function.
+            let mut tainted_vars: Vec<String> = if entry_tainted {
+                function.params.iter().map(|p| p.name.clone()).collect()
+            } else {
+                Vec::new()
+            };
+            visit::walk_stmts(&function.body, &mut |s| {
+                if let StmtKind::Let {
+                    name,
+                    init: Some(e),
+                    ..
+                } = &s.kind
+                {
+                    let mut from_source = false;
+                    visit::walk_expr(e, &mut |sub| {
+                        if let ExprKind::Call { callee, .. } = &sub.kind {
+                            if Intrinsic::from_name(callee).is_some_and(|i| i.is_taint_source()) {
+                                from_source = true;
+                            }
+                        }
+                        if let ExprKind::Var(v) = &sub.kind {
+                            if tainted_vars.contains(v) {
+                                from_source = true;
+                            }
+                        }
+                    });
+                    if from_source {
+                        tainted_vars.push(name.clone());
+                    }
+                }
+            });
+            // Validated names (mentioned in any branch condition).
+            let mut validated: Vec<String> = Vec::new();
+            visit::walk_stmts(&function.body, &mut |s| {
+                let cond = match &s.kind {
+                    StmtKind::If { cond, .. } | StmtKind::While { cond, .. } => Some(cond),
+                    _ => None,
+                };
+                if let Some(c) = cond {
+                    visit::walk_expr(c, &mut |e| {
+                        if let ExprKind::Var(v) = &e.kind {
+                            validated.push(v.clone());
+                        }
+                        // strlen(p) in a guard counts as validating p.
+                        if let ExprKind::Call { args, .. } = &e.kind {
+                            for a in args {
+                                if let ExprKind::Var(v) = &a.kind {
+                                    validated.push(v.clone());
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            visit::walk_exprs(&function.body, &mut |e| {
+                let ExprKind::Call { callee, args } = &e.kind else {
+                    return;
+                };
+                let is_fs = matches!(
+                    Intrinsic::from_name(callee),
+                    Some(Intrinsic::ReadFile | Intrinsic::WriteFile | Intrinsic::Open)
+                );
+                if !is_fs {
+                    return;
+                }
+                if let Some(ExprKind::Var(path)) = args.first().map(|a| &a.kind) {
+                    if tainted_vars.contains(path) && !validated.contains(path) {
+                        out.push(Diagnostic {
+                            tool: "pathcheck",
+                            rule: "tainted-path",
+                            severity: DiagSeverity::Warning,
+                            function: function.name.clone(),
+                            module: module.path.clone(),
+                            span: e.span,
+                            cwe_hint: Some(22),
+                            message: format!(
+                                "attacker-influenced path `{path}` reaches `{callee}`"
+                            ),
+                        });
+                    }
+                }
+            });
+        });
+        out
+    }
+}
+
+/// CWE-416 / CWE-401: `free(p)` followed by a later use of `p` (UAF), and
+/// `alloc` results whose variable is never passed to `free` (leak).
+pub struct AllocLifetimeChecker;
+
+impl Checker for AllocLifetimeChecker {
+    fn name(&self) -> &'static str {
+        "alloccheck"
+    }
+
+    fn check(&self, program: &Program) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for_each_function(program, |module, function| {
+            // Source-order events on alloc'd variables.
+            let mut allocated: Vec<String> = Vec::new();
+            visit::walk_stmts(&function.body, &mut |s| {
+                if let StmtKind::Let {
+                    name,
+                    init: Some(e),
+                    ..
+                } = &s.kind
+                {
+                    let mut from_alloc = false;
+                    visit::walk_expr(e, &mut |sub| {
+                        if let ExprKind::Call { callee, .. } = &sub.kind {
+                            if Intrinsic::from_name(callee) == Some(Intrinsic::Alloc) {
+                                from_alloc = true;
+                            }
+                        }
+                    });
+                    if from_alloc {
+                        allocated.push(name.clone());
+                    }
+                }
+            });
+            if allocated.is_empty() {
+                return;
+            }
+            // Order calls and uses.
+            // (order, free-call span) per freed variable; the variable
+            // mention inside the `free(p)` call itself is not a use.
+            let mut freed_at: std::collections::BTreeMap<String, (usize, minilang::Span)> =
+                std::collections::BTreeMap::new();
+            let mut uses_after: Vec<(String, minilang::Span)> = Vec::new();
+            let mut order = 0usize;
+            visit::walk_exprs(&function.body, &mut |e| {
+                order += 1;
+                match &e.kind {
+                    ExprKind::Call { callee, args }
+                        if Intrinsic::from_name(callee) == Some(Intrinsic::Free) =>
+                    {
+                        if let Some(ExprKind::Var(v)) = args.first().map(|a| &a.kind) {
+                            freed_at.entry(v.clone()).or_insert((order, e.span));
+                        }
+                    }
+                    ExprKind::Var(v) => {
+                        if let Some(&(at, free_span)) = freed_at.get(v) {
+                            let inside_free_call =
+                                e.span.start >= free_span.start && e.span.end <= free_span.end;
+                            if order > at && !inside_free_call {
+                                uses_after.push((v.clone(), e.span));
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            });
+            for (var, span) in uses_after {
+                out.push(Diagnostic {
+                    tool: "alloccheck",
+                    rule: "use-after-free",
+                    severity: DiagSeverity::Error,
+                    function: function.name.clone(),
+                    module: module.path.clone(),
+                    span,
+                    cwe_hint: Some(416),
+                    message: format!("`{var}` used after being freed"),
+                });
+            }
+            for var in &allocated {
+                if !freed_at.contains_key(var.as_str()) {
+                    out.push(Diagnostic {
+                        tool: "alloccheck",
+                        rule: "memory-leak",
+                        severity: DiagSeverity::Note,
+                        function: function.name.clone(),
+                        module: module.path.clone(),
+                        span: function.span,
+                        cwe_hint: Some(401),
+                        message: format!("allocation `{var}` is never freed"),
+                    });
+                }
+            }
+        });
+        out
+    }
+}
+
+/// CWE-200: secret-looking data (secret-named variables, `getenv` results)
+/// written to an attacker-observable channel (`send`).
+pub struct InfoExposureChecker;
+
+impl Checker for InfoExposureChecker {
+    fn name(&self) -> &'static str {
+        "leakcheck"
+    }
+
+    fn check(&self, program: &Program) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for_each_function(program, |module, function| {
+            // Secret carriers: secret-named variables and getenv() results.
+            let mut secrets: Vec<String> = Vec::new();
+            visit::walk_stmts(&function.body, &mut |s| {
+                if let StmtKind::Let { name, init, .. } = &s.kind {
+                    let named_secret = HardcodedCredentialChecker::is_secret_name(name);
+                    let from_env = init.as_ref().is_some_and(|e| {
+                        let mut hit = false;
+                        visit::walk_expr(e, &mut |sub| {
+                            if let ExprKind::Call { callee, .. } = &sub.kind {
+                                if Intrinsic::from_name(callee) == Some(Intrinsic::Getenv) {
+                                    hit = true;
+                                }
+                            }
+                        });
+                        hit
+                    });
+                    if named_secret || from_env {
+                        secrets.push(name.clone());
+                    }
+                }
+            });
+            if secrets.is_empty() {
+                return;
+            }
+            visit::walk_exprs(&function.body, &mut |e| {
+                let ExprKind::Call { callee, args } = &e.kind else {
+                    return;
+                };
+                if Intrinsic::from_name(callee) != Some(Intrinsic::Send) {
+                    return;
+                }
+                for a in args {
+                    let mut leaked: Option<String> = None;
+                    visit::walk_expr(a, &mut |sub| {
+                        if let ExprKind::Var(v) = &sub.kind {
+                            if secrets.contains(v) && leaked.is_none() {
+                                leaked = Some(v.clone());
+                            }
+                        }
+                    });
+                    if let Some(var) = leaked {
+                        out.push(Diagnostic {
+                            tool: "leakcheck",
+                            rule: "secret-on-channel",
+                            severity: DiagSeverity::Warning,
+                            function: function.name.clone(),
+                            module: module.path.clone(),
+                            span: e.span,
+                            cwe_hint: Some(200),
+                            message: format!("secret `{var}` written to a network channel"),
+                        });
+                        break;
+                    }
+                }
+            });
+        });
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -787,276 +1058,5 @@ mod tests {
                 "leakcheck"
             ]
         );
-    }
-}
-
-/// CWE-22: a tainted path (parameter of an untrusted/endpoint function, or
-/// data from an input intrinsic) flowing into `read_file`/`write_file`/
-/// `open` without a validating branch on it.
-pub struct PathTraversalChecker;
-
-impl Checker for PathTraversalChecker {
-    fn name(&self) -> &'static str {
-        "pathcheck"
-    }
-
-    fn check(&self, program: &Program) -> Vec<Diagnostic> {
-        let mut out = Vec::new();
-        let taint = static_analysis::taint::analyze(program);
-        for_each_function(program, |module, function| {
-            let entry_tainted = taint.tainted_entry_functions.contains(&function.name);
-            // Variables holding raw input in this function.
-            let mut tainted_vars: Vec<String> = if entry_tainted {
-                function.params.iter().map(|p| p.name.clone()).collect()
-            } else {
-                Vec::new()
-            };
-            visit::walk_stmts(&function.body, &mut |s| {
-                if let StmtKind::Let {
-                    name,
-                    init: Some(e),
-                    ..
-                } = &s.kind
-                {
-                    let mut from_source = false;
-                    visit::walk_expr(e, &mut |sub| {
-                        if let ExprKind::Call { callee, .. } = &sub.kind {
-                            if Intrinsic::from_name(callee).is_some_and(|i| i.is_taint_source()) {
-                                from_source = true;
-                            }
-                        }
-                        if let ExprKind::Var(v) = &sub.kind {
-                            if tainted_vars.contains(v) {
-                                from_source = true;
-                            }
-                        }
-                    });
-                    if from_source {
-                        tainted_vars.push(name.clone());
-                    }
-                }
-            });
-            // Validated names (mentioned in any branch condition).
-            let mut validated: Vec<String> = Vec::new();
-            visit::walk_stmts(&function.body, &mut |s| {
-                let cond = match &s.kind {
-                    StmtKind::If { cond, .. } | StmtKind::While { cond, .. } => Some(cond),
-                    _ => None,
-                };
-                if let Some(c) = cond {
-                    visit::walk_expr(c, &mut |e| {
-                        if let ExprKind::Var(v) = &e.kind {
-                            validated.push(v.clone());
-                        }
-                        // strlen(p) in a guard counts as validating p.
-                        if let ExprKind::Call { args, .. } = &e.kind {
-                            for a in args {
-                                if let ExprKind::Var(v) = &a.kind {
-                                    validated.push(v.clone());
-                                }
-                            }
-                        }
-                    });
-                }
-            });
-            visit::walk_exprs(&function.body, &mut |e| {
-                let ExprKind::Call { callee, args } = &e.kind else {
-                    return;
-                };
-                let is_fs = matches!(
-                    Intrinsic::from_name(callee),
-                    Some(Intrinsic::ReadFile | Intrinsic::WriteFile | Intrinsic::Open)
-                );
-                if !is_fs {
-                    return;
-                }
-                if let Some(ExprKind::Var(path)) = args.first().map(|a| &a.kind) {
-                    if tainted_vars.contains(path) && !validated.contains(path) {
-                        out.push(Diagnostic {
-                            tool: "pathcheck",
-                            rule: "tainted-path",
-                            severity: DiagSeverity::Warning,
-                            function: function.name.clone(),
-                            module: module.path.clone(),
-                            span: e.span,
-                            cwe_hint: Some(22),
-                            message: format!(
-                                "attacker-influenced path `{path}` reaches `{callee}`"
-                            ),
-                        });
-                    }
-                }
-            });
-        });
-        out
-    }
-}
-
-/// CWE-416 / CWE-401: `free(p)` followed by a later use of `p` (UAF), and
-/// `alloc` results whose variable is never passed to `free` (leak).
-pub struct AllocLifetimeChecker;
-
-impl Checker for AllocLifetimeChecker {
-    fn name(&self) -> &'static str {
-        "alloccheck"
-    }
-
-    fn check(&self, program: &Program) -> Vec<Diagnostic> {
-        let mut out = Vec::new();
-        for_each_function(program, |module, function| {
-            // Source-order events on alloc'd variables.
-            let mut allocated: Vec<String> = Vec::new();
-            visit::walk_stmts(&function.body, &mut |s| {
-                if let StmtKind::Let {
-                    name,
-                    init: Some(e),
-                    ..
-                } = &s.kind
-                {
-                    let mut from_alloc = false;
-                    visit::walk_expr(e, &mut |sub| {
-                        if let ExprKind::Call { callee, .. } = &sub.kind {
-                            if Intrinsic::from_name(callee) == Some(Intrinsic::Alloc) {
-                                from_alloc = true;
-                            }
-                        }
-                    });
-                    if from_alloc {
-                        allocated.push(name.clone());
-                    }
-                }
-            });
-            if allocated.is_empty() {
-                return;
-            }
-            // Order calls and uses.
-            // (order, free-call span) per freed variable; the variable
-            // mention inside the `free(p)` call itself is not a use.
-            let mut freed_at: std::collections::BTreeMap<String, (usize, minilang::Span)> =
-                std::collections::BTreeMap::new();
-            let mut uses_after: Vec<(String, minilang::Span)> = Vec::new();
-            let mut order = 0usize;
-            visit::walk_exprs(&function.body, &mut |e| {
-                order += 1;
-                match &e.kind {
-                    ExprKind::Call { callee, args }
-                        if Intrinsic::from_name(callee) == Some(Intrinsic::Free) =>
-                    {
-                        if let Some(ExprKind::Var(v)) = args.first().map(|a| &a.kind) {
-                            freed_at.entry(v.clone()).or_insert((order, e.span));
-                        }
-                    }
-                    ExprKind::Var(v) => {
-                        if let Some(&(at, free_span)) = freed_at.get(v) {
-                            let inside_free_call =
-                                e.span.start >= free_span.start && e.span.end <= free_span.end;
-                            if order > at && !inside_free_call {
-                                uses_after.push((v.clone(), e.span));
-                            }
-                        }
-                    }
-                    _ => {}
-                }
-            });
-            for (var, span) in uses_after {
-                out.push(Diagnostic {
-                    tool: "alloccheck",
-                    rule: "use-after-free",
-                    severity: DiagSeverity::Error,
-                    function: function.name.clone(),
-                    module: module.path.clone(),
-                    span,
-                    cwe_hint: Some(416),
-                    message: format!("`{var}` used after being freed"),
-                });
-            }
-            for var in &allocated {
-                if !freed_at.contains_key(var.as_str()) {
-                    out.push(Diagnostic {
-                        tool: "alloccheck",
-                        rule: "memory-leak",
-                        severity: DiagSeverity::Note,
-                        function: function.name.clone(),
-                        module: module.path.clone(),
-                        span: function.span,
-                        cwe_hint: Some(401),
-                        message: format!("allocation `{var}` is never freed"),
-                    });
-                }
-            }
-        });
-        out
-    }
-}
-
-/// CWE-200: secret-looking data (secret-named variables, `getenv` results)
-/// written to an attacker-observable channel (`send`).
-pub struct InfoExposureChecker;
-
-impl Checker for InfoExposureChecker {
-    fn name(&self) -> &'static str {
-        "leakcheck"
-    }
-
-    fn check(&self, program: &Program) -> Vec<Diagnostic> {
-        let mut out = Vec::new();
-        for_each_function(program, |module, function| {
-            // Secret carriers: secret-named variables and getenv() results.
-            let mut secrets: Vec<String> = Vec::new();
-            visit::walk_stmts(&function.body, &mut |s| {
-                if let StmtKind::Let { name, init, .. } = &s.kind {
-                    let named_secret = HardcodedCredentialChecker::is_secret_name(name);
-                    let from_env = init.as_ref().is_some_and(|e| {
-                        let mut hit = false;
-                        visit::walk_expr(e, &mut |sub| {
-                            if let ExprKind::Call { callee, .. } = &sub.kind {
-                                if Intrinsic::from_name(callee) == Some(Intrinsic::Getenv) {
-                                    hit = true;
-                                }
-                            }
-                        });
-                        hit
-                    });
-                    if named_secret || from_env {
-                        secrets.push(name.clone());
-                    }
-                }
-            });
-            if secrets.is_empty() {
-                return;
-            }
-            visit::walk_exprs(&function.body, &mut |e| {
-                let ExprKind::Call { callee, args } = &e.kind else {
-                    return;
-                };
-                if Intrinsic::from_name(callee) != Some(Intrinsic::Send) {
-                    return;
-                }
-                for a in args {
-                    let mut leaked: Option<String> = None;
-                    visit::walk_expr(a, &mut |sub| {
-                        if let ExprKind::Var(v) = &sub.kind {
-                            if secrets.contains(v) && leaked.is_none() {
-                                leaked = Some(v.clone());
-                            }
-                        }
-                    });
-                    if let Some(var) = leaked {
-                        out.push(Diagnostic {
-                            tool: "leakcheck",
-                            rule: "secret-on-channel",
-                            severity: DiagSeverity::Warning,
-                            function: function.name.clone(),
-                            module: module.path.clone(),
-                            span: e.span,
-                            cwe_hint: Some(200),
-                            message: format!("secret `{var}` written to a network channel"),
-                        });
-                        break;
-                    }
-                }
-            });
-        });
-        out
     }
 }

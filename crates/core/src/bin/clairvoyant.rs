@@ -14,7 +14,8 @@
 //! ```
 //!
 //! Commands that train the metric extract corpus features through the
-//! pipeline engine; `--jobs`, `--cache-dir` and `--no-cache` tune it.
+//! pipeline engine and run ML training on a worker pool; `--jobs`,
+//! `--train-jobs`, `--cache-dir` and `--no-cache` tune them.
 
 use clairvoyant::prelude::*;
 use clairvoyant::report::security_report_json;
@@ -23,7 +24,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let (engine, args) = match parse_engine_flags(std::env::args().skip(1).collect()) {
+    let (engine, train_jobs, args) = match parse_engine_flags(std::env::args().skip(1).collect()) {
         Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("error: {message}");
@@ -37,9 +38,9 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "lint" => lint(rest),
         "features" => features(rest),
-        "evaluate" => evaluate(rest, &engine),
-        "compare" => compare(rest, &engine),
-        "gate" => gate(rest, &engine),
+        "evaluate" => evaluate(rest, &engine, train_jobs),
+        "compare" => compare(rest, &engine, train_jobs),
+        "gate" => gate(rest, &engine, train_jobs),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -66,13 +67,17 @@ commands:
 
 options (pipeline engine, for commands that train the metric):
   --jobs <N>                  extraction worker threads (0 = all cores)
+  --train-jobs <N>            ML training worker threads (default: --jobs;
+                              0 = all cores; output is identical for any N)
   --cache-dir <PATH>          persist the feature cache under PATH
   --no-cache                  disable the feature cache entirely";
 
 /// Strip the pipeline-engine flags (accepted anywhere on the command line)
-/// and fold them into a [`PipelineConfig`].
-fn parse_engine_flags(args: Vec<String>) -> Result<(PipelineConfig, Vec<String>), String> {
+/// and fold them into a [`PipelineConfig`] plus the training worker count
+/// (`--train-jobs`, defaulting to `--jobs` when absent).
+fn parse_engine_flags(args: Vec<String>) -> Result<(PipelineConfig, usize, Vec<String>), String> {
     let mut config = PipelineConfig::default();
+    let mut train_jobs = 0;
     let mut rest = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -84,6 +89,12 @@ fn parse_engine_flags(args: Vec<String>) -> Result<(PipelineConfig, Vec<String>)
                     .map_err(|_| format!("--jobs: `{value}` is not a number"))?;
                 config = config.jobs(n);
             }
+            "--train-jobs" => {
+                let value = it.next().ok_or("--train-jobs needs a number")?;
+                train_jobs = value
+                    .parse()
+                    .map_err(|_| format!("--train-jobs: `{value}` is not a number"))?;
+            }
             "--cache-dir" => {
                 let dir = it.next().ok_or("--cache-dir needs a path")?;
                 config = config.cache(CacheMode::Disk(PathBuf::from(dir)));
@@ -92,7 +103,7 @@ fn parse_engine_flags(args: Vec<String>) -> Result<(PipelineConfig, Vec<String>)
             _ => rest.push(arg),
         }
     }
-    Ok((config, rest))
+    Ok((config, train_jobs, rest))
 }
 
 fn dialect_of(path: &str) -> Dialect {
@@ -123,12 +134,13 @@ fn load_program(name: &str, paths: &[String]) -> Result<minilang::ast::Program, 
 /// keeps this binary self-contained and deterministic). Corpus features go
 /// through the pipeline engine, so `--cache-dir` makes repeat invocations
 /// skip re-extraction entirely.
-fn trained_model(engine: &PipelineConfig) -> TrainedModel {
+fn trained_model(engine: &PipelineConfig, train_jobs: usize) -> TrainedModel {
     let mut config = CorpusConfig::small(20, 20170408);
     config.language_mix = [15, 2, 1, 2];
     let corpus = Corpus::generate(&config);
     let trainer = Trainer::with_config(TrainerConfig {
         pipeline: engine.clone(),
+        train_jobs,
         ..Default::default()
     });
     let (model, report) = trainer.train_with_report(&corpus);
@@ -169,14 +181,18 @@ fn features(paths: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn evaluate(args: &[String], engine: &PipelineConfig) -> Result<ExitCode, String> {
+fn evaluate(
+    args: &[String],
+    engine: &PipelineConfig,
+    train_jobs: usize,
+) -> Result<ExitCode, String> {
     let (json, paths): (bool, Vec<String>) = match args.split_first() {
         Some((flag, rest)) if flag == "--json" => (true, rest.to_vec()),
         _ => (false, args.to_vec()),
     };
     let program = load_program("input", &paths)?;
     eprintln!("training the metric (fixed-seed corpus)…");
-    let model = trained_model(engine);
+    let model = trained_model(engine, train_jobs);
     let report = model.evaluate(&program);
     if json {
         println!("{}", security_report_json(&report));
@@ -186,27 +202,31 @@ fn evaluate(args: &[String], engine: &PipelineConfig) -> Result<ExitCode, String
     Ok(ExitCode::SUCCESS)
 }
 
-fn compare(args: &[String], engine: &PipelineConfig) -> Result<ExitCode, String> {
+fn compare(
+    args: &[String],
+    engine: &PipelineConfig,
+    train_jobs: usize,
+) -> Result<ExitCode, String> {
     let [a, b] = args else {
         return Err("compare needs exactly two files".to_string());
     };
-    let pa = load_program(a, &[a.clone()])?;
-    let pb = load_program(b, &[b.clone()])?;
+    let pa = load_program(a, std::slice::from_ref(a))?;
+    let pb = load_program(b, std::slice::from_ref(b))?;
     eprintln!("training the metric (fixed-seed corpus)…");
-    let model = trained_model(engine);
+    let model = trained_model(engine, train_jobs);
     let cmp = compare_programs(&model, &pa, &pb);
     println!("{cmp}");
     Ok(ExitCode::SUCCESS)
 }
 
-fn gate(args: &[String], engine: &PipelineConfig) -> Result<ExitCode, String> {
+fn gate(args: &[String], engine: &PipelineConfig, train_jobs: usize) -> Result<ExitCode, String> {
     let [before, after] = args else {
         return Err("gate needs exactly two files (before, after)".to_string());
     };
-    let pb = load_program("before", &[before.clone()])?;
-    let pa = load_program("after", &[after.clone()])?;
+    let pb = load_program("before", std::slice::from_ref(before))?;
+    let pa = load_program("after", std::slice::from_ref(after))?;
     eprintln!("training the metric (fixed-seed corpus)…");
-    let model = trained_model(engine);
+    let model = trained_model(engine, train_jobs);
     let delta = version_delta(&model, &pb, &pa);
     println!("{delta}");
     Ok(match delta.verdict {

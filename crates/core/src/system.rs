@@ -158,14 +158,28 @@ impl fmt::Display for SystemReport {
 /// chain bonus captures network-facing → privileged lateral movement that
 /// containment boundaries dampen.
 pub fn evaluate_system(model: &TrainedModel, system: &SystemSpec) -> SystemReport {
+    evaluate_system_jobs(model, system, 0)
+}
+
+/// [`evaluate_system`] with components evaluated on `jobs` workers
+/// (0 = all cores). Components are independent and the report assembles
+/// them in spec order, so the output is identical for any worker count.
+pub fn evaluate_system_jobs(
+    model: &TrainedModel,
+    system: &SystemSpec,
+    jobs: usize,
+) -> SystemReport {
     assert!(
         !system.components.is_empty(),
         "a system needs at least one component"
     );
-    let mut components: Vec<ComponentReport> = system
-        .components
-        .iter()
-        .map(|c| {
+    let jobs = if jobs == 0 {
+        pipeline::default_workers()
+    } else {
+        jobs
+    };
+    let mut components: Vec<ComponentReport> =
+        pipeline::parallel_map(jobs, &system.components, |_, c| {
             let report = model.evaluate(&c.program);
             let privileged = c
                 .program
@@ -180,8 +194,7 @@ pub fn evaluate_system(model: &TrainedModel, system: &SystemSpec) -> SystemRepor
                 weighted_risk,
                 privileged,
             }
-        })
-        .collect();
+        });
 
     // Weakest link.
     let weakest = components

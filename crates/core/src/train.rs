@@ -11,10 +11,11 @@ use crate::extract;
 use crate::hypothesis::{standard_battery, Hypothesis};
 use corpus::Corpus;
 use cvedb::SelectionCriteria;
-use pipeline::{PipelineConfig, PipelineReport};
-use secml::dataset::Dataset;
+use pipeline::{parallel_map, PipelineConfig, PipelineReport};
+use secml::dataset::{ColMatrix, Dataset};
 use secml::eval::{
-    cross_validate_classifier, cross_validate_regressor, ClassificationReport, RegressionReport,
+    cross_validate_classifier_jobs, cross_validate_regressor_jobs, ClassificationReport,
+    RegressionReport,
 };
 use secml::forest::{ForestConfig, RandomForest};
 use secml::knn::Knn;
@@ -61,14 +62,22 @@ impl Learner {
         }
     }
 
-    /// Instantiate an untrained classifier.
+    /// Instantiate an untrained classifier (sequential training).
     pub fn make(self) -> BoxedClassifier {
+        self.make_jobs(1)
+    }
+
+    /// Instantiate an untrained classifier whose fit may use up to `jobs`
+    /// worker threads (only the random forest parallelizes; trained
+    /// output never depends on `jobs`).
+    pub fn make_jobs(self, jobs: usize) -> BoxedClassifier {
         match self {
             Learner::Logistic => Box::new(LogisticRegression::new()),
             Learner::NaiveBayes => Box::new(GaussianNb::new()),
             Learner::DecisionTree => Box::new(DecisionTree::new()),
             Learner::RandomForest => Box::new(RandomForest::with_config(ForestConfig {
                 n_trees: 20,
+                jobs,
                 ..Default::default()
             })),
             Learner::Knn => Box::new(Knn::new(5)),
@@ -115,6 +124,11 @@ pub struct TrainerConfig {
     /// cache; parallel extraction is byte-identical to sequential, so
     /// training stays deterministic regardless of `jobs`.
     pub pipeline: PipelineConfig,
+    /// Worker threads for ML training (hypothesis batteries, CV folds,
+    /// forest trees). 0 = inherit `pipeline.jobs` (whose own 0 means all
+    /// cores). Trained models and reports are byte-identical for every
+    /// value.
+    pub train_jobs: usize,
 }
 
 impl Default for TrainerConfig {
@@ -128,6 +142,7 @@ impl Default for TrainerConfig {
             selection: SelectionCriteria::default(),
             feature_prefix: None,
             pipeline: PipelineConfig::default(),
+            train_jobs: 0,
         }
     }
 }
@@ -153,6 +168,21 @@ impl Trainer {
                 learner,
                 ..Default::default()
             },
+        }
+    }
+
+    /// ML worker count: `train_jobs`, falling back to `pipeline.jobs`,
+    /// falling back to all cores.
+    fn resolved_train_jobs(&self) -> usize {
+        let jobs = if self.config.train_jobs == 0 {
+            self.config.pipeline.jobs
+        } else {
+            self.config.train_jobs
+        };
+        if jobs == 0 {
+            pipeline::default_workers()
+        } else {
+            jobs
         }
     }
 
@@ -240,46 +270,82 @@ impl Trainer {
             .map(|r| kept.iter().map(|&i| r[i]).collect())
             .collect();
 
-        // Hypothesis classifiers.
+        // One columnar matrix for every learner below: each column is
+        // sorted once here and every CV fold and forest bootstrap derives
+        // its own order from that.
+        let matrix = ColMatrix::from_rows(&rows);
+        if matrix.n_cols() > 0 {
+            matrix.sorted(0);
+        }
+
+        // Hypothesis classifiers, fanned out over the pool. The worker
+        // budget splits into `w1` concurrent hypotheses × `w2` concurrent
+        // CV folds each, so total threads stay ≈ `train_jobs`. Results
+        // are assembled in battery order, so the report and model are
+        // byte-identical for every worker count.
         let battery = standard_battery();
+        let jobs = self.resolved_train_jobs();
+        let labelled: Vec<(Hypothesis, Vec<usize>, usize)> = battery
+            .iter()
+            .map(|&hypothesis| {
+                let labels: Vec<usize> = histories.iter().map(|h| hypothesis.label(h)).collect();
+                let positives = labels.iter().sum();
+                (hypothesis, labels, positives)
+            })
+            .collect();
+        let trainable: Vec<&(Hypothesis, Vec<usize>, usize)> = labelled
+            .iter()
+            .filter(|(_, labels, p)| *p > 0 && *p < labels.len())
+            .collect();
+        let w1 = jobs.min(trainable.len()).max(1);
+        let w2 = (jobs / w1).max(1);
+        let trained: Vec<(ClassificationReport, BoxedClassifier)> =
+            parallel_map(w1, &trainable, |_, (_, labels, _)| {
+                let report = cross_validate_classifier_jobs(
+                    || self.config.learner.make(),
+                    &matrix,
+                    labels,
+                    self.config.folds,
+                    w2,
+                );
+                let mut model = self.config.learner.make_jobs(w2);
+                model.fit_matrix(&matrix, labels);
+                (report, model)
+            });
+
         let mut hypotheses = Vec::new();
         let mut hypothesis_reports = Vec::new();
-        for hypothesis in battery {
-            let labels: Vec<usize> = histories.iter().map(|h| hypothesis.label(h)).collect();
-            let positives: usize = labels.iter().sum();
+        let mut trained_iter = trained.into_iter();
+        for (hypothesis, labels, positives) in labelled {
+            let base_rate = positives as f64 / labels.len() as f64;
             if positives == 0 || positives == labels.len() {
+                // Degenerate: the constant answer is exact.
                 hypothesis_reports.push(HypothesisOutcome {
                     hypothesis,
                     report: None,
-                    base_rate: positives as f64 / labels.len() as f64,
+                    base_rate,
                 });
-                continue; // degenerate: the constant answer is exact
+                continue;
             }
-            let report = cross_validate_classifier(
-                || self.config.learner.make(),
-                &rows,
-                &labels,
-                self.config.folds,
-            );
-            let mut model = self.config.learner.make();
-            model.fit(&rows, &labels);
+            let (report, model) = trained_iter.next().expect("one result per trainable task");
             hypothesis_reports.push(HypothesisOutcome {
                 hypothesis,
                 report: Some(report),
-                base_rate: positives as f64 / labels.len() as f64,
+                base_rate,
             });
             hypotheses.push((hypothesis, model));
         }
 
         // Count regressor (always linear, for inspectable weights).
-        let count_cv = cross_validate_regressor(
+        let count_cv = cross_validate_regressor_jobs(
             || LinearRegression::ridge(1.0),
-            &rows,
+            &matrix,
             &counts,
             self.config.folds,
+            jobs,
         );
         let mut count_model = LinearRegression::ridge(1.0);
-        count_model.fit(&rows, &counts);
+        count_model.fit_matrix(&matrix, &counts);
 
         // Per-severity-band count regressors — the paper's metric "predicts
         // the number, severity, classification, and impact": high/critical,
@@ -293,7 +359,7 @@ impl Trainer {
                     .map(|h| (1.0 + band.count(h) as f64).log10())
                     .collect();
                 let mut model = LinearRegression::ridge(1.0);
-                model.fit(&rows, &targets);
+                model.fit_matrix(&matrix, &targets);
                 (band, model)
             })
             .collect();
@@ -308,7 +374,7 @@ impl Trainer {
             && risk_labels.iter().sum::<usize>() < risk_labels.len()
         {
             let mut lr = LogisticRegression::new();
-            lr.fit(&rows, &risk_labels);
+            lr.fit_matrix(&matrix, &risk_labels);
             lr.weights
         } else {
             count_model.coefficients.clone()

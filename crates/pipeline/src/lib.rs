@@ -46,6 +46,7 @@ pub mod pool;
 pub mod report;
 
 pub use cache::{cache_key, CacheMode, FeatureCache};
+pub use pool::{default_workers, parallel_map};
 pub use report::{PipelineError, PipelineReport, StageTimings};
 
 use minilang::ast::Program;

@@ -1,6 +1,175 @@
-//! Named-column datasets.
+//! Named-column datasets and the columnar training matrix.
 
 use std::collections::BTreeSet;
+use std::sync::OnceLock;
+
+/// A feature-major (columnar) matrix: one contiguous `Vec<f64>` per
+/// feature, plus lazily computed per-column sort permutations.
+///
+/// This is the layout every learner trains on. Row-major `&[Vec<f64>]`
+/// input is converted once at the training boundary; from there, split
+/// sweeps, gram matrices, gradient passes and class statistics all walk
+/// contiguous columns. The sort permutations make decision-tree split
+/// finding O(n log n)-once-per-column instead of per-node, and
+/// [`ColMatrix::subset`] *derives* a child's permutations from its
+/// parent's in O(n) per column — so cross-validation folds and forest
+/// bootstraps never re-sort.
+#[derive(Debug, Default)]
+pub struct ColMatrix {
+    n_rows: usize,
+    columns: Vec<Vec<f64>>,
+    /// Per-column row permutation, ascending by value (ties keep row
+    /// order). Computed on first use, shared across threads.
+    perms: OnceLock<Vec<Vec<u32>>>,
+}
+
+impl Clone for ColMatrix {
+    fn clone(&self) -> Self {
+        let perms = OnceLock::new();
+        if let Some(p) = self.perms.get() {
+            let _ = perms.set(p.clone());
+        }
+        ColMatrix {
+            n_rows: self.n_rows,
+            columns: self.columns.clone(),
+            perms,
+        }
+    }
+}
+
+impl ColMatrix {
+    /// Transpose a row-major matrix. Every row must have the same width.
+    pub fn from_rows(rows: &[Vec<f64>]) -> ColMatrix {
+        let n_cols = rows.first().map(|r| r.len()).unwrap_or(0);
+        let mut columns = vec![Vec::with_capacity(rows.len()); n_cols];
+        for row in rows {
+            debug_assert_eq!(row.len(), n_cols, "ragged row-major input");
+            for (col, &v) in columns.iter_mut().zip(row) {
+                col.push(v);
+            }
+        }
+        ColMatrix {
+            n_rows: rows.len(),
+            columns,
+            perms: OnceLock::new(),
+        }
+    }
+
+    /// Wrap ready-made columns. Every column must have the same length.
+    pub fn from_columns(columns: Vec<Vec<f64>>) -> ColMatrix {
+        let n_rows = columns.first().map(|c| c.len()).unwrap_or(0);
+        assert!(columns.iter().all(|c| c.len() == n_rows), "ragged columns");
+        ColMatrix {
+            n_rows,
+            columns,
+            perms: OnceLock::new(),
+        }
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// One feature column, contiguous.
+    pub fn col(&self, j: usize) -> &[f64] {
+        &self.columns[j]
+    }
+
+    /// Single cell (row `i`, column `j`).
+    pub fn value(&self, i: usize, j: usize) -> f64 {
+        self.columns[j][i]
+    }
+
+    /// Materialize row `i` (allocation per call — prediction-path only).
+    pub fn row(&self, i: usize) -> Vec<f64> {
+        self.columns.iter().map(|c| c[i]).collect()
+    }
+
+    /// Materialize the whole matrix row-major (for row-based consumers
+    /// like k-NN's training-set store).
+    pub fn to_rows(&self) -> Vec<Vec<f64>> {
+        (0..self.n_rows).map(|i| self.row(i)).collect()
+    }
+
+    /// Row indices of column `j` in ascending value order (NaNs sort
+    /// last under `total_cmp`; ties keep row order). First call sorts
+    /// every column once; the result is cached and shared.
+    pub fn sorted(&self, j: usize) -> &[u32] {
+        &self.all_perms()[j]
+    }
+
+    fn all_perms(&self) -> &Vec<Vec<u32>> {
+        self.perms.get_or_init(|| {
+            self.columns
+                .iter()
+                .map(|col| {
+                    let mut idx: Vec<u32> = (0..self.n_rows as u32).collect();
+                    idx.sort_by(|&a, &b| col[a as usize].total_cmp(&col[b as usize]));
+                    idx
+                })
+                .collect()
+        })
+    }
+
+    /// Gather the rows at `indices` (duplicates allowed — this is also
+    /// the forest-bootstrap path). If this matrix's sort permutations
+    /// are already computed, the subset's permutations are *derived*
+    /// from them with a counting pass instead of re-sorting: O(N + n)
+    /// per column.
+    pub fn subset(&self, indices: &[usize]) -> ColMatrix {
+        let columns: Vec<Vec<f64>> = self
+            .columns
+            .iter()
+            .map(|col| indices.iter().map(|&i| col[i]).collect())
+            .collect();
+        let out = ColMatrix {
+            n_rows: indices.len(),
+            columns,
+            perms: OnceLock::new(),
+        };
+        if let Some(parent_perms) = self.perms.get() {
+            // Stable counting sort by parent row: slots[start[r]..] are
+            // the subset positions holding parent row r, ascending.
+            let mut count = vec![0u32; self.n_rows];
+            for &r in indices {
+                count[r] += 1;
+            }
+            let mut start = vec![0u32; self.n_rows];
+            let mut sum = 0u32;
+            for (s, &c) in start.iter_mut().zip(&count) {
+                *s = sum;
+                sum += c;
+            }
+            let mut slots = vec![0u32; indices.len()];
+            let mut cursor = start.clone();
+            for (pos, &r) in indices.iter().enumerate() {
+                slots[cursor[r] as usize] = pos as u32;
+                cursor[r] += 1;
+            }
+            let derived: Vec<Vec<u32>> = parent_perms
+                .iter()
+                .map(|perm| {
+                    let mut out_perm = Vec::with_capacity(indices.len());
+                    for &r in perm {
+                        let (r, lo) = (r as usize, start[r as usize] as usize);
+                        out_perm.extend_from_slice(&slots[lo..lo + count[r] as usize]);
+                    }
+                    out_perm
+                })
+                .collect();
+            let _ = out.perms.set(derived);
+        }
+        out
+    }
+}
 
 /// A feature matrix with named columns and an optional numeric or binary
 /// class target — the ARFF-file role in the paper's Weka pipeline.

@@ -2,7 +2,9 @@
 //! k-fold cross-validation — "with cross validation within the ground
 //! truth" (paper §1, §5.2 and Figure 4).
 
+use crate::dataset::ColMatrix;
 use crate::{Classifier, Regressor};
+use pipeline::pool::parallel_map;
 
 /// A 2×2 confusion matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -98,7 +100,7 @@ pub fn roc_auc(truth: &[usize], scores: &[f64]) -> f64 {
     }
     // Rank scores ascending with midranks for ties.
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     let mut ranks = vec![0.0; scores.len()];
     let mut i = 0;
     while i < order.len() {
@@ -194,56 +196,110 @@ pub fn folds(n: usize, k: usize) -> Vec<Vec<usize>> {
     out
 }
 
+/// The complement of `test` within `0..n`.
+fn train_indices(n: usize, test: &[usize]) -> Vec<usize> {
+    let mut held_out = vec![false; n];
+    for &i in test {
+        held_out[i] = true;
+    }
+    (0..n).filter(|&i| !held_out[i]).collect()
+}
+
 /// Cross-validate a classifier factory: for each fold, train on the rest and
 /// evaluate on the fold; returns the pooled report over all held-out rows.
 pub fn cross_validate_classifier<C: Classifier>(
-    make: impl Fn() -> C,
-    x: &[Vec<f64>],
+    make: impl Fn() -> C + Sync,
+    x: &ColMatrix,
     y: &[usize],
     k: usize,
 ) -> ClassificationReport {
+    cross_validate_classifier_jobs(make, x, y, k, 1)
+}
+
+/// [`cross_validate_classifier`] with folds trained on `jobs` workers
+/// (0 = all cores). Fold results are concatenated in fold order, so the
+/// report is identical for any worker count.
+pub fn cross_validate_classifier_jobs<C: Classifier>(
+    make: impl Fn() -> C + Sync,
+    x: &ColMatrix,
+    y: &[usize],
+    k: usize,
+    jobs: usize,
+) -> ClassificationReport {
     let fold_sets = stratified_folds(y, k);
+    if x.n_cols() > 0 {
+        // Sort once up front so every fold derives its permutations.
+        x.sorted(0);
+    }
+    let jobs = if jobs == 0 {
+        pipeline::pool::default_workers()
+    } else {
+        jobs
+    };
+    let per_fold = parallel_map(jobs, &fold_sets, |_, test| {
+        let train_idx = train_indices(x.n_rows(), test);
+        let tx = x.subset(&train_idx);
+        let ty: Vec<usize> = train_idx.iter().map(|&i| y[i]).collect();
+        let mut model = make();
+        model.fit_matrix(&tx, &ty);
+        test.iter()
+            .map(|&i| (y[i], model.predict_proba(&x.row(i))))
+            .collect::<Vec<(usize, f64)>>()
+    });
     let mut truth = Vec::new();
     let mut hard = Vec::new();
     let mut scores = Vec::new();
-    for test in &fold_sets {
-        let test_set: std::collections::HashSet<usize> = test.iter().copied().collect();
-        let train_idx: Vec<usize> = (0..x.len()).filter(|i| !test_set.contains(i)).collect();
-        let tx: Vec<Vec<f64>> = train_idx.iter().map(|&i| x[i].clone()).collect();
-        let ty: Vec<usize> = train_idx.iter().map(|&i| y[i]).collect();
-        let mut model = make();
-        model.fit(&tx, &ty);
-        for &i in test {
-            truth.push(y[i]);
-            let p = model.predict_proba(&x[i]);
-            scores.push(p);
-            hard.push((p >= 0.5) as usize);
-        }
+    for (t, p) in per_fold.into_iter().flatten() {
+        truth.push(t);
+        scores.push(p);
+        hard.push((p >= 0.5) as usize);
     }
     ClassificationReport::compute(&truth, &hard, &scores)
 }
 
 /// Cross-validate a regressor factory; pooled report over held-out rows.
 pub fn cross_validate_regressor<R: Regressor>(
-    make: impl Fn() -> R,
-    x: &[Vec<f64>],
+    make: impl Fn() -> R + Sync,
+    x: &ColMatrix,
     y: &[f64],
     k: usize,
 ) -> RegressionReport {
-    let fold_sets = folds(x.len(), k);
-    let mut truth = Vec::new();
-    let mut predicted = Vec::new();
-    for test in &fold_sets {
-        let test_set: std::collections::HashSet<usize> = test.iter().copied().collect();
-        let train_idx: Vec<usize> = (0..x.len()).filter(|i| !test_set.contains(i)).collect();
-        let tx: Vec<Vec<f64>> = train_idx.iter().map(|&i| x[i].clone()).collect();
+    cross_validate_regressor_jobs(make, x, y, k, 1)
+}
+
+/// [`cross_validate_regressor`] with folds trained on `jobs` workers
+/// (0 = all cores); identical output for any worker count.
+pub fn cross_validate_regressor_jobs<R: Regressor>(
+    make: impl Fn() -> R + Sync,
+    x: &ColMatrix,
+    y: &[f64],
+    k: usize,
+    jobs: usize,
+) -> RegressionReport {
+    let fold_sets = folds(x.n_rows(), k);
+    if x.n_cols() > 0 {
+        x.sorted(0);
+    }
+    let jobs = if jobs == 0 {
+        pipeline::pool::default_workers()
+    } else {
+        jobs
+    };
+    let per_fold = parallel_map(jobs, &fold_sets, |_, test| {
+        let train_idx = train_indices(x.n_rows(), test);
+        let tx = x.subset(&train_idx);
         let ty: Vec<f64> = train_idx.iter().map(|&i| y[i]).collect();
         let mut model = make();
-        model.fit(&tx, &ty);
-        for &i in test {
-            truth.push(y[i]);
-            predicted.push(model.predict(&x[i]));
-        }
+        model.fit_matrix(&tx, &ty);
+        test.iter()
+            .map(|&i| (y[i], model.predict(&x.row(i))))
+            .collect::<Vec<(f64, f64)>>()
+    });
+    let mut truth = Vec::new();
+    let mut predicted = Vec::new();
+    for (t, p) in per_fold.into_iter().flatten() {
+        truth.push(t);
+        predicted.push(p);
     }
     RegressionReport::compute(&truth, &predicted)
 }
@@ -360,7 +416,8 @@ mod tests {
             x.push(vec![v]);
             y.push((v > 0.0) as usize);
         }
-        let report = cross_validate_classifier(LogisticRegression::new, &x, &y, 5);
+        let m = ColMatrix::from_rows(&x);
+        let report = cross_validate_classifier(LogisticRegression::new, &m, &y, 5);
         assert!(report.accuracy > 0.9, "acc = {}", report.accuracy);
         assert!(report.auc > 0.95, "auc = {}", report.auc);
     }
@@ -369,7 +426,23 @@ mod tests {
     fn cv_regressor_on_linear_data_scores_high() {
         let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] + 1.0).collect();
-        let report = cross_validate_regressor(LinearRegression::new, &x, &y, 5);
+        let m = ColMatrix::from_rows(&x);
+        let report = cross_validate_regressor(LinearRegression::new, &m, &y, 5);
         assert!(report.r_squared > 0.99);
+    }
+
+    #[test]
+    fn cv_parallel_folds_match_sequential_bitwise() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            x.push(vec![(i % 13) as f64, (i % 7) as f64]);
+            y.push((i % 13 > 6) as usize);
+        }
+        let m = ColMatrix::from_rows(&x);
+        let seq = cross_validate_classifier_jobs(LogisticRegression::new, &m, &y, 5, 1);
+        let par = cross_validate_classifier_jobs(LogisticRegression::new, &m, &y, 5, 4);
+        assert_eq!(seq.auc.to_bits(), par.auc.to_bits());
+        assert_eq!(seq.matrix, par.matrix);
     }
 }

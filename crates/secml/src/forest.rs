@@ -1,11 +1,21 @@
 //! Random forests: bagging + per-tree feature subsampling over the
 //! decision/regression trees.
+//!
+//! Trees are independent given their seeds, so training fans out over the
+//! work-stealing pool: tree `t` draws its bootstrap and feature pool from
+//! a generator seeded with `derive_seed(config.seed, t)`, which makes
+//! every tree a pure function of `(config, data, t)` — the forest is
+//! byte-identical whether grown on 1 thread or 16. Bootstrap matrices are
+//! [`ColMatrix::subset`] gathers, so the per-column sort order is derived
+//! from the parent matrix rather than re-sorted per tree.
 
+use crate::dataset::ColMatrix;
 use crate::tree::{DecisionTree, RegressionTree, TreeConfig};
 use crate::{Classifier, Regressor};
+use pipeline::pool::{default_workers, parallel_map};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use rand::{derive_seed, Rng, SeedableRng};
 
 /// Shared forest hyper-parameters.
 #[derive(Debug, Clone, Copy)]
@@ -15,8 +25,11 @@ pub struct ForestConfig {
     /// Features sampled per tree as a fraction of the total (√p-style
     /// defaults are achieved by the caller choosing ~ `1/√p`).
     pub feature_fraction: f64,
-    /// RNG seed — forests are deterministic for a given seed.
+    /// RNG seed — forests are deterministic for a given seed, and the
+    /// result does not depend on `jobs`.
     pub seed: u64,
+    /// Worker threads for tree growing (0 = all cores, 1 = sequential).
+    pub jobs: usize,
 }
 
 impl Default for ForestConfig {
@@ -26,6 +39,17 @@ impl Default for ForestConfig {
             tree: TreeConfig::default(),
             feature_fraction: 0.6,
             seed: 42,
+            jobs: 1,
+        }
+    }
+}
+
+impl ForestConfig {
+    fn workers(&self) -> usize {
+        if self.jobs == 0 {
+            default_workers()
+        } else {
+            self.jobs
         }
     }
 }
@@ -40,6 +64,15 @@ fn feature_pool(rng: &mut StdRng, cols: usize, fraction: f64) -> Vec<usize> {
     all.shuffle(rng);
     all.truncate(k);
     all
+}
+
+/// The bootstrap sample and feature pool for tree `t` — a pure function
+/// of the config seed and the tree index.
+fn tree_draw(config: &ForestConfig, t: usize, n: usize, cols: usize) -> (Vec<usize>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(derive_seed(config.seed, t as u64));
+    let sample = bootstrap(&mut rng, n);
+    let pool = feature_pool(&mut rng, cols, config.feature_fraction);
+    (sample, pool)
 }
 
 /// Random-forest classifier: mean of per-tree leaf probabilities.
@@ -63,23 +96,23 @@ impl RandomForest {
 }
 
 impl Classifier for RandomForest {
-    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) {
-        assert_eq!(x.len(), y.len(), "row/label count mismatch");
+    fn fit_matrix(&mut self, x: &ColMatrix, y: &[usize]) {
+        assert_eq!(x.n_rows(), y.len(), "row/label count mismatch");
         self.trees.clear();
-        if x.is_empty() {
+        if x.is_empty() || x.n_cols() == 0 {
             return;
         }
-        let cols = x[0].len();
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        for _ in 0..self.config.n_trees {
-            let sample = bootstrap(&mut rng, x.len());
-            let bx: Vec<Vec<f64>> = sample.iter().map(|&i| x[i].clone()).collect();
+        // Sort once up front so every bootstrap derives its permutations.
+        x.sorted(0);
+        let indices: Vec<usize> = (0..self.config.n_trees).collect();
+        self.trees = parallel_map(self.config.workers(), &indices, |_, &t| {
+            let (sample, pool) = tree_draw(&self.config, t, x.n_rows(), x.n_cols());
+            let bx = x.subset(&sample);
             let by: Vec<usize> = sample.iter().map(|&i| y[i]).collect();
-            let pool = feature_pool(&mut rng, cols, self.config.feature_fraction);
             let mut tree = DecisionTree::with_config(self.config.tree);
             tree.fit_with_pool(&bx, &by, &pool);
-            self.trees.push(tree);
-        }
+            tree
+        });
     }
 
     fn predict_proba(&self, row: &[f64]) -> f64 {
@@ -111,23 +144,22 @@ impl RandomForestRegressor {
 }
 
 impl Regressor for RandomForestRegressor {
-    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
-        assert_eq!(x.len(), y.len(), "row/target count mismatch");
+    fn fit_matrix(&mut self, x: &ColMatrix, y: &[f64]) {
+        assert_eq!(x.n_rows(), y.len(), "row/target count mismatch");
         self.trees.clear();
-        if x.is_empty() {
+        if x.is_empty() || x.n_cols() == 0 {
             return;
         }
-        let cols = x[0].len();
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        for _ in 0..self.config.n_trees {
-            let sample = bootstrap(&mut rng, x.len());
-            let bx: Vec<Vec<f64>> = sample.iter().map(|&i| x[i].clone()).collect();
+        x.sorted(0);
+        let indices: Vec<usize> = (0..self.config.n_trees).collect();
+        self.trees = parallel_map(self.config.workers(), &indices, |_, &t| {
+            let (sample, pool) = tree_draw(&self.config, t, x.n_rows(), x.n_cols());
+            let bx = x.subset(&sample);
             let by: Vec<f64> = sample.iter().map(|&i| y[i]).collect();
-            let pool = feature_pool(&mut rng, cols, self.config.feature_fraction);
             let mut tree = RegressionTree::with_config(self.config.tree);
             tree.fit_with_pool(&bx, &by, &pool);
-            self.trees.push(tree);
-        }
+            tree
+        });
     }
 
     fn predict(&self, row: &[f64]) -> f64 {
@@ -177,6 +209,27 @@ mod tests {
         f2.fit(&x, &y);
         for row in &x {
             assert_eq!(f1.predict_proba(row), f2.predict_proba(row));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let (x, y) = noisy_threshold();
+        let mut seq = RandomForest::with_config(ForestConfig {
+            jobs: 1,
+            ..Default::default()
+        });
+        seq.fit(&x, &y);
+        let mut par = RandomForest::with_config(ForestConfig {
+            jobs: 4,
+            ..Default::default()
+        });
+        par.fit(&x, &y);
+        for row in &x {
+            assert_eq!(
+                seq.predict_proba(row).to_bits(),
+                par.predict_proba(row).to_bits()
+            );
         }
     }
 

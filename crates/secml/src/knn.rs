@@ -1,5 +1,6 @@
 //! k-nearest-neighbours classification.
 
+use crate::dataset::ColMatrix;
 use crate::Classifier;
 
 /// k-NN with Euclidean distance. Features should be standardized first —
@@ -35,6 +36,14 @@ fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
 }
 
 impl Classifier for Knn {
+    fn fit_matrix(&mut self, x: &ColMatrix, y: &[usize]) {
+        assert_eq!(x.n_rows(), y.len(), "row/label count mismatch");
+        self.x = x.to_rows();
+        self.y = y.to_vec();
+    }
+
+    // k-NN is a row-distance model; keep the direct row-major path so a
+    // plain `fit` never round-trips through a column transpose.
     fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) {
         assert_eq!(x.len(), y.len(), "row/label count mismatch");
         self.x = x.to_vec();
@@ -52,7 +61,7 @@ impl Classifier for Knn {
             .map(|(r, &label)| (sq_dist(row, r), label))
             .collect();
         let k = self.k.min(dists.len());
-        dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
         let votes: usize = dists[..k].iter().map(|&(_, l)| l).sum();
         votes as f64 / k as f64
     }

@@ -31,13 +31,24 @@ pub mod preprocess;
 pub mod select;
 pub mod tree;
 
-pub use dataset::Dataset;
+pub use dataset::{ColMatrix, Dataset};
 pub use eval::{ClassificationReport, ConfusionMatrix, RegressionReport};
 
 /// A trained binary classifier: predicts the probability of class 1.
+///
+/// Implementations consume the columnar [`ColMatrix`] layout (the
+/// training hot path); the row-major [`fit`](Classifier::fit) is a
+/// provided convenience that transposes once and delegates.
 pub trait Classifier {
-    /// Fit on rows `x` and binary labels `y` (0/1). Panics if lengths differ.
-    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]);
+    /// Fit on the columnar matrix `x` and binary labels `y` (0/1).
+    /// Panics if `x.n_rows() != y.len()`.
+    fn fit_matrix(&mut self, x: &ColMatrix, y: &[usize]);
+    /// Fit on row-major data (converted once, then [`fit_matrix`]).
+    ///
+    /// [`fit_matrix`]: Classifier::fit_matrix
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) {
+        self.fit_matrix(&ColMatrix::from_rows(x), y);
+    }
     /// Probability that `row` belongs to class 1.
     fn predict_proba(&self, row: &[f64]) -> f64;
     /// Hard prediction at the 0.5 threshold.
@@ -48,13 +59,23 @@ pub trait Classifier {
 
 /// A trained regressor.
 pub trait Regressor {
-    /// Fit on rows `x` and numeric targets `y`.
-    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]);
+    /// Fit on the columnar matrix `x` and numeric targets `y`.
+    fn fit_matrix(&mut self, x: &ColMatrix, y: &[f64]);
+    /// Fit on row-major data (converted once, then [`fit_matrix`]).
+    ///
+    /// [`fit_matrix`]: Regressor::fit_matrix
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        self.fit_matrix(&ColMatrix::from_rows(x), y);
+    }
     /// Predict the target for `row`.
     fn predict(&self, row: &[f64]) -> f64;
 }
 
 impl<T: Classifier + ?Sized> Classifier for Box<T> {
+    fn fit_matrix(&mut self, x: &ColMatrix, y: &[usize]) {
+        (**self).fit_matrix(x, y);
+    }
+
     fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) {
         (**self).fit(x, y);
     }

@@ -76,6 +76,45 @@ pub fn gram(x: &[Vec<f64>], ridge: f64) -> Vec<Vec<f64>> {
     g
 }
 
+/// [`gram`] for a column-major design matrix (one slice per column).
+/// Each cell folds over rows in row order, so the result is bit-identical
+/// to the row-major version — but every inner loop walks two contiguous
+/// columns instead of striding across rows.
+pub fn gram_cols(cols: &[&[f64]], ridge: f64) -> Vec<Vec<f64>> {
+    let k = cols.len();
+    let mut g = vec![vec![0.0; k]; k];
+    for i in 0..k {
+        for j in i..k {
+            let mut sum = 0.0;
+            for (&a, &b) in cols[i].iter().zip(cols[j]) {
+                sum += a * b;
+            }
+            g[i][j] = sum;
+        }
+    }
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..k {
+        for j in 0..i {
+            g[i][j] = g[j][i];
+        }
+        g[i][i] += ridge;
+    }
+    g
+}
+
+/// [`xty`] for a column-major design matrix.
+pub fn xty_cols(cols: &[&[f64]], y: &[f64]) -> Vec<f64> {
+    cols.iter()
+        .map(|col| {
+            let mut sum = 0.0;
+            for (&v, &t) in col.iter().zip(y) {
+                sum += v * t;
+            }
+            sum
+        })
+        .collect()
+}
+
 /// `Aᵀ·y`.
 pub fn xty(x: &[Vec<f64>], y: &[f64]) -> Vec<f64> {
     let cols = x.first().map(|r| r.len()).unwrap_or(0);

@@ -5,6 +5,7 @@
 //! `log10(#vuln) = 0.17 + 0.39·log10(kLoC)` and its R² = 24.66 % are an OLS
 //! fit, which [`simple_regression`] reproduces directly.
 
+use crate::dataset::ColMatrix;
 use crate::linalg;
 use crate::Regressor;
 
@@ -36,24 +37,26 @@ impl LinearRegression {
 }
 
 impl Regressor for LinearRegression {
-    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
-        assert_eq!(x.len(), y.len(), "row/target count mismatch");
-        let cols = x.first().map(|r| r.len()).unwrap_or(0);
-        // Design matrix with a leading 1s column.
-        let design: Vec<Vec<f64>> = x
-            .iter()
-            .map(|r| std::iter::once(1.0).chain(r.iter().copied()).collect())
-            .collect();
-        let mut g = linalg::gram(&design, self.ridge);
-        // Un-penalize the intercept.
-        g[0][0] -= self.ridge;
+    fn fit_matrix(&mut self, x: &ColMatrix, y: &[f64]) {
+        assert_eq!(x.n_rows(), y.len(), "row/target count mismatch");
+        let cols = x.n_cols();
         // Guard the intercept-only degenerate case where n = 0.
-        if design.is_empty() {
+        if x.is_empty() {
             self.intercept = 0.0;
             self.coefficients = vec![0.0; cols];
             return;
         }
-        let v = linalg::xty(&design, y);
+        // Column-major design matrix with a leading 1s column.
+        let ones = vec![1.0; x.n_rows()];
+        let mut design: Vec<&[f64]> = Vec::with_capacity(cols + 1);
+        design.push(&ones);
+        for j in 0..cols {
+            design.push(x.col(j));
+        }
+        let mut g = linalg::gram_cols(&design, self.ridge);
+        // Un-penalize the intercept.
+        g[0][0] -= self.ridge;
+        let v = linalg::xty_cols(&design, y);
         match linalg::solve(g, v) {
             Some(beta) => {
                 self.intercept = beta[0];
@@ -63,7 +66,7 @@ impl Regressor for LinearRegression {
                 // Singular (collinear features, tiny n): retry with a small
                 // ridge so fit never fails outright.
                 let mut fallback = LinearRegression::ridge(self.ridge.max(1e-6) * 10.0);
-                fallback.fit(x, y);
+                fallback.fit_matrix(x, y);
                 self.intercept = fallback.intercept;
                 self.coefficients = fallback.coefficients;
             }

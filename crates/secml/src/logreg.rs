@@ -1,5 +1,6 @@
 //! L2-regularized logistic regression trained by batch gradient descent.
 
+use crate::dataset::ColMatrix;
 use crate::linalg::dot;
 use crate::Classifier;
 
@@ -48,29 +49,39 @@ fn sigmoid(z: f64) -> f64 {
 }
 
 impl Classifier for LogisticRegression {
-    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) {
-        assert_eq!(x.len(), y.len(), "row/label count mismatch");
-        let cols = x.first().map(|r| r.len()).unwrap_or(0);
+    fn fit_matrix(&mut self, x: &ColMatrix, y: &[usize]) {
+        assert_eq!(x.n_rows(), y.len(), "row/label count mismatch");
+        let cols = x.n_cols();
         self.weights = vec![0.0; cols];
         self.bias = 0.0;
         if x.is_empty() {
             return;
         }
-        let n = x.len() as f64;
+        let rows = x.n_rows();
+        let n = rows as f64;
+        // Column-major passes, but every floating-point sum below folds in
+        // the same element order as the original row-major loop did, so
+        // the learned weights are bit-identical to it.
+        let mut z = vec![0.0; rows];
+        let mut err = vec![0.0; rows];
         for _ in 0..self.epochs {
-            let mut grad_w = vec![0.0; cols];
-            let mut grad_b = 0.0;
-            for (row, &label) in x.iter().zip(y) {
-                let p = sigmoid(self.bias + dot(&self.weights, row));
-                let err = p - label as f64;
-                for (g, &v) in grad_w.iter_mut().zip(row) {
-                    *g += err * v;
+            z.iter_mut().for_each(|v| *v = 0.0);
+            for (w, col) in self.weights.iter().zip(0..cols) {
+                for (zi, &v) in z.iter_mut().zip(x.col(col)) {
+                    *zi += w * v;
                 }
-                grad_b += err;
             }
-            for (w, g) in self.weights.iter_mut().zip(&grad_w) {
+            for ((e, &zi), &label) in err.iter_mut().zip(&z).zip(y) {
+                *e = sigmoid(self.bias + zi) - label as f64;
+            }
+            for (w, col) in self.weights.iter_mut().zip(0..cols) {
+                let mut g = 0.0;
+                for (&e, &v) in err.iter().zip(x.col(col)) {
+                    g += e * v;
+                }
                 *w -= self.learning_rate * (g / n + self.l2 * *w);
             }
+            let grad_b: f64 = err.iter().sum();
             self.bias -= self.learning_rate * grad_b / n;
         }
     }

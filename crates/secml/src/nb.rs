@@ -1,5 +1,6 @@
 //! Gaussian naive Bayes.
 
+use crate::dataset::ColMatrix;
 use crate::Classifier;
 
 /// Gaussian naive Bayes for binary classes: per-class feature means and
@@ -18,23 +19,18 @@ impl GaussianNb {
         Self::default()
     }
 
-    fn class_stats(x: &[Vec<f64>], rows: &[usize], cols: usize) -> Vec<(f64, f64)> {
+    fn class_stats(x: &ColMatrix, rows: &[usize]) -> Vec<(f64, f64)> {
         let n = rows.len().max(1) as f64;
-        let mut out = vec![(0.0, 0.0); cols];
-        for &r in rows {
-            for (o, v) in out.iter_mut().zip(&x[r]) {
-                o.0 += v;
+        let mut out = vec![(0.0, 0.0); x.n_cols()];
+        for (j, o) in out.iter_mut().enumerate() {
+            let col = x.col(j);
+            for &r in rows {
+                o.0 += col[r];
             }
-        }
-        for o in &mut out {
             o.0 /= n;
-        }
-        for &r in rows {
-            for (o, v) in out.iter_mut().zip(&x[r]) {
-                o.1 += (v - o.0) * (v - o.0);
+            for &r in rows {
+                o.1 += (col[r] - o.0) * (col[r] - o.0);
             }
-        }
-        for o in &mut out {
             // Variance floor keeps zero-variance features finite.
             o.1 = (o.1 / n).max(1e-9);
         }
@@ -52,21 +48,17 @@ impl GaussianNb {
 }
 
 impl Classifier for GaussianNb {
-    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) {
-        assert_eq!(x.len(), y.len(), "row/label count mismatch");
-        let cols = x.first().map(|r| r.len()).unwrap_or(0);
-        let class0: Vec<usize> = (0..x.len()).filter(|&i| y[i] == 0).collect();
-        let class1: Vec<usize> = (0..x.len()).filter(|&i| y[i] == 1).collect();
-        let n = x.len().max(1) as f64;
+    fn fit_matrix(&mut self, x: &ColMatrix, y: &[usize]) {
+        assert_eq!(x.n_rows(), y.len(), "row/label count mismatch");
+        let class0: Vec<usize> = (0..x.n_rows()).filter(|&i| y[i] == 0).collect();
+        let class1: Vec<usize> = (0..x.n_rows()).filter(|&i| y[i] == 1).collect();
+        let n = x.n_rows().max(1) as f64;
         // Laplace-smoothed priors so an absent class never yields -inf.
         self.log_priors = [
             ((class0.len() as f64 + 1.0) / (n + 2.0)).ln(),
             ((class1.len() as f64 + 1.0) / (n + 2.0)).ln(),
         ];
-        self.stats = [
-            Self::class_stats(x, &class0, cols),
-            Self::class_stats(x, &class1, cols),
-        ];
+        self.stats = [Self::class_stats(x, &class0), Self::class_stats(x, &class1)];
         self.fitted = true;
     }
 

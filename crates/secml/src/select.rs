@@ -49,7 +49,7 @@ pub fn info_gain_scores(rows: &[Vec<f64>], labels: &[usize]) -> Vec<f64> {
             // maintaining left-side counts incrementally.
             let mut pairs: Vec<(f64, usize)> =
                 rows.iter().zip(labels).map(|(r, &l)| (r[c], l)).collect();
-            pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+            pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
             let total_ones = labels.iter().filter(|&&l| l == 1).count();
             let mut left_n = 0usize;
             let mut left_ones = 0usize;
@@ -109,13 +109,7 @@ fn entropy(labels: impl Iterator<Item = usize>) -> f64 {
 /// Indices of the top-`k` columns by absolute score, descending.
 pub fn top_k(scores: &[f64], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| {
-        scores[b]
-            .abs()
-            .partial_cmp(&scores[a].abs())
-            .expect("finite scores")
-            .then(a.cmp(&b))
-    });
+    idx.sort_by(|&a, &b| scores[b].abs().total_cmp(&scores[a].abs()).then(a.cmp(&b)));
     idx.truncate(k);
     idx
 }

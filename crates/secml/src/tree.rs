@@ -1,6 +1,16 @@
 //! Decision trees: entropy-based classification and variance-reduction
 //! regression (the C4.5-style learner in the zoo).
+//!
+//! Split finding is incremental: each feature column is sorted **once per
+//! matrix** (the [`ColMatrix`] sort permutations, which cross-validation
+//! folds and forest bootstraps derive rather than re-sort), and every node
+//! sweeps thresholds left-to-right in that order while maintaining running
+//! statistics — class counts for entropy, sum / sum-of-squares for
+//! variance. One pass per feature per node replaces the former
+//! re-partition-and-recompute search, turning an O(n²) scan per feature
+//! into O(n).
 
+use crate::dataset::ColMatrix;
 use crate::{Classifier, Regressor};
 
 /// A binary decision tree.
@@ -72,105 +82,228 @@ enum Criterion {
     Variance,
 }
 
-fn impurity(values: &[f64], criterion: Criterion) -> f64 {
-    if values.is_empty() {
+/// Binary entropy from a positive count and a total.
+fn entropy_of(ones: f64, n: f64) -> f64 {
+    if n <= 0.0 {
         return 0.0;
     }
-    match criterion {
-        Criterion::Entropy => {
-            let n = values.len() as f64;
-            let p1 = values.iter().sum::<f64>() / n;
-            let p0 = 1.0 - p1;
-            let mut h = 0.0;
-            for p in [p0, p1] {
-                if p > 0.0 {
-                    h -= p * p.log2();
-                }
-            }
-            h
+    let p1 = ones / n;
+    let p0 = 1.0 - p1;
+    let mut h = 0.0;
+    for p in [p0, p1] {
+        if p > 0.0 {
+            h -= p * p.log2();
         }
-        Criterion::Variance => {
-            let n = values.len() as f64;
-            let mean = values.iter().sum::<f64>() / n;
-            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n
+    }
+    h
+}
+
+/// Variance from running sum / sum-of-squares and a count.
+fn variance_of(sum: f64, sumsq: f64, n: f64) -> f64 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    let mean = sum / n;
+    // Guard the tiny negative values catastrophic cancellation can leave.
+    (sumsq / n - mean * mean).max(0.0)
+}
+
+/// Running node statistics for either criterion. For entropy, `sum` is the
+/// positive-label count (labels are 0/1 floats); `sumsq` is unused.
+#[derive(Clone, Copy, Default)]
+struct Stats {
+    n: f64,
+    sum: f64,
+    sumsq: f64,
+}
+
+impl Stats {
+    fn add(&mut self, y: f64) {
+        self.n += 1.0;
+        self.sum += y;
+        self.sumsq += y * y;
+    }
+
+    fn impurity(&self, criterion: Criterion) -> f64 {
+        match criterion {
+            Criterion::Entropy => entropy_of(self.sum, self.n),
+            Criterion::Variance => variance_of(self.sum, self.sumsq, self.n),
         }
     }
 }
 
-/// Grow a tree on the rows at `indices`. `feature_pool` limits candidate
-/// split features (random forests pass a subsample; plain trees pass all).
-fn grow(
-    x: &[Vec<f64>],
+/// The best split of the masked rows over `feature_pool`:
+/// `(feature, threshold, gain)`, or `None` when no feature admits a split.
+/// `mask[r]` is true exactly for the rows in the node; `parent` holds
+/// their aggregate statistics.
+fn best_split(
+    x: &ColMatrix,
     y: &[f64],
-    indices: &[usize],
-    depth: usize,
-    config: &TreeConfig,
+    mask: &[bool],
+    parent: Stats,
     criterion: Criterion,
     feature_pool: &[usize],
-) -> Node {
-    let values: Vec<f64> = indices.iter().map(|&i| y[i]).collect();
-    let mean = values.iter().sum::<f64>() / values.len().max(1) as f64;
-    let parent_impurity = impurity(&values, criterion);
+) -> Option<(usize, f64, f64)> {
+    let parent_impurity = parent.impurity(criterion);
+    let n = parent.n;
+    let mut best: Option<(usize, f64, f64)> = None;
+    for &feature in feature_pool {
+        let col = x.col(feature);
+        let mut left = Stats::default();
+        let mut prev: Option<f64> = None;
+        // Sweep the column's global sort order restricted to this node:
+        // every boundary between distinct values is a candidate threshold,
+        // and the running `left` stats make each gain O(1).
+        for &r in x.sorted(feature) {
+            let r = r as usize;
+            if !mask[r] {
+                continue;
+            }
+            let v = col[r];
+            if let Some(pv) = prev {
+                if v > pv && left.n > 0.0 && left.n < n {
+                    let threshold = (pv + v) / 2.0;
+                    let right = Stats {
+                        n: n - left.n,
+                        sum: parent.sum - left.sum,
+                        sumsq: parent.sumsq - left.sumsq,
+                    };
+                    let weighted = (left.n / n) * left.impurity(criterion)
+                        + (right.n / n) * right.impurity(criterion);
+                    let gain = parent_impurity - weighted;
+                    if best.is_none_or(|(_, _, g)| gain > g) {
+                        best = Some((feature, threshold, gain));
+                    }
+                }
+            }
+            left.add(y[r]);
+            prev = Some(v);
+        }
+    }
+    best
+}
+
+/// The entropy-criterion best split — the oracle surface for property
+/// tests and benchmarks. `labels` are 0/1; considers all of `x`'s rows.
+pub fn best_split_entropy(
+    x: &ColMatrix,
+    labels: &[usize],
+    feature_pool: &[usize],
+) -> Option<(usize, f64, f64)> {
+    let y: Vec<f64> = labels.iter().map(|&v| v as f64).collect();
+    best_split_full(x, &y, Criterion::Entropy, feature_pool)
+}
+
+/// The variance-criterion best split over all of `x`'s rows.
+pub fn best_split_variance(
+    x: &ColMatrix,
+    y: &[f64],
+    feature_pool: &[usize],
+) -> Option<(usize, f64, f64)> {
+    best_split_full(x, y, Criterion::Variance, feature_pool)
+}
+
+fn best_split_full(
+    x: &ColMatrix,
+    y: &[f64],
+    criterion: Criterion,
+    feature_pool: &[usize],
+) -> Option<(usize, f64, f64)> {
+    let node_rows: Vec<u32> = (0..x.n_rows() as u32).collect();
+    let mask = vec![true; x.n_rows()];
+    let mut parent = Stats::default();
+    for &r in &node_rows {
+        parent.add(y[r as usize]);
+    }
+    best_split(x, y, &mask, parent, criterion, feature_pool)
+}
+
+/// Everything that stays fixed while one tree grows: the dataset, the
+/// hyper-parameters, and the candidate feature pool (random forests pass a
+/// subsample; plain trees pass all features).
+struct GrowContext<'a> {
+    x: &'a ColMatrix,
+    y: &'a [f64],
+    config: &'a TreeConfig,
+    criterion: Criterion,
+    feature_pool: &'a [usize],
+}
+
+/// Grow a tree on the rows at `node_rows`. `mask` is a shared scratch
+/// membership array (all false between nodes).
+fn grow(ctx: &GrowContext, node_rows: &[u32], mask: &mut [bool], depth: usize) -> Node {
+    let GrowContext {
+        x,
+        y,
+        config,
+        criterion,
+        feature_pool,
+    } = *ctx;
+    let mut parent = Stats::default();
+    for &r in node_rows {
+        parent.add(y[r as usize]);
+    }
+    let mean = parent.sum / parent.n.max(1.0);
+    let parent_impurity = parent.impurity(criterion);
 
     if depth >= config.max_depth
-        || indices.len() < config.min_samples_split
+        || node_rows.len() < config.min_samples_split
         || parent_impurity <= 0.0
     {
         return Node::Leaf { value: mean };
     }
 
-    // Best split over the feature pool: candidate thresholds are midpoints
-    // between consecutive distinct sorted values.
-    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
-    for &feature in feature_pool {
-        let mut vals: Vec<f64> = indices.iter().map(|&i| x[i][feature]).collect();
-        vals.sort_by(|a, b| a.partial_cmp(b).expect("finite feature"));
-        vals.dedup();
-        if vals.len() < 2 {
-            continue;
-        }
-        for w in vals.windows(2) {
-            let threshold = (w[0] + w[1]) / 2.0;
-            let (mut left, mut right) = (Vec::new(), Vec::new());
-            for &i in indices {
-                if x[i][feature] <= threshold {
-                    left.push(y[i]);
-                } else {
-                    right.push(y[i]);
-                }
-            }
-            if left.is_empty() || right.is_empty() {
-                continue;
-            }
-            let n = indices.len() as f64;
-            let weighted = (left.len() as f64 / n) * impurity(&left, criterion)
-                + (right.len() as f64 / n) * impurity(&right, criterion);
-            let gain = parent_impurity - weighted;
-            if best.is_none_or(|(_, _, g)| gain > g) {
-                best = Some((feature, threshold, gain));
-            }
-        }
+    for &r in node_rows {
+        mask[r as usize] = true;
+    }
+    let best = best_split(x, y, mask, parent, criterion, feature_pool);
+    for &r in node_rows {
+        mask[r as usize] = false;
     }
 
     match best {
         Some((feature, threshold, gain)) if gain > config.min_gain => {
+            let col = x.col(feature);
             let (mut li, mut ri) = (Vec::new(), Vec::new());
-            for &i in indices {
-                if x[i][feature] <= threshold {
-                    li.push(i);
+            for &r in node_rows {
+                if col[r as usize] <= threshold {
+                    li.push(r);
                 } else {
-                    ri.push(i);
+                    ri.push(r);
                 }
             }
             Node::Split {
                 feature,
                 threshold,
-                left: Box::new(grow(x, y, &li, depth + 1, config, criterion, feature_pool)),
-                right: Box::new(grow(x, y, &ri, depth + 1, config, criterion, feature_pool)),
+                left: Box::new(grow(ctx, &li, mask, depth + 1)),
+                right: Box::new(grow(ctx, &ri, mask, depth + 1)),
             }
         }
         _ => Node::Leaf { value: mean },
     }
+}
+
+fn grow_root(
+    x: &ColMatrix,
+    y: &[f64],
+    config: &TreeConfig,
+    criterion: Criterion,
+    feature_pool: &[usize],
+    empty_value: f64,
+) -> Node {
+    if x.is_empty() {
+        return Node::Leaf { value: empty_value };
+    }
+    let node_rows: Vec<u32> = (0..x.n_rows() as u32).collect();
+    let mut mask = vec![false; x.n_rows()];
+    let ctx = GrowContext {
+        x,
+        y,
+        config,
+        criterion,
+        feature_pool,
+    };
+    grow(&ctx, &node_rows, &mut mask, 0)
 }
 
 /// Entropy-criterion decision-tree classifier.
@@ -195,30 +328,23 @@ impl DecisionTree {
     }
 
     /// Fit restricted to a feature subset (random-forest hook).
-    pub fn fit_with_pool(&mut self, x: &[Vec<f64>], y: &[usize], pool: &[usize]) {
+    pub fn fit_with_pool(&mut self, x: &ColMatrix, y: &[usize], pool: &[usize]) {
         let yf: Vec<f64> = y.iter().map(|&v| v as f64).collect();
-        let indices: Vec<usize> = (0..x.len()).collect();
-        if indices.is_empty() {
-            self.root = Some(Node::Leaf { value: 0.5 });
-            return;
-        }
-        self.root = Some(grow(
+        self.root = Some(grow_root(
             x,
             &yf,
-            &indices,
-            0,
             &self.config,
             Criterion::Entropy,
             pool,
+            0.5,
         ));
     }
 }
 
 impl Classifier for DecisionTree {
-    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) {
-        assert_eq!(x.len(), y.len(), "row/label count mismatch");
-        let cols = x.first().map(|r| r.len()).unwrap_or(0);
-        let pool: Vec<usize> = (0..cols).collect();
+    fn fit_matrix(&mut self, x: &ColMatrix, y: &[usize]) {
+        assert_eq!(x.n_rows(), y.len(), "row/label count mismatch");
+        let pool: Vec<usize> = (0..x.n_cols()).collect();
         self.fit_with_pool(x, y, &pool);
     }
 
@@ -244,29 +370,22 @@ impl RegressionTree {
     }
 
     /// Fit restricted to a feature subset (random-forest hook).
-    pub fn fit_with_pool(&mut self, x: &[Vec<f64>], y: &[f64], pool: &[usize]) {
-        let indices: Vec<usize> = (0..x.len()).collect();
-        if indices.is_empty() {
-            self.root = Some(Node::Leaf { value: 0.0 });
-            return;
-        }
-        self.root = Some(grow(
+    pub fn fit_with_pool(&mut self, x: &ColMatrix, y: &[f64], pool: &[usize]) {
+        self.root = Some(grow_root(
             x,
             y,
-            &indices,
-            0,
             &self.config,
             Criterion::Variance,
             pool,
+            0.0,
         ));
     }
 }
 
 impl Regressor for RegressionTree {
-    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
-        assert_eq!(x.len(), y.len(), "row/target count mismatch");
-        let cols = x.first().map(|r| r.len()).unwrap_or(0);
-        let pool: Vec<usize> = (0..cols).collect();
+    fn fit_matrix(&mut self, x: &ColMatrix, y: &[f64]) {
+        assert_eq!(x.n_rows(), y.len(), "row/target count mismatch");
+        let pool: Vec<usize> = (0..x.n_cols()).collect();
         self.fit_with_pool(x, y, &pool);
     }
 
@@ -394,5 +513,30 @@ mod tests {
         let mut rt = RegressionTree::new();
         Regressor::fit(&mut rt, &[], &[]);
         assert_eq!(rt.predict(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn nan_feature_does_not_panic() {
+        // A degraded pipeline vector can feed NaN into training; the
+        // total_cmp sort order puts NaNs last and the tree still fits.
+        let x = vec![vec![1.0], vec![2.0], vec![f64::NAN], vec![4.0], vec![5.0]];
+        let y = vec![0, 0, 0, 1, 1];
+        let mut t = DecisionTree::with_config(TreeConfig {
+            min_samples_split: 2,
+            ..Default::default()
+        });
+        t.fit(&x, &y);
+        assert_eq!(t.predict(&[5.0]), 1);
+    }
+
+    #[test]
+    fn split_oracle_on_clean_threshold() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 7.0]).collect();
+        let labels: Vec<usize> = (0..10).map(|i| (i >= 5) as usize).collect();
+        let m = ColMatrix::from_rows(&rows);
+        let (feature, threshold, gain) = best_split_entropy(&m, &labels, &[0, 1]).unwrap();
+        assert_eq!(feature, 0);
+        assert!((threshold - 4.5).abs() < 1e-12);
+        assert!((gain - 1.0).abs() < 1e-12, "gain = {gain}");
     }
 }

@@ -18,4 +18,7 @@ cargo test -q
 echo "== cargo fmt --check =="
 cargo fmt --check
 
+echo "== cargo clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "all checks passed"
