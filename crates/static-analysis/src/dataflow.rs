@@ -15,7 +15,7 @@
 //! predictable performance on the synthesized corpus.
 
 use crate::cfg::{Cfg, NodeId, NodeKind};
-use minilang::ast::{Expr, ExprKind, LValue, Stmt, StmtKind};
+use minilang::ast::{Expr, ExprKind, Function, LValue, Stmt, StmtKind};
 use minilang::visit;
 use std::collections::HashMap;
 
@@ -320,8 +320,10 @@ pub struct DataflowStats {
     pub possibly_uninitialized_uses: usize,
 }
 
-/// Compute def-use statistics for one function's CFG.
-pub fn dataflow_stats(cfg: &Cfg<'_>, params: &[String], globals: &[String]) -> DataflowStats {
+/// Compute def-use statistics for one function's CFG. Parameter names are
+/// read straight off the function so callers iterating a whole program
+/// don't clone a `Vec<String>` per function.
+pub fn dataflow_stats(cfg: &Cfg<'_>, function: &Function, globals: &[String]) -> DataflowStats {
     let rd = reaching_definitions(cfg);
     let lv = liveness(cfg);
 
@@ -350,8 +352,8 @@ pub fn dataflow_stats(cfg: &Cfg<'_>, params: &[String], globals: &[String]) -> D
                 .filter(|&d| rd.defs[d].var == used)
                 .collect();
             stats.du_pairs += reaching.len();
-            let is_tracked_local =
-                locals.contains(&used) && !params.contains(&used) && !globals.contains(&used);
+            let is_param = function.params.iter().any(|p| p.name == used);
+            let is_tracked_local = locals.contains(&used) && !is_param && !globals.contains(&used);
             if reaching.is_empty() && is_tracked_local {
                 stats.possibly_uninitialized_uses += 1;
             }
@@ -385,10 +387,7 @@ mod tests {
     }
 
     fn stats(src: &str) -> DataflowStats {
-        with_cfg(src, |cfg, func| {
-            let params: Vec<String> = func.params.iter().map(|p| p.name.clone()).collect();
-            dataflow_stats(cfg, &params, &[])
-        })
+        with_cfg(src, |cfg, func| dataflow_stats(cfg, func, &[]))
     }
 
     #[test]

@@ -201,8 +201,7 @@ impl MetricCollector for DataflowCollector {
             .collect();
         for f in program.functions() {
             let cfg = crate::cfg::Cfg::build(f);
-            let params: Vec<String> = f.params.iter().map(|p| p.name.clone()).collect();
-            let s = dataflow::dataflow_stats(&cfg, &params, &globals);
+            let s = dataflow::dataflow_stats(&cfg, f, &globals);
             total.defs += s.defs;
             total.du_pairs += s.du_pairs;
             total.dead_stores += s.dead_stores;
