@@ -4,8 +4,10 @@ use crate::diagnostic::{DiagSeverity, Diagnostic};
 use minilang::ast::{Expr, ExprKind, Function, LValue, Module, Program, StmtKind, Type};
 use minilang::{visit, Intrinsic};
 use static_analysis::cfg::{Cfg, NodeKind};
+use static_analysis::context::AnalysisContext;
 use static_analysis::dataflow;
-use static_analysis::interval;
+use static_analysis::interval::{self, Interval};
+use static_analysis::taint::TaintReport;
 use std::collections::BTreeMap;
 
 /// A bug-finding tool: scans a program, emits diagnostics.
@@ -14,6 +16,13 @@ pub trait Checker {
     fn name(&self) -> &'static str;
     /// Scan the whole program.
     fn check(&self, program: &Program) -> Vec<Diagnostic>;
+    /// Scan using the shared [`AnalysisContext`]. Checkers that need CFGs,
+    /// interval analysis or the interprocedural taint result override this
+    /// to reuse the precomputed artifacts; the default is the plain
+    /// program scan. Diagnostics must be identical either way.
+    fn check_ctx(&self, cx: &AnalysisContext<'_>) -> Vec<Diagnostic> {
+        self.check(cx.program)
+    }
 }
 
 /// Every checker in the suite, in a deterministic order.
@@ -45,6 +54,115 @@ fn for_each_function(program: &Program, mut f: impl FnMut(&Module, &Function)) {
 /// outside, `Warning` when merely unproved (the realistic FP source).
 pub struct BufferOverflowChecker;
 
+impl BufferOverflowChecker {
+    /// One function's scan, parameterized over where the interval for an
+    /// index expression at a CFG node comes from (fresh analysis or the
+    /// shared context's precomputed one).
+    fn check_function(
+        module: &Module,
+        function: &Function,
+        cfg: &Cfg<'_>,
+        eval_at: &dyn Fn(usize, &Expr) -> Interval,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let mut caps: BTreeMap<&str, usize> = BTreeMap::new();
+        for p in &function.params {
+            if let Some(c) = p.ty.buffer_capacity() {
+                caps.insert(p.name.as_str(), c);
+            }
+        }
+        visit::walk_stmts(&function.body, &mut |s| {
+            if let StmtKind::Let { name, ty, .. } = &s.kind {
+                if let Some(c) = ty.buffer_capacity() {
+                    caps.insert(name.as_str(), c);
+                }
+            }
+        });
+
+        for (id, node) in cfg.nodes.iter().enumerate() {
+            let mut report = |base: &str, index: &Expr, span: minilang::Span| {
+                let Some(&cap) = caps.get(base) else { return };
+                let idx = eval_at(id, index);
+                if idx.is_bottom() {
+                    return; // unreachable
+                }
+                if idx.lo >= 0 && idx.hi < cap as i64 {
+                    return; // provably safe
+                }
+                let (severity, rule, message) = if idx.hi < 0 || idx.lo >= cap as i64 {
+                    (
+                        DiagSeverity::Error,
+                        "index-oob",
+                        format!("index {idx} is outside `{base}[{cap}]`"),
+                    )
+                } else {
+                    (
+                        DiagSeverity::Warning,
+                        "index-unproved",
+                        format!("cannot prove index {idx} inside `{base}[{cap}]`"),
+                    )
+                };
+                out.push(Diagnostic {
+                    tool: "bufcheck",
+                    rule,
+                    severity,
+                    function: function.name.clone(),
+                    module: module.path.clone(),
+                    span,
+                    cwe_hint: Some(121),
+                    message,
+                });
+            };
+            let roots: Vec<&Expr> = match &node.kind {
+                NodeKind::Stmt(stmt) => {
+                    if let StmtKind::Assign {
+                        target: LValue::Index { base, index, span },
+                        ..
+                    } = &stmt.kind
+                    {
+                        report(base, index, *span);
+                    }
+                    visit::stmt_exprs(stmt)
+                }
+                NodeKind::Cond(c) => vec![c],
+                _ => vec![],
+            };
+            for root in roots {
+                visit::walk_expr(root, &mut |e| {
+                    if let ExprKind::Index { base, index } = &e.kind {
+                        if let ExprKind::Var(name) = &base.kind {
+                            report(name, index, e.span);
+                        }
+                    }
+                });
+            }
+        }
+
+        // `strcpy(dst, src)` into a fixed-size buffer is flagged unless
+        // the copy is bounded (`strncpy`).
+        visit::walk_exprs(&function.body, &mut |e| {
+            if let ExprKind::Call { callee, args } = &e.kind {
+                if Intrinsic::from_name(callee) == Some(Intrinsic::Strcpy) {
+                    if let Some(ExprKind::Var(dst)) = args.first().map(|a| &a.kind) {
+                        if caps.contains_key(dst.as_str()) {
+                            out.push(Diagnostic {
+                                tool: "bufcheck",
+                                rule: "strcpy-fixed-buffer",
+                                severity: DiagSeverity::Warning,
+                                function: function.name.clone(),
+                                module: module.path.clone(),
+                                span: e.span,
+                                cwe_hint: Some(121),
+                                message: format!("unbounded strcpy into fixed buffer `{dst}`"),
+                            });
+                        }
+                    }
+                }
+            }
+        });
+    }
+}
+
 impl Checker for BufferOverflowChecker {
     fn name(&self) -> &'static str {
         "bufcheck"
@@ -55,103 +173,29 @@ impl Checker for BufferOverflowChecker {
         for_each_function(program, |module, function| {
             let cfg = Cfg::build(function);
             let analysis = interval::analyze_cfg(&cfg, function);
+            Self::check_function(
+                module,
+                function,
+                &cfg,
+                &|id, index| interval::eval(index, &analysis.envs[id]),
+                &mut out,
+            );
+        });
+        out
+    }
 
-            let mut caps: BTreeMap<&str, usize> = BTreeMap::new();
-            for p in &function.params {
-                if let Some(c) = p.ty.buffer_capacity() {
-                    caps.insert(p.name.as_str(), c);
-                }
-            }
-            visit::walk_stmts(&function.body, &mut |s| {
-                if let StmtKind::Let { name, ty, .. } = &s.kind {
-                    if let Some(c) = ty.buffer_capacity() {
-                        caps.insert(name.as_str(), c);
-                    }
-                }
-            });
-
-            for (id, node) in cfg.nodes.iter().enumerate() {
-                let env = &analysis.envs[id];
-                let mut report = |base: &str, index: &Expr, span: minilang::Span| {
-                    let Some(&cap) = caps.get(base) else { return };
-                    let idx = interval::eval(index, env);
-                    if idx.is_bottom() {
-                        return; // unreachable
-                    }
-                    if idx.lo >= 0 && idx.hi < cap as i64 {
-                        return; // provably safe
-                    }
-                    let (severity, rule, message) = if idx.hi < 0 || idx.lo >= cap as i64 {
-                        (
-                            DiagSeverity::Error,
-                            "index-oob",
-                            format!("index {idx} is outside `{base}[{cap}]`"),
-                        )
-                    } else {
-                        (
-                            DiagSeverity::Warning,
-                            "index-unproved",
-                            format!("cannot prove index {idx} inside `{base}[{cap}]`"),
-                        )
-                    };
-                    out.push(Diagnostic {
-                        tool: "bufcheck",
-                        rule,
-                        severity,
-                        function: function.name.clone(),
-                        module: module.path.clone(),
-                        span,
-                        cwe_hint: Some(121),
-                        message,
-                    });
-                };
-                let roots: Vec<&Expr> = match &node.kind {
-                    NodeKind::Stmt(stmt) => {
-                        if let StmtKind::Assign {
-                            target: LValue::Index { base, index, span },
-                            ..
-                        } = &stmt.kind
-                        {
-                            report(base, index, *span);
-                        }
-                        visit::stmt_exprs(stmt)
-                    }
-                    NodeKind::Cond(c) => vec![c],
-                    _ => vec![],
-                };
-                for root in roots {
-                    visit::walk_expr(root, &mut |e| {
-                        if let ExprKind::Index { base, index } = &e.kind {
-                            if let ExprKind::Var(name) = &base.kind {
-                                report(name, index, e.span);
-                            }
-                        }
-                    });
-                }
-            }
-
-            // `strcpy(dst, src)` into a fixed-size buffer is flagged unless
-            // the copy is bounded (`strncpy`).
-            visit::walk_exprs(&function.body, &mut |e| {
-                if let ExprKind::Call { callee, args } = &e.kind {
-                    if Intrinsic::from_name(callee) == Some(Intrinsic::Strcpy) {
-                        if let Some(ExprKind::Var(dst)) = args.first().map(|a| &a.kind) {
-                            if caps.contains_key(dst.as_str()) {
-                                out.push(Diagnostic {
-                                    tool: "bufcheck",
-                                    rule: "strcpy-fixed-buffer",
-                                    severity: DiagSeverity::Warning,
-                                    function: function.name.clone(),
-                                    module: module.path.clone(),
-                                    span: e.span,
-                                    cwe_hint: Some(121),
-                                    message: format!("unbounded strcpy into fixed buffer `{dst}`"),
-                                });
-                            }
-                        }
-                    }
-                }
-            });
+    fn check_ctx(&self, cx: &AnalysisContext<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let mut fcxs = cx.functions.iter();
+        for_each_function(cx.program, |module, function| {
+            let fcx = fcxs.next().expect("one context per function");
+            Self::check_function(
+                module,
+                function,
+                &fcx.cfg,
+                &|id, index| interval::eval_sym(index, &fcx.intervals.envs[id], &fcx.symbols),
+                &mut out,
+            );
         });
         out
     }
@@ -391,6 +435,49 @@ impl Checker for ToctouChecker {
 /// reports correlate with process quality rather than direct exploitability.
 pub struct DeadStoreChecker;
 
+impl DeadStoreChecker {
+    fn program_globals(program: &Program) -> Vec<String> {
+        program
+            .modules
+            .iter()
+            .flat_map(|m| m.globals.iter().map(|g| g.name.clone()))
+            .collect()
+    }
+
+    fn check_function(
+        module: &Module,
+        function: &Function,
+        cfg: &Cfg<'_>,
+        globals: &[String],
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let rd = dataflow::reaching_definitions(cfg);
+        let lv = dataflow::liveness(cfg);
+        let params: Vec<&str> = function.params.iter().map(|p| p.name.as_str()).collect();
+        for def in &rd.defs {
+            if !def.strong || params.contains(&def.var.as_str()) || globals.contains(&def.var) {
+                continue;
+            }
+            if !lv.is_live_out(def.node, &def.var) {
+                let span = match cfg.nodes[def.node].kind {
+                    NodeKind::Stmt(s) => s.span,
+                    _ => minilang::Span::dummy(),
+                };
+                out.push(Diagnostic {
+                    tool: "deadstore",
+                    rule: "dead-store",
+                    severity: DiagSeverity::Note,
+                    function: function.name.clone(),
+                    module: module.path.clone(),
+                    span,
+                    cwe_hint: None,
+                    message: format!("value assigned to `{}` is never read", def.var),
+                });
+            }
+        }
+    }
+}
+
 impl Checker for DeadStoreChecker {
     fn name(&self) -> &'static str {
         "deadstore"
@@ -398,37 +485,21 @@ impl Checker for DeadStoreChecker {
 
     fn check(&self, program: &Program) -> Vec<Diagnostic> {
         let mut out = Vec::new();
-        let globals: Vec<String> = program
-            .modules
-            .iter()
-            .flat_map(|m| m.globals.iter().map(|g| g.name.clone()))
-            .collect();
+        let globals = Self::program_globals(program);
         for_each_function(program, |module, function| {
             let cfg = Cfg::build(function);
-            let rd = dataflow::reaching_definitions(&cfg);
-            let lv = dataflow::liveness(&cfg);
-            let params: Vec<&str> = function.params.iter().map(|p| p.name.as_str()).collect();
-            for def in &rd.defs {
-                if !def.strong || params.contains(&def.var.as_str()) || globals.contains(&def.var) {
-                    continue;
-                }
-                if !lv.is_live_out(def.node, &def.var) {
-                    let span = match cfg.nodes[def.node].kind {
-                        NodeKind::Stmt(s) => s.span,
-                        _ => minilang::Span::dummy(),
-                    };
-                    out.push(Diagnostic {
-                        tool: "deadstore",
-                        rule: "dead-store",
-                        severity: DiagSeverity::Note,
-                        function: function.name.clone(),
-                        module: module.path.clone(),
-                        span,
-                        cwe_hint: None,
-                        message: format!("value assigned to `{}` is never read", def.var),
-                    });
-                }
-            }
+            Self::check_function(module, function, &cfg, &globals, &mut out);
+        });
+        out
+    }
+
+    fn check_ctx(&self, cx: &AnalysisContext<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let globals = Self::program_globals(cx.program);
+        let mut fcxs = cx.functions.iter();
+        for_each_function(cx.program, |module, function| {
+            let fcx = fcxs.next().expect("one context per function");
+            Self::check_function(module, function, &fcx.cfg, &globals, &mut out);
         });
         out
     }
@@ -510,14 +581,9 @@ const _: fn(&Type) -> Option<usize> = Type::buffer_capacity;
 /// `open` without a validating branch on it.
 pub struct PathTraversalChecker;
 
-impl Checker for PathTraversalChecker {
-    fn name(&self) -> &'static str {
-        "pathcheck"
-    }
-
-    fn check(&self, program: &Program) -> Vec<Diagnostic> {
+impl PathTraversalChecker {
+    fn check_with(program: &Program, taint: &TaintReport) -> Vec<Diagnostic> {
         let mut out = Vec::new();
-        let taint = static_analysis::taint::analyze(program);
         for_each_function(program, |module, function| {
             let entry_tainted = taint.tainted_entry_functions.contains(&function.name);
             // Variables holding raw input in this function.
@@ -604,6 +670,20 @@ impl Checker for PathTraversalChecker {
             });
         });
         out
+    }
+}
+
+impl Checker for PathTraversalChecker {
+    fn name(&self) -> &'static str {
+        "pathcheck"
+    }
+
+    fn check(&self, program: &Program) -> Vec<Diagnostic> {
+        Self::check_with(program, &static_analysis::taint::analyze(program))
+    }
+
+    fn check_ctx(&self, cx: &AnalysisContext<'_>) -> Vec<Diagnostic> {
+        Self::check_with(cx.program, &cx.taint)
     }
 }
 

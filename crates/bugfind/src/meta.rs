@@ -4,6 +4,7 @@
 use crate::checkers::{all_checkers, Checker};
 use crate::diagnostic::{DiagSeverity, Diagnostic};
 use minilang::ast::Program;
+use static_analysis::context::AnalysisContext;
 use std::collections::BTreeMap;
 
 /// Combined output of all tools over one program.
@@ -71,12 +72,24 @@ impl MetaTool {
 
     /// Run every tool and merge.
     pub fn run(&self, program: &Program) -> MetaReport {
+        self.merge(|c| c.check(program))
+    }
+
+    /// Run every tool over the shared [`AnalysisContext`] and merge. The
+    /// report is identical to [`MetaTool::run`]'s, but the CFG/interval/
+    /// taint-driven checkers reuse the context's precomputed results
+    /// instead of re-deriving them.
+    pub fn run_ctx(&self, cx: &AnalysisContext<'_>) -> MetaReport {
+        self.merge(|c| c.check_ctx(cx))
+    }
+
+    fn merge(&self, run: impl Fn(&(dyn Checker + Send + Sync)) -> Vec<Diagnostic>) -> MetaReport {
         let mut report = MetaReport::default();
         // (function, span start) → set of tools that flagged it.
         let mut site_tools: BTreeMap<(String, usize), Vec<&'static str>> = BTreeMap::new();
 
         for checker in &self.checkers {
-            for diag in checker.check(program) {
+            for diag in run(checker.as_ref()) {
                 *report
                     .by_rule
                     .entry(format!("{}/{}", diag.tool, diag.rule))
@@ -174,6 +187,42 @@ mod tests {
         let report = only_fmt.run(&p);
         assert_eq!(report.count_cwe(134), 1);
         assert_eq!(report.count_cwe(121), 0);
+    }
+
+    #[test]
+    fn context_run_matches_program_run() {
+        // Exercises the three context-aware checkers: bufcheck (interval
+        // analysis), deadstore (reaching defs + liveness), pathcheck
+        // (interprocedural taint) — plus the AST-only rest.
+        let p = program(
+            "global limit: int = 4;
+             @endpoint(network)
+             fn serve(req: str) {
+                 let buf: str[8];
+                 strcpy(buf, req);
+                 let data: str = read_file(req);
+                 send(0, data);
+                 printf(req);
+             }
+             fn helper(i: int) -> int {
+                 let b: int[4];
+                 let waste: int = 1;
+                 waste = 2;
+                 if i >= 0 && i < 4 { b[i] = 1; }
+                 b[9] = 0;
+                 return b[0];
+             }",
+        );
+        let tool = MetaTool::new();
+        let legacy = tool.run(&p);
+        let cx = AnalysisContext::build(&p);
+        let fused = tool.run_ctx(&cx);
+        assert!(legacy.total() > 0);
+        assert_eq!(legacy.diagnostics, fused.diagnostics);
+        assert_eq!(legacy.by_rule, fused.by_rule);
+        assert_eq!(legacy.by_severity, fused.by_severity);
+        assert_eq!(legacy.by_cwe, fused.by_cwe);
+        assert_eq!(legacy.multi_tool_sites, fused.multi_tool_sites);
     }
 
     #[test]

@@ -140,6 +140,34 @@ pub fn collect_var_reads(block: &Block) -> Vec<&str> {
     out
 }
 
+/// Call `f` on every identifier a function mentions, in a deterministic
+/// pre-order: the function's own name, its parameter names, then per
+/// statement (as [`walk_stmts`] visits them) any declared/assigned name
+/// followed by every variable reference and callee in the statement's
+/// direct expressions. Symbol interning is built on this walk — running it
+/// once per function yields a stable numbering no matter which analysis
+/// asks first.
+pub fn function_identifiers<'a>(function: &'a Function, f: &mut dyn FnMut(&'a str)) {
+    f(&function.name);
+    for p in &function.params {
+        f(&p.name);
+    }
+    walk_stmts(&function.body, &mut |stmt| {
+        match &stmt.kind {
+            StmtKind::Let { name, .. } => f(name),
+            StmtKind::Assign { target, .. } => f(target.base_name()),
+            _ => {}
+        }
+        for e in stmt_exprs(stmt) {
+            walk_expr(e, &mut |e| match &e.kind {
+                ExprKind::Var(name) => f(name),
+                ExprKind::Call { callee, .. } => f(callee),
+                _ => {}
+            });
+        }
+    });
+}
+
 /// Maximum statement-nesting depth of the block (a top-level statement has
 /// depth 1). Used by the "deep nesting" code smell.
 pub fn max_nesting_depth(block: &Block) -> usize {
@@ -243,6 +271,33 @@ mod tests {
             3
         );
         assert_eq!(max_nesting_depth(&body("fn f() { }")), 0);
+    }
+
+    #[test]
+    fn function_identifiers_in_stable_preorder() {
+        let m = parse_module(
+            "t.c",
+            "fn f(a: int, b: int) -> int {
+                let x: int = a + 1;
+                x = g(b);
+                for i = 0; i < x; i += 1 { log_msg(\"s\"); }
+                return x;
+            }",
+            Dialect::C,
+        )
+        .unwrap();
+        let mut seen = Vec::new();
+        function_identifiers(&m.functions[0], &mut |n| seen.push(n.to_string()));
+        assert_eq!(
+            seen,
+            vec![
+                "f", "a", "b", // signature
+                "x", "a", // let x = a + 1
+                "x", "g", "b", // x = g(b)
+                "i", "x", "i", "i", "log_msg", // for cond, then init/step/body
+                "x",       // return x
+            ]
+        );
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Dense `u64`-word bit sets — the lattice representation shared by the
+//! dataflow, taint and interval fixpoints.
+//!
+//! Every set-valued analysis fact in this crate (reaching def ids, tainted
+//! [`crate::symbols::SymbolId`]s, interval-environment domains) is a
+//! subset of a universe whose size is known up front, so a flat word
+//! vector beats a hash set: `union_with` is a handful of `or`s per 64
+//! elements, equality is `memcmp`, and cloning is one allocation.
+
+/// A dense bit set sized at construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty set over a universe of `len` elements.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Universe size (not the number of set bits — see [`BitSet::count`]).
+    pub fn universe(&self) -> usize {
+        self.len
+    }
+
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let (w, b) = (i / 64, i % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !was
+    }
+
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// `self |= other`; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | *b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// `self &= other`.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// `self &= !other`.
+    pub fn subtract(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+        }
+    }
+
+    /// Remove every element.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// True if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterate set indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.iter_ones()
+    }
+
+    /// Iterate set indices in increasing order, skipping zero words — the
+    /// sparse-friendly walk the def-use sweep uses.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            words: &self.words,
+            word_index: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Iterator over set bit indices (see [`BitSet::iter_ones`]).
+pub struct IterOnes<'a> {
+    words: &'a [u64],
+    word_index: usize,
+    current: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_index += 1;
+            self.current = *self.words.get(self.word_index)?;
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_index * 64 + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_ones_skips_empty_words() {
+        let mut s = BitSet::new(300);
+        for i in [0, 63, 64, 200, 299] {
+            s.insert(i);
+        }
+        assert_eq!(s.iter_ones().collect::<Vec<_>>(), vec![0, 63, 64, 200, 299]);
+        assert_eq!(s.count(), 5);
+    }
+
+    #[test]
+    fn empty_universe_iterates_nothing() {
+        let s = BitSet::new(0);
+        assert_eq!(s.iter_ones().count(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn intersect_and_clear() {
+        let mut a = BitSet::new(10);
+        a.insert(1);
+        a.insert(2);
+        let mut b = BitSet::new(10);
+        b.insert(2);
+        b.insert(3);
+        a.intersect_with(&b);
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![2]);
+        a.clear();
+        assert!(a.is_empty());
+    }
+}

@@ -1,0 +1,453 @@
+//! The shared analysis context: expensive structural work done once per
+//! program, consumed by every collector.
+//!
+//! Before this module existed, `registry`, `taint`, `interval`, `paths`
+//! and `smells` each rebuilt the same per-function CFGs, and the
+//! set-valued fixpoints hashed variable-name strings. An
+//! [`AnalysisContext`] now owns, per program:
+//!
+//! * a [`SymbolTable`] interning every identifier ([`SymbolId`]s assigned
+//!   in one deterministic sequential pass);
+//! * one [`FunctionContext`] per function — its [`Cfg`], reverse
+//!   postorder, immediate dominators, per-node def/use sets as dense
+//!   symbol indices, and the precomputed dataflow / interval / bounds /
+//!   path / dead-code results every collector needs;
+//! * one shared interprocedural [`TaintReport`] (the legacy path computed
+//!   it up to three times per program: taint features, attack-surface
+//!   features, and the path-traversal checker).
+//!
+//! Function contexts are independent once interning is done, so
+//! [`AnalysisContext::build_with`] lets callers fan their construction out
+//! over a thread pool — results merge back in program order, keeping every
+//! downstream feature bit-identical for any worker count.
+
+use crate::bitset::BitSet;
+use crate::cfg::{Cfg, NodeId};
+use crate::cyclomatic;
+use crate::dataflow::{self, DataflowStats};
+use crate::interval::{self, BoundsReport, SymIntervalAnalysis};
+use crate::paths::{self, PathConfig, PathReport};
+use crate::symbols::{SymbolId, SymbolTable};
+use crate::taint::{self, TaintReport};
+use minilang::ast::{Function, Program};
+use minilang::visit;
+use std::collections::HashMap;
+
+/// Function-local symbol index (dense remap of the [`SymbolId`]s a single
+/// function mentions; bitset lattices are keyed by this).
+pub type LocalId = u32;
+
+/// Program-wide interning output: the symbol table plus the module-global
+/// symbols, produced sequentially before any per-function work starts.
+#[derive(Debug)]
+pub struct ProgramSymbols {
+    pub table: SymbolTable,
+    /// Module globals in declaration order.
+    pub globals: Vec<SymbolId>,
+}
+
+impl ProgramSymbols {
+    pub fn intern(program: &Program) -> ProgramSymbols {
+        let table = SymbolTable::intern_program(program);
+        let globals = program
+            .modules
+            .iter()
+            .flat_map(|m| m.globals.iter())
+            .map(|g| table.lookup(&g.name).expect("global interned"))
+            .collect();
+        ProgramSymbols { table, globals }
+    }
+}
+
+/// The identifiers one function mentions, densely renumbered: `LocalId`s
+/// index bitsets whose universe is just this function's names.
+#[derive(Debug)]
+pub struct FnSymbols<'p> {
+    /// Local index → program-wide symbol.
+    pub syms: Vec<SymbolId>,
+    by_name: HashMap<&'p str, LocalId>,
+}
+
+impl<'p> FnSymbols<'p> {
+    pub fn build(function: &'p Function, table: &SymbolTable) -> FnSymbols<'p> {
+        let mut syms = Vec::new();
+        let mut by_name: HashMap<&'p str, LocalId> = HashMap::new();
+        visit::function_identifiers(function, &mut |name| {
+            by_name.entry(name).or_insert_with(|| {
+                let id = syms.len() as LocalId;
+                syms.push(table.lookup(name).expect("identifier interned"));
+                id
+            });
+        });
+        FnSymbols { syms, by_name }
+    }
+
+    /// Universe size for this function's bitsets.
+    pub fn len(&self) -> usize {
+        self.syms.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.syms.is_empty()
+    }
+
+    /// Local index of `name`, if the function mentions it.
+    pub fn local(&self, name: &str) -> Option<LocalId> {
+        self.by_name.get(name).copied()
+    }
+}
+
+/// Everything the collectors need about one function, computed exactly
+/// once.
+#[derive(Debug)]
+pub struct FunctionContext<'p> {
+    pub function: &'p Function,
+    pub cfg: Cfg<'p>,
+    /// Reverse postorder over the CFG (unreachable nodes appended).
+    pub rpo: Vec<NodeId>,
+    /// Immediate dominator per node (`None` for the entry and for
+    /// unreachable nodes).
+    pub idom: Vec<Option<NodeId>>,
+    pub symbols: FnSymbols<'p>,
+    /// Parameter locals, in signature order.
+    pub param_locals: Vec<LocalId>,
+    /// Per-node definition `(local, strong)`, mirroring
+    /// [`dataflow::node_def`].
+    pub defs: Vec<Option<(LocalId, bool)>>,
+    /// Per-node used locals in visit order, duplicates preserved
+    /// (mirroring [`dataflow::node_uses`] — du-pair counts are per use
+    /// occurrence).
+    pub uses: Vec<Vec<LocalId>>,
+    pub dataflow: DataflowStats,
+    pub intervals: SymIntervalAnalysis,
+    pub bounds: BoundsReport,
+    pub paths: PathReport,
+    /// The function contains CFG-unreachable statements (dead code smell).
+    pub has_dead_code: bool,
+    /// Decision-point cyclomatic complexity (AST-only; no CFG needed).
+    pub decision_complexity: usize,
+}
+
+impl<'p> FunctionContext<'p> {
+    /// Build one function's context. Read-only over the shared interning
+    /// output, so calls for different functions can run on different
+    /// threads.
+    pub fn build(
+        function: &'p Function,
+        program: &ProgramSymbols,
+        path_config: &PathConfig,
+    ) -> FunctionContext<'p> {
+        let cfg = Cfg::build(function);
+        let rpo = cfg.reverse_postorder();
+        let idom = immediate_dominators(&cfg, &rpo);
+        let symbols = FnSymbols::build(function, &program.table);
+        let universe = symbols.len();
+        let param_locals: Vec<LocalId> = function
+            .params
+            .iter()
+            .map(|p| symbols.local(&p.name).expect("param interned"))
+            .collect();
+
+        // Per-node def/use sets as dense locals.
+        let mut defs = Vec::with_capacity(cfg.node_count());
+        let mut uses = Vec::with_capacity(cfg.node_count());
+        for node in &cfg.nodes {
+            defs.push(
+                dataflow::node_def(&node.kind)
+                    .map(|(name, strong)| (symbols.local(&name).expect("def interned"), strong)),
+            );
+            uses.push(
+                dataflow::node_uses(&node.kind)
+                    .into_iter()
+                    .map(|name| symbols.local(&name).expect("use interned"))
+                    .collect::<Vec<_>>(),
+            );
+        }
+
+        // Membership sets for the dataflow statistics.
+        let mut let_locals = BitSet::new(universe);
+        for node in &cfg.nodes {
+            if let crate::cfg::NodeKind::Stmt(stmt) = &node.kind {
+                if let minilang::ast::StmtKind::Let { name, .. } = &stmt.kind {
+                    let_locals.insert(symbols.local(name).expect("let interned") as usize);
+                }
+            }
+        }
+        let mut param_set = BitSet::new(universe);
+        for &p in &param_locals {
+            param_set.insert(p as usize);
+        }
+        let mut global_set = BitSet::new(universe);
+        for &g in &program.globals {
+            if let Some(l) = symbols.local(program.table.name(g)) {
+                global_set.insert(l as usize);
+            }
+        }
+
+        let dataflow = dataflow::dataflow_stats_sym(
+            &cfg,
+            &rpo,
+            &defs,
+            &uses,
+            universe,
+            &let_locals,
+            &param_set,
+            &global_set,
+        );
+        let intervals = interval::analyze_cfg_sym(&cfg, function, &symbols, &rpo);
+        let bounds = interval::check_bounds_sym(&cfg, function, &symbols, &intervals);
+        let paths = paths::explore_cfg(&cfg, function, path_config);
+        let has_dead_code = !cfg.unreachable_nodes().is_empty();
+        let decision_complexity = cyclomatic::decision_complexity(function);
+
+        FunctionContext {
+            function,
+            cfg,
+            rpo,
+            idom,
+            symbols,
+            param_locals,
+            defs,
+            uses,
+            dataflow,
+            intervals,
+            bounds,
+            paths,
+            has_dead_code,
+            decision_complexity,
+        }
+    }
+}
+
+/// The shared per-program analysis context.
+#[derive(Debug)]
+pub struct AnalysisContext<'p> {
+    pub program: &'p Program,
+    pub symbols: ProgramSymbols,
+    /// One context per function, in `program.functions()` order.
+    pub functions: Vec<FunctionContext<'p>>,
+    /// The shared interprocedural taint result.
+    pub taint: TaintReport,
+    path_config: PathConfig,
+}
+
+impl<'p> AnalysisContext<'p> {
+    /// Build the context sequentially.
+    pub fn build(program: &'p Program) -> AnalysisContext<'p> {
+        Self::build_with(program, |symbols, funcs| {
+            funcs
+                .iter()
+                .map(|&f| FunctionContext::build(f, symbols, &standard_path_config()))
+                .collect()
+        })
+    }
+
+    /// Build the context with caller-provided per-function fan-out
+    /// (dependency inversion: this crate cannot see the thread pool, so
+    /// the caller maps `FunctionContext::build` over the function list —
+    /// in program order — however it likes). Interning runs first,
+    /// sequentially, so the closure only ever reads the table; the
+    /// interprocedural taint pass runs after the merge.
+    pub fn build_with<F>(program: &'p Program, run: F) -> AnalysisContext<'p>
+    where
+        F: FnOnce(&ProgramSymbols, &[&'p Function]) -> Vec<FunctionContext<'p>>,
+    {
+        let symbols = ProgramSymbols::intern(program);
+        let funcs: Vec<&Function> = program.functions().collect();
+        let functions = run(&symbols, &funcs);
+        debug_assert_eq!(functions.len(), funcs.len());
+        let taint = taint::analyze_contexts(program, &functions);
+        AnalysisContext {
+            program,
+            symbols,
+            functions,
+            taint,
+            path_config: standard_path_config(),
+        }
+    }
+
+    /// The path-exploration limits function contexts were built with.
+    pub fn path_config(&self) -> &PathConfig {
+        &self.path_config
+    }
+}
+
+/// The per-function path-exploration limits the standard collector set
+/// uses: modest bounds so one explosive function cannot swamp extraction.
+pub fn standard_path_config() -> PathConfig {
+    PathConfig {
+        max_states: 4_000,
+        ..Default::default()
+    }
+}
+
+/// Immediate dominators by the Cooper–Harvey–Kennedy iteration over the
+/// reverse postorder. `idom[entry]` and unreachable nodes are `None`.
+pub fn immediate_dominators(cfg: &Cfg<'_>, order: &[NodeId]) -> Vec<Option<NodeId>> {
+    let n = cfg.node_count();
+    let mut pos = vec![usize::MAX; n];
+    for (i, &id) in order.iter().enumerate() {
+        pos[id] = i;
+    }
+    let mut idom: Vec<Option<NodeId>> = vec![None; n];
+    idom[cfg.entry] = Some(cfg.entry);
+
+    let intersect = |idom: &[Option<NodeId>], mut a: NodeId, mut b: NodeId| -> NodeId {
+        while a != b {
+            while pos[a] > pos[b] {
+                a = idom[a].expect("processed");
+            }
+            while pos[b] > pos[a] {
+                b = idom[b].expect("processed");
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &id in order {
+            if id == cfg.entry {
+                continue;
+            }
+            let mut new_idom: Option<NodeId> = None;
+            for &p in &cfg.nodes[id].preds {
+                if idom[p].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, cur, p),
+                });
+            }
+            if new_idom.is_some() && idom[id] != new_idom {
+                idom[id] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    // The entry dominates itself by convention above; report it as None so
+    // callers see a proper tree root.
+    idom[cfg.entry] = None;
+    idom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minilang::{parse_program, Dialect};
+
+    fn program(src: &str) -> Program {
+        parse_program("app", Dialect::C, &[("m.c".into(), src.into())]).unwrap()
+    }
+
+    #[test]
+    fn context_builds_every_function_once() {
+        let p = program(
+            "global limit: int = 8;
+             fn main_loop(n: int) -> int {
+                 let acc: int = 0;
+                 for i = 0; i < n; i += 1 { acc += i; }
+                 return acc;
+             }
+             @endpoint(network)
+             fn handle(req: str) { let b: str[16]; strcpy(b, req); }",
+        );
+        let cx = AnalysisContext::build(&p);
+        assert_eq!(cx.functions.len(), 2);
+        assert_eq!(cx.functions[0].function.name, "main_loop");
+        assert_eq!(cx.functions[1].function.name, "handle");
+        assert!(!cx.symbols.table.is_empty());
+        assert_eq!(cx.symbols.globals.len(), 1);
+        // The shared taint report sees the endpoint flow.
+        assert_eq!(cx.taint.flows.len(), 1);
+        // Dataflow stats were computed per function.
+        assert!(cx.functions[0].dataflow.defs > 0);
+    }
+
+    #[test]
+    fn build_with_merges_in_caller_order() {
+        let p = program("fn a() { } fn b() { }");
+        let cx = AnalysisContext::build_with(&p, |symbols, funcs| {
+            // Build in reverse, then restore program order — what a
+            // work-stealing pool's ordered merge does.
+            let mut out: Vec<FunctionContext<'_>> = funcs
+                .iter()
+                .rev()
+                .map(|&f| FunctionContext::build(f, symbols, &standard_path_config()))
+                .collect();
+            out.reverse();
+            out
+        });
+        assert_eq!(cx.functions[0].function.name, "a");
+        assert_eq!(cx.functions[1].function.name, "b");
+    }
+
+    #[test]
+    fn dominators_on_diamond() {
+        let p = program(
+            "fn f(x: int) {
+                 if x > 0 { x = 1; } else { x = 2; }
+                 x = 3;
+             }",
+        );
+        let cx = AnalysisContext::build(&p);
+        let fcx = &cx.functions[0];
+        let cfg = &fcx.cfg;
+        // Entry has no idom; every other reachable node is dominated.
+        assert!(fcx.idom[cfg.entry].is_none());
+        for &id in &fcx.rpo {
+            if id != cfg.entry {
+                assert!(
+                    fcx.idom[id].is_some(),
+                    "reachable node {id} missing an idom"
+                );
+            }
+        }
+        // The branches' idom is the condition; the join and the following
+        // statement are dominated by the condition, not by either branch.
+        let cond = cfg
+            .nodes
+            .iter()
+            .position(|n| matches!(n.kind, crate::cfg::NodeKind::Cond(_)))
+            .unwrap();
+        let after: Vec<NodeId> = (0..cfg.node_count())
+            .filter(|&id| fcx.idom[id] == Some(cond))
+            .collect();
+        assert!(after.len() >= 3, "cond should dominate both arms + join");
+    }
+
+    #[test]
+    fn dominators_skip_unreachable_nodes() {
+        let p = program("fn f() -> int { return 1; let x: int = 2; }");
+        let cx = AnalysisContext::build(&p);
+        let fcx = &cx.functions[0];
+        let unreachable = fcx.cfg.unreachable_nodes();
+        assert!(!unreachable.is_empty());
+        for id in unreachable {
+            assert!(fcx.idom[id].is_none());
+        }
+        assert!(fcx.has_dead_code);
+    }
+
+    #[test]
+    fn fn_symbols_are_function_dense() {
+        let p = program(
+            "fn f(a: int) -> int { let x: int = a; return x; }
+             fn g(b: int) -> int { return b; }",
+        );
+        let cx = AnalysisContext::build(&p);
+        let f = &cx.functions[0].symbols;
+        let g = &cx.functions[1].symbols;
+        // Each function's locals start at 0 regardless of global numbering.
+        assert_eq!(f.local("f"), Some(0));
+        assert_eq!(f.local("a"), Some(1));
+        assert_eq!(f.local("x"), Some(2));
+        assert_eq!(g.local("g"), Some(0));
+        assert_eq!(g.local("b"), Some(1));
+        assert_eq!(f.local("b"), None);
+        // And map back to distinct program-wide symbols.
+        assert_ne!(f.syms[1], g.syms[1]);
+    }
+}

@@ -30,7 +30,16 @@ pub fn function_complexity(f: &Function) -> FunctionComplexity {
     let e = cfg.edge_count() as isize;
     let n = cfg.node_count() as isize;
     let graph = (e - n + 2).max(1) as usize;
+    FunctionComplexity {
+        graph,
+        decision: decision_complexity(f),
+    }
+}
 
+/// Decision-point complexity alone (`D + 1`). AST-only — no CFG build —
+/// which is all the program-level aggregate ever used, so the fused engine
+/// calls this directly.
+pub fn decision_complexity(f: &Function) -> usize {
     let mut decisions = 0usize;
     visit::walk_stmts(&f.body, &mut |stmt| match &stmt.kind {
         StmtKind::If { cond, .. } | StmtKind::While { cond, .. } => {
@@ -44,10 +53,7 @@ pub fn function_complexity(f: &Function) -> FunctionComplexity {
         }
         _ => {}
     });
-    FunctionComplexity {
-        graph,
-        decision: decisions + 1,
-    }
+    decisions + 1
 }
 
 fn short_circuits(cond: &minilang::Expr) -> usize {
@@ -80,7 +86,7 @@ pub struct ComplexityStats {
 }
 
 impl ComplexityStats {
-    fn from_values(values: &[usize]) -> ComplexityStats {
+    pub(crate) fn from_values(values: &[usize]) -> ComplexityStats {
         let total: usize = values.iter().sum();
         ComplexityStats {
             total,

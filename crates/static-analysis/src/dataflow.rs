@@ -19,68 +19,7 @@ use minilang::ast::{Expr, ExprKind, Function, LValue, Stmt, StmtKind};
 use minilang::visit;
 use std::collections::HashMap;
 
-/// A dense bit set sized at construction.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct BitSet {
-    words: Vec<u64>,
-    len: usize,
-}
-
-impl BitSet {
-    /// An empty set over a universe of `len` elements.
-    pub fn new(len: usize) -> Self {
-        BitSet {
-            words: vec![0; len.div_ceil(64)],
-            len,
-        }
-    }
-
-    pub fn insert(&mut self, i: usize) -> bool {
-        debug_assert!(i < self.len);
-        let (w, b) = (i / 64, i % 64);
-        let was = self.words[w] & (1 << b) != 0;
-        self.words[w] |= 1 << b;
-        !was
-    }
-
-    pub fn remove(&mut self, i: usize) {
-        debug_assert!(i < self.len);
-        self.words[i / 64] &= !(1 << (i % 64));
-    }
-
-    pub fn contains(&self, i: usize) -> bool {
-        debug_assert!(i < self.len);
-        self.words[i / 64] & (1 << (i % 64)) != 0
-    }
-
-    /// `self |= other`; returns true if `self` changed.
-    pub fn union_with(&mut self, other: &BitSet) -> bool {
-        let mut changed = false;
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            let new = *a | *b;
-            changed |= new != *a;
-            *a = new;
-        }
-        changed
-    }
-
-    /// `self &= !other`.
-    pub fn subtract(&mut self, other: &BitSet) {
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= !*b;
-        }
-    }
-
-    /// Number of set bits.
-    pub fn count(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
-    }
-
-    /// Iterate set indices.
-    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..self.len).filter(move |&i| self.contains(i))
-    }
-}
+pub use crate::bitset::BitSet;
 
 /// One definition site: variable `var` defined at CFG node `node`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -368,6 +307,141 @@ pub fn dataflow_stats(cfg: &Cfg<'_>, function: &Function, globals: &[String]) ->
             continue;
         }
         if !lv.is_live_out(def.node, &def.var) {
+            stats.dead_stores += 1;
+        }
+    }
+    stats
+}
+
+/// Symbol-indexed variant of [`dataflow_stats`], used by the fused engine:
+/// the caller (a [`crate::context::FunctionContext`]) has already built the
+/// CFG, its reverse postorder and the per-node def/use sets as dense
+/// function-local symbol indices, so this runs both fixpoints without
+/// allocating a single string. Results are identical to the legacy path —
+/// du-pairs are still counted per use *occurrence* and the same
+/// local/param/global classification applies.
+#[allow(clippy::too_many_arguments)]
+pub fn dataflow_stats_sym(
+    cfg: &Cfg<'_>,
+    order: &[NodeId],
+    node_defs: &[Option<(u32, bool)>],
+    node_uses: &[Vec<u32>],
+    universe: usize,
+    let_locals: &BitSet,
+    params: &BitSet,
+    globals: &BitSet,
+) -> DataflowStats {
+    // Enumerate def sites in node order (same ids the legacy path assigns).
+    struct SymDef {
+        var: u32,
+        node: NodeId,
+        strong: bool,
+    }
+    let mut defs: Vec<SymDef> = Vec::new();
+    let mut defs_at: Vec<Option<usize>> = vec![None; cfg.node_count()];
+    let mut defs_of_var: Vec<Vec<usize>> = vec![Vec::new(); universe];
+    for (id, slot) in node_defs.iter().enumerate() {
+        if let Some((var, strong)) = *slot {
+            let def_id = defs.len();
+            defs_of_var[var as usize].push(def_id);
+            defs.push(SymDef {
+                var,
+                node: id,
+                strong,
+            });
+            defs_at[id] = Some(def_id);
+        }
+    }
+
+    // Reaching definitions: forward may-analysis over def ids.
+    let def_universe = defs.len();
+    let mut reach_in = vec![BitSet::new(def_universe); cfg.node_count()];
+    let mut reach_out = vec![BitSet::new(def_universe); cfg.node_count()];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &id in order {
+            let mut inset = BitSet::new(def_universe);
+            for &p in &cfg.nodes[id].preds {
+                inset.union_with(&reach_out[p]);
+            }
+            let mut outset = inset.clone();
+            if let Some(def_id) = defs_at[id] {
+                if defs[def_id].strong {
+                    for &other in &defs_of_var[defs[def_id].var as usize] {
+                        if other != def_id {
+                            outset.remove(other);
+                        }
+                    }
+                }
+                outset.insert(def_id);
+            }
+            if outset != reach_out[id] {
+                reach_out[id] = outset;
+                changed = true;
+            }
+            reach_in[id] = inset;
+        }
+    }
+
+    // Liveness: backward may-analysis over the local-symbol universe.
+    let mut live_in = vec![BitSet::new(universe); cfg.node_count()];
+    let mut live_out = vec![BitSet::new(universe); cfg.node_count()];
+    changed = true;
+    while changed {
+        changed = false;
+        for &id in order.iter().rev() {
+            let mut out = BitSet::new(universe);
+            for &s in &cfg.nodes[id].succs {
+                out.union_with(&live_in[s]);
+            }
+            let mut inset = out.clone();
+            if let Some((d, strong)) = node_defs[id] {
+                if strong {
+                    inset.remove(d as usize);
+                }
+            }
+            for &u in &node_uses[id] {
+                inset.insert(u as usize);
+            }
+            if inset != live_in[id] {
+                live_in[id] = inset;
+                changed = true;
+            }
+            live_out[id] = out;
+        }
+    }
+
+    let mut stats = DataflowStats {
+        defs: defs.len(),
+        ..Default::default()
+    };
+
+    // du pairs + uninitialized uses (per use occurrence, like the legacy
+    // path).
+    for (id, uses) in node_uses.iter().enumerate() {
+        for &used in uses {
+            let reaching = defs_of_var[used as usize]
+                .iter()
+                .filter(|&&d| reach_in[id].contains(d))
+                .count();
+            stats.du_pairs += reaching;
+            let is_tracked_local = let_locals.contains(used as usize)
+                && !params.contains(used as usize)
+                && !globals.contains(used as usize);
+            if reaching == 0 && is_tracked_local {
+                stats.possibly_uninitialized_uses += 1;
+            }
+        }
+    }
+
+    // Dead stores: strong def of a `let`-declared local not live out of its
+    // node.
+    for def in &defs {
+        if def.strong
+            && let_locals.contains(def.var as usize)
+            && !live_out[def.node].contains(def.var as usize)
+        {
             stats.dead_stores += 1;
         }
     }

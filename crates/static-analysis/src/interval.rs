@@ -672,6 +672,424 @@ pub fn check_bounds(f: &Function) -> BoundsReport {
     report
 }
 
+// ---------------------------------------------------------------------------
+// Symbol-indexed environments — the fused engine's dense lattice.
+//
+// The legacy fixpoint keys environments by variable-name `String` in a
+// `BTreeMap`. The fused path replaces that with a bitset of present
+// function-local symbols plus a flat `Vec<Interval>`, with the invariant
+// that absent slots always hold `TOP`. Since no interval transfer function
+// ever *removes* a variable (joins intersect key sets, widening keeps the
+// new env's keys), the derived `PartialEq` on the flat representation is
+// exactly `BTreeMap` equality, so the fixpoint converges after the same
+// sweeps and every env matches the legacy one bit for bit.
+// ---------------------------------------------------------------------------
+
+use crate::bitset::BitSet;
+use crate::context::FnSymbols;
+
+/// Dense abstract environment over one function's local symbols.
+/// Absent locals read as [`Interval::TOP`]; the `vals` slot of an absent
+/// local also *holds* `TOP` so derived equality mirrors map equality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymEnv {
+    present: BitSet,
+    vals: Vec<Interval>,
+}
+
+impl SymEnv {
+    /// The empty environment (every local absent ⇒ Top).
+    pub fn new(universe: usize) -> SymEnv {
+        SymEnv {
+            present: BitSet::new(universe),
+            vals: vec![Interval::TOP; universe],
+        }
+    }
+
+    pub fn get(&self, local: u32) -> Interval {
+        self.vals[local as usize]
+    }
+
+    pub fn contains(&self, local: u32) -> bool {
+        self.present.contains(local as usize)
+    }
+
+    pub fn insert(&mut self, local: u32, v: Interval) {
+        self.present.insert(local as usize);
+        self.vals[local as usize] = v;
+    }
+}
+
+/// Evaluate an integer expression under a symbol-indexed environment.
+/// Mirrors [`eval`]; unresolvable names read as Top.
+pub fn eval_sym(expr: &Expr, env: &SymEnv, syms: &FnSymbols<'_>) -> Interval {
+    match &expr.kind {
+        ExprKind::Int(v) => Interval::constant(*v),
+        ExprKind::Bool(b) => Interval::constant(*b as i64),
+        ExprKind::Var(name) => syms
+            .local(name)
+            .map(|l| env.get(l))
+            .unwrap_or(Interval::TOP),
+        ExprKind::Unary {
+            op: UnaryOp::Neg,
+            operand,
+        } => Interval::constant(0).sub(&eval_sym(operand, env, syms)),
+        ExprKind::Unary {
+            op: UnaryOp::Not,
+            operand,
+        } => {
+            let v = eval_sym(operand, env, syms);
+            if v == Interval::constant(0) {
+                Interval::constant(1)
+            } else if !v.contains(0) {
+                Interval::constant(0)
+            } else {
+                Interval::new(0, 1)
+            }
+        }
+        ExprKind::Binary { op, lhs, rhs } => {
+            let (a, b) = (eval_sym(lhs, env, syms), eval_sym(rhs, env, syms));
+            match op {
+                BinaryOp::Add => a.add(&b),
+                BinaryOp::Sub => a.sub(&b),
+                BinaryOp::Mul => a.mul(&b),
+                BinaryOp::Rem => a.rem(&b),
+                BinaryOp::Div => Interval::TOP,
+                BinaryOp::Eq
+                | BinaryOp::Ne
+                | BinaryOp::Lt
+                | BinaryOp::Le
+                | BinaryOp::Gt
+                | BinaryOp::Ge => match compare(*op, &a, &b) {
+                    Some(true) => Interval::constant(1),
+                    Some(false) => Interval::constant(0),
+                    None => Interval::new(0, 1),
+                },
+                BinaryOp::And | BinaryOp::Or => Interval::new(0, 1),
+                BinaryOp::BitAnd | BinaryOp::BitOr | BinaryOp::BitXor => Interval::TOP,
+                BinaryOp::Shl | BinaryOp::Shr => Interval::TOP,
+            }
+        }
+        _ => Interval::TOP,
+    }
+}
+
+/// Branch refinement under a symbol-indexed environment; mirrors
+/// [`assume`], including its quirk that the right-hand refinement reads the
+/// partially-refined environment while bounds still evaluate under the
+/// original.
+pub fn assume_sym(cond: &Expr, truth: bool, env: &SymEnv, syms: &FnSymbols<'_>) -> Option<SymEnv> {
+    match &cond.kind {
+        ExprKind::Binary { op, lhs, rhs } if op.is_comparison() => {
+            let op = if truth { *op } else { negate(*op) };
+            let mut out = env.clone();
+            if let ExprKind::Var(name) = &lhs.kind {
+                let local = syms.local(name).expect("var interned");
+                let bound = eval_sym(rhs, env, syms);
+                let cur = if env.contains(local) {
+                    env.get(local)
+                } else {
+                    Interval::TOP
+                };
+                let refined = refine_left(op, cur, bound);
+                if refined.is_bottom() {
+                    return None;
+                }
+                out.insert(local, refined);
+            }
+            if let ExprKind::Var(name) = &rhs.kind {
+                let local = syms.local(name).expect("var interned");
+                let bound = eval_sym(lhs, env, syms);
+                let cur = if out.contains(local) {
+                    out.get(local)
+                } else {
+                    Interval::TOP
+                };
+                let refined = refine_left(mirror(op), cur, bound);
+                if refined.is_bottom() {
+                    return None;
+                }
+                out.insert(local, refined);
+            }
+            let (a, b) = (eval_sym(lhs, env, syms), eval_sym(rhs, env, syms));
+            if compare(op, &a, &b) == Some(false) {
+                return None;
+            }
+            Some(out)
+        }
+        ExprKind::Binary {
+            op: BinaryOp::And,
+            lhs,
+            rhs,
+        } if truth => {
+            let e1 = assume_sym(lhs, true, env, syms)?;
+            assume_sym(rhs, true, &e1, syms)
+        }
+        ExprKind::Binary {
+            op: BinaryOp::Or,
+            lhs,
+            rhs,
+        } if !truth => {
+            let e1 = assume_sym(lhs, false, env, syms)?;
+            assume_sym(rhs, false, &e1, syms)
+        }
+        ExprKind::Unary {
+            op: UnaryOp::Not,
+            operand,
+        } => assume_sym(operand, !truth, env, syms),
+        ExprKind::Bool(b) => {
+            if *b == truth {
+                Some(env.clone())
+            } else {
+                None
+            }
+        }
+        _ => Some(env.clone()),
+    }
+}
+
+/// Apply a node's transfer function; mirrors [`apply_node_public`].
+pub fn apply_node_sym(kind: &NodeKind<'_>, mut env: SymEnv, syms: &FnSymbols<'_>) -> SymEnv {
+    if let NodeKind::Stmt(stmt) = kind {
+        match &stmt.kind {
+            StmtKind::Let { name, ty, init } if *ty == Type::Int => {
+                let v = init
+                    .as_ref()
+                    .map(|e| eval_sym(e, &env, syms))
+                    .unwrap_or(Interval::TOP);
+                env.insert(syms.local(name).expect("let interned"), v);
+            }
+            StmtKind::Assign {
+                target: LValue::Var(name, _),
+                op,
+                value,
+            } => {
+                let local = syms.local(name).expect("assign interned");
+                let rhs = eval_sym(value, &env, syms);
+                let new = match op {
+                    None => rhs,
+                    Some(o) => {
+                        let cur = if env.contains(local) {
+                            env.get(local)
+                        } else {
+                            Interval::TOP
+                        };
+                        match o {
+                            BinaryOp::Add => cur.add(&rhs),
+                            BinaryOp::Sub => cur.sub(&rhs),
+                            BinaryOp::Mul => cur.mul(&rhs),
+                            _ => Interval::TOP,
+                        }
+                    }
+                };
+                env.insert(local, new);
+            }
+            _ => {}
+        }
+    }
+    env
+}
+
+fn join_env_sym(a: &SymEnv, b: &SymEnv) -> SymEnv {
+    let mut out = SymEnv::new(a.vals.len());
+    let mut present = a.present.clone();
+    present.intersect_with(&b.present);
+    for i in present.iter_ones() {
+        out.vals[i] = a.vals[i].join(&b.vals[i]);
+    }
+    out.present = present;
+    out
+}
+
+fn widen_env_sym(old: &SymEnv, new: &SymEnv) -> SymEnv {
+    let mut out = SymEnv::new(new.vals.len());
+    for i in new.present.iter_ones() {
+        let v = if old.present.contains(i) {
+            old.vals[i].widen(&new.vals[i])
+        } else {
+            new.vals[i]
+        };
+        out.insert(i as u32, v);
+    }
+    out
+}
+
+fn edge_env_sym(
+    cfg: &Cfg<'_>,
+    from: NodeId,
+    to: NodeId,
+    env: &SymEnv,
+    syms: &FnSymbols<'_>,
+) -> Option<SymEnv> {
+    if let NodeKind::Cond(cond) = &cfg.nodes[from].kind {
+        let mut joined: Option<SymEnv> = None;
+        for label in cfg.edge_labels(from, to) {
+            let refined = match label {
+                crate::cfg::EdgeLabel::True => assume_sym(cond, true, env, syms),
+                crate::cfg::EdgeLabel::False => assume_sym(cond, false, env, syms),
+                _ => Some(env.clone()),
+            };
+            if let Some(r) = refined {
+                joined = Some(match joined {
+                    None => r,
+                    Some(j) => join_env_sym(&j, &r),
+                });
+            }
+        }
+        return joined;
+    }
+    Some(env.clone())
+}
+
+/// Per-node symbol-indexed environments (at node entry) for one function.
+#[derive(Debug)]
+pub struct SymIntervalAnalysis {
+    pub envs: Vec<SymEnv>,
+}
+
+/// The fused engine's interval fixpoint: same sweeps, same widening points,
+/// same convergence test as [`analyze_cfg`], over dense environments.
+pub fn analyze_cfg_sym(
+    cfg: &Cfg<'_>,
+    f: &Function,
+    syms: &FnSymbols<'_>,
+    order: &[NodeId],
+) -> SymIntervalAnalysis {
+    let universe = syms.len();
+    let mut pos = vec![0usize; cfg.node_count()];
+    for (i, &n) in order.iter().enumerate() {
+        pos[n] = i;
+    }
+    let mut widen_at = vec![false; cfg.node_count()];
+    for (from, node) in cfg.nodes.iter().enumerate() {
+        for &to in &node.succs {
+            if pos[from] >= pos[to] {
+                widen_at[to] = true;
+            }
+        }
+    }
+    let mut envs: Vec<Option<SymEnv>> = vec![None; cfg.node_count()];
+    let mut entry_env = SymEnv::new(universe);
+    for p in &f.params {
+        if p.ty == Type::Int {
+            entry_env.insert(syms.local(&p.name).expect("param interned"), Interval::TOP);
+        }
+    }
+    envs[cfg.entry] = Some(entry_env);
+
+    let mut sweeps = 0usize;
+    loop {
+        sweeps += 1;
+        let mut changed = false;
+        for &id in order {
+            if id == cfg.entry {
+                continue;
+            }
+            let mut joined: Option<SymEnv> = None;
+            for &p in &cfg.nodes[id].preds {
+                let Some(pred_env) = envs[p].as_ref() else {
+                    continue;
+                };
+                let Some(contributed) = edge_env_sym(cfg, p, id, pred_env, syms) else {
+                    continue;
+                };
+                joined = Some(match joined {
+                    None => contributed,
+                    Some(j) => join_env_sym(&j, &contributed),
+                });
+            }
+            let Some(inset) = joined else { continue };
+            let outset = apply_node_sym(&cfg.nodes[id].kind, inset, syms);
+            let new = match (&envs[id], sweeps > WIDEN_AFTER && widen_at[id]) {
+                (Some(old), true) => widen_env_sym(old, &outset),
+                _ => outset,
+            };
+            if envs[id].as_ref() != Some(&new) {
+                envs[id] = Some(new);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        if sweeps > 200 {
+            break;
+        }
+    }
+    SymIntervalAnalysis {
+        envs: envs
+            .into_iter()
+            .map(|e| e.unwrap_or_else(|| SymEnv::new(universe)))
+            .collect(),
+    }
+}
+
+/// Bounds check over precomputed symbol-indexed environments; verdicts are
+/// identical to [`check_bounds`].
+pub fn check_bounds_sym(
+    cfg: &Cfg<'_>,
+    f: &Function,
+    syms: &FnSymbols<'_>,
+    analysis: &SymIntervalAnalysis,
+) -> BoundsReport {
+    let mut caps: BTreeMap<&str, usize> = BTreeMap::new();
+    for p in &f.params {
+        if let Some(c) = p.ty.buffer_capacity() {
+            caps.insert(p.name.as_str(), c);
+        }
+    }
+    visit::walk_stmts(&f.body, &mut |s| {
+        if let StmtKind::Let { name, ty, .. } = &s.kind {
+            if let Some(c) = ty.buffer_capacity() {
+                caps.insert(name.as_str(), c);
+            }
+        }
+    });
+
+    let mut report = BoundsReport::default();
+    for (id, node) in cfg.nodes.iter().enumerate() {
+        let env = &analysis.envs[id];
+        let mut check = |base: &str, index: &Expr| {
+            let Some(&cap) = caps.get(base) else {
+                report.unknown += 1;
+                return;
+            };
+            let idx = eval_sym(index, env, syms);
+            if idx.is_bottom() || (idx.lo >= 0 && idx.hi < cap as i64) {
+                report.safe += 1;
+            } else if idx.hi < 0 || idx.lo >= cap as i64 {
+                report.out_of_bounds += 1;
+            } else {
+                report.unknown += 1;
+            }
+        };
+        let exprs: Vec<&Expr> = match &node.kind {
+            NodeKind::Stmt(stmt) => {
+                if let StmtKind::Assign {
+                    target: LValue::Index { base, index, .. },
+                    ..
+                } = &stmt.kind
+                {
+                    check(base, index);
+                }
+                visit::stmt_exprs(stmt)
+            }
+            NodeKind::Cond(c) => vec![c],
+            _ => vec![],
+        };
+        for root in exprs {
+            visit::walk_expr(root, &mut |e| {
+                if let ExprKind::Index { base, index } = &e.kind {
+                    if let ExprKind::Var(name) = &base.kind {
+                        check(name, index);
+                    }
+                }
+            });
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -868,6 +1286,44 @@ mod tests {
         let r = check_bounds(&m.functions[0]);
         assert_eq!(r.safe, 0);
         assert_eq!(r.out_of_bounds + r.unknown, 1);
+    }
+
+    #[test]
+    fn sym_analysis_matches_legacy_envs_and_bounds() {
+        let sources = [
+            "fn f() { let buf: int[8]; buf[0] = 1; buf[7] = 2; buf[8] = 3; }",
+            "fn f(n: int) { let buf: int[16]; for i = 0; i < 16; i += 1 { buf[i] = i; } }",
+            "fn f(i: int) { let buf: int[8]; buf[i] = 1; }",
+            "fn f(a: int) { if a > 2 && a < 7 { let x: int = a; let b: int[4]; b[x - 3] = 0; } }",
+            "fn f(n: int) { let i: int = 0; while i < n { i = i + 1; } let after: int = i; }",
+        ];
+        for src in sources {
+            let m = func(src);
+            let f = &m.functions[0];
+            let cfg = Cfg::build(f);
+            let order = cfg.reverse_postorder();
+            let mut table = crate::symbols::SymbolTable::new();
+            table.intern_function(f);
+            let syms = FnSymbols::build(f, &table);
+
+            let legacy = analyze_cfg(&cfg, f);
+            let sym = analyze_cfg_sym(&cfg, f, &syms, &order);
+            // Every env agrees: same present variables, same intervals.
+            for (id, env) in legacy.envs.iter().enumerate() {
+                for (name, iv) in env {
+                    let local = syms.local(name).unwrap();
+                    assert!(sym.envs[id].contains(local), "{src}: {name} missing");
+                    assert_eq!(sym.envs[id].get(local), *iv, "{src}: {name} differs");
+                }
+                let present = sym.envs[id].present.count();
+                assert_eq!(present, env.len(), "{src}: node {id} domain differs");
+            }
+            assert_eq!(
+                check_bounds_sym(&cfg, f, &syms, &sym),
+                check_bounds(f),
+                "{src}: bounds verdicts differ"
+            );
+        }
     }
 
     #[test]

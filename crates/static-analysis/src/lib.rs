@@ -22,9 +22,17 @@
 //! Every analysis exposes a plain function from AST to a result struct, plus
 //! a [`registry::MetricCollector`] adapter that flattens the result into
 //! named [`features::FeatureVector`] entries for the ML stage.
+//!
+//! Collectors share one [`context::AnalysisContext`]: identifiers are
+//! interned into a [`symbols::SymbolTable`], each function's CFG,
+//! reverse-postorder, dominator tree and def/use sets are built exactly
+//! once, and the dataflow/taint/interval fixpoints run on dense
+//! [`bitset::BitSet`] lattices keyed by [`symbols::SymbolId`].
 
+pub mod bitset;
 pub mod callgraph;
 pub mod cfg;
+pub mod context;
 pub mod counts;
 pub mod cyclomatic;
 pub mod dataflow;
@@ -35,7 +43,14 @@ pub mod loc;
 pub mod paths;
 pub mod registry;
 pub mod smells;
+pub mod symbols;
 pub mod taint;
 
+pub use bitset::BitSet;
+pub use context::{AnalysisContext, FunctionContext};
 pub use features::FeatureVector;
-pub use registry::{standard_registry, MetricCollector, Registry};
+pub use registry::{
+    legacy_standard_vector, standard_registry, MetricCollector, ProgramCollectorAdapter,
+    ProgramMetricCollector, Registry,
+};
+pub use symbols::{SymbolId, SymbolTable};

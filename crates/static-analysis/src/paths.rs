@@ -60,6 +60,12 @@ pub struct PathReport {
 /// Explore the paths of one function.
 pub fn explore(f: &Function, config: &PathConfig) -> PathReport {
     let cfg = Cfg::build(f);
+    explore_cfg(&cfg, f, config)
+}
+
+/// Explore over an existing CFG — the fused engine's entry point (the CFG
+/// comes from the shared [`crate::context::FunctionContext`]).
+pub fn explore_cfg(cfg: &Cfg<'_>, f: &Function, config: &PathConfig) -> PathReport {
     let mut env = Env::new();
     for p in &f.params {
         if p.ty == Type::Int {

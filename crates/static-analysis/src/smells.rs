@@ -70,6 +70,28 @@ impl Default for Thresholds {
 
 /// Detect smells across a program.
 pub fn detect(program: &Program, thresholds: &Thresholds) -> Vec<Smell> {
+    detect_inner(program, thresholds, &mut |f| {
+        !Cfg::build(f).unreachable_nodes().is_empty()
+    })
+}
+
+/// Detect smells with dead-code verdicts precomputed by the fused engine
+/// (`dead[i]` corresponds to the i-th function in `program.functions()`
+/// order), so the detector never rebuilds a CFG.
+pub fn detect_precomputed(program: &Program, thresholds: &Thresholds, dead: &[bool]) -> Vec<Smell> {
+    let mut i = 0usize;
+    detect_inner(program, thresholds, &mut |_| {
+        let d = dead[i];
+        i += 1;
+        d
+    })
+}
+
+fn detect_inner(
+    program: &Program,
+    thresholds: &Thresholds,
+    dead_code: &mut dyn FnMut(&Function) -> bool,
+) -> Vec<Smell> {
     let mut smells = Vec::new();
     let mut deprecated: Vec<&str> = Vec::new();
     for m in &program.modules {
@@ -92,7 +114,7 @@ pub fn detect(program: &Program, thresholds: &Thresholds) -> Vec<Smell> {
             });
         }
         for f in &m.functions {
-            detect_function(f, thresholds, &deprecated, &mut smells);
+            detect_function(f, thresholds, &deprecated, dead_code, &mut smells);
             // Collect printed statement sequences for duplicate detection.
             let printed: Vec<String> = f
                 .body
@@ -154,6 +176,7 @@ fn detect_function(
     f: &Function,
     thresholds: &Thresholds,
     deprecated: &[&str],
+    dead_code: &mut dyn FnMut(&Function) -> bool,
     smells: &mut Vec<Smell>,
 ) {
     let mut push = |kind| {
@@ -184,8 +207,7 @@ fn detect_function(
     if callees.iter().any(|c| deprecated.contains(c)) {
         push(SmellKind::DeprecatedCall);
     }
-    let cfg = Cfg::build(f);
-    if !cfg.unreachable_nodes().is_empty() {
+    if dead_code(f) {
         push(SmellKind::DeadCode);
     }
 }

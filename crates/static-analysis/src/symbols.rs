@@ -1,0 +1,117 @@
+//! Identifier interning: every name a program mentions becomes a dense
+//! [`SymbolId`], assigned once in a deterministic sequential pass so the
+//! bitset lattices in the dataflow/taint/interval fixpoints can index by
+//! symbol instead of hashing strings.
+//!
+//! Numbering order is fixed — module globals in declaration order, then
+//! each function's identifiers in [`minilang::visit::function_identifiers`]
+//! pre-order — which makes every downstream analysis independent of how
+//! many worker threads later consume the table.
+
+use minilang::ast::{Function, Program};
+use minilang::visit;
+use std::collections::HashMap;
+
+/// Dense identifier handle; index into [`SymbolTable::name`].
+pub type SymbolId = u32;
+
+/// Interned identifier table for one program.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    ids: HashMap<String, SymbolId>,
+}
+
+impl SymbolTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern every identifier in the program: globals first (module
+    /// order), then per-function names in visit pre-order.
+    pub fn intern_program(program: &Program) -> Self {
+        let mut table = SymbolTable::new();
+        for module in &program.modules {
+            for g in &module.globals {
+                table.intern(&g.name);
+            }
+        }
+        for f in program.functions() {
+            table.intern_function(f);
+        }
+        table
+    }
+
+    /// Intern one function's identifiers (name, params, body pre-order).
+    pub fn intern_function(&mut self, function: &Function) {
+        visit::function_identifiers(function, &mut |name| {
+            self.intern(name);
+        });
+    }
+
+    /// Intern `name`, returning its stable id.
+    pub fn intern(&mut self, name: &str) -> SymbolId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as SymbolId;
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Id of an already-interned name.
+    pub fn lookup(&self, name: &str) -> Option<SymbolId> {
+        self.ids.get(name).copied()
+    }
+
+    /// The interned spelling of `id`.
+    pub fn name(&self, id: SymbolId) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Number of distinct symbols (the bitset universe size).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minilang::{parse_program, Dialect};
+
+    #[test]
+    fn interning_is_deterministic_and_dedups() {
+        let program = parse_program(
+            "p",
+            Dialect::C,
+            &[(
+                "m.c".into(),
+                "global limit: int = 10;
+                 fn f(a: int) -> int { let x: int = a + limit; return x; }"
+                    .into(),
+            )],
+        )
+        .unwrap();
+        let table = SymbolTable::intern_program(&program);
+        // Globals first, then function pre-order; duplicates collapse.
+        assert_eq!(table.lookup("limit"), Some(0));
+        assert_eq!(table.lookup("f"), Some(1));
+        assert_eq!(table.lookup("a"), Some(2));
+        assert_eq!(table.lookup("x"), Some(3));
+        assert_eq!(table.len(), 4);
+        assert_eq!(table.name(3), "x");
+        assert_eq!(table.lookup("missing"), None);
+
+        let again = SymbolTable::intern_program(&program);
+        assert_eq!(again.len(), table.len());
+        for id in 0..table.len() as SymbolId {
+            assert_eq!(table.name(id), again.name(id));
+        }
+    }
+}

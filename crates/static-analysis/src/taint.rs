@@ -347,6 +347,294 @@ fn expr_tainted(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Context-driven variant — the fused engine's entry point.
+//
+// `analyze` rebuilds every function's CFG on every `intra` call, and phase 1
+// alone calls `intra` twice per function per sweep; with the final pass the
+// legacy path can easily build the same CFG five or more times. The fused
+// engine passes prebuilt [`FunctionContext`]s instead and tracks tainted
+// variables in dense [`BitSet`]s over each function's local symbols. The
+// sweep structure, iteration order (name-sorted, in-place Gauss–Seidel
+// summary updates) and transfer functions are the same, so the report is
+// identical to `analyze`'s.
+// ---------------------------------------------------------------------------
+
+use crate::bitset::BitSet;
+use crate::context::{FnSymbols, FunctionContext};
+
+/// Run the analysis over prebuilt per-function contexts. `fcxs` must be in
+/// `program.functions()` order (duplicate names resolve last-wins, exactly
+/// like the legacy map construction).
+pub fn analyze_contexts(program: &Program, fcxs: &[FunctionContext<'_>]) -> TaintReport {
+    let functions: BTreeMap<&str, &FunctionContext<'_>> = fcxs
+        .iter()
+        .map(|fcx| (fcx.function.name.as_str(), fcx))
+        .collect();
+
+    // Phase 1: summaries to fixpoint.
+    let mut summaries: BTreeMap<String, TaintSummary> = functions
+        .keys()
+        .map(|&n| (n.to_string(), TaintSummary::default()))
+        .collect();
+    loop {
+        let mut changed = false;
+        for (&name, &fcx) in &functions {
+            let clean = intra_ctx(fcx, false, &summaries);
+            let dirty = intra_ctx(fcx, true, &summaries);
+            let new = TaintSummary {
+                returns_taint_always: clean.returns_taint,
+                returns_taint_if_param: dirty.returns_taint,
+                param_reaches_sink: dirty.hit_sink,
+            };
+            let entry = summaries.get_mut(name).expect("summary exists");
+            if *entry != new {
+                *entry = new;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Phase 2: which functions run with tainted parameters?
+    let mut tainted_entry: BTreeSet<String> = program
+        .functions()
+        .filter(|f| f.is_untrusted() || !f.endpoint_channels().is_empty())
+        .map(|f| f.name.clone())
+        .collect();
+    loop {
+        let mut changed = false;
+        for (&name, &fcx) in &functions {
+            let params_tainted = tainted_entry.contains(name);
+            let result = intra_ctx(fcx, params_tainted, &summaries);
+            for callee in result.tainted_arg_callees {
+                if functions.contains_key(callee.as_str()) && tainted_entry.insert(callee) {
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Final pass: collect flows and counts.
+    let mut report = TaintReport {
+        tainted_entry_functions: tainted_entry.clone(),
+        summaries: summaries.clone(),
+        ..Default::default()
+    };
+    for (&name, &fcx) in &functions {
+        let params_tainted = tainted_entry.contains(name);
+        let result = intra_ctx(fcx, params_tainted, &summaries);
+        for (sink, span, needed_params) in result.sink_hits {
+            report.flows.push(TaintFlow {
+                function: name.to_string(),
+                sink,
+                span,
+                via_parameters: needed_params && params_tainted,
+            });
+        }
+        visit::walk_exprs(&fcx.function.body, &mut |e| {
+            if let ExprKind::Call { callee, .. } = &e.kind {
+                if let Some(i) = Intrinsic::from_name(callee) {
+                    if i.is_taint_source() {
+                        report.source_calls += 1;
+                    }
+                    if i.is_dangerous_sink() {
+                        report.sink_calls += 1;
+                    }
+                }
+            }
+        });
+    }
+    report
+}
+
+/// Forward taint fixpoint over a prebuilt function context (no CFG build,
+/// no string sets).
+fn intra_ctx(
+    fcx: &FunctionContext<'_>,
+    params_tainted: bool,
+    summaries: &BTreeMap<String, TaintSummary>,
+) -> IntraResult {
+    let cfg = &fcx.cfg;
+    let syms = &fcx.symbols;
+    let universe = syms.len();
+    let mut entry_set = BitSet::new(universe);
+    if params_tainted {
+        for &p in &fcx.param_locals {
+            entry_set.insert(p as usize);
+        }
+    }
+
+    let mut in_sets: Vec<BitSet> = vec![BitSet::new(universe); cfg.node_count()];
+    let mut out_sets: Vec<BitSet> = vec![BitSet::new(universe); cfg.node_count()];
+    in_sets[cfg.entry] = entry_set.clone();
+    out_sets[cfg.entry] = entry_set;
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &id in &fcx.rpo {
+            if id == cfg.entry {
+                continue;
+            }
+            let mut inset = BitSet::new(universe);
+            for &p in &cfg.nodes[id].preds {
+                inset.union_with(&out_sets[p]);
+            }
+            let outset = transfer_sym(&cfg.nodes[id].kind, &inset, syms, summaries);
+            if outset != out_sets[id] {
+                out_sets[id] = outset;
+                changed = true;
+            }
+            in_sets[id] = inset;
+        }
+    }
+
+    let empty = BitSet::new(universe);
+    let mut result = IntraResult {
+        returns_taint: false,
+        hit_sink: false,
+        sink_hits: Vec::new(),
+        tainted_arg_callees: Vec::new(),
+    };
+    for (id, node) in cfg.nodes.iter().enumerate() {
+        let tainted = &in_sets[id];
+        let exprs: Vec<&Expr> = match &node.kind {
+            NodeKind::Stmt(stmt) => {
+                if let StmtKind::Return(Some(v)) = &stmt.kind {
+                    if expr_tainted_sym(v, tainted, syms, summaries) {
+                        result.returns_taint = true;
+                    }
+                }
+                visit::stmt_exprs(stmt)
+            }
+            NodeKind::Cond(c) => vec![c],
+            _ => vec![],
+        };
+        for root in exprs {
+            visit::walk_expr(root, &mut |e| {
+                if let ExprKind::Call { callee, args } = &e.kind {
+                    let any_arg_tainted = args
+                        .iter()
+                        .any(|a| expr_tainted_sym(a, tainted, syms, summaries));
+                    if let Some(i) = Intrinsic::from_name(callee) {
+                        if i.is_dangerous_sink() && any_arg_tainted {
+                            result.hit_sink = true;
+                            let from_source_only = args
+                                .iter()
+                                .any(|a| expr_tainted_sym(a, &empty, syms, summaries));
+                            result.sink_hits.push((i, e.span, !from_source_only));
+                        }
+                    } else if any_arg_tainted {
+                        result.tainted_arg_callees.push(callee.clone());
+                        if summaries.get(callee).is_some_and(|s| s.param_reaches_sink) {
+                            result.hit_sink = true;
+                        }
+                    }
+                }
+            });
+        }
+    }
+    result
+}
+
+/// Transfer function over dense tainted-local sets; mirrors [`transfer`].
+fn transfer_sym(
+    kind: &NodeKind<'_>,
+    inset: &BitSet,
+    syms: &FnSymbols<'_>,
+    summaries: &BTreeMap<String, TaintSummary>,
+) -> BitSet {
+    let mut out = inset.clone();
+    if let NodeKind::Stmt(stmt) = kind {
+        match &stmt.kind {
+            StmtKind::Let { name, init, .. } => {
+                let local = syms.local(name).expect("let interned") as usize;
+                let t = init
+                    .as_ref()
+                    .is_some_and(|e| expr_tainted_sym(e, inset, syms, summaries));
+                if t {
+                    out.insert(local);
+                } else {
+                    out.remove(local);
+                }
+            }
+            StmtKind::Assign { target, op, value } => {
+                let rhs_tainted = expr_tainted_sym(value, inset, syms, summaries);
+                match target {
+                    LValue::Var(name, _) => {
+                        let local = syms.local(name).expect("assign interned") as usize;
+                        let keeps = op.is_some() && inset.contains(local);
+                        if rhs_tainted || keeps {
+                            out.insert(local);
+                        } else {
+                            out.remove(local);
+                        }
+                    }
+                    LValue::Index { base, .. } => {
+                        if rhs_tainted {
+                            out.insert(syms.local(base).expect("base interned") as usize);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Is the value of `e` attacker-controlled? Mirrors [`expr_tainted`] over
+/// dense sets.
+fn expr_tainted_sym(
+    e: &Expr,
+    tainted: &BitSet,
+    syms: &FnSymbols<'_>,
+    summaries: &BTreeMap<String, TaintSummary>,
+) -> bool {
+    match &e.kind {
+        ExprKind::Int(_) | ExprKind::Float(_) | ExprKind::Str(_) | ExprKind::Bool(_) => false,
+        ExprKind::Var(name) => syms
+            .local(name)
+            .is_some_and(|l| tainted.contains(l as usize)),
+        ExprKind::Index { base, index } => {
+            expr_tainted_sym(base, tainted, syms, summaries)
+                || expr_tainted_sym(index, tainted, syms, summaries)
+        }
+        ExprKind::Unary { operand, .. } => expr_tainted_sym(operand, tainted, syms, summaries),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            expr_tainted_sym(lhs, tainted, syms, summaries)
+                || expr_tainted_sym(rhs, tainted, syms, summaries)
+        }
+        ExprKind::Call { callee, args } => {
+            if let Some(i) = Intrinsic::from_name(callee) {
+                if i.is_taint_source() {
+                    return true;
+                }
+                if i.propagates_taint() {
+                    return args
+                        .iter()
+                        .any(|a| expr_tainted_sym(a, tainted, syms, summaries));
+                }
+                false
+            } else if let Some(s) = summaries.get(callee) {
+                s.returns_taint_always
+                    || (s.returns_taint_if_param
+                        && args
+                            .iter()
+                            .any(|a| expr_tainted_sym(a, tainted, syms, summaries)))
+            } else {
+                false
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -511,5 +799,36 @@ mod tests {
     fn strncpy_is_not_a_sink() {
         let r = report("fn f(buf: str[8]) { strncpy(buf, read_input(), 8); }");
         assert!(r.flows.is_empty());
+    }
+
+    #[test]
+    fn context_analysis_matches_legacy() {
+        let sources = [
+            "fn f() { let s: str = read_input(); system(s); }",
+            "@endpoint(network) fn handle(req: str) { helper(req); }
+             fn helper(s: str) { exec(s); }",
+            "fn id(s: str) -> str { return s; }
+             fn f() { let x: str = id(recv(0)); exec(x); }",
+            "@endpoint(network) fn a(req: str) { strcpy(req, req); }
+             fn b() { system(getenv(\"PATH\")); }",
+            "fn f(n: int) -> str {
+                if n == 0 { return read_input(); }
+                return f(n - 1);
+            }
+            fn g() { exec(f(3)); }",
+        ];
+        for src in sources {
+            let p = parse_program("app", Dialect::C, &[("m.c".into(), src.into())]).unwrap();
+            let legacy = analyze(&p);
+            let cx = crate::context::AnalysisContext::build(&p);
+            assert_eq!(cx.taint.flows, legacy.flows, "{src}");
+            assert_eq!(
+                cx.taint.tainted_entry_functions, legacy.tainted_entry_functions,
+                "{src}"
+            );
+            assert_eq!(cx.taint.summaries, legacy.summaries, "{src}");
+            assert_eq!(cx.taint.source_calls, legacy.source_calls, "{src}");
+            assert_eq!(cx.taint.sink_calls, legacy.sink_calls, "{src}");
+        }
     }
 }
