@@ -4,12 +4,15 @@
 //! change an extraction result:
 //!
 //! ```text
-//! key = fnv1a64( schema_version ‖ dialect ‖ (path ‖ source)* )
+//! key = fnv1a64( schema_version ‖ fingerprint ‖ dialect ‖ (path ‖ source)* )
 //! ```
 //!
 //! * `schema_version` — the extractor's collector-schema version; bumping
 //!   it invalidates every entry at once (new collector, changed feature
 //!   names…);
+//! * `fingerprint` — the extractor's digest of the collector set actually
+//!   wired in (collector names + engine revision), so two extractors with
+//!   the same schema version but different collectors never share entries;
 //! * `dialect` — the same source parses differently per dialect;
 //! * the files — length-prefixed path and source text of every module, in
 //!   batch order. Editing one byte of one file of one program changes
@@ -48,11 +51,13 @@ pub const STORE_FILE: &str = "feature-cache.jsonl";
 /// Compute the content-addressed key for one program's sources.
 pub fn cache_key(
     schema_version: u64,
+    fingerprint: u64,
     dialect: minilang::Dialect,
     files: &[(String, String)],
 ) -> u64 {
     let mut h = Fnv1a::new();
     h.write_u64(schema_version);
+    h.write_u64(fingerprint);
     h.write_str(&format!("{dialect:?}"));
     for (path, source) in files {
         h.write_str(path);
@@ -228,21 +233,26 @@ mod tests {
     }
 
     #[test]
-    fn key_changes_with_source_dialect_and_schema() {
-        let base = cache_key(1, Dialect::C, &files("fn f() { }"));
-        assert_eq!(base, cache_key(1, Dialect::C, &files("fn f() { }")));
+    fn key_changes_with_source_dialect_schema_and_fingerprint() {
+        let base = cache_key(1, 0, Dialect::C, &files("fn f() { }"));
+        assert_eq!(base, cache_key(1, 0, Dialect::C, &files("fn f() { }")));
         assert_ne!(
             base,
-            cache_key(1, Dialect::C, &files("fn f() { let x: int; }"))
+            cache_key(1, 0, Dialect::C, &files("fn f() { let x: int; }"))
         );
-        assert_ne!(base, cache_key(1, Dialect::Python, &files("fn f() { }")));
-        assert_ne!(base, cache_key(2, Dialect::C, &files("fn f() { }")));
+        assert_ne!(base, cache_key(1, 0, Dialect::Python, &files("fn f() { }")));
+        assert_ne!(base, cache_key(2, 0, Dialect::C, &files("fn f() { }")));
+        assert_ne!(
+            base,
+            cache_key(1, 7, Dialect::C, &files("fn f() { }")),
+            "collector-set fingerprint participates in the key"
+        );
     }
 
     #[test]
     fn key_ignores_program_name_but_not_paths() {
-        let a = cache_key(1, Dialect::C, &[("a.c".into(), "fn f() { }".into())]);
-        let b = cache_key(1, Dialect::C, &[("b.c".into(), "fn f() { }".into())]);
+        let a = cache_key(1, 0, Dialect::C, &[("a.c".into(), "fn f() { }".into())]);
+        let b = cache_key(1, 0, Dialect::C, &[("b.c".into(), "fn f() { }".into())]);
         assert_ne!(a, b, "module path participates in the key");
     }
 

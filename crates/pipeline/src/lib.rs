@@ -72,6 +72,27 @@ pub trait Extractor: Sync {
         1
     }
 
+    /// Digest of the collector *set* actually wired into this extractor
+    /// (collector names, engine revision, …). Participates in the cache
+    /// key alongside [`schema_version`], so a vector cached by a testbed
+    /// with one collector set is never served to a testbed with another.
+    /// The default (0) is for extractors whose schema version alone
+    /// describes them.
+    ///
+    /// [`schema_version`]: Extractor::schema_version
+    fn fingerprint(&self) -> u64 {
+        0
+    }
+
+    /// Drain the per-collector wall-time breakdown accumulated since the
+    /// last call: `(collector name, micros)`, summed across programs and
+    /// workers. The pipeline folds it into
+    /// [`report::PipelineReport::collectors`] after each batch. Default:
+    /// empty (no breakdown).
+    fn take_collector_timings(&self) -> Vec<(String, u64)> {
+        Vec::new()
+    }
+
     /// The schema-stable vector substituted when extraction fails (every
     /// feature name present, typically all zeros). The default is an
     /// empty vector, which is only schema-stable for schema-less
@@ -252,9 +273,10 @@ impl<E: Extractor> Pipeline<E> {
         // Stage 1: hash sources and probe the cache (cheap, sequential).
         let lookup_start = Instant::now();
         let schema_version = self.extractor.schema_version();
+        let fingerprint = self.extractor.fingerprint();
         let keys: Vec<u64> = jobs
             .iter()
-            .map(|j| cache_key(schema_version, j.dialect, j.files))
+            .map(|j| cache_key(schema_version, fingerprint, j.dialect, j.files))
             .collect();
         let mut outputs: Vec<Option<ProgramOutput>> = jobs
             .iter()
@@ -349,6 +371,7 @@ impl<E: Extractor> Pipeline<E> {
                 extract: extract_time,
                 cache_persist,
             },
+            collectors: self.extractor.take_collector_timings(),
             wall,
         };
         BatchResult {

@@ -51,6 +51,10 @@ pub struct PipelineReport {
     /// Per-stage cumulative timings (sum over workers, so `extract` can
     /// exceed `wall` when workers overlap).
     pub stages: StageTimings,
+    /// Per-collector wall time within the extract stage:
+    /// `(collector name, micros)`, summed across programs and workers.
+    /// Empty for extractors without a breakdown.
+    pub collectors: Vec<(String, u64)>,
     /// End-to-end wall time of the batch.
     pub wall: Duration,
 }
@@ -88,11 +92,16 @@ impl PipelineReport {
                 )
             })
             .collect();
+        let collectors: Vec<String> = self
+            .collectors
+            .iter()
+            .map(|(name, micros)| format!("{}:{micros}", json_str(name)))
+            .collect();
         format!(
             "{{\"programs\":{},\"jobs\":{},\"cache_hits\":{},\"cache_misses\":{},\
              \"hit_rate\":{:.4},\"wall_ms\":{:.3},\"cache_lookup_ms\":{:.3},\
              \"extract_ms\":{:.3},\"cache_persist_ms\":{:.3},\
-             \"programs_per_sec\":{:.3},\"errors\":[{}]}}",
+             \"programs_per_sec\":{:.3},\"collectors_us\":{{{}}},\"errors\":[{}]}}",
             self.programs,
             self.jobs,
             self.cache_hits,
@@ -103,6 +112,7 @@ impl PipelineReport {
             self.stages.extract.as_secs_f64() * 1e3,
             self.stages.cache_persist.as_secs_f64() * 1e3,
             self.throughput(),
+            collectors.join(","),
             errors.join(",")
         )
     }
@@ -132,6 +142,14 @@ impl fmt::Display for PipelineReport {
             self.stages.extract.as_secs_f64() * 1e3,
             self.stages.cache_persist.as_secs_f64() * 1e3
         )?;
+        if !self.collectors.is_empty() {
+            let parts: Vec<String> = self
+                .collectors
+                .iter()
+                .map(|(name, micros)| format!("{name} {:.1}ms", *micros as f64 / 1e3))
+                .collect();
+            write!(f, "\n  collectors: {}", parts.join(", "))?;
+        }
         for (name, e) in &self.errors {
             write!(f, "\n  degraded: {name}: {e}")?;
         }
@@ -190,6 +208,25 @@ mod tests {
         assert!(json.contains("\\\"ird"));
         assert!(json.contains("\\n"));
         assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn collector_breakdown_in_json_and_display() {
+        let report = PipelineReport {
+            programs: 1,
+            jobs: 1,
+            cache_misses: 1,
+            collectors: vec![("context".into(), 1500), ("taint".into(), 250)],
+            ..Default::default()
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"collectors_us\":{\"context\":1500,\"taint\":250}"));
+        let text = report.to_string();
+        assert!(text.contains("collectors: context 1.5ms, taint 0.2ms"));
+        // No breakdown → no line, and an empty JSON object.
+        let bare = PipelineReport::default();
+        assert!(bare.to_json().contains("\"collectors_us\":{}"));
+        assert!(!bare.to_string().contains("collectors:"));
     }
 
     #[test]
