@@ -155,5 +155,79 @@ fn bench_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_passes, bench_parsing, bench_pipeline);
+/// BENCH-PERF (part 2): the fused single-pass engine vs the pre-fusion
+/// path. Races [`Testbed::extract`] (one shared `AnalysisContext`, bitset
+/// fixpoints, one taint pass) against [`Testbed::extract_legacy`] (every
+/// analysis rebuilds its own CFGs, string-keyed lattices, taint ×3) over a
+/// synthesized corpus, asserts the vectors bit-identical — including
+/// across per-function worker counts — and prints a `BENCH_ANALYSIS` JSON
+/// line (snapshot: `results/BENCH_ANALYSIS.json`).
+///
+/// `CLAIRVOYANT_BENCH_SMOKE=1` shrinks the corpus and iteration count to
+/// a CI-sized equality smoke test.
+fn bench_engine(_c: &mut Criterion) {
+    use std::time::Instant;
+    let smoke = std::env::var("CLAIRVOYANT_BENCH_SMOKE").is_ok();
+    let (n_apps, iters) = if smoke { (4, 1) } else { (12, 3) };
+    let corpus = Corpus::generate(&CorpusConfig::small(n_apps, 4242));
+    let testbed = Testbed::new();
+    let parallel_testbed = Testbed::new().with_fn_jobs(4);
+
+    // Equality gate: the fused engine must reproduce the legacy vector
+    // bit-for-bit, for 1 and 4 per-function workers.
+    for app in &corpus.apps {
+        let fused = testbed.extract(&app.program);
+        let legacy = testbed.extract_legacy(&app.program);
+        assert_eq!(
+            fused, legacy,
+            "fused vector diverged from legacy for {}",
+            app.spec.name
+        );
+        let parallel = parallel_testbed.extract(&app.program);
+        assert_eq!(
+            fused, parallel,
+            "4-worker context construction diverged for {}",
+            app.spec.name
+        );
+    }
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        for app in &corpus.apps {
+            black_box(testbed.extract(&app.program).len());
+        }
+    }
+    let fused_ms = t0.elapsed().as_secs_f64() * 1e3 / iters as f64;
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        for app in &corpus.apps {
+            black_box(testbed.extract_legacy(&app.program).len());
+        }
+    }
+    let legacy_ms = t0.elapsed().as_secs_f64() * 1e3 / iters as f64;
+
+    let speedup = legacy_ms / fused_ms.max(1e-9);
+    println!(
+        "BENCH_ANALYSIS {{\"programs\":{},\"iters\":{iters},\"fused_ms\":{:.1},\
+         \"legacy_ms\":{:.1},\"speedup\":{:.2},\"vectors_identical\":true}}",
+        corpus.apps.len(),
+        fused_ms,
+        legacy_ms,
+        speedup
+    );
+    eprintln!(
+        "analysis engine: fused {fused_ms:.0} ms, legacy {legacy_ms:.0} ms, \
+         speedup {speedup:.1}× over {} programs",
+        corpus.apps.len()
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_passes,
+    bench_parsing,
+    bench_pipeline,
+    bench_engine
+);
 criterion_main!(benches);

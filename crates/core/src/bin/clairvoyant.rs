@@ -37,7 +37,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "lint" => lint(rest),
-        "features" => features(rest),
+        "features" => features(rest, &engine),
         "evaluate" => evaluate(rest, &engine, train_jobs),
         "compare" => compare(rest, &engine, train_jobs),
         "gate" => gate(rest, &engine, train_jobs),
@@ -174,9 +174,11 @@ fn lint(paths: &[String]) -> Result<ExitCode, String> {
     })
 }
 
-fn features(paths: &[String]) -> Result<ExitCode, String> {
+fn features(paths: &[String], engine: &PipelineConfig) -> Result<ExitCode, String> {
     let program = load_program("input", paths)?;
-    let fv = Testbed::new().extract(&program);
+    // One program, so parallelism comes from fanning its functions
+    // across the extraction workers; the vector is identical for any N.
+    let fv = Testbed::new().with_fn_jobs(engine.jobs).extract(&program);
     println!("{fv}");
     Ok(ExitCode::SUCCESS)
 }

@@ -11,16 +11,36 @@
 //!   types into the machine learning engine";
 //! * the `attack-graph` crate (RASQ quotient and per-vector counts, attack
 //!   graph reachability/shortest-path metrics) — §4.1.
+//!
+//! All three families share one [`AnalysisContext`] built once per
+//! program: the registry collectors read its precomputed CFGs and bitset
+//! fixpoints, the bug checkers reuse the same CFGs/intervals through
+//! `MetaTool::run_ctx`, and the attack-graph exploit facts come from the
+//! context's single interprocedural taint pass (the legacy path ran
+//! `taint::analyze` three times per program). [`Testbed::extract_legacy`]
+//! preserves that pre-fusion path for the equivalence property tests and
+//! the `analysis_throughput` benchmark.
 
 use attack_graph::{interaction_facts, AttackGraph, AttackSurface, VectorKind};
-use bugfind::{DiagSeverity, MetaTool};
+use bugfind::{DiagSeverity, MetaReport, MetaTool};
 use minilang::ast::Program;
+use static_analysis::context::{standard_path_config, AnalysisContext, FunctionContext};
+use static_analysis::taint::TaintReport;
 use static_analysis::{standard_registry, FeatureVector, Registry};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// The full feature extractor.
 pub struct Testbed {
     registry: Registry,
     metatool: MetaTool,
+    /// Worker threads for per-function context construction (1 = inline,
+    /// 0 = one per core). Vectors are identical for any value.
+    fn_jobs: usize,
+    /// Cumulative per-collector wall time in micros, drained into the
+    /// pipeline report by [`pipeline::Extractor::take_collector_timings`].
+    timings: Mutex<BTreeMap<String, u64>>,
 }
 
 impl Default for Testbed {
@@ -28,6 +48,8 @@ impl Default for Testbed {
         Testbed {
             registry: standard_registry(),
             metatool: MetaTool::new(),
+            fn_jobs: 1,
+            timings: Mutex::new(BTreeMap::new()),
         }
     }
 }
@@ -38,16 +60,80 @@ impl Testbed {
         Self::default()
     }
 
+    /// Fan per-function context construction out over `jobs` worker
+    /// threads (0 = one per core). Function contexts are independent
+    /// once interning is done and merge back in program order, so the
+    /// extracted vector is bit-identical for any worker count.
+    pub fn with_fn_jobs(mut self, jobs: usize) -> Self {
+        self.fn_jobs = jobs;
+        self
+    }
+
     /// Extract the full feature vector for one program.
     pub fn extract(&self, program: &Program) -> FeatureVector {
-        let mut fv = self.registry.run(program);
-        self.add_bugfind_features(program, &mut fv);
-        self.add_attack_features(program, &mut fv);
+        let start = Instant::now();
+        let cx = self.build_context(program);
+        self.record("context", start.elapsed());
+
+        let (mut fv, collectors) = self.registry.run_with_timings(&cx);
+        {
+            let mut timings = self.timings.lock().unwrap();
+            for (name, micros) in collectors {
+                *timings.entry(name).or_insert(0) += micros;
+            }
+        }
+
+        let start = Instant::now();
+        let report = self.metatool.run_ctx(&cx);
+        Self::set_bugfind(&report, program, &mut fv);
+        self.record("bugfind", start.elapsed());
+
+        let start = Instant::now();
+        Self::set_attack(program, &cx.taint, &mut fv);
+        self.record("attackgraph", start.elapsed());
         fv
     }
 
-    fn add_bugfind_features(&self, program: &Program, fv: &mut FeatureVector) {
+    /// The pre-fusion extraction path: every analysis rebuilds its own
+    /// CFGs, the fixpoints hash variable-name strings, and the
+    /// interprocedural taint pass runs three times (taint features,
+    /// attack features, path-traversal checker). Kept as the oracle the
+    /// fused engine is raced against and asserted bit-identical to.
+    pub fn extract_legacy(&self, program: &Program) -> FeatureVector {
+        let mut fv = static_analysis::legacy_standard_vector(program);
         let report = self.metatool.run(program);
+        Self::set_bugfind(&report, program, &mut fv);
+        let taint = static_analysis::taint::analyze(program);
+        Self::set_attack(program, &taint, &mut fv);
+        fv
+    }
+
+    fn build_context<'p>(&self, program: &'p Program) -> AnalysisContext<'p> {
+        if self.fn_jobs == 1 {
+            return AnalysisContext::build(program);
+        }
+        let workers = if self.fn_jobs == 0 {
+            pipeline::default_workers()
+        } else {
+            self.fn_jobs
+        };
+        AnalysisContext::build_with(program, |symbols, funcs| {
+            pipeline::parallel_map(workers, funcs, |_, &f| {
+                FunctionContext::build(f, symbols, &standard_path_config())
+            })
+        })
+    }
+
+    fn record(&self, name: &str, took: Duration) {
+        *self
+            .timings
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_insert(0) += took.as_micros() as u64;
+    }
+
+    fn set_bugfind(report: &MetaReport, program: &Program, fv: &mut FeatureVector) {
         fv.set("bugfind.total", report.total() as f64);
         fv.set(
             "bugfind.errors",
@@ -71,7 +157,7 @@ impl Testbed {
         fv.set("bugfind.density", report.total() as f64 / functions);
     }
 
-    fn add_attack_features(&self, program: &Program, fv: &mut FeatureVector) {
+    fn set_attack(program: &Program, taint: &TaintReport, fv: &mut FeatureVector) {
         let surface = AttackSurface::measure(program);
         fv.set("rasq.quotient", surface.quotient);
         let kinds = [
@@ -89,7 +175,6 @@ impl Testbed {
 
         // Attack graph: exploit facts are the endpoints whose parameters can
         // reach a dangerous sink (the exposed taint flows).
-        let taint = static_analysis::taint::analyze(program);
         let vulnerable: Vec<String> = taint
             .flows
             .iter()
@@ -118,7 +203,8 @@ impl Testbed {
 /// Version of the testbed's collector schema, part of every pipeline
 /// cache key. Bump whenever a collector is added, removed, or changes
 /// meaning — stale cached vectors are invalidated wholesale.
-pub const TESTBED_SCHEMA_VERSION: u64 = 1;
+/// (v2: single-pass `AnalysisContext` engine.)
+pub const TESTBED_SCHEMA_VERSION: u64 = 2;
 
 impl pipeline::Extractor for Testbed {
     fn extract(&self, program: &Program) -> FeatureVector {
@@ -127,6 +213,26 @@ impl pipeline::Extractor for Testbed {
 
     fn schema_version(&self) -> u64 {
         TESTBED_SCHEMA_VERSION
+    }
+
+    /// Digest of the collector set actually wired in (registry collector
+    /// names + bugfind tool names + the schema version), so a cached
+    /// vector is only reused by a testbed with the same collectors.
+    fn fingerprint(&self) -> u64 {
+        let mut h = pipeline::fnv::Fnv1a::new();
+        h.write_u64(TESTBED_SCHEMA_VERSION);
+        for name in self.registry.names() {
+            h.write_str(name);
+        }
+        for name in self.metatool.tool_names() {
+            h.write_str(name);
+        }
+        h.finish()
+    }
+
+    fn take_collector_timings(&self) -> Vec<(String, u64)> {
+        let mut timings = self.timings.lock().unwrap();
+        std::mem::take(&mut *timings).into_iter().collect()
     }
 
     /// The schema-stable degraded vector: every feature name the testbed
@@ -245,5 +351,69 @@ mod tests {
         let p = program("fn f(s: str) { printf(s); }");
         let fv = Testbed::new().extract(&p);
         assert_eq!(fv.get("bugfind.density"), Some(1.0));
+    }
+
+    #[test]
+    fn fused_extraction_matches_legacy_path() {
+        let p = program(
+            "global limit: int = 4;
+             @endpoint(network)
+             fn serve(req: str) {
+                 let buf: str[8];
+                 strcpy(buf, req);
+                 let data: str = read_file(req);
+                 send(0, data);
+                 printf(req);
+             }
+             fn helper(i: int) -> int {
+                 let b: int[4];
+                 let waste: int = 1;
+                 waste = 2;
+                 if i >= 0 && i < limit { b[i] = 1; }
+                 while i < 10 { i += 1; }
+                 return b[0];
+             }",
+        );
+        let testbed = Testbed::new();
+        assert_eq!(testbed.extract(&p), testbed.extract_legacy(&p));
+    }
+
+    #[test]
+    fn fn_jobs_do_not_change_the_vector() {
+        let p = program(
+            "@endpoint(network) fn a(q: str) { exec(q); }
+             fn b(n: int) -> int { let x: int = n; return x * 2; }
+             fn c() { let buf: int[4]; buf[9] = 1; }
+             fn d(i: int) { for j = 0; j < i; j += 1 { log_msg(\"t\"); } }",
+        );
+        let sequential = Testbed::new().extract(&p);
+        let parallel = Testbed::new().with_fn_jobs(4).extract(&p);
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn collector_timings_cover_every_stage() {
+        use pipeline::Extractor as _;
+        let testbed = Testbed::new();
+        let _ = testbed.extract(&program("fn f(s: str) { printf(s); }"));
+        let timings = testbed.take_collector_timings();
+        let names: Vec<&str> = timings.iter().map(|(n, _)| n.as_str()).collect();
+        for expected in ["context", "bugfind", "attackgraph", "loc", "taint"] {
+            assert!(names.contains(&expected), "missing timing for {expected}");
+        }
+        // Drained: a second take is empty until the next extraction.
+        assert!(testbed.take_collector_timings().is_empty());
+    }
+
+    #[test]
+    fn fingerprint_tracks_collector_set() {
+        use pipeline::Extractor as _;
+        let standard = Testbed::new().fingerprint();
+        assert_eq!(standard, Testbed::new().fingerprint());
+        let trimmed = Testbed {
+            registry: static_analysis::Registry::new(),
+            ..Testbed::new()
+        };
+        assert_ne!(standard, trimmed.fingerprint());
     }
 }
