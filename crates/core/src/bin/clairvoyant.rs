@@ -39,6 +39,7 @@ fn main() -> ExitCode {
         "lint" => lint(rest),
         "features" => features(rest, &engine),
         "evaluate" => evaluate(rest, &engine, train_jobs),
+        "score" => score(rest, &engine, train_jobs),
         "compare" => compare(rest, &engine, train_jobs),
         "gate" => gate(rest, &engine, train_jobs),
         "--help" | "-h" | "help" => {
@@ -62,6 +63,11 @@ commands:
   lint <files…>               run the 10-checker bug-finding suite
   features <files…>           print the testbed feature vector (97 features)
   evaluate [--json] <files…>  train the metric and print a security report
+  score [--json] [--model PATH] [--save-model PATH] <files…>
+                              batch-score each file as its own app through
+                              the compiled inference engine; --model loads a
+                              saved compiled model (skipping training),
+                              --save-model persists the model for reuse
   compare <fileA> <fileB>     evaluate two candidates, pick the safer one
   gate <before> <after>       CI gate: exit 1 when the change raises risk
 
@@ -200,6 +206,84 @@ fn evaluate(
         println!("{}", security_report_json(&report));
     } else {
         println!("{report}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Batch-score many programs through the compiled inference engine: each
+/// input file is parsed as its own application, features are extracted on
+/// the worker pool, and the whole corpus is scored in one
+/// `evaluate_batch` pass.
+fn score(args: &[String], engine: &PipelineConfig, train_jobs: usize) -> Result<ExitCode, String> {
+    let mut json = false;
+    let mut model_path: Option<PathBuf> = None;
+    let mut save_path: Option<PathBuf> = None;
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--model" => {
+                model_path = Some(PathBuf::from(it.next().ok_or("--model needs a path")?));
+            }
+            "--save-model" => {
+                save_path = Some(PathBuf::from(it.next().ok_or("--save-model needs a path")?));
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    if paths.is_empty() {
+        return Err("no input files".to_string());
+    }
+
+    let compiled = match &model_path {
+        Some(path) => {
+            let model = CompiledModel::load(path)?;
+            eprintln!("loaded compiled model from `{}`", path.display());
+            model
+        }
+        None => {
+            eprintln!("training the metric (fixed-seed corpus)…");
+            trained_model(engine, train_jobs).compile()
+        }
+    };
+    if let Some(path) = &save_path {
+        compiled.save(path)?;
+        eprintln!("saved compiled model to `{}`", path.display());
+    }
+
+    let programs: Vec<minilang::ast::Program> = paths
+        .iter()
+        .map(|p| load_program(p, std::slice::from_ref(p)))
+        .collect::<Result<_, _>>()?;
+    let apps: Vec<(String, static_analysis::FeatureVector)> =
+        pipeline::parallel_map(engine.jobs, &programs, |_, program| {
+            (program.name.clone(), Testbed::new().extract(program))
+        });
+    let reports = compiled.evaluate_batch(&apps, engine.jobs);
+
+    if json {
+        let items: Vec<String> = reports.iter().map(security_report_json).collect();
+        println!("[{}]", items.join(","));
+    } else {
+        println!(
+            "{:<40} {:>6} {:>8} {:>8} {:>8}",
+            "app", "risk", "#vulns", "cvss>7", "av:n"
+        );
+        for report in &reports {
+            let pct = |p: Option<f64>| match p {
+                Some(p) => format!("{:.0}%", p * 100.0),
+                None => "-".to_string(),
+            };
+            println!(
+                "{:<40} {:>6.1} {:>8.1} {:>8} {:>8}",
+                report.app,
+                report.risk_score(),
+                report.predicted_vulnerabilities,
+                pct(report.high_severity_risk),
+                pct(report.network_risk),
+            );
+        }
     }
     Ok(ExitCode::SUCCESS)
 }

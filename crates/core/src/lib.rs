@@ -49,6 +49,7 @@ pub mod files;
 pub mod hypothesis;
 pub mod metric;
 pub mod report;
+pub mod score;
 pub mod studies;
 pub mod survey;
 pub mod system;
@@ -62,7 +63,11 @@ pub use metric::SecurityReport;
 // Re-export the engine types so downstream users configure extraction
 // without naming the pipeline crate.
 pub use pipeline::{CacheMode, PipelineConfig, PipelineReport};
-pub use system::{evaluate_system, Component, Containment, Exposure, SystemReport, SystemSpec};
+pub use score::CompiledModel;
+pub use system::{
+    evaluate_system, evaluate_system_compiled, Component, Containment, Exposure, SystemReport,
+    SystemSpec,
+};
 pub use testbed::Testbed;
 pub use train::{Learner, TrainedModel, Trainer, TrainingReport};
 
@@ -72,6 +77,7 @@ pub mod prelude {
     pub use crate::extract::{extract_corpus, CorpusFeatures};
     pub use crate::hypothesis::{standard_battery, Hypothesis};
     pub use crate::metric::SecurityReport;
+    pub use crate::score::CompiledModel;
     pub use crate::testbed::Testbed;
     pub use crate::train::{Learner, TrainedModel, Trainer, TrainerConfig};
     pub use corpus::{Corpus, CorpusConfig};

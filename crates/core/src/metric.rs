@@ -125,18 +125,62 @@ impl fmt::Display for SecurityReport {
 /// Evaluate `program` with a trained model.
 pub fn evaluate(model: &TrainedModel, program: &Program) -> SecurityReport {
     let fv = Testbed::new().extract(program);
-    let row = model.prepare_row(&fv);
+    evaluate_features(model, program.name.clone(), &fv)
+}
 
+/// Score a pre-extracted feature vector through the boxed per-row models.
+/// This is the reference path the batched engine
+/// ([`CompiledModel::evaluate_batch`](crate::score::CompiledModel::evaluate_batch))
+/// must match bit-for-bit.
+pub fn evaluate_features(
+    model: &TrainedModel,
+    app: String,
+    fv: &static_analysis::FeatureVector,
+) -> SecurityReport {
+    let row = model.prepare_row(fv);
     let hypotheses = model.all_hypotheses(&row);
-    let high_severity_risk = model.hypothesis_probability(Hypothesis::AnyHighSeverity, &row);
-    let network_risk = model.hypothesis_probability(Hypothesis::AnyNetworkAttackable, &row);
+    let predicted = model.predicted_count(&row);
+    let severity = model.predicted_severity_counts(&row);
+    assemble_report(
+        app,
+        fv,
+        &row,
+        &model.feature_names,
+        &model.risk_weights,
+        hypotheses,
+        predicted,
+        severity,
+    )
+}
+
+/// Assemble a [`SecurityReport`] from precomputed model outputs. Shared by
+/// the boxed per-row path above and the batched scoring engine in
+/// [`crate::score`], so the two report shapes cannot drift apart.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assemble_report(
+    app: String,
+    fv: &static_analysis::FeatureVector,
+    row: &[f64],
+    feature_names: &[String],
+    risk_weights: &[f64],
+    hypotheses: Vec<(Hypothesis, f64)>,
+    predicted_vulnerabilities: f64,
+    severity_counts: Vec<(SeverityBand, f64)>,
+) -> SecurityReport {
+    let lookup = |target: Hypothesis| {
+        hypotheses
+            .iter()
+            .find(|(h, _)| *h == target)
+            .map(|(_, p)| *p)
+    };
+    let high_severity_risk = lookup(Hypothesis::AnyHighSeverity);
+    let network_risk = lookup(Hypothesis::AnyNetworkAttackable);
 
     // Attributions from the inspectable risk weights.
-    let mut attributions: Vec<Attribution> = model
-        .feature_names
+    let mut attributions: Vec<Attribution> = feature_names
         .iter()
-        .zip(&row)
-        .zip(&model.risk_weights)
+        .zip(row)
+        .zip(risk_weights)
         .map(|((name, &value), &weight)| Attribution {
             feature: name.clone(),
             value,
@@ -152,16 +196,16 @@ pub fn evaluate(model: &TrainedModel, program: &Program) -> SecurityReport {
     });
     attributions.truncate(10);
 
-    let hints = derive_hints(&fv, &hypotheses);
+    let hints = derive_hints(fv, &hypotheses);
 
     SecurityReport {
-        app: program.name.clone(),
-        predicted_vulnerabilities: model.predicted_count(&row),
+        app,
+        predicted_vulnerabilities,
         high_severity_risk,
         network_risk,
-        severity_counts: model.predicted_severity_counts(&row),
+        severity_counts,
         hypotheses,
-        structural_risk: structural_risk(&fv),
+        structural_risk: structural_risk(fv),
         attributions,
         hints,
     }

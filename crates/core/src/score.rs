@@ -1,0 +1,417 @@
+//! High-throughput risk scoring: the compiled serving path.
+//!
+//! Training produces a [`TrainedModel`] of boxed per-row models;
+//! [`TrainedModel::compile`] lowers the whole battery into a
+//! [`CompiledModel`] of flattened `secml` models ([`CompiledClassifier`] /
+//! [`CompiledRegressor`]). [`CompiledModel::evaluate_batch`] then scores a
+//! whole corpus at once: feature rows are prepared into one reused
+//! scratch buffer (no per-app allocation), assembled into a single
+//! columnar [`ColMatrix`], and every model in the battery scores the full
+//! matrix with its blocked `predict_batch` kernel, fanned out over the
+//! pipeline work-stealing pool. Reports are bit-identical to the boxed
+//! per-row path ([`crate::metric::evaluate_features`]) for any worker
+//! count.
+//!
+//! Compiled models also persist: [`CompiledModel::save`] /
+//! [`CompiledModel::load`] write a versioned, serde-free binary format
+//! (`CLVY` magic; see DESIGN.md §10), so one training run can feed many
+//! scoring runs — the CLI `score` subcommand is built on this.
+
+use crate::hypothesis::{standard_battery, Hypothesis};
+use crate::metric::{assemble_report, SecurityReport};
+use crate::train::SeverityBand;
+use secml::bytes::{ByteReader, ByteWriter};
+use secml::dataset::ColMatrix;
+use secml::preprocess::Standardizer;
+use secml::{CompiledClassifier, CompiledRegressor};
+use static_analysis::FeatureVector;
+use std::path::Path;
+
+/// File magic for persisted compiled models.
+const MAGIC: &[u8; 4] = b"CLVY";
+/// Bump on any layout change; readers reject unknown versions.
+const VERSION: u32 = 1;
+
+/// A trained battery compiled for batched scoring and persistence.
+pub struct CompiledModel {
+    /// Names of the kept features, in column order.
+    pub feature_names: Vec<String>,
+    pub(crate) log_transform: bool,
+    pub(crate) standardizer: Standardizer,
+    pub(crate) kept: Vec<usize>,
+    pub(crate) all_feature_names: Vec<String>,
+    pub(crate) hypotheses: Vec<(Hypothesis, CompiledClassifier)>,
+    pub(crate) count_model: CompiledRegressor,
+    pub(crate) severity_models: Vec<(SeverityBand, CompiledRegressor)>,
+    pub(crate) risk_weights: Vec<f64>,
+}
+
+/// Transform a raw feature vector into a model input row, reusing the
+/// caller's scratch buffers instead of allocating per app. `full` holds
+/// the complete schema-width row; `out` receives the kept columns.
+pub(crate) fn prepare_row_into(
+    all_feature_names: &[String],
+    log_transform: bool,
+    standardizer: &Standardizer,
+    kept: &[usize],
+    fv: &FeatureVector,
+    full: &mut Vec<f64>,
+    out: &mut Vec<f64>,
+) {
+    full.clear();
+    full.extend(all_feature_names.iter().map(|name| fv.get_or_zero(name)));
+    if log_transform {
+        for v in full.iter_mut() {
+            *v = v.signum() * v.abs().ln_1p();
+        }
+    }
+    standardizer.transform_row(full);
+    out.clear();
+    out.extend(kept.iter().map(|&i| full[i]));
+}
+
+impl CompiledModel {
+    /// Transform a raw feature vector into the model's input row.
+    pub fn prepare_row(&self, fv: &FeatureVector) -> Vec<f64> {
+        let mut full = Vec::new();
+        let mut out = Vec::new();
+        prepare_row_into(
+            &self.all_feature_names,
+            self.log_transform,
+            &self.standardizer,
+            &self.kept,
+            fv,
+            &mut full,
+            &mut out,
+        );
+        out
+    }
+
+    pub fn n_hypotheses(&self) -> usize {
+        self.hypotheses.len()
+    }
+
+    /// Score a whole corpus of `(app_name, feature_vector)` pairs into
+    /// security reports, in input order.
+    ///
+    /// Rows are prepared in contiguous per-worker chunks, each through
+    /// one reused scratch buffer, stacked into a single columnar matrix;
+    /// each model in the battery (hypothesis classifiers, count
+    /// regressor, severity regressors) scores the entire matrix with its
+    /// flattened batch kernel, and reports are assembled per app — all
+    /// three stages fan out over `jobs` pool workers (0 = all cores).
+    /// Output is bit-identical to calling
+    /// [`crate::metric::evaluate_features`] per app, for any `jobs`.
+    pub fn evaluate_batch(
+        &self,
+        apps: &[(String, FeatureVector)],
+        jobs: usize,
+    ) -> Vec<SecurityReport> {
+        let jobs = if jobs == 0 {
+            pipeline::default_workers()
+        } else {
+            jobs
+        };
+
+        // One scratch pair per worker chunk (satellite of the batching
+        // work: the old path allocated a schema-width vector per app).
+        // Chunks are contiguous and flattened in order, so the row layout
+        // does not depend on `jobs`.
+        let chunk_len = apps.len().div_ceil(jobs.max(1)).max(1);
+        let chunks: Vec<&[(String, FeatureVector)]> = apps.chunks(chunk_len).collect();
+        let rows: Vec<Vec<f64>> = pipeline::parallel_map(jobs, &chunks, |_, chunk| {
+            let mut full = Vec::new();
+            let mut rows = Vec::with_capacity(chunk.len());
+            for (_, fv) in *chunk {
+                let mut row = Vec::with_capacity(self.kept.len());
+                prepare_row_into(
+                    &self.all_feature_names,
+                    self.log_transform,
+                    &self.standardizer,
+                    &self.kept,
+                    fv,
+                    &mut full,
+                    &mut row,
+                );
+                rows.push(row);
+            }
+            rows
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        let matrix = ColMatrix::from_rows(&rows);
+
+        // Every model × the whole corpus, on the work-stealing pool.
+        enum Task<'a> {
+            Classify(&'a CompiledClassifier),
+            Regress(&'a CompiledRegressor),
+        }
+        let mut tasks: Vec<Task> = self
+            .hypotheses
+            .iter()
+            .map(|(_, m)| Task::Classify(m))
+            .collect();
+        tasks.push(Task::Regress(&self.count_model));
+        tasks.extend(self.severity_models.iter().map(|(_, m)| Task::Regress(m)));
+        let predictions: Vec<Vec<f64>> =
+            pipeline::parallel_map(jobs, &tasks, |_, task| match task {
+                Task::Classify(model) => model.predict_batch(&matrix),
+                Task::Regress(model) => model.predict_batch(&matrix),
+            });
+        let n_hyp = self.hypotheses.len();
+
+        // Per-app assembly is independent, so it rides the pool too.
+        pipeline::parallel_map(jobs, apps, |i, (name, fv)| {
+            let hypotheses: Vec<(Hypothesis, f64)> = self
+                .hypotheses
+                .iter()
+                .zip(&predictions)
+                .map(|((h, _), scores)| (*h, scores[i]))
+                .collect();
+            // Same back-transforms as the boxed `predicted_count` /
+            // `predicted_severity_counts`.
+            let predicted = 10f64.powf(predictions[n_hyp][i]).max(0.0);
+            let severity: Vec<(SeverityBand, f64)> = self
+                .severity_models
+                .iter()
+                .enumerate()
+                .map(|(s, (band, _))| {
+                    (
+                        *band,
+                        (10f64.powf(predictions[n_hyp + 1 + s][i]) - 1.0).max(0.0),
+                    )
+                })
+                .collect();
+            assemble_report(
+                name.clone(),
+                fv,
+                &rows[i],
+                &self.feature_names,
+                &self.risk_weights,
+                hypotheses,
+                predicted,
+                severity,
+            )
+        })
+    }
+
+    /// Serialize to the versioned binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_bytes(MAGIC);
+        w.put_u32(VERSION);
+        put_strings(&mut w, &self.feature_names);
+        w.put_u8(self.log_transform as u8);
+        w.put_f64s(&self.standardizer.means);
+        w.put_f64s(&self.standardizer.stds);
+        w.put_usize(self.kept.len());
+        for &i in &self.kept {
+            w.put_u64(i as u64);
+        }
+        put_strings(&mut w, &self.all_feature_names);
+        w.put_usize(self.hypotheses.len());
+        for (hypothesis, model) in &self.hypotheses {
+            // Hypotheses serialize by their stable unique name, matched
+            // against the standard battery at load time.
+            w.put_str(&hypothesis.name());
+            model.encode(&mut w);
+        }
+        self.count_model.encode(&mut w);
+        w.put_usize(self.severity_models.len());
+        for (band, model) in &self.severity_models {
+            let tag = SeverityBand::ALL
+                .iter()
+                .position(|b| b == band)
+                .expect("band is in ALL") as u8;
+            w.put_u8(tag);
+            model.encode(&mut w);
+        }
+        w.put_f64s(&self.risk_weights);
+        w.into_bytes()
+    }
+
+    /// Deserialize from [`to_bytes`](CompiledModel::to_bytes) output.
+    pub fn from_bytes(bytes: &[u8]) -> Result<CompiledModel, String> {
+        let mut r = ByteReader::new(bytes);
+        if r.take(4)? != MAGIC.as_slice() {
+            return Err("not a compiled clairvoyant model (bad magic)".into());
+        }
+        let version = r.get_u32()?;
+        if version != VERSION {
+            return Err(format!(
+                "unsupported model version {version} (this build reads {VERSION})"
+            ));
+        }
+        let feature_names = get_strings(&mut r)?;
+        let log_transform = r.get_u8()? != 0;
+        let standardizer = Standardizer {
+            means: r.get_f64s()?,
+            stds: r.get_f64s()?,
+        };
+        let n_kept = r.get_usize()?;
+        let mut kept = Vec::with_capacity(n_kept.min(1 << 20));
+        for _ in 0..n_kept {
+            kept.push(
+                usize::try_from(r.get_u64()?).map_err(|_| "kept index overflow".to_string())?,
+            );
+        }
+        let all_feature_names = get_strings(&mut r)?;
+        let battery = standard_battery();
+        let n_hyp = r.get_usize()?;
+        let mut hypotheses = Vec::with_capacity(n_hyp.min(1 << 10));
+        for _ in 0..n_hyp {
+            let name = r.get_str()?;
+            let hypothesis = battery
+                .iter()
+                .find(|h| h.name() == name)
+                .copied()
+                .ok_or_else(|| format!("unknown hypothesis `{name}` in model file"))?;
+            hypotheses.push((hypothesis, CompiledClassifier::decode(&mut r)?));
+        }
+        let count_model = CompiledRegressor::decode(&mut r)?;
+        let n_sev = r.get_usize()?;
+        let mut severity_models = Vec::with_capacity(n_sev.min(16));
+        for _ in 0..n_sev {
+            let tag = r.get_u8()? as usize;
+            let band = *SeverityBand::ALL
+                .get(tag)
+                .ok_or_else(|| format!("unknown severity band tag {tag}"))?;
+            severity_models.push((band, CompiledRegressor::decode(&mut r)?));
+        }
+        let risk_weights = r.get_f64s()?;
+        Ok(CompiledModel {
+            feature_names,
+            log_transform,
+            standardizer,
+            kept,
+            all_feature_names,
+            hypotheses,
+            count_model,
+            severity_models,
+            risk_weights,
+        })
+    }
+
+    /// Write the model to `path`.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        std::fs::write(path, self.to_bytes())
+            .map_err(|e| format!("cannot write model to `{}`: {e}", path.display()))
+    }
+
+    /// Load a model previously written by [`save`](CompiledModel::save).
+    pub fn load(path: &Path) -> Result<CompiledModel, String> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| format!("cannot read model from `{}`: {e}", path.display()))?;
+        CompiledModel::from_bytes(&bytes)
+    }
+}
+
+fn put_strings(w: &mut ByteWriter, strings: &[String]) {
+    w.put_usize(strings.len());
+    for s in strings {
+        w.put_str(s);
+    }
+}
+
+fn get_strings(r: &mut ByteReader) -> Result<Vec<String>, String> {
+    let n = r.get_usize()?;
+    if n > r.remaining() {
+        return Err(format!("corrupt string count {n}"));
+    }
+    (0..n).map(|_| r.get_str()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::Testbed;
+    use crate::testutil::{shared_corpus, shared_model};
+
+    fn corpus_features() -> Vec<(String, FeatureVector)> {
+        let corpus = shared_corpus();
+        corpus
+            .apps
+            .iter()
+            .take(6)
+            .map(|app| (app.spec.name.clone(), Testbed::new().extract(&app.program)))
+            .collect()
+    }
+
+    fn reports_bit_identical(a: &SecurityReport, b: &SecurityReport) {
+        assert_eq!(a.app, b.app);
+        assert_eq!(
+            a.predicted_vulnerabilities.to_bits(),
+            b.predicted_vulnerabilities.to_bits()
+        );
+        assert_eq!(
+            a.high_severity_risk.map(f64::to_bits),
+            b.high_severity_risk.map(f64::to_bits)
+        );
+        assert_eq!(
+            a.network_risk.map(f64::to_bits),
+            b.network_risk.map(f64::to_bits)
+        );
+        assert_eq!(a.hypotheses.len(), b.hypotheses.len());
+        for ((h1, p1), (h2, p2)) in a.hypotheses.iter().zip(&b.hypotheses) {
+            assert_eq!(h1, h2);
+            assert_eq!(p1.to_bits(), p2.to_bits(), "{h1:?}");
+        }
+        for ((s1, n1), (s2, n2)) in a.severity_counts.iter().zip(&b.severity_counts) {
+            assert_eq!(s1, s2);
+            assert_eq!(n1.to_bits(), n2.to_bits());
+        }
+        assert_eq!(a.structural_risk.to_bits(), b.structural_risk.to_bits());
+        assert_eq!(a.risk_score().to_bits(), b.risk_score().to_bits());
+        assert_eq!(a.attributions, b.attributions);
+        assert_eq!(a.hints, b.hints);
+    }
+
+    #[test]
+    fn batch_reports_match_boxed_path_bitwise() {
+        let model = shared_model();
+        let compiled = model.compile();
+        let apps = corpus_features();
+        let batch = compiled.evaluate_batch(&apps, 1);
+        assert_eq!(batch.len(), apps.len());
+        for ((name, fv), report) in apps.iter().zip(&batch) {
+            let boxed = crate::metric::evaluate_features(model, name.clone(), fv);
+            reports_bit_identical(&boxed, report);
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_reports() {
+        let model = shared_model();
+        let compiled = model.compile();
+        let apps = corpus_features();
+        let one = compiled.evaluate_batch(&apps, 1);
+        let four = compiled.evaluate_batch(&apps, 4);
+        for (a, b) in one.iter().zip(&four) {
+            reports_bit_identical(a, b);
+        }
+    }
+
+    #[test]
+    fn byte_roundtrip_preserves_predictions() {
+        let model = shared_model();
+        let compiled = model.compile();
+        let bytes = compiled.to_bytes();
+        let loaded = CompiledModel::from_bytes(&bytes).expect("roundtrip");
+        let apps = corpus_features();
+        let before = compiled.evaluate_batch(&apps, 2);
+        let after = loaded.evaluate_batch(&apps, 2);
+        for (a, b) in before.iter().zip(&after) {
+            reports_bit_identical(a, b);
+        }
+    }
+
+    #[test]
+    fn malformed_bytes_are_rejected() {
+        assert!(CompiledModel::from_bytes(b"nope").is_err());
+        assert!(CompiledModel::from_bytes(b"CLVY\xFF\xFF\xFF\xFF").is_err());
+        let model = shared_model();
+        let bytes = model.compile().to_bytes();
+        assert!(CompiledModel::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+    }
+}

@@ -18,8 +18,11 @@
 //! privileged component) is assembled with the attack-graph machinery.
 
 use crate::metric::SecurityReport;
+use crate::score::CompiledModel;
+use crate::testbed::Testbed;
 use crate::train::TrainedModel;
 use minilang::ast::{PrivLevel, Program};
+use static_analysis::FeatureVector;
 use std::fmt;
 
 /// How a component can be reached.
@@ -169,6 +172,19 @@ pub fn evaluate_system_jobs(
     system: &SystemSpec,
     jobs: usize,
 ) -> SystemReport {
+    evaluate_system_compiled(&model.compile(), system, jobs)
+}
+
+/// [`evaluate_system_jobs`] against an already-compiled model (e.g. one
+/// loaded from disk). Feature extraction fans out per component on the
+/// pool, then the whole system is scored in one batched pass — the same
+/// engine the CLI `score` subcommand uses. Reports are bit-identical to
+/// the boxed per-component path for any worker count.
+pub fn evaluate_system_compiled(
+    model: &CompiledModel,
+    system: &SystemSpec,
+    jobs: usize,
+) -> SystemReport {
     assert!(
         !system.components.is_empty(),
         "a system needs at least one component"
@@ -178,9 +194,19 @@ pub fn evaluate_system_jobs(
     } else {
         jobs
     };
-    let mut components: Vec<ComponentReport> =
+    // Extraction dominates the wall clock; one task per component. The
+    // report keeps the program name (not the component name) as the app
+    // label, matching `TrainedModel::evaluate`.
+    let extracted: Vec<(String, FeatureVector)> =
         pipeline::parallel_map(jobs, &system.components, |_, c| {
-            let report = model.evaluate(&c.program);
+            (c.program.name.clone(), Testbed::new().extract(&c.program))
+        });
+    let reports = model.evaluate_batch(&extracted, jobs);
+    let mut components: Vec<ComponentReport> = system
+        .components
+        .iter()
+        .zip(reports)
+        .map(|(c, report)| {
             let privileged = c
                 .program
                 .functions()
@@ -194,7 +220,8 @@ pub fn evaluate_system_jobs(
                 weighted_risk,
                 privileged,
             }
-        });
+        })
+        .collect();
 
     // Weakest link.
     let weakest = components

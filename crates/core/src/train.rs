@@ -9,6 +9,7 @@
 
 use crate::extract;
 use crate::hypothesis::{standard_battery, Hypothesis};
+use crate::score::CompiledModel;
 use corpus::Corpus;
 use cvedb::SelectionCriteria;
 use pipeline::{parallel_map, PipelineConfig, PipelineReport};
@@ -43,6 +44,9 @@ pub enum Learner {
     Knn,
 }
 
+/// Forest size used when no explicit `forest_trees` is configured.
+pub const DEFAULT_FOREST_TREES: usize = 20;
+
 impl Learner {
     pub const ALL: [Learner; 5] = [
         Learner::Logistic,
@@ -71,12 +75,21 @@ impl Learner {
     /// worker threads (only the random forest parallelizes; trained
     /// output never depends on `jobs`).
     pub fn make_jobs(self, jobs: usize) -> BoxedClassifier {
+        self.make_sized(DEFAULT_FOREST_TREES, jobs)
+    }
+
+    /// Like [`make_jobs`](Learner::make_jobs), with an explicit ensemble
+    /// size. Only the random forest reads `trees`; other learners have no
+    /// ensemble to size. Larger forests are the serving-scale stress case
+    /// for the batched inference engine (see the `inference_throughput`
+    /// bench).
+    pub fn make_sized(self, trees: usize, jobs: usize) -> BoxedClassifier {
         match self {
             Learner::Logistic => Box::new(LogisticRegression::new()),
             Learner::NaiveBayes => Box::new(GaussianNb::new()),
             Learner::DecisionTree => Box::new(DecisionTree::new()),
             Learner::RandomForest => Box::new(RandomForest::with_config(ForestConfig {
-                n_trees: 20,
+                n_trees: trees,
                 jobs,
                 ..Default::default()
             })),
@@ -129,6 +142,10 @@ pub struct TrainerConfig {
     /// cores). Trained models and reports are byte-identical for every
     /// value.
     pub train_jobs: usize,
+    /// Trees per random forest (ignored by the other learners). The
+    /// default keeps training fast; serving-heavy deployments can grow
+    /// the ensemble and amortize it through the compiled batch engine.
+    pub forest_trees: usize,
 }
 
 impl Default for TrainerConfig {
@@ -143,6 +160,7 @@ impl Default for TrainerConfig {
             feature_prefix: None,
             pipeline: PipelineConfig::default(),
             train_jobs: 0,
+            forest_trees: DEFAULT_FOREST_TREES,
         }
     }
 }
@@ -302,13 +320,13 @@ impl Trainer {
         let trained: Vec<(ClassificationReport, BoxedClassifier)> =
             parallel_map(w1, &trainable, |_, (_, labels, _)| {
                 let report = cross_validate_classifier_jobs(
-                    || self.config.learner.make(),
+                    || self.config.learner.make_sized(self.config.forest_trees, 1),
                     &matrix,
                     labels,
                     self.config.folds,
                     w2,
                 );
-                let mut model = self.config.learner.make_jobs(w2);
+                let mut model = self.config.learner.make_sized(self.config.forest_trees, w2);
                 model.fit_matrix(&matrix, labels);
                 (report, model)
             });
@@ -528,18 +546,18 @@ impl SeverityBand {
 impl TrainedModel {
     /// Transform a raw feature vector into the model's input row.
     pub fn prepare_row(&self, fv: &static_analysis::FeatureVector) -> Vec<f64> {
-        let mut full: Vec<f64> = self
-            .all_feature_names
-            .iter()
-            .map(|name| fv.get_or_zero(name))
-            .collect();
-        if self.log_transform {
-            for v in full.iter_mut() {
-                *v = v.signum() * v.abs().ln_1p();
-            }
-        }
-        self.standardizer.transform_row(&mut full);
-        self.kept.iter().map(|&i| full[i]).collect()
+        let mut full = Vec::new();
+        let mut out = Vec::new();
+        crate::score::prepare_row_into(
+            &self.all_feature_names,
+            self.log_transform,
+            &self.standardizer,
+            &self.kept,
+            fv,
+            &mut full,
+            &mut out,
+        );
+        out
     }
 
     /// Predicted probability for one hypothesis (None if it was degenerate
@@ -575,6 +593,47 @@ impl TrainedModel {
     /// Evaluate a program end-to-end into a [`crate::SecurityReport`].
     pub fn evaluate(&self, program: &minilang::ast::Program) -> crate::SecurityReport {
         crate::metric::evaluate(self, program)
+    }
+
+    /// Evaluate pre-extracted features into a [`crate::SecurityReport`]
+    /// (the per-row reference path the batched engine is checked against).
+    pub fn evaluate_features(
+        &self,
+        app: String,
+        fv: &static_analysis::FeatureVector,
+    ) -> crate::SecurityReport {
+        crate::metric::evaluate_features(self, app, fv)
+    }
+
+    /// Lower the whole battery into a [`CompiledModel`]: every boxed
+    /// model becomes its flattened `secml` compiled form for batched
+    /// scoring and serde-free persistence. Predictions are bit-identical
+    /// to this model's row-at-a-time path.
+    pub fn compile(&self) -> CompiledModel {
+        CompiledModel {
+            feature_names: self.feature_names.clone(),
+            log_transform: self.log_transform,
+            standardizer: self.standardizer.clone(),
+            kept: self.kept.clone(),
+            all_feature_names: self.all_feature_names.clone(),
+            hypotheses: self
+                .hypotheses
+                .iter()
+                .map(|(h, m)| {
+                    (
+                        *h,
+                        m.compile().expect("battery learners support compilation"),
+                    )
+                })
+                .collect(),
+            count_model: self.count_model.compile().expect("linreg always compiles"),
+            severity_models: self
+                .severity_models
+                .iter()
+                .map(|(band, m)| (*band, m.compile().expect("linreg always compiles")))
+                .collect(),
+            risk_weights: self.risk_weights.clone(),
+        }
     }
 }
 

@@ -80,6 +80,11 @@ fn tree_draw(config: &ForestConfig, t: usize, n: usize, cols: usize) -> (Vec<usi
 pub struct RandomForest {
     pub config: ForestConfig,
     trees: Vec<DecisionTree>,
+    /// Number of voting trees as `f64`, cached at fit time so prediction
+    /// never reconverts the count per row. Kept as a divisor rather than
+    /// a reciprocal: `sum * (1.0 / n)` is not bit-identical to `sum / n`
+    /// for non-power-of-two tree counts.
+    n_trees_f: f64,
 }
 
 impl RandomForest {
@@ -90,7 +95,7 @@ impl RandomForest {
     pub fn with_config(config: ForestConfig) -> Self {
         RandomForest {
             config,
-            trees: Vec::new(),
+            ..Default::default()
         }
     }
 }
@@ -99,6 +104,7 @@ impl Classifier for RandomForest {
     fn fit_matrix(&mut self, x: &ColMatrix, y: &[usize]) {
         assert_eq!(x.n_rows(), y.len(), "row/label count mismatch");
         self.trees.clear();
+        self.n_trees_f = 0.0;
         if x.is_empty() || x.n_cols() == 0 {
             return;
         }
@@ -113,13 +119,24 @@ impl Classifier for RandomForest {
             tree.fit_with_pool(&bx, &by, &pool);
             tree
         });
+        self.n_trees_f = self.trees.len() as f64;
     }
 
     fn predict_proba(&self, row: &[f64]) -> f64 {
         if self.trees.is_empty() {
             return 0.5;
         }
-        self.trees.iter().map(|t| t.predict_proba(row)).sum::<f64>() / self.trees.len() as f64
+        self.trees.iter().map(|t| t.predict_proba(row)).sum::<f64>() / self.n_trees_f
+    }
+
+    fn predict_batch(&self, x: &ColMatrix) -> Vec<f64> {
+        crate::infer::flatten_forest(self.trees.iter().map(|t| t.root()), 0.5).predict_batch(x)
+    }
+
+    fn compile(&self) -> Option<crate::CompiledClassifier> {
+        Some(crate::CompiledClassifier::Forest(
+            crate::infer::flatten_forest(self.trees.iter().map(|t| t.root()), 0.5),
+        ))
     }
 }
 
@@ -128,6 +145,8 @@ impl Classifier for RandomForest {
 pub struct RandomForestRegressor {
     pub config: ForestConfig,
     trees: Vec<RegressionTree>,
+    /// See [`RandomForest::n_trees_f`](RandomForest): fit-time divisor.
+    n_trees_f: f64,
 }
 
 impl RandomForestRegressor {
@@ -138,7 +157,7 @@ impl RandomForestRegressor {
     pub fn with_config(config: ForestConfig) -> Self {
         RandomForestRegressor {
             config,
-            trees: Vec::new(),
+            ..Default::default()
         }
     }
 }
@@ -147,6 +166,7 @@ impl Regressor for RandomForestRegressor {
     fn fit_matrix(&mut self, x: &ColMatrix, y: &[f64]) {
         assert_eq!(x.n_rows(), y.len(), "row/target count mismatch");
         self.trees.clear();
+        self.n_trees_f = 0.0;
         if x.is_empty() || x.n_cols() == 0 {
             return;
         }
@@ -160,13 +180,24 @@ impl Regressor for RandomForestRegressor {
             tree.fit_with_pool(&bx, &by, &pool);
             tree
         });
+        self.n_trees_f = self.trees.len() as f64;
     }
 
     fn predict(&self, row: &[f64]) -> f64 {
         if self.trees.is_empty() {
             return 0.0;
         }
-        self.trees.iter().map(|t| t.predict(row)).sum::<f64>() / self.trees.len() as f64
+        self.trees.iter().map(|t| t.predict(row)).sum::<f64>() / self.n_trees_f
+    }
+
+    fn predict_batch(&self, x: &ColMatrix) -> Vec<f64> {
+        crate::infer::flatten_forest(self.trees.iter().map(|t| t.root()), 0.0).predict_batch(x)
+    }
+
+    fn compile(&self) -> Option<crate::CompiledRegressor> {
+        Some(crate::CompiledRegressor::Forest(
+            crate::infer::flatten_forest(self.trees.iter().map(|t| t.root()), 0.0),
+        ))
     }
 }
 

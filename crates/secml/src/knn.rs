@@ -65,6 +65,30 @@ impl Classifier for Knn {
         let votes: usize = dists[..k].iter().map(|&(_, l)| l).sum();
         votes as f64 / k as f64
     }
+
+    fn predict_batch(&self, x: &ColMatrix) -> Vec<f64> {
+        self.compile()
+            .expect("knn always compiles")
+            .predict_batch(x)
+    }
+
+    /// Compile by flattening the memorized rows into one row-major
+    /// buffer. Training rows are uniform-width (both `fit` paths store
+    /// rectangular data), which the flattening relies on.
+    fn compile(&self) -> Option<crate::CompiledClassifier> {
+        let width = self.x.first().map(|r| r.len()).unwrap_or(0);
+        debug_assert!(self.x.iter().all(|r| r.len() == width));
+        let mut train = Vec::with_capacity(width * self.x.len());
+        for row in &self.x {
+            train.extend_from_slice(row);
+        }
+        Some(crate::CompiledClassifier::Knn {
+            k: self.k,
+            width,
+            train,
+            labels: self.y.iter().map(|&l| l as u32).collect(),
+        })
+    }
 }
 
 #[cfg(test)]

@@ -19,9 +19,11 @@
 //! them — §5.3 of the paper turns those weights into "which code property
 //! drives the predicted risk" developer hints.
 
+pub mod bytes;
 pub mod dataset;
 pub mod eval;
 pub mod forest;
+pub mod infer;
 pub mod knn;
 pub mod linalg;
 pub mod linreg;
@@ -33,6 +35,7 @@ pub mod tree;
 
 pub use dataset::{ColMatrix, Dataset};
 pub use eval::{ClassificationReport, ConfusionMatrix, RegressionReport};
+pub use infer::{CompiledClassifier, CompiledRegressor, FlatForest, FlatTree};
 
 /// A trained binary classifier: predicts the probability of class 1.
 ///
@@ -55,6 +58,26 @@ pub trait Classifier {
     fn predict(&self, row: &[f64]) -> usize {
         (self.predict_proba(row) >= 0.5) as usize
     }
+    /// Class-1 probability for every row of `x`, bit-identical to calling
+    /// [`predict_proba`](Classifier::predict_proba) per row. The default
+    /// materializes rows into one reused scratch buffer; models override
+    /// it with flattened batch kernels (see [`infer`]).
+    fn predict_batch(&self, x: &ColMatrix) -> Vec<f64> {
+        let mut row = vec![0.0; x.n_cols()];
+        (0..x.n_rows())
+            .map(|i| {
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = x.value(i, j);
+                }
+                self.predict_proba(&row)
+            })
+            .collect()
+    }
+    /// Compile into the flattened batched-inference form, or `None` for
+    /// models without a compiled representation.
+    fn compile(&self) -> Option<CompiledClassifier> {
+        None
+    }
 }
 
 /// A trained regressor.
@@ -69,6 +92,24 @@ pub trait Regressor {
     }
     /// Predict the target for `row`.
     fn predict(&self, row: &[f64]) -> f64;
+    /// Predicted target for every row of `x`, bit-identical to calling
+    /// [`predict`](Regressor::predict) per row.
+    fn predict_batch(&self, x: &ColMatrix) -> Vec<f64> {
+        let mut row = vec![0.0; x.n_cols()];
+        (0..x.n_rows())
+            .map(|i| {
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = x.value(i, j);
+                }
+                self.predict(&row)
+            })
+            .collect()
+    }
+    /// Compile into the flattened batched-inference form, or `None` for
+    /// models without a compiled representation.
+    fn compile(&self) -> Option<CompiledRegressor> {
+        None
+    }
 }
 
 impl<T: Classifier + ?Sized> Classifier for Box<T> {
@@ -86,5 +127,13 @@ impl<T: Classifier + ?Sized> Classifier for Box<T> {
 
     fn predict(&self, row: &[f64]) -> usize {
         (**self).predict(row)
+    }
+
+    fn predict_batch(&self, x: &ColMatrix) -> Vec<f64> {
+        (**self).predict_batch(x)
+    }
+
+    fn compile(&self) -> Option<CompiledClassifier> {
+        (**self).compile()
     }
 }

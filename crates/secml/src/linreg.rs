@@ -76,6 +76,19 @@ impl Regressor for LinearRegression {
     fn predict(&self, row: &[f64]) -> f64 {
         self.intercept + linalg::dot(&self.coefficients, row)
     }
+
+    fn predict_batch(&self, x: &ColMatrix) -> Vec<f64> {
+        self.compile()
+            .expect("linreg always compiles")
+            .predict_batch(x)
+    }
+
+    fn compile(&self) -> Option<crate::CompiledRegressor> {
+        Some(crate::CompiledRegressor::Linear {
+            intercept: self.intercept,
+            coefficients: self.coefficients.clone(),
+        })
+    }
 }
 
 /// Result of a one-variable OLS fit `y = intercept + slope·x`.

@@ -39,7 +39,7 @@ impl LogisticRegression {
     }
 }
 
-fn sigmoid(z: f64) -> f64 {
+pub(crate) fn sigmoid(z: f64) -> f64 {
     if z >= 0.0 {
         1.0 / (1.0 + (-z).exp())
     } else {
@@ -88,6 +88,19 @@ impl Classifier for LogisticRegression {
 
     fn predict_proba(&self, row: &[f64]) -> f64 {
         sigmoid(self.bias + dot(&self.weights, row))
+    }
+
+    fn predict_batch(&self, x: &ColMatrix) -> Vec<f64> {
+        self.compile()
+            .expect("logistic always compiles")
+            .predict_batch(x)
+    }
+
+    fn compile(&self) -> Option<crate::CompiledClassifier> {
+        Some(crate::CompiledClassifier::Logistic {
+            bias: self.bias,
+            weights: self.weights.clone(),
+        })
     }
 }
 

@@ -74,6 +74,18 @@ impl Classifier for GaussianNb {
         let e1 = (l1 - m).exp();
         e1 / (e0 + e1)
     }
+
+    fn predict_batch(&self, x: &ColMatrix) -> Vec<f64> {
+        self.compile().expect("nb always compiles").predict_batch(x)
+    }
+
+    fn compile(&self) -> Option<crate::CompiledClassifier> {
+        Some(crate::CompiledClassifier::GaussianNb {
+            log_priors: self.log_priors,
+            stats: self.stats.clone(),
+            fitted: self.fitted,
+        })
+    }
 }
 
 #[cfg(test)]

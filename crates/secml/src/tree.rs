@@ -13,9 +13,10 @@
 use crate::dataset::ColMatrix;
 use crate::{Classifier, Regressor};
 
-/// A binary decision tree.
+/// A binary decision tree. Crate-visible so the [`infer`](crate::infer)
+/// module can flatten grown trees into node tables.
 #[derive(Debug, Clone)]
-enum Node {
+pub(crate) enum Node {
     Leaf {
         /// Class-1 probability (classification) or mean target (regression).
         value: f64,
@@ -339,6 +340,10 @@ impl DecisionTree {
             0.5,
         ));
     }
+
+    pub(crate) fn root(&self) -> Option<&Node> {
+        self.root.as_ref()
+    }
 }
 
 impl Classifier for DecisionTree {
@@ -350,6 +355,17 @@ impl Classifier for DecisionTree {
 
     fn predict_proba(&self, row: &[f64]) -> f64 {
         self.root.as_ref().map(|r| r.predict(row)).unwrap_or(0.5)
+    }
+
+    fn predict_batch(&self, x: &ColMatrix) -> Vec<f64> {
+        crate::infer::flatten_tree(self.root(), 0.5).predict_batch(x)
+    }
+
+    fn compile(&self) -> Option<crate::CompiledClassifier> {
+        Some(crate::CompiledClassifier::Tree(crate::infer::flatten_tree(
+            self.root(),
+            0.5,
+        )))
     }
 }
 
@@ -380,6 +396,10 @@ impl RegressionTree {
             0.0,
         ));
     }
+
+    pub(crate) fn root(&self) -> Option<&Node> {
+        self.root.as_ref()
+    }
 }
 
 impl Regressor for RegressionTree {
@@ -391,6 +411,17 @@ impl Regressor for RegressionTree {
 
     fn predict(&self, row: &[f64]) -> f64 {
         self.root.as_ref().map(|r| r.predict(row)).unwrap_or(0.0)
+    }
+
+    fn predict_batch(&self, x: &ColMatrix) -> Vec<f64> {
+        crate::infer::flatten_tree(self.root(), 0.0).predict_batch(x)
+    }
+
+    fn compile(&self) -> Option<crate::CompiledRegressor> {
+        Some(crate::CompiledRegressor::Tree(crate::infer::flatten_tree(
+            self.root(),
+            0.0,
+        )))
     }
 }
 

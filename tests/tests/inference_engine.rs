@@ -1,0 +1,218 @@
+//! Cross-crate checks for the batched inference engine: for every
+//! learner and across dialect-skewed corpora, compile → serialize →
+//! deserialize → `evaluate_batch` must reproduce the boxed per-row
+//! reference path bit-for-bit at any worker count, on disk as well as in
+//! memory, and system evaluation must not depend on workers either.
+
+use clairvoyant::prelude::*;
+use clairvoyant::system::{evaluate_system_jobs, Containment, Exposure};
+use clairvoyant::SecurityReport;
+use clairvoyant::{Component, SystemSpec};
+use static_analysis::FeatureVector;
+
+fn extract_apps(corpus: &Corpus) -> Vec<(String, FeatureVector)> {
+    let testbed = Testbed::new();
+    corpus
+        .apps
+        .iter()
+        .map(|app| (app.spec.name.clone(), testbed.extract(&app.program)))
+        .collect()
+}
+
+/// Every float compared through its bit pattern: the batched engine
+/// promises exact reproduction, not tolerance-level agreement.
+fn assert_reports_identical(a: &SecurityReport, b: &SecurityReport, context: &str) {
+    assert_eq!(a.app, b.app, "{context}: app");
+    assert_eq!(
+        a.predicted_vulnerabilities.to_bits(),
+        b.predicted_vulnerabilities.to_bits(),
+        "{context}: predicted count for {}",
+        a.app
+    );
+    assert_eq!(
+        a.high_severity_risk.map(f64::to_bits),
+        b.high_severity_risk.map(f64::to_bits),
+        "{context}: high-severity risk for {}",
+        a.app
+    );
+    assert_eq!(
+        a.network_risk.map(f64::to_bits),
+        b.network_risk.map(f64::to_bits),
+        "{context}: network risk for {}",
+        a.app
+    );
+    assert_eq!(a.hypotheses.len(), b.hypotheses.len(), "{context}");
+    for ((h1, p1), (h2, p2)) in a.hypotheses.iter().zip(&b.hypotheses) {
+        assert_eq!(h1, h2, "{context}: battery order for {}", a.app);
+        assert_eq!(p1.to_bits(), p2.to_bits(), "{context}: {h1} for {}", a.app);
+    }
+    assert_eq!(
+        a.severity_counts.len(),
+        b.severity_counts.len(),
+        "{context}"
+    );
+    for ((s1, n1), (s2, n2)) in a.severity_counts.iter().zip(&b.severity_counts) {
+        assert_eq!(s1, s2, "{context}: band order for {}", a.app);
+        assert_eq!(
+            n1.to_bits(),
+            n2.to_bits(),
+            "{context}: {s1:?} for {}",
+            a.app
+        );
+    }
+    assert_eq!(
+        a.structural_risk.to_bits(),
+        b.structural_risk.to_bits(),
+        "{context}: structural risk for {}",
+        a.app
+    );
+    assert_eq!(a.attributions.len(), b.attributions.len(), "{context}");
+    for (x, y) in a.attributions.iter().zip(&b.attributions) {
+        assert_eq!(x.feature, y.feature, "{context}: attribution for {}", a.app);
+        assert_eq!(x.value.to_bits(), y.value.to_bits(), "{context}");
+        assert_eq!(x.weight.to_bits(), y.weight.to_bits(), "{context}");
+        assert_eq!(
+            x.contribution.to_bits(),
+            y.contribution.to_bits(),
+            "{context}"
+        );
+    }
+    assert_eq!(
+        a.hints.len(),
+        b.hints.len(),
+        "{context}: hints for {}",
+        a.app
+    );
+    for (x, y) in a.hints.iter().zip(&b.hints) {
+        assert_eq!(x.advice, y.advice, "{context}");
+        assert_eq!(x.because, y.because, "{context}");
+    }
+    assert_eq!(
+        a.risk_score().to_bits(),
+        b.risk_score().to_bits(),
+        "{context}: risk score for {}",
+        a.app
+    );
+}
+
+/// Boxed per-row reference reports for a corpus.
+fn boxed_reports(model: &TrainedModel, apps: &[(String, FeatureVector)]) -> Vec<SecurityReport> {
+    apps.iter()
+        .map(|(name, fv)| model.evaluate_features(name.clone(), fv))
+        .collect()
+}
+
+/// The full journey — compile, serialize, deserialize, batch-score at 1
+/// and 4 workers — compared against the boxed reference path.
+fn assert_roundtrip_matches_boxed(
+    model: &TrainedModel,
+    apps: &[(String, FeatureVector)],
+    context: &str,
+) {
+    let reference = boxed_reports(model, apps);
+    let bytes = model.compile().to_bytes();
+    let decoded = CompiledModel::from_bytes(&bytes).expect("roundtrip decodes");
+    for jobs in [1, 4] {
+        let batched = decoded.evaluate_batch(apps, jobs);
+        assert_eq!(batched.len(), reference.len(), "{context}");
+        for (a, b) in reference.iter().zip(&batched) {
+            assert_reports_identical(a, b, &format!("{context}, {jobs} worker(s)"));
+        }
+    }
+}
+
+#[test]
+fn every_learner_roundtrips_bit_identically() {
+    let train_corpus = Corpus::generate(&CorpusConfig::small(16, 20177));
+    let score_corpus = Corpus::generate(&CorpusConfig::small(12, 99));
+    let apps = extract_apps(&score_corpus);
+    for learner in Learner::ALL {
+        let model = Trainer::with_config(TrainerConfig {
+            learner,
+            ..Default::default()
+        })
+        .train(&train_corpus);
+        assert_roundtrip_matches_boxed(&model, &apps, &format!("learner {learner}"));
+    }
+}
+
+#[test]
+fn dialect_skewed_corpora_score_identically() {
+    let model = Trainer::with_config(TrainerConfig {
+        learner: Learner::RandomForest,
+        ..Default::default()
+    })
+    .train(&Corpus::generate(&CorpusConfig::small(16, 20177)));
+    // One corpus per dominant dialect: C, Python, Java, C++.
+    for (i, language_mix) in [[9, 1, 1, 1], [1, 9, 1, 1], [1, 1, 9, 1], [1, 1, 1, 9]]
+        .into_iter()
+        .enumerate()
+    {
+        let mut config = CorpusConfig::small(12, 7 + i as u64);
+        config.language_mix = language_mix;
+        let apps = extract_apps(&Corpus::generate(&config));
+        assert_roundtrip_matches_boxed(&model, &apps, &format!("dialect mix {language_mix:?}"));
+    }
+}
+
+#[test]
+fn saved_model_scores_identically_after_reload() {
+    let model = Trainer::with_config(TrainerConfig {
+        learner: Learner::RandomForest,
+        ..Default::default()
+    })
+    .train(&Corpus::generate(&CorpusConfig::small(16, 20177)));
+    let apps = extract_apps(&Corpus::generate(&CorpusConfig::small(10, 41)));
+    let reference = boxed_reports(&model, &apps);
+
+    let path = std::env::temp_dir().join(format!("clairvoyant-model-{}.clvy", std::process::id()));
+    model.compile().save(&path).expect("model saves");
+    let loaded = CompiledModel::load(&path).expect("model loads");
+    let _ = std::fs::remove_file(&path);
+
+    let batched = loaded.evaluate_batch(&apps, 2);
+    assert_eq!(batched.len(), reference.len());
+    for (a, b) in reference.iter().zip(&batched) {
+        assert_reports_identical(a, b, "reloaded from disk");
+    }
+}
+
+#[test]
+fn system_reports_do_not_depend_on_worker_count() {
+    let model = Trainer::with_config(TrainerConfig {
+        learner: Learner::RandomForest,
+        ..Default::default()
+    })
+    .train(&Corpus::generate(&CorpusConfig::small(16, 20177)));
+    let corpus = Corpus::generate(&CorpusConfig::small(3, 5));
+    let exposures = [
+        Exposure::NetworkFacing,
+        Exposure::Internal,
+        Exposure::Infrastructure,
+    ];
+    let system = SystemSpec {
+        name: "stack".into(),
+        components: corpus
+            .apps
+            .iter()
+            .zip(exposures)
+            .map(|(app, exposure)| Component {
+                name: app.spec.name.clone(),
+                program: app.program.clone(),
+                exposure,
+                containment: Containment::Container,
+            })
+            .collect(),
+    };
+    let one = evaluate_system_jobs(&model, &system, 1);
+    let four = evaluate_system_jobs(&model, &system, 4);
+    assert_eq!(one.score.to_bits(), four.score.to_bits());
+    assert_eq!(one.weakest, four.weakest);
+    assert_eq!(one.escalation_chain, four.escalation_chain);
+    assert_eq!(one.components.len(), four.components.len());
+    for (a, b) in one.components.iter().zip(&four.components) {
+        assert_eq!(a.weighted_risk.to_bits(), b.weighted_risk.to_bits());
+        assert_eq!(a.privileged, b.privileged);
+        assert_reports_identical(&a.report, &b.report, "system component");
+    }
+}
