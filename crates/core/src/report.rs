@@ -97,6 +97,13 @@ impl fmt::Display for Json {
 
 /// Serialize a [`SecurityReport`] to a JSON string.
 pub fn security_report_json(report: &SecurityReport) -> String {
+    security_report_value(report).to_string()
+}
+
+/// Build the [`Json`] value for a [`SecurityReport`] — callers that embed
+/// reports in larger documents (the scoring daemon's `score` responses)
+/// compose this instead of re-parsing the serialized string.
+pub fn security_report_value(report: &SecurityReport) -> Json {
     let hypotheses: Vec<Json> = report
         .hypotheses
         .iter()
@@ -168,7 +175,6 @@ pub fn security_report_json(report: &SecurityReport) -> String {
         ("attributions", Json::Array(attributions)),
         ("hints", Json::Array(hints)),
     ])
-    .to_string()
 }
 
 #[cfg(test)]

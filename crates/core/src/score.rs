@@ -414,4 +414,29 @@ mod tests {
         let bytes = model.compile().to_bytes();
         assert!(CompiledModel::from_bytes(&bytes[..bytes.len() / 2]).is_err());
     }
+
+    #[test]
+    fn load_returns_errors_not_panics_on_bad_files() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+
+        // Missing file: an error naming the path, not a panic.
+        let missing = dir.join(format!("clairvoyant-no-such-model-{pid}.clvy"));
+        let err = CompiledModel::load(&missing).err().expect("missing file");
+        assert!(err.contains("cannot read model"), "{err}");
+
+        // Empty file: fails the magic check.
+        let empty = dir.join(format!("clairvoyant-empty-model-{pid}.clvy"));
+        std::fs::write(&empty, b"").unwrap();
+        assert!(CompiledModel::load(&empty).is_err());
+
+        // Truncated file: a real model cut mid-stream must error too.
+        let bytes = shared_model().compile().to_bytes();
+        let truncated = dir.join(format!("clairvoyant-truncated-model-{pid}.clvy"));
+        std::fs::write(&truncated, &bytes[..bytes.len() - 9]).unwrap();
+        assert!(CompiledModel::load(&truncated).is_err());
+
+        std::fs::remove_file(&empty).ok();
+        std::fs::remove_file(&truncated).ok();
+    }
 }

@@ -925,6 +925,93 @@ mod tests {
     }
 
     #[test]
+    fn empty_forest_roundtrips_and_scores_empty_value() {
+        // A forest with zero voting trees (never produced by `fit`, but
+        // legal on the wire) must round-trip and score its empty default
+        // rather than dividing by a zero tree count.
+        let forest = flatten_forest(std::iter::empty(), 0.5);
+        assert_eq!(forest.n_trees(), 0);
+        let mut w = ByteWriter::new();
+        CompiledClassifier::Forest(forest.clone()).encode(&mut w);
+        let bytes = w.into_bytes();
+        let decoded = CompiledClassifier::decode(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(decoded, CompiledClassifier::Forest(forest));
+        let x = ColMatrix::from_rows(&synth_rows(9, 3, 5));
+        assert!(decoded.predict_batch(&x).iter().all(|&p| p == 0.5));
+    }
+
+    #[test]
+    fn single_leaf_tree_roundtrips_and_scores_constant() {
+        // The smallest legal tree: one self-looping leaf. Must survive
+        // the wire and predict its constant for wide and zero-width rows.
+        let tree = flatten_tree(None, 0.25);
+        assert_eq!(tree.n_nodes(), 1);
+        let mut w = ByteWriter::new();
+        CompiledRegressor::Tree(tree.clone()).encode(&mut w);
+        let bytes = w.into_bytes();
+        let decoded = CompiledRegressor::decode(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(decoded, CompiledRegressor::Tree(tree));
+        let wide = ColMatrix::from_rows(&synth_rows(70, 4, 13));
+        assert!(decoded.predict_batch(&wide).iter().all(|&p| p == 0.25));
+        let empty = ColMatrix::from_rows(&vec![vec![]; 3]);
+        assert!(decoded.predict_batch(&empty).iter().all(|&p| p == 0.25));
+    }
+
+    #[test]
+    fn nan_thresholds_decode_and_score_without_panicking() {
+        // A NaN *leaf value* (stored in the threshold slot) is legal and
+        // must flow through scoring as NaN.
+        let mut w = ByteWriter::new();
+        w.put_u8(1); // tree tag
+        w.put_u32s(&[LEAF]);
+        w.put_f64s(&[f64::NAN]);
+        w.put_u32s(&[0]);
+        w.put_u32s(&[0]);
+        let bytes = w.into_bytes();
+        let decoded = CompiledClassifier::decode(&mut ByteReader::new(&bytes)).unwrap();
+        let x = ColMatrix::from_rows(&synth_rows(5, 2, 17));
+        assert!(decoded.predict_batch(&x).iter().all(|p| p.is_nan()));
+
+        // A NaN *split threshold*: `v <= NaN` is false for every v, so
+        // both the row walk and the lockstep kernel must take the right
+        // branch — deterministically, with no panic.
+        let mut w = ByteWriter::new();
+        w.put_u8(1);
+        w.put_u32s(&[0, LEAF, LEAF]);
+        w.put_f64s(&[f64::NAN, 1.0, 2.0]);
+        w.put_u32s(&[1, 1, 2]);
+        w.put_u32s(&[2, 1, 2]);
+        let bytes = w.into_bytes();
+        let decoded = CompiledClassifier::decode(&mut ByteReader::new(&bytes)).unwrap();
+        // Enough rows to exercise the blocked kernel, not just the tail.
+        let x = ColMatrix::from_rows(&synth_rows(130, 3, 19));
+        assert!(decoded.predict_batch(&x).iter().all(|&p| p == 2.0));
+    }
+
+    #[test]
+    fn every_truncation_of_a_compiled_model_fails_decode() {
+        let rows = synth_rows(40, 3, 29);
+        let y = labels_of(&rows);
+        let mut f = RandomForest::with_config(ForestConfig {
+            n_trees: 3,
+            ..Default::default()
+        });
+        f.fit(&rows, &y);
+        let mut w = ByteWriter::new();
+        f.compile().unwrap().encode(&mut w);
+        let bytes = w.into_bytes();
+        // Every proper prefix must error — never panic, never succeed
+        // (success on a prefix would mean trailing fields are ignored).
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(
+                CompiledClassifier::decode(&mut r).is_err(),
+                "decode succeeded on a {cut}-byte truncation"
+            );
+        }
+    }
+
+    #[test]
     fn corrupt_tables_fail_decode() {
         let mut w = ByteWriter::new();
         w.put_u8(1); // tree tag

@@ -11,15 +11,21 @@
 //! clairvoyant evaluate [--json] <files…> train (cached-size corpus) + report
 //! clairvoyant compare <fileA> <fileB>    pick the lower-risk candidate
 //! clairvoyant gate <before> <after>      CI gate: exit 1 if risk rises
+//! clairvoyant serve [--model PATH]       run the scoring daemon
+//! clairvoyant query <op> [args…]         talk to a running daemon
 //! ```
 //!
 //! Commands that train the metric extract corpus features through the
 //! pipeline engine and run ML training on a worker pool; `--jobs`,
-//! `--train-jobs`, `--cache-dir` and `--no-cache` tune them.
+//! `--train-jobs`, `--cache-dir` and `--no-cache` tune them. `serve`
+//! and `query` speak the length-prefixed JSON protocol of the
+//! `clairvoyant-serve` crate (DESIGN.md §11).
 
 use clairvoyant::prelude::*;
-use clairvoyant::report::security_report_json;
+use clairvoyant::report::{security_report_json, Json};
 use clairvoyant::Testbed;
+use serve::client::{error_type, is_ok, Client};
+use serve::server::{ModelState, ServeConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -42,6 +48,8 @@ fn main() -> ExitCode {
         "score" => score(rest, &engine, train_jobs),
         "compare" => compare(rest, &engine, train_jobs),
         "gate" => gate(rest, &engine, train_jobs),
+        "serve" => serve_cmd(rest, &engine, train_jobs),
+        "query" => query_cmd(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -70,6 +78,15 @@ commands:
                               --save-model persists the model for reuse
   compare <fileA> <fileB>     evaluate two candidates, pick the safer one
   gate <before> <after>       CI gate: exit 1 when the change raises risk
+  serve [--addr A] [--model PATH] [--max-inflight N] [--batch-max N]
+                              run the scoring daemon; --model serves a saved
+                              CLVY file (otherwise trains the fixed-seed
+                              corpus once at startup); prints the bound
+                              address, then serves until `query shutdown`
+  query [--addr A] <op>       one protocol round-trip against a daemon:
+                                query health | stats | shutdown
+                                query reload [model.clvy]
+                                query score [--json] <files…>
 
 options (pipeline engine, for commands that train the metric):
   --jobs <N>                  extraction worker threads (0 = all cores)
@@ -303,6 +320,174 @@ fn compare(
     let cmp = compare_programs(&model, &pa, &pb);
     println!("{cmp}");
     Ok(ExitCode::SUCCESS)
+}
+
+/// Default daemon address for `serve`/`query` when `--addr` is absent.
+const DEFAULT_ADDR: &str = "127.0.0.1:4747";
+
+/// Run the scoring daemon until a `shutdown` request arrives.
+fn serve_cmd(
+    args: &[String],
+    engine: &PipelineConfig,
+    train_jobs: usize,
+) -> Result<ExitCode, String> {
+    let mut config = ServeConfig {
+        addr: DEFAULT_ADDR.to_string(),
+        jobs: engine.jobs,
+        ..ServeConfig::default()
+    };
+    let mut model_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = it.next().ok_or("--addr needs host:port")?.clone(),
+            "--model" => {
+                model_path = Some(PathBuf::from(it.next().ok_or("--model needs a path")?));
+            }
+            "--max-inflight" => {
+                let value = it.next().ok_or("--max-inflight needs a number")?;
+                config.max_inflight = value
+                    .parse()
+                    .map_err(|_| format!("--max-inflight: `{value}` is not a number"))?;
+                if config.max_inflight == 0 {
+                    return Err("--max-inflight must be at least 1".into());
+                }
+            }
+            "--batch-max" => {
+                let value = it.next().ok_or("--batch-max needs a number")?;
+                config.batch_max = value
+                    .parse()
+                    .map_err(|_| format!("--batch-max: `{value}` is not a number"))?;
+                if config.batch_max == 0 {
+                    return Err("--batch-max must be at least 1".into());
+                }
+            }
+            other => return Err(format!("serve does not understand `{other}`")),
+        }
+    }
+    let model = match &model_path {
+        Some(path) => {
+            let state = ModelState::load(path)?;
+            eprintln!(
+                "serving model {} from `{}`",
+                state.fingerprint_hex(),
+                path.display()
+            );
+            state
+        }
+        None => {
+            eprintln!("training the metric (fixed-seed corpus)…");
+            let state = ModelState::from_model(trained_model(engine, train_jobs).compile());
+            eprintln!("serving model {}", state.fingerprint_hex());
+            state
+        }
+    };
+    let handle = serve::start(config, model)?;
+    // The bound address on stdout is the contract scripts rely on for
+    // ephemeral ports (`--addr 127.0.0.1:0`).
+    println!("listening on {}", handle.addr());
+    handle.wait();
+    eprintln!("drained and stopped");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// One protocol round-trip against a running daemon.
+fn query_cmd(args: &[String]) -> Result<ExitCode, String> {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = it.next().ok_or("--addr needs host:port")?.clone(),
+            other => rest.push(other.to_string()),
+        }
+    }
+    let Some((op, op_args)) = rest.split_first() else {
+        return Err("query needs an op: health | stats | shutdown | reload | score".into());
+    };
+    let mut client = Client::connect(&addr)?;
+    match op.as_str() {
+        "health" => print_response(client.health()?),
+        "stats" => print_response(client.stats()?),
+        "shutdown" => print_response(client.shutdown()?),
+        "reload" => print_response(client.reload(op_args.first().map(String::as_str))?),
+        "score" => {
+            let (json, paths): (bool, &[String]) = match op_args.split_first() {
+                Some((flag, tail)) if flag == "--json" => (true, tail),
+                _ => (false, op_args),
+            };
+            if paths.is_empty() {
+                return Err("query score needs input files".into());
+            }
+            let mut failed = false;
+            for path in paths {
+                let source = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+                let dialect = match dialect_of(path) {
+                    Dialect::Python => "python",
+                    Dialect::Java => "java",
+                    Dialect::Cpp => "cpp",
+                    Dialect::C => "c",
+                };
+                let response = client.score_source(path, &source, dialect)?;
+                if json {
+                    println!("{response}");
+                } else if is_ok(&response) {
+                    print_score_line(path, &response);
+                } else {
+                    println!("{path}: error: {response}");
+                }
+                failed |= !is_ok(&response);
+            }
+            Ok(if failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            })
+        }
+        other => Err(format!("unknown query op `{other}`")),
+    }
+}
+
+fn print_response(response: Json) -> Result<ExitCode, String> {
+    println!("{response}");
+    Ok(if is_ok(&response) {
+        ExitCode::SUCCESS
+    } else if error_type(&response) == Some("busy") {
+        // Distinguish overload from protocol errors for retry scripts.
+        ExitCode::from(3)
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// Render a score response as one summary line (mirrors `score`'s table).
+fn print_score_line(path: &str, response: &Json) {
+    let field = |report: &Json, key: &str| -> Option<f64> {
+        match report {
+            Json::Object(obj) => match obj.get(key) {
+                Some(Json::Number(n)) => Some(*n),
+                _ => None,
+            },
+            _ => None,
+        }
+    };
+    let (model, report) = match response {
+        Json::Object(obj) => (obj.get("model"), obj.get("report")),
+        _ => (None, None),
+    };
+    let model = match model {
+        Some(Json::String(s)) => s.as_str(),
+        _ => "?",
+    };
+    match report {
+        Some(report) => println!(
+            "{path:<40} risk {:>5.1}  #vulns {:>5.1}  (model {model})",
+            field(report, "risk_score").unwrap_or(f64::NAN),
+            field(report, "predicted_vulnerabilities").unwrap_or(f64::NAN),
+        ),
+        None => println!("{path}: malformed response: {response}"),
+    }
 }
 
 fn gate(args: &[String], engine: &PipelineConfig, train_jobs: usize) -> Result<ExitCode, String> {

@@ -1,0 +1,125 @@
+//! A small blocking protocol client.
+//!
+//! One [`Client`] wraps one persistent connection; requests go out as
+//! frames and each call blocks for the matching response. The CLI
+//! `query` subcommand and the black-box test harness both drive the
+//! daemon through this type, so the tests exercise exactly the code
+//! users run.
+
+use crate::json;
+use crate::protocol::{read_frame, write_frame, FrameError};
+use clairvoyant::report::Json;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A blocking connection to a scoring daemon.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. `127.0.0.1:4747`).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect: {e}"))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| format!("cannot configure socket: {e}"))?;
+        Ok(Client { stream })
+    }
+
+    /// Cap how long a single request may wait for its response.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), String> {
+        self.stream
+            .set_read_timeout(timeout)
+            .map_err(|e| format!("cannot set timeout: {e}"))
+    }
+
+    /// Send one raw request payload and return the parsed response.
+    pub fn roundtrip_raw(&mut self, payload: &[u8]) -> Result<Json, String> {
+        write_frame(&mut self.stream, payload).map_err(|e| format!("cannot send request: {e}"))?;
+        let response = read_frame(&mut self.stream, &mut || false).map_err(|e| match e {
+            FrameError::Closed => "server closed the connection".to_string(),
+            FrameError::Desync(m) => format!("response framing broke: {m}"),
+            FrameError::Io(e) => format!("cannot read response: {e}"),
+        })?;
+        let text =
+            std::str::from_utf8(&response).map_err(|e| format!("response is not UTF-8: {e}"))?;
+        json::parse(text).map_err(|e| format!("response is not valid JSON: {e}"))
+    }
+
+    /// Send one request value and return the parsed response.
+    pub fn roundtrip(&mut self, request: &Json) -> Result<Json, String> {
+        self.roundtrip_raw(request.to_string().as_bytes())
+    }
+
+    pub fn health(&mut self) -> Result<Json, String> {
+        self.roundtrip(&Json::object(vec![("op", Json::String("health".into()))]))
+    }
+
+    pub fn stats(&mut self) -> Result<Json, String> {
+        self.roundtrip(&Json::object(vec![("op", Json::String("stats".into()))]))
+    }
+
+    pub fn shutdown(&mut self) -> Result<Json, String> {
+        self.roundtrip(&Json::object(vec![("op", Json::String("shutdown".into()))]))
+    }
+
+    pub fn reload(&mut self, path: Option<&str>) -> Result<Json, String> {
+        let mut pairs = vec![("op", Json::String("reload".into()))];
+        if let Some(path) = path {
+            pairs.push(("path", Json::String(path.into())));
+        }
+        self.roundtrip(&Json::object(pairs))
+    }
+
+    /// Score program source text.
+    pub fn score_source(
+        &mut self,
+        name: &str,
+        source: &str,
+        dialect: &str,
+    ) -> Result<Json, String> {
+        self.roundtrip(&Json::object(vec![
+            ("op", Json::String("score".into())),
+            ("name", Json::String(name.into())),
+            ("source", Json::String(source.into())),
+            ("dialect", Json::String(dialect.into())),
+        ]))
+    }
+
+    /// Score a pre-extracted feature vector.
+    pub fn score_features(
+        &mut self,
+        name: &str,
+        features: &static_analysis::FeatureVector,
+    ) -> Result<Json, String> {
+        let map = features
+            .iter()
+            .map(|(k, v)| (k.to_string(), Json::Number(v)))
+            .collect();
+        self.roundtrip(&Json::object(vec![
+            ("op", Json::String("score".into())),
+            ("name", Json::String(name.into())),
+            ("features", Json::Object(map)),
+        ]))
+    }
+}
+
+/// Pull `response.error.type` out of a failed response, if present.
+pub fn error_type(response: &Json) -> Option<&str> {
+    let Json::Object(obj) = response else {
+        return None;
+    };
+    if obj.get("ok") == Some(&Json::Bool(true)) {
+        return None;
+    }
+    match obj.get("error") {
+        Some(Json::Object(err)) => json::get_str(err, "type"),
+        _ => None,
+    }
+}
+
+/// True when the response is `{"ok":true,...}`.
+pub fn is_ok(response: &Json) -> bool {
+    matches!(response, Json::Object(obj) if obj.get("ok") == Some(&Json::Bool(true)))
+}

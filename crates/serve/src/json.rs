@@ -1,0 +1,361 @@
+//! A strict JSON parser for protocol requests.
+//!
+//! The workspace already ships a JSON *writer* ([`clairvoyant::report::Json`])
+//! for report output; the scoring daemon also needs to *read* JSON off the
+//! wire. This is the matching serde-free parser: it produces the same
+//! [`Json`] value type, rejects anything outside RFC 8259 (trailing data,
+//! bare values like `1..2`, lone surrogates, unescaped control characters)
+//! with an `Err(String)` instead of panicking, and caps nesting depth so a
+//! hostile frame of ten thousand `[` cannot overflow the stack.
+
+use clairvoyant::report::Json;
+use std::collections::BTreeMap;
+
+/// Maximum nesting depth before a parse is rejected. Protocol requests
+/// are at most a few levels deep; 64 leaves generous headroom while
+/// keeping recursion bounded.
+const MAX_DEPTH: usize = 64;
+
+/// Parse `input` as one JSON document (surrounding whitespace allowed,
+/// trailing data rejected).
+pub fn parse(input: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH} levels"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(format!("unexpected `{}` at byte {}", c as char, self.pos)),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            // Duplicate keys: last writer wins, like serde_json.
+            map.insert(key, self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_from = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == digits_from {
+            return Err(format!("invalid number at byte {start}"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_from = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == frac_from {
+                return Err(format!("invalid number at byte {start}"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_from = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == exp_from {
+                return Err(format!("invalid number at byte {start}"));
+            }
+        }
+        // `input` is valid UTF-8 and the accepted bytes are ASCII.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-UTF-8 number".to_string())?;
+        text.parse::<f64>()
+            .map(Json::Number)
+            .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        c => return Err(format!("invalid escape `\\{}`", c as char)),
+                    }
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(format!("unescaped control byte 0x{c:02x} in string"));
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar; the input is a &str, so byte
+                    // boundaries are always valid.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "invalid UTF-8".to_string())?;
+                    let ch = s.chars().next().ok_or("unterminated string")?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// `\uXXXX`, including surrogate pairs (`\uD83D\uDE00`); lone
+    /// surrogates are rejected.
+    fn unicode_escape(&mut self) -> Result<char, String> {
+        let hi = self.hex4()?;
+        if (0xD800..0xDC00).contains(&hi) {
+            if self.peek() == Some(b'\\') {
+                self.pos += 1;
+                self.expect(b'u')?;
+                let lo = self.hex4()?;
+                if (0xDC00..0xE000).contains(&lo) {
+                    let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    return char::from_u32(c).ok_or_else(|| "invalid surrogate pair".to_string());
+                }
+            }
+            return Err("lone high surrogate in \\u escape".into());
+        }
+        if (0xDC00..0xE000).contains(&hi) {
+            return Err("lone low surrogate in \\u escape".into());
+        }
+        char::from_u32(hi).ok_or_else(|| "invalid \\u escape".to_string())
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self.peek().ok_or("truncated \\u escape")?;
+            self.pos += 1;
+            v = v * 16
+                + (c as char)
+                    .to_digit(16)
+                    .ok_or_else(|| format!("non-hex digit `{}` in \\u escape", c as char))?;
+        }
+        Ok(v)
+    }
+}
+
+/// Fetch a string field from a parsed object.
+pub fn get_str<'a>(obj: &'a BTreeMap<String, Json>, key: &str) -> Option<&'a str> {
+    match obj.get(key) {
+        Some(Json::String(s)) => Some(s),
+        _ => None,
+    }
+}
+
+/// Fetch a numeric field from a parsed object.
+pub fn get_num(obj: &BTreeMap<String, Json>, key: &str) -> Option<f64> {
+    match obj.get(key) {
+        Some(Json::Number(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse("-3.25e2").unwrap(), Json::Number(-325.0));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), Json::String("a\nb".into()));
+    }
+
+    #[test]
+    fn writer_output_parses_back() {
+        let value = Json::object(vec![
+            ("name", Json::String("naïve \"x\"\n".into())),
+            ("xs", Json::Array(vec![Json::Number(1.5), Json::Null])),
+            ("ok", Json::Bool(true)),
+        ]);
+        assert_eq!(parse(&value.to_string()).unwrap(), value);
+    }
+
+    #[test]
+    fn float_display_round_trip_is_stable() {
+        // The serving bit-identity argument leans on this: writing a
+        // parsed number back out reproduces the original text.
+        for x in [0.1 + 0.2, 1.0 / 3.0, 3.0, -0.0, 1e-300, f64::MAX] {
+            let once = Json::Number(x).to_string();
+            let twice = parse(&once).unwrap().to_string();
+            assert_eq!(once, twice);
+        }
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap(),
+            Json::String("😀".into())
+        );
+        assert!(parse("\"\\ud83d\"").is_err());
+        assert!(parse("\"\\ude00\"").is_err());
+    }
+
+    #[test]
+    fn malformed_documents_error() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "[1 2]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "nul",
+            "01x",
+            "--1",
+            "1.",
+            "1e",
+            "\"\u{1}\"",
+            "\"\\q\"",
+            "1 2",
+            "{\"a\":1}extra",
+            "\"unterminated",
+        ] {
+            assert!(parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins() {
+        let v = parse("{\"a\":1,\"a\":2}").unwrap();
+        let Json::Object(map) = v else { panic!() };
+        assert_eq!(map.get("a"), Some(&Json::Number(2.0)));
+    }
+}

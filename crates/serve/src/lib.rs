@@ -1,0 +1,45 @@
+//! Clairvoyant scoring service: a long-running daemon over the batched
+//! inference engine.
+//!
+//! The paper's end state (§5.3) is developers *querying* the trained
+//! metric on demand. The one-shot CLI retrains or reloads per
+//! invocation; this crate keeps a [`CompiledModel`] resident and serves
+//! it over TCP with a small length-prefixed JSON protocol
+//! ([`protocol`]): `score` (program source or a pre-extracted feature
+//! vector in, battery risk report out), `health`, `stats`, `reload`
+//! (hot-swap the model from a CLVY file without dropping in-flight
+//! work) and `shutdown` (graceful drain).
+//!
+//! Design highlights (DESIGN.md §11):
+//!
+//! - **Admission control** — a bounded in-flight cap; overloaded
+//!   servers answer a typed `busy` error immediately instead of
+//!   queueing unbounded work.
+//! - **Micro-batching** — admitted requests coalesce into
+//!   `evaluate_batch` calls on the pipeline pool, so concurrent clients
+//!   get the batch engine's throughput, and every response is
+//!   bit-identical to offline scoring regardless of how requests
+//!   interleave into batches.
+//! - **Hot reload** — the model sits behind an `Arc` swap; running
+//!   batches finish on their snapshot and every score response carries
+//!   the fingerprint of the model that produced it.
+//!
+//! ```no_run
+//! use serve::{Client, ModelState, ServeConfig};
+//! # fn demo(compiled: clairvoyant::CompiledModel) -> Result<(), String> {
+//! let handle = serve::start(ServeConfig::default(), ModelState::from_model(compiled))?;
+//! let mut client = Client::connect(handle.addr())?;
+//! let health = client.health()?;
+//! # Ok(()) }
+//! ```
+//!
+//! [`CompiledModel`]: clairvoyant::CompiledModel
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+pub use client::Client;
+pub use server::{start, ModelState, ServeConfig, ServerHandle};

@@ -1,0 +1,306 @@
+//! Wire protocol: length-prefixed JSON frames and typed requests.
+//!
+//! Every message — request or response — is one *frame*: a 4-byte
+//! little-endian payload length followed by that many bytes of UTF-8
+//! JSON. Length prefixes above [`MAX_FRAME`] are rejected before any
+//! allocation happens, so a hostile 4-GiB prefix costs nothing; framing
+//! violations (oversized prefix, truncated payload) are unrecoverable —
+//! the stream has lost sync — so the server answers with a final error
+//! frame where possible and drops the connection. Payload-level problems
+//! (invalid UTF-8, malformed JSON, unknown `op`) leave the stream in
+//! sync and get a typed error response on a still-usable connection.
+//!
+//! Requests are objects with an `op` field:
+//!
+//! ```json
+//! {"op":"health"}
+//! {"op":"stats"}
+//! {"op":"reload","path":"model.clvy"}
+//! {"op":"shutdown"}
+//! {"op":"score","name":"app","source":"fn main(){}","dialect":"c"}
+//! {"op":"score","name":"app","features":{"loc.code":120.0}}
+//! ```
+//!
+//! Responses always carry `"ok"`: `{"ok":true,...}` on success,
+//! `{"ok":false,"error":{"type":...,"message":...}}` on failure. Error
+//! types are part of the protocol: `busy` (admission control rejected
+//! the request; retry later), `bad_request`, `shutting_down`, and
+//! `internal`.
+
+use crate::json;
+use clairvoyant::report::Json;
+use minilang::Dialect;
+use static_analysis::FeatureVector;
+use std::io::{ErrorKind, Read, Write};
+
+/// Hard cap on a frame payload. Large enough for any report batch or
+/// source submission we expect; small enough that a forged length prefix
+/// cannot balloon memory.
+pub const MAX_FRAME: usize = 8 * 1024 * 1024;
+
+/// Why reading a frame stopped.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The peer disappeared mid-frame, or the frame violates the
+    /// protocol (oversized prefix). The stream is out of sync and must
+    /// be dropped.
+    Desync(String),
+    /// An I/O error other than a read timeout.
+    Io(std::io::Error),
+}
+
+/// Write one frame: length prefix plus payload.
+pub fn write_frame(stream: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| std::io::Error::new(ErrorKind::InvalidInput, "frame larger than u32::MAX"))?;
+    stream.write_all(&len.to_le_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+/// Read one frame, tolerating read timeouts: on `WouldBlock`/`TimedOut`
+/// the `keep_waiting` callback decides whether to keep blocking (server
+/// shutdown wants handler threads to notice the flag even while idle).
+/// Returning `false` mid-frame counts as a desync, between frames as a
+/// clean close.
+pub fn read_frame(
+    stream: &mut impl Read,
+    keep_waiting: &mut impl FnMut() -> bool,
+) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; 4];
+    read_exactly(stream, &mut header, true, keep_waiting)?;
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::Desync(format!(
+            "frame length {len} exceeds the {MAX_FRAME}-byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    read_exactly(stream, &mut payload, false, keep_waiting)?;
+    Ok(payload)
+}
+
+/// `read_exact` with timeout polling. `at_boundary` marks whether EOF
+/// before the first byte is a clean close (frame boundary) or a
+/// truncation (mid-frame).
+fn read_exactly(
+    stream: &mut impl Read,
+    buf: &mut [u8],
+    at_boundary: bool,
+    keep_waiting: &mut impl FnMut() -> bool,
+) -> Result<(), FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if at_boundary && filled == 0 {
+                    Err(FrameError::Closed)
+                } else {
+                    Err(FrameError::Desync("connection closed mid-frame".into()))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if !keep_waiting() {
+                    return if at_boundary && filled == 0 {
+                        Err(FrameError::Closed)
+                    } else {
+                        Err(FrameError::Desync("shutdown mid-frame".into()))
+                    };
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// A parsed protocol request.
+#[derive(Debug)]
+pub enum Request {
+    Health,
+    Stats,
+    Reload { path: Option<String> },
+    Shutdown,
+    Score { name: String, input: ScoreInput },
+}
+
+/// What a `score` request submits: program source to run through the
+/// testbed, or a pre-extracted feature vector.
+#[derive(Debug)]
+pub enum ScoreInput {
+    Source { text: String, dialect: Dialect },
+    Features(FeatureVector),
+}
+
+impl Request {
+    /// Parse a request payload. Errors are client-facing `bad_request`
+    /// messages.
+    pub fn parse(payload: &[u8]) -> Result<Request, String> {
+        let text =
+            std::str::from_utf8(payload).map_err(|e| format!("payload is not UTF-8: {e}"))?;
+        let value = json::parse(text).map_err(|e| format!("payload is not valid JSON: {e}"))?;
+        let Json::Object(obj) = value else {
+            return Err("request must be a JSON object".into());
+        };
+        match json::get_str(&obj, "op") {
+            Some("health") => Ok(Request::Health),
+            Some("stats") => Ok(Request::Stats),
+            Some("shutdown") => Ok(Request::Shutdown),
+            Some("reload") => Ok(Request::Reload {
+                path: json::get_str(&obj, "path").map(str::to_string),
+            }),
+            Some("score") => {
+                let name = json::get_str(&obj, "name").unwrap_or("app").to_string();
+                let input = match (obj.get("source"), obj.get("features")) {
+                    (Some(Json::String(text)), None) => ScoreInput::Source {
+                        text: text.clone(),
+                        dialect: parse_dialect(json::get_str(&obj, "dialect"))?,
+                    },
+                    (None, Some(Json::Object(map))) => {
+                        let mut fv = FeatureVector::new();
+                        for (k, v) in map {
+                            match v {
+                                Json::Number(n) => fv.set(k.clone(), *n),
+                                _ => {
+                                    return Err(format!("feature `{k}` must be a number"));
+                                }
+                            }
+                        }
+                        ScoreInput::Features(fv)
+                    }
+                    (Some(_), None) => return Err("`source` must be a string".into()),
+                    (None, Some(_)) => return Err("`features` must be an object".into()),
+                    (Some(_), Some(_)) => {
+                        return Err("give either `source` or `features`, not both".into());
+                    }
+                    (None, None) => return Err("score needs `source` or `features`".into()),
+                };
+                Ok(Request::Score { name, input })
+            }
+            Some(other) => Err(format!("unknown op `{other}`")),
+            None => Err("request has no `op` field".into()),
+        }
+    }
+}
+
+fn parse_dialect(name: Option<&str>) -> Result<Dialect, String> {
+    match name.unwrap_or("c") {
+        "c" => Ok(Dialect::C),
+        "cpp" | "c++" | "cc" => Ok(Dialect::Cpp),
+        "python" | "py" => Ok(Dialect::Python),
+        "java" => Ok(Dialect::Java),
+        other => Err(format!("unknown dialect `{other}`")),
+    }
+}
+
+/// Build a typed error response.
+pub fn error_response(kind: &str, message: &str) -> Json {
+    Json::object(vec![
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::object(vec![
+                ("type", Json::String(kind.to_string())),
+                ("message", Json::String(message.to_string())),
+            ]),
+        ),
+    ])
+}
+
+/// Build a success response from `op`-specific fields.
+pub fn ok_response(op: &str, mut fields: Vec<(&str, Json)>) -> Json {
+    let mut pairs = vec![
+        ("ok", Json::Bool(true)),
+        ("op", Json::String(op.to_string())),
+    ];
+    pairs.append(&mut fields);
+    Json::object(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"op\":\"health\"}").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let mut wait = || true;
+        assert_eq!(
+            read_frame(&mut cursor, &mut wait).unwrap(),
+            b"{\"op\":\"health\"}"
+        );
+        assert_eq!(read_frame(&mut cursor, &mut wait).unwrap(), b"");
+        assert!(matches!(
+            read_frame(&mut cursor, &mut wait),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn oversized_prefix_is_desync_without_allocation() {
+        let mut buf = Vec::from(u32::MAX.to_le_bytes());
+        buf.extend_from_slice(b"xx");
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor, &mut || true),
+            Err(FrameError::Desync(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_is_desync() {
+        let mut buf = Vec::from(10u32.to_le_bytes());
+        buf.extend_from_slice(b"abc");
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor, &mut || true),
+            Err(FrameError::Desync(_))
+        ));
+    }
+
+    #[test]
+    fn requests_parse() {
+        assert!(matches!(
+            Request::parse(b"{\"op\":\"health\"}"),
+            Ok(Request::Health)
+        ));
+        assert!(matches!(
+            Request::parse(b"{\"op\":\"reload\"}"),
+            Ok(Request::Reload { path: None })
+        ));
+        let r = Request::parse(b"{\"op\":\"score\",\"name\":\"x\",\"features\":{\"a\":1}}");
+        match r {
+            Ok(Request::Score { name, input }) => {
+                assert_eq!(name, "x");
+                match input {
+                    ScoreInput::Features(fv) => assert_eq!(fv.get("a"), Some(1.0)),
+                    _ => panic!("expected features"),
+                }
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_requests_are_typed_errors() {
+        for bad in [
+            &b"\xff\xfe"[..],
+            b"[]",
+            b"{\"op\":\"frobnicate\"}",
+            b"{}",
+            b"{\"op\":\"score\"}",
+            b"{\"op\":\"score\",\"source\":\"x\",\"features\":{}}",
+            b"{\"op\":\"score\",\"source\":\"x\",\"dialect\":\"cobol\"}",
+            b"{\"op\":\"score\",\"features\":{\"a\":\"one\"}}",
+        ] {
+            assert!(Request::parse(bad).is_err());
+        }
+    }
+}

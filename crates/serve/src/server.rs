@@ -1,0 +1,552 @@
+//! The scoring daemon: accept loop, admission control, micro-batcher,
+//! and hot model reload.
+//!
+//! ```text
+//!  client ──frame──▶ handler thread ──admit──▶ bounded queue ─┐
+//!  client ──frame──▶ handler thread ──admit──▶      …         ├─▶ batcher
+//!  client ──frame──▶ handler thread ──busy ◀─(queue full)     │   thread
+//!                         ▲                                   │
+//!                         └────────── report + fingerprint ◀──┘
+//! ```
+//!
+//! One thread per connection parses frames and answers the cheap
+//! endpoints (`health`, `stats`, `reload`, `shutdown`) inline. `score`
+//! requests pass admission control — a shared in-flight counter capped
+//! at [`ServeConfig::max_inflight`]; over the cap the handler answers a
+//! typed `busy` error immediately instead of queueing unbounded work —
+//! and then wait on a per-request channel while the single batcher
+//! thread drains the queue in micro-batches of up to
+//! [`ServeConfig::batch_max`] apps, scoring each batch with one
+//! [`CompiledModel::evaluate_batch`] call on the pipeline pool.
+//!
+//! The model lives behind `Mutex<Arc<ModelState>>`: the batcher clones
+//! the `Arc` once per batch, `reload` swaps the slot after loading and
+//! validating the new file, and in-flight batches finish on whichever
+//! model they started with — a reload never stalls or corrupts running
+//! requests, and every response reports the fingerprint of the exact
+//! model that produced it.
+//!
+//! Scoring a batch is row-independent (each app's report depends only on
+//! its own feature row — `evaluate_batch` is bit-identical to per-app
+//! scoring), so responses do not depend on how client requests interleave
+//! into batches. The black-box harness (`tests/tests/serve_engine.rs`)
+//! pins this down.
+//!
+//! Shutdown (via [`ServerHandle::shutdown`] or a `shutdown` request) is
+//! graceful: the listener stops accepting, handlers refuse new work with
+//! a `shutting_down` error, the batcher drains every admitted request,
+//! and all threads are joined.
+
+use crate::protocol::{
+    error_response, ok_response, read_frame, write_frame, FrameError, Request, ScoreInput,
+};
+use crate::stats::ServiceStats;
+use clairvoyant::report::{security_report_value, Json};
+use clairvoyant::{CompiledModel, SecurityReport, Testbed};
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Admission-control cap: score requests admitted (queued or being
+    /// scored) at once. Beyond it, clients get a typed `busy` error.
+    pub max_inflight: usize,
+    /// Most apps scored in one `evaluate_batch` call.
+    pub batch_max: usize,
+    /// Pipeline-pool workers per batch (0 = all cores).
+    pub jobs: usize,
+    /// Handler read-poll tick: how often an idle connection re-checks
+    /// the shutdown flag.
+    pub poll_tick: Duration,
+    /// Artificial delay per scored batch. Zero in production; tests and
+    /// the bench overload path use it to hold requests in flight
+    /// deterministically.
+    pub debug_batch_delay: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            max_inflight: 256,
+            batch_max: 64,
+            jobs: 1,
+            poll_tick: Duration::from_millis(50),
+            debug_batch_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// A loaded model plus its identity.
+pub struct ModelState {
+    pub compiled: CompiledModel,
+    /// FNV-1a of the serialized model — the `model` field of every score
+    /// response, so clients can pin responses to a model version.
+    pub fingerprint: u64,
+    /// Where the model was loaded from; `reload` without a path re-reads
+    /// this file.
+    pub path: Option<PathBuf>,
+}
+
+impl ModelState {
+    /// Wrap an in-memory model (fingerprints its serialized form).
+    pub fn from_model(compiled: CompiledModel) -> ModelState {
+        let fingerprint = fingerprint_bytes(&compiled.to_bytes());
+        ModelState {
+            compiled,
+            fingerprint,
+            path: None,
+        }
+    }
+
+    /// Load and fingerprint a CLVY file.
+    pub fn load(path: &Path) -> Result<ModelState, String> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| format!("cannot read model from `{}`: {e}", path.display()))?;
+        let compiled = CompiledModel::from_bytes(&bytes)?;
+        Ok(ModelState {
+            compiled,
+            fingerprint: fingerprint_bytes(&bytes),
+            path: Some(path.to_path_buf()),
+        })
+    }
+
+    /// The fingerprint as the wire-format hex string.
+    pub fn fingerprint_hex(&self) -> String {
+        format!("{:016x}", self.fingerprint)
+    }
+}
+
+fn fingerprint_bytes(bytes: &[u8]) -> u64 {
+    pipeline::fnv::hash_bytes(bytes)
+}
+
+/// One admitted score request waiting for the batcher.
+struct ScoreJob {
+    name: String,
+    features: static_analysis::FeatureVector,
+    reply: mpsc::Sender<(SecurityReport, u64)>,
+}
+
+/// State shared by every thread of one server.
+struct Shared {
+    config: ServeConfig,
+    model: Mutex<Arc<ModelState>>,
+    queue: Mutex<VecDeque<ScoreJob>>,
+    queue_signal: Condvar,
+    inflight: AtomicUsize,
+    shutting_down: AtomicBool,
+    stats: ServiceStats,
+    started: Instant,
+}
+
+impl Shared {
+    fn current_model(&self) -> Arc<ModelState> {
+        self.model.lock().unwrap().clone()
+    }
+}
+
+/// A running daemon. Dropping the handle shuts the server down
+/// gracefully (drain, then join every thread).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+/// Start the daemon: bind, spawn the accept loop and the batcher, and
+/// return immediately.
+pub fn start(config: ServeConfig, model: ModelState) -> Result<ServerHandle, String> {
+    let listener = TcpListener::bind(&config.addr)
+        .map_err(|e| format!("cannot bind `{}`: {e}", config.addr))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("cannot read bound address: {e}"))?;
+    let shared = Arc::new(Shared {
+        config,
+        model: Mutex::new(Arc::new(model)),
+        queue: Mutex::new(VecDeque::new()),
+        queue_signal: Condvar::new(),
+        inflight: AtomicUsize::new(0),
+        shutting_down: AtomicBool::new(false),
+        stats: ServiceStats::default(),
+        started: Instant::now(),
+    });
+
+    let batcher = {
+        let shared = shared.clone();
+        std::thread::spawn(move || batcher_loop(&shared))
+    };
+    let accept = {
+        let shared = shared.clone();
+        std::thread::spawn(move || accept_loop(listener, &shared))
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+        batcher: Some(batcher),
+    })
+}
+
+impl ServerHandle {
+    /// The address the daemon actually bound (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once shutdown has been requested (locally or over the wire).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Block until a `shutdown` request arrives over the wire, then
+    /// finish the drain and join every thread.
+    pub fn wait(mut self) {
+        while !self.is_shutting_down() {
+            std::thread::sleep(self.shared.config.poll_tick);
+        }
+        self.join_all();
+    }
+
+    /// Graceful shutdown: refuse new connections and requests, drain the
+    /// admitted queue, join every thread.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        self.join_all();
+    }
+
+    fn begin_shutdown(&self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        self.shared.queue_signal.notify_all();
+        // Unblock the accept loop: it is parked in `accept()`, so poke it
+        // with a throwaway connection. Failure is fine — the listener may
+        // already be gone.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn join_all(&mut self) {
+        // A wire-triggered shutdown set the flag without unblocking
+        // `accept()`; poke the listener so the loop observes it.
+        let _ = TcpStream::connect(self.addr);
+        // Accept loop first (it joins handler threads), then the batcher
+        // (handlers waiting on score replies need it alive to drain).
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.shared.queue_signal.notify_all();
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() || self.batcher.is_some() {
+            self.begin_shutdown();
+            self.join_all();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    // The poke connection (or a late client): refuse.
+                    drop(stream);
+                    break;
+                }
+                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                let shared = shared.clone();
+                handlers.push(std::thread::spawn(move || {
+                    handle_connection(stream, &shared)
+                }));
+                // Reap finished handlers so a long-lived daemon does not
+                // accumulate one parked JoinHandle per past connection.
+                handlers.retain(|h| !h.is_finished());
+            }
+            Err(_) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Transient accept failure (EMFILE, ECONNABORTED…):
+                // back off briefly and keep serving.
+                std::thread::sleep(shared.config.poll_tick);
+            }
+        }
+    }
+    drop(listener);
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    // Short read timeouts let the handler poll the shutdown flag while
+    // the connection idles between frames.
+    let _ = stream.set_read_timeout(Some(shared.config.poll_tick));
+    let _ = stream.set_nodelay(true);
+    loop {
+        let mut keep_waiting = || !shared.shutting_down.load(Ordering::SeqCst);
+        let payload = match read_frame(&mut stream, &mut keep_waiting) {
+            Ok(payload) => payload,
+            Err(FrameError::Closed) => return,
+            Err(FrameError::Desync(message)) => {
+                shared.stats.desyncs.fetch_add(1, Ordering::Relaxed);
+                // Best-effort final error; the stream is out of sync, so
+                // the connection must die either way.
+                let reply = error_response("bad_request", &message).to_string();
+                let _ = write_frame(&mut stream, reply.as_bytes());
+                return;
+            }
+            Err(FrameError::Io(_)) => return,
+        };
+        let t0 = Instant::now();
+        let response = match Request::parse(&payload) {
+            Ok(request) => dispatch(request, shared, t0),
+            Err(message) => {
+                shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                error_response("bad_request", &message)
+            }
+        };
+        if write_frame(&mut stream, response.to_string().as_bytes()).is_err() {
+            return;
+        }
+        let _ = stream.flush();
+    }
+}
+
+fn dispatch(request: Request, shared: &Arc<Shared>, t0: Instant) -> Json {
+    match request {
+        Request::Health => {
+            let stats = &shared.stats.health;
+            stats.requests.fetch_add(1, Ordering::Relaxed);
+            let model = shared.current_model();
+            let status = if shared.shutting_down.load(Ordering::SeqCst) {
+                "draining"
+            } else {
+                "serving"
+            };
+            let response = ok_response(
+                "health",
+                vec![
+                    ("status", Json::String(status.into())),
+                    ("model", Json::String(model.fingerprint_hex())),
+                    (
+                        "uptime_ms",
+                        Json::Number(shared.started.elapsed().as_millis() as f64),
+                    ),
+                ],
+            );
+            stats.latency.record(t0.elapsed());
+            response
+        }
+        Request::Stats => {
+            let stats = &shared.stats.stats;
+            stats.requests.fetch_add(1, Ordering::Relaxed);
+            let inflight = shared.inflight.load(Ordering::SeqCst);
+            let queue_depth = shared.queue.lock().unwrap().len();
+            let response = ok_response(
+                "stats",
+                vec![("stats", shared.stats.to_json(inflight, queue_depth))],
+            );
+            stats.latency.record(t0.elapsed());
+            response
+        }
+        Request::Shutdown => {
+            let stats = &shared.stats.shutdown;
+            stats.requests.fetch_add(1, Ordering::Relaxed);
+            shared.shutting_down.store(true, Ordering::SeqCst);
+            shared.queue_signal.notify_all();
+            ok_response("shutdown", vec![("draining", Json::Bool(true))])
+        }
+        Request::Reload { path } => {
+            let stats = &shared.stats.reload;
+            stats.requests.fetch_add(1, Ordering::Relaxed);
+            let response = reload(shared, path.as_deref());
+            if !matches!(&response, Json::Object(o) if o.get("ok") == Some(&Json::Bool(true))) {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            stats.latency.record(t0.elapsed());
+            response
+        }
+        Request::Score { name, input } => {
+            let response = score(shared, name, input);
+            let stats = &shared.stats.score;
+            stats.requests.fetch_add(1, Ordering::Relaxed);
+            if !matches!(&response, Json::Object(o) if o.get("ok") == Some(&Json::Bool(true))) {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            stats.latency.record(t0.elapsed());
+            response
+        }
+    }
+}
+
+fn reload(shared: &Arc<Shared>, path: Option<&str>) -> Json {
+    let path: PathBuf = match path {
+        Some(p) => PathBuf::from(p),
+        None => match &shared.current_model().path {
+            Some(p) => p.clone(),
+            None => {
+                return error_response(
+                    "bad_request",
+                    "reload needs a path: the current model was not loaded from a file",
+                );
+            }
+        },
+    };
+    // Load and validate *before* touching the served slot: a bad file
+    // leaves the old model serving.
+    match ModelState::load(&path) {
+        Ok(next) => {
+            let next = Arc::new(next);
+            let previous = {
+                let mut slot = shared.model.lock().unwrap();
+                std::mem::replace(&mut *slot, next.clone())
+            };
+            ok_response(
+                "reload",
+                vec![
+                    ("model", Json::String(next.fingerprint_hex())),
+                    ("previous", Json::String(previous.fingerprint_hex())),
+                    ("path", Json::String(path.display().to_string())),
+                ],
+            )
+        }
+        Err(message) => error_response("bad_request", &message),
+    }
+}
+
+fn score(shared: &Arc<Shared>, name: String, input: ScoreInput) -> Json {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return error_response(
+            "shutting_down",
+            "server is draining; not accepting new work",
+        );
+    }
+
+    // Feature extraction runs on the handler thread (it parallelizes
+    // across connections); only the admitted, extracted row enters the
+    // scoring queue.
+    let features = match input {
+        ScoreInput::Features(fv) => fv,
+        ScoreInput::Source { text, dialect } => {
+            let files = vec![(format!("{name}.src"), text)];
+            match minilang::parse_program(&name, dialect, &files) {
+                Ok(program) => Testbed::new().extract(&program),
+                Err(e) => return error_response("bad_request", &format!("parse error: {e}")),
+            }
+        }
+    };
+
+    // Admission control: reserve an in-flight slot or bounce. The
+    // counter covers queued *and* being-scored requests, so the bound
+    // also caps the batcher's backlog.
+    let max = shared.config.max_inflight;
+    if shared
+        .inflight
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+            (n < max).then_some(n + 1)
+        })
+        .is_err()
+    {
+        shared.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
+        return error_response(
+            "busy",
+            &format!("admission queue is full ({max} requests in flight); retry later"),
+        );
+    }
+
+    let (reply, result) = mpsc::channel();
+    {
+        let mut queue = shared.queue.lock().unwrap();
+        queue.push_back(ScoreJob {
+            name,
+            features,
+            reply,
+        });
+    }
+    shared.queue_signal.notify_all();
+
+    // The batcher owns the slot now and releases it after replying; if
+    // it died (channel closed) report an internal error.
+    match result.recv() {
+        Ok((report, fingerprint)) => ok_response(
+            "score",
+            vec![
+                ("model", Json::String(format!("{fingerprint:016x}"))),
+                ("report", security_report_value(&report)),
+            ],
+        ),
+        Err(_) => error_response("internal", "scoring backend dropped the request"),
+    }
+}
+
+/// The batcher: drain admitted jobs in arrival order, score each batch
+/// with one `evaluate_batch` call against one model snapshot, reply per
+/// job. Exits only when shutdown is requested *and* every admitted job
+/// has been answered.
+fn batcher_loop(shared: &Arc<Shared>) {
+    loop {
+        let batch: Vec<ScoreJob> = {
+            let mut queue = shared.queue.lock().unwrap();
+            while queue.is_empty() {
+                if shared.shutting_down.load(Ordering::SeqCst)
+                    && shared.inflight.load(Ordering::SeqCst) == 0
+                {
+                    return;
+                }
+                // Timed wait: an admitted-but-not-yet-queued job (the
+                // handler increments `inflight` before pushing) must be
+                // picked up even if the notify raced the wait.
+                let (q, _) = shared
+                    .queue_signal
+                    .wait_timeout(queue, shared.config.poll_tick)
+                    .unwrap();
+                queue = q;
+            }
+            let take = shared.config.batch_max.max(1).min(queue.len());
+            queue.drain(..take).collect()
+        };
+
+        // One model snapshot per batch: a concurrent reload swaps the
+        // slot for *future* batches; this one finishes on the snapshot.
+        let model = shared.current_model();
+        let apps: Vec<(String, static_analysis::FeatureVector)> = batch
+            .iter()
+            .map(|job| (job.name.clone(), job.features.clone()))
+            .collect();
+        let reports = model.compiled.evaluate_batch(&apps, shared.config.jobs);
+        if !shared.config.debug_batch_delay.is_zero() {
+            std::thread::sleep(shared.config.debug_batch_delay);
+        }
+        shared
+            .stats
+            .scored_apps
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+        for (job, report) in batch.into_iter().zip(reports) {
+            // A handler that timed out or died just drops the receiver;
+            // the slot must be released either way.
+            let _ = job.reply.send((report, model.fingerprint));
+            shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}

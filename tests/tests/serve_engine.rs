@@ -1,0 +1,539 @@
+//! Black-box tests for the scoring daemon (`crates/serve`).
+//!
+//! Every test boots a real daemon on an ephemeral port and drives it
+//! over TCP — no test reaches into server internals. The pillars:
+//!
+//! - **Bit-identity**: a served `score` response carries exactly the
+//!   JSON the offline engine produces for the same model and features
+//!   (`security_report_value` over `evaluate_batch` output), at any
+//!   client concurrency and for any request interleaving.
+//! - **Robustness**: seeded protocol garbage (truncated frames, huge
+//!   length prefixes, invalid UTF-8, mid-request disconnects) gets
+//!   typed errors or a dropped connection — the accept loop never
+//!   wedges and the next well-formed client is served normally.
+//! - **Hot reload**: hammering `score` while `reload` swaps between two
+//!   models yields responses that are each internally consistent with
+//!   exactly one of the two model fingerprints.
+//! - **Backpressure and drain**: over the admission cap clients get a
+//!   typed `busy` error; shutdown answers everything already admitted.
+
+use clairvoyant::prelude::*;
+use clairvoyant::report::{security_report_value, Json};
+use serve::client::{error_type, is_ok, Client};
+use serve::protocol::{read_frame, write_frame};
+use serve::server::{ModelState, ServeConfig};
+use static_analysis::FeatureVector;
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Everything the tests share: two distinct trained models persisted as
+/// CLVY files, their fingerprints, and a small extracted app set.
+/// Training dominates this suite's runtime, so it happens once.
+struct Fixture {
+    path_a: PathBuf,
+    path_b: PathBuf,
+    fp_a: String,
+    fp_b: String,
+    apps: Vec<(String, FeatureVector)>,
+    /// App name → offline report JSON under model A / model B.
+    expected_a: BTreeMap<String, String>,
+    expected_b: BTreeMap<String, String>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut config = CorpusConfig::small(16, 20177);
+        config.language_mix = [12, 2, 1, 1];
+        config.max_kloc = 2.0;
+        let corpus = Corpus::generate(&config);
+        let trainer = Trainer::with_config(TrainerConfig {
+            top_k_features: Some(14),
+            ..Default::default()
+        });
+        let model_a = trainer.train(&corpus).compile();
+        // Model B: same corpus, different feature budget — close enough
+        // to be swappable, different enough to fingerprint apart.
+        let model_b = Trainer::with_config(TrainerConfig {
+            top_k_features: Some(10),
+            ..Default::default()
+        })
+        .train(&corpus)
+        .compile();
+
+        let dir = std::env::temp_dir();
+        let path_a = dir.join(format!("clairvoyant-serve-a-{}.clvy", std::process::id()));
+        let path_b = dir.join(format!("clairvoyant-serve-b-{}.clvy", std::process::id()));
+        model_a.save(&path_a).expect("save model A");
+        model_b.save(&path_b).expect("save model B");
+        let fp_a = ModelState::load(&path_a).expect("load A").fingerprint_hex();
+        let fp_b = ModelState::load(&path_b).expect("load B").fingerprint_hex();
+        assert_ne!(fp_a, fp_b, "fixture models must be distinguishable");
+
+        let testbed = Testbed::new();
+        let apps: Vec<(String, FeatureVector)> = corpus
+            .apps
+            .iter()
+            .take(10)
+            .map(|app| (app.spec.name.clone(), testbed.extract(&app.program)))
+            .collect();
+
+        let expected = |model: &CompiledModel| -> BTreeMap<String, String> {
+            model
+                .evaluate_batch(&apps, 1)
+                .iter()
+                .map(|r| (r.app.clone(), security_report_value(r).to_string()))
+                .collect()
+        };
+        // Expectations come from re-loading the files the daemon serves,
+        // so the comparison covers the persisted form end to end.
+        let expected_a = expected(&CompiledModel::load(&path_a).expect("reload A"));
+        let expected_b = expected(&CompiledModel::load(&path_b).expect("reload B"));
+
+        Fixture {
+            path_a,
+            path_b,
+            fp_a,
+            fp_b,
+            apps,
+            expected_a,
+            expected_b,
+        }
+    })
+}
+
+fn start_server(config: ServeConfig) -> serve::ServerHandle {
+    let model = ModelState::load(&fixture().path_a).expect("load model A");
+    serve::start(config, model).expect("daemon starts")
+}
+
+fn connect(addr: SocketAddr) -> Client {
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_secs(30)))
+        .expect("set timeout");
+    client
+}
+
+/// Pull `(model_fingerprint, report_json)` out of a score response.
+fn score_parts(response: &Json) -> (String, String) {
+    assert!(is_ok(response), "score failed: {response}");
+    let Json::Object(obj) = response else {
+        panic!("score response is not an object: {response}");
+    };
+    let Some(Json::String(fp)) = obj.get("model") else {
+        panic!("score response has no model fingerprint: {response}");
+    };
+    let report = obj.get("report").expect("score response has a report");
+    (fp.clone(), report.to_string())
+}
+
+#[test]
+fn concurrent_scores_are_bit_identical_to_offline_batch() {
+    let fx = fixture();
+    let handle = start_server(ServeConfig {
+        batch_max: 4, // small batches force cross-client coalescing
+        jobs: 2,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+
+    const CLIENTS: usize = 6;
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            scope.spawn(move || {
+                let mut client = connect(addr);
+                // Each client walks the app set from a different offset,
+                // so batches mix apps in client-dependent orders.
+                for i in 0..fx.apps.len() {
+                    let (name, fv) = &fx.apps[(i + c) % fx.apps.len()];
+                    let response = client.score_features(name, fv).expect("score");
+                    let (fp, report) = score_parts(&response);
+                    assert_eq!(fp, fx.fp_a, "unexpected model fingerprint");
+                    assert_eq!(
+                        &report, &fx.expected_a[name],
+                        "served report for {name} diverged from offline evaluate_batch"
+                    );
+                }
+            });
+        }
+    });
+
+    // The daemon's own accounting saw every request and actually
+    // coalesced some of them into multi-app batches.
+    let mut client = connect(addr);
+    let stats = client.stats().expect("stats");
+    let text = stats.to_string();
+    assert!(is_ok(&stats), "stats failed: {stats}");
+    let total = (CLIENTS * fx.apps.len()) as f64;
+    let scored = stat_field(&stats, "scored_apps");
+    assert!(
+        scored >= total,
+        "stats lost requests: scored {scored} < sent {total} in {text}"
+    );
+    assert!(
+        stat_field(&stats, "batches") <= scored,
+        "batch count cannot exceed scored apps: {text}"
+    );
+    handle.shutdown();
+}
+
+/// Dig `stats.<key>` out of a stats response.
+fn stat_field(response: &Json, key: &str) -> f64 {
+    let Json::Object(obj) = response else {
+        panic!("stats response is not an object");
+    };
+    let Some(Json::Object(stats)) = obj.get("stats") else {
+        panic!("stats response has no stats body");
+    };
+    match stats.get(key) {
+        Some(Json::Number(n)) => *n,
+        other => panic!("stats.{key} missing or non-numeric: {other:?}"),
+    }
+}
+
+#[test]
+fn source_submissions_match_offline_extraction() {
+    let fx = fixture();
+    let handle = start_server(ServeConfig::default());
+    let mut client = connect(handle.addr());
+
+    let source = "fn handle(n: int) -> int {
+        let total: int = 0;
+        let i: int = 0;
+        while i < n {
+            if i > 3 { total = total + i; }
+            i = i + 1;
+        }
+        return total;
+    }";
+    let response = client
+        .score_source("inline-app", source, "c")
+        .expect("score");
+    let (fp, report) = score_parts(&response);
+    assert_eq!(fp, fx.fp_a);
+
+    // Offline reference: same parse, same extraction, same model.
+    let program = minilang::parse_program(
+        "inline-app",
+        Dialect::C,
+        &[("inline-app.src".to_string(), source.to_string())],
+    )
+    .expect("source parses");
+    let fv = Testbed::new().extract(&program);
+    let offline = CompiledModel::load(&fx.path_a)
+        .expect("load")
+        .evaluate_batch(&[("inline-app".to_string(), fv)], 1);
+    assert_eq!(report, security_report_value(&offline[0]).to_string());
+
+    // Unparsable source is a typed bad_request, not a dropped daemon.
+    let response = client
+        .score_source("broken", "fn { not minilang", "c")
+        .expect("round-trip survives");
+    assert_eq!(error_type(&response), Some("bad_request"));
+    handle.shutdown();
+}
+
+#[test]
+fn overload_returns_typed_busy_and_recovers() {
+    let fx = fixture();
+    let handle = start_server(ServeConfig {
+        max_inflight: 2,
+        batch_max: 1,
+        // Hold each admitted request in the backend long enough to
+        // observe the cap deterministically.
+        debug_batch_delay: Duration::from_millis(400),
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    let (name, fv) = &fx.apps[0];
+    let request = Json::object(vec![
+        ("op", Json::String("score".into())),
+        ("name", Json::String(name.clone())),
+        (
+            "features",
+            Json::Object(
+                fv.iter()
+                    .map(|(k, v)| (k.to_string(), Json::Number(v)))
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_string();
+
+    // Two raw connections fill the admission window without waiting for
+    // their responses…
+    let mut held = Vec::new();
+    for _ in 0..2 {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        write_frame(&mut stream, request.as_bytes()).expect("send");
+        held.push(stream);
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // …so the third client must bounce with a typed `busy` error.
+    let mut client = connect(addr);
+    let response = client.score_features(name, fv).expect("round-trip");
+    assert_eq!(
+        error_type(&response),
+        Some("busy"),
+        "over the cap the daemon must refuse, got {response}"
+    );
+
+    // The held requests were admitted, so they still complete — and
+    // once they drain, the same client is served normally.
+    for mut stream in held {
+        let payload = read_frame(&mut stream, &mut || true).expect("held response");
+        let response = serve::json::parse(std::str::from_utf8(&payload).unwrap()).unwrap();
+        let (fp, report) = score_parts(&response);
+        assert_eq!(fp, fx.fp_a);
+        assert_eq!(&report, &fx.expected_a[name]);
+    }
+    let response = client.score_features(name, fv).expect("retry");
+    let (_, report) = score_parts(&response);
+    assert_eq!(&report, &fx.expected_a[name]);
+    handle.shutdown();
+}
+
+#[test]
+fn protocol_garbage_never_wedges_the_accept_loop() {
+    let fx = fixture();
+    let handle = start_server(ServeConfig::default());
+    let addr = handle.addr();
+
+    // Seeded splitmix64: the byte soup is reproducible.
+    let mut state = 0x5EED_5EED_5EED_5EEDu64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+
+    for round in 0..60 {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let case = next() % 8;
+        let expect_reply = match case {
+            // Unframed random bytes, then disconnect.
+            0 => {
+                let junk: Vec<u8> = (0..(next() % 64)).map(|_| (next() & 0xFF) as u8).collect();
+                use std::io::Write as _;
+                let _ = stream.write_all(&junk);
+                false
+            }
+            // Oversized length prefix.
+            1 => {
+                use std::io::Write as _;
+                let len =
+                    (serve::protocol::MAX_FRAME as u32).saturating_add(1 + (next() as u32 % 1000));
+                let _ = stream.write_all(&len.to_le_bytes());
+                let _ = stream.write_all(b"xx");
+                false
+            }
+            // Truncated frame: header promises more than is sent.
+            2 => {
+                use std::io::Write as _;
+                let _ = stream.write_all(&100u32.to_le_bytes());
+                let _ = stream.write_all(b"only a few bytes");
+                false
+            }
+            // Mid-header disconnect.
+            3 => {
+                use std::io::Write as _;
+                let _ = stream.write_all(&[7u8, 0]);
+                false
+            }
+            // Framed invalid UTF-8.
+            4 => {
+                write_frame(&mut stream, &[0xFF, 0xFE, 0x80, 0x81]).unwrap();
+                true
+            }
+            // Framed UTF-8 that is not JSON.
+            5 => {
+                write_frame(&mut stream, b"score please!").unwrap();
+                true
+            }
+            // Framed JSON with an unknown or missing op.
+            6 => {
+                write_frame(&mut stream, b"{\"op\":\"frobnicate\"}").unwrap();
+                true
+            }
+            // Empty frame.
+            _ => {
+                write_frame(&mut stream, b"").unwrap();
+                true
+            }
+        };
+        if expect_reply {
+            // In-sync payload problems must produce a typed error on a
+            // still-open connection.
+            let payload = read_frame(&mut stream, &mut || true)
+                .unwrap_or_else(|e| panic!("round {round} case {case}: no reply: {e:?}"));
+            let response =
+                serve::json::parse(std::str::from_utf8(&payload).expect("UTF-8 response"))
+                    .expect("JSON response");
+            assert_eq!(
+                error_type(&response),
+                Some("bad_request"),
+                "round {round} case {case}: {response}"
+            );
+        }
+        drop(stream);
+
+        // The daemon must still serve a well-formed client immediately.
+        if round % 10 == 9 {
+            let mut client = connect(addr);
+            assert!(is_ok(&client.health().expect("health after garbage")));
+        }
+    }
+
+    // Full scoring still works after the bombardment.
+    let mut client = connect(addr);
+    let (name, fv) = &fx.apps[1];
+    let response = client.score_features(name, fv).expect("score");
+    let (_, report) = score_parts(&response);
+    assert_eq!(&report, &fx.expected_a[name]);
+    handle.shutdown();
+}
+
+#[test]
+fn hot_reload_race_keeps_every_response_consistent() {
+    let fx = fixture();
+    let handle = start_server(ServeConfig {
+        batch_max: 3,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+
+    const SCORERS: usize = 4;
+    const REQUESTS: usize = 25;
+    std::thread::scope(|scope| {
+        for c in 0..SCORERS {
+            scope.spawn(move || {
+                let mut client = connect(addr);
+                for i in 0..REQUESTS {
+                    let (name, fv) = &fx.apps[(i + c) % fx.apps.len()];
+                    let response = client.score_features(name, fv).expect("score");
+                    let (fp, report) = score_parts(&response);
+                    // The one consistency a hot swap must preserve: the
+                    // response pairs a fingerprint with the report that
+                    // model produces — never a hybrid.
+                    let expected = if fp == fx.fp_a {
+                        &fx.expected_a[name]
+                    } else if fp == fx.fp_b {
+                        &fx.expected_b[name]
+                    } else {
+                        panic!("fingerprint {fp} is neither fixture model");
+                    };
+                    assert_eq!(
+                        &report, expected,
+                        "report/fingerprint mismatch for {name} under {fp}"
+                    );
+                }
+            });
+        }
+        scope.spawn(move || {
+            let mut client = connect(addr);
+            for i in 0..10 {
+                let path = if i % 2 == 0 { &fx.path_b } else { &fx.path_a };
+                let response = client.reload(Some(path.to_str().unwrap())).expect("reload");
+                assert!(is_ok(&response), "reload failed: {response}");
+                std::thread::sleep(Duration::from_millis(15));
+            }
+        });
+    });
+
+    // A reload pointed at garbage keeps the old model serving.
+    let bogus = std::env::temp_dir().join(format!(
+        "clairvoyant-serve-bogus-{}.clvy",
+        std::process::id()
+    ));
+    std::fs::write(&bogus, b"not a model").unwrap();
+    let mut client = connect(addr);
+    let response = client
+        .reload(Some(bogus.to_str().unwrap()))
+        .expect("reload");
+    assert_eq!(error_type(&response), Some("bad_request"));
+    let (name, fv) = &fx.apps[0];
+    let response = client.score_features(name, fv).expect("score");
+    let (fp, _) = score_parts(&response);
+    assert!(fp == fx.fp_a || fp == fx.fp_b);
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_admitted_requests() {
+    let fx = fixture();
+    let handle = start_server(ServeConfig {
+        batch_max: 1,
+        debug_batch_delay: Duration::from_millis(250),
+        // Generous poll tick: the post-shutdown probe below must reach
+        // its handler before the handler notices the flag and exits.
+        poll_tick: Duration::from_millis(300),
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    let (name, fv) = &fx.apps[2];
+    let request = Json::object(vec![
+        ("op", Json::String("score".into())),
+        ("name", Json::String(name.clone())),
+        (
+            "features",
+            Json::Object(
+                fv.iter()
+                    .map(|(k, v)| (k.to_string(), Json::Number(v)))
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_string();
+
+    // Admit three slow requests, then ask the daemon to shut down while
+    // they are still in flight.
+    let mut held = Vec::new();
+    for _ in 0..3 {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        write_frame(&mut stream, request.as_bytes()).expect("send");
+        held.push(stream);
+    }
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut admin = connect(addr);
+    let response = admin.shutdown().expect("shutdown round-trip");
+    assert!(is_ok(&response), "shutdown refused: {response}");
+
+    // New work is refused while draining…
+    let refused = admin.score_features(name, fv).expect("drain refusal");
+    assert_eq!(error_type(&refused), Some("shutting_down"));
+
+    // …but everything admitted before the shutdown still completes,
+    // bit-identical as ever.
+    for mut stream in held {
+        let payload = read_frame(&mut stream, &mut || true).expect("drained response");
+        let response = serve::json::parse(std::str::from_utf8(&payload).unwrap()).unwrap();
+        let (fp, report) = score_parts(&response);
+        assert_eq!(fp, fx.fp_a);
+        assert_eq!(&report, &fx.expected_a[name]);
+    }
+
+    // The handle observes the wire-triggered shutdown and joins; the
+    // port stops accepting.
+    handle.wait();
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "listener must be closed after drain"
+    );
+}
