@@ -420,6 +420,7 @@ fn query_cmd(args: &[String]) -> Result<ExitCode, String> {
                 return Err("query score needs input files".into());
             }
             let mut failed = false;
+            let mut refused_busy = false;
             for path in paths {
                 let source = std::fs::read_to_string(path)
                     .map_err(|e| format!("cannot read `{path}`: {e}"))?;
@@ -437,10 +438,21 @@ fn query_cmd(args: &[String]) -> Result<ExitCode, String> {
                 } else {
                     println!("{path}: error: {response}");
                 }
-                failed |= !is_ok(&response);
+                if !is_ok(&response) {
+                    if error_type(&response) == Some("busy") {
+                        refused_busy = true;
+                    } else {
+                        failed = true;
+                    }
+                }
             }
+            // Same contract as print_response: hard failures exit 1,
+            // overload-only refusals exit 3 so retry scripts can back
+            // off and resubmit.
             Ok(if failed {
                 ExitCode::FAILURE
+            } else if refused_busy {
+                ExitCode::from(3)
             } else {
                 ExitCode::SUCCESS
             })

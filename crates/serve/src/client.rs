@@ -15,6 +15,11 @@ use std::time::Duration;
 /// A blocking connection to a scoring daemon.
 pub struct Client {
     stream: TcpStream,
+    /// Set when a response timed out or the stream desynced: the late
+    /// response may still arrive, so another roundtrip on this
+    /// connection would read a stale answer. Poisoned clients refuse
+    /// further requests; callers must reconnect.
+    poisoned: bool,
 }
 
 impl Client {
@@ -24,7 +29,10 @@ impl Client {
         stream
             .set_nodelay(true)
             .map_err(|e| format!("cannot configure socket: {e}"))?;
-        Ok(Client { stream })
+        Ok(Client {
+            stream,
+            poisoned: false,
+        })
     }
 
     /// Cap how long a single request may wait for its response.
@@ -36,11 +44,35 @@ impl Client {
 
     /// Send one raw request payload and return the parsed response.
     pub fn roundtrip_raw(&mut self, payload: &[u8]) -> Result<Json, String> {
+        if self.poisoned {
+            return Err(
+                "connection is poisoned by an earlier timeout or framing error; reconnect".into(),
+            );
+        }
         write_frame(&mut self.stream, payload).map_err(|e| format!("cannot send request: {e}"))?;
-        let response = read_frame(&mut self.stream, &mut || false).map_err(|e| match e {
-            FrameError::Closed => "server closed the connection".to_string(),
-            FrameError::Desync(m) => format!("response framing broke: {m}"),
-            FrameError::Io(e) => format!("cannot read response: {e}"),
+        // `keep_waiting` is only consulted on a read timeout, so if it
+        // runs at all the wait exceeded `set_timeout` — distinguish that
+        // from the server actually closing the connection.
+        let mut timed_out = false;
+        let response = read_frame(&mut self.stream, &mut || {
+            timed_out = true;
+            false
+        })
+        .map_err(|e| {
+            if timed_out {
+                // The response is still in flight; a later roundtrip
+                // would read it as its own answer. Refuse reuse.
+                self.poisoned = true;
+                return "timed out waiting for the response; reconnect before retrying".into();
+            }
+            match e {
+                FrameError::Closed => "server closed the connection".to_string(),
+                FrameError::Desync(m) => {
+                    self.poisoned = true;
+                    format!("response framing broke: {m}")
+                }
+                FrameError::Io(e) => format!("cannot read response: {e}"),
+            }
         })?;
         let text =
             std::str::from_utf8(&response).map_err(|e| format!("response is not UTF-8: {e}"))?;

@@ -151,6 +151,11 @@ impl<'a> Parser<'a> {
         if self.pos == digits_from {
             return Err(format!("invalid number at byte {start}"));
         }
+        // RFC 8259: the integer part is `0` or a non-zero digit followed
+        // by more digits — `01` and `-012.5` are not JSON.
+        if self.bytes[digits_from] == b'0' && self.pos - digits_from > 1 {
+            return Err(format!("leading zero in number at byte {start}"));
+        }
         if self.peek() == Some(b'.') {
             self.pos += 1;
             let frac_from = self.pos;
@@ -287,6 +292,12 @@ mod tests {
         assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
         assert_eq!(parse("false").unwrap(), Json::Bool(false));
         assert_eq!(parse("-3.25e2").unwrap(), Json::Number(-325.0));
+        // Zero may stand alone before `.`/`e`/end — only `0` followed by
+        // more integer digits is rejected.
+        assert_eq!(parse("0").unwrap(), Json::Number(0.0));
+        assert_eq!(parse("-0.5").unwrap(), Json::Number(-0.5));
+        assert_eq!(parse("0e2").unwrap(), Json::Number(0.0));
+        assert_eq!(parse("10").unwrap(), Json::Number(10.0));
         assert_eq!(parse("\"a\\nb\"").unwrap(), Json::String("a\nb".into()));
     }
 
@@ -333,6 +344,9 @@ mod tests {
             "{\"a\" 1}",
             "nul",
             "01x",
+            "01",
+            "-012.5",
+            "00",
             "--1",
             "1.",
             "1e",

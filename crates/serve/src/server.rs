@@ -474,6 +474,21 @@ fn score(shared: &Arc<Shared>, name: String, input: ScoreInput) -> Json {
         );
     }
 
+    // Re-check the flag now that the slot is held: shutdown may have
+    // started between the first check and the increment, and the batcher
+    // may already have observed `shutting_down && inflight == 0` and
+    // exited — queueing here would leave this request waiting forever.
+    // With SeqCst on both the increment and the flag, reading `false`
+    // here guarantees the batcher's exit check sees `inflight >= 1` and
+    // stays alive to drain the job.
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        return error_response(
+            "shutting_down",
+            "server is draining; not accepting new work",
+        );
+    }
+
     let (reply, result) = mpsc::channel();
     {
         let mut queue = shared.queue.lock().unwrap();
@@ -533,7 +548,26 @@ fn batcher_loop(shared: &Arc<Shared>) {
             .iter()
             .map(|job| (job.name.clone(), job.features.clone()))
             .collect();
-        let reports = model.compiled.evaluate_batch(&apps, shared.config.jobs);
+        // Panic isolation: a poisoned feature row must not kill the
+        // batcher thread — that would wedge every queued handler (live
+        // Senders, recv() blocks forever) and leak the in-flight slots.
+        // On panic, answer each job in the failed batch with an internal
+        // error (dropping the Sender fails the handler's recv), release
+        // the slots, and keep serving.
+        let scored = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            model.compiled.evaluate_batch(&apps, shared.config.jobs)
+        }));
+        let reports = match scored {
+            Ok(reports) => reports,
+            Err(_) => {
+                shared.stats.batch_panics.fetch_add(1, Ordering::Relaxed);
+                for job in batch {
+                    drop(job.reply);
+                    shared.inflight.fetch_sub(1, Ordering::SeqCst);
+                }
+                continue;
+            }
+        };
         if !shared.config.debug_batch_delay.is_zero() {
             std::thread::sleep(shared.config.debug_batch_delay);
         }

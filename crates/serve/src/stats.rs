@@ -118,6 +118,10 @@ pub struct ServiceStats {
     /// `batches < scored` means micro-batching is actually coalescing.
     pub scored_apps: AtomicU64,
     pub batches: AtomicU64,
+    /// Batches whose scoring panicked; every job in them was answered
+    /// with an `internal` error. Non-zero here means a model or feature
+    /// row is tripping a bug — worth alerting on.
+    pub batch_panics: AtomicU64,
 }
 
 impl ServiceStats {
@@ -141,6 +145,7 @@ impl ServiceStats {
             ("desyncs", n(&self.desyncs)),
             ("scored_apps", n(&self.scored_apps)),
             ("batches", n(&self.batches)),
+            ("batch_panics", n(&self.batch_panics)),
             ("inflight", Json::Number(inflight as f64)),
             ("queue_depth", Json::Number(queue_depth as f64)),
         ])

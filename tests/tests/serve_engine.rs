@@ -472,6 +472,39 @@ fn hot_reload_race_keeps_every_response_consistent() {
 }
 
 #[test]
+fn response_timeout_poisons_the_client_connection() {
+    let fx = fixture();
+    let handle = start_server(ServeConfig {
+        batch_max: 1,
+        // Hold the response long past the client's timeout.
+        debug_batch_delay: Duration::from_millis(600),
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_millis(100)))
+        .expect("set timeout");
+    let (name, fv) = &fx.apps[0];
+    let err = client.score_features(name, fv).expect_err("must time out");
+    assert!(err.contains("timed out"), "wrong timeout error: {err}");
+
+    // The late response is still in flight on this connection; a second
+    // roundtrip would read it as its own answer, so the client must
+    // refuse reuse instead of silently desyncing.
+    let err = client
+        .score_features(name, fv)
+        .expect_err("poisoned client must refuse reuse");
+    assert!(err.contains("poisoned"), "wrong poisoned error: {err}");
+
+    // A fresh connection is unaffected.
+    let mut fresh = connect(handle.addr());
+    let response = fresh.score_features(name, fv).expect("score");
+    let (_, report) = score_parts(&response);
+    assert_eq!(&report, &fx.expected_a[name]);
+    handle.shutdown();
+}
+
+#[test]
 fn graceful_shutdown_drains_admitted_requests() {
     let fx = fixture();
     let handle = start_server(ServeConfig {
