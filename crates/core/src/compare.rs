@@ -7,19 +7,77 @@
 //! change has raised or lowered the risk than the previous version of the
 //! code"* — [`version_delta`].
 
+use crate::explain::Explanation;
 use crate::metric::SecurityReport;
+use crate::score::CompiledModel;
+use crate::testbed::Testbed;
 use crate::train::TrainedModel;
 use minilang::ast::Program;
 use std::fmt;
+
+/// How many per-feature deltas a comparison keeps.
+const MAX_DELTAS: usize = 10;
+
+/// One feature's exact risk-credit difference between two candidates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureDelta {
+    pub feature: String,
+    /// Risk credit in candidate `a` (see [`Explanation::risk_contributions`]).
+    pub a: f64,
+    /// Risk credit in candidate `b`.
+    pub b: f64,
+    /// `b − a` (positive: this property makes b riskier).
+    pub delta: f64,
+}
 
 /// Outcome of an A/B comparison.
 #[derive(Debug, Clone)]
 pub struct Comparison {
     pub a: SecurityReport,
     pub b: SecurityReport,
+    /// Attribution-backed per-feature deltas, largest |delta| first —
+    /// "b is riskier because branch-density +0.31, taint-sinks +0.22".
+    pub deltas: Vec<FeatureDelta>,
 }
 
 impl Comparison {
+    /// Build a comparison from two full explanations: the reports carry
+    /// over, and per-feature risk credits difference into ranked deltas
+    /// (|delta| descending, ties by feature name, top ten kept). Used by
+    /// both [`compare_programs`] and the serving `compare` endpoint, so
+    /// wire responses equal the offline result exactly.
+    pub fn from_explanations(a: &Explanation, b: &Explanation) -> Comparison {
+        let credits_a = a.risk_contributions();
+        let credits_b = b.risk_contributions();
+        let mut deltas: Vec<FeatureDelta> = a
+            .features
+            .iter()
+            .enumerate()
+            .map(|(i, feature)| {
+                let (ca, cb) = (credits_a[i], credits_b[i]);
+                FeatureDelta {
+                    feature: feature.clone(),
+                    a: ca,
+                    b: cb,
+                    delta: cb - ca,
+                }
+            })
+            .filter(|d| d.delta != 0.0)
+            .collect();
+        deltas.sort_by(|x, y| {
+            y.delta
+                .abs()
+                .total_cmp(&x.delta.abs())
+                .then_with(|| x.feature.cmp(&y.feature))
+        });
+        deltas.truncate(MAX_DELTAS);
+        Comparison {
+            a: a.report.clone(),
+            b: b.report.clone(),
+            deltas,
+        }
+    }
+
     /// Name of the lower-risk candidate (ties go to `a`).
     pub fn preferred(&self) -> &str {
         if self.b.risk_score() < self.a.risk_score() {
@@ -51,16 +109,52 @@ impl fmt::Display for Comparison {
             self.b.risk_score(),
             self.b.predicted_vulnerabilities
         )?;
-        write!(f, "prefer `{}`", self.preferred())
+        write!(f, "prefer `{}`", self.preferred())?;
+        if !self.deltas.is_empty() {
+            let riskier = if self.delta() >= 0.0 {
+                &self.b.app
+            } else {
+                &self.a.app
+            };
+            write!(f, "\n`{riskier}` is riskier because:")?;
+            for d in &self.deltas {
+                // Print the credit shift towards the riskier candidate so
+                // the sign reads "how much this property hurts it".
+                let towards = if self.delta() >= 0.0 {
+                    d.delta
+                } else {
+                    -d.delta
+                };
+                write!(f, "\n  {:<28} {towards:+.3}", d.feature)?;
+            }
+        }
+        Ok(())
     }
 }
 
-/// Evaluate two candidate programs and compare.
+/// Evaluate two candidate programs and compare, with attribution-backed
+/// per-feature deltas. Routed through the compiled batched engine; the
+/// reports (and hence [`Comparison::preferred`] / [`Comparison::delta`])
+/// are bit-identical to the old boxed per-program path.
 pub fn compare_programs(model: &TrainedModel, a: &Program, b: &Program) -> Comparison {
-    Comparison {
-        a: model.evaluate(a),
-        b: model.evaluate(b),
-    }
+    compare_programs_compiled(&model.compile(), a, b, 1)
+}
+
+/// [`compare_programs`] against an already-compiled model: both programs
+/// are extracted and explained in one batch over `jobs` workers.
+pub fn compare_programs_compiled(
+    model: &CompiledModel,
+    a: &Program,
+    b: &Program,
+    jobs: usize,
+) -> Comparison {
+    let testbed = Testbed::new();
+    let apps = vec![
+        (a.name.clone(), testbed.extract(a)),
+        (b.name.clone(), testbed.extract(b)),
+    ];
+    let explained = model.explain_batch(&apps, jobs);
+    Comparison::from_explanations(&explained[0], &explained[1])
 }
 
 /// The version-gate verdict.
@@ -197,5 +291,44 @@ mod tests {
         assert!(cmp.to_string().contains("prefer"));
         let delta = version_delta(m, &program("a", SAFE), &program("a", RISKY));
         assert!(delta.to_string().contains("RAISED"));
+    }
+
+    #[test]
+    fn comparison_carries_attribution_deltas() {
+        let m = model();
+        let cmp = compare_programs(m, &program("a", SAFE), &program("b", RISKY));
+        assert!(!cmp.deltas.is_empty(), "distinct programs must differ");
+        assert!(cmp.deltas.len() <= 10);
+        // Ranked by |delta| descending, and each delta is exact b − a.
+        for pair in cmp.deltas.windows(2) {
+            assert!(pair[0].delta.abs() >= pair[1].delta.abs());
+        }
+        for d in &cmp.deltas {
+            assert_eq!(d.delta.to_bits(), (d.b - d.a).to_bits());
+        }
+        assert!(cmp.to_string().contains("riskier because"));
+        // Identical inputs produce no deltas.
+        let same = compare_programs(m, &program("x", SAFE), &program("x", SAFE));
+        assert!(same.deltas.is_empty());
+        assert!(!same.to_string().contains("riskier because"));
+    }
+
+    #[test]
+    fn compiled_route_matches_trained_route() {
+        let m = model();
+        let compiled = m.compile();
+        let a = program("a", SAFE);
+        let b = program("b", RISKY);
+        let via_model = compare_programs(m, &a, &b);
+        let via_compiled = compare_programs_compiled(&compiled, &a, &b, 4);
+        assert_eq!(via_model.preferred(), via_compiled.preferred());
+        assert_eq!(via_model.delta().to_bits(), via_compiled.delta().to_bits());
+        assert_eq!(via_model.deltas, via_compiled.deltas);
+        // And the reports equal the boxed per-program reference bitwise.
+        let boxed = m.evaluate(&a);
+        assert_eq!(
+            boxed.risk_score().to_bits(),
+            via_compiled.a.risk_score().to_bits()
+        );
     }
 }

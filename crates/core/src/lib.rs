@@ -44,6 +44,7 @@
 pub mod ablation;
 pub mod compare;
 pub mod dynamic;
+pub mod explain;
 pub mod extract;
 pub mod files;
 pub mod hypothesis;
@@ -56,7 +57,10 @@ pub mod system;
 pub mod testbed;
 pub mod train;
 
-pub use compare::{compare_programs, version_delta, Comparison};
+pub use compare::{
+    compare_programs, compare_programs_compiled, version_delta, Comparison, FeatureDelta,
+};
+pub use explain::{rank_hotspots, Explanation, Hotspot, ModelExplanation};
 pub use extract::{extract_corpus, CorpusFeatures};
 pub use hypothesis::{standard_battery, Hypothesis};
 pub use metric::SecurityReport;
@@ -73,7 +77,8 @@ pub use train::{Learner, TrainedModel, Trainer, TrainingReport};
 
 /// Convenient re-exports for examples and benches.
 pub mod prelude {
-    pub use crate::compare::{compare_programs, version_delta};
+    pub use crate::compare::{compare_programs, compare_programs_compiled, version_delta};
+    pub use crate::explain::{rank_hotspots, Explanation, Hotspot, ModelExplanation};
     pub use crate::extract::{extract_corpus, CorpusFeatures};
     pub use crate::hypothesis::{standard_battery, Hypothesis};
     pub use crate::metric::SecurityReport;

@@ -5,6 +5,8 @@
 //! JSON writer instead of pulling `serde_json`; the value model covers
 //! everything the reports need.
 
+use crate::compare::Comparison;
+use crate::explain::Explanation;
 use crate::metric::SecurityReport;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -177,6 +179,118 @@ pub fn security_report_value(report: &SecurityReport) -> Json {
     ])
 }
 
+/// Serialize an [`Explanation`] to a JSON string.
+pub fn explanation_json(explanation: &Explanation) -> String {
+    explanation_value(explanation).to_string()
+}
+
+/// Build the [`Json`] value for an [`Explanation`]: the embedded report,
+/// the feature-name column order, every model's exact decomposition, and
+/// any function hotspots. The serving daemon's `explain` responses embed
+/// this same value, so wire output equals offline output exactly.
+pub fn explanation_value(explanation: &Explanation) -> Json {
+    let models: Vec<Json> = explanation
+        .models
+        .iter()
+        .map(|m| {
+            Json::object(vec![
+                ("target", Json::String(m.target.clone())),
+                ("baseline", Json::Number(m.baseline)),
+                ("score", Json::Number(m.score)),
+                ("prediction", Json::Number(m.prediction)),
+                (
+                    "contributions",
+                    Json::Array(m.contributions.iter().map(|&c| Json::Number(c)).collect()),
+                ),
+            ])
+        })
+        .collect();
+    let hotspots: Vec<Json> = explanation
+        .hotspots
+        .iter()
+        .map(|h| {
+            Json::object(vec![
+                ("function", Json::String(h.function.clone())),
+                ("score", Json::Number(h.score)),
+                ("complexity", Json::Number(h.complexity as f64)),
+                ("bin", Json::Number(h.bin as f64)),
+                (
+                    "signals",
+                    Json::Array(
+                        h.signals
+                            .iter()
+                            .map(|(name, v)| {
+                                Json::object(vec![
+                                    ("signal", Json::String(name.clone())),
+                                    ("value", Json::Number(*v)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    let top: Vec<Json> = explanation
+        .top_risk_features(5)
+        .into_iter()
+        .map(|(feature, credit)| {
+            Json::object(vec![
+                ("feature", Json::String(feature)),
+                ("risk_credit", Json::Number(credit)),
+            ])
+        })
+        .collect();
+    Json::object(vec![
+        ("report", security_report_value(&explanation.report)),
+        (
+            "features",
+            Json::Array(
+                explanation
+                    .features
+                    .iter()
+                    .map(|f| Json::String(f.clone()))
+                    .collect(),
+            ),
+        ),
+        ("models", Json::Array(models)),
+        ("hotspots", Json::Array(hotspots)),
+        ("top_risk_features", Json::Array(top)),
+    ])
+}
+
+/// Serialize a [`Comparison`] to a JSON string.
+pub fn comparison_json(comparison: &Comparison) -> String {
+    comparison_value(comparison).to_string()
+}
+
+/// Build the [`Json`] value for a [`Comparison`] — both reports, the
+/// verdict, and the attribution-backed per-feature deltas.
+pub fn comparison_value(comparison: &Comparison) -> Json {
+    let deltas: Vec<Json> = comparison
+        .deltas
+        .iter()
+        .map(|d| {
+            Json::object(vec![
+                ("feature", Json::String(d.feature.clone())),
+                ("a", Json::Number(d.a)),
+                ("b", Json::Number(d.b)),
+                ("delta", Json::Number(d.delta)),
+            ])
+        })
+        .collect();
+    Json::object(vec![
+        ("a", security_report_value(&comparison.a)),
+        ("b", security_report_value(&comparison.b)),
+        (
+            "preferred",
+            Json::String(comparison.preferred().to_string()),
+        ),
+        ("delta", Json::Number(comparison.delta())),
+        ("deltas", Json::Array(deltas)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +351,60 @@ mod tests {
         assert!(json.contains(r#""hypothesis":"cvss_gt_7""#));
         assert!(json.contains(r#""advice":"fix it""#));
         // Must be structurally valid enough to round-trip braces.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn explanation_and_comparison_serialize() {
+        let report = SecurityReport {
+            app: "demo".into(),
+            predicted_vulnerabilities: 1.0,
+            high_severity_risk: None,
+            network_risk: None,
+            hypotheses: vec![],
+            severity_counts: vec![],
+            structural_risk: 0.0,
+            attributions: vec![],
+            hints: vec![],
+        };
+        let explanation = crate::explain::Explanation {
+            report: report.clone(),
+            features: vec!["taint.flows".into()],
+            models: vec![crate::explain::ModelExplanation {
+                target: "count".into(),
+                baseline: 0.5,
+                score: 0.75,
+                prediction: 4.25,
+                contributions: vec![0.25],
+            }],
+            hotspots: vec![crate::explain::Hotspot {
+                function: "handle".into(),
+                score: 1.5,
+                complexity: 3,
+                bin: 2,
+                signals: vec![("taint.flows".into(), 1.5)],
+            }],
+        };
+        let json = explanation_json(&explanation);
+        assert!(json.contains(r#""target":"count""#));
+        assert!(json.contains(r#""contributions":[0.25]"#));
+        assert!(json.contains(r#""function":"handle""#));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+        let comparison = Comparison {
+            a: report.clone(),
+            b: report,
+            deltas: vec![crate::compare::FeatureDelta {
+                feature: "taint.flows".into(),
+                a: 0.1,
+                b: 0.4,
+                delta: 0.30000000000000004,
+            }],
+        };
+        let json = comparison_json(&comparison);
+        assert!(json.contains(r#""preferred":"demo""#));
+        // Shortest-roundtrip float printing preserves exact bits.
+        assert!(json.contains(r#""delta":0.30000000000000004"#));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

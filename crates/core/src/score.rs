@@ -91,6 +91,43 @@ impl CompiledModel {
         self.hypotheses.len()
     }
 
+    /// Prepare every app's model-input row, fanned out over `jobs`
+    /// workers in contiguous chunks through one reused scratch pair per
+    /// chunk (satellite of the batching work: the old path allocated a
+    /// schema-width vector per app). Chunks are flattened in order, so
+    /// the row layout does not depend on `jobs`. Shared by
+    /// [`evaluate_batch`](CompiledModel::evaluate_batch) and the
+    /// explanation engine ([`crate::explain`]).
+    pub(crate) fn prepared_rows(
+        &self,
+        apps: &[(String, FeatureVector)],
+        jobs: usize,
+    ) -> Vec<Vec<f64>> {
+        let chunk_len = apps.len().div_ceil(jobs.max(1)).max(1);
+        let chunks: Vec<&[(String, FeatureVector)]> = apps.chunks(chunk_len).collect();
+        pipeline::parallel_map(jobs, &chunks, |_, chunk| {
+            let mut full = Vec::new();
+            let mut rows = Vec::with_capacity(chunk.len());
+            for (_, fv) in *chunk {
+                let mut row = Vec::with_capacity(self.kept.len());
+                prepare_row_into(
+                    &self.all_feature_names,
+                    self.log_transform,
+                    &self.standardizer,
+                    &self.kept,
+                    fv,
+                    &mut full,
+                    &mut row,
+                );
+                rows.push(row);
+            }
+            rows
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
     /// Score a whole corpus of `(app_name, feature_vector)` pairs into
     /// security reports, in input order.
     ///
@@ -112,34 +149,7 @@ impl CompiledModel {
         } else {
             jobs
         };
-
-        // One scratch pair per worker chunk (satellite of the batching
-        // work: the old path allocated a schema-width vector per app).
-        // Chunks are contiguous and flattened in order, so the row layout
-        // does not depend on `jobs`.
-        let chunk_len = apps.len().div_ceil(jobs.max(1)).max(1);
-        let chunks: Vec<&[(String, FeatureVector)]> = apps.chunks(chunk_len).collect();
-        let rows: Vec<Vec<f64>> = pipeline::parallel_map(jobs, &chunks, |_, chunk| {
-            let mut full = Vec::new();
-            let mut rows = Vec::with_capacity(chunk.len());
-            for (_, fv) in *chunk {
-                let mut row = Vec::with_capacity(self.kept.len());
-                prepare_row_into(
-                    &self.all_feature_names,
-                    self.log_transform,
-                    &self.standardizer,
-                    &self.kept,
-                    fv,
-                    &mut full,
-                    &mut row,
-                );
-                rows.push(row);
-            }
-            rows
-        })
-        .into_iter()
-        .flatten()
-        .collect();
+        let rows = self.prepared_rows(apps, jobs);
         let matrix = ColMatrix::from_rows(&rows);
 
         // Every model × the whole corpus, on the work-stealing pool.

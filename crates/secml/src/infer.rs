@@ -33,16 +33,16 @@ use crate::tree::Node;
 
 /// Rows gathered per scoring block. 64 rows × ~100 features × 8 bytes is
 /// ~50 KiB of scratch — comfortably L2-resident alongside the node table.
-const BLOCK_ROWS: usize = 64;
+pub(crate) const BLOCK_ROWS: usize = 64;
 
 /// Feature sentinel marking a leaf node; the leaf value lives in the
 /// node's `threshold` slot.
-const LEAF: u32 = u32::MAX;
+pub(crate) const LEAF: u32 = u32::MAX;
 
 /// Rows traversed in lockstep by the blocked kernel. Each lane is an
 /// independent root-to-leaf walk, so the loads of `LANES` rows overlap
 /// instead of serializing on one walk's dependency chain.
-const LANES: usize = 16;
+pub(crate) const LANES: usize = 16;
 
 /// Gather `x` into row-major blocks of up to [`BLOCK_ROWS`] rows and hand
 /// each to `f` as `(first_row_index, real_rows, row_major_values)`; rows
@@ -50,7 +50,7 @@ const LANES: usize = 16;
 /// block is padded with all-zero rows up to a [`LANES`] multiple (real
 /// rows first), so the lockstep kernel never needs a scalar tail — sinks
 /// must ignore row indices at or beyond `real_rows`.
-fn for_each_block(x: &ColMatrix, mut f: impl FnMut(usize, usize, &[f64])) {
+pub(crate) fn for_each_block(x: &ColMatrix, mut f: impl FnMut(usize, usize, &[f64])) {
     let width = x.n_cols();
     let mut scratch = vec![0.0; BLOCK_ROWS * width];
     let mut start = 0;
@@ -74,10 +74,10 @@ fn for_each_block(x: &ColMatrix, mut f: impl FnMut(usize, usize, &[f64])) {
 /// unfitted tree compiles to a single leaf holding its default value).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FlatTree {
-    feature: Vec<u32>,
-    threshold: Vec<f64>,
-    left: Vec<u32>,
-    right: Vec<u32>,
+    pub(crate) feature: Vec<u32>,
+    pub(crate) threshold: Vec<f64>,
+    pub(crate) left: Vec<u32>,
+    pub(crate) right: Vec<u32>,
 }
 
 impl FlatTree {
@@ -145,7 +145,7 @@ impl FlatTree {
     /// Max root-to-leaf edge count from every node, via one reverse pass
     /// (children always follow their parent — the preorder invariant
     /// `validate` enforces — so suffix depths are final when read).
-    fn node_depths(&self) -> Vec<u32> {
+    pub(crate) fn node_depths(&self) -> Vec<u32> {
         let n = self.feature.len();
         let mut depth = vec![0u32; n];
         for i in (0..n).rev() {
@@ -161,7 +161,7 @@ impl FlatTree {
     /// (so the `v <= t` select is always false and a finished lane takes
     /// `right`, which self-loops). Split nodes are untouched, so the
     /// kernel makes exactly the decisions `score_from` makes.
-    fn kernel_tables(&self) -> KernelTables {
+    pub(crate) fn kernel_tables(&self) -> KernelTables {
         let mut max_feature = 0;
         let mut feature_right = Vec::with_capacity(self.feature.len());
         let mut threshold = Vec::with_capacity(self.threshold.len());
@@ -314,11 +314,11 @@ impl FlatTree {
 /// are packed into one `u64` (feature high, right low) so a step is one
 /// load fewer. See [`kernel_tables`](FlatTree::kernel_tables).
 #[derive(Debug, Clone)]
-struct KernelTables {
-    feature_right: Vec<u64>,
-    threshold: Vec<f64>,
+pub(crate) struct KernelTables {
+    pub(crate) feature_right: Vec<u64>,
+    pub(crate) threshold: Vec<f64>,
     /// Largest real feature index — the caller's one-time width check.
-    max_feature: u32,
+    pub(crate) max_feature: u32,
 }
 
 /// Flatten a boxed tree root (`None` = unfitted, which predicts
@@ -345,19 +345,25 @@ pub(crate) fn flatten_tree(root: Option<&Node>, default_value: f64) -> FlatTree 
 /// boxed path divides.
 #[derive(Debug, Clone)]
 pub struct FlatForest {
-    roots: Vec<u32>,
-    nodes: FlatTree,
+    pub(crate) roots: Vec<u32>,
+    pub(crate) nodes: FlatTree,
     /// Per-root max depth (not serialized — recomputed from the table),
     /// the lockstep kernel's step budget.
-    depths: Vec<u32>,
+    pub(crate) depths: Vec<u32>,
     /// The kernel's leaf-rewritten node view (not serialized — derived
     /// from `nodes` once at build/decode instead of per scoring call).
-    kernel: KernelTables,
+    pub(crate) kernel: KernelTables,
     /// Number of voting trees as `f64` — the division denominator.
-    n_trees: f64,
+    pub(crate) n_trees: f64,
     /// Prediction when the forest has no trees (0.5 classifier, 0.0
     /// regressor), matching the boxed empty-forest guard.
-    empty_value: f64,
+    pub(crate) empty_value: f64,
+    /// Attribution's derived view (subtree expectations + per-edge
+    /// credits) — like `kernel`, a pure function of the node table, but
+    /// built lazily on the first `attribute_batch`/`attribute_row` so
+    /// scoring-only deployments never pay for it (boxed: it must not
+    /// grow the enum variants scoring matches on).
+    pub(crate) attr: std::sync::OnceLock<Box<crate::attribution::AttrTables>>,
 }
 
 /// Derived caches (`depths`, `kernel`) are excluded: they are functions
@@ -453,6 +459,7 @@ impl FlatForest {
             nodes,
             n_trees: r.get_f64()?,
             empty_value: r.get_f64()?,
+            attr: Default::default(),
         })
     }
 }
@@ -482,6 +489,7 @@ pub(crate) fn flatten_forest<'a>(
         roots,
         nodes,
         empty_value,
+        attr: Default::default(),
     }
 }
 
@@ -528,7 +536,7 @@ fn nb_batch(log_priors: [f64; 2], stats: &[Vec<(f64, f64)>; 2], x: &ColMatrix) -
 /// Squared Euclidean distance with the row-major fold order (truncates at
 /// the shorter operand, like the boxed `zip`).
 #[inline]
-fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+pub(crate) fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 

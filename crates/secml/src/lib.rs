@@ -19,6 +19,7 @@
 //! them — §5.3 of the paper turns those weights into "which code property
 //! drives the predicted risk" developer hints.
 
+pub mod attribution;
 pub mod bytes;
 pub mod dataset;
 pub mod eval;
@@ -33,6 +34,7 @@ pub mod preprocess;
 pub mod select;
 pub mod tree;
 
+pub use attribution::RowAttribution;
 pub use dataset::{ColMatrix, Dataset};
 pub use eval::{ClassificationReport, ConfusionMatrix, RegressionReport};
 pub use infer::{CompiledClassifier, CompiledRegressor, FlatForest, FlatTree};

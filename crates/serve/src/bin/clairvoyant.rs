@@ -22,7 +22,7 @@
 //! `clairvoyant-serve` crate (DESIGN.md §11).
 
 use clairvoyant::prelude::*;
-use clairvoyant::report::{security_report_json, Json};
+use clairvoyant::report::{explanation_json, security_report_json, Json};
 use clairvoyant::Testbed;
 use serve::client::{error_type, is_ok, Client};
 use serve::server::{ModelState, ServeConfig};
@@ -46,6 +46,7 @@ fn main() -> ExitCode {
         "features" => features(rest, &engine),
         "evaluate" => evaluate(rest, &engine, train_jobs),
         "score" => score(rest, &engine, train_jobs),
+        "explain" => explain(rest, &engine, train_jobs),
         "compare" => compare(rest, &engine, train_jobs),
         "gate" => gate(rest, &engine, train_jobs),
         "serve" => serve_cmd(rest, &engine, train_jobs),
@@ -76,7 +77,13 @@ commands:
                               the compiled inference engine; --model loads a
                               saved compiled model (skipping training),
                               --save-model persists the model for reuse
-  compare <fileA> <fileB>     evaluate two candidates, pick the safer one
+  explain [--json] [--model PATH] [--top-k N] <files…>
+                              full explanation for each file: exact per-model
+                              feature attributions plus ranked function
+                              hotspots (--top-k, default 5); --json emits the
+                              machine-readable form
+  compare <fileA> <fileB>     evaluate two candidates, pick the safer one,
+                              and say which code properties drive the gap
   gate <before> <after>       CI gate: exit 1 when the change raises risk
   serve [--addr A] [--model PATH] [--max-inflight N] [--batch-max N]
                               run the scoring daemon; --model serves a saved
@@ -87,6 +94,8 @@ commands:
                                 query health | stats | shutdown
                                 query reload [model.clvy]
                                 query score [--json] <files…>
+                                query explain [--json] [--top-k N] <files…>
+                                query compare <fileA> <fileB>
 
 options (pipeline engine, for commands that train the metric):
   --jobs <N>                  extraction worker threads (0 = all cores)
@@ -305,6 +314,65 @@ fn score(args: &[String], engine: &PipelineConfig, train_jobs: usize) -> Result<
     Ok(ExitCode::SUCCESS)
 }
 
+/// Explain each input file through the compiled engine: exact per-model
+/// attributions plus ranked function hotspots.
+fn explain(
+    args: &[String],
+    engine: &PipelineConfig,
+    train_jobs: usize,
+) -> Result<ExitCode, String> {
+    let mut json = false;
+    let mut model_path: Option<PathBuf> = None;
+    let mut top_k = 5usize;
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--model" => {
+                model_path = Some(PathBuf::from(it.next().ok_or("--model needs a path")?));
+            }
+            "--top-k" => {
+                let value = it.next().ok_or("--top-k needs a number")?;
+                top_k = value
+                    .parse()
+                    .map_err(|_| format!("--top-k: `{value}` is not a number"))?;
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    if paths.is_empty() {
+        return Err("no input files".to_string());
+    }
+
+    let compiled = match &model_path {
+        Some(path) => {
+            let model = CompiledModel::load(path)?;
+            eprintln!("loaded compiled model from `{}`", path.display());
+            model
+        }
+        None => {
+            eprintln!("training the metric (fixed-seed corpus)…");
+            trained_model(engine, train_jobs).compile()
+        }
+    };
+
+    let mut rendered = Vec::new();
+    for path in &paths {
+        let program = load_program(path, std::slice::from_ref(path))?;
+        let explanation = compiled.explain_program(&program, top_k, engine.jobs);
+        if json {
+            rendered.push(explanation_json(&explanation));
+        } else {
+            println!("{explanation}");
+        }
+    }
+    if json {
+        println!("[{}]", rendered.join(","));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn compare(
     args: &[String],
     engine: &PipelineConfig,
@@ -403,7 +471,10 @@ fn query_cmd(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     let Some((op, op_args)) = rest.split_first() else {
-        return Err("query needs an op: health | stats | shutdown | reload | score".into());
+        return Err(
+            "query needs an op: health | stats | shutdown | reload | score | explain | compare"
+                .into(),
+        );
     };
     let mut client = Client::connect(&addr)?;
     match op.as_str() {
@@ -424,13 +495,7 @@ fn query_cmd(args: &[String]) -> Result<ExitCode, String> {
             for path in paths {
                 let source = std::fs::read_to_string(path)
                     .map_err(|e| format!("cannot read `{path}`: {e}"))?;
-                let dialect = match dialect_of(path) {
-                    Dialect::Python => "python",
-                    Dialect::Java => "java",
-                    Dialect::Cpp => "cpp",
-                    Dialect::C => "c",
-                };
-                let response = client.score_source(path, &source, dialect)?;
+                let response = client.score_source(path, &source, dialect_name(path))?;
                 if json {
                     println!("{response}");
                 } else if is_ok(&response) {
@@ -457,7 +522,77 @@ fn query_cmd(args: &[String]) -> Result<ExitCode, String> {
                 ExitCode::SUCCESS
             })
         }
+        "explain" => {
+            let mut json = false;
+            let mut top_k = 5usize;
+            let mut paths: Vec<String> = Vec::new();
+            let mut args = op_args.iter();
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--json" => json = true,
+                    "--top-k" => {
+                        let value = args.next().ok_or("--top-k needs a number")?;
+                        top_k = value
+                            .parse()
+                            .map_err(|_| format!("--top-k: `{value}` is not a number"))?;
+                    }
+                    other => paths.push(other.to_string()),
+                }
+            }
+            if paths.is_empty() {
+                return Err("query explain needs input files".into());
+            }
+            let mut failed = false;
+            let mut refused_busy = false;
+            for path in &paths {
+                let source = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+                let response = client.explain_source(path, &source, dialect_name(path), top_k)?;
+                if json || is_ok(&response) {
+                    println!("{response}");
+                } else {
+                    println!("{path}: error: {response}");
+                }
+                if !is_ok(&response) {
+                    if error_type(&response) == Some("busy") {
+                        refused_busy = true;
+                    } else {
+                        failed = true;
+                    }
+                }
+            }
+            // Same exit contract as `query score`: busy-only refusals
+            // exit 3 so retry scripts can back off and resubmit.
+            Ok(if failed {
+                ExitCode::FAILURE
+            } else if refused_busy {
+                ExitCode::from(3)
+            } else {
+                ExitCode::SUCCESS
+            })
+        }
+        "compare" => {
+            let [a, b] = op_args else {
+                return Err("query compare needs exactly two files".into());
+            };
+            let read = |path: &String| {
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+            };
+            let (sa, sb) = (read(a)?, read(b)?);
+            let response = client.compare_sources((a, &sa), (b, &sb), dialect_name(a))?;
+            print_response(response)
+        }
         other => Err(format!("unknown query op `{other}`")),
+    }
+}
+
+/// The wire name of a path's dialect (mirrors [`dialect_of`]).
+fn dialect_name(path: &str) -> &'static str {
+    match dialect_of(path) {
+        Dialect::Python => "python",
+        Dialect::Java => "java",
+        Dialect::Cpp => "cpp",
+        Dialect::C => "c",
     }
 }
 

@@ -125,16 +125,95 @@ impl Client {
         name: &str,
         features: &static_analysis::FeatureVector,
     ) -> Result<Json, String> {
-        let map = features
-            .iter()
-            .map(|(k, v)| (k.to_string(), Json::Number(v)))
-            .collect();
         self.roundtrip(&Json::object(vec![
             ("op", Json::String("score".into())),
             ("name", Json::String(name.into())),
-            ("features", Json::Object(map)),
+            ("features", features_value(features)),
         ]))
     }
+
+    /// Explain program source text: full per-model attributions plus up
+    /// to `top_k` function hotspots.
+    pub fn explain_source(
+        &mut self,
+        name: &str,
+        source: &str,
+        dialect: &str,
+        top_k: usize,
+    ) -> Result<Json, String> {
+        self.roundtrip(&Json::object(vec![
+            ("op", Json::String("explain".into())),
+            ("name", Json::String(name.into())),
+            ("source", Json::String(source.into())),
+            ("dialect", Json::String(dialect.into())),
+            ("top_k", Json::Number(top_k as f64)),
+        ]))
+    }
+
+    /// Explain a pre-extracted feature vector (no hotspots: the server
+    /// has no program to analyze).
+    pub fn explain_features(
+        &mut self,
+        name: &str,
+        features: &static_analysis::FeatureVector,
+    ) -> Result<Json, String> {
+        self.roundtrip(&Json::object(vec![
+            ("op", Json::String("explain".into())),
+            ("name", Json::String(name.into())),
+            ("features", features_value(features)),
+        ]))
+    }
+
+    /// Compare two source candidates: both are explained in one batch
+    /// and the response carries the attribution-backed deltas.
+    pub fn compare_sources(
+        &mut self,
+        a: (&str, &str),
+        b: (&str, &str),
+        dialect: &str,
+    ) -> Result<Json, String> {
+        let side = |(name, source): (&str, &str)| {
+            Json::object(vec![
+                ("name", Json::String(name.into())),
+                ("source", Json::String(source.into())),
+                ("dialect", Json::String(dialect.into())),
+            ])
+        };
+        self.roundtrip(&Json::object(vec![
+            ("op", Json::String("compare".into())),
+            ("a", side(a)),
+            ("b", side(b)),
+        ]))
+    }
+
+    /// Compare two pre-extracted feature vectors.
+    pub fn compare_features(
+        &mut self,
+        a: (&str, &static_analysis::FeatureVector),
+        b: (&str, &static_analysis::FeatureVector),
+    ) -> Result<Json, String> {
+        let side = |(name, fv): (&str, &static_analysis::FeatureVector)| {
+            Json::object(vec![
+                ("name", Json::String(name.into())),
+                ("features", features_value(fv)),
+            ])
+        };
+        self.roundtrip(&Json::object(vec![
+            ("op", Json::String("compare".into())),
+            ("a", side(a)),
+            ("b", side(b)),
+        ]))
+    }
+}
+
+/// Render a feature vector as the protocol's `features` object.
+fn features_value(features: &static_analysis::FeatureVector) -> Json {
+    Json::Object(
+        features
+            .iter()
+            .map(|(k, v)| (k.to_string(), Json::Number(v)))
+            .collect(),
+    )
 }
 
 /// Pull `response.error.type` out of a failed response, if present.

@@ -19,6 +19,8 @@
 //! {"op":"shutdown"}
 //! {"op":"score","name":"app","source":"fn main(){}","dialect":"c"}
 //! {"op":"score","name":"app","features":{"loc.code":120.0}}
+//! {"op":"explain","name":"app","source":"fn main(){}","dialect":"c","top_k":5}
+//! {"op":"compare","a":{"name":"x","source":"…"},"b":{"name":"y","features":{…}}}
 //! ```
 //!
 //! Responses always carry `"ok"`: `{"ok":true,...}` on success,
@@ -123,17 +125,68 @@ fn read_exactly(
 pub enum Request {
     Health,
     Stats,
-    Reload { path: Option<String> },
+    Reload {
+        path: Option<String>,
+    },
     Shutdown,
-    Score { name: String, input: ScoreInput },
+    Score {
+        name: String,
+        input: ScoreInput,
+    },
+    /// Like `score`, but the response carries the full explanation:
+    /// per-model exact attributions, and (for source submissions)
+    /// function hotspots capped at `top_k`.
+    Explain {
+        name: String,
+        input: ScoreInput,
+        top_k: usize,
+    },
+    /// Explain two candidates in one batch and return the
+    /// attribution-backed comparison.
+    Compare {
+        a: (String, ScoreInput),
+        b: (String, ScoreInput),
+    },
 }
 
-/// What a `score` request submits: program source to run through the
-/// testbed, or a pre-extracted feature vector.
+/// What a scoring-family request submits: program source to run through
+/// the testbed, or a pre-extracted feature vector.
 #[derive(Debug)]
 pub enum ScoreInput {
     Source { text: String, dialect: Dialect },
     Features(FeatureVector),
+}
+
+/// Default hotspot count for `explain` requests without `top_k`.
+pub const DEFAULT_TOP_K: usize = 5;
+
+/// Parse the `source`/`features`/`dialect` triple shared by `score`,
+/// `explain`, and each side of `compare`. `what` names the request in
+/// error messages.
+fn parse_score_input(
+    obj: &std::collections::BTreeMap<String, Json>,
+    what: &str,
+) -> Result<ScoreInput, String> {
+    match (obj.get("source"), obj.get("features")) {
+        (Some(Json::String(text)), None) => Ok(ScoreInput::Source {
+            text: text.clone(),
+            dialect: parse_dialect(json::get_str(obj, "dialect"))?,
+        }),
+        (None, Some(Json::Object(map))) => {
+            let mut fv = FeatureVector::new();
+            for (k, v) in map {
+                match v {
+                    Json::Number(n) => fv.set(k.clone(), *n),
+                    _ => return Err(format!("feature `{k}` must be a number")),
+                }
+            }
+            Ok(ScoreInput::Features(fv))
+        }
+        (Some(_), None) => Err("`source` must be a string".into()),
+        (None, Some(_)) => Err("`features` must be an object".into()),
+        (Some(_), Some(_)) => Err("give either `source` or `features`, not both".into()),
+        (None, None) => Err(format!("{what} needs `source` or `features`")),
+    }
 }
 
 impl Request {
@@ -155,31 +208,34 @@ impl Request {
             }),
             Some("score") => {
                 let name = json::get_str(&obj, "name").unwrap_or("app").to_string();
-                let input = match (obj.get("source"), obj.get("features")) {
-                    (Some(Json::String(text)), None) => ScoreInput::Source {
-                        text: text.clone(),
-                        dialect: parse_dialect(json::get_str(&obj, "dialect"))?,
-                    },
-                    (None, Some(Json::Object(map))) => {
-                        let mut fv = FeatureVector::new();
-                        for (k, v) in map {
-                            match v {
-                                Json::Number(n) => fv.set(k.clone(), *n),
-                                _ => {
-                                    return Err(format!("feature `{k}` must be a number"));
-                                }
-                            }
-                        }
-                        ScoreInput::Features(fv)
-                    }
-                    (Some(_), None) => return Err("`source` must be a string".into()),
-                    (None, Some(_)) => return Err("`features` must be an object".into()),
-                    (Some(_), Some(_)) => {
-                        return Err("give either `source` or `features`, not both".into());
-                    }
-                    (None, None) => return Err("score needs `source` or `features`".into()),
-                };
+                let input = parse_score_input(&obj, "score")?;
                 Ok(Request::Score { name, input })
+            }
+            Some("explain") => {
+                let name = json::get_str(&obj, "name").unwrap_or("app").to_string();
+                let input = parse_score_input(&obj, "explain")?;
+                let top_k = match obj.get("top_k") {
+                    None => DEFAULT_TOP_K,
+                    Some(Json::Number(n)) if *n >= 0.0 && n.fract() == 0.0 => *n as usize,
+                    Some(_) => return Err("`top_k` must be a non-negative integer".into()),
+                };
+                Ok(Request::Explain { name, input, top_k })
+            }
+            Some("compare") => {
+                let side = |key: &str| -> Result<(String, ScoreInput), String> {
+                    match obj.get(key) {
+                        Some(Json::Object(sub)) => {
+                            let name = json::get_str(sub, "name").unwrap_or(key).to_string();
+                            Ok((name, parse_score_input(sub, key)?))
+                        }
+                        Some(_) => Err(format!("`{key}` must be an object")),
+                        None => Err(format!("compare needs an `{key}` object")),
+                    }
+                };
+                Ok(Request::Compare {
+                    a: side("a")?,
+                    b: side("b")?,
+                })
             }
             Some(other) => Err(format!("unknown op `{other}`")),
             None => Err("request has no `op` field".into()),
@@ -289,6 +345,50 @@ mod tests {
     }
 
     #[test]
+    fn explain_and_compare_parse() {
+        let r = Request::parse(b"{\"op\":\"explain\",\"name\":\"x\",\"features\":{\"a\":1}}");
+        match r {
+            Ok(Request::Explain { name, top_k, .. }) => {
+                assert_eq!(name, "x");
+                assert_eq!(top_k, DEFAULT_TOP_K);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        let r = Request::parse(b"{\"op\":\"explain\",\"source\":\"s\",\"top_k\":3}");
+        assert!(matches!(r, Ok(Request::Explain { top_k: 3, .. })));
+        let r = Request::parse(
+            b"{\"op\":\"compare\",\"a\":{\"name\":\"x\",\"features\":{\"f\":1}},\
+              \"b\":{\"name\":\"y\",\"source\":\"s\",\"dialect\":\"py\"}}",
+        );
+        match r {
+            Ok(Request::Compare { a, b }) => {
+                assert_eq!(a.0, "x");
+                assert!(matches!(a.1, ScoreInput::Features(_)));
+                assert_eq!(b.0, "y");
+                assert!(matches!(
+                    b.1,
+                    ScoreInput::Source {
+                        dialect: Dialect::Python,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        // Sub-objects default their side's key as the name.
+        let r = Request::parse(
+            b"{\"op\":\"compare\",\"a\":{\"source\":\"s\"},\"b\":{\"source\":\"s\"}}",
+        );
+        match r {
+            Ok(Request::Compare { a, b }) => {
+                assert_eq!(a.0, "a");
+                assert_eq!(b.0, "b");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
     fn bad_requests_are_typed_errors() {
         for bad in [
             &b"\xff\xfe"[..],
@@ -299,8 +399,19 @@ mod tests {
             b"{\"op\":\"score\",\"source\":\"x\",\"features\":{}}",
             b"{\"op\":\"score\",\"source\":\"x\",\"dialect\":\"cobol\"}",
             b"{\"op\":\"score\",\"features\":{\"a\":\"one\"}}",
+            b"{\"op\":\"explain\"}",
+            b"{\"op\":\"explain\",\"source\":\"x\",\"top_k\":-1}",
+            b"{\"op\":\"explain\",\"source\":\"x\",\"top_k\":1.5}",
+            b"{\"op\":\"compare\"}",
+            b"{\"op\":\"compare\",\"a\":{\"source\":\"x\"}}",
+            b"{\"op\":\"compare\",\"a\":\"x\",\"b\":\"y\"}",
+            b"{\"op\":\"compare\",\"a\":{\"source\":\"x\"},\"b\":{}}",
         ] {
-            assert!(Request::parse(bad).is_err());
+            assert!(
+                Request::parse(bad).is_err(),
+                "{:?}",
+                String::from_utf8_lossy(bad)
+            );
         }
     }
 }

@@ -41,8 +41,10 @@ use crate::protocol::{
     error_response, ok_response, read_frame, write_frame, FrameError, Request, ScoreInput,
 };
 use crate::stats::ServiceStats;
-use clairvoyant::report::{security_report_value, Json};
-use clairvoyant::{CompiledModel, SecurityReport, Testbed};
+use clairvoyant::report::{comparison_value, explanation_value, security_report_value, Json};
+use clairvoyant::{
+    rank_hotspots, Comparison, CompiledModel, Explanation, Hotspot, SecurityReport, Testbed,
+};
 use std::collections::VecDeque;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -131,18 +133,36 @@ fn fingerprint_bytes(bytes: &[u8]) -> u64 {
     pipeline::fnv::hash_bytes(bytes)
 }
 
-/// One admitted score request waiting for the batcher.
-struct ScoreJob {
-    name: String,
-    features: static_analysis::FeatureVector,
-    reply: mpsc::Sender<(SecurityReport, u64)>,
+/// One admitted request waiting for the batcher. Every variant holds one
+/// admission slot; `Compare` contributes two rows to the batch but still
+/// counts once against the in-flight cap (it is one client waiting).
+enum Job {
+    Score {
+        name: String,
+        features: static_analysis::FeatureVector,
+        reply: mpsc::Sender<(SecurityReport, u64)>,
+    },
+    Explain {
+        name: String,
+        features: static_analysis::FeatureVector,
+        /// Hotspots are computed on the handler thread (they need the
+        /// parsed program, which only source submissions have); the
+        /// batcher attaches them to the finished explanation.
+        hotspots: Vec<Hotspot>,
+        reply: mpsc::Sender<(Explanation, u64)>,
+    },
+    Compare {
+        a: (String, static_analysis::FeatureVector),
+        b: (String, static_analysis::FeatureVector),
+        reply: mpsc::Sender<(Comparison, u64)>,
+    },
 }
 
 /// State shared by every thread of one server.
 struct Shared {
     config: ServeConfig,
     model: Mutex<Arc<ModelState>>,
-    queue: Mutex<VecDeque<ScoreJob>>,
+    queue: Mutex<VecDeque<Job>>,
     queue_signal: Condvar,
     inflight: AtomicUsize,
     shutting_down: AtomicBool,
@@ -396,6 +416,26 @@ fn dispatch(request: Request, shared: &Arc<Shared>, t0: Instant) -> Json {
             stats.latency.record(t0.elapsed());
             response
         }
+        Request::Explain { name, input, top_k } => {
+            let response = explain(shared, name, input, top_k);
+            let stats = &shared.stats.explain;
+            stats.requests.fetch_add(1, Ordering::Relaxed);
+            if !matches!(&response, Json::Object(o) if o.get("ok") == Some(&Json::Bool(true))) {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            stats.latency.record(t0.elapsed());
+            response
+        }
+        Request::Compare { a, b } => {
+            let response = compare(shared, a, b);
+            let stats = &shared.stats.compare;
+            stats.requests.fetch_add(1, Ordering::Relaxed);
+            if !matches!(&response, Json::Object(o) if o.get("ok") == Some(&Json::Bool(true))) {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            stats.latency.record(t0.elapsed());
+            response
+        }
     }
 }
 
@@ -434,31 +474,40 @@ fn reload(shared: &Arc<Shared>, path: Option<&str>) -> Json {
     }
 }
 
-fn score(shared: &Arc<Shared>, name: String, input: ScoreInput) -> Json {
-    if shared.shutting_down.load(Ordering::SeqCst) {
-        return error_response(
-            "shutting_down",
-            "server is draining; not accepting new work",
-        );
-    }
-
-    // Feature extraction runs on the handler thread (it parallelizes
-    // across connections); only the admitted, extracted row enters the
-    // scoring queue.
-    let features = match input {
-        ScoreInput::Features(fv) => fv,
+/// Resolve a scoring-family input on the handler thread (extraction
+/// parallelizes across connections): pre-extracted features pass
+/// through; source is parsed and run through the testbed, returning the
+/// program too so `explain` can rank hotspots.
+fn resolve_input(
+    name: &str,
+    input: ScoreInput,
+) -> Result<
+    (
+        static_analysis::FeatureVector,
+        Option<minilang::ast::Program>,
+    ),
+    Json,
+> {
+    match input {
+        ScoreInput::Features(fv) => Ok((fv, None)),
         ScoreInput::Source { text, dialect } => {
             let files = vec![(format!("{name}.src"), text)];
-            match minilang::parse_program(&name, dialect, &files) {
-                Ok(program) => Testbed::new().extract(&program),
-                Err(e) => return error_response("bad_request", &format!("parse error: {e}")),
+            match minilang::parse_program(name, dialect, &files) {
+                Ok(program) => {
+                    let fv = Testbed::new().extract(&program);
+                    Ok((fv, Some(program)))
+                }
+                Err(e) => Err(error_response("bad_request", &format!("parse error: {e}"))),
             }
         }
-    };
+    }
+}
 
-    // Admission control: reserve an in-flight slot or bounce. The
-    // counter covers queued *and* being-scored requests, so the bound
-    // also caps the batcher's backlog.
+/// Admission control: reserve an in-flight slot or produce the typed
+/// refusal. The counter covers queued *and* being-scored requests, so
+/// the bound also caps the batcher's backlog. On success the caller (or
+/// the batcher it hands the job to) owns the slot.
+fn reserve_slot(shared: &Arc<Shared>) -> Result<(), Json> {
     let max = shared.config.max_inflight;
     if shared
         .inflight
@@ -468,10 +517,10 @@ fn score(shared: &Arc<Shared>, name: String, input: ScoreInput) -> Json {
         .is_err()
     {
         shared.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
-        return error_response(
+        return Err(error_response(
             "busy",
             &format!("admission queue is full ({max} requests in flight); retry later"),
-        );
+        ));
     }
 
     // Re-check the flag now that the slot is held: shutdown may have
@@ -483,22 +532,47 @@ fn score(shared: &Arc<Shared>, name: String, input: ScoreInput) -> Json {
     // stays alive to drain the job.
     if shared.shutting_down.load(Ordering::SeqCst) {
         shared.inflight.fetch_sub(1, Ordering::SeqCst);
-        return error_response(
+        return Err(error_response(
             "shutting_down",
             "server is draining; not accepting new work",
-        );
+        ));
     }
+    Ok(())
+}
 
+/// Queue an admitted job and wake the batcher. The slot travels with it.
+fn enqueue(shared: &Arc<Shared>, job: Job) {
+    shared.queue.lock().unwrap().push_back(job);
+    shared.queue_signal.notify_all();
+}
+
+fn draining_response() -> Json {
+    error_response(
+        "shutting_down",
+        "server is draining; not accepting new work",
+    )
+}
+
+fn score(shared: &Arc<Shared>, name: String, input: ScoreInput) -> Json {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return draining_response();
+    }
+    let (features, _) = match resolve_input(&name, input) {
+        Ok(resolved) => resolved,
+        Err(response) => return response,
+    };
+    if let Err(response) = reserve_slot(shared) {
+        return response;
+    }
     let (reply, result) = mpsc::channel();
-    {
-        let mut queue = shared.queue.lock().unwrap();
-        queue.push_back(ScoreJob {
+    enqueue(
+        shared,
+        Job::Score {
             name,
             features,
             reply,
-        });
-    }
-    shared.queue_signal.notify_all();
+        },
+    );
 
     // The batcher owns the slot now and releases it after replying; if
     // it died (channel closed) report an internal error.
@@ -514,13 +588,95 @@ fn score(shared: &Arc<Shared>, name: String, input: ScoreInput) -> Json {
     }
 }
 
-/// The batcher: drain admitted jobs in arrival order, score each batch
-/// with one `evaluate_batch` call against one model snapshot, reply per
-/// job. Exits only when shutdown is requested *and* every admitted job
-/// has been answered.
+fn explain(shared: &Arc<Shared>, name: String, input: ScoreInput, top_k: usize) -> Json {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return draining_response();
+    }
+    let (features, program) = match resolve_input(&name, input) {
+        Ok(resolved) => resolved,
+        Err(response) => return response,
+    };
+    // Hotspot ranking is per-program static analysis — handler-thread
+    // work, like extraction. Feature-vector submissions have no program
+    // and get no hotspots, matching `CompiledModel::explain_features`.
+    let hotspots = program
+        .as_ref()
+        .map(|p| rank_hotspots(p, top_k))
+        .unwrap_or_default();
+    if let Err(response) = reserve_slot(shared) {
+        return response;
+    }
+    let (reply, result) = mpsc::channel();
+    enqueue(
+        shared,
+        Job::Explain {
+            name,
+            features,
+            hotspots,
+            reply,
+        },
+    );
+    match result.recv() {
+        Ok((explanation, fingerprint)) => ok_response(
+            "explain",
+            vec![
+                ("model", Json::String(format!("{fingerprint:016x}"))),
+                ("explanation", explanation_value(&explanation)),
+            ],
+        ),
+        Err(_) => error_response("internal", "scoring backend dropped the request"),
+    }
+}
+
+fn compare(shared: &Arc<Shared>, a: (String, ScoreInput), b: (String, ScoreInput)) -> Json {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return draining_response();
+    }
+    let (a_features, _) = match resolve_input(&a.0, a.1) {
+        Ok(resolved) => resolved,
+        Err(response) => return response,
+    };
+    let (b_features, _) = match resolve_input(&b.0, b.1) {
+        Ok(resolved) => resolved,
+        Err(response) => return response,
+    };
+    // One comparison = one waiting client = one admission slot, even
+    // though it contributes two rows to the explanation batch.
+    if let Err(response) = reserve_slot(shared) {
+        return response;
+    }
+    let (reply, result) = mpsc::channel();
+    enqueue(
+        shared,
+        Job::Compare {
+            a: (a.0, a_features),
+            b: (b.0, b_features),
+            reply,
+        },
+    );
+    match result.recv() {
+        Ok((comparison, fingerprint)) => ok_response(
+            "compare",
+            vec![
+                ("model", Json::String(format!("{fingerprint:016x}"))),
+                ("comparison", comparison_value(&comparison)),
+            ],
+        ),
+        Err(_) => error_response("internal", "scoring backend dropped the request"),
+    }
+}
+
+/// The batcher: drain admitted jobs in arrival order, partition the
+/// batch into scoring rows (one `evaluate_batch` call) and explanation
+/// rows (`explain` plus both sides of every `compare`, one
+/// `explain_batch` call) against one model snapshot, reply per job.
+/// Mixing rows from different clients is safe: each row's result depends
+/// only on its own features, so responses do not depend on batch
+/// composition. Exits only when shutdown is requested *and* every
+/// admitted job has been answered.
 fn batcher_loop(shared: &Arc<Shared>) {
     loop {
-        let batch: Vec<ScoreJob> = {
+        let batch: Vec<Job> = {
             let mut queue = shared.queue.lock().unwrap();
             while queue.is_empty() {
                 if shared.shutting_down.load(Ordering::SeqCst)
@@ -544,10 +700,22 @@ fn batcher_loop(shared: &Arc<Shared>) {
         // One model snapshot per batch: a concurrent reload swaps the
         // slot for *future* batches; this one finishes on the snapshot.
         let model = shared.current_model();
-        let apps: Vec<(String, static_analysis::FeatureVector)> = batch
-            .iter()
-            .map(|job| (job.name.clone(), job.features.clone()))
-            .collect();
+        let mut score_apps: Vec<(String, static_analysis::FeatureVector)> = Vec::new();
+        let mut explain_apps: Vec<(String, static_analysis::FeatureVector)> = Vec::new();
+        for job in &batch {
+            match job {
+                Job::Score { name, features, .. } => {
+                    score_apps.push((name.clone(), features.clone()));
+                }
+                Job::Explain { name, features, .. } => {
+                    explain_apps.push((name.clone(), features.clone()));
+                }
+                Job::Compare { a, b, .. } => {
+                    explain_apps.push(a.clone());
+                    explain_apps.push(b.clone());
+                }
+            }
+        }
         // Panic isolation: a poisoned feature row must not kill the
         // batcher thread — that would wedge every queued handler (live
         // Senders, recv() blocks forever) and leak the in-flight slots.
@@ -555,14 +723,33 @@ fn batcher_loop(shared: &Arc<Shared>) {
         // error (dropping the Sender fails the handler's recv), release
         // the slots, and keep serving.
         let scored = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            model.compiled.evaluate_batch(&apps, shared.config.jobs)
+            let reports = if score_apps.is_empty() {
+                Vec::new()
+            } else {
+                model
+                    .compiled
+                    .evaluate_batch(&score_apps, shared.config.jobs)
+            };
+            let explanations = if explain_apps.is_empty() {
+                Vec::new()
+            } else {
+                model
+                    .compiled
+                    .explain_batch(&explain_apps, shared.config.jobs)
+            };
+            (reports, explanations)
         }));
-        let reports = match scored {
-            Ok(reports) => reports,
+        let (reports, explanations) = match scored {
+            Ok(results) => results,
             Err(_) => {
                 shared.stats.batch_panics.fetch_add(1, Ordering::Relaxed);
                 for job in batch {
-                    drop(job.reply);
+                    // Dropping the Sender fails the handler's recv().
+                    match job {
+                        Job::Score { reply, .. } => drop(reply),
+                        Job::Explain { reply, .. } => drop(reply),
+                        Job::Compare { reply, .. } => drop(reply),
+                    }
                     shared.inflight.fetch_sub(1, Ordering::SeqCst);
                 }
                 continue;
@@ -571,15 +758,39 @@ fn batcher_loop(shared: &Arc<Shared>) {
         if !shared.config.debug_batch_delay.is_zero() {
             std::thread::sleep(shared.config.debug_batch_delay);
         }
-        shared
-            .stats
-            .scored_apps
-            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        shared.stats.scored_apps.fetch_add(
+            (score_apps.len() + explain_apps.len()) as u64,
+            Ordering::Relaxed,
+        );
         shared.stats.batches.fetch_add(1, Ordering::Relaxed);
-        for (job, report) in batch.into_iter().zip(reports) {
+        // Results come back in partition order, so walking the batch in
+        // order with two cursors reunites every job with its rows.
+        let mut reports = reports.into_iter();
+        let mut explanations = explanations.into_iter();
+        for job in batch {
             // A handler that timed out or died just drops the receiver;
             // the slot must be released either way.
-            let _ = job.reply.send((report, model.fingerprint));
+            match job {
+                Job::Score { reply, .. } => {
+                    let report = reports.next().expect("one report per score job");
+                    let _ = reply.send((report, model.fingerprint));
+                }
+                Job::Explain {
+                    hotspots, reply, ..
+                } => {
+                    let mut explanation = explanations
+                        .next()
+                        .expect("one explanation per explain job");
+                    explanation.hotspots = hotspots;
+                    let _ = reply.send((explanation, model.fingerprint));
+                }
+                Job::Compare { reply, .. } => {
+                    let ea = explanations.next().expect("two explanations per compare");
+                    let eb = explanations.next().expect("two explanations per compare");
+                    let _ =
+                        reply.send((Comparison::from_explanations(&ea, &eb), model.fingerprint));
+                }
+            }
             shared.inflight.fetch_sub(1, Ordering::SeqCst);
         }
     }

@@ -102,6 +102,8 @@ impl EndpointStats {
 #[derive(Debug, Default)]
 pub struct ServiceStats {
     pub score: EndpointStats,
+    pub explain: EndpointStats,
+    pub compare: EndpointStats,
     pub health: EndpointStats,
     pub stats: EndpointStats,
     pub reload: EndpointStats,
@@ -133,6 +135,8 @@ impl ServiceStats {
                 "endpoints",
                 Json::object(vec![
                     ("score", self.score.to_json()),
+                    ("explain", self.explain.to_json()),
+                    ("compare", self.compare.to_json()),
                     ("health", self.health.to_json()),
                     ("stats", self.stats.to_json()),
                     ("reload", self.reload.to_json()),

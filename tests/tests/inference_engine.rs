@@ -177,6 +177,91 @@ fn saved_model_scores_identically_after_reload() {
     }
 }
 
+/// The explanation engine's core invariant, end to end: for every
+/// learner (each on a differently dialect-skewed corpus), every model in
+/// the compiled battery decomposes every row into `baseline + Σ
+/// contributions == score` **bitwise**, the attribution predictions are
+/// bitwise equal to the scoring engine's, the batched path matches the
+/// scalar per-row reference, and none of it depends on the worker count.
+#[test]
+fn attribution_folds_exactly_for_every_learner() {
+    let train_corpus = Corpus::generate(&CorpusConfig::small(16, 20177));
+    let mixes = [[9, 1, 1, 1], [1, 9, 1, 1], [1, 1, 9, 1], [1, 1, 1, 9]];
+    for (i, learner) in Learner::ALL.into_iter().enumerate() {
+        let model = Trainer::with_config(TrainerConfig {
+            learner,
+            ..Default::default()
+        })
+        .train(&train_corpus);
+        let compiled = model.compile();
+        let mut config = CorpusConfig::small(8, 100 + i as u64);
+        config.language_mix = mixes[i % mixes.len()];
+        let apps = extract_apps(&Corpus::generate(&config));
+        let context = format!("learner {learner}, mix {:?}", config.language_mix);
+
+        let scored = compiled.evaluate_batch(&apps, 1);
+        let one = compiled.explain_batch(&apps, 1);
+        let four = compiled.explain_batch(&apps, 4);
+        assert_eq!(one.len(), apps.len(), "{context}");
+
+        for (((e1, e4), report), (name, fv)) in one.iter().zip(&four).zip(&scored).zip(&apps) {
+            // The report assembled from attributions equals the scoring
+            // engine's report bitwise.
+            assert_reports_identical(report, &e1.report, &context);
+
+            // Worker count changes nothing, and the batched kernels match
+            // the scalar per-row attribution walk bit-for-bit.
+            let scalar = compiled.explain_features(name.clone(), fv);
+            for ((m1, m4), ms) in e1.models.iter().zip(&e4.models).zip(&scalar.models) {
+                assert_eq!(m1.target, m4.target, "{context}");
+                assert_eq!(m1.target, ms.target, "{context}");
+                for other in [m4, ms] {
+                    assert_eq!(
+                        m1.baseline.to_bits(),
+                        other.baseline.to_bits(),
+                        "{context}: {} baseline for {name}",
+                        m1.target
+                    );
+                    assert_eq!(
+                        m1.score.to_bits(),
+                        other.score.to_bits(),
+                        "{context}: {} score for {name}",
+                        m1.target
+                    );
+                    assert_eq!(
+                        m1.prediction.to_bits(),
+                        other.prediction.to_bits(),
+                        "{context}: {} prediction for {name}",
+                        m1.target
+                    );
+                    assert_eq!(m1.contributions.len(), other.contributions.len());
+                    for (c1, c2) in m1.contributions.iter().zip(&other.contributions) {
+                        assert_eq!(
+                            c1.to_bits(),
+                            c2.to_bits(),
+                            "{context}: {} contribution for {name}",
+                            m1.target
+                        );
+                    }
+                }
+
+                // The tentpole invariant: baseline + Σ contributions
+                // reproduces the decomposed score exactly.
+                let mut folded = m1.baseline;
+                for c in &m1.contributions {
+                    folded += *c;
+                }
+                assert_eq!(
+                    folded.to_bits(),
+                    m1.score.to_bits(),
+                    "{context}: {} does not fold for {name}",
+                    m1.target
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn system_reports_do_not_depend_on_worker_count() {
     let model = Trainer::with_config(TrainerConfig {

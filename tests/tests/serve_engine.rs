@@ -18,7 +18,7 @@
 //!   typed `busy` error; shutdown answers everything already admitted.
 
 use clairvoyant::prelude::*;
-use clairvoyant::report::{security_report_value, Json};
+use clairvoyant::report::{comparison_value, explanation_value, security_report_value, Json};
 use serve::client::{error_type, is_ok, Client};
 use serve::protocol::{read_frame, write_frame};
 use serve::server::{ModelState, ServeConfig};
@@ -234,6 +234,235 @@ fn source_submissions_match_offline_extraction() {
         .score_source("broken", "fn { not minilang", "c")
         .expect("round-trip survives");
     assert_eq!(error_type(&response), Some("bad_request"));
+    handle.shutdown();
+}
+
+/// Pull the named field of an ok response as serialized JSON.
+fn response_part(response: &Json, key: &str) -> String {
+    assert!(is_ok(response), "request failed: {response}");
+    let Json::Object(obj) = response else {
+        panic!("response is not an object: {response}");
+    };
+    obj.get(key)
+        .unwrap_or_else(|| panic!("response has no `{key}`: {response}"))
+        .to_string()
+}
+
+#[test]
+fn explain_and_compare_wire_responses_match_offline() {
+    let fx = fixture();
+    let handle = start_server(ServeConfig {
+        batch_max: 4,
+        jobs: 2,
+        ..ServeConfig::default()
+    });
+    let mut client = connect(handle.addr());
+    let model = CompiledModel::load(&fx.path_a).expect("load model A");
+
+    // Feature-vector explain: the wire body must equal the offline
+    // scalar reference exactly (no hotspots — there is no program).
+    let (name, fv) = &fx.apps[0];
+    let response = client.explain_features(name, fv).expect("explain");
+    assert_eq!(
+        response_part(&response, "model"),
+        format!("\"{}\"", fx.fp_a)
+    );
+    let offline = explanation_value(&model.explain_features(name.clone(), fv)).to_string();
+    assert_eq!(
+        response_part(&response, "explanation"),
+        offline,
+        "served explanation diverged from offline explain_features"
+    );
+
+    // Source explain: same parse, same extraction, same hotspot ranking
+    // as the offline `explain_program` path.
+    let risky = "@endpoint(network)
+        fn handle(req: str, n: int) {
+            let buf: str[8];
+            strcpy(buf, req);
+            buf[n] = req;
+            system(req);
+        }";
+    let safer = "@endpoint(network)
+        fn handle(req: str, n: int) {
+            if n < 0 || n > 7 { return; }
+            let buf: str[8];
+            strncpy(buf, req, 7);
+            log_msg(\"handled\");
+        }";
+    let response = client
+        .explain_source("inline-app", risky, "c", 3)
+        .expect("explain source");
+    let program = minilang::parse_program(
+        "inline-app",
+        Dialect::C,
+        &[("inline-app.src".to_string(), risky.to_string())],
+    )
+    .expect("source parses");
+    let offline = explanation_value(&model.explain_program(&program, 3, 1)).to_string();
+    let wire = response_part(&response, "explanation");
+    assert_eq!(wire, offline, "served source explanation diverged");
+    assert!(
+        wire.contains("\"function\":\"handle\""),
+        "source explain must surface hotspots: {wire}"
+    );
+
+    // Compare: the wire comparison equals the offline compiled route.
+    let response = client
+        .compare_sources(("libfast", risky), ("libsafe", safer), "c")
+        .expect("compare");
+    let pa = minilang::parse_program(
+        "libfast",
+        Dialect::C,
+        &[("libfast.src".to_string(), risky.to_string())],
+    )
+    .unwrap();
+    let pb = minilang::parse_program(
+        "libsafe",
+        Dialect::C,
+        &[("libsafe.src".to_string(), safer.to_string())],
+    )
+    .unwrap();
+    let offline = comparison_value(&compare_programs_compiled(&model, &pa, &pb, 1)).to_string();
+    assert_eq!(
+        response_part(&response, "comparison"),
+        offline,
+        "served comparison diverged from offline compare_programs_compiled"
+    );
+
+    // The stats endpoint accounts for both new ops.
+    let stats = client.stats().expect("stats");
+    let text = stats.to_string();
+    assert!(
+        text.contains("\"explain\":{") && text.contains("\"compare\":{"),
+        "stats must carry explain/compare endpoint counters: {text}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn mixed_workload_batches_stay_bit_identical() {
+    let fx = fixture();
+    let handle = start_server(ServeConfig {
+        batch_max: 3, // force score/explain/compare rows into shared batches
+        jobs: 2,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    let model = CompiledModel::load(&fx.path_a).expect("load model A");
+
+    // Offline references, computed once.
+    let expected_explanations: BTreeMap<String, String> = fx
+        .apps
+        .iter()
+        .map(|(name, fv)| {
+            let e = model.explain_features(name.clone(), fv);
+            (name.clone(), explanation_value(&e).to_string())
+        })
+        .collect();
+    let expected_compare = {
+        let ea = model.explain_features(fx.apps[0].0.clone(), &fx.apps[0].1);
+        let eb = model.explain_features(fx.apps[1].0.clone(), &fx.apps[1].1);
+        comparison_value(&clairvoyant::Comparison::from_explanations(&ea, &eb)).to_string()
+    };
+
+    std::thread::scope(|scope| {
+        // Scoring clients…
+        for c in 0..2 {
+            scope.spawn(move || {
+                let mut client = connect(addr);
+                for i in 0..fx.apps.len() {
+                    let (name, fv) = &fx.apps[(i + c) % fx.apps.len()];
+                    let response = client.score_features(name, fv).expect("score");
+                    let (_, report) = score_parts(&response);
+                    assert_eq!(&report, &fx.expected_a[name]);
+                }
+            });
+        }
+        // …explain clients…
+        let expected = &expected_explanations;
+        for c in 0..2 {
+            scope.spawn(move || {
+                let mut client = connect(addr);
+                for i in 0..fx.apps.len() {
+                    let (name, fv) = &fx.apps[(i + c + 1) % fx.apps.len()];
+                    let response = client.explain_features(name, fv).expect("explain");
+                    assert_eq!(
+                        response_part(&response, "explanation"),
+                        expected[name],
+                        "mixed-batch explanation diverged for {name}"
+                    );
+                }
+            });
+        }
+        // …and a compare client all interleave into the same batches.
+        let expected = &expected_compare;
+        scope.spawn(move || {
+            let mut client = connect(addr);
+            for _ in 0..6 {
+                let response = client
+                    .compare_features(
+                        (&fx.apps[0].0, &fx.apps[0].1),
+                        (&fx.apps[1].0, &fx.apps[1].1),
+                    )
+                    .expect("compare");
+                assert_eq!(
+                    &response_part(&response, "comparison"),
+                    expected,
+                    "mixed-batch comparison diverged"
+                );
+            }
+        });
+    });
+    handle.shutdown();
+}
+
+#[test]
+fn overloaded_explain_returns_typed_busy() {
+    let fx = fixture();
+    let handle = start_server(ServeConfig {
+        max_inflight: 1,
+        batch_max: 1,
+        debug_batch_delay: Duration::from_millis(400),
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    let (name, fv) = &fx.apps[0];
+
+    // Fill the single admission slot without waiting for the response…
+    let request = Json::object(vec![
+        ("op", Json::String("explain".into())),
+        ("name", Json::String(name.clone())),
+        (
+            "features",
+            Json::Object(
+                fv.iter()
+                    .map(|(k, v)| (k.to_string(), Json::Number(v)))
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_string();
+    let mut held = TcpStream::connect(addr).expect("connect");
+    held.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write_frame(&mut held, request.as_bytes()).expect("send");
+    std::thread::sleep(Duration::from_millis(100));
+
+    // …so the next explain (and compare) bounce with `busy`, the error
+    // `query explain` turns into exit code 3.
+    let mut client = connect(addr);
+    let response = client.explain_features(name, fv).expect("round-trip");
+    assert_eq!(error_type(&response), Some("busy"), "got {response}");
+    let response = client
+        .compare_features((name, fv), (name, fv))
+        .expect("round-trip");
+    assert_eq!(error_type(&response), Some("busy"), "got {response}");
+
+    // The admitted explain still completes.
+    let payload = read_frame(&mut held, &mut || true).expect("held response");
+    let response = serve::json::parse(std::str::from_utf8(&payload).unwrap()).unwrap();
+    assert!(is_ok(&response), "held explain failed: {response}");
     handle.shutdown();
 }
 
