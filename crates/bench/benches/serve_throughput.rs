@@ -1,9 +1,9 @@
 //! BENCH-SERVE: scoring-service round-trip throughput and latency.
 //!
 //! Boots the `serve` daemon in-process on an ephemeral port and drives it
-//! the way a deployment would: concurrent clients submitting
-//! pre-extracted feature vectors over the length-prefixed JSON protocol.
-//! Three gates run before anything is timed:
+//! the way a deployment would: hundreds of concurrent clients
+//! **pipelining** pre-extracted feature vectors over the length-prefixed
+//! JSON protocol. Three gates run before anything is timed:
 //!
 //! 1. **Equality** — every app's wire-scored report must be string-equal
 //!    to the offline [`evaluate_batch`] report (which is itself
@@ -15,26 +15,29 @@
 //! 3. **Recovery** — after the overload clears, the same server must
 //!    score again.
 //!
-//! Then N client threads each fire M `score` requests round-robin over
-//! the corpus; the result prints as one `BENCH_SERVE` JSON line
-//! (snapshot: `results/BENCH_SERVE.json`) with requests/sec and
-//! client-observed p50/p95 latency. `CLAIRVOYANT_BENCH_SMOKE=1` shrinks
+//! Then N client threads each blast bursts of `WINDOW` pipelined `score`
+//! requests per connection (request frames are precomputed, so the
+//! client side of the hot loop is one `write_all` plus reads), and the
+//! equality gate runs *inside* the timed loop: every response must be
+//! byte-identical to the precomputed offline reference frame. The result
+//! prints as one `BENCH_SERVE` JSON line (snapshot:
+//! `results/BENCH_SERVE.json`) with requests/sec and client-observed
+//! p50/p95/p99/p99.9 latency. `CLAIRVOYANT_BENCH_SMOKE=1` shrinks
 //! everything to a CI-sized round-trip check.
 //!
 //! [`evaluate_batch`]: clairvoyant::CompiledModel::evaluate_batch
 
-use bench::harness::black_box;
 use bench::{criterion_group, criterion_main};
 use clairvoyant::prelude::*;
-use clairvoyant::report::security_report_value;
+use clairvoyant::report::{security_report_value, Json};
 use serve::client::{error_type, is_ok};
+use serve::protocol::{frame_into, ok_response};
 use serve::{Client, ModelState, ServeConfig};
 use static_analysis::FeatureVector;
 use std::time::{Duration, Instant};
 
 /// Pull `(model_fingerprint, report_json)` out of a score response.
-fn score_parts(response: &clairvoyant::report::Json) -> (String, String) {
-    use clairvoyant::report::Json;
+fn score_parts(response: &Json) -> (String, String) {
     assert!(is_ok(response), "score failed: {response}");
     let Json::Object(obj) = response else {
         panic!("score response is not an object: {response}");
@@ -48,7 +51,12 @@ fn score_parts(response: &clairvoyant::report::Json) -> (String, String) {
 
 fn bench_serve(_c: &mut bench::harness::Criterion) {
     let smoke = std::env::var("CLAIRVOYANT_BENCH_SMOKE").is_ok();
-    let (n_apps, clients, reqs_per_client) = if smoke { (8, 2, 6) } else { (40, 6, 50) };
+    // clients × bursts × window pipelined requests in the timed section.
+    let (n_apps, clients, bursts, window) = if smoke {
+        (8, 4, 3, 4)
+    } else {
+        (34, 200, 10, 32)
+    };
 
     // Fixed-seed model and corpus: the bench is deterministic end to end.
     let train_corpus = Corpus::generate(&CorpusConfig::small(30, 20170408));
@@ -69,8 +77,8 @@ fn bench_serve(_c: &mut bench::harness::Criterion) {
         });
 
     // Offline reference reports, serialized exactly as the server does.
-    let expected: Vec<String> = compiled
-        .evaluate_batch(&apps, 1)
+    let reports = compiled.evaluate_batch(&apps, 1);
+    let expected: Vec<String> = reports
         .iter()
         .map(|r| security_report_value(r).to_string())
         .collect();
@@ -79,8 +87,16 @@ fn bench_serve(_c: &mut bench::harness::Criterion) {
     let fingerprint = model.fingerprint_hex();
     let handle = serve::start(
         ServeConfig {
-            batch_max: 16,
-            jobs: 2,
+            // Sized for the pipelined fleet: the in-flight cap must hold
+            // clients × window admitted jobs, or the equality gate would
+            // (correctly) trip on typed busy refusals.
+            max_inflight: (clients * window * 2).max(256),
+            batch_max: 128,
+            jobs: 1,
+            // One reactor + one shard: the bench host is a single core,
+            // so extra threads only add context switches.
+            reactor_threads: 1,
+            batch_shards: 1,
             ..ServeConfig::default()
         },
         model,
@@ -136,24 +152,82 @@ fn bench_serve(_c: &mut bench::harness::Criterion) {
     assert!(is_ok(&recovered), "server did not recover: {recovered}");
     overload.shutdown();
 
-    // Timed section: N clients × M requests, round-robin over the corpus.
+    // Precompute the hot-loop bytes once: per-app request frames (what
+    // every client writes) and per-app expected response payloads (the
+    // byte-equality gate each response is checked against — `frame_into`
+    // + `ok_response` is exactly how the server renders its replies).
+    let request_frames: Vec<Vec<u8>> = apps
+        .iter()
+        .map(|(name, fv)| {
+            let request = Json::object(vec![
+                ("op", Json::String("score".into())),
+                ("name", Json::String(name.clone())),
+                (
+                    "features",
+                    Json::Object(
+                        fv.iter()
+                            .map(|(k, v)| (k.to_string(), Json::Number(v)))
+                            .collect(),
+                    ),
+                ),
+            ]);
+            let mut frame = Vec::new();
+            frame_into(&mut frame, &request);
+            frame
+        })
+        .collect();
+    let expected_payloads: Vec<String> = reports
+        .iter()
+        .map(|report| {
+            ok_response(
+                "score",
+                vec![
+                    ("model", Json::String(fingerprint.clone())),
+                    ("report", security_report_value(report)),
+                ],
+            )
+            .to_string()
+        })
+        .collect();
+
+    // Timed section: every client pipelines `window` requests per burst
+    // over one persistent connection — one write, `window` reads — and
+    // byte-checks each response in request order.
     let t0 = Instant::now();
     let latencies: Vec<Vec<u64>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 let apps = &apps;
+                let request_frames = &request_frames;
+                let expected_payloads = &expected_payloads;
                 scope.spawn(move || {
                     let mut client = Client::connect(addr).expect("connect worker");
                     client
                         .set_timeout(Some(Duration::from_secs(60)))
                         .expect("set timeout");
-                    let mut lats = Vec::with_capacity(reqs_per_client);
-                    for i in 0..reqs_per_client {
-                        let (name, fv) = &apps[(c + i) % apps.len()];
+                    let mut lats = Vec::with_capacity(bursts * window);
+                    let mut burst_bytes = Vec::new();
+                    for b in 0..bursts {
+                        burst_bytes.clear();
+                        let base = c + b * window;
+                        for i in 0..window {
+                            burst_bytes.extend_from_slice(&request_frames[(base + i) % apps.len()]);
+                        }
                         let t = Instant::now();
-                        let response = client.score_features(name, fv).expect("score");
-                        lats.push(t.elapsed().as_micros() as u64);
-                        black_box(is_ok(&response));
+                        client.send_framed(&burst_bytes).expect("send burst");
+                        for i in 0..window {
+                            let payload = client.recv_payload().expect("recv");
+                            // In-loop equality gate: responses must come
+                            // back in request order, byte-identical to
+                            // the offline reference.
+                            let want = expected_payloads[(base + i) % apps.len()].as_bytes();
+                            assert_eq!(
+                                payload, want,
+                                "client {c} burst {b} response {i}: wire bytes diverged \
+                                 from offline scoring (or arrived out of order)"
+                            );
+                            lats.push(t.elapsed().as_micros() as u64);
+                        }
                     }
                     lats
                 })
@@ -171,18 +245,23 @@ fn bench_serve(_c: &mut bench::harness::Criterion) {
     handle.shutdown();
 
     println!(
-        "BENCH_SERVE {{\"apps\":{},\"clients\":{clients},\"requests\":{total},\
-         \"throughput_rps\":{rps:.1},\"p50_ms\":{:.2},\"p95_ms\":{:.2},\
+        "BENCH_SERVE {{\"apps\":{},\"clients\":{clients},\"window\":{window},\
+         \"requests\":{total},\"throughput_rps\":{rps:.1},\"p50_ms\":{:.2},\
+         \"p95_ms\":{:.2},\"p99_ms\":{:.2},\"p999_ms\":{:.2},\
          \"busy_seen\":{busy_seen},\"reports_identical\":true}}",
         apps.len(),
         quantile(0.5),
         quantile(0.95),
+        quantile(0.99),
+        quantile(0.999),
     );
     eprintln!(
-        "serve engine: {total} requests from {clients} clients in {elapsed:.2} s \
-         ({rps:.0} req/s), p50 {:.2} ms, p95 {:.2} ms",
+        "serve engine: {total} pipelined requests from {clients} clients \
+         (window {window}) in {elapsed:.2} s ({rps:.0} req/s), \
+         p50 {:.2} ms, p99 {:.2} ms, p99.9 {:.2} ms",
         quantile(0.5),
-        quantile(0.95),
+        quantile(0.99),
+        quantile(0.999),
     );
 }
 

@@ -176,25 +176,28 @@ pub(crate) fn assemble_report(
     let high_severity_risk = lookup(Hypothesis::AnyHighSeverity);
     let network_risk = lookup(Hypothesis::AnyNetworkAttackable);
 
-    // Attributions from the inspectable risk weights.
-    let mut attributions: Vec<Attribution> = feature_names
-        .iter()
-        .zip(row)
-        .zip(risk_weights)
-        .map(|((name, &value), &weight)| Attribution {
-            feature: name.clone(),
-            value,
-            weight,
-            contribution: weight * value,
-        })
-        .collect();
-    attributions.sort_by(|a, b| {
-        b.contribution
+    // Attributions from the inspectable risk weights: rank column
+    // indices first and materialize (clone the names of) only the kept
+    // top 10. Same stable sort, same key, so the output is identical to
+    // ranking fully-built attributions.
+    let n = feature_names.len().min(row.len()).min(risk_weights.len());
+    let mut ranked: Vec<usize> = (0..n).collect();
+    ranked.sort_by(|&a, &b| {
+        (risk_weights[b] * row[b])
             .abs()
-            .partial_cmp(&a.contribution.abs())
+            .partial_cmp(&(risk_weights[a] * row[a]).abs())
             .expect("finite contributions")
     });
-    attributions.truncate(10);
+    ranked.truncate(10);
+    let attributions: Vec<Attribution> = ranked
+        .into_iter()
+        .map(|i| Attribution {
+            feature: feature_names[i].clone(),
+            value: row[i],
+            weight: risk_weights[i],
+            contribution: risk_weights[i] * row[i],
+        })
+        .collect();
 
     let hints = derive_hints(fv, &hypotheses);
 

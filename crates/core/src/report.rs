@@ -28,62 +28,72 @@ impl Json {
         Json::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
-    fn write_escaped(s: &str, out: &mut String) {
-        out.push('"');
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\r' => out.push_str("\\r"),
-                '\t' => out.push_str("\\t"),
-                c if (c as u32) < 0x20 => {
-                    out.push_str(&format!("\\u{:04x}", c as u32));
+    fn write_escaped(s: &str, out: &mut impl fmt::Write) -> fmt::Result {
+        out.write_char('"')?;
+        // Copy maximal runs of plain text in one `write_str`; every byte
+        // that needs escaping is ASCII, so a byte scan finds the run
+        // boundaries without breaking UTF-8 sequences.
+        let bytes = s.as_bytes();
+        let mut from = 0;
+        for (i, &b) in bytes.iter().enumerate() {
+            if b == b'"' || b == b'\\' || b < 0x20 {
+                out.write_str(&s[from..i])?;
+                match b {
+                    b'"' => out.write_str("\\\"")?,
+                    b'\\' => out.write_str("\\\\")?,
+                    b'\n' => out.write_str("\\n")?,
+                    b'\r' => out.write_str("\\r")?,
+                    b'\t' => out.write_str("\\t")?,
+                    _ => write!(out, "\\u{b:04x}")?,
                 }
-                c => out.push(c),
+                from = i + 1;
             }
         }
-        out.push('"');
+        out.write_str(&s[from..])?;
+        out.write_char('"')
     }
 
-    fn write(&self, out: &mut String) {
+    /// Serialize into any [`fmt::Write`] sink — the hot serving path
+    /// streams responses straight into a reused byte buffer through
+    /// this, with no intermediate `String`.
+    pub fn write_into(&self, out: &mut impl fmt::Write) -> fmt::Result {
         match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Null => out.write_str("null"),
+            Json::Bool(b) => out.write_str(if *b { "true" } else { "false" }),
             Json::Number(n) => {
                 if n.is_finite() {
                     // Integers print without a trailing `.0`.
                     if n.fract() == 0.0 && n.abs() < 1e15 {
-                        out.push_str(&format!("{}", *n as i64));
+                        write!(out, "{}", *n as i64)
                     } else {
-                        out.push_str(&format!("{n}"));
+                        write!(out, "{n}")
                     }
                 } else {
-                    out.push_str("null");
+                    out.write_str("null")
                 }
             }
             Json::String(s) => Self::write_escaped(s, out),
             Json::Array(items) => {
-                out.push('[');
+                out.write_char('[')?;
                 for (i, item) in items.iter().enumerate() {
                     if i > 0 {
-                        out.push(',');
+                        out.write_char(',')?;
                     }
-                    item.write(out);
+                    item.write_into(out)?;
                 }
-                out.push(']');
+                out.write_char(']')
             }
             Json::Object(map) => {
-                out.push('{');
+                out.write_char('{')?;
                 for (i, (k, v)) in map.iter().enumerate() {
                     if i > 0 {
-                        out.push(',');
+                        out.write_char(',')?;
                     }
-                    Self::write_escaped(k, out);
-                    out.push(':');
-                    v.write(out);
+                    Self::write_escaped(k, out)?;
+                    out.write_char(':')?;
+                    v.write_into(out)?;
                 }
-                out.push('}');
+                out.write_char('}')
             }
         }
     }
@@ -91,15 +101,107 @@ impl Json {
 
 impl fmt::Display for Json {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut s = String::new();
-        self.write(&mut s);
-        f.write_str(&s)
+        self.write_into(f)
     }
 }
 
 /// Serialize a [`SecurityReport`] to a JSON string.
 pub fn security_report_json(report: &SecurityReport) -> String {
     security_report_value(report).to_string()
+}
+
+/// Mirror of the `Json::Number` formatting rules, for the streaming
+/// report writer below.
+fn write_num(n: f64, out: &mut impl fmt::Write) -> fmt::Result {
+    if n.is_finite() {
+        if n.fract() == 0.0 && n.abs() < 1e15 {
+            write!(out, "{}", n as i64)
+        } else {
+            write!(out, "{n}")
+        }
+    } else {
+        out.write_str("null")
+    }
+}
+
+fn write_opt_num(n: Option<f64>, out: &mut impl fmt::Write) -> fmt::Result {
+    match n {
+        Some(v) => write_num(v, out),
+        None => out.write_str("null"),
+    }
+}
+
+/// Stream a [`SecurityReport`] directly into `out`, byte-identical to
+/// serializing [`security_report_value`] but without materializing the
+/// intermediate [`Json`] tree (a few hundred small allocations per
+/// report). The scoring daemon renders every `score` response through
+/// this, so the keys are written in the exact sorted order the
+/// `BTreeMap`-backed tree would produce —
+/// `streamed_report_matches_tree_serialization` pins the equivalence.
+pub fn write_security_report(report: &SecurityReport, out: &mut impl fmt::Write) -> fmt::Result {
+    out.write_str("{\"app\":")?;
+    Json::write_escaped(&report.app, out)?;
+    out.write_str(",\"attributions\":[")?;
+    for (i, a) in report.attributions.iter().enumerate() {
+        if i > 0 {
+            out.write_char(',')?;
+        }
+        out.write_str("{\"contribution\":")?;
+        write_num(a.contribution, out)?;
+        out.write_str(",\"feature\":")?;
+        Json::write_escaped(&a.feature, out)?;
+        out.write_str(",\"value\":")?;
+        write_num(a.value, out)?;
+        out.write_str(",\"weight\":")?;
+        write_num(a.weight, out)?;
+        out.write_char('}')?;
+    }
+    out.write_str("],\"high_severity_risk\":")?;
+    write_opt_num(report.high_severity_risk, out)?;
+    out.write_str(",\"hints\":[")?;
+    for (i, h) in report.hints.iter().enumerate() {
+        if i > 0 {
+            out.write_char(',')?;
+        }
+        out.write_str("{\"advice\":")?;
+        Json::write_escaped(&h.advice, out)?;
+        out.write_str(",\"because\":")?;
+        Json::write_escaped(&h.because, out)?;
+        out.write_char('}')?;
+    }
+    out.write_str("],\"hypotheses\":[")?;
+    for (i, (h, p)) in report.hypotheses.iter().enumerate() {
+        if i > 0 {
+            out.write_char(',')?;
+        }
+        out.write_str("{\"hypothesis\":")?;
+        Json::write_escaped(&h.name(), out)?;
+        out.write_str(",\"probability\":")?;
+        write_num(*p, out)?;
+        out.write_str(",\"question\":")?;
+        Json::write_escaped(&h.question(), out)?;
+        out.write_char('}')?;
+    }
+    out.write_str("],\"network_risk\":")?;
+    write_opt_num(report.network_risk, out)?;
+    out.write_str(",\"predicted_vulnerabilities\":")?;
+    write_num(report.predicted_vulnerabilities, out)?;
+    out.write_str(",\"risk_score\":")?;
+    write_num(report.risk_score(), out)?;
+    out.write_str(",\"severity_counts\":[")?;
+    for (i, (band, n)) in report.severity_counts.iter().enumerate() {
+        if i > 0 {
+            out.write_char(',')?;
+        }
+        out.write_str("{\"band\":")?;
+        Json::write_escaped(band.name(), out)?;
+        out.write_str(",\"predicted\":")?;
+        write_num(*n, out)?;
+        out.write_char('}')?;
+    }
+    out.write_str("],\"structural_risk\":")?;
+    write_num(report.structural_risk, out)?;
+    out.write_char('}')
 }
 
 /// Build the [`Json`] value for a [`SecurityReport`] — callers that embed
@@ -352,6 +454,50 @@ mod tests {
         assert!(json.contains(r#""advice":"fix it""#));
         // Must be structurally valid enough to round-trip braces.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn streamed_report_matches_tree_serialization() {
+        use crate::metric::{Attribution, Hint};
+        // Exercise every branch the streaming writer special-cases:
+        // Some/None optionals, strings needing escapes, integral and
+        // fractional numbers, empty and populated lists.
+        let mut report = SecurityReport {
+            app: "demo \"quoted\"\n".into(),
+            predicted_vulnerabilities: 4.0,
+            high_severity_risk: Some(0.7500001),
+            network_risk: None,
+            hypotheses: vec![
+                (crate::hypothesis::Hypothesis::AnyHighSeverity, 0.75),
+                (crate::hypothesis::Hypothesis::AnyNetworkAttackable, 0.25),
+            ],
+            severity_counts: vec![
+                (crate::train::SeverityBand::Medium, 2.5),
+                (crate::train::SeverityBand::HighOrCritical, 0.0),
+            ],
+            structural_risk: 0.4,
+            attributions: vec![Attribution {
+                feature: "taint.flows".into(),
+                value: -1.5,
+                weight: 0.30000000000000004,
+                contribution: -0.45,
+            }],
+            hints: vec![Hint {
+                advice: "fix \\ it".into(),
+                because: "risk".into(),
+            }],
+        };
+        for r in [&report.clone(), {
+            report.attributions.clear();
+            report.hints.clear();
+            report.high_severity_risk = None;
+            report.network_risk = Some(f64::NAN);
+            &report.clone()
+        }] {
+            let mut streamed = String::new();
+            write_security_report(r, &mut streamed).unwrap();
+            assert_eq!(streamed, security_report_value(r).to_string());
+        }
     }
 
     #[test]

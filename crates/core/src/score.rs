@@ -58,8 +58,9 @@ pub(crate) fn prepare_row_into(
     full: &mut Vec<f64>,
     out: &mut Vec<f64>,
 ) {
-    full.clear();
-    full.extend(all_feature_names.iter().map(|name| fv.get_or_zero(name)));
+    // One linear merge over the sorted map instead of a lookup per
+    // schema column; identical values either way.
+    fv.fill_dense(all_feature_names, full);
     if log_transform {
         for v in full.iter_mut() {
             *v = v.signum() * v.abs().ln_1p();

@@ -86,11 +86,16 @@ commands:
                               and say which code properties drive the gap
   gate <before> <after>       CI gate: exit 1 when the change raises risk
   serve [--addr A] [--model PATH] [--max-inflight N] [--batch-max N]
+        [--reactor-threads N] [--batch-shards N]
                               run the scoring daemon; --model serves a saved
                               CLVY file (otherwise trains the fixed-seed
-                              corpus once at startup); prints the bound
-                              address, then serves until `query shutdown`
-  query [--addr A] <op>       one protocol round-trip against a daemon:
+                              corpus once at startup); --reactor-threads
+                              sizes the event-loop pool and --batch-shards
+                              the batcher pool; prints the bound address,
+                              then serves until `query shutdown`
+  query [--addr A] <op>       talk to a running daemon (multi-file score and
+                              explain pipeline every request over one
+                              connection):
                                 query health | stats | shutdown
                                 query reload [model.clvy]
                                 query score [--json] <files…>
@@ -430,6 +435,24 @@ fn serve_cmd(
                     return Err("--batch-max must be at least 1".into());
                 }
             }
+            "--reactor-threads" => {
+                let value = it.next().ok_or("--reactor-threads needs a number")?;
+                config.reactor_threads = value
+                    .parse()
+                    .map_err(|_| format!("--reactor-threads: `{value}` is not a number"))?;
+                if config.reactor_threads == 0 {
+                    return Err("--reactor-threads must be at least 1".into());
+                }
+            }
+            "--batch-shards" => {
+                let value = it.next().ok_or("--batch-shards needs a number")?;
+                config.batch_shards = value
+                    .parse()
+                    .map_err(|_| format!("--batch-shards: `{value}` is not a number"))?;
+                if config.batch_shards == 0 {
+                    return Err("--batch-shards must be at least 1".into());
+                }
+            }
             other => return Err(format!("serve does not understand `{other}`")),
         }
     }
@@ -490,21 +513,32 @@ fn query_cmd(args: &[String]) -> Result<ExitCode, String> {
             if paths.is_empty() {
                 return Err("query score needs input files".into());
             }
-            let mut failed = false;
-            let mut refused_busy = false;
+            // Pipeline: every file's request goes on the wire before
+            // the first response is read; the daemon answers in order.
+            let mut requests = Vec::with_capacity(paths.len());
             for path in paths {
                 let source = std::fs::read_to_string(path)
                     .map_err(|e| format!("cannot read `{path}`: {e}"))?;
-                let response = client.score_source(path, &source, dialect_name(path))?;
+                requests.push(Json::object(vec![
+                    ("op", Json::String("score".into())),
+                    ("name", Json::String(path.clone())),
+                    ("source", Json::String(source)),
+                    ("dialect", Json::String(dialect_name(path).into())),
+                ]));
+            }
+            let responses = client.pipeline(&requests)?;
+            let mut failed = false;
+            let mut refused_busy = false;
+            for (path, response) in paths.iter().zip(&responses) {
                 if json {
                     println!("{response}");
-                } else if is_ok(&response) {
-                    print_score_line(path, &response);
+                } else if is_ok(response) {
+                    print_score_line(path, response);
                 } else {
                     println!("{path}: error: {response}");
                 }
-                if !is_ok(&response) {
-                    if error_type(&response) == Some("busy") {
+                if !is_ok(response) {
+                    if error_type(response) == Some("busy") {
                         refused_busy = true;
                     } else {
                         failed = true;
@@ -542,19 +576,31 @@ fn query_cmd(args: &[String]) -> Result<ExitCode, String> {
             if paths.is_empty() {
                 return Err("query explain needs input files".into());
             }
-            let mut failed = false;
-            let mut refused_busy = false;
+            // Pipelined like `query score`: one connection, all requests
+            // on the wire back-to-back, responses read in request order.
+            let mut requests = Vec::with_capacity(paths.len());
             for path in &paths {
                 let source = std::fs::read_to_string(path)
                     .map_err(|e| format!("cannot read `{path}`: {e}"))?;
-                let response = client.explain_source(path, &source, dialect_name(path), top_k)?;
-                if json || is_ok(&response) {
+                requests.push(Json::object(vec![
+                    ("op", Json::String("explain".into())),
+                    ("name", Json::String(path.clone())),
+                    ("source", Json::String(source)),
+                    ("dialect", Json::String(dialect_name(path).into())),
+                    ("top_k", Json::Number(top_k as f64)),
+                ]));
+            }
+            let responses = client.pipeline(&requests)?;
+            let mut failed = false;
+            let mut refused_busy = false;
+            for (path, response) in paths.iter().zip(&responses) {
+                if json || is_ok(response) {
                     println!("{response}");
                 } else {
                     println!("{path}: error: {response}");
                 }
-                if !is_ok(&response) {
-                    if error_type(&response) == Some("busy") {
+                if !is_ok(response) {
+                    if error_type(response) == Some("busy") {
                         refused_busy = true;
                     } else {
                         failed = true;

@@ -1,20 +1,33 @@
-//! A small blocking protocol client.
+//! A small blocking protocol client, with pipelining.
 //!
-//! One [`Client`] wraps one persistent connection; requests go out as
-//! frames and each call blocks for the matching response. The CLI
-//! `query` subcommand and the black-box test harness both drive the
+//! One [`Client`] wraps one persistent connection. The simple calls
+//! (`health`, `score_source`, …) send one frame and block for the
+//! matching response. The pipelined surface splits the two halves:
+//! [`Client::send_raw`] queues requests without waiting and
+//! [`Client::recv`] reads the next response, so a caller can put many
+//! requests on the wire back-to-back and collect the answers — which
+//! the server guarantees come back in request order —
+//! ([`Client::pipeline`] wraps the common case). The CLI `query`
+//! subcommand, the bench, and the black-box test harness all drive the
 //! daemon through this type, so the tests exercise exactly the code
 //! users run.
 
 use crate::json;
-use crate::protocol::{read_frame, write_frame, FrameError};
+use crate::protocol::{frame_into, read_frame_into, write_frame, FrameError};
 use clairvoyant::report::Json;
+use std::io::{BufReader, Write as _};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// A blocking connection to a scoring daemon.
 pub struct Client {
-    stream: TcpStream,
+    /// Read half is buffered so one syscall can drain a whole pipelined
+    /// burst of response frames; writes go straight to the socket via
+    /// `get_ref` (a `&TcpStream` is independently writable).
+    stream: BufReader<TcpStream>,
+    /// Reused response buffer: [`Client::recv_payload`] lands every
+    /// response here, so a pipelined read loop does not allocate.
+    recv_buf: Vec<u8>,
     /// Set when a response timed out or the stream desynced: the late
     /// response may still arrive, so another roundtrip on this
     /// connection would read a stale answer. Poisoned clients refuse
@@ -30,7 +43,8 @@ impl Client {
             .set_nodelay(true)
             .map_err(|e| format!("cannot configure socket: {e}"))?;
         Ok(Client {
-            stream,
+            stream: BufReader::with_capacity(64 * 1024, stream),
+            recv_buf: Vec::new(),
             poisoned: false,
         })
     }
@@ -38,23 +52,61 @@ impl Client {
     /// Cap how long a single request may wait for its response.
     pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), String> {
         self.stream
+            .get_ref()
             .set_read_timeout(timeout)
             .map_err(|e| format!("cannot set timeout: {e}"))
     }
 
-    /// Send one raw request payload and return the parsed response.
-    pub fn roundtrip_raw(&mut self, payload: &[u8]) -> Result<Json, String> {
+    fn check_poisoned(&self) -> Result<(), String> {
         if self.poisoned {
             return Err(
                 "connection is poisoned by an earlier timeout or framing error; reconnect".into(),
             );
         }
-        write_frame(&mut self.stream, payload).map_err(|e| format!("cannot send request: {e}"))?;
+        Ok(())
+    }
+
+    /// Queue one raw request payload without waiting for its response —
+    /// the send half of the pipelined surface. Responses come back in
+    /// send order via [`Client::recv`]/[`Client::recv_payload`].
+    pub fn send_raw(&mut self, payload: &[u8]) -> Result<(), String> {
+        self.check_poisoned()?;
+        write_frame(&mut self.stream.get_ref(), payload)
+            .map_err(|e| format!("cannot send request: {e}"))
+    }
+
+    /// Queue one request value without waiting for its response.
+    pub fn send(&mut self, request: &Json) -> Result<(), String> {
+        self.check_poisoned()?;
+        let mut framed = Vec::new();
+        frame_into(&mut framed, request);
+        self.stream
+            .get_ref()
+            .write_all(&framed)
+            .map_err(|e| format!("cannot send request: {e}"))
+    }
+
+    /// Put pre-framed bytes (built with [`frame_into`], possibly many
+    /// frames) on the wire in one write. The bench precomputes request
+    /// frames once and blasts them through here, so the client side of
+    /// the hot loop is a single `write_all`.
+    pub fn send_framed(&mut self, frames: &[u8]) -> Result<(), String> {
+        self.check_poisoned()?;
+        self.stream
+            .get_ref()
+            .write_all(frames)
+            .map_err(|e| format!("cannot send requests: {e}"))
+    }
+
+    /// Read the next response payload into the reused internal buffer
+    /// and borrow it — the allocation-free receive half.
+    pub fn recv_payload(&mut self) -> Result<&[u8], String> {
+        self.check_poisoned()?;
         // `keep_waiting` is only consulted on a read timeout, so if it
         // runs at all the wait exceeded `set_timeout` — distinguish that
         // from the server actually closing the connection.
         let mut timed_out = false;
-        let response = read_frame(&mut self.stream, &mut || {
+        let len = read_frame_into(&mut self.stream, &mut self.recv_buf, &mut || {
             timed_out = true;
             false
         })
@@ -74,14 +126,38 @@ impl Client {
                 FrameError::Io(e) => format!("cannot read response: {e}"),
             }
         })?;
+        Ok(&self.recv_buf[..len])
+    }
+
+    /// Read and parse the next response.
+    pub fn recv(&mut self) -> Result<Json, String> {
+        let payload = self.recv_payload()?;
         let text =
-            std::str::from_utf8(&response).map_err(|e| format!("response is not UTF-8: {e}"))?;
+            std::str::from_utf8(payload).map_err(|e| format!("response is not UTF-8: {e}"))?;
         json::parse(text).map_err(|e| format!("response is not valid JSON: {e}"))
+    }
+
+    /// Send one raw request payload and return the parsed response.
+    pub fn roundtrip_raw(&mut self, payload: &[u8]) -> Result<Json, String> {
+        self.send_raw(payload)?;
+        self.recv()
     }
 
     /// Send one request value and return the parsed response.
     pub fn roundtrip(&mut self, request: &Json) -> Result<Json, String> {
         self.roundtrip_raw(request.to_string().as_bytes())
+    }
+
+    /// Pipeline a batch: put every request on the wire back-to-back,
+    /// then collect the responses, which arrive in request order.
+    pub fn pipeline(&mut self, requests: &[Json]) -> Result<Vec<Json>, String> {
+        self.check_poisoned()?;
+        let mut framed = Vec::new();
+        for request in requests {
+            frame_into(&mut framed, request);
+        }
+        self.send_framed(&framed)?;
+        requests.iter().map(|_| self.recv()).collect()
     }
 
     pub fn health(&mut self) -> Result<Json, String> {

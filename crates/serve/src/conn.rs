@@ -1,0 +1,424 @@
+//! Per-connection state machine for the reactor.
+//!
+//! One [`Conn`] owns one non-blocking socket and carries everything the
+//! event loop needs between readiness events:
+//!
+//! - an incremental [`FrameBuffer`] on the read side — partial frames
+//!   accumulate across events, complete frames are parsed *in place*
+//!   (no per-frame allocation), and many frames per event are handled,
+//!   which is what makes **pipelining** work;
+//! - an ordered `pending` queue pairing every request with its eventual
+//!   response. Cheap endpoints resolve immediately; scoring-family
+//!   requests go to a batcher shard and come back as completions. The
+//!   queue releases responses strictly in request order, so a pipelined
+//!   client always reads answers in the order it sent questions, no
+//!   matter how the shards interleave;
+//! - a reused output buffer responses serialize into via
+//!   [`Payload::frame_into`] — one buffer per connection for its whole life,
+//!   written with as few syscalls as the socket allows, partial writes
+//!   resumed on `POLLOUT`.
+//!
+//! Backpressure tier 1 lives here: once `pending` reaches
+//! [`ServeConfig::max_pipeline`], the connection *stops reading* (its
+//! fd leaves the interest set) instead of queueing unbounded work — the
+//! kernel's TCP window then pushes back on the client. Tier 2 (the
+//! global in-flight cap, typed `busy`) is checked per request in
+//! [`Conn::submit`].
+//!
+//! [`ServeConfig::max_pipeline`]: crate::server::ServeConfig::max_pipeline
+
+use crate::protocol::{error_response, FrameBuffer, Payload, Request};
+use crate::server::{self, Shared};
+use crate::shard::{Job, Work};
+use crate::stats::EndpointStats;
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Hard cap on buffered-but-unsent response bytes. A reader this far
+/// behind is not coming back; drop the connection instead of buffering
+/// toward OOM.
+const MAX_OUTBUF: usize = 64 * 1024 * 1024;
+
+/// Token bit layout: `reactor(8) | slot(32) | gen(24)`. The generation
+/// makes completions for a closed-and-reused slot detectably stale, so a
+/// mid-pipeline disconnect can free its slot immediately without racing
+/// the shard's late responses.
+pub(crate) fn pack_token(reactor: usize, slot: usize, gen: u32) -> u64 {
+    debug_assert!(reactor < 1 << 8 && slot < 1 << 32 && gen < 1 << 24);
+    ((reactor as u64) << 56) | ((slot as u64) << 24) | u64::from(gen)
+}
+
+/// Inverse of [`pack_token`].
+pub(crate) fn unpack_token(token: u64) -> (usize, usize, u32) {
+    (
+        (token >> 56) as usize,
+        ((token >> 24) & 0xFFFF_FFFF) as usize,
+        (token & 0xFF_FFFF) as u32,
+    )
+}
+
+/// Which scoring-family endpoint an in-flight job belongs to, for stats
+/// attribution when its completion arrives.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Endpoint {
+    Score,
+    Explain,
+    Compare,
+}
+
+impl Endpoint {
+    fn stats<'a>(&self, shared: &'a Shared) -> &'a EndpointStats {
+        match self {
+            Endpoint::Score => &shared.stats.score,
+            Endpoint::Explain => &shared.stats.explain,
+            Endpoint::Compare => &shared.stats.compare,
+        }
+    }
+}
+
+/// One slot of the ordered response queue.
+enum Pending {
+    /// Response computed; serialized (in order) by `flush_ready`.
+    Ready(Payload),
+    /// Waiting on a batcher shard; filled in by [`Conn::complete`].
+    InFlight {
+        seq: u64,
+        t0: Instant,
+        endpoint: Endpoint,
+    },
+}
+
+pub(crate) struct Conn {
+    stream: TcpStream,
+    /// Routing token carried by every job this connection submits.
+    token: u64,
+    /// Batcher shard this connection's jobs land on (by connection id).
+    shard: usize,
+    fb: FrameBuffer,
+    /// Reused serialization buffer: responses are framed into it via
+    /// [`Payload::frame_into`] and written once, with the hot `score`
+    /// path streaming pre-serialized text straight in.
+    out: Vec<u8>,
+    out_pos: usize,
+    pending: VecDeque<Pending>,
+    /// Admitted jobs not yet handed to the shard: one pump may parse a
+    /// whole pipelined burst, and queueing the burst with one lock + one
+    /// condvar notify (instead of one each per request) is where the
+    /// shard handoff cost goes. Always drained before `pump` returns —
+    /// every admitted job holds an in-flight slot, so it must reach the
+    /// shard even if the connection dies mid-pump.
+    outbox: Vec<Job>,
+    next_seq: u64,
+    /// Tier-1 backpressure: pipeline cap reached, fd out of the read set.
+    read_paused: bool,
+    /// A framing violation was answered; close once `out` drains.
+    close_after_flush: bool,
+    dead: bool,
+}
+
+impl Conn {
+    pub fn new(
+        stream: TcpStream,
+        conn_id: u64,
+        token: u64,
+        shards: usize,
+    ) -> std::io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            stream,
+            token,
+            shard: (conn_id as usize) % shards.max(1),
+            fb: FrameBuffer::default(),
+            out: Vec::new(),
+            out_pos: 0,
+            pending: VecDeque::new(),
+            outbox: Vec::new(),
+            next_seq: 0,
+            read_paused: false,
+            close_after_flush: false,
+            dead: false,
+        })
+    }
+
+    pub fn fd(&self) -> i32 {
+        self.stream.as_raw_fd()
+    }
+
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    pub fn wants_read(&self) -> bool {
+        !self.dead && !self.read_paused && !self.close_after_flush
+    }
+
+    pub fn wants_write(&self) -> bool {
+        !self.dead && self.out_pos < self.out.len()
+    }
+
+    /// Nothing owed to this peer: no queued responses, nothing buffered.
+    /// Drain uses this to decide when the connection may be closed.
+    pub fn quiescent(&self) -> bool {
+        self.pending.is_empty() && self.out_pos >= self.out.len()
+    }
+
+    pub fn kill(&mut self) {
+        self.dead = true;
+    }
+
+    /// The read-side engine: parse any bytes already buffered (a resume
+    /// after backpressure must not wait for new readiness), then read
+    /// until `WouldBlock`, parsing between reads, then flush whatever
+    /// responses became ready.
+    pub fn pump(&mut self, shared: &Arc<Shared>) {
+        self.parse(shared);
+        while self.wants_read() {
+            let space = self.fb.space();
+            match self.stream.read(space) {
+                Ok(0) => {
+                    // Peer closed. Unparsed bytes mean a truncated frame.
+                    if self.fb.has_partial() {
+                        shared.stats.desyncs.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.fb.advance(n);
+                    self.parse(shared);
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        // Hand the whole parsed burst to the shard in one push, even if
+        // the peer died mid-pump: admitted jobs hold in-flight slots.
+        if !self.outbox.is_empty() {
+            shared.shards[self.shard].push_batch(&mut self.outbox);
+        }
+        self.flush_ready();
+        self.try_write();
+    }
+
+    /// Decode and dispatch every complete frame currently buffered,
+    /// stopping at the pipeline cap (tier-1 backpressure) or a framing
+    /// violation.
+    fn parse(&mut self, shared: &Arc<Shared>) {
+        loop {
+            if self.dead || self.close_after_flush {
+                return;
+            }
+            if self.pending.len() >= shared.config.max_pipeline {
+                self.read_paused = true;
+                break;
+            }
+            match self.fb.next_frame() {
+                Ok(None) => break,
+                Ok(Some(range)) => {
+                    let end = range.end;
+                    let parsed = Request::parse(self.fb.payload(range));
+                    self.fb.consume(end);
+                    self.handle(parsed, shared);
+                }
+                Err(message) => {
+                    // The stream lost sync: answer best-effort, then die
+                    // once the error frame has been written out.
+                    shared.stats.desyncs.fetch_add(1, Ordering::Relaxed);
+                    self.pending
+                        .push_back(Pending::Ready(Payload::Value(error_response(
+                            "bad_request",
+                            &message,
+                        ))));
+                    self.close_after_flush = true;
+                    break;
+                }
+            }
+        }
+        self.fb.compact();
+    }
+
+    fn handle(&mut self, parsed: Result<Request, String>, shared: &Arc<Shared>) {
+        let t0 = Instant::now();
+        let request = match parsed {
+            Ok(request) => request,
+            Err(message) => {
+                shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                self.pending
+                    .push_back(Pending::Ready(Payload::Value(error_response(
+                        "bad_request",
+                        &message,
+                    ))));
+                return;
+            }
+        };
+        match request {
+            Request::Health | Request::Stats | Request::Reload { .. } | Request::Shutdown => {
+                // Cheap endpoints answer inline on the reactor thread.
+                // Ordering still holds: the response queues *behind* any
+                // in-flight scoring work on this connection.
+                let response = server::admin_response(request, shared, t0);
+                self.pending
+                    .push_back(Pending::Ready(Payload::Value(response)));
+            }
+            Request::Score { name, input } => {
+                self.submit(shared, Endpoint::Score, t0, Work::Score { name, input });
+            }
+            Request::Explain { name, input, top_k } => {
+                self.submit(
+                    shared,
+                    Endpoint::Explain,
+                    t0,
+                    Work::Explain { name, input, top_k },
+                );
+            }
+            Request::Compare { a, b } => {
+                self.submit(shared, Endpoint::Compare, t0, Work::Compare { a, b });
+            }
+        }
+    }
+
+    /// Admit a scoring-family request (tier 2: global in-flight cap ⇒
+    /// typed `busy`; drain ⇒ typed `shutting_down`) and hand it to this
+    /// connection's batcher shard, or queue the typed refusal.
+    fn submit(&mut self, shared: &Arc<Shared>, endpoint: Endpoint, t0: Instant, work: Work) {
+        let stats = endpoint.stats(shared);
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        let refusal = if shared.shutting_down.load(Ordering::SeqCst) {
+            Some(server::draining_response())
+        } else {
+            server::reserve_slot(shared).err()
+        };
+        if let Some(response) = refusal {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            stats.latency.record(t0.elapsed());
+            self.pending
+                .push_back(Pending::Ready(Payload::Value(response)));
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending
+            .push_back(Pending::InFlight { seq, t0, endpoint });
+        // Queued locally; `pump` flushes the burst to the shard in one
+        // push_batch once the read loop is done.
+        self.outbox.push(Job {
+            token: self.token,
+            seq,
+            work,
+        });
+    }
+
+    /// A batcher shard finished job `seq`: slot the response into the
+    /// ordered queue and account its latency. Serialization, the socket
+    /// write, and un-pausing are deferred to [`Conn::after_completions`]
+    /// so a wake delivering many completions to one connection pays for
+    /// them once.
+    pub fn complete(&mut self, seq: u64, response: Payload, shared: &Arc<Shared>) {
+        for slot in self.pending.iter_mut() {
+            if let Pending::InFlight {
+                seq: s,
+                t0,
+                endpoint,
+            } = slot
+            {
+                if *s == seq {
+                    let ok = response.is_ok();
+                    let stats = endpoint.stats(shared);
+                    if !ok {
+                        stats.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    stats.latency.record(t0.elapsed());
+                    *slot = Pending::Ready(response);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Run once per reactor wake for each connection that received
+    /// completions: release everything now at the front of the queue in
+    /// one serialize + one write, and resume reading if the pipeline cap
+    /// had paused us.
+    pub fn after_completions(&mut self, shared: &Arc<Shared>) {
+        self.flush_ready();
+        self.try_write();
+        if self.read_paused && self.pending.len() < shared.config.max_pipeline {
+            self.read_paused = false;
+            // Bytes may already be buffered past the old cap; pump now —
+            // the kernel will not re-announce data we already drained.
+            self.pump(shared);
+        }
+    }
+
+    /// Serialize every response at the front of the queue, in request
+    /// order, into the reused output buffer.
+    fn flush_ready(&mut self) {
+        while let Some(Pending::Ready(_)) = self.pending.front() {
+            let Some(Pending::Ready(response)) = self.pending.pop_front() else {
+                unreachable!()
+            };
+            response.frame_into(&mut self.out);
+        }
+        if self.out.len() - self.out_pos > MAX_OUTBUF {
+            self.dead = true;
+        }
+    }
+
+    /// Write buffered response bytes until the socket pushes back.
+    pub fn try_write(&mut self) {
+        if self.dead {
+            return;
+        }
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => self.out_pos += n,
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        // Fully drained: reset in place. The capacity stays for reuse;
+        // clamp only a pathological burst so one giant response does not
+        // pin megabytes per idle connection.
+        self.out.clear();
+        self.out_pos = 0;
+        if self.out.capacity() > 1024 * 1024 {
+            self.out.shrink_to(64 * 1024);
+        }
+        if self.close_after_flush {
+            self.dead = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_round_trip() {
+        for (r, s, g) in [(0, 0, 0), (3, 77, 1), (255, 4_000_000_000, 0xFF_FFFF)] {
+            let (r2, s2, g2) = unpack_token(pack_token(r, s, g));
+            assert_eq!((r, s, g), (r2, s2, g2));
+        }
+    }
+}

@@ -9,6 +9,7 @@
 //! hostile frame of ten thousand `[` cannot overflow the stack.
 
 use clairvoyant::report::Json;
+use static_analysis::FeatureVector;
 use std::collections::BTreeMap;
 
 /// Maximum nesting depth before a parse is rejected. Protocol requests
@@ -30,6 +31,75 @@ pub fn parse(input: &str) -> Result<Json, String> {
         return Err(format!("trailing data at byte {}", p.pos));
     }
     Ok(value)
+}
+
+/// Parse one request document, streaming a top-level `"features"` object
+/// straight into a [`FeatureVector`] instead of materializing a generic
+/// tree node per feature — the score hot path runs this once per
+/// request, and pre-extracted vectors carry ~100 entries.
+///
+/// Returns the parsed value (with a captured `features` key removed) and
+/// the capture: `None` when no object-shaped `features` key was present,
+/// `Some(Ok(fv))` on success, `Some(Err(msg))` when the object was valid
+/// JSON but a value was not a number (`msg` matches the slow-path
+/// diagnostic). Outer `Err` means the document is not valid JSON, same
+/// as [`parse`].
+#[allow(clippy::type_complexity)]
+pub fn parse_request(input: &str) -> Result<(Json, Option<Result<FeatureVector, String>>), String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    if p.peek() != Some(b'{') {
+        // Not an object: parse generically so malformed-document errors
+        // match `parse` exactly; the caller rejects the shape.
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        return Ok((value, None));
+    }
+    p.pos += 1;
+    let mut map = BTreeMap::new();
+    let mut features: Option<Result<FeatureVector, String>> = None;
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            if key == "features" && p.peek() == Some(b'{') {
+                // Duplicate keys: last writer wins, like `parse`.
+                map.remove("features");
+                features = Some(p.feature_object()?);
+            } else {
+                if key == "features" {
+                    features = None;
+                }
+                map.insert(key, p.value(1)?);
+            }
+            p.skip_ws();
+            match p.peek() {
+                Some(b',') => p.pos += 1,
+                Some(b'}') => {
+                    p.pos += 1;
+                    break;
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", p.pos)),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok((Json::Object(map), features))
 }
 
 struct Parser<'a> {
@@ -139,6 +209,57 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// `{"name":number,...}` parsed directly into a [`FeatureVector`].
+    /// Outer `Err` = malformed JSON; inner `Err` = well-formed JSON with
+    /// a non-number value (reported like the generic slow path, except
+    /// in document order rather than sorted-key order).
+    fn feature_object(&mut self) -> Result<Result<FeatureVector, String>, String> {
+        self.expect(b'{')?;
+        let mut fv = FeatureVector::new();
+        let mut bad: Option<String> = None;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Ok(fv));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            match self.peek() {
+                Some(c) if c == b'-' || c.is_ascii_digit() => {
+                    let Json::Number(n) = self.number()? else {
+                        unreachable!("number() yields Json::Number")
+                    };
+                    fv.set(key, n);
+                }
+                _ => {
+                    // Validate the value as JSON, then report the same
+                    // shape diagnostic the generic path produces.
+                    self.value(2)?;
+                    if bad.is_none() {
+                        bad = Some(format!("feature `{key}` must be a number"));
+                    }
+                }
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+        Ok(match bad {
+            Some(message) => Err(message),
+            None => Ok(fv),
+        })
+    }
+
     fn number(&mut self) -> Result<Json, String> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
@@ -191,6 +312,20 @@ impl<'a> Parser<'a> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
+            // Fast path: copy a whole run of plain bytes at once instead
+            // of walking char by char. The run stops only at ASCII bytes
+            // (`"`, `\`, controls), and the run starts on a scalar
+            // boundary, so the slice is well-formed UTF-8 — one cheap
+            // validation per run keeps parsing O(n) overall.
+            let run_from = self.pos;
+            while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\' && c >= 0x20) {
+                self.pos += 1;
+            }
+            if self.pos > run_from {
+                let run = std::str::from_utf8(&self.bytes[run_from..self.pos])
+                    .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                out.push_str(run);
+            }
             match self.peek() {
                 None => return Err("unterminated string".into()),
                 Some(b'"') => {
@@ -214,17 +349,9 @@ impl<'a> Parser<'a> {
                         c => return Err(format!("invalid escape `\\{}`", c as char)),
                     }
                 }
-                Some(c) if c < 0x20 => {
+                Some(c) => {
+                    debug_assert!(c < 0x20);
                     return Err(format!("unescaped control byte 0x{c:02x} in string"));
-                }
-                Some(_) => {
-                    // Copy one UTF-8 scalar; the input is a &str, so byte
-                    // boundaries are always valid.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| "invalid UTF-8".to_string())?;
-                    let ch = s.chars().next().ok_or("unterminated string")?;
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
                 }
             }
         }

@@ -10,16 +10,24 @@
 //! (hot-swap the model from a CLVY file without dropping in-flight
 //! work) and `shutdown` (graceful drain).
 //!
-//! Design highlights (DESIGN.md §11):
+//! Design highlights (DESIGN.md §11, §13):
 //!
-//! - **Admission control** — a bounded in-flight cap; overloaded
-//!   servers answer a typed `busy` error immediately instead of
-//!   queueing unbounded work.
-//! - **Micro-batching** — admitted requests coalesce into
+//! - **Event-driven reactor** — a small fixed pool of threads drives
+//!   every connection with non-blocking sockets and `poll(2)`
+//!   ([`poll`], [`reactor`]); idle connections cost zero wakeups, and
+//!   per-connection state machines ([`conn`]) decode frames
+//!   incrementally and **pipeline** many in-flight requests, answering
+//!   in request order from a reused serialization buffer.
+//! - **Sharded micro-batching** — admitted requests route to N batcher
+//!   shards ([`shard`]) by connection id; each coalesces work into
 //!   `evaluate_batch` calls on the pipeline pool, so concurrent clients
 //!   get the batch engine's throughput, and every response is
 //!   bit-identical to offline scoring regardless of how requests
 //!   interleave into batches.
+//! - **Tiered backpressure** — a per-connection pipeline cap (stop
+//!   reading, let TCP push back), then a global in-flight cap answering
+//!   a typed `busy` error immediately instead of queueing unbounded
+//!   work.
 //! - **Hot reload** — the model sits behind an `Arc` swap; running
 //!   batches finish on their snapshot and every score response carries
 //!   the fingerprint of the model that produced it.
@@ -36,9 +44,13 @@
 //! [`CompiledModel`]: clairvoyant::CompiledModel
 
 pub mod client;
+mod conn;
 pub mod json;
+pub mod poll;
 pub mod protocol;
+mod reactor;
 pub mod server;
+mod shard;
 pub mod stats;
 
 pub use client::Client;

@@ -1,0 +1,218 @@
+//! A minimal, offline-safe `poll(2)` shim.
+//!
+//! The workspace builds without registry access, so there is no `libc`
+//! crate to lean on; this module declares the four POSIX calls the
+//! reactor needs (`poll`, `pipe`, `read`, `write` — plus `fcntl` and
+//! `close` for pipe management) directly via `extern "C"`. The constants
+//! are the Linux ABI values, which is the only platform this daemon
+//! targets; the types match every mainstream 64-bit Unix.
+//!
+//! Two pieces live here:
+//!
+//! - [`poll`]: readiness polling over a borrowed `pollfd` slice. The
+//!   reactor rebuilds its interest set per iteration (connection counts
+//!   are thousands, not millions, so a rebuild is cheaper than the
+//!   bookkeeping an epoll registration protocol would need — and `poll`
+//!   exists everywhere, including inside minimal containers).
+//! - [`Waker`]: the classic self-pipe. Reactor threads block in `poll`
+//!   with an *infinite* timeout — an idle server makes zero wakeups —
+//!   so batcher shards and the shutdown path need a file descriptor
+//!   they can write one byte into to make a specific reactor's `poll`
+//!   return. Both ends are non-blocking: `wake` on an already-signaled
+//!   pipe is a no-op (`EAGAIN`), and `drain` reads until empty.
+
+use std::io;
+
+/// `pollfd.events`/`revents` flag: readable.
+pub const POLLIN: i16 = 0x001;
+/// `pollfd.events`/`revents` flag: writable.
+pub const POLLOUT: i16 = 0x004;
+/// `revents`-only flag: error condition.
+pub const POLLERR: i16 = 0x008;
+/// `revents`-only flag: peer hung up.
+pub const POLLHUP: i16 = 0x010;
+/// `revents`-only flag: fd not open.
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of a `poll(2)` interest set (binary layout of `struct
+/// pollfd` on Linux/BSD/macOS).
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    pub fd: i32,
+    pub events: i16,
+    pub revents: i16,
+}
+
+impl PollFd {
+    pub fn new(fd: i32, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// True when any of `flags` fired.
+    pub fn has(&self, flags: i16) -> bool {
+        self.revents & flags != 0
+    }
+
+    /// True for any condition that makes the fd dead or readable-to-EOF
+    /// (`POLLERR`/`POLLHUP`/`POLLNVAL`).
+    pub fn is_broken(&self) -> bool {
+        self.has(POLLERR | POLLHUP | POLLNVAL)
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    extern "C" {
+        pub fn poll(fds: *mut super::PollFd, nfds: u64, timeout: i32) -> i32;
+        pub fn pipe(fds: *mut i32) -> i32;
+        pub fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+        pub fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        pub fn close(fd: i32) -> i32;
+    }
+
+    pub const F_GETFL: i32 = 3;
+    pub const F_SETFL: i32 = 4;
+    pub const O_NONBLOCK: i32 = 0o4000;
+}
+
+/// Block until at least one fd in `fds` is ready, `timeout_ms` elapses
+/// (`-1` blocks forever), or a signal interrupts. Returns the number of
+/// ready entries; `EINTR` is retried internally so callers never see it.
+#[cfg(unix)]
+pub fn poll(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        let rc = unsafe { sys::poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+pub fn poll(_fds: &mut [PollFd], _timeout_ms: i32) -> io::Result<usize> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "the serve reactor requires poll(2); this platform is not supported",
+    ))
+}
+
+/// A self-pipe that makes a blocked `poll` return: include
+/// [`Waker::read_fd`] in the interest set with `POLLIN`, and any thread
+/// may call [`Waker::wake`]. Closes both ends on drop.
+#[derive(Debug)]
+pub struct Waker {
+    read_fd: i32,
+    write_fd: i32,
+}
+
+// The fds are plain integers used through atomic syscalls; wake() from
+// any thread racing drain() on the owner is exactly the intended use.
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+#[cfg(unix)]
+impl Waker {
+    pub fn new() -> io::Result<Waker> {
+        let mut fds = [0i32; 2];
+        if unsafe { sys::pipe(fds.as_mut_ptr()) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        for fd in fds {
+            let flags = unsafe { sys::fcntl(fd, sys::F_GETFL, 0) };
+            if flags < 0 || unsafe { sys::fcntl(fd, sys::F_SETFL, flags | sys::O_NONBLOCK) } < 0 {
+                let err = io::Error::last_os_error();
+                unsafe {
+                    sys::close(fds[0]);
+                    sys::close(fds[1]);
+                }
+                return Err(err);
+            }
+        }
+        Ok(Waker {
+            read_fd: fds[0],
+            write_fd: fds[1],
+        })
+    }
+
+    /// The fd to poll with `POLLIN`.
+    pub fn read_fd(&self) -> i32 {
+        self.read_fd
+    }
+
+    /// Make the owning reactor's `poll` return. Idempotent while the
+    /// signal is pending: a full pipe means the reactor is already due
+    /// to wake, so `EAGAIN` is success.
+    pub fn wake(&self) {
+        let byte = [1u8];
+        unsafe {
+            let _ = sys::write(self.write_fd, byte.as_ptr(), 1);
+        }
+    }
+
+    /// Clear the pending signal (reads until the pipe is empty).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n = unsafe { sys::read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
+            if n <= 0 {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe {
+            sys::close(self.read_fd);
+            sys::close(self.write_fd);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+impl Waker {
+    pub fn new() -> io::Result<Waker> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "the serve reactor requires a self-pipe; this platform is not supported",
+        ))
+    }
+    pub fn read_fd(&self) -> i32 {
+        -1
+    }
+    pub fn wake(&self) {}
+    pub fn drain(&self) {}
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waker_makes_poll_return_and_drains() {
+        let waker = Waker::new().expect("pipe");
+        let mut fds = [PollFd::new(waker.read_fd(), POLLIN)];
+        // Nothing pending: poll times out immediately.
+        assert_eq!(poll(&mut fds, 0).expect("poll"), 0);
+        waker.wake();
+        waker.wake(); // coalesces
+        let mut fds = [PollFd::new(waker.read_fd(), POLLIN)];
+        assert_eq!(poll(&mut fds, 1000).expect("poll"), 1);
+        assert!(fds[0].has(POLLIN));
+        waker.drain();
+        let mut fds = [PollFd::new(waker.read_fd(), POLLIN)];
+        assert_eq!(poll(&mut fds, 0).expect("poll"), 0);
+    }
+}

@@ -1,0 +1,313 @@
+//! Reactor threads: the event-driven I/O half of the daemon.
+//!
+//! ```text
+//!              ┌ reactor 0 ─ poll(listener, waker, conns…) ┐
+//!  accept ───▶ │  conn conn conn …   (state machines)      │──▶ shard 0
+//!              ├ reactor 1 ─ poll(waker, conns…)           ├──▶ shard 1
+//!              │  conn conn conn …                         │──▶   …
+//!              └ …                                         ┘
+//!                   ▲ completions (mailbox + self-pipe wake)
+//! ```
+//!
+//! Each reactor owns a disjoint set of connections for their whole life
+//! (accepted connections are routed by `conn_id % reactors`), so no
+//! lock guards per-connection state — the only cross-thread traffic is
+//! two small mailboxes (`inbox` for handed-off accepts, `completions`
+//! from batcher shards), each drained once per loop.
+//!
+//! The loop is level-triggered `poll(2)` over a rebuilt interest set:
+//! the waker pipe, the listener (reactor 0 only), and every connection
+//! that currently wants readability (not pipeline-paused) and/or
+//! writability (buffered response bytes). An **idle server blocks with
+//! an infinite timeout** — zero wakeups, zero CPU — which is the fix
+//! for the old per-connection read-timeout spin; `reactor_wakeups`
+//! counts loop iterations so the regression test can pin that down.
+//!
+//! Connection slots are generation-stamped: when a connection dies
+//! mid-pipeline its slot frees immediately, and completions still in
+//! flight for it are dropped by a token mismatch instead of landing on
+//! whoever reuses the slot.
+//!
+//! Graceful drain: once `shutting_down` is set the listener closes, new
+//! scoring work is refused with typed errors (in `Conn::submit`), and
+//! the reactor keeps polling — with a `poll_tick` timeout now — until
+//! every connection is quiescent and the global in-flight count is
+//! zero, then holds connections open one `poll_tick` longer so clients
+//! mid-conversation get typed `shutting_down` refusals instead of
+//! connection resets.
+
+use crate::conn::{pack_token, unpack_token, Conn};
+use crate::poll::{poll, PollFd, Waker, POLLIN, POLLOUT};
+use crate::protocol::Payload;
+use crate::server::Shared;
+use std::io::ErrorKind;
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A finished job on its way back from a batcher shard.
+pub(crate) struct Completion {
+    pub token: u64,
+    pub seq: u64,
+    pub response: Payload,
+}
+
+/// The cross-thread face of one reactor: mailboxes plus the self-pipe
+/// that makes its `poll` return.
+pub(crate) struct ReactorShared {
+    /// Connections accepted by reactor 0 but owned by this reactor.
+    pub inbox: Mutex<Vec<(TcpStream, u64)>>,
+    /// Finished jobs from the batcher shards.
+    pub completions: Mutex<Vec<Completion>>,
+    pub waker: Waker,
+}
+
+impl ReactorShared {
+    pub fn new() -> std::io::Result<ReactorShared> {
+        Ok(ReactorShared {
+            inbox: Mutex::new(Vec::new()),
+            completions: Mutex::new(Vec::new()),
+            waker: Waker::new()?,
+        })
+    }
+}
+
+/// What each pollfd entry refers to, index-aligned with the fd slice.
+enum FdKind {
+    Waker,
+    Listener,
+    Conn(usize),
+}
+
+/// Mask for the 24-bit generation field of a connection token.
+const GEN_MASK: u32 = 0xFF_FFFF;
+
+pub(crate) fn reactor_loop(shared: &Arc<Shared>, id: usize, mut listener: Option<TcpListener>) {
+    let me = &shared.reactors[id];
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut gens: Vec<u32> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut fds: Vec<PollFd> = Vec::new();
+    let mut kinds: Vec<FdKind> = Vec::new();
+    // Slots that received completions this wake (reused across loops).
+    let mut touched: Vec<usize> = Vec::new();
+    // Set once the drain has reached quiescence; expiry ends the loop.
+    let mut drain_deadline: Option<Instant> = None;
+
+    loop {
+        let draining = shared.shutting_down.load(Ordering::SeqCst);
+        if draining {
+            // Stop accepting: dropping the listener closes the socket,
+            // so late clients get connection-refused, not a hang.
+            listener = None;
+        }
+
+        fds.clear();
+        kinds.clear();
+        fds.push(PollFd::new(me.waker.read_fd(), POLLIN));
+        kinds.push(FdKind::Waker);
+        if let Some(l) = &listener {
+            fds.push(PollFd::new(l.as_raw_fd(), POLLIN));
+            kinds.push(FdKind::Listener);
+        }
+        for (slot, conn) in conns.iter().enumerate() {
+            let Some(conn) = conn else { continue };
+            let mut events = 0i16;
+            if conn.wants_read() {
+                events |= POLLIN;
+            }
+            if conn.wants_write() {
+                events |= POLLOUT;
+            }
+            if events != 0 {
+                fds.push(PollFd::new(conn.fd(), events));
+                kinds.push(FdKind::Conn(slot));
+            }
+        }
+
+        // Idle and not draining: block forever — wakeups come only from
+        // real readiness or the self-pipe. Draining: tick so the grace
+        // deadline is observed.
+        let timeout_ms = if draining {
+            shared
+                .config
+                .poll_tick
+                .as_millis()
+                .clamp(1, i32::MAX as u128) as i32
+        } else {
+            -1
+        };
+        let _ = poll(&mut fds, timeout_ms);
+        shared.stats.reactor_wakeups.fetch_add(1, Ordering::Relaxed);
+
+        for i in 0..fds.len() {
+            let pfd = fds[i];
+            match kinds[i] {
+                FdKind::Waker => {
+                    if pfd.has(POLLIN) {
+                        me.waker.drain();
+                    }
+                }
+                FdKind::Listener => {
+                    if pfd.has(POLLIN) || pfd.is_broken() {
+                        if let Some(l) = &listener {
+                            accept_burst(shared, id, l, &mut conns, &mut gens, &mut free);
+                        }
+                    }
+                }
+                FdKind::Conn(slot) => {
+                    let Some(conn) = conns[slot].as_mut() else {
+                        continue;
+                    };
+                    if pfd.has(POLLIN) {
+                        conn.pump(shared);
+                    } else if pfd.is_broken() {
+                        // No read interest (paused or closing) and the
+                        // peer is gone: nothing left to deliver.
+                        conn.kill();
+                    }
+                    if pfd.has(POLLOUT) {
+                        conn.try_write();
+                    }
+                }
+            }
+        }
+
+        // Adopt connections handed over by the accepting reactor.
+        let adopted: Vec<(TcpStream, u64)> = {
+            let mut inbox = me.inbox.lock().unwrap();
+            std::mem::take(&mut *inbox)
+        };
+        for (stream, conn_id) in adopted {
+            if draining {
+                drop(stream);
+                continue;
+            }
+            register(
+                shared, id, stream, conn_id, &mut conns, &mut gens, &mut free,
+            );
+        }
+
+        // Apply completions from the batcher shards. A stale generation
+        // means the connection died mid-pipeline and the slot was
+        // recycled: the response is dropped on the floor, which is the
+        // whole point of the stamp.
+        let completed: Vec<Completion> = {
+            let mut mailbox = me.completions.lock().unwrap();
+            std::mem::take(&mut *mailbox)
+        };
+        touched.clear();
+        for completion in completed {
+            let (reactor, slot, gen) = unpack_token(completion.token);
+            debug_assert_eq!(reactor, id, "completion routed to the wrong reactor");
+            if slot < conns.len() && gens[slot] == gen {
+                if let Some(conn) = conns[slot].as_mut() {
+                    conn.complete(completion.seq, completion.response, shared);
+                    touched.push(slot);
+                }
+            }
+        }
+        // Serialize + write once per connection this wake, however many
+        // completions just landed on it.
+        touched.sort_unstable();
+        touched.dedup();
+        for &slot in &touched {
+            if let Some(conn) = conns[slot].as_mut() {
+                conn.after_completions(shared);
+            }
+        }
+
+        // Reap dead connections: bump the generation so any in-flight
+        // completion for the old occupant goes stale, then free the slot.
+        for slot in 0..conns.len() {
+            if conns[slot].as_ref().is_some_and(Conn::is_dead) {
+                conns[slot] = None;
+                gens[slot] = gens[slot].wrapping_add(1) & GEN_MASK;
+                free.push(slot);
+            }
+        }
+
+        if draining {
+            let quiet = conns.iter().flatten().all(Conn::quiescent)
+                && shared.inflight.load(Ordering::SeqCst) == 0;
+            if !quiet {
+                drain_deadline = None;
+            } else {
+                match drain_deadline {
+                    None => {
+                        // Quiescent: every admitted request is answered
+                        // and flushed. Linger one tick so clients still
+                        // talking get typed refusals, then exit.
+                        drain_deadline = Some(Instant::now() + shared.config.poll_tick);
+                    }
+                    Some(deadline) if Instant::now() >= deadline => return,
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+}
+
+/// Accept until `WouldBlock`, routing each connection to its owning
+/// reactor by id. Runs only on the reactor holding the listener.
+fn accept_burst(
+    shared: &Arc<Shared>,
+    my_id: usize,
+    listener: &TcpListener,
+    conns: &mut Vec<Option<Conn>>,
+    gens: &mut Vec<u32>,
+    free: &mut Vec<usize>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    drop(stream);
+                    continue;
+                }
+                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+                let target = (conn_id as usize) % shared.reactors.len();
+                if target == my_id {
+                    register(shared, my_id, stream, conn_id, conns, gens, free);
+                } else {
+                    shared.reactors[target]
+                        .inbox
+                        .lock()
+                        .unwrap()
+                        .push((stream, conn_id));
+                    shared.reactors[target].waker.wake();
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            // Transient accept failure (EMFILE, ECONNABORTED…): poll
+            // will re-announce readiness; don't spin here.
+            Err(_) => return,
+        }
+    }
+}
+
+/// Install a connection into a free slot (or grow) under a fresh token.
+fn register(
+    shared: &Arc<Shared>,
+    reactor_id: usize,
+    stream: TcpStream,
+    conn_id: u64,
+    conns: &mut Vec<Option<Conn>>,
+    gens: &mut Vec<u32>,
+    free: &mut Vec<usize>,
+) {
+    let slot = free.pop().unwrap_or_else(|| {
+        conns.push(None);
+        gens.push(0);
+        conns.len() - 1
+    });
+    let token = pack_token(reactor_id, slot, gens[slot]);
+    match Conn::new(stream, conn_id, token, shared.shards.len()) {
+        Ok(conn) => conns[slot] = Some(conn),
+        Err(_) => free.push(slot),
+    }
+}

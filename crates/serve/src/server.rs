@@ -1,25 +1,39 @@
-//! The scoring daemon: accept loop, admission control, micro-batcher,
-//! and hot model reload.
+//! The scoring daemon: reactor threads, sharded batchers, admission
+//! control, and hot model reload.
 //!
 //! ```text
-//!  client ──frame──▶ handler thread ──admit──▶ bounded queue ─┐
-//!  client ──frame──▶ handler thread ──admit──▶      …         ├─▶ batcher
-//!  client ──frame──▶ handler thread ──busy ◀─(queue full)     │   thread
-//!                         ▲                                   │
-//!                         └────────── report + fingerprint ◀──┘
+//!                 ┌─ reactor 0 (poll) ── conns… ─┐   ┌─ shard 0 ─┐
+//!  clients ─────▶ ├─ reactor 1 (poll) ── conns… ─┼──▶├─ shard 1  ├─▶ evaluate_batch
+//!                 └─ …                           ┘   └─ …        ┘
+//!                        ▲ ordered responses            │ completions
+//!                        └──────────────────────────────┘
 //! ```
 //!
-//! One thread per connection parses frames and answers the cheap
-//! endpoints (`health`, `stats`, `reload`, `shutdown`) inline. `score`
-//! requests pass admission control — a shared in-flight counter capped
-//! at [`ServeConfig::max_inflight`]; over the cap the handler answers a
-//! typed `busy` error immediately instead of queueing unbounded work —
-//! and then wait on a per-request channel while the single batcher
-//! thread drains the queue in micro-batches of up to
-//! [`ServeConfig::batch_max`] apps, scoring each batch with one
-//! [`CompiledModel::evaluate_batch`] call on the pipeline pool.
+//! A small fixed pool of reactor threads ([`crate::reactor`]) owns every
+//! connection: non-blocking sockets driven by `poll(2)`, per-connection
+//! state machines ([`crate::conn`]) that decode length-prefixed frames
+//! incrementally, answer the cheap endpoints (`health`, `stats`,
+//! `reload`, `shutdown`) inline, and pipeline scoring-family requests —
+//! many in flight per connection, responses written back in request
+//! order from a reused serialization buffer.
 //!
-//! The model lives behind `Mutex<Arc<ModelState>>`: the batcher clones
+//! Scoring work routes to N batcher shards ([`crate::shard`]) by
+//! connection id; each shard coalesces jobs into micro-batches of up to
+//! [`ServeConfig::batch_max`] apps and scores them with one
+//! `evaluate_batch`/`explain_batch` pair on the pipeline pool.
+//!
+//! Backpressure is tiered instead of a single counter race:
+//!
+//! 1. **pipeline cap** — a connection with [`ServeConfig::max_pipeline`]
+//!    unanswered requests stops being read; TCP pushes back on the
+//!    client without a single byte of queued response;
+//! 2. **global in-flight cap** — [`reserve_slot`] admits at most
+//!    [`ServeConfig::max_inflight`] jobs across all shards; over the cap
+//!    the client gets an immediate typed `busy` error;
+//! 3. **drain** — after shutdown every scoring request gets a typed
+//!    `shutting_down` refusal while admitted work finishes.
+//!
+//! The model lives behind `Mutex<Arc<ModelState>>`: each shard clones
 //! the `Arc` once per batch, `reload` swaps the slot after loading and
 //! validating the new file, and in-flight batches finish on whichever
 //! model they started with — a reload never stalls or corrupts running
@@ -28,30 +42,26 @@
 //!
 //! Scoring a batch is row-independent (each app's report depends only on
 //! its own feature row — `evaluate_batch` is bit-identical to per-app
-//! scoring), so responses do not depend on how client requests interleave
-//! into batches. The black-box harness (`tests/tests/serve_engine.rs`)
-//! pins this down.
+//! scoring), so responses do not depend on how pipelined requests from
+//! many connections interleave into shard batches. The black-box
+//! harness (`tests/tests/serve_engine.rs`) pins this down.
 //!
 //! Shutdown (via [`ServerHandle::shutdown`] or a `shutdown` request) is
-//! graceful: the listener stops accepting, handlers refuse new work with
-//! a `shutting_down` error, the batcher drains every admitted request,
-//! and all threads are joined.
+//! graceful: the listener closes, scoring requests are refused with
+//! typed errors, shards drain every admitted job, reactors flush every
+//! owed response and linger one `poll_tick` before closing, and all
+//! threads are joined.
 
-use crate::protocol::{
-    error_response, ok_response, read_frame, write_frame, FrameError, Request, ScoreInput,
-};
+use crate::protocol::{error_response, ok_response, Request};
+use crate::reactor::{reactor_loop, ReactorShared};
+use crate::shard::{shard_loop, ShardQueue};
 use crate::stats::ServiceStats;
-use clairvoyant::report::{comparison_value, explanation_value, security_report_value, Json};
-use clairvoyant::{
-    rank_hotspots, Comparison, CompiledModel, Explanation, Hotspot, SecurityReport, Testbed,
-};
-use std::collections::VecDeque;
-use std::io::Write as _;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use clairvoyant::report::Json;
+use clairvoyant::CompiledModel;
+use std::net::{SocketAddr, TcpListener};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -61,14 +71,24 @@ pub struct ServeConfig {
     /// Address to bind; port 0 picks an ephemeral port.
     pub addr: String,
     /// Admission-control cap: score requests admitted (queued or being
-    /// scored) at once. Beyond it, clients get a typed `busy` error.
+    /// scored) at once, across all shards. Beyond it, clients get a
+    /// typed `busy` error.
     pub max_inflight: usize,
     /// Most apps scored in one `evaluate_batch` call.
     pub batch_max: usize,
     /// Pipeline-pool workers per batch (0 = all cores).
     pub jobs: usize,
-    /// Handler read-poll tick: how often an idle connection re-checks
-    /// the shutdown flag.
+    /// Reactor event-loop threads. Connections are pinned to a reactor
+    /// for their whole life by `conn_id % reactor_threads`.
+    pub reactor_threads: usize,
+    /// Batcher shard threads. Connections are pinned to a shard by
+    /// `conn_id % batch_shards`.
+    pub batch_shards: usize,
+    /// Most unanswered requests one connection may pipeline before the
+    /// reactor stops reading it (tier-1 backpressure).
+    pub max_pipeline: usize,
+    /// Drain/shutdown tick: shard condvar re-check interval and the
+    /// post-quiescence linger before reactors close connections.
     pub poll_tick: Duration,
     /// Artificial delay per scored batch. Zero in production; tests and
     /// the bench overload path use it to hold requests in flight
@@ -83,6 +103,9 @@ impl Default for ServeConfig {
             max_inflight: 256,
             batch_max: 64,
             jobs: 1,
+            reactor_threads: 2,
+            batch_shards: 2,
+            max_pipeline: 64,
             poll_tick: Duration::from_millis(50),
             debug_batch_delay: Duration::ZERO,
         }
@@ -133,46 +156,38 @@ fn fingerprint_bytes(bytes: &[u8]) -> u64 {
     pipeline::fnv::hash_bytes(bytes)
 }
 
-/// One admitted request waiting for the batcher. Every variant holds one
-/// admission slot; `Compare` contributes two rows to the batch but still
-/// counts once against the in-flight cap (it is one client waiting).
-enum Job {
-    Score {
-        name: String,
-        features: static_analysis::FeatureVector,
-        reply: mpsc::Sender<(SecurityReport, u64)>,
-    },
-    Explain {
-        name: String,
-        features: static_analysis::FeatureVector,
-        /// Hotspots are computed on the handler thread (they need the
-        /// parsed program, which only source submissions have); the
-        /// batcher attaches them to the finished explanation.
-        hotspots: Vec<Hotspot>,
-        reply: mpsc::Sender<(Explanation, u64)>,
-    },
-    Compare {
-        a: (String, static_analysis::FeatureVector),
-        b: (String, static_analysis::FeatureVector),
-        reply: mpsc::Sender<(Comparison, u64)>,
-    },
-}
-
 /// State shared by every thread of one server.
-struct Shared {
-    config: ServeConfig,
-    model: Mutex<Arc<ModelState>>,
-    queue: Mutex<VecDeque<Job>>,
-    queue_signal: Condvar,
-    inflight: AtomicUsize,
-    shutting_down: AtomicBool,
-    stats: ServiceStats,
-    started: Instant,
+pub(crate) struct Shared {
+    pub config: ServeConfig,
+    pub model: Mutex<Arc<ModelState>>,
+    pub shards: Vec<ShardQueue>,
+    pub reactors: Vec<ReactorShared>,
+    pub next_conn_id: AtomicU64,
+    pub inflight: AtomicUsize,
+    pub shutting_down: AtomicBool,
+    pub stats: ServiceStats,
+    pub started: Instant,
 }
 
 impl Shared {
-    fn current_model(&self) -> Arc<ModelState> {
+    pub fn current_model(&self) -> Arc<ModelState> {
         self.model.lock().unwrap().clone()
+    }
+
+    /// Flip the drain flag and wake every parked thread so it observes
+    /// the flag now rather than at its next natural wakeup.
+    pub fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        for reactor in &self.reactors {
+            reactor.waker.wake();
+        }
+        for shard in &self.shards {
+            shard.kick();
+        }
+    }
+
+    fn shard_depths(&self) -> Vec<usize> {
+        self.shards.iter().map(ShardQueue::depth).collect()
     }
 }
 
@@ -181,43 +196,59 @@ impl Shared {
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
-    batcher: Option<JoinHandle<()>>,
+    threads: Vec<JoinHandle<()>>,
 }
 
-/// Start the daemon: bind, spawn the accept loop and the batcher, and
+/// Start the daemon: bind, spawn the reactor and shard threads, and
 /// return immediately.
 pub fn start(config: ServeConfig, model: ModelState) -> Result<ServerHandle, String> {
     let listener = TcpListener::bind(&config.addr)
         .map_err(|e| format!("cannot bind `{}`: {e}", config.addr))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot make the listener non-blocking: {e}"))?;
     let addr = listener
         .local_addr()
         .map_err(|e| format!("cannot read bound address: {e}"))?;
+
+    let reactor_count = config.reactor_threads.clamp(1, 256);
+    let shard_count = config.batch_shards.max(1);
+    let mut reactors = Vec::with_capacity(reactor_count);
+    for _ in 0..reactor_count {
+        reactors
+            .push(ReactorShared::new().map_err(|e| format!("cannot create a reactor waker: {e}"))?);
+    }
     let shared = Arc::new(Shared {
         config,
         model: Mutex::new(Arc::new(model)),
-        queue: Mutex::new(VecDeque::new()),
-        queue_signal: Condvar::new(),
+        shards: (0..shard_count).map(|_| ShardQueue::new()).collect(),
+        reactors,
+        next_conn_id: AtomicU64::new(0),
         inflight: AtomicUsize::new(0),
         shutting_down: AtomicBool::new(false),
         stats: ServiceStats::default(),
         started: Instant::now(),
     });
 
-    let batcher = {
+    let mut threads = Vec::with_capacity(shard_count + reactor_count);
+    for shard_id in 0..shard_count {
         let shared = shared.clone();
-        std::thread::spawn(move || batcher_loop(&shared))
-    };
-    let accept = {
+        threads.push(std::thread::spawn(move || shard_loop(&shared, shard_id)));
+    }
+    let mut listener = Some(listener);
+    for reactor_id in 0..reactor_count {
         let shared = shared.clone();
-        std::thread::spawn(move || accept_loop(listener, &shared))
-    };
+        // Reactor 0 owns the listener; the others only poll their conns.
+        let listener = (reactor_id == 0).then(|| listener.take()).flatten();
+        threads.push(std::thread::spawn(move || {
+            reactor_loop(&shared, reactor_id, listener)
+        }));
+    }
 
     Ok(ServerHandle {
         addr,
         shared,
-        accept: Some(accept),
-        batcher: Some(batcher),
+        threads,
     })
 }
 
@@ -241,118 +272,35 @@ impl ServerHandle {
         self.join_all();
     }
 
-    /// Graceful shutdown: refuse new connections and requests, drain the
-    /// admitted queue, join every thread.
+    /// Graceful shutdown: refuse new connections and requests, drain
+    /// every admitted job, flush every owed response, join every thread.
     pub fn shutdown(mut self) {
-        self.begin_shutdown();
+        self.shared.begin_shutdown();
         self.join_all();
     }
 
-    fn begin_shutdown(&self) {
-        self.shared.shutting_down.store(true, Ordering::SeqCst);
-        self.shared.queue_signal.notify_all();
-        // Unblock the accept loop: it is parked in `accept()`, so poke it
-        // with a throwaway connection. Failure is fine — the listener may
-        // already be gone.
-        let _ = TcpStream::connect(self.addr);
-    }
-
     fn join_all(&mut self) {
-        // A wire-triggered shutdown set the flag without unblocking
-        // `accept()`; poke the listener so the loop observes it.
-        let _ = TcpStream::connect(self.addr);
-        // Accept loop first (it joins handler threads), then the batcher
-        // (handlers waiting on score replies need it alive to drain).
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
-        }
-        self.shared.queue_signal.notify_all();
-        if let Some(h) = self.batcher.take() {
-            let _ = h.join();
+        // A wire-triggered shutdown already woke everything; waking
+        // again is a cheap no-op and covers the local path.
+        self.shared.begin_shutdown();
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
         }
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if self.accept.is_some() || self.batcher.is_some() {
-            self.begin_shutdown();
+        if !self.threads.is_empty() {
+            self.shared.begin_shutdown();
             self.join_all();
         }
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
-    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-    loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if shared.shutting_down.load(Ordering::SeqCst) {
-                    // The poke connection (or a late client): refuse.
-                    drop(stream);
-                    break;
-                }
-                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
-                let shared = shared.clone();
-                handlers.push(std::thread::spawn(move || {
-                    handle_connection(stream, &shared)
-                }));
-                // Reap finished handlers so a long-lived daemon does not
-                // accumulate one parked JoinHandle per past connection.
-                handlers.retain(|h| !h.is_finished());
-            }
-            Err(_) => {
-                if shared.shutting_down.load(Ordering::SeqCst) {
-                    break;
-                }
-                // Transient accept failure (EMFILE, ECONNABORTED…):
-                // back off briefly and keep serving.
-                std::thread::sleep(shared.config.poll_tick);
-            }
-        }
-    }
-    drop(listener);
-    for h in handlers {
-        let _ = h.join();
-    }
-}
-
-fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
-    // Short read timeouts let the handler poll the shutdown flag while
-    // the connection idles between frames.
-    let _ = stream.set_read_timeout(Some(shared.config.poll_tick));
-    let _ = stream.set_nodelay(true);
-    loop {
-        let mut keep_waiting = || !shared.shutting_down.load(Ordering::SeqCst);
-        let payload = match read_frame(&mut stream, &mut keep_waiting) {
-            Ok(payload) => payload,
-            Err(FrameError::Closed) => return,
-            Err(FrameError::Desync(message)) => {
-                shared.stats.desyncs.fetch_add(1, Ordering::Relaxed);
-                // Best-effort final error; the stream is out of sync, so
-                // the connection must die either way.
-                let reply = error_response("bad_request", &message).to_string();
-                let _ = write_frame(&mut stream, reply.as_bytes());
-                return;
-            }
-            Err(FrameError::Io(_)) => return,
-        };
-        let t0 = Instant::now();
-        let response = match Request::parse(&payload) {
-            Ok(request) => dispatch(request, shared, t0),
-            Err(message) => {
-                shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-                error_response("bad_request", &message)
-            }
-        };
-        if write_frame(&mut stream, response.to_string().as_bytes()).is_err() {
-            return;
-        }
-        let _ = stream.flush();
-    }
-}
-
-fn dispatch(request: Request, shared: &Arc<Shared>, t0: Instant) -> Json {
+/// Answer a cheap endpoint inline on the reactor thread. Scoring-family
+/// requests never reach here — they route through `Conn::submit`.
+pub(crate) fn admin_response(request: Request, shared: &Arc<Shared>, t0: Instant) -> Json {
     match request {
         Request::Health => {
             let stats = &shared.stats.health;
@@ -381,10 +329,10 @@ fn dispatch(request: Request, shared: &Arc<Shared>, t0: Instant) -> Json {
             let stats = &shared.stats.stats;
             stats.requests.fetch_add(1, Ordering::Relaxed);
             let inflight = shared.inflight.load(Ordering::SeqCst);
-            let queue_depth = shared.queue.lock().unwrap().len();
+            let depths = shared.shard_depths();
             let response = ok_response(
                 "stats",
-                vec![("stats", shared.stats.to_json(inflight, queue_depth))],
+                vec![("stats", shared.stats.to_json(inflight, &depths))],
             );
             stats.latency.record(t0.elapsed());
             response
@@ -392,8 +340,7 @@ fn dispatch(request: Request, shared: &Arc<Shared>, t0: Instant) -> Json {
         Request::Shutdown => {
             let stats = &shared.stats.shutdown;
             stats.requests.fetch_add(1, Ordering::Relaxed);
-            shared.shutting_down.store(true, Ordering::SeqCst);
-            shared.queue_signal.notify_all();
+            shared.begin_shutdown();
             ok_response("shutdown", vec![("draining", Json::Bool(true))])
         }
         Request::Reload { path } => {
@@ -406,35 +353,8 @@ fn dispatch(request: Request, shared: &Arc<Shared>, t0: Instant) -> Json {
             stats.latency.record(t0.elapsed());
             response
         }
-        Request::Score { name, input } => {
-            let response = score(shared, name, input);
-            let stats = &shared.stats.score;
-            stats.requests.fetch_add(1, Ordering::Relaxed);
-            if !matches!(&response, Json::Object(o) if o.get("ok") == Some(&Json::Bool(true))) {
-                stats.errors.fetch_add(1, Ordering::Relaxed);
-            }
-            stats.latency.record(t0.elapsed());
-            response
-        }
-        Request::Explain { name, input, top_k } => {
-            let response = explain(shared, name, input, top_k);
-            let stats = &shared.stats.explain;
-            stats.requests.fetch_add(1, Ordering::Relaxed);
-            if !matches!(&response, Json::Object(o) if o.get("ok") == Some(&Json::Bool(true))) {
-                stats.errors.fetch_add(1, Ordering::Relaxed);
-            }
-            stats.latency.record(t0.elapsed());
-            response
-        }
-        Request::Compare { a, b } => {
-            let response = compare(shared, a, b);
-            let stats = &shared.stats.compare;
-            stats.requests.fetch_add(1, Ordering::Relaxed);
-            if !matches!(&response, Json::Object(o) if o.get("ok") == Some(&Json::Bool(true))) {
-                stats.errors.fetch_add(1, Ordering::Relaxed);
-            }
-            stats.latency.record(t0.elapsed());
-            response
+        Request::Score { .. } | Request::Explain { .. } | Request::Compare { .. } => {
+            unreachable!("scoring-family requests go through Conn::submit")
         }
     }
 }
@@ -474,40 +394,12 @@ fn reload(shared: &Arc<Shared>, path: Option<&str>) -> Json {
     }
 }
 
-/// Resolve a scoring-family input on the handler thread (extraction
-/// parallelizes across connections): pre-extracted features pass
-/// through; source is parsed and run through the testbed, returning the
-/// program too so `explain` can rank hotspots.
-fn resolve_input(
-    name: &str,
-    input: ScoreInput,
-) -> Result<
-    (
-        static_analysis::FeatureVector,
-        Option<minilang::ast::Program>,
-    ),
-    Json,
-> {
-    match input {
-        ScoreInput::Features(fv) => Ok((fv, None)),
-        ScoreInput::Source { text, dialect } => {
-            let files = vec![(format!("{name}.src"), text)];
-            match minilang::parse_program(name, dialect, &files) {
-                Ok(program) => {
-                    let fv = Testbed::new().extract(&program);
-                    Ok((fv, Some(program)))
-                }
-                Err(e) => Err(error_response("bad_request", &format!("parse error: {e}"))),
-            }
-        }
-    }
-}
-
-/// Admission control: reserve an in-flight slot or produce the typed
-/// refusal. The counter covers queued *and* being-scored requests, so
-/// the bound also caps the batcher's backlog. On success the caller (or
-/// the batcher it hands the job to) owns the slot.
-fn reserve_slot(shared: &Arc<Shared>) -> Result<(), Json> {
+/// Admission control (backpressure tier 2): reserve an in-flight slot or
+/// produce the typed refusal. The counter covers queued *and*
+/// being-scored requests across every shard, so the bound also caps the
+/// total batcher backlog. On success the caller (or the shard it hands
+/// the job to) owns the slot.
+pub(crate) fn reserve_slot(shared: &Arc<Shared>) -> Result<(), Json> {
     let max = shared.config.max_inflight;
     if shared
         .inflight
@@ -524,274 +416,22 @@ fn reserve_slot(shared: &Arc<Shared>) -> Result<(), Json> {
     }
 
     // Re-check the flag now that the slot is held: shutdown may have
-    // started between the first check and the increment, and the batcher
+    // started between the first check and the increment, and a shard
     // may already have observed `shutting_down && inflight == 0` and
     // exited — queueing here would leave this request waiting forever.
     // With SeqCst on both the increment and the flag, reading `false`
-    // here guarantees the batcher's exit check sees `inflight >= 1` and
+    // here guarantees every shard's exit check sees `inflight >= 1` and
     // stays alive to drain the job.
     if shared.shutting_down.load(Ordering::SeqCst) {
         shared.inflight.fetch_sub(1, Ordering::SeqCst);
-        return Err(error_response(
-            "shutting_down",
-            "server is draining; not accepting new work",
-        ));
+        return Err(draining_response());
     }
     Ok(())
 }
 
-/// Queue an admitted job and wake the batcher. The slot travels with it.
-fn enqueue(shared: &Arc<Shared>, job: Job) {
-    shared.queue.lock().unwrap().push_back(job);
-    shared.queue_signal.notify_all();
-}
-
-fn draining_response() -> Json {
+pub(crate) fn draining_response() -> Json {
     error_response(
         "shutting_down",
         "server is draining; not accepting new work",
     )
-}
-
-fn score(shared: &Arc<Shared>, name: String, input: ScoreInput) -> Json {
-    if shared.shutting_down.load(Ordering::SeqCst) {
-        return draining_response();
-    }
-    let (features, _) = match resolve_input(&name, input) {
-        Ok(resolved) => resolved,
-        Err(response) => return response,
-    };
-    if let Err(response) = reserve_slot(shared) {
-        return response;
-    }
-    let (reply, result) = mpsc::channel();
-    enqueue(
-        shared,
-        Job::Score {
-            name,
-            features,
-            reply,
-        },
-    );
-
-    // The batcher owns the slot now and releases it after replying; if
-    // it died (channel closed) report an internal error.
-    match result.recv() {
-        Ok((report, fingerprint)) => ok_response(
-            "score",
-            vec![
-                ("model", Json::String(format!("{fingerprint:016x}"))),
-                ("report", security_report_value(&report)),
-            ],
-        ),
-        Err(_) => error_response("internal", "scoring backend dropped the request"),
-    }
-}
-
-fn explain(shared: &Arc<Shared>, name: String, input: ScoreInput, top_k: usize) -> Json {
-    if shared.shutting_down.load(Ordering::SeqCst) {
-        return draining_response();
-    }
-    let (features, program) = match resolve_input(&name, input) {
-        Ok(resolved) => resolved,
-        Err(response) => return response,
-    };
-    // Hotspot ranking is per-program static analysis — handler-thread
-    // work, like extraction. Feature-vector submissions have no program
-    // and get no hotspots, matching `CompiledModel::explain_features`.
-    let hotspots = program
-        .as_ref()
-        .map(|p| rank_hotspots(p, top_k))
-        .unwrap_or_default();
-    if let Err(response) = reserve_slot(shared) {
-        return response;
-    }
-    let (reply, result) = mpsc::channel();
-    enqueue(
-        shared,
-        Job::Explain {
-            name,
-            features,
-            hotspots,
-            reply,
-        },
-    );
-    match result.recv() {
-        Ok((explanation, fingerprint)) => ok_response(
-            "explain",
-            vec![
-                ("model", Json::String(format!("{fingerprint:016x}"))),
-                ("explanation", explanation_value(&explanation)),
-            ],
-        ),
-        Err(_) => error_response("internal", "scoring backend dropped the request"),
-    }
-}
-
-fn compare(shared: &Arc<Shared>, a: (String, ScoreInput), b: (String, ScoreInput)) -> Json {
-    if shared.shutting_down.load(Ordering::SeqCst) {
-        return draining_response();
-    }
-    let (a_features, _) = match resolve_input(&a.0, a.1) {
-        Ok(resolved) => resolved,
-        Err(response) => return response,
-    };
-    let (b_features, _) = match resolve_input(&b.0, b.1) {
-        Ok(resolved) => resolved,
-        Err(response) => return response,
-    };
-    // One comparison = one waiting client = one admission slot, even
-    // though it contributes two rows to the explanation batch.
-    if let Err(response) = reserve_slot(shared) {
-        return response;
-    }
-    let (reply, result) = mpsc::channel();
-    enqueue(
-        shared,
-        Job::Compare {
-            a: (a.0, a_features),
-            b: (b.0, b_features),
-            reply,
-        },
-    );
-    match result.recv() {
-        Ok((comparison, fingerprint)) => ok_response(
-            "compare",
-            vec![
-                ("model", Json::String(format!("{fingerprint:016x}"))),
-                ("comparison", comparison_value(&comparison)),
-            ],
-        ),
-        Err(_) => error_response("internal", "scoring backend dropped the request"),
-    }
-}
-
-/// The batcher: drain admitted jobs in arrival order, partition the
-/// batch into scoring rows (one `evaluate_batch` call) and explanation
-/// rows (`explain` plus both sides of every `compare`, one
-/// `explain_batch` call) against one model snapshot, reply per job.
-/// Mixing rows from different clients is safe: each row's result depends
-/// only on its own features, so responses do not depend on batch
-/// composition. Exits only when shutdown is requested *and* every
-/// admitted job has been answered.
-fn batcher_loop(shared: &Arc<Shared>) {
-    loop {
-        let batch: Vec<Job> = {
-            let mut queue = shared.queue.lock().unwrap();
-            while queue.is_empty() {
-                if shared.shutting_down.load(Ordering::SeqCst)
-                    && shared.inflight.load(Ordering::SeqCst) == 0
-                {
-                    return;
-                }
-                // Timed wait: an admitted-but-not-yet-queued job (the
-                // handler increments `inflight` before pushing) must be
-                // picked up even if the notify raced the wait.
-                let (q, _) = shared
-                    .queue_signal
-                    .wait_timeout(queue, shared.config.poll_tick)
-                    .unwrap();
-                queue = q;
-            }
-            let take = shared.config.batch_max.max(1).min(queue.len());
-            queue.drain(..take).collect()
-        };
-
-        // One model snapshot per batch: a concurrent reload swaps the
-        // slot for *future* batches; this one finishes on the snapshot.
-        let model = shared.current_model();
-        let mut score_apps: Vec<(String, static_analysis::FeatureVector)> = Vec::new();
-        let mut explain_apps: Vec<(String, static_analysis::FeatureVector)> = Vec::new();
-        for job in &batch {
-            match job {
-                Job::Score { name, features, .. } => {
-                    score_apps.push((name.clone(), features.clone()));
-                }
-                Job::Explain { name, features, .. } => {
-                    explain_apps.push((name.clone(), features.clone()));
-                }
-                Job::Compare { a, b, .. } => {
-                    explain_apps.push(a.clone());
-                    explain_apps.push(b.clone());
-                }
-            }
-        }
-        // Panic isolation: a poisoned feature row must not kill the
-        // batcher thread — that would wedge every queued handler (live
-        // Senders, recv() blocks forever) and leak the in-flight slots.
-        // On panic, answer each job in the failed batch with an internal
-        // error (dropping the Sender fails the handler's recv), release
-        // the slots, and keep serving.
-        let scored = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let reports = if score_apps.is_empty() {
-                Vec::new()
-            } else {
-                model
-                    .compiled
-                    .evaluate_batch(&score_apps, shared.config.jobs)
-            };
-            let explanations = if explain_apps.is_empty() {
-                Vec::new()
-            } else {
-                model
-                    .compiled
-                    .explain_batch(&explain_apps, shared.config.jobs)
-            };
-            (reports, explanations)
-        }));
-        let (reports, explanations) = match scored {
-            Ok(results) => results,
-            Err(_) => {
-                shared.stats.batch_panics.fetch_add(1, Ordering::Relaxed);
-                for job in batch {
-                    // Dropping the Sender fails the handler's recv().
-                    match job {
-                        Job::Score { reply, .. } => drop(reply),
-                        Job::Explain { reply, .. } => drop(reply),
-                        Job::Compare { reply, .. } => drop(reply),
-                    }
-                    shared.inflight.fetch_sub(1, Ordering::SeqCst);
-                }
-                continue;
-            }
-        };
-        if !shared.config.debug_batch_delay.is_zero() {
-            std::thread::sleep(shared.config.debug_batch_delay);
-        }
-        shared.stats.scored_apps.fetch_add(
-            (score_apps.len() + explain_apps.len()) as u64,
-            Ordering::Relaxed,
-        );
-        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
-        // Results come back in partition order, so walking the batch in
-        // order with two cursors reunites every job with its rows.
-        let mut reports = reports.into_iter();
-        let mut explanations = explanations.into_iter();
-        for job in batch {
-            // A handler that timed out or died just drops the receiver;
-            // the slot must be released either way.
-            match job {
-                Job::Score { reply, .. } => {
-                    let report = reports.next().expect("one report per score job");
-                    let _ = reply.send((report, model.fingerprint));
-                }
-                Job::Explain {
-                    hotspots, reply, ..
-                } => {
-                    let mut explanation = explanations
-                        .next()
-                        .expect("one explanation per explain job");
-                    explanation.hotspots = hotspots;
-                    let _ = reply.send((explanation, model.fingerprint));
-                }
-                Job::Compare { reply, .. } => {
-                    let ea = explanations.next().expect("two explanations per compare");
-                    let eb = explanations.next().expect("two explanations per compare");
-                    let _ =
-                        reply.send((Comparison::from_explanations(&ea, &eb), model.fingerprint));
-                }
-            }
-            shared.inflight.fetch_sub(1, Ordering::SeqCst);
-        }
-    }
 }

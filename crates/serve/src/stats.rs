@@ -92,6 +92,10 @@ impl EndpointStats {
                 "p99_us",
                 Json::Number(self.latency.quantile_us(0.99) as f64),
             ),
+            (
+                "p999_us",
+                Json::Number(self.latency.quantile_us(0.999) as f64),
+            ),
             ("latency_buckets", self.latency.to_json()),
         ])
     }
@@ -124,11 +128,20 @@ pub struct ServiceStats {
     /// with an `internal` error. Non-zero here means a model or feature
     /// row is tripping a bug — worth alerting on.
     pub batch_panics: AtomicU64,
+    /// Times a reactor thread's `poll` returned. Idle connections are
+    /// parked with an infinite timeout, so on a quiet server this
+    /// counter is *flat* — it moving while no requests arrive means a
+    /// wakeup storm (the bug the reactor replaced: per-connection
+    /// read-timeout spinning). A regression test pins this down.
+    pub reactor_wakeups: AtomicU64,
 }
 
 impl ServiceStats {
-    /// Snapshot as the `stats` response body.
-    pub fn to_json(&self, inflight: usize, queue_depth: usize) -> Json {
+    /// Snapshot as the `stats` response body. `shard_depths` is each
+    /// batcher shard's queued-job count; `queue_depth` stays in the
+    /// schema as their sum so dashboards keyed on the old field keep
+    /// working.
+    pub fn to_json(&self, inflight: usize, shard_depths: &[usize]) -> Json {
         let n = |a: &AtomicU64| Json::Number(a.load(Ordering::Relaxed) as f64);
         Json::object(vec![
             (
@@ -150,8 +163,21 @@ impl ServiceStats {
             ("scored_apps", n(&self.scored_apps)),
             ("batches", n(&self.batches)),
             ("batch_panics", n(&self.batch_panics)),
+            ("reactor_wakeups", n(&self.reactor_wakeups)),
             ("inflight", Json::Number(inflight as f64)),
-            ("queue_depth", Json::Number(queue_depth as f64)),
+            (
+                "queue_depth",
+                Json::Number(shard_depths.iter().sum::<usize>() as f64),
+            ),
+            (
+                "queue_depths",
+                Json::Array(
+                    shard_depths
+                        .iter()
+                        .map(|d| Json::Number(*d as f64))
+                        .collect(),
+                ),
+            ),
         ])
     }
 }
@@ -184,8 +210,13 @@ mod tests {
         let s = ServiceStats::default();
         s.score.requests.fetch_add(2, Ordering::Relaxed);
         s.score.latency.record(Duration::from_micros(10));
-        let json = s.to_json(1, 0).to_string();
+        let json = s.to_json(1, &[3, 4]).to_string();
         assert!(json.contains("\"requests\":2"));
         assert!(json.contains("\"inflight\":1"));
+        // Per-shard depths plus the legacy total.
+        assert!(json.contains("\"queue_depths\":[3,4]"));
+        assert!(json.contains("\"queue_depth\":7"));
+        assert!(json.contains("\"p999_us\""));
+        assert!(json.contains("\"reactor_wakeups\""));
     }
 }

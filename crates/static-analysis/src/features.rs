@@ -6,7 +6,6 @@
 //! it; the `secml` dataset builder aligns vectors by name across
 //! applications.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// An ordered collection of named numeric features.
@@ -14,9 +13,15 @@ use std::fmt;
 /// Insertion overwrites: the last writer of a name wins (collectors are
 /// expected to use distinct, namespaced names such as `loc.code` or
 /// `taint.flows`).
+///
+/// Internally a name-sorted `Vec` rather than a tree: lookups are binary
+/// searches, in-order insertion (how collectors and the wire protocol
+/// mostly build vectors) is an append, and the batch-scoring dense fill
+/// is a cache-friendly linear merge over a contiguous slice.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FeatureVector {
-    values: BTreeMap<String, f64>,
+    /// `(name, value)` pairs, sorted by name, names unique.
+    values: Vec<(String, f64)>,
 }
 
 impl FeatureVector {
@@ -29,18 +34,61 @@ impl FeatureVector {
     /// a degenerate analysis result cannot poison the training matrix.
     pub fn set(&mut self, name: impl Into<String>, value: f64) {
         let v = if value.is_finite() { value } else { 0.0 };
-        self.values.insert(name.into(), v);
+        let name = name.into();
+        // In-order appends (the common build pattern) skip the search.
+        if self.values.last().is_none_or(|(last, _)| *last < name) {
+            self.values.push((name, v));
+            return;
+        }
+        match self.values.binary_search_by(|(k, _)| k.as_str().cmp(&name)) {
+            Ok(i) => self.values[i].1 = v,
+            Err(i) => self.values.insert(i, (name, v)),
+        }
     }
 
     /// Fetch a feature by name.
     pub fn get(&self, name: &str) -> Option<f64> {
-        self.values.get(name).copied()
+        self.values
+            .binary_search_by(|(k, _)| k.as_str().cmp(name))
+            .ok()
+            .map(|i| self.values[i].1)
     }
 
     /// Fetch a feature, defaulting to 0.0 — convenient for optional
     /// collector families.
     pub fn get_or_zero(&self, name: &str) -> f64 {
         self.get(name).unwrap_or(0.0)
+    }
+
+    /// Fill `out` with the value of every name in `names` in order (0.0
+    /// for absent names) — equivalent to one [`get_or_zero`] per name.
+    /// When `names` is sorted (model schemas are: they come from these
+    /// same name-ordered maps), this is a single linear merge over the
+    /// underlying sorted map instead of a tree lookup per name; unsorted
+    /// runs just restart the merge cursor, so the result is identical
+    /// either way. The batch-scoring row-preparation hot path lives on
+    /// this.
+    ///
+    /// [`get_or_zero`]: FeatureVector::get_or_zero
+    pub fn fill_dense(&self, names: &[String], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(names.len());
+        let values = &self.values;
+        let mut i = 0;
+        let mut prev: Option<&str> = None;
+        for name in names {
+            if prev.is_some_and(|p| p > name.as_str()) {
+                i = 0;
+            }
+            prev = Some(name.as_str());
+            while i < values.len() && values[i].0.as_str() < name.as_str() {
+                i += 1;
+            }
+            match values.get(i) {
+                Some((k, v)) if k.as_str() == name.as_str() => out.push(*v),
+                _ => out.push(0.0),
+            }
+        }
     }
 
     /// Number of features.
@@ -56,18 +104,18 @@ impl FeatureVector {
     /// Iterate `(name, value)` in name order (stable across runs — feature
     /// matrices must align column-wise between training and prediction).
     pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
-        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
     /// The feature names, in order.
     pub fn names(&self) -> Vec<&str> {
-        self.values.keys().map(|k| k.as_str()).collect()
+        self.values.iter().map(|(k, _)| k.as_str()).collect()
     }
 
     /// Merge `other` into `self` (other's values win on collision).
     pub fn merge(&mut self, other: &FeatureVector) {
         for (k, v) in other.iter() {
-            self.values.insert(k.to_string(), v);
+            self.set(k, v);
         }
     }
 
@@ -75,11 +123,12 @@ impl FeatureVector {
     /// single-family ablation experiment (EXP-UNIFIED).
     pub fn with_prefix(&self, prefix: &str) -> FeatureVector {
         FeatureVector {
+            // Filtering a sorted vector keeps it sorted.
             values: self
                 .values
                 .iter()
                 .filter(|(k, _)| k.starts_with(prefix))
-                .map(|(k, v)| (k.clone(), *v))
+                .cloned()
                 .collect(),
         }
     }
@@ -129,6 +178,30 @@ mod tests {
         fv.set("b", f64::INFINITY);
         assert_eq!(fv.get("a"), Some(0.0));
         assert_eq!(fv.get("b"), Some(0.0));
+    }
+
+    #[test]
+    fn fill_dense_matches_per_name_lookup() {
+        let mut fv = FeatureVector::new();
+        for (k, v) in [("a", 1.0), ("c", 3.0), ("m", 13.0), ("z", 26.0)] {
+            fv.set(k, v);
+        }
+        // Sorted schema (the fast merge), with gaps and a missing tail.
+        let sorted: Vec<String> = ["a", "b", "c", "c", "n", "z", "zz"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        // Unsorted schema (cursor restarts) must agree too.
+        let unsorted: Vec<String> = ["z", "a", "m", "a", "q"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        for names in [sorted, unsorted] {
+            let mut dense = Vec::new();
+            fv.fill_dense(&names, &mut dense);
+            let expected: Vec<f64> = names.iter().map(|n| fv.get_or_zero(n)).collect();
+            assert_eq!(dense, expected, "names = {names:?}");
+        }
     }
 
     #[test]

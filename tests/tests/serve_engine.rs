@@ -16,6 +16,10 @@
 //!   exactly one of the two model fingerprints.
 //! - **Backpressure and drain**: over the admission cap clients get a
 //!   typed `busy` error; shutdown answers everything already admitted.
+//! - **Pipelining**: many requests written back-to-back on one
+//!   connection come back bit-identical and in request order, through
+//!   dribbled frames, slow readers, and mid-pipeline disconnects; idle
+//!   connections cost the reactor zero wakeups.
 
 use clairvoyant::prelude::*;
 use clairvoyant::report::{comparison_value, explanation_value, security_report_value, Json};
@@ -798,4 +802,277 @@ fn graceful_shutdown_drains_admitted_requests() {
         TcpStream::connect(addr).is_err(),
         "listener must be closed after drain"
     );
+}
+
+/// Build a raw `score` request payload for one fixture app.
+fn score_request(name: &str, fv: &FeatureVector) -> Json {
+    Json::object(vec![
+        ("op", Json::String("score".into())),
+        ("name", Json::String(name.to_string())),
+        (
+            "features",
+            Json::Object(
+                fv.iter()
+                    .map(|(k, v)| (k.to_string(), Json::Number(v)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[test]
+fn pipelined_requests_return_ordered_bit_identical_responses() {
+    let fx = fixture();
+    let handle = start_server(ServeConfig {
+        batch_max: 4, // pipelined frames must coalesce across batches
+        jobs: 2,
+        ..ServeConfig::default()
+    });
+    let mut client = connect(handle.addr());
+
+    // 30 scores in a shuffled order, with a health probe wedged into the
+    // middle: every response must land at its request's index.
+    let mut requests = Vec::new();
+    let mut names: Vec<Option<String>> = Vec::new();
+    for round in 0..3 {
+        for i in 0..fx.apps.len() {
+            let (name, fv) = &fx.apps[(i * 3 + round) % fx.apps.len()];
+            requests.push(score_request(name, fv));
+            names.push(Some(name.clone()));
+            if round == 1 && i == 4 {
+                requests.push(Json::object(vec![("op", Json::String("health".into()))]));
+                names.push(None);
+            }
+        }
+    }
+    let responses = client.pipeline(&requests).expect("pipeline");
+    assert_eq!(responses.len(), requests.len());
+    for (i, response) in responses.iter().enumerate() {
+        match &names[i] {
+            Some(name) => {
+                let (fp, report) = score_parts(response);
+                assert_eq!(fp, fx.fp_a);
+                assert_eq!(
+                    &report, &fx.expected_a[name],
+                    "pipelined response {i} (app {name}) is out of order or diverged"
+                );
+            }
+            None => {
+                assert!(is_ok(response), "health in mid-pipeline failed: {response}");
+                assert!(
+                    response.to_string().contains("\"op\":\"health\""),
+                    "response {i} should be the health probe: {response}"
+                );
+            }
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn dribbled_frames_and_slow_readers_keep_responses_ordered() {
+    use std::io::{Read as _, Write as _};
+    let fx = fixture();
+    let handle = start_server(ServeConfig::default());
+
+    // Three requests written one byte at a time: the server sees every
+    // possible partial-frame boundary and must reassemble incrementally.
+    let order = [2usize, 0, 7];
+    let mut wire = Vec::new();
+    for &i in &order {
+        let (name, fv) = &fx.apps[i];
+        let payload = score_request(name, fv).to_string();
+        wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        wire.extend_from_slice(payload.as_bytes());
+    }
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.set_nodelay(true).unwrap();
+    for chunk in wire.chunks(7) {
+        stream.write_all(chunk).expect("dribble");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // Read the responses as a slow consumer: tiny chunks with pauses, so
+    // the server's write side has to cope with a lagging peer.
+    let mut received = Vec::new();
+    let mut frames: Vec<Vec<u8>> = Vec::new();
+    let mut chunk = [0u8; 64];
+    while frames.len() < order.len() {
+        let n = stream.read(&mut chunk).expect("slow read");
+        assert!(n > 0, "server closed before all responses arrived");
+        received.extend_from_slice(&chunk[..n]);
+        std::thread::sleep(Duration::from_millis(1));
+        // Peel complete frames off the front.
+        while received.len() >= 4 {
+            let len = u32::from_le_bytes(received[..4].try_into().unwrap()) as usize;
+            if received.len() < 4 + len {
+                break;
+            }
+            frames.push(received[4..4 + len].to_vec());
+            received.drain(..4 + len);
+        }
+    }
+    for (&i, frame) in order.iter().zip(&frames) {
+        let response = serve::json::parse(std::str::from_utf8(frame).unwrap()).unwrap();
+        let (fp, report) = score_parts(&response);
+        let name = &fx.apps[i].0;
+        assert_eq!(fp, fx.fp_a);
+        assert_eq!(
+            &report, &fx.expected_a[name],
+            "slow-reader response for {name} is out of order or diverged"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn mid_pipeline_disconnect_releases_slots_and_serves_on() {
+    let fx = fixture();
+    let handle = start_server(ServeConfig {
+        batch_max: 1,
+        // Slow enough that the disconnect happens while work is in
+        // flight, so the completions come back to a dead connection.
+        debug_batch_delay: Duration::from_millis(150),
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+
+    // Pipeline four scores, give the daemon time to admit them, then
+    // vanish without reading a single response.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        for i in 0..4 {
+            let (name, fv) = &fx.apps[i];
+            write_frame(&mut stream, score_request(name, fv).to_string().as_bytes()).expect("send");
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    } // dropped here, mid-pipeline
+
+    // The daemon keeps serving immediately…
+    let mut client = connect(addr);
+    for (name, fv) in &fx.apps {
+        let response = client.score_features(name, fv).expect("score");
+        let (fp, report) = score_parts(&response);
+        assert_eq!(fp, fx.fp_a);
+        assert_eq!(&report, &fx.expected_a[name]);
+    }
+
+    // …and once the orphaned batches finish, their admission slots are
+    // released (the responses were dropped, not leaked onto anyone).
+    std::thread::sleep(Duration::from_millis(800));
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stat_field(&stats, "inflight"),
+        0.0,
+        "disconnected pipeline leaked admission slots: {stats}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn backpressure_tiers_emit_typed_busy_and_recover() {
+    let fx = fixture();
+    let (name, fv) = &fx.apps[0];
+
+    // Tier 2: the global in-flight cap refuses with typed `busy`, in
+    // request order, and the connection recovers once work drains.
+    let handle = start_server(ServeConfig {
+        max_inflight: 2,
+        batch_max: 1,
+        debug_batch_delay: Duration::from_millis(300),
+        ..ServeConfig::default()
+    });
+    let mut client = connect(handle.addr());
+    let requests: Vec<Json> = (0..6).map(|_| score_request(name, fv)).collect();
+    let responses = client.pipeline(&requests).expect("pipeline");
+    for (i, response) in responses.iter().enumerate() {
+        if i < 2 {
+            let (_, report) = score_parts(response);
+            assert_eq!(&report, &fx.expected_a[name], "admitted response {i}");
+        } else {
+            assert_eq!(
+                error_type(response),
+                Some("busy"),
+                "response {i} over the cap must be busy: {response}"
+            );
+        }
+    }
+    let response = client.score_features(name, fv).expect("after drain");
+    let (_, report) = score_parts(&response);
+    assert_eq!(&report, &fx.expected_a[name], "no recovery after busy");
+    let stats = client.stats().expect("stats");
+    assert!(
+        stat_field(&stats, "rejected_busy") >= 4.0,
+        "busy refusals must be counted: {stats}"
+    );
+    handle.shutdown();
+
+    // Tier 1: the per-connection pipeline cap pauses reading instead of
+    // refusing — every request over the cap still completes, in order,
+    // with no busy in sight.
+    let handle = start_server(ServeConfig {
+        max_pipeline: 2,
+        batch_max: 1,
+        debug_batch_delay: Duration::from_millis(30),
+        ..ServeConfig::default()
+    });
+    let mut client = connect(handle.addr());
+    let requests: Vec<Json> = (0..8)
+        .map(|i| {
+            let (name, fv) = &fx.apps[i % fx.apps.len()];
+            score_request(name, fv)
+        })
+        .collect();
+    let responses = client.pipeline(&requests).expect("pipeline");
+    for (i, response) in responses.iter().enumerate() {
+        let (_, report) = score_parts(response);
+        let name = &fx.apps[i % fx.apps.len()].0;
+        assert_eq!(
+            &report, &fx.expected_a[name],
+            "paused-pipeline response {i} diverged or arrived out of order"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn idle_connections_cost_zero_reactor_wakeups() {
+    let fx = fixture();
+    let handle = start_server(ServeConfig::default());
+    let addr = handle.addr();
+
+    // Eight established connections, each proven live, then left idle.
+    let mut idle = Vec::new();
+    for _ in 0..8 {
+        let mut client = connect(addr);
+        assert!(is_ok(&client.health().expect("health")));
+        idle.push(client);
+    }
+
+    let mut observer = connect(addr);
+    let before = stat_field(&observer.stats().expect("stats"), "reactor_wakeups");
+    std::thread::sleep(Duration::from_millis(1200));
+    let after = stat_field(&observer.stats().expect("stats"), "reactor_wakeups");
+
+    // The old thread-per-connection design woke every connection each
+    // poll tick: 8 conns × 50ms ticks ≈ 160+ wakeups over 1.2s. The
+    // reactor parks idle connections indefinitely — the only wakeups
+    // allowed here are the observer's own stats round-trip.
+    let delta = after - before;
+    assert!(
+        delta <= 8.0,
+        "idle connections must not wake the reactor: {delta} wakeups in 1.2s idle"
+    );
+
+    // The idle connections are still perfectly serviceable.
+    for client in idle.iter_mut() {
+        let (name, fv) = &fx.apps[0];
+        let response = client.score_features(name, fv).expect("score after idle");
+        let (_, report) = score_parts(&response);
+        assert_eq!(&report, &fx.expected_a[name]);
+    }
+    handle.shutdown();
 }
