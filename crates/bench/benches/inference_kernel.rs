@@ -1,0 +1,211 @@
+//! BENCH-KERNEL: compiled quantized kernels vs the PR 4 interpreter.
+//!
+//! Races the flattened-battery interpreter (`TrainedModel::compile`, the
+//! blocked lockstep engine) against the same battery after
+//! `CompiledModel::optimize()` — quantized thresholds, feature-subset
+//! pruning, mask-propagation blocks, depth-unrolled ladders (see
+//! `secml::kernel` and DESIGN.md §14) — over the serving-scale
+//! 200-tree / 150-app configuration the `BENCH_INFER` snapshot uses.
+//! Before anything is timed, the equality gate asserts scores *and*
+//! attributions are bit-identical between the two engines at 1 and 4
+//! workers.
+//!
+//! The headline `speedup` times `CompiledModel::score_battery` — every
+//! model in the battery over the prepared matrix, end to end — which
+//! is the stage the codegen touches. The same line also reports the
+//! full report pipeline (`evaluate_batch`: feature prep + scoring +
+//! report assembly, stages shared verbatim by both engines) as
+//! `pipeline_*`, and `explain_batch` end-to-end as `explain_*`. The
+//! result prints as one `BENCH_KERNEL` JSON line (snapshot:
+//! `results/BENCH_KERNEL.json`); CI fails the job if `speedup`
+//! regresses more than 10% below the committed snapshot.
+//!
+//! `CLAIRVOYANT_BENCH_SMOKE=1` shrinks the corpus, forest and iteration
+//! count to a CI-sized equality smoke test.
+
+use bench::harness::{black_box, Criterion};
+use bench::{criterion_group, criterion_main};
+use clairvoyant::explain::Explanation;
+use clairvoyant::prelude::*;
+use clairvoyant::SecurityReport;
+
+fn assert_reports_identical(a: &SecurityReport, b: &SecurityReport, context: &str) {
+    assert_eq!(a.app, b.app, "{context}");
+    assert_eq!(
+        a.predicted_vulnerabilities.to_bits(),
+        b.predicted_vulnerabilities.to_bits(),
+        "{context}: predicted count diverged for {}",
+        a.app
+    );
+    assert_eq!(a.hypotheses.len(), b.hypotheses.len(), "{context}");
+    for ((h1, p1), (h2, p2)) in a.hypotheses.iter().zip(&b.hypotheses) {
+        assert_eq!(h1, h2, "{context}");
+        assert_eq!(
+            p1.to_bits(),
+            p2.to_bits(),
+            "{context}: {h1} diverged for {}",
+            a.app
+        );
+    }
+    for ((s1, n1), (s2, n2)) in a.severity_counts.iter().zip(&b.severity_counts) {
+        assert_eq!(s1, s2, "{context}");
+        assert_eq!(n1.to_bits(), n2.to_bits(), "{context}: severity {}", a.app);
+    }
+    assert_eq!(
+        a.risk_score().to_bits(),
+        b.risk_score().to_bits(),
+        "{context}: risk score diverged for {}",
+        a.app
+    );
+}
+
+fn assert_explanations_identical(a: &Explanation, b: &Explanation, context: &str) {
+    assert_reports_identical(&a.report, &b.report, context);
+    assert_eq!(a.features, b.features, "{context}");
+    assert_eq!(a.models.len(), b.models.len(), "{context}");
+    for (ma, mb) in a.models.iter().zip(&b.models) {
+        assert_eq!(ma.target, mb.target, "{context}");
+        assert_eq!(ma.baseline.to_bits(), mb.baseline.to_bits(), "{context}");
+        assert_eq!(ma.score.to_bits(), mb.score.to_bits(), "{context}");
+        assert_eq!(
+            ma.prediction.to_bits(),
+            mb.prediction.to_bits(),
+            "{context}: {} prediction diverged for {}",
+            ma.target,
+            a.report.app
+        );
+        assert_eq!(ma.contributions.len(), mb.contributions.len(), "{context}");
+        for (ca, cb) in ma.contributions.iter().zip(&mb.contributions) {
+            assert_eq!(
+                ca.to_bits(),
+                cb.to_bits(),
+                "{context}: {} attribution diverged for {}",
+                ma.target,
+                a.report.app
+            );
+        }
+    }
+}
+
+fn bench_kernel(_c: &mut Criterion) {
+    use std::time::Instant;
+    let smoke = std::env::var("CLAIRVOYANT_BENCH_SMOKE").is_ok();
+    let (n_apps, n_train, trees, iters) = if smoke {
+        (24, 30, clairvoyant::train::DEFAULT_FOREST_TREES, 1)
+    } else {
+        (150, 150, 200, 20)
+    };
+
+    // Same battery and corpora as BENCH_INFER: train on one corpus,
+    // score a disjoint one.
+    let train_corpus = Corpus::generate(&CorpusConfig::small(n_train, 20170408));
+    let model = Trainer::with_config(TrainerConfig {
+        learner: Learner::RandomForest,
+        forest_trees: trees,
+        ..Default::default()
+    })
+    .train(&train_corpus);
+    // Two independent compilations of the same battery: one stays the
+    // interpreter, one runs the codegen stage.
+    let interp = model.compile();
+    let kernel = model.compile();
+    let kernels = kernel.optimize();
+    assert!(kernels > 0, "battery must compile at least one kernel");
+
+    let mut score_config = CorpusConfig::small(n_apps, 5);
+    score_config.max_kloc = 2.0;
+    let score_corpus = Corpus::generate(&score_config);
+    let testbed = Testbed::new();
+    let apps: Vec<(String, static_analysis::FeatureVector)> =
+        pipeline::parallel_map(0, &score_corpus.apps, |_, app| {
+            (app.spec.name.clone(), testbed.extract(&app.program))
+        });
+
+    // Equality gate before timing: scores and attributions from the
+    // compiled kernels must reproduce the interpreter bit-for-bit, at 1
+    // and 4 workers.
+    for (jobs, context) in [(1usize, "1 worker"), (4, "4 workers")] {
+        let a = interp.evaluate_batch(&apps, jobs);
+        let b = kernel.evaluate_batch(&apps, jobs);
+        assert_eq!(a.len(), b.len());
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_reports_identical(ra, rb, context);
+        }
+        let ea = interp.explain_batch(&apps, jobs);
+        let eb = kernel.explain_batch(&apps, jobs);
+        for (xa, xb) in ea.iter().zip(&eb) {
+            assert_explanations_identical(xa, xb, context);
+        }
+    }
+
+    // Headline: the battery scoring stage over one prepared batch —
+    // prep and assembly are engine-independent pipeline stages, timed
+    // separately below as `pipeline_*`.
+    let batch = interp.prepare_batch(&apps, 1);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(interp.score_battery(&batch, 1).len());
+    }
+    let interp_ms = t0.elapsed().as_secs_f64() * 1e3 / iters as f64;
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(kernel.score_battery(&batch, 1).len());
+    }
+    let kernel_ms = t0.elapsed().as_secs_f64() * 1e3 / iters as f64;
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(interp.evaluate_batch(&apps, 1).len());
+    }
+    let pipeline_interp_ms = t0.elapsed().as_secs_f64() * 1e3 / iters as f64;
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(kernel.evaluate_batch(&apps, 1).len());
+    }
+    let pipeline_kernel_ms = t0.elapsed().as_secs_f64() * 1e3 / iters as f64;
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(interp.explain_batch(&apps, 1).len());
+    }
+    let explain_interp_ms = t0.elapsed().as_secs_f64() * 1e3 / iters as f64;
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(kernel.explain_batch(&apps, 1).len());
+    }
+    let explain_kernel_ms = t0.elapsed().as_secs_f64() * 1e3 / iters as f64;
+
+    let speedup = interp_ms / kernel_ms.max(1e-9);
+    let pipeline_speedup = pipeline_interp_ms / pipeline_kernel_ms.max(1e-9);
+    let explain_speedup = explain_interp_ms / explain_kernel_ms.max(1e-9);
+    println!(
+        "BENCH_KERNEL {{\"rows\":{},\"trees\":{trees},\"iters\":{iters},\"kernels\":{kernels},\
+         \"interp_ms\":{:.2},\"kernel_ms\":{:.2},\"speedup\":{:.2},\
+         \"pipeline_interp_ms\":{:.2},\"pipeline_kernel_ms\":{:.2},\"pipeline_speedup\":{:.2},\
+         \"explain_interp_ms\":{:.2},\"explain_kernel_ms\":{:.2},\"explain_speedup\":{:.2},\
+         \"reports_identical\":true}}",
+        apps.len(),
+        interp_ms,
+        kernel_ms,
+        speedup,
+        pipeline_interp_ms,
+        pipeline_kernel_ms,
+        pipeline_speedup,
+        explain_interp_ms,
+        explain_kernel_ms,
+        explain_speedup
+    );
+    eprintln!(
+        "kernel codegen: battery scoring {interp_ms:.1} ms → {kernel_ms:.1} ms ({speedup:.1}×), \
+         report pipeline {pipeline_interp_ms:.1} ms → {pipeline_kernel_ms:.1} ms \
+         ({pipeline_speedup:.1}×), explain {explain_interp_ms:.1} ms → {explain_kernel_ms:.1} ms \
+         ({explain_speedup:.1}×) over {} apps × {trees}-tree forests ({kernels} kernels)",
+        apps.len()
+    );
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

@@ -162,7 +162,11 @@ impl CompiledModel {
     /// explained report equals the scored report exactly, for any
     /// worker count.
     pub fn explain_batch(&self, apps: &[(String, FeatureVector)], jobs: usize) -> Vec<Explanation> {
-        let jobs = if jobs == 0 {
+        let jobs = if apps.len() < crate::score::PARALLEL_MIN_ROWS {
+            // Same small-batch clamp as `evaluate_batch`: fan-out loses
+            // below this row count, and outputs are jobs-invariant.
+            1
+        } else if jobs == 0 {
             pipeline::default_workers()
         } else {
             jobs

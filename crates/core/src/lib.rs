@@ -67,7 +67,7 @@ pub use metric::SecurityReport;
 // Re-export the engine types so downstream users configure extraction
 // without naming the pipeline crate.
 pub use pipeline::{CacheMode, PipelineConfig, PipelineReport};
-pub use score::CompiledModel;
+pub use score::{CompiledModel, PreparedBatch};
 pub use system::{
     evaluate_system, evaluate_system_compiled, Component, Containment, Exposure, SystemReport,
     SystemSpec,
@@ -82,7 +82,7 @@ pub mod prelude {
     pub use crate::extract::{extract_corpus, CorpusFeatures};
     pub use crate::hypothesis::{standard_battery, Hypothesis};
     pub use crate::metric::SecurityReport;
-    pub use crate::score::CompiledModel;
+    pub use crate::score::{CompiledModel, PreparedBatch};
     pub use crate::testbed::Testbed;
     pub use crate::train::{Learner, TrainedModel, Trainer, TrainerConfig};
     pub use corpus::{Corpus, CorpusConfig};

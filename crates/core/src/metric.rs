@@ -177,18 +177,26 @@ pub(crate) fn assemble_report(
     let network_risk = lookup(Hypothesis::AnyNetworkAttackable);
 
     // Attributions from the inspectable risk weights: rank column
-    // indices first and materialize (clone the names of) only the kept
-    // top 10. Same stable sort, same key, so the output is identical to
-    // ranking fully-built attributions.
+    // indices and materialize (clone the names of) only the kept top
+    // 10. Selection + a 10-element sort replaces sorting the whole
+    // schema (the old stable sort was the hottest part of report
+    // assembly). The comparator — |contribution| descending, column
+    // index ascending — is a total order, and on ties the stable sort
+    // kept indices ascending too, so the ranked prefix is identical.
     let n = feature_names.len().min(row.len()).min(risk_weights.len());
     let mut ranked: Vec<usize> = (0..n).collect();
-    ranked.sort_by(|&a, &b| {
+    let by_rank = |&a: &usize, &b: &usize| {
         (risk_weights[b] * row[b])
             .abs()
             .partial_cmp(&(risk_weights[a] * row[a]).abs())
             .expect("finite contributions")
-    });
-    ranked.truncate(10);
+            .then(a.cmp(&b))
+    };
+    if n > 10 {
+        ranked.select_nth_unstable_by(9, by_rank);
+        ranked.truncate(10);
+    }
+    ranked.sort_by(by_rank);
     let attributions: Vec<Attribution> = ranked
         .into_iter()
         .map(|i| Attribution {

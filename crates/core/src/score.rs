@@ -32,6 +32,16 @@ const MAGIC: &[u8; 4] = b"CLVY";
 /// Bump on any layout change; readers reject unknown versions.
 const VERSION: u32 = 1;
 
+/// Batches below this many apps run sequentially even when `jobs > 1`:
+/// pool fan-out (task dispatch, cross-core cache traffic, per-chunk
+/// scratch) costs more than it saves on small corpora — the measured
+/// inversion in `results/BENCH_INFER.json` had 4 workers *slower* than
+/// 1 at 117 rows. Outputs are bit-identical either way (the worker-count
+/// invariance the tests prove), so the clamp is purely a scheduling
+/// decision. Shared by [`CompiledModel::evaluate_batch`] and the
+/// explanation engine ([`crate::explain`]).
+pub(crate) const PARALLEL_MIN_ROWS: usize = 128;
+
 /// A trained battery compiled for batched scoring and persistence.
 pub struct CompiledModel {
     /// Names of the kept features, in column order.
@@ -44,6 +54,22 @@ pub struct CompiledModel {
     pub(crate) count_model: CompiledRegressor,
     pub(crate) severity_models: Vec<(SeverityBand, CompiledRegressor)>,
     pub(crate) risk_weights: Vec<f64>,
+}
+
+/// A corpus prepared for battery scoring: the transformed model-input
+/// rows and their columnar stacking. Build once with
+/// [`CompiledModel::prepare_batch`], score (repeatedly) with
+/// [`CompiledModel::score_battery`].
+pub struct PreparedBatch {
+    pub(crate) rows: Vec<Vec<f64>>,
+    pub(crate) matrix: ColMatrix,
+}
+
+impl PreparedBatch {
+    /// Number of prepared rows (apps).
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
 }
 
 /// Transform a raw feature vector into a model input row, reusing the
@@ -92,6 +118,29 @@ impl CompiledModel {
         self.hypotheses.len()
     }
 
+    /// Lower every tree-shaped model in the battery to its quantized,
+    /// feature-pruned, depth-unrolled kernel (`secml::kernel`) — the
+    /// "codegen" stage. A load/reload-time step, not a wire-format
+    /// change: `CLVY` bytes are untouched, and scoring stays bitwise
+    /// identical (the compiled programs make provably the same decisions
+    /// as the interpreter). Returns the number of models whose compiled
+    /// kernel is active; models that hit the exactness fallback keep the
+    /// interpreter and are simply not counted.
+    pub fn optimize(&self) -> usize {
+        let classifiers = self.hypotheses.iter().map(|(_, m)| m.optimize());
+        let regressors = std::iter::once(&self.count_model)
+            .chain(self.severity_models.iter().map(|(_, m)| m))
+            .map(|m| m.optimize());
+        let active = classifiers.chain(regressors).filter(|&ok| ok).count();
+        // Link the battery's kernels to one shared quantization so a
+        // scoring call ranks the batch matrix once, not once per model.
+        secml::link_battery(
+            self.hypotheses.iter().map(|(_, m)| m),
+            std::iter::once(&self.count_model).chain(self.severity_models.iter().map(|(_, m)| m)),
+        );
+        active
+    }
+
     /// Prepare every app's model-input row, fanned out over `jobs`
     /// workers in contiguous chunks through one reused scratch pair per
     /// chunk (satellite of the batching work: the old path allocated a
@@ -129,31 +178,26 @@ impl CompiledModel {
         .collect()
     }
 
-    /// Score a whole corpus of `(app_name, feature_vector)` pairs into
-    /// security reports, in input order.
-    ///
-    /// Rows are prepared in contiguous per-worker chunks, each through
-    /// one reused scratch buffer, stacked into a single columnar matrix;
-    /// each model in the battery (hypothesis classifiers, count
-    /// regressor, severity regressors) scores the entire matrix with its
-    /// flattened batch kernel, and reports are assembled per app — all
-    /// three stages fan out over `jobs` pool workers (0 = all cores).
-    /// Output is bit-identical to calling
-    /// [`crate::metric::evaluate_features`] per app, for any `jobs`.
-    pub fn evaluate_batch(
-        &self,
-        apps: &[(String, FeatureVector)],
-        jobs: usize,
-    ) -> Vec<SecurityReport> {
-        let jobs = if jobs == 0 {
-            pipeline::default_workers()
-        } else {
-            jobs
-        };
-        let rows = self.prepared_rows(apps, jobs);
+    /// Prepare a corpus once for (possibly repeated) battery scoring:
+    /// rows transformed in contiguous per-worker chunks, stacked into
+    /// the single columnar matrix every model consumes. Splitting this
+    /// from [`score_battery`](CompiledModel::score_battery) lets a
+    /// caller amortize feature prep across models, ablations or repeat
+    /// scoring runs; [`evaluate_batch`](CompiledModel::evaluate_batch)
+    /// is exactly the two stages plus report assembly.
+    pub fn prepare_batch(&self, apps: &[(String, FeatureVector)], jobs: usize) -> PreparedBatch {
+        let rows = self.prepared_rows(apps, self.clamp_jobs(apps.len(), jobs));
         let matrix = ColMatrix::from_rows(&rows);
+        PreparedBatch { rows, matrix }
+    }
 
-        // Every model × the whole corpus, on the work-stealing pool.
+    /// The pure inference stage: every model in the battery (hypothesis
+    /// classifiers, count regressor, severity regressors — in that
+    /// order) scores the entire prepared matrix with its flattened
+    /// batch kernel, fanned out over `jobs` pool workers. One
+    /// prediction vector per model, rows in corpus order.
+    pub fn score_battery(&self, batch: &PreparedBatch, jobs: usize) -> Vec<Vec<f64>> {
+        let jobs = self.clamp_jobs(batch.rows.len(), jobs);
         enum Task<'a> {
             Classify(&'a CompiledClassifier),
             Regress(&'a CompiledRegressor),
@@ -165,12 +209,42 @@ impl CompiledModel {
             .collect();
         tasks.push(Task::Regress(&self.count_model));
         tasks.extend(self.severity_models.iter().map(|(_, m)| Task::Regress(m)));
-        let predictions: Vec<Vec<f64>> =
-            pipeline::parallel_map(jobs, &tasks, |_, task| match task {
-                Task::Classify(model) => model.predict_batch(&matrix),
-                Task::Regress(model) => model.predict_batch(&matrix),
-            });
+        pipeline::parallel_map(jobs, &tasks, |_, task| match task {
+            Task::Classify(model) => model.predict_batch(&batch.matrix),
+            Task::Regress(model) => model.predict_batch(&batch.matrix),
+        })
+    }
+
+    /// Small batches run sequentially regardless of `jobs`; see
+    /// [`PARALLEL_MIN_ROWS`].
+    fn clamp_jobs(&self, rows: usize, jobs: usize) -> usize {
+        if rows < PARALLEL_MIN_ROWS {
+            1
+        } else if jobs == 0 {
+            pipeline::default_workers()
+        } else {
+            jobs
+        }
+    }
+
+    /// Score a whole corpus of `(app_name, feature_vector)` pairs into
+    /// security reports, in input order.
+    ///
+    /// [`prepare_batch`](CompiledModel::prepare_batch), then
+    /// [`score_battery`](CompiledModel::score_battery), then per-app
+    /// report assembly — all three stages fan out over `jobs` pool
+    /// workers (0 = all cores). Output is bit-identical to calling
+    /// [`crate::metric::evaluate_features`] per app, for any `jobs`.
+    pub fn evaluate_batch(
+        &self,
+        apps: &[(String, FeatureVector)],
+        jobs: usize,
+    ) -> Vec<SecurityReport> {
+        let batch = self.prepare_batch(apps, jobs);
+        let predictions = self.score_battery(&batch, jobs);
         let n_hyp = self.hypotheses.len();
+        let jobs = self.clamp_jobs(apps.len(), jobs);
+        let rows = &batch.rows;
 
         // Per-app assembly is independent, so it rides the pool too.
         pipeline::parallel_map(jobs, apps, |i, (name, fv)| {
@@ -400,6 +474,45 @@ mod tests {
         let four = compiled.evaluate_batch(&apps, 4);
         for (a, b) in one.iter().zip(&four) {
             reports_bit_identical(a, b);
+        }
+    }
+
+    #[test]
+    fn worker_fanout_above_the_clamp_is_bit_identical() {
+        // Small corpora are clamped to one worker, so tile past
+        // PARALLEL_MIN_ROWS to exercise real pool fan-out in all three
+        // stages — and prove it still changes nothing.
+        let compiled = shared_model().compile();
+        let seed = corpus_features();
+        let apps: Vec<(String, FeatureVector)> = (0..PARALLEL_MIN_ROWS + 5)
+            .map(|i| {
+                let (name, fv) = &seed[i % seed.len()];
+                (format!("{name}-{i}"), fv.clone())
+            })
+            .collect();
+        let one = compiled.evaluate_batch(&apps, 1);
+        let four = compiled.evaluate_batch(&apps, 4);
+        for (a, b) in one.iter().zip(&four) {
+            reports_bit_identical(a, b);
+        }
+    }
+
+    #[test]
+    fn optimized_battery_reports_are_bit_identical() {
+        let model = shared_model();
+        let compiled = model.compile();
+        let optimized = model.compile();
+        assert!(optimized.optimize() > 0, "battery compiles some kernels");
+        let apps = corpus_features();
+        let interp = compiled.evaluate_batch(&apps, 1);
+        let kernel = optimized.evaluate_batch(&apps, 1);
+        for (a, b) in interp.iter().zip(&kernel) {
+            reports_bit_identical(a, b);
+        }
+        // And against the boxed scalar reference, transitively.
+        for ((name, fv), report) in apps.iter().zip(&kernel) {
+            let boxed = crate::metric::evaluate_features(model, name.clone(), fv);
+            reports_bit_identical(&boxed, report);
         }
     }
 

@@ -399,7 +399,7 @@ fn forest_attribute_batch(forest: &FlatForest, x: &ColMatrix) -> Vec<RowAttribut
     }
     let at = forest.attr_tables();
     let (expected, credits) = (at.expected.as_slice(), &at.credits);
-    if width == 0 || forest.kernel.max_feature as usize >= width {
+    if width == 0 || forest.nodes.kernel_tables().max_feature as usize >= width {
         let mut row = vec![0.0; width];
         return (0..n)
             .map(|i| {
@@ -407,6 +407,22 @@ fn forest_attribute_batch(forest: &FlatForest, x: &ColMatrix) -> Vec<RowAttribut
                     *v = x.value(i, j);
                 }
                 forest_attribute_row(forest, expected, credits, &row, width)
+            })
+            .collect();
+    }
+    if let Some(prog) = forest.program() {
+        // The compiled program lands on the same leaf ids in the same
+        // per-row tree order, so deposits and leaf sums — and therefore
+        // every attribution — are bit-identical to the interpreter.
+        let mut bins = vec![0.0f64; n * width];
+        let mut sums = vec![0.0f64; n];
+        prog.walk_batch(x, &mut |r, leaf, v| {
+            sums[r] += v;
+            credits.deposit(leaf as usize, &mut bins[r * width..(r + 1) * width]);
+        });
+        return (0..n)
+            .map(|r| {
+                finish_forest_row(forest, expected, &bins[r * width..(r + 1) * width], sums[r])
             })
             .collect();
     }
@@ -420,7 +436,7 @@ fn forest_attribute_batch(forest: &FlatForest, x: &ColMatrix) -> Vec<RowAttribut
         for (&root, &depth) in forest.roots.iter().zip(&forest.depths) {
             attribute_walk_block(
                 &forest.nodes,
-                &forest.kernel,
+                forest.nodes.kernel_tables(),
                 credits,
                 root,
                 depth,
@@ -479,6 +495,24 @@ fn tree_attribute_batch(tree: &FlatTree, x: &ColMatrix) -> Vec<RowAttribution> {
             })
             .collect();
     }
+    if let Some(prog) = tree.program() {
+        let mut bins = vec![0.0f64; n * width];
+        let mut leaves = vec![0.0f64; n];
+        prog.walk_batch(x, &mut |r, leaf, v| {
+            leaves[r] = v;
+            credits.deposit(leaf as usize, &mut bins[r * width..(r + 1) * width]);
+        });
+        return (0..n)
+            .map(|r| {
+                finish_additive(
+                    expected[0],
+                    bins[r * width..(r + 1) * width].to_vec(),
+                    leaves[r],
+                    leaves[r],
+                )
+            })
+            .collect();
+    }
     let depth = tree.node_depths()[0];
     let mut out = Vec::with_capacity(n);
     let mut bins = vec![0.0f64; BLOCK_ROWS * width];
@@ -488,7 +522,7 @@ fn tree_attribute_batch(tree: &FlatTree, x: &ColMatrix) -> Vec<RowAttribution> {
         bins[..padded * width].fill(0.0);
         attribute_walk_block(
             tree,
-            &kt,
+            kt,
             &credits,
             0,
             depth,

@@ -1,7 +1,16 @@
 //! Named-column datasets and the columnar training matrix.
 
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
+
+/// Monotone source of [`ColMatrix::identity`] values. Starts at 1 so 0
+/// never names a live matrix.
+static NEXT_MATRIX_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_matrix_id() -> u64 {
+    NEXT_MATRIX_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A feature-major (columnar) matrix: one contiguous `Vec<f64>` per
 /// feature, plus lazily computed per-column sort permutations.
@@ -14,13 +23,29 @@ use std::sync::OnceLock;
 /// [`ColMatrix::subset`] *derives* a child's permutations from its
 /// parent's in O(n) per column — so cross-validation folds and forest
 /// bootstraps never re-sort.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ColMatrix {
     n_rows: usize,
     columns: Vec<Vec<f64>>,
+    /// Unique per construction (clones included): matrices are immutable
+    /// once built, so equal identities imply equal contents — the key the
+    /// compiled kernels' shared rank cache relies on (see
+    /// [`crate::kernel`]). Never reused within a process.
+    id: u64,
     /// Per-column row permutation, ascending by value (ties keep row
     /// order). Computed on first use, shared across threads.
     perms: OnceLock<Vec<Vec<u32>>>,
+}
+
+impl Default for ColMatrix {
+    fn default() -> Self {
+        ColMatrix {
+            n_rows: 0,
+            columns: Vec::new(),
+            id: fresh_matrix_id(),
+            perms: OnceLock::new(),
+        }
+    }
 }
 
 impl Clone for ColMatrix {
@@ -32,6 +57,10 @@ impl Clone for ColMatrix {
         ColMatrix {
             n_rows: self.n_rows,
             columns: self.columns.clone(),
+            // A fresh identity is sound (at worst one redundant rank
+            // recompute) and keeps "same id ⟹ same allocation lineage"
+            // trivially true.
+            id: fresh_matrix_id(),
             perms,
         }
     }
@@ -51,6 +80,7 @@ impl ColMatrix {
         ColMatrix {
             n_rows: rows.len(),
             columns,
+            id: fresh_matrix_id(),
             perms: OnceLock::new(),
         }
     }
@@ -62,12 +92,19 @@ impl ColMatrix {
         ColMatrix {
             n_rows,
             columns,
+            id: fresh_matrix_id(),
             perms: OnceLock::new(),
         }
     }
 
     pub fn n_rows(&self) -> usize {
         self.n_rows
+    }
+
+    /// Process-unique identity (see the field docs): cache key for
+    /// derived per-matrix state.
+    pub(crate) fn identity(&self) -> u64 {
+        self.id
     }
 
     pub fn n_cols(&self) -> usize {
@@ -133,6 +170,7 @@ impl ColMatrix {
         let out = ColMatrix {
             n_rows: indices.len(),
             columns,
+            id: fresh_matrix_id(),
             perms: OnceLock::new(),
         };
         if let Some(parent_perms) = self.perms.get() {

@@ -72,12 +72,31 @@ pub(crate) fn for_each_block(x: &ColMatrix, mut f: impl FnMut(usize, usize, &[f6
 ///
 /// Node 0 is the root; a compiled tree always has at least one node (an
 /// unfitted tree compiles to a single leaf holding its default value).
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct FlatTree {
     pub(crate) feature: Vec<u32>,
     pub(crate) threshold: Vec<f64>,
     pub(crate) left: Vec<u32>,
     pub(crate) right: Vec<u32>,
+    /// The kernel's leaf-rewritten node view — a pure function of the
+    /// arrays above, built once on first use instead of per scoring
+    /// call.
+    kt: std::sync::OnceLock<Box<KernelTables>>,
+    /// The quantized program, compiled once by [`optimize`](Self::optimize);
+    /// `None` inside means compilation was attempted and fell back.
+    opt: std::sync::OnceLock<Option<Box<crate::kernel::ForestProgram>>>,
+}
+
+/// Derived caches (`kt`, `opt`) are excluded: they are functions of the
+/// node table, and the kernel's leaf thresholds are `NaN`, which would
+/// make any tree compare unequal to itself.
+impl PartialEq for FlatTree {
+    fn eq(&self, other: &Self) -> bool {
+        self.feature == other.feature
+            && self.threshold == other.threshold
+            && self.left == other.left
+            && self.right == other.right
+    }
 }
 
 impl FlatTree {
@@ -160,26 +179,49 @@ impl FlatTree {
     /// 0 (so every per-step row load is in-bounds) and threshold `NaN`
     /// (so the `v <= t` select is always false and a finished lane takes
     /// `right`, which self-loops). Split nodes are untouched, so the
-    /// kernel makes exactly the decisions `score_from` makes.
-    pub(crate) fn kernel_tables(&self) -> KernelTables {
-        let mut max_feature = 0;
-        let mut feature_right = Vec::with_capacity(self.feature.len());
-        let mut threshold = Vec::with_capacity(self.threshold.len());
-        for i in 0..self.feature.len() {
-            let (f, t) = if self.feature[i] == LEAF {
-                (0, f64::NAN)
-            } else {
-                max_feature = max_feature.max(self.feature[i]);
-                (self.feature[i], self.threshold[i])
-            };
-            feature_right.push(u64::from(f) << 32 | u64::from(self.right[i]));
-            threshold.push(t);
-        }
-        KernelTables {
-            feature_right,
-            threshold,
-            max_feature,
-        }
+    /// kernel makes exactly the decisions `score_from` makes. Built once
+    /// and cached — repeated scalar/explain calls stop rebuilding it.
+    pub(crate) fn kernel_tables(&self) -> &KernelTables {
+        self.kt.get_or_init(|| {
+            let mut max_feature = 0;
+            let mut feature_right = Vec::with_capacity(self.feature.len());
+            let mut threshold = Vec::with_capacity(self.threshold.len());
+            for i in 0..self.feature.len() {
+                let (f, t) = if self.feature[i] == LEAF {
+                    (0, f64::NAN)
+                } else {
+                    max_feature = max_feature.max(self.feature[i]);
+                    (self.feature[i], self.threshold[i])
+                };
+                feature_right.push(u64::from(f) << 32 | u64::from(self.right[i]));
+                threshold.push(t);
+            }
+            Box::new(KernelTables {
+                feature_right,
+                threshold,
+                max_feature,
+            })
+        })
+    }
+
+    /// Compile this tree's quantized program (a single-tree forest in
+    /// kernel terms). Idempotent; scoring uses the program only after
+    /// this has run, so un-optimized instances stay the exact
+    /// interpreter. Returns whether a compiled program is active.
+    pub fn optimize(&self) -> bool {
+        self.opt
+            .get_or_init(|| {
+                let depth = self.node_depths()[0];
+                crate::kernel::ForestProgram::compile(self, &[0], &[depth]).map(Box::new)
+            })
+            .is_some()
+    }
+
+    /// The compiled program, if [`optimize`](Self::optimize) has run and
+    /// succeeded.
+    #[inline]
+    pub(crate) fn program(&self) -> Option<&crate::kernel::ForestProgram> {
+        self.opt.get().and_then(|p| p.as_deref())
     }
 
     /// Walk every row of a row-major `block` (whose row count must be a
@@ -231,7 +273,9 @@ impl FlatTree {
     /// Score every row of `x` (blocked lockstep traversal, falling back
     /// to the plain row walk when the tree references features beyond
     /// the matrix width — those reads default to 0.0, which the kernel's
-    /// unconditional loads cannot express).
+    /// unconditional loads cannot express). After [`optimize`](Self::optimize)
+    /// the quantized program runs instead, under the same fallback
+    /// condition and with bit-identical results.
     pub fn predict_batch(&self, x: &ColMatrix) -> Vec<f64> {
         let width = x.n_cols();
         if width == 0 {
@@ -249,11 +293,15 @@ impl FlatTree {
                 })
                 .collect();
         }
-        let depth = self.node_depths()[0];
         let mut out = vec![0.0; x.n_rows()];
+        if let Some(prog) = self.program() {
+            prog.walk_batch(x, &mut |r, _leaf, v| out[r] = v);
+            return out;
+        }
+        let depth = self.node_depths()[0];
         for_each_block(x, |start, rows, block| {
             let dst = &mut out[start..start + rows];
-            self.score_block(&kt, 0, depth, block, width, &mut |r, v| {
+            self.score_block(kt, 0, depth, block, width, &mut |r, v| {
                 if r < dst.len() {
                     dst[r] = v;
                 }
@@ -275,6 +323,7 @@ impl FlatTree {
             threshold: r.get_f64s()?,
             left: r.get_u32s()?,
             right: r.get_u32s()?,
+            ..Default::default()
         };
         tree.validate()?;
         Ok(tree)
@@ -350,9 +399,6 @@ pub struct FlatForest {
     /// Per-root max depth (not serialized — recomputed from the table),
     /// the lockstep kernel's step budget.
     pub(crate) depths: Vec<u32>,
-    /// The kernel's leaf-rewritten node view (not serialized — derived
-    /// from `nodes` once at build/decode instead of per scoring call).
-    pub(crate) kernel: KernelTables,
     /// Number of voting trees as `f64` — the division denominator.
     pub(crate) n_trees: f64,
     /// Prediction when the forest has no trees (0.5 classifier, 0.0
@@ -364,11 +410,15 @@ pub struct FlatForest {
     /// scoring-only deployments never pay for it (boxed: it must not
     /// grow the enum variants scoring matches on).
     pub(crate) attr: std::sync::OnceLock<Box<crate::attribution::AttrTables>>,
+    /// The quantized program, compiled once by [`optimize`](Self::optimize);
+    /// `None` inside means compilation was attempted and fell back.
+    opt: std::sync::OnceLock<Option<Box<crate::kernel::ForestProgram>>>,
 }
 
-/// Derived caches (`depths`, `kernel`) are excluded: they are functions
-/// of the node table, and the kernel's leaf thresholds are `NaN`, which
-/// would make any forest compare unequal to itself.
+/// Derived caches (`depths`, the node table's kernel view, `attr`,
+/// `opt`) are excluded: they are functions of the node table, and the
+/// kernel's leaf thresholds are `NaN`, which would make any forest
+/// compare unequal to itself.
 impl PartialEq for FlatForest {
     fn eq(&self, other: &Self) -> bool {
         self.roots == other.roots
@@ -385,6 +435,27 @@ impl FlatForest {
 
     pub fn n_nodes(&self) -> usize {
         self.nodes.n_nodes()
+    }
+
+    /// Lower the forest into its quantized, feature-pruned, depth-unrolled
+    /// program (see [`crate::kernel`]). Idempotent; batched scoring and
+    /// attribution use the program only after this has run, so
+    /// un-optimized instances stay the exact interpreter. Returns whether
+    /// a compiled program is active (`false` = exactness fallback).
+    pub fn optimize(&self) -> bool {
+        self.opt
+            .get_or_init(|| {
+                crate::kernel::ForestProgram::compile(&self.nodes, &self.roots, &self.depths)
+                    .map(Box::new)
+            })
+            .is_some()
+    }
+
+    /// The compiled program, if [`optimize`](Self::optimize) has run and
+    /// succeeded.
+    #[inline]
+    pub(crate) fn program(&self) -> Option<&crate::kernel::ForestProgram> {
+        self.opt.get().and_then(|p| p.as_deref())
     }
 
     /// Mean of per-tree predictions for one row, in tree order.
@@ -408,7 +479,7 @@ impl FlatForest {
         if width == 0 {
             return (0..n).map(|_| self.score_row(&[])).collect();
         }
-        let kt = &self.kernel;
+        let kt = self.nodes.kernel_tables();
         if kt.max_feature as usize >= width {
             let mut row = vec![0.0; width];
             return (0..n)
@@ -421,6 +492,19 @@ impl FlatForest {
                 .collect();
         }
         let mut out = vec![0.0; n];
+        if let Some(prog) = self.program() {
+            // The compiled program folds leaves in the interpreter's
+            // exact order (trees in forest order per row), so sums — and
+            // the final division — are bit-identical.
+            // SAFETY: walk_batch only fires rows `< x.n_rows()` =
+            // out.len(); this sink runs once per (row, tree) and is the
+            // single hottest callback in batch scoring.
+            prog.walk_batch(x, &mut |r, _leaf, v| unsafe {
+                *out.get_unchecked_mut(r) += v;
+            });
+            out.iter_mut().for_each(|o| *o /= self.n_trees);
+            return out;
+        }
         for_each_block(x, |start, rows, block| {
             // Padded accumulator: pad-row sums land here too and are
             // simply never copied out, keeping the sink branch-free.
@@ -454,12 +538,12 @@ impl FlatForest {
         let depths = roots.iter().map(|&r| all_depths[r as usize]).collect();
         Ok(FlatForest {
             depths,
-            kernel: nodes.kernel_tables(),
             roots,
             nodes,
             n_trees: r.get_f64()?,
             empty_value: r.get_f64()?,
             attr: Default::default(),
+            opt: Default::default(),
         })
     }
 }
@@ -485,11 +569,11 @@ pub(crate) fn flatten_forest<'a>(
     FlatForest {
         n_trees: roots.len() as f64,
         depths: roots.iter().map(|&r| all_depths[r as usize]).collect(),
-        kernel: nodes.kernel_tables(),
         roots,
         nodes,
         empty_value,
         attr: Default::default(),
+        opt: Default::default(),
     }
 }
 
@@ -627,6 +711,28 @@ impl CompiledClassifier {
         }
     }
 
+    /// Compile tree-shaped models to their quantized programs (see
+    /// [`crate::kernel`]); other learners are already branch-free and
+    /// return `true` unchanged. Returns whether every kernel this model
+    /// could compile is active.
+    pub fn optimize(&self) -> bool {
+        match self {
+            CompiledClassifier::Forest(forest) => forest.optimize(),
+            CompiledClassifier::Tree(tree) => tree.optimize(),
+            _ => true,
+        }
+    }
+
+    /// The active compiled program, if this is a tree-shaped model whose
+    /// `optimize` succeeded.
+    pub(crate) fn program(&self) -> Option<&crate::kernel::ForestProgram> {
+        match self {
+            CompiledClassifier::Forest(forest) => forest.program(),
+            CompiledClassifier::Tree(tree) => tree.program(),
+            _ => None,
+        }
+    }
+
     pub fn encode(&self, w: &mut ByteWriter) {
         match self {
             CompiledClassifier::Forest(forest) => {
@@ -718,6 +824,25 @@ impl CompiledClassifier {
     }
 }
 
+/// Link every optimized tree-shaped model of a battery to one shared
+/// quantization (the union of their cut tables), so batched scoring
+/// ranks each matrix once per call instead of once per model — see
+/// [`crate::kernel`]. Call after the battery's `optimize` pass; models
+/// without an active program (non-tree learners, exactness fallbacks)
+/// simply don't participate. Idempotent, and a no-op when the merged
+/// tables would not quantize losslessly.
+pub fn link_battery<'a>(
+    classifiers: impl IntoIterator<Item = &'a CompiledClassifier>,
+    regressors: impl IntoIterator<Item = &'a CompiledRegressor>,
+) {
+    let programs: Vec<&crate::kernel::ForestProgram> = classifiers
+        .into_iter()
+        .filter_map(|m| m.program())
+        .chain(regressors.into_iter().filter_map(|m| m.program()))
+        .collect();
+    crate::kernel::link_programs(&programs);
+}
+
 /// A regressor compiled for batched scoring and binary persistence.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CompiledRegressor {
@@ -740,6 +865,26 @@ impl CompiledRegressor {
             } => linear_batch(*intercept, coefficients, x),
             CompiledRegressor::Tree(tree) => tree.predict_batch(x),
             CompiledRegressor::Forest(forest) => forest.predict_batch(x),
+        }
+    }
+
+    /// Compile tree-shaped models to their quantized programs (see
+    /// [`crate::kernel`]); linear models are already branch-free.
+    pub fn optimize(&self) -> bool {
+        match self {
+            CompiledRegressor::Linear { .. } => true,
+            CompiledRegressor::Tree(tree) => tree.optimize(),
+            CompiledRegressor::Forest(forest) => forest.optimize(),
+        }
+    }
+
+    /// The active compiled program, if this is a tree-shaped model whose
+    /// `optimize` succeeded.
+    pub(crate) fn program(&self) -> Option<&crate::kernel::ForestProgram> {
+        match self {
+            CompiledRegressor::Linear { .. } => None,
+            CompiledRegressor::Tree(tree) => tree.program(),
+            CompiledRegressor::Forest(forest) => forest.program(),
         }
     }
 

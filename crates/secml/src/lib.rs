@@ -25,6 +25,7 @@ pub mod dataset;
 pub mod eval;
 pub mod forest;
 pub mod infer;
+pub mod kernel;
 pub mod knn;
 pub mod linalg;
 pub mod linreg;
@@ -37,7 +38,7 @@ pub mod tree;
 pub use attribution::RowAttribution;
 pub use dataset::{ColMatrix, Dataset};
 pub use eval::{ClassificationReport, ConfusionMatrix, RegressionReport};
-pub use infer::{CompiledClassifier, CompiledRegressor, FlatForest, FlatTree};
+pub use infer::{link_battery, CompiledClassifier, CompiledRegressor, FlatForest, FlatTree};
 
 /// A trained binary classifier: predicts the probability of class 1.
 ///

@@ -278,6 +278,8 @@ fn score(args: &[String], engine: &PipelineConfig, train_jobs: usize) -> Result<
             trained_model(engine, train_jobs).compile()
         }
     };
+    // Codegen: quantized kernels for the whole battery, once up front.
+    compiled.optimize();
     if let Some(path) = &save_path {
         compiled.save(path)?;
         eprintln!("saved compiled model to `{}`", path.display());
@@ -361,6 +363,8 @@ fn explain(
             trained_model(engine, train_jobs).compile()
         }
     };
+    // Codegen: quantized kernels for the whole battery, once up front.
+    compiled.optimize();
 
     let mut rendered = Vec::new();
     for path in &paths {

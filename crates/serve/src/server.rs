@@ -124,9 +124,12 @@ pub struct ModelState {
 }
 
 impl ModelState {
-    /// Wrap an in-memory model (fingerprints its serialized form).
+    /// Wrap an in-memory model (fingerprints its serialized form) with
+    /// its optimized kernels compiled up front, so the first request
+    /// never pays the codegen step.
     pub fn from_model(compiled: CompiledModel) -> ModelState {
         let fingerprint = fingerprint_bytes(&compiled.to_bytes());
+        compiled.optimize();
         ModelState {
             compiled,
             fingerprint,
@@ -134,11 +137,16 @@ impl ModelState {
         }
     }
 
-    /// Load and fingerprint a CLVY file.
+    /// Load and fingerprint a CLVY file, compiling the optimized kernels
+    /// before the state is published. On the hot-reload path this runs
+    /// *before* the `Arc<ModelState>` swap, so in-flight and subsequent
+    /// batches always see a fully compiled battery — the swap never
+    /// races codegen.
     pub fn load(path: &Path) -> Result<ModelState, String> {
         let bytes = std::fs::read(path)
             .map_err(|e| format!("cannot read model from `{}`: {e}", path.display()))?;
         let compiled = CompiledModel::from_bytes(&bytes)?;
+        compiled.optimize();
         Ok(ModelState {
             compiled,
             fingerprint: fingerprint_bytes(&bytes),

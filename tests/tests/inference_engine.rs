@@ -262,6 +262,306 @@ fn attribution_folds_exactly_for_every_learner() {
     }
 }
 
+/// Differential fuzzing of the compiled kernels (`secml::kernel`)
+/// against the interpreter, over seeded random *wire* forests — tables
+/// that arrive through the `CLVY` decode path rather than training, so
+/// they reach shapes training never emits: depth past the unroll limit,
+/// NaN split thresholds and NaN leaf values, single-leaf trees, empty
+/// forests, duplicate and signed-zero cuts. Scores and attributions
+/// must be bit-identical for every forest, at batch sizes straddling
+/// the kernel's mask/ladder engine boundary.
+mod kernel_fuzz {
+    use secml::bytes::{ByteReader, ByteWriter};
+    use secml::{ColMatrix, CompiledClassifier};
+
+    const LEAF: u32 = u32::MAX;
+    const FEATS: usize = 6;
+    /// Batch sizes straddling the mask-walk threshold (32) and the
+    /// 64-row block width, plus the single-row serve shape.
+    const SIZES: [usize; 6] = [1, 31, 32, 64, 65, 117];
+
+    /// splitmix64: tiny, seeded, good enough to shake out edge cases
+    /// reproducibly.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+
+        fn unit(&mut self) -> f64 {
+            (self.next() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// A split threshold: mostly ordinary finite values, salted with
+        /// the exact-compare hazards — NaN (always-false splits), signed
+        /// zeros, duplicated round values, extremes.
+        fn threshold(&mut self) -> f64 {
+            match self.below(12) {
+                0 => f64::NAN,
+                1 => 0.0,
+                2 => -0.0,
+                3 => 1.0, // deliberately duplicated across nodes
+                4 => -1e300,
+                5 => 1e300,
+                _ => self.unit() * 8.0 - 4.0,
+            }
+        }
+
+        /// A row value: the same hazards the thresholds carry, plus
+        /// infinities and exact threshold hits.
+        fn cell(&mut self) -> f64 {
+            match self.below(14) {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => 0.0,
+                4 => -0.0,
+                5 => 1.0,
+                _ => self.unit() * 8.0 - 4.0,
+            }
+        }
+    }
+
+    /// A random forest in wire-table form (preorder, leaves
+    /// self-looping — the invariants `FlatTree::validate` demands).
+    #[derive(Default)]
+    struct WireForest {
+        roots: Vec<u32>,
+        feature: Vec<u32>,
+        threshold: Vec<f64>,
+        left: Vec<u32>,
+        right: Vec<u32>,
+    }
+
+    impl WireForest {
+        fn push_leaf(&mut self, value: f64) -> u32 {
+            let i = self.feature.len() as u32;
+            self.feature.push(LEAF);
+            self.threshold.push(value);
+            self.left.push(i);
+            self.right.push(i);
+            i
+        }
+
+        /// Preorder-generate a subtree: split probability decays with
+        /// depth, but a `spine` budget forces a left chain first so some
+        /// trees exceed the kernel's unroll depth (8) and exercise the
+        /// quantized lockstep path.
+        fn gen(&mut self, rng: &mut Rng, depth: u32, spine: u32) -> u32 {
+            let split = spine > 0 || (depth < 11 && rng.below(100) < 72);
+            if !split {
+                // Leaf values include NaN: both engines must fold the
+                // same bits through identical per-row sums.
+                let value = if rng.below(24) == 0 {
+                    f64::NAN
+                } else {
+                    rng.unit() * 2.0 - 1.0
+                };
+                return self.push_leaf(value);
+            }
+            let i = self.feature.len() as u32;
+            self.feature.push(rng.below(FEATS as u64) as u32);
+            self.threshold.push(rng.threshold());
+            self.left.push(0);
+            self.right.push(0);
+            let l = self.gen(rng, depth + 1, spine.saturating_sub(1));
+            let r = self.gen(rng, depth + 1, 0);
+            self.left[i as usize] = l;
+            self.right[i as usize] = r;
+            i
+        }
+
+        /// Serialize as a `CompiledClassifier::Forest` and decode back
+        /// through the production wire path (which validates the table).
+        fn decode(&self) -> CompiledClassifier {
+            let mut w = ByteWriter::new();
+            w.put_u8(0); // CompiledClassifier::Forest tag
+            w.put_u32s(&self.roots);
+            w.put_u32s(&self.feature);
+            w.put_f64s(&self.threshold);
+            w.put_u32s(&self.left);
+            w.put_u32s(&self.right);
+            w.put_f64(self.roots.len().max(1) as f64);
+            w.put_f64(0.5);
+            let bytes = w.into_bytes();
+            CompiledClassifier::decode(&mut ByteReader::new(&bytes)).expect("fuzzed table decodes")
+        }
+    }
+
+    /// One seeded random forest. Shape 0 is the empty forest (no roots,
+    /// one orphan node to satisfy validation); shape 1 a single leaf;
+    /// shape 2 a deep left spine; the rest mixed random trees.
+    fn gen_forest(seed: u64) -> WireForest {
+        let mut rng = Rng(seed.wrapping_mul(2) | 1);
+        let mut wf = WireForest::default();
+        match seed % 8 {
+            0 => {
+                wf.push_leaf(7.0);
+            }
+            1 => {
+                let root = wf.push_leaf(0.25);
+                wf.roots.push(root);
+            }
+            2 => {
+                let root = wf.gen(&mut rng, 0, 10 + (seed % 4) as u32);
+                wf.roots.push(root);
+            }
+            _ => {
+                for _ in 0..1 + rng.below(6) {
+                    let spine = if rng.below(3) == 0 { 9 } else { 0 };
+                    let root = wf.gen(&mut rng, 0, spine);
+                    wf.roots.push(root);
+                }
+            }
+        }
+        wf
+    }
+
+    fn matrix(rng: &mut Rng, rows: usize) -> ColMatrix {
+        let data: Vec<Vec<f64>> = (0..rows)
+            .map(|_| (0..FEATS).map(|_| rng.cell()).collect())
+            .collect();
+        ColMatrix::from_rows(&data)
+    }
+
+    fn assert_engines_agree(interp: &CompiledClassifier, kernel: &CompiledClassifier, seed: u64) {
+        let mut rng = Rng(seed ^ 0xD6E8_FEB8_6659_FD93);
+        for rows in SIZES {
+            let x = matrix(&mut rng, rows);
+            let context = format!("seed {seed}, {rows} rows");
+            let a = interp.predict_batch(&x);
+            let b = kernel.predict_batch(&x);
+            assert_eq!(a.len(), b.len(), "{context}");
+            for (i, (p, q)) in a.iter().zip(&b).enumerate() {
+                assert_eq!(p.to_bits(), q.to_bits(), "{context}: score row {i}");
+            }
+            let aa = interp.attribute_batch(&x);
+            let ab = kernel.attribute_batch(&x);
+            for (i, (ra, rb)) in aa.iter().zip(&ab).enumerate() {
+                assert_eq!(
+                    ra.baseline.to_bits(),
+                    rb.baseline.to_bits(),
+                    "{context}: baseline row {i}"
+                );
+                assert_eq!(
+                    ra.score.to_bits(),
+                    rb.score.to_bits(),
+                    "{context}: score row {i}"
+                );
+                assert_eq!(
+                    ra.prediction.to_bits(),
+                    rb.prediction.to_bits(),
+                    "{context}: prediction row {i}"
+                );
+                assert_eq!(ra.contributions.len(), rb.contributions.len(), "{context}");
+                for (j, (ca, cb)) in ra.contributions.iter().zip(&rb.contributions).enumerate() {
+                    assert_eq!(
+                        ca.to_bits(),
+                        cb.to_bits(),
+                        "{context}: contribution {j} row {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fuzzed_wire_forests_score_and_attribute_bit_identically() {
+        for seed in 0..48u64 {
+            let interp = gen_forest(seed).decode();
+            let kernel = interp.clone();
+            // Degenerate tables may refuse to compile (that is the
+            // exactness fallback working); they still must score
+            // identically through the interpreter they keep.
+            kernel.optimize();
+            assert_engines_agree(&interp, &kernel, seed);
+        }
+    }
+
+    #[test]
+    fn fuzzed_linked_batteries_stay_bit_identical() {
+        // Groups of fuzzed forests linked to one shared quantization
+        // (the battery path `CompiledModel::optimize` takes): the
+        // merged-table remap must preserve bit-identity for every
+        // member, including the degenerate shapes.
+        for group in 0..6u64 {
+            let seeds: Vec<u64> = (0..5).map(|k| group * 5 + k).collect();
+            let interps: Vec<CompiledClassifier> =
+                seeds.iter().map(|&s| gen_forest(s).decode()).collect();
+            let kernels: Vec<CompiledClassifier> = interps.to_vec();
+            for kernel in &kernels {
+                kernel.optimize();
+            }
+            secml::link_battery(kernels.iter(), []);
+            for ((interp, kernel), &seed) in interps.iter().zip(&kernels).zip(&seeds) {
+                assert_engines_agree(interp, kernel, seed);
+            }
+        }
+    }
+}
+
+/// Serve's wire responses come from hot-reload-compiled kernels
+/// (`ModelState` runs `optimize()` before the state is published); they
+/// must be bitwise the JSON the *un-optimized* interpreter produces
+/// offline — the end-to-end closure of the kernel equality gate.
+#[test]
+fn served_scores_are_bit_identical_to_the_unoptimized_interpreter() {
+    use clairvoyant::report::{security_report_value, Json};
+    use serve::client::{is_ok, Client};
+    use serve::server::{ModelState, ServeConfig};
+
+    let model = Trainer::with_config(TrainerConfig {
+        learner: Learner::RandomForest,
+        ..Default::default()
+    })
+    .train(&Corpus::generate(&CorpusConfig::small(14, 20177)));
+    let apps = extract_apps(&Corpus::generate(&CorpusConfig::small(8, 53)));
+
+    // Offline reference: a freshly compiled battery that never runs the
+    // codegen stage, so it scores through the PR 4 interpreter.
+    let interp = model.compile();
+    let expected: Vec<String> = interp
+        .evaluate_batch(&apps, 1)
+        .iter()
+        .map(|r| security_report_value(r).to_string())
+        .collect();
+
+    // Served path: a second compilation of the same battery, with the
+    // optimized kernels compiled up front as the reload path does.
+    let handle = serve::start(
+        ServeConfig {
+            batch_max: 3,
+            jobs: 2,
+            ..ServeConfig::default()
+        },
+        ModelState::from_model(model.compile()),
+    )
+    .expect("daemon starts");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client
+        .set_timeout(Some(std::time::Duration::from_secs(30)))
+        .expect("set timeout");
+    for ((name, fv), want) in apps.iter().zip(&expected) {
+        let response = client.score_features(name, fv).expect("score");
+        assert!(is_ok(&response), "score failed: {response}");
+        let Json::Object(obj) = &response else {
+            panic!("score response is not an object: {response}");
+        };
+        let report = obj.get("report").expect("response has report").to_string();
+        assert_eq!(&report, want, "served report diverged for {name}");
+    }
+    handle.shutdown();
+}
+
 #[test]
 fn system_reports_do_not_depend_on_worker_count() {
     let model = Trainer::with_config(TrainerConfig {
