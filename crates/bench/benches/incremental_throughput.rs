@@ -1,0 +1,195 @@
+//! BENCH_INCR: incremental re-extraction vs from-scratch extraction.
+//!
+//! The §5.3 developer workflow is edit → re-score; PR 9's incremental
+//! engine claims that after a one-function edit only that function's
+//! fixpoints re-run while the merged feature vector stays bit-identical
+//! to a scratch build. This bench measures exactly that loop: synthesize
+//! an N-function program (N ≥ 200 in the full run), then repeatedly
+//! mutate a single function body and race a persistent
+//! [`IncrementalTestbed`] against `Testbed::extract` on the same parsed
+//! program. Before anything is timed, an equality gate asserts the
+//! incremental vector reproduces scratch bit-for-bit at 1 and 4 context
+//! workers across several edits.
+//!
+//! One `BENCH_INCR` JSON line prints per run (snapshot:
+//! `results/BENCH_INCR.json`); CI fails the job if `speedup` regresses
+//! more than 10% below the committed snapshot.
+//! `CLAIRVOYANT_BENCH_SMOKE=1` shrinks the program and edit count to a
+//! CI-sized equality smoke test.
+
+use bench::harness::{black_box, Criterion};
+use bench::{criterion_group, criterion_main};
+use clairvoyant::{IncrementalTestbed, Testbed};
+use minilang::ast::Program;
+use minilang::{parse_program, Dialect};
+
+/// A deterministic N-function project whose bodies carry loops, branches
+/// and buffer traffic (so per-function fixpoints dominate extraction, the
+/// workload the cache is for). `edit(i)` mutates one function's constants
+/// in place; `source()` re-renders the single module.
+struct Project {
+    seeds: Vec<u64>,
+}
+
+impl Project {
+    fn new(n: usize) -> Project {
+        Project {
+            seeds: (0..n as u64)
+                .map(|i| i.wrapping_mul(0x9e37_79b9) + 1)
+                .collect(),
+        }
+    }
+
+    fn edit(&mut self, round: usize) -> usize {
+        let target = (round * 31 + 7) % self.seeds.len();
+        self.seeds[target] = self.seeds[target].wrapping_mul(6364136223846793005) + 1;
+        target
+    }
+
+    fn source(&self) -> String {
+        let n = self.seeds.len();
+        let mut src = String::new();
+        for (i, seed) in self.seeds.iter().enumerate() {
+            let k1 = seed % 13 + 2;
+            let k2 = seed % 29;
+            let k3 = seed % 7 + 1;
+            if i % 5 == 0 {
+                src.push_str("@endpoint(network)\n");
+            }
+            src.push_str(&format!("fn fn_{i}(s: str, n: int) -> int {{\n"));
+            src.push_str(&format!(
+                "    let buf: str[{}];\n    let acc: int = n * {k1} + {k2};\n    let i: int = 0;\n",
+                16 + seed % 48
+            ));
+            src.push_str(&format!(
+                "    while i < acc {{\n        if i > {k3} {{ acc = acc - 1; }}\n        i = i + {k3};\n    }}\n"
+            ));
+            // A branch ladder: 2^13 path candidates per function, which
+            // pins the path enumerator at its state cap and drives the
+            // per-function fixpoints — the cached work — far above the
+            // linear AST passes that must re-run every build.
+            // A branch ladder: the per-function path/interval fixpoints —
+            // the cached work — dwarf the linear AST passes that must
+            // re-run every build.
+            for b in 0..13 {
+                src.push_str(&format!(
+                    "    if n > {} {{ acc = acc + {b}; }}\n",
+                    seed % 17 + b as u64
+                ));
+            }
+            src.push_str(&format!(
+                "    let j: int = acc;\n    while j > {k1} {{\n        j = j - {k3};\n        if j == n {{ acc = acc + 1; }}\n    }}\n"
+            ));
+            match seed % 4 {
+                0 => src.push_str("    strcpy(buf, s);\n"),
+                1 => src.push_str("    exec(s);\n"),
+                2 => src.push_str("    let d: str = read_input();\n    log_msg(d);\n"),
+                _ => src.push_str("    sprintf(buf, s);\n"),
+            }
+            // A sparse call layer so taint summaries actually propagate.
+            if i > 0 && i % 3 == 0 {
+                src.push_str(&format!(
+                    "    let r: int = fn_{}(s, acc);\n    acc = acc + r;\n",
+                    i - 1
+                ));
+            }
+            if i + 2 < n && i % 7 == 0 {
+                src.push_str(&format!(
+                    "    let q: int = fn_{}(buf, {k2});\n    acc = acc + q;\n",
+                    i + 2
+                ));
+            }
+            src.push_str("    return acc;\n}\n\n");
+        }
+        src
+    }
+
+    fn parse(&self) -> Program {
+        parse_program(
+            "incr-bench",
+            Dialect::C,
+            &[("app.c".to_string(), self.source())],
+        )
+        .expect("generated program parses")
+    }
+}
+
+fn bench_incremental(_c: &mut Criterion) {
+    use std::time::Instant;
+    let smoke = std::env::var("CLAIRVOYANT_BENCH_SMOKE").is_ok();
+    let (n_fns, gate_rounds, timed_rounds) = if smoke { (40, 2, 3) } else { (240, 4, 16) };
+
+    let mut project = Project::new(n_fns);
+    let scratch = Testbed::new();
+
+    // Equality gate: several single-function edits, bit-identical vectors
+    // at 1 and 4 workers, and only the edited function re-analyzed once
+    // the store is warm.
+    let mut seq = IncrementalTestbed::new();
+    let mut par = IncrementalTestbed::new().with_fn_jobs(4);
+    let p0 = project.parse();
+    assert_eq!(p0.function_count(), n_fns);
+    let want0 = scratch.extract(&p0);
+    assert_eq!(seq.extract(&p0), want0, "cold sequential");
+    assert_eq!(par.extract(&p0), want0, "cold 4-worker");
+    for round in 0..gate_rounds {
+        project.edit(round);
+        let p = project.parse();
+        let want = scratch.extract(&p);
+        let (got, report) = seq.extract_stats(&p);
+        assert_eq!(got, want, "gate round {round}: sequential diverged");
+        assert_eq!(
+            report.rebuilt, 1,
+            "gate round {round}: one edit, one rebuild"
+        );
+        assert_eq!(
+            par.extract(&p),
+            want,
+            "gate round {round}: 4-worker diverged"
+        );
+    }
+
+    // Timed race: per edit, the persistent engine sees exactly one changed
+    // fingerprint; scratch re-runs every fixpoint.
+    let mut incr_s = 0.0;
+    let mut scratch_s = 0.0;
+    let mut rebuilt_total = 0u64;
+    for round in 0..timed_rounds {
+        project.edit(gate_rounds + round);
+        let p = project.parse();
+
+        let t0 = Instant::now();
+        let (incr_fv, report) = seq.extract_stats(&p);
+        incr_s += t0.elapsed().as_secs_f64();
+        rebuilt_total += report.rebuilt;
+
+        let t0 = Instant::now();
+        let scratch_fv = scratch.extract(&p);
+        scratch_s += t0.elapsed().as_secs_f64();
+
+        assert_eq!(
+            black_box(incr_fv),
+            black_box(scratch_fv),
+            "timed round {round} diverged"
+        );
+    }
+
+    let incremental_ms = incr_s * 1e3 / timed_rounds as f64;
+    let scratch_ms = scratch_s * 1e3 / timed_rounds as f64;
+    let speedup = scratch_ms / incremental_ms.max(1e-9);
+    let rebuilt_per_edit = rebuilt_total as f64 / timed_rounds as f64;
+    println!(
+        "BENCH_INCR {{\"functions\":{n_fns},\"edits\":{timed_rounds},\
+         \"scratch_ms\":{scratch_ms:.2},\"incremental_ms\":{incremental_ms:.2},\
+         \"speedup\":{speedup:.2},\"rebuilt_per_edit\":{rebuilt_per_edit:.2},\
+         \"identical\":true}}"
+    );
+    eprintln!(
+        "incremental re-extraction: {scratch_ms:.1} ms scratch → {incremental_ms:.1} ms \
+         incremental ({speedup:.1}×) per one-function edit of a {n_fns}-function program \
+         ({rebuilt_per_edit:.1} functions rebuilt per edit)"
+    );
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

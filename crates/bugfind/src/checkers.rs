@@ -494,12 +494,33 @@ impl Checker for DeadStoreChecker {
     }
 
     fn check_ctx(&self, cx: &AnalysisContext<'_>) -> Vec<Diagnostic> {
+        // The dead-store sites were already computed (under this checker's
+        // exact predicate) by the context's dataflow fixpoint, as
+        // structure-relative (node, local) pairs. Replaying them here —
+        // re-anchoring spans through the CFG and names through the symbol
+        // table — keeps repeat runs over a warm incremental cache from
+        // paying for reaching-definitions + liveness twice per function.
         let mut out = Vec::new();
-        let globals = Self::program_globals(cx.program);
         let mut fcxs = cx.functions.iter();
         for_each_function(cx.program, |module, function| {
             let fcx = fcxs.next().expect("one context per function");
-            Self::check_function(module, function, &fcx.cfg, &globals, &mut out);
+            for &(node, local) in &fcx.dead_store_sites {
+                let span = match fcx.cfg.nodes[node].kind {
+                    NodeKind::Stmt(s) => s.span,
+                    _ => minilang::Span::dummy(),
+                };
+                let var = cx.symbols.table.name(fcx.symbols.syms[local as usize]);
+                out.push(Diagnostic {
+                    tool: "deadstore",
+                    rule: "dead-store",
+                    severity: DiagSeverity::Note,
+                    function: function.name.clone(),
+                    module: module.path.clone(),
+                    span,
+                    cwe_hint: None,
+                    message: format!("value assigned to `{var}` is never read"),
+                });
+            }
         });
         out
     }

@@ -192,24 +192,57 @@ impl fmt::Display for VersionDelta {
     }
 }
 
-/// Evaluate a code change: `before` vs `after` versions of one application.
-/// Deltas within ±1 risk point count as unchanged (measurement noise).
-pub fn version_delta(model: &TrainedModel, before: &Program, after: &Program) -> VersionDelta {
-    let before_report = model.evaluate(before);
-    let after_report = model.evaluate(after);
-    let score_delta = after_report.risk_score() - before_report.risk_score();
-    let verdict = if score_delta > 1.0 {
+/// The shared gate verdict: deltas within ±1 risk point count as
+/// unchanged (measurement noise). `gate`, `watch`, and [`version_delta`]
+/// all classify through here so a CI failure means the same thing
+/// everywhere.
+pub fn classify_delta(score_delta: f64) -> RiskChange {
+    if score_delta > 1.0 {
         RiskChange::Raised
     } else if score_delta < -1.0 {
         RiskChange::Lowered
     } else {
         RiskChange::Unchanged
-    };
+    }
+}
+
+/// Evaluate a code change: `before` vs `after` versions of one application.
+pub fn version_delta(model: &TrainedModel, before: &Program, after: &Program) -> VersionDelta {
+    let before_report = model.evaluate(before);
+    let after_report = model.evaluate(after);
+    delta_from_reports(before_report, after_report)
+}
+
+/// [`version_delta`] against an already-compiled model (the CI-gate path:
+/// load a `.clvy` file instead of retraining): both versions are extracted
+/// and scored in one batch over `jobs` workers.
+pub fn version_delta_compiled(
+    model: &CompiledModel,
+    before: &Program,
+    after: &Program,
+    jobs: usize,
+) -> VersionDelta {
+    let testbed = Testbed::new();
+    let apps = vec![
+        (before.name.clone(), testbed.extract(before)),
+        (after.name.clone(), testbed.extract(after)),
+    ];
+    let mut reports = model.evaluate_batch(&apps, jobs).into_iter();
+    let before_report = reports.next().expect("before report");
+    let after_report = reports.next().expect("after report");
+    delta_from_reports(before_report, after_report)
+}
+
+/// Assemble a [`VersionDelta`] from two finished reports — also the
+/// `watch` daemon's entry point, which re-scores incrementally and only
+/// has reports in hand.
+pub fn delta_from_reports(before: SecurityReport, after: SecurityReport) -> VersionDelta {
+    let score_delta = after.risk_score() - before.risk_score();
     VersionDelta {
-        before: before_report,
-        after: after_report,
+        before,
+        after,
         score_delta,
-        verdict,
+        verdict: classify_delta(score_delta),
     }
 }
 
@@ -311,6 +344,31 @@ mod tests {
         let same = compare_programs(m, &program("x", SAFE), &program("x", SAFE));
         assert!(same.deltas.is_empty());
         assert!(!same.to_string().contains("riskier because"));
+    }
+
+    #[test]
+    fn compiled_gate_matches_trained_gate() {
+        let m = model();
+        let compiled = m.compile();
+        let before = program("app", SAFE);
+        let after = program("app", RISKY);
+        let trained = version_delta(m, &before, &after);
+        let loaded = version_delta_compiled(&compiled, &before, &after, 2);
+        assert_eq!(trained.verdict, loaded.verdict);
+        assert_eq!(trained.score_delta.to_bits(), loaded.score_delta.to_bits());
+        assert_eq!(
+            trained.before.risk_score().to_bits(),
+            loaded.before.risk_score().to_bits()
+        );
+    }
+
+    #[test]
+    fn classify_delta_thresholds() {
+        assert_eq!(classify_delta(1.5), RiskChange::Raised);
+        assert_eq!(classify_delta(1.0), RiskChange::Unchanged);
+        assert_eq!(classify_delta(0.0), RiskChange::Unchanged);
+        assert_eq!(classify_delta(-1.0), RiskChange::Unchanged);
+        assert_eq!(classify_delta(-1.2), RiskChange::Lowered);
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod explain;
 pub mod extract;
 pub mod files;
 pub mod hypothesis;
+pub mod incremental;
 pub mod metric;
 pub mod report;
 pub mod score;
@@ -58,11 +59,13 @@ pub mod testbed;
 pub mod train;
 
 pub use compare::{
-    compare_programs, compare_programs_compiled, version_delta, Comparison, FeatureDelta,
+    classify_delta, compare_programs, compare_programs_compiled, delta_from_reports, version_delta,
+    version_delta_compiled, Comparison, FeatureDelta, RiskChange, VersionDelta,
 };
 pub use explain::{rank_hotspots, Explanation, Hotspot, ModelExplanation};
 pub use extract::{extract_corpus, CorpusFeatures};
 pub use hypothesis::{standard_battery, Hypothesis};
+pub use incremental::{IncrReport, IncrementalTestbed};
 pub use metric::SecurityReport;
 // Re-export the engine types so downstream users configure extraction
 // without naming the pipeline crate.

@@ -74,8 +74,20 @@ impl Testbed {
         let start = Instant::now();
         let cx = self.build_context(program);
         self.record("context", start.elapsed());
+        self.run_families(program, &cx)
+    }
 
-        let (mut fv, collectors) = self.registry.run_with_timings(&cx);
+    /// Run every collector family over a prebuilt context and merge the
+    /// results. This is the whole of [`extract`](Testbed::extract) minus
+    /// context construction — the incremental engine assembles its own
+    /// context from cached per-function entries and joins back here, so
+    /// the merged vector is produced by literally the same code path.
+    pub(crate) fn run_families(
+        &self,
+        program: &Program,
+        cx: &AnalysisContext<'_>,
+    ) -> FeatureVector {
+        let (mut fv, collectors) = self.registry.run_with_timings(cx);
         {
             let mut timings = self.timings.lock().unwrap();
             for (name, micros) in collectors {
@@ -84,7 +96,7 @@ impl Testbed {
         }
 
         let start = Instant::now();
-        let report = self.metatool.run_ctx(&cx);
+        let report = self.metatool.run_ctx(cx);
         Self::set_bugfind(&report, program, &mut fv);
         self.record("bugfind", start.elapsed());
 
@@ -203,8 +215,9 @@ impl Testbed {
 /// Version of the testbed's collector schema, part of every pipeline
 /// cache key. Bump whenever a collector is added, removed, or changes
 /// meaning — stale cached vectors are invalidated wholesale.
-/// (v2: single-pass `AnalysisContext` engine.)
-pub const TESTBED_SCHEMA_VERSION: u64 = 2;
+/// (v2: single-pass `AnalysisContext` engine. v3: deterministic
+/// program-order duplicate-code detection over per-statement digests.)
+pub const TESTBED_SCHEMA_VERSION: u64 = 3;
 
 impl pipeline::Extractor for Testbed {
     fn extract(&self, program: &Program) -> FeatureVector {

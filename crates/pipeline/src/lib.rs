@@ -41,11 +41,13 @@
 
 pub mod cache;
 pub mod fault;
+pub mod fn_cache;
 pub mod fnv;
 pub mod pool;
 pub mod report;
 
 pub use cache::{cache_key, CacheMode, FeatureCache};
+pub use fn_cache::{FnStore, FnStoreCounters};
 pub use pool::{default_workers, parallel_map};
 pub use report::{PipelineError, PipelineReport, StageTimings};
 

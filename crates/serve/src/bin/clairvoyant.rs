@@ -23,7 +23,9 @@
 
 use clairvoyant::prelude::*;
 use clairvoyant::report::{explanation_json, security_report_json, Json};
-use clairvoyant::Testbed;
+use clairvoyant::{
+    classify_delta, version_delta_compiled, IncrementalTestbed, RiskChange, Testbed,
+};
 use serve::client::{error_type, is_ok, Client};
 use serve::server::{ModelState, ServeConfig};
 use std::path::PathBuf;
@@ -49,6 +51,7 @@ fn main() -> ExitCode {
         "explain" => explain(rest, &engine, train_jobs),
         "compare" => compare(rest, &engine, train_jobs),
         "gate" => gate(rest, &engine, train_jobs),
+        "watch" => watch(rest, &engine, train_jobs),
         "serve" => serve_cmd(rest, &engine, train_jobs),
         "query" => query_cmd(rest),
         "--help" | "-h" | "help" => {
@@ -84,7 +87,18 @@ commands:
                               machine-readable form
   compare <fileA> <fileB>     evaluate two candidates, pick the safer one,
                               and say which code properties drive the gap
-  gate <before> <after>       CI gate: exit 1 when the change raises risk
+  gate [--model PATH] <before> <after>
+                              CI gate: exit 1 when the change raises risk;
+                              --model loads a saved compiled model instead of
+                              retraining the fixed-seed corpus
+  watch [--model PATH] [--once] [--interval-ms N] [--state PATH] <dir>
+                              poll a project directory and incrementally
+                              re-score on change (only edited functions are
+                              re-analyzed); prints a gate verdict per change
+                              and exits 1 when risk is RAISED. --once scores
+                              a single round against the saved state file
+                              (default <dir>/.clairvoyant-watch) — the CI
+                              shape: baseline run, edit, verdict run
   serve [--addr A] [--model PATH] [--max-inflight N] [--batch-max N]
         [--reactor-threads N] [--batch-shards N]
                               run the scoring daemon; --model serves a saved
@@ -688,17 +702,226 @@ fn print_score_line(path: &str, response: &Json) {
 }
 
 fn gate(args: &[String], engine: &PipelineConfig, train_jobs: usize) -> Result<ExitCode, String> {
-    let [before, after] = args else {
+    let mut model_path: Option<PathBuf> = None;
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--model" => {
+                model_path = Some(PathBuf::from(it.next().ok_or("--model needs a path")?));
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [before, after] = paths.as_slice() else {
         return Err("gate needs exactly two files (before, after)".to_string());
     };
     let pb = load_program("before", std::slice::from_ref(before))?;
     let pa = load_program("after", std::slice::from_ref(after))?;
-    eprintln!("training the metric (fixed-seed corpus)…");
-    let model = trained_model(engine, train_jobs);
-    let delta = version_delta(&model, &pb, &pa);
+    // CI shape: load a persisted compiled model (`score --save-model`)
+    // instead of retraining the fixed-seed corpus on every push.
+    let delta = match &model_path {
+        Some(path) => {
+            let compiled = CompiledModel::load(path)?;
+            eprintln!("loaded compiled model from `{}`", path.display());
+            compiled.optimize();
+            version_delta_compiled(&compiled, &pb, &pa, engine.jobs)
+        }
+        None => {
+            eprintln!("training the metric (fixed-seed corpus)…");
+            version_delta(&trained_model(engine, train_jobs), &pb, &pa)
+        }
+    };
     println!("{delta}");
     Ok(match delta.verdict {
-        clairvoyant::compare::RiskChange::Raised => ExitCode::FAILURE,
+        RiskChange::Raised => ExitCode::FAILURE,
         _ => ExitCode::SUCCESS,
     })
+}
+
+/// Known source extensions for `watch` directory scans.
+const WATCH_EXTENSIONS: [&str; 5] = ["c", "cc", "cpp", "py", "java"];
+
+/// Recursively collect the watchable source files under `dir` (sorted, so
+/// module order — and therefore the merged program — is deterministic),
+/// with their modification stamps. Dot-files (including the watch state
+/// file) are skipped.
+fn scan_sources(
+    dir: &std::path::Path,
+) -> Result<Vec<(PathBuf, std::time::SystemTime, u64)>, String> {
+    fn walk(
+        dir: &std::path::Path,
+        out: &mut Vec<(PathBuf, std::time::SystemTime, u64)>,
+    ) -> Result<(), String> {
+        let entries =
+            std::fs::read_dir(dir).map_err(|e| format!("cannot read `{}`: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("cannot read `{}`: {e}", dir.display()))?;
+            let path = entry.path();
+            if path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with('.'))
+            {
+                continue;
+            }
+            let meta = entry
+                .metadata()
+                .map_err(|e| format!("cannot stat `{}`: {e}", path.display()))?;
+            if meta.is_dir() {
+                walk(&path, out)?;
+            } else if path
+                .extension()
+                .and_then(|e| e.to_str())
+                .is_some_and(|e| WATCH_EXTENSIONS.contains(&e))
+            {
+                let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+                out.push((path, mtime, meta.len()));
+            }
+        }
+        Ok(())
+    }
+    let mut out = Vec::new();
+    walk(dir, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+/// Render the shared gate verdict line from two risk scores (exactly
+/// `VersionDelta`'s Display, which `gate` prints).
+fn verdict_line(before: f64, after: f64) -> (RiskChange, String) {
+    let delta = after - before;
+    let verdict = classify_delta(delta);
+    let word = match verdict {
+        RiskChange::Lowered => "LOWERED",
+        RiskChange::Unchanged => "UNCHANGED",
+        RiskChange::Raised => "RAISED",
+    };
+    (
+        verdict,
+        format!("risk {word}: {before:.1} → {after:.1} ({delta:+.1})"),
+    )
+}
+
+/// Poll a project directory and incrementally re-score on change. The
+/// per-function entry store persists across polls, so a one-function edit
+/// in a large project re-analyzes one function; each re-score prints the
+/// gate verdict against the previous score and the process exits 1 on
+/// the first RAISED verdict (the CI-gate contract). `--once` does a
+/// single round against the state file instead of looping.
+fn watch(args: &[String], engine: &PipelineConfig, train_jobs: usize) -> Result<ExitCode, String> {
+    let mut model_path: Option<PathBuf> = None;
+    let mut state_path: Option<PathBuf> = None;
+    let mut once = false;
+    let mut interval = std::time::Duration::from_millis(500);
+    let mut dirs = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--model" => {
+                model_path = Some(PathBuf::from(it.next().ok_or("--model needs a path")?));
+            }
+            "--state" => {
+                state_path = Some(PathBuf::from(it.next().ok_or("--state needs a path")?));
+            }
+            "--once" => once = true,
+            "--interval-ms" => {
+                let value = it.next().ok_or("--interval-ms needs a number")?;
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| format!("--interval-ms: `{value}` is not a number"))?;
+                interval = std::time::Duration::from_millis(ms.max(1));
+            }
+            other => dirs.push(other.to_string()),
+        }
+    }
+    let [dir] = dirs.as_slice() else {
+        return Err("watch needs exactly one project directory".to_string());
+    };
+    let dir = PathBuf::from(dir);
+    if !dir.is_dir() {
+        return Err(format!("`{}` is not a directory", dir.display()));
+    }
+    let state_path = state_path.unwrap_or_else(|| dir.join(".clairvoyant-watch"));
+
+    let compiled = match &model_path {
+        Some(path) => {
+            let model = CompiledModel::load(path)?;
+            eprintln!("loaded compiled model from `{}`", path.display());
+            model
+        }
+        None => {
+            eprintln!("training the metric (fixed-seed corpus)…");
+            trained_model(engine, train_jobs).compile()
+        }
+    };
+    compiled.optimize();
+
+    let project = dir
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("project")
+        .to_string();
+    // The resident incremental engine: the whole point of `watch` — only
+    // functions whose fingerprints changed are re-analyzed per poll.
+    let mut incr = IncrementalTestbed::new().with_fn_jobs(engine.jobs);
+    let rescore = |incr: &mut IncrementalTestbed| -> Result<f64, String> {
+        let sources = scan_sources(&dir)?;
+        let paths: Vec<String> = sources
+            .iter()
+            .map(|(p, _, _)| p.to_string_lossy().into_owned())
+            .collect();
+        let program = load_program(&project, &paths)?;
+        let (fv, report) = incr.extract_stats(&program);
+        eprintln!(
+            "extracted {} function(s): {} cached, {} rebuilt",
+            report.functions, report.hits, report.rebuilt
+        );
+        let reports = compiled.evaluate_batch(&[(project.clone(), fv)], engine.jobs);
+        Ok(reports[0].risk_score())
+    };
+
+    if once {
+        let score = rescore(&mut incr)?;
+        let previous = std::fs::read_to_string(&state_path)
+            .ok()
+            .and_then(|s| u64::from_str_radix(s.trim(), 16).ok())
+            .map(f64::from_bits);
+        std::fs::write(&state_path, format!("{:016x}\n", score.to_bits()))
+            .map_err(|e| format!("cannot write `{}`: {e}", state_path.display()))?;
+        return Ok(match previous {
+            Some(before) => {
+                let (verdict, line) = verdict_line(before, score);
+                println!("{line}");
+                match verdict {
+                    RiskChange::Raised => ExitCode::FAILURE,
+                    _ => ExitCode::SUCCESS,
+                }
+            }
+            None => {
+                println!("baseline risk {score:.1}");
+                ExitCode::SUCCESS
+            }
+        });
+    }
+
+    let mut stamps = scan_sources(&dir)?;
+    let mut score = rescore(&mut incr)?;
+    println!("baseline risk {score:.1}");
+    loop {
+        std::thread::sleep(interval);
+        let current = scan_sources(&dir)?;
+        if current == stamps {
+            continue;
+        }
+        stamps = current;
+        let next = rescore(&mut incr)?;
+        let (verdict, line) = verdict_line(score, next);
+        println!("{line}");
+        let _ = std::fs::write(&state_path, format!("{:016x}\n", next.to_bits()));
+        if verdict == RiskChange::Raised {
+            return Ok(ExitCode::FAILURE);
+        }
+        score = next;
+    }
 }

@@ -33,7 +33,7 @@ use crate::protocol::{error_response, ok_response, Payload, ScoreInput};
 use crate::reactor::Completion;
 use crate::server::Shared;
 use clairvoyant::report::{comparison_value, explanation_value, write_security_report, Json};
-use clairvoyant::{rank_hotspots, Comparison, Explanation, Hotspot, Testbed};
+use clairvoyant::{rank_hotspots, Comparison, Explanation, Hotspot, IncrementalTestbed};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -129,9 +129,16 @@ enum Resolved {
 }
 
 /// Resolve a scoring-family input on the shard thread: pre-extracted
-/// features pass through; source is parsed and run through the testbed,
-/// returning the program too so `explain` can rank hotspots.
+/// features pass through; source is parsed and run through the shard's
+/// resident incremental engine, returning the program too so `explain`
+/// can rank hotspots. The engine lives for the shard's whole lifetime
+/// (the old code built a fresh `Testbed::new()` per request), so repeat
+/// or lightly-edited sources reuse resident per-function entries and
+/// only re-analyze what changed; the hit/miss/rebuild counts land in the
+/// service-wide `incr_*` counters.
 fn resolve_input(
+    engine: &mut IncrementalTestbed,
+    shared: &Shared,
     name: &str,
     input: ScoreInput,
 ) -> Result<
@@ -147,7 +154,19 @@ fn resolve_input(
             let files = vec![(format!("{name}.src"), text)];
             match minilang::parse_program(name, dialect, &files) {
                 Ok(program) => {
-                    let fv = Testbed::new().extract(&program);
+                    let (fv, report) = engine.extract_stats(&program);
+                    shared
+                        .stats
+                        .incr_hits
+                        .fetch_add(report.hits, Ordering::Relaxed);
+                    shared
+                        .stats
+                        .incr_misses
+                        .fetch_add(report.misses, Ordering::Relaxed);
+                    shared
+                        .stats
+                        .incr_rebuilt_fns
+                        .fetch_add(report.rebuilt, Ordering::Relaxed);
                     Ok((fv, Some(program)))
                 }
                 Err(e) => Err(error_response("bad_request", &format!("parse error: {e}"))),
@@ -162,6 +181,11 @@ fn model_field(fingerprint: u64) -> (&'static str, Json) {
 
 pub(crate) fn shard_loop(shared: &Arc<Shared>, shard_id: usize) {
     let me = &shared.shards[shard_id];
+    // The shard's warm analysis context: one testbed + per-function entry
+    // store, resident across batches. Connections are pinned to shards,
+    // so a client iterating on one source keeps hitting its own warm
+    // entries.
+    let mut engine = IncrementalTestbed::new();
     loop {
         let batch: Vec<Job> = {
             let mut queue = me.queue.lock().unwrap();
@@ -200,33 +224,40 @@ pub(crate) fn shard_loop(shared: &Arc<Shared>, shard_id: usize) {
         let mut items: Vec<(u64, u64, Resolved)> = Vec::with_capacity(batch.len());
         for job in batch {
             let resolved = match job.work {
-                Work::Score { name, input } => match resolve_input(&name, input) {
-                    Ok((features, _)) => {
-                        score_apps.push((name, features));
-                        Resolved::Score {
-                            row: score_apps.len() - 1,
+                Work::Score { name, input } => {
+                    match resolve_input(&mut engine, shared, &name, input) {
+                        Ok((features, _)) => {
+                            score_apps.push((name, features));
+                            Resolved::Score {
+                                row: score_apps.len() - 1,
+                            }
                         }
+                        Err(response) => Resolved::Error(response),
                     }
-                    Err(response) => Resolved::Error(response),
-                },
-                Work::Explain { name, input, top_k } => match resolve_input(&name, input) {
-                    Ok((features, program)) => {
-                        // Feature-vector submissions have no program and
-                        // get no hotspots, matching `explain_features`.
-                        let hotspots = program
-                            .as_ref()
-                            .map(|p| rank_hotspots(p, top_k))
-                            .unwrap_or_default();
-                        explain_apps.push((name, features));
-                        Resolved::Explain {
-                            row: explain_apps.len() - 1,
-                            hotspots,
+                }
+                Work::Explain { name, input, top_k } => {
+                    match resolve_input(&mut engine, shared, &name, input) {
+                        Ok((features, program)) => {
+                            // Feature-vector submissions have no program and
+                            // get no hotspots, matching `explain_features`.
+                            let hotspots = program
+                                .as_ref()
+                                .map(|p| rank_hotspots(p, top_k))
+                                .unwrap_or_default();
+                            explain_apps.push((name, features));
+                            Resolved::Explain {
+                                row: explain_apps.len() - 1,
+                                hotspots,
+                            }
                         }
+                        Err(response) => Resolved::Error(response),
                     }
-                    Err(response) => Resolved::Error(response),
-                },
+                }
                 Work::Compare { a, b } => {
-                    match (resolve_input(&a.0, a.1), resolve_input(&b.0, b.1)) {
+                    match (
+                        resolve_input(&mut engine, shared, &a.0, a.1),
+                        resolve_input(&mut engine, shared, &b.0, b.1),
+                    ) {
                         (Ok((fa, _)), Ok((fb, _))) => {
                             explain_apps.push((a.0, fa));
                             explain_apps.push((b.0, fb));

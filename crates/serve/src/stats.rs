@@ -134,6 +134,15 @@ pub struct ServiceStats {
     /// wakeup storm (the bug the reactor replaced: per-connection
     /// read-timeout spinning). A regression test pins this down.
     pub reactor_wakeups: AtomicU64,
+    /// Warm-context cache: functions served from resident per-function
+    /// entries during request resolution (fixpoints skipped). A repeat
+    /// score of an unchanged source is all hits.
+    pub incr_hits: AtomicU64,
+    /// Functions whose fingerprint found no resident entry.
+    pub incr_misses: AtomicU64,
+    /// Functions fully re-analyzed. An edited source moves this by the
+    /// number of *changed* functions, not the program size.
+    pub incr_rebuilt_fns: AtomicU64,
 }
 
 impl ServiceStats {
@@ -164,6 +173,9 @@ impl ServiceStats {
             ("batches", n(&self.batches)),
             ("batch_panics", n(&self.batch_panics)),
             ("reactor_wakeups", n(&self.reactor_wakeups)),
+            ("incr_hits", n(&self.incr_hits)),
+            ("incr_misses", n(&self.incr_misses)),
+            ("incr_rebuilt_fns", n(&self.incr_rebuilt_fns)),
             ("inflight", Json::Number(inflight as f64)),
             (
                 "queue_depth",
@@ -218,5 +230,8 @@ mod tests {
         assert!(json.contains("\"queue_depth\":7"));
         assert!(json.contains("\"p999_us\""));
         assert!(json.contains("\"reactor_wakeups\""));
+        assert!(json.contains("\"incr_hits\""));
+        assert!(json.contains("\"incr_misses\""));
+        assert!(json.contains("\"incr_rebuilt_fns\""));
     }
 }

@@ -126,17 +126,61 @@ pub struct FunctionContext<'p> {
     pub has_dead_code: bool,
     /// Decision-point cyclomatic complexity (AST-only; no CFG needed).
     pub decision_complexity: usize,
+    /// Dead-store sites `(node, local)` under the deadstore *checker's*
+    /// predicate (strong defs never read, excluding params and globals) —
+    /// distinct from [`DataflowStats::dead_stores`], which counts only
+    /// `let`-introduced locals. Node ids and dense locals are relative to
+    /// this context's own CFG/symbols, so the list survives caching.
+    pub dead_store_sites: Vec<(NodeId, u32)>,
+    /// FNV digest per top-level statement's printed form (program order),
+    /// feeding duplicate-code detection without re-printing the body.
+    pub stmt_hashes: Vec<u64>,
 }
 
-impl<'p> FunctionContext<'p> {
-    /// Build one function's context. Read-only over the shared interning
-    /// output, so calls for different functions can run on different
-    /// threads.
-    pub fn build(
-        function: &'p Function,
-        program: &ProgramSymbols,
-        path_config: &PathConfig,
-    ) -> FunctionContext<'p> {
+/// The *owned* expensive analysis results for one function: everything in
+/// a [`FunctionContext`] that does not borrow the AST. The fixpoints here
+/// (dataflow, intervals, bounds, path exploration) dominate context
+/// construction cost, and they are pure functions of the function's text,
+/// the global-variable name set, and the path-exploration limits — so the
+/// incremental engine caches this struct per function fingerprint and
+/// re-installs it without recomputation when the text is unchanged.
+#[derive(Debug, Clone)]
+pub struct FnPayload {
+    pub dataflow: DataflowStats,
+    pub intervals: SymIntervalAnalysis,
+    pub bounds: BoundsReport,
+    pub paths: PathReport,
+    pub has_dead_code: bool,
+    pub decision_complexity: usize,
+    pub dead_store_sites: Vec<(NodeId, u32)>,
+    pub stmt_hashes: Vec<u64>,
+}
+
+/// The cheap, borrow-carrying half of a [`FunctionContext`]: CFG, orders,
+/// dominators, dense symbols, and per-node def/use sets. Linear in the
+/// function size (no fixpoints), rebuilt on every extraction — cached
+/// payloads index into CFG nodes and local symbols, and both are
+/// deterministic functions of the function text, so a structure rebuilt
+/// from identical text lines up with a cached [`FnPayload`] exactly.
+pub struct FnStructure<'p> {
+    pub function: &'p Function,
+    pub cfg: Cfg<'p>,
+    pub rpo: Vec<NodeId>,
+    pub idom: Vec<Option<NodeId>>,
+    pub symbols: FnSymbols<'p>,
+    pub param_locals: Vec<LocalId>,
+    pub defs: Vec<Option<(LocalId, bool)>>,
+    pub uses: Vec<Vec<LocalId>>,
+    let_locals: BitSet,
+    param_set: BitSet,
+    global_set: BitSet,
+}
+
+impl<'p> FnStructure<'p> {
+    /// Build the structural half: CFG, reverse postorder, dominators,
+    /// dense locals, def/use sets, and the membership bitsets the
+    /// dataflow statistics need.
+    pub fn build(function: &'p Function, program: &ProgramSymbols) -> FnStructure<'p> {
         let cfg = Cfg::build(function);
         let rpo = cfg.reverse_postorder();
         let idom = immediate_dominators(&cfg, &rpo);
@@ -184,23 +228,7 @@ impl<'p> FunctionContext<'p> {
             }
         }
 
-        let dataflow = dataflow::dataflow_stats_sym(
-            &cfg,
-            &rpo,
-            &defs,
-            &uses,
-            universe,
-            &let_locals,
-            &param_set,
-            &global_set,
-        );
-        let intervals = interval::analyze_cfg_sym(&cfg, function, &symbols, &rpo);
-        let bounds = interval::check_bounds_sym(&cfg, function, &symbols, &intervals);
-        let paths = paths::explore_cfg(&cfg, function, path_config);
-        let has_dead_code = !cfg.unreachable_nodes().is_empty();
-        let decision_complexity = cyclomatic::decision_complexity(function);
-
-        FunctionContext {
+        FnStructure {
             function,
             cfg,
             rpo,
@@ -209,12 +237,97 @@ impl<'p> FunctionContext<'p> {
             param_locals,
             defs,
             uses,
+            let_locals,
+            param_set,
+            global_set,
+        }
+    }
+
+    /// Run the expensive fixpoints over this structure. Everything the
+    /// result depends on — the structure itself, the global names folded
+    /// into `global_set`, and `path_config` — is covered by the
+    /// incremental engine's fingerprint salt, which is what makes the
+    /// payload safely cacheable.
+    pub fn compute_payload(&self, path_config: &PathConfig) -> FnPayload {
+        let (dataflow, dead_store_sites) = dataflow::dataflow_stats_sym_sites(
+            &self.cfg,
+            &self.rpo,
+            &self.defs,
+            &self.uses,
+            self.symbols.len(),
+            &self.let_locals,
+            &self.param_set,
+            &self.global_set,
+        );
+        let intervals =
+            interval::analyze_cfg_sym(&self.cfg, self.function, &self.symbols, &self.rpo);
+        let bounds =
+            interval::check_bounds_sym(&self.cfg, self.function, &self.symbols, &intervals);
+        let paths = paths::explore_cfg(&self.cfg, self.function, path_config);
+        let has_dead_code = !self.cfg.unreachable_nodes().is_empty();
+        let decision_complexity = cyclomatic::decision_complexity(self.function);
+        let stmt_hashes = crate::smells::stmt_print_hashes(self.function);
+        FnPayload {
             dataflow,
             intervals,
             bounds,
             paths,
             has_dead_code,
             decision_complexity,
+            dead_store_sites,
+            stmt_hashes,
+        }
+    }
+
+    /// Join the structure with a payload (freshly computed or cached)
+    /// into the full context the collectors consume.
+    pub fn assemble(self, payload: FnPayload) -> FunctionContext<'p> {
+        FunctionContext {
+            function: self.function,
+            cfg: self.cfg,
+            rpo: self.rpo,
+            idom: self.idom,
+            symbols: self.symbols,
+            param_locals: self.param_locals,
+            defs: self.defs,
+            uses: self.uses,
+            dataflow: payload.dataflow,
+            intervals: payload.intervals,
+            bounds: payload.bounds,
+            paths: payload.paths,
+            has_dead_code: payload.has_dead_code,
+            decision_complexity: payload.decision_complexity,
+            dead_store_sites: payload.dead_store_sites,
+            stmt_hashes: payload.stmt_hashes,
+        }
+    }
+}
+
+impl<'p> FunctionContext<'p> {
+    /// Build one function's context. Read-only over the shared interning
+    /// output, so calls for different functions can run on different
+    /// threads.
+    pub fn build(
+        function: &'p Function,
+        program: &ProgramSymbols,
+        path_config: &PathConfig,
+    ) -> FunctionContext<'p> {
+        let structure = FnStructure::build(function, program);
+        let payload = structure.compute_payload(path_config);
+        structure.assemble(payload)
+    }
+
+    /// The owned expensive results, cloned out for caching.
+    pub fn payload(&self) -> FnPayload {
+        FnPayload {
+            dataflow: self.dataflow,
+            intervals: self.intervals.clone(),
+            bounds: self.bounds.clone(),
+            paths: self.paths,
+            has_dead_code: self.has_dead_code,
+            decision_complexity: self.decision_complexity,
+            dead_store_sites: self.dead_store_sites.clone(),
+            stmt_hashes: self.stmt_hashes.clone(),
         }
     }
 }
@@ -257,6 +370,29 @@ impl<'p> AnalysisContext<'p> {
         let functions = run(&symbols, &funcs);
         debug_assert_eq!(functions.len(), funcs.len());
         let taint = taint::analyze_contexts(program, &functions);
+        AnalysisContext {
+            program,
+            symbols,
+            functions,
+            taint,
+            path_config: standard_path_config(),
+        }
+    }
+
+    /// Assemble a context from parts the caller built itself — the
+    /// incremental engine's entry point: it constructs function contexts
+    /// from cached payloads and runs the memoized taint pass, then needs
+    /// the same `AnalysisContext` every collector consumes. The parts
+    /// must describe `program` exactly as [`AnalysisContext::build`]
+    /// would produce them (functions in `program.functions()` order,
+    /// payloads computed under [`standard_path_config`]).
+    pub fn assemble(
+        program: &'p Program,
+        symbols: ProgramSymbols,
+        functions: Vec<FunctionContext<'p>>,
+        taint: TaintReport,
+    ) -> AnalysisContext<'p> {
+        debug_assert_eq!(functions.len(), program.functions().count());
         AnalysisContext {
             program,
             symbols,

@@ -331,6 +331,31 @@ pub fn dataflow_stats_sym(
     params: &BitSet,
     globals: &BitSet,
 ) -> DataflowStats {
+    dataflow_stats_sym_sites(
+        cfg, order, node_defs, node_uses, universe, let_locals, params, globals,
+    )
+    .0
+}
+
+/// [`dataflow_stats_sym`] plus the dead-store *sites* the `deadstore`
+/// bug checker reports: `(defining node, local)` for every strong def of
+/// a non-parameter, non-global variable that is not live out of its node
+/// (the checker's slightly wider predicate — the `dead_stores` statistic
+/// keeps counting `let`-declared locals only, exactly as before). Sites
+/// are structure-relative (node ids and dense locals, no spans), so they
+/// cache safely in a [`crate::context::FnPayload`] and the checker can
+/// re-anchor them against any identical-text rebuild of the CFG.
+#[allow(clippy::too_many_arguments)]
+pub fn dataflow_stats_sym_sites(
+    cfg: &Cfg<'_>,
+    order: &[NodeId],
+    node_defs: &[Option<(u32, bool)>],
+    node_uses: &[Vec<u32>],
+    universe: usize,
+    let_locals: &BitSet,
+    params: &BitSet,
+    globals: &BitSet,
+) -> (DataflowStats, Vec<(NodeId, u32)>) {
     // Enumerate def sites in node order (same ids the legacy path assigns).
     struct SymDef {
         var: u32,
@@ -436,16 +461,21 @@ pub fn dataflow_stats_sym(
     }
 
     // Dead stores: strong def of a `let`-declared local not live out of its
-    // node.
+    // node. Sites use the deadstore checker's predicate (any non-param,
+    // non-global variable) so its diagnostics can be replayed from cache.
+    let mut sites = Vec::new();
     for def in &defs {
-        if def.strong
-            && let_locals.contains(def.var as usize)
-            && !live_out[def.node].contains(def.var as usize)
-        {
+        if !def.strong || live_out[def.node].contains(def.var as usize) {
+            continue;
+        }
+        if let_locals.contains(def.var as usize) {
             stats.dead_stores += 1;
         }
+        if !params.contains(def.var as usize) && !globals.contains(def.var as usize) {
+            sites.push((def.node, def.var));
+        }
     }
-    stats
+    (stats, sites)
 }
 
 #[cfg(test)]

@@ -942,7 +942,9 @@ fn edge_env_sym(
 }
 
 /// Per-node symbol-indexed environments (at node entry) for one function.
-#[derive(Debug)]
+/// `Clone` so the incremental engine can cache one function's stabilized
+/// envs and re-install them on a fingerprint hit.
+#[derive(Debug, Clone)]
 pub struct SymIntervalAnalysis {
     pub envs: Vec<SymEnv>,
 }

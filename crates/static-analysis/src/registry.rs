@@ -419,7 +419,13 @@ impl MetricCollector for SmellCollector {
 
     fn collect(&self, cx: &AnalysisContext<'_>, out: &mut FeatureVector) {
         let dead: Vec<bool> = cx.functions.iter().map(|f| f.has_dead_code).collect();
-        let found = smells::detect_precomputed(cx.program, &smells::Thresholds::default(), &dead);
+        let hashes: Vec<&[u64]> = cx
+            .functions
+            .iter()
+            .map(|f| f.stmt_hashes.as_slice())
+            .collect();
+        let found =
+            smells::detect_precomputed(cx.program, &smells::Thresholds::default(), &dead, &hashes);
         set_smells(&found, out);
     }
 }

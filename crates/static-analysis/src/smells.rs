@@ -70,27 +70,71 @@ impl Default for Thresholds {
 
 /// Detect smells across a program.
 pub fn detect(program: &Program, thresholds: &Thresholds) -> Vec<Smell> {
-    detect_inner(program, thresholds, &mut |f| {
-        !Cfg::build(f).unreachable_nodes().is_empty()
-    })
+    detect_inner(
+        program,
+        thresholds,
+        &mut |f| !Cfg::build(f).unreachable_nodes().is_empty(),
+        &mut stmt_print_hashes,
+    )
 }
 
-/// Detect smells with dead-code verdicts precomputed by the fused engine
-/// (`dead[i]` corresponds to the i-th function in `program.functions()`
-/// order), so the detector never rebuilds a CFG.
-pub fn detect_precomputed(program: &Program, thresholds: &Thresholds, dead: &[bool]) -> Vec<Smell> {
+/// Detect smells with per-function verdicts precomputed by the fused
+/// engine (`dead[i]` / `stmt_hashes[i]` correspond to the i-th function in
+/// `program.functions()` order), so the detector never rebuilds a CFG or
+/// touches the pretty-printer.
+pub fn detect_precomputed(
+    program: &Program,
+    thresholds: &Thresholds,
+    dead: &[bool],
+    stmt_hashes: &[&[u64]],
+) -> Vec<Smell> {
     let mut i = 0usize;
-    detect_inner(program, thresholds, &mut |_| {
-        let d = dead[i];
-        i += 1;
-        d
-    })
+    let mut j = 0usize;
+    detect_inner(
+        program,
+        thresholds,
+        &mut |_| {
+            let d = dead[i];
+            i += 1;
+            d
+        },
+        &mut |_| {
+            let h = stmt_hashes[j].to_vec();
+            j += 1;
+            h
+        },
+    )
+}
+
+/// FNV digest of each *top-level* statement's printed form, in order —
+/// the per-function raw material of duplicate-code detection. A pure
+/// function of the statement list, so the fused engine caches it in the
+/// function payload and repeat detections skip the pretty-printer (which
+/// dominates this detector's cost) entirely.
+pub fn stmt_print_hashes(function: &Function) -> Vec<u64> {
+    function
+        .body
+        .stmts
+        .iter()
+        .map(|s| {
+            let one = minilang::ast::Function {
+                name: "x".into(),
+                params: vec![],
+                ret: minilang::ast::Type::Void,
+                body: minilang::ast::Block::new(vec![s.clone()], Span::dummy()),
+                annotations: vec![],
+                span: Span::dummy(),
+            };
+            fnv(minilang::printer::print_function(&one).as_bytes())
+        })
+        .collect()
 }
 
 fn detect_inner(
     program: &Program,
     thresholds: &Thresholds,
     dead_code: &mut dyn FnMut(&Function) -> bool,
+    body_hashes: &mut dyn FnMut(&Function) -> Vec<u64>,
 ) -> Vec<Smell> {
     let mut smells = Vec::new();
     let mut deprecated: Vec<&str> = Vec::new();
@@ -102,7 +146,13 @@ fn detect_inner(
         }
     }
 
-    let mut bodies: HashMap<String, Vec<String>> = HashMap::new();
+    // Program-order body list (name collisions keep the last definition,
+    // matching symbol-table semantics). Order matters: which function
+    // "claims" a duplicated window decides who gets flagged, so iterating
+    // a randomly-seeded HashMap here made the DuplicateCode *count* vary
+    // between two detections of the same program in one process.
+    let mut bodies: Vec<(String, Vec<u64>)> = Vec::new();
+    let mut body_index: HashMap<String, usize> = HashMap::new();
     for m in &program.modules {
         // Module-level: comment ratio.
         let counts = loc::count_module(m);
@@ -115,44 +165,36 @@ fn detect_inner(
         }
         for f in &m.functions {
             detect_function(f, thresholds, &deprecated, dead_code, &mut smells);
-            // Collect printed statement sequences for duplicate detection.
-            let printed: Vec<String> = f
-                .body
-                .stmts
-                .iter()
-                .map(|s| {
-                    let mut one = minilang::ast::Function {
-                        name: String::new(),
-                        params: vec![],
-                        ret: minilang::ast::Type::Void,
-                        body: minilang::ast::Block::new(vec![s.clone()], Span::dummy()),
-                        annotations: vec![],
-                        span: Span::dummy(),
-                    };
-                    one.name = "x".into();
-                    minilang::printer::print_function(&one)
-                })
-                .collect();
-            bodies.insert(f.name.clone(), printed);
+            // Collect printed-statement digests for duplicate detection.
+            let printed = body_hashes(f);
+            match body_index.get(&f.name) {
+                Some(&i) => bodies[i].1 = printed,
+                None => {
+                    body_index.insert(f.name.clone(), bodies.len());
+                    bodies.push((f.name.clone(), printed));
+                }
+            }
         }
     }
 
-    // Duplicate code: sliding windows of printed statements shared between
-    // two different functions.
-    let names: Vec<&String> = bodies.keys().collect();
+    // Duplicate code: sliding windows of printed-statement digests shared
+    // between two different functions.
     let window = thresholds.duplicate_window;
     let mut windows: HashMap<u64, &String> = HashMap::new();
     let mut flagged: Vec<&String> = Vec::new();
-    for name in &names {
-        let stmts = &bodies[*name];
+    for (name, stmts) in &bodies {
         if stmts.len() < window {
             continue;
         }
         for w in stmts.windows(window) {
-            let hash = fnv(w.join("\n").as_bytes());
+            let mut bytes = Vec::with_capacity(window * 8);
+            for h in w {
+                bytes.extend_from_slice(&h.to_le_bytes());
+            }
+            let hash = fnv(&bytes);
             match windows.get(&hash) {
-                Some(other) if *other != *name => {
-                    if !flagged.contains(name) {
+                Some(other) if *other != name => {
+                    if !flagged.contains(&name) {
                         flagged.push(name);
                     }
                 }
@@ -314,6 +356,33 @@ mod tests {
         let src = format!("fn f() {{ {body} }} fn g() {{ {body} }}");
         let s = smells_in(&src);
         assert!(has(&s, SmellKind::DuplicateCode));
+    }
+
+    #[test]
+    fn duplicate_flagging_is_deterministic_in_program_order() {
+        // `a` and `c` each share one window with `b` but not with each
+        // other. In program order `a` claims its window, `b` is flagged
+        // against it and claims the tail window, and `c` is flagged
+        // against `b` — every detection must agree on exactly that
+        // (iterating a randomly-seeded map here used to make the count
+        // itself vary between calls).
+        let src = "fn a(x: int) { x = 1; x = 2; x = 3; x = 4; }
+fn b(x: int) { x = 1; x = 2; x = 3; x = 4; x = 9; x = 5; x = 6; x = 7; x = 8; }
+fn c(x: int) { x = 5; x = 6; x = 7; x = 8; }";
+        let reference: Vec<String> = smells_in(src)
+            .into_iter()
+            .filter(|s| s.kind == SmellKind::DuplicateCode)
+            .map(|s| s.site)
+            .collect();
+        assert_eq!(reference, vec!["b".to_string(), "c".to_string()]);
+        for _ in 0..32 {
+            let again: Vec<String> = smells_in(src)
+                .into_iter()
+                .filter(|s| s.kind == SmellKind::DuplicateCode)
+                .map(|s| s.site)
+                .collect();
+            assert_eq!(again, reference);
+        }
     }
 
     #[test]

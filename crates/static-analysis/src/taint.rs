@@ -163,15 +163,19 @@ pub fn analyze(program: &Program) -> TaintReport {
     report
 }
 
-/// Result of one intraprocedural pass.
-struct IntraResult {
-    returns_taint: bool,
-    hit_sink: bool,
+/// Result of one intraprocedural pass. Public (with public fields) so the
+/// incremental engine can memoize it across extractions: the result is a
+/// pure function of the function's text, `params_tainted`, and the
+/// restriction of the summary map to the function's callee names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntraResult {
+    pub returns_taint: bool,
+    pub hit_sink: bool,
     /// Sink call sites receiving tainted data: (sink, span, and whether the
     /// taint disappears when parameters are clean).
-    sink_hits: Vec<(Intrinsic, Span, bool)>,
+    pub sink_hits: Vec<(Intrinsic, Span, bool)>,
     /// User callees that received a tainted argument.
-    tainted_arg_callees: Vec<String>,
+    pub tainted_arg_callees: Vec<String>,
 }
 
 /// Forward taint fixpoint over one function's CFG.
@@ -363,14 +367,122 @@ fn expr_tainted(
 use crate::bitset::BitSet;
 use crate::context::{FnSymbols, FunctionContext};
 
+/// A cross-extraction memo for [`IntraResult`]s, implemented by the
+/// incremental engine. `idx` indexes into the `fcxs` slice handed to
+/// [`analyze_contexts_memo`]; the key is `(params_tainted, digest)` where
+/// `digest` is [`summaries_digest`] over the function's callee names —
+/// everything an [`intra_ctx`] call reads besides the function text. A hit
+/// must return *exactly* the value a fresh `intra_ctx` call would produce
+/// (the implementation rebases cached spans when the function moved), so
+/// the fixpoint trajectory — and therefore the report — is bit-identical
+/// with or without the memo.
+pub trait IntraMemo {
+    fn get(&self, idx: usize, params_tainted: bool, digest: u64) -> Option<IntraResult>;
+    fn put(&self, idx: usize, params_tainted: bool, digest: u64, result: &IntraResult);
+}
+
+/// The distinct non-intrinsic callee names a function mentions, sorted —
+/// the summary-map entries an intraprocedural pass can observe.
+/// (Intrinsic-named callees resolve through [`Intrinsic::from_name`]
+/// before the summary map is consulted, so they cannot affect the result.)
+pub fn callee_dependencies(f: &Function) -> Vec<String> {
+    let mut names = BTreeSet::new();
+    visit::walk_exprs(&f.body, &mut |e| {
+        if let ExprKind::Call { callee, .. } = &e.kind {
+            if Intrinsic::from_name(callee).is_none() {
+                names.insert(callee.clone());
+            }
+        }
+    });
+    names.into_iter().collect()
+}
+
+/// FNV-1a digest of the summary map restricted to `callees` (which must be
+/// sorted and deduplicated): per name, its presence in the map and its
+/// summary bits. Two summary maps with equal digests are indistinguishable
+/// to an intraprocedural pass over a function with these callees.
+pub fn summaries_digest(callees: &[String], summaries: &BTreeMap<String, TaintSummary>) -> u64 {
+    // Local FNV-1a 64: this crate sits below `pipeline`, so it cannot
+    // borrow `pipeline::fnv`.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for name in callees {
+        eat(&(name.len() as u64).to_le_bytes());
+        eat(name.as_bytes());
+        match summaries.get(name) {
+            None => eat(&[0]),
+            Some(s) => eat(&[
+                1,
+                s.returns_taint_always as u8,
+                s.returns_taint_if_param as u8,
+                s.param_reaches_sink as u8,
+            ]),
+        }
+    }
+    h
+}
+
 /// Run the analysis over prebuilt per-function contexts. `fcxs` must be in
 /// `program.functions()` order (duplicate names resolve last-wins, exactly
 /// like the legacy map construction).
 pub fn analyze_contexts(program: &Program, fcxs: &[FunctionContext<'_>]) -> TaintReport {
-    let functions: BTreeMap<&str, &FunctionContext<'_>> = fcxs
+    run_contexts(program, fcxs, None)
+}
+
+/// [`analyze_contexts`] with a cross-extraction memo for the
+/// intraprocedural passes. The sweep structure and iteration order are
+/// unchanged; only the per-call `intra_ctx` work is elided on memo hits,
+/// so the report is bit-identical to the memo-free path. Callgraph-edge
+/// invalidation falls out of the key: when a callee's summary changes,
+/// every caller's digest changes and its memo entries stop matching.
+pub fn analyze_contexts_memo(
+    program: &Program,
+    fcxs: &[FunctionContext<'_>],
+    memo: &dyn IntraMemo,
+) -> TaintReport {
+    run_contexts(program, fcxs, Some(memo))
+}
+
+fn run_contexts(
+    program: &Program,
+    fcxs: &[FunctionContext<'_>],
+    memo: Option<&dyn IntraMemo>,
+) -> TaintReport {
+    // Name → index into `fcxs`, last-wins on duplicates.
+    let functions: BTreeMap<&str, usize> = fcxs
         .iter()
-        .map(|fcx| (fcx.function.name.as_str(), fcx))
+        .enumerate()
+        .map(|(i, fcx)| (fcx.function.name.as_str(), i))
         .collect();
+    // Callee-name lists only matter when a memo is wired in; the plain
+    // path skips the collection walk entirely.
+    let callees: Vec<Vec<String>> = match memo {
+        Some(_) => fcxs
+            .iter()
+            .map(|fcx| callee_dependencies(fcx.function))
+            .collect(),
+        None => Vec::new(),
+    };
+    let intra = |idx: usize,
+                 params_tainted: bool,
+                 summaries: &BTreeMap<String, TaintSummary>|
+     -> IntraResult {
+        let Some(memo) = memo else {
+            return intra_ctx(&fcxs[idx], params_tainted, summaries);
+        };
+        let digest = summaries_digest(&callees[idx], summaries);
+        if let Some(hit) = memo.get(idx, params_tainted, digest) {
+            return hit;
+        }
+        let result = intra_ctx(&fcxs[idx], params_tainted, summaries);
+        memo.put(idx, params_tainted, digest, &result);
+        result
+    };
 
     // Phase 1: summaries to fixpoint.
     let mut summaries: BTreeMap<String, TaintSummary> = functions
@@ -379,9 +491,9 @@ pub fn analyze_contexts(program: &Program, fcxs: &[FunctionContext<'_>]) -> Tain
         .collect();
     loop {
         let mut changed = false;
-        for (&name, &fcx) in &functions {
-            let clean = intra_ctx(fcx, false, &summaries);
-            let dirty = intra_ctx(fcx, true, &summaries);
+        for (&name, &idx) in &functions {
+            let clean = intra(idx, false, &summaries);
+            let dirty = intra(idx, true, &summaries);
             let new = TaintSummary {
                 returns_taint_always: clean.returns_taint,
                 returns_taint_if_param: dirty.returns_taint,
@@ -406,9 +518,9 @@ pub fn analyze_contexts(program: &Program, fcxs: &[FunctionContext<'_>]) -> Tain
         .collect();
     loop {
         let mut changed = false;
-        for (&name, &fcx) in &functions {
+        for (&name, &idx) in &functions {
             let params_tainted = tainted_entry.contains(name);
-            let result = intra_ctx(fcx, params_tainted, &summaries);
+            let result = intra(idx, params_tainted, &summaries);
             for callee in result.tainted_arg_callees {
                 if functions.contains_key(callee.as_str()) && tainted_entry.insert(callee) {
                     changed = true;
@@ -426,9 +538,9 @@ pub fn analyze_contexts(program: &Program, fcxs: &[FunctionContext<'_>]) -> Tain
         summaries: summaries.clone(),
         ..Default::default()
     };
-    for (&name, &fcx) in &functions {
+    for (&name, &idx) in &functions {
         let params_tainted = tainted_entry.contains(name);
-        let result = intra_ctx(fcx, params_tainted, &summaries);
+        let result = intra(idx, params_tainted, &summaries);
         for (sink, span, needed_params) in result.sink_hits {
             report.flows.push(TaintFlow {
                 function: name.to_string(),
@@ -437,7 +549,7 @@ pub fn analyze_contexts(program: &Program, fcxs: &[FunctionContext<'_>]) -> Tain
                 via_parameters: needed_params && params_tainted,
             });
         }
-        visit::walk_exprs(&fcx.function.body, &mut |e| {
+        visit::walk_exprs(&fcxs[idx].function.body, &mut |e| {
             if let ExprKind::Call { callee, .. } = &e.kind {
                 if let Some(i) = Intrinsic::from_name(callee) {
                     if i.is_taint_source() {

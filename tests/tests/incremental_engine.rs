@@ -1,0 +1,274 @@
+//! Property suite for the incremental extraction engine: under seeded
+//! random single-function edits — body mutation, function insertion and
+//! deletion, renames that rewrite call sites, and taint-relevant sink
+//! swaps that change interprocedural summaries — a persistent
+//! [`IncrementalTestbed`] must stay bitwise identical to a from-scratch
+//! [`Testbed`] extraction, at 1 and at 4 context workers.
+
+use clairvoyant::{IncrementalTestbed, Testbed};
+use minilang::{parse_program, Dialect};
+
+/// Deterministic xorshift-multiply generator (no rand dependency creep:
+/// the sequence is pinned so a failure reproduces from the seed alone).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// One generated function. `id` is stable across edits (names derive from
+/// it), `body_seed` picks the constants and the taint statement, and
+/// `calls` holds callee ids so renames and deletions can rewrite call
+/// sites consistently.
+#[derive(Clone)]
+struct FnDef {
+    id: u64,
+    rename_gen: u64,
+    body_seed: u64,
+    calls: Vec<u64>,
+}
+
+impl FnDef {
+    fn name(&self) -> String {
+        if self.rename_gen == 0 {
+            format!("fn_{}", self.id)
+        } else {
+            format!("fn_{}_v{}", self.id, self.rename_gen)
+        }
+    }
+
+    fn render(&self, names: &dyn Fn(u64) -> Option<String>) -> String {
+        let k1 = self.body_seed % 7 + 1;
+        let k2 = self.body_seed % 23;
+        let k3 = self.body_seed % 11 + 2;
+        let mut body = String::new();
+        if self.id.is_multiple_of(3) {
+            body.push_str("@endpoint(network)\n");
+        }
+        body.push_str(&format!(
+            "fn {}(s: str, n: int) -> int {{\n    let acc: int = n * {k1} + {k2};\n",
+            self.name()
+        ));
+        match self.body_seed % 4 {
+            0 => {}
+            1 => body.push_str("    exec(s);\n"),
+            2 => body.push_str("    log_msg(s);\n"),
+            _ => body.push_str("    let d: str = read_input();\n    exec(d);\n"),
+        }
+        for (j, callee) in self.calls.iter().enumerate() {
+            // A deleted callee leaves a dangling call — both extraction
+            // paths see the same unresolved name, so equality still holds.
+            if let Some(name) = names(*callee) {
+                body.push_str(&format!("    let r{j}: int = {name}(s, acc + {j});\n"));
+            }
+        }
+        body.push_str(&format!(
+            "    if acc > {k3} {{ return acc; }}\n    return n;\n}}\n"
+        ));
+        body
+    }
+}
+
+struct Project {
+    dialect: Dialect,
+    next_id: u64,
+    fns: Vec<FnDef>,
+}
+
+impl Project {
+    fn generate(rng: &mut Lcg, dialect: Dialect, n: u64) -> Project {
+        let mut fns = Vec::new();
+        for id in 0..n {
+            let n_calls = rng.below(3).min(id);
+            let calls = (0..n_calls).map(|_| rng.below(id.max(1))).collect();
+            fns.push(FnDef {
+                id,
+                rename_gen: 0,
+                body_seed: rng.next(),
+                calls,
+            });
+        }
+        Project {
+            dialect,
+            next_id: n,
+            fns,
+        }
+    }
+
+    fn source(&self) -> String {
+        let lookup = |id: u64| self.fns.iter().find(|f| f.id == id).map(|f| f.name());
+        self.fns
+            .iter()
+            .map(|f| f.render(&lookup))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    fn parse(&self) -> minilang::Program {
+        let ext = match self.dialect {
+            Dialect::Python => "m.py",
+            Dialect::Java => "m.java",
+            Dialect::Cpp => "m.cc",
+            Dialect::C => "m.c",
+        };
+        parse_program(
+            "prop-app",
+            self.dialect,
+            &[(ext.to_string(), self.source())],
+        )
+        .unwrap_or_else(|e| panic!("generated source failed to parse: {e}\n{}", self.source()))
+    }
+
+    /// Apply one random edit; returns a label for failure messages.
+    fn edit(&mut self, rng: &mut Lcg) -> &'static str {
+        let pick = rng.below(self.fns.len() as u64) as usize;
+        match rng.below(5) {
+            // Mutate a body: new constants, possibly a new taint statement.
+            0 => {
+                self.fns[pick].body_seed = rng.next();
+                "body-mutate"
+            }
+            // Swap the function's sink between exec and log_msg — flips
+            // its taint summary while callers' text stays identical, the
+            // cross-function case the summary digest must catch.
+            1 => {
+                let seed = self.fns[pick].body_seed;
+                self.fns[pick].body_seed = match seed % 4 {
+                    1 => seed + 1, // exec -> log_msg
+                    2 => seed - 1, // log_msg -> exec
+                    _ => (seed & !3) | 1,
+                };
+                "sink-swap"
+            }
+            // Rename, rewriting every call site via the id indirection.
+            2 => {
+                self.fns[pick].rename_gen += 1;
+                "rename"
+            }
+            // Insert a function that calls one existing peer, and wire one
+            // random existing function to call it.
+            3 => {
+                let id = self.next_id;
+                self.next_id += 1;
+                let callee = self.fns[rng.below(self.fns.len() as u64) as usize].id;
+                self.fns.push(FnDef {
+                    id,
+                    rename_gen: 0,
+                    body_seed: rng.next(),
+                    calls: vec![callee],
+                });
+                self.fns[pick].calls.push(id);
+                "insert"
+            }
+            // Delete a function and scrub it from every call list.
+            _ => {
+                if self.fns.len() <= 2 {
+                    self.fns[pick].body_seed = rng.next();
+                    return "body-mutate";
+                }
+                let id = self.fns.remove(pick).id;
+                for f in &mut self.fns {
+                    f.calls.retain(|c| *c != id);
+                }
+                "delete"
+            }
+        }
+    }
+}
+
+#[test]
+fn random_single_function_edits_stay_bitwise_identical_to_scratch() {
+    let dialects = [Dialect::C, Dialect::Cpp, Dialect::Python, Dialect::Java];
+    let scratch = Testbed::new();
+    let mut edits_checked = 0u64;
+
+    for (d, dialect) in dialects.into_iter().enumerate() {
+        let mut rng = Lcg(dialect_seed(d as u64));
+        let mut project = Project::generate(&mut rng, dialect, 10);
+        let mut seq = IncrementalTestbed::new();
+        let mut par = IncrementalTestbed::new().with_fn_jobs(4);
+
+        // Cold round: everything misses, output already exact.
+        let p = project.parse();
+        let want = scratch.extract(&p);
+        assert_eq!(seq.extract(&p), want, "{dialect:?} cold sequential");
+        assert_eq!(par.extract(&p), want, "{dialect:?} cold parallel");
+
+        for round in 0..12 {
+            let label = project.edit(&mut rng);
+            let p = project.parse();
+            let want = scratch.extract(&p);
+
+            let (got, report) = seq.extract_stats(&p);
+            assert_eq!(
+                got, want,
+                "{dialect:?} round {round} ({label}): sequential incremental diverged"
+            );
+            assert_eq!(
+                report.functions,
+                p.function_count(),
+                "{dialect:?} round {round}: probe count"
+            );
+            assert_eq!(report.hits + report.misses, report.functions as u64);
+            assert_eq!(report.misses, report.rebuilt, "every miss is rebuilt");
+            // A single-function edit must not rebuild the world. Body and
+            // sink edits touch exactly one function; an insert also
+            // rewrites the one caller wired to it; renames and deletes
+            // additionally invalidate each call site's text.
+            match label {
+                "body-mutate" | "sink-swap" => assert_eq!(
+                    report.rebuilt, 1,
+                    "{dialect:?} round {round} ({label}) rebuilt more than the edit"
+                ),
+                "insert" => assert_eq!(
+                    report.rebuilt, 2,
+                    "{dialect:?} round {round}: insert rebuilds new fn + caller"
+                ),
+                _ => assert!(
+                    report.rebuilt < report.functions as u64,
+                    "{dialect:?} round {round} ({label}): wholesale rebuild"
+                ),
+            }
+
+            let got_par = par.extract(&p);
+            assert_eq!(
+                got_par, want,
+                "{dialect:?} round {round} ({label}): 4-worker incremental diverged"
+            );
+            edits_checked += 1;
+        }
+    }
+    assert_eq!(edits_checked, 48);
+}
+
+/// Seed helper kept out-of-line so each dialect's stream is decorrelated.
+fn dialect_seed(d: u64) -> u64 {
+    0x1c0f_fee0_0000_0001_u64.wrapping_mul(d * 2 + 3)
+}
+
+#[test]
+fn pure_body_edit_rebuilds_exactly_one_function() {
+    let mut rng = Lcg(42);
+    let mut project = Project::generate(&mut rng, Dialect::C, 12);
+    let mut engine = IncrementalTestbed::new();
+    engine.extract(&project.parse());
+
+    // Force a pure-body mutation: +4 keeps the taint statement (seed % 4)
+    // but shifts every rendered constant.
+    project.fns[5].body_seed = project.fns[5].body_seed.wrapping_add(4);
+    let p = project.parse();
+    let (got, report) = engine.extract_stats(&p);
+    assert_eq!(report.rebuilt, 1, "only the mutated body re-analyzes");
+    assert_eq!(got, Testbed::new().extract(&p));
+}

@@ -1076,3 +1076,51 @@ fn idle_connections_cost_zero_reactor_wakeups() {
     }
     handle.shutdown();
 }
+
+#[test]
+fn repeat_source_scores_ride_the_warm_function_cache() {
+    let handle = start_server(ServeConfig::default());
+    let mut client = connect(handle.addr());
+
+    let source = "fn helper(s: str) { exec(s); }
+fn entry(s: str, n: int) -> int {
+    helper(s);
+    if n > 2 { return n; }
+    return 0;
+}";
+    // Cold: both functions fingerprint-miss and run their fixpoints.
+    let first = client.score_source("warm-app", source, "c").expect("score");
+    assert!(is_ok(&first));
+    let stats = client.stats().expect("stats");
+    assert_eq!(stat_field(&stats, "incr_hits"), 0.0);
+    assert_eq!(stat_field(&stats, "incr_misses"), 2.0);
+    assert_eq!(stat_field(&stats, "incr_rebuilt_fns"), 2.0);
+
+    // Warm: the connection is pinned to its shard, whose engine now holds
+    // both entries — every function hits, nothing is rebuilt, and the
+    // response is bit-identical to the cold one.
+    let second = client.score_source("warm-app", source, "c").expect("score");
+    assert_eq!(first.to_string(), second.to_string());
+    let stats = client.stats().expect("stats");
+    assert_eq!(stat_field(&stats, "incr_hits"), 2.0);
+    assert_eq!(
+        stat_field(&stats, "incr_rebuilt_fns"),
+        2.0,
+        "no new fixpoints"
+    );
+
+    // Edit one function: exactly one entry is invalidated and rebuilt.
+    let edited = source.replace("n > 2", "n > 3");
+    let response = client
+        .score_source("warm-app", &edited, "c")
+        .expect("score");
+    assert!(is_ok(&response));
+    let stats = client.stats().expect("stats");
+    assert_eq!(stat_field(&stats, "incr_hits"), 3.0, "helper stays cached");
+    assert_eq!(
+        stat_field(&stats, "incr_rebuilt_fns"),
+        3.0,
+        "only `entry` re-ran"
+    );
+    handle.shutdown();
+}
