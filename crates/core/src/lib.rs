@@ -49,6 +49,7 @@ pub mod extract;
 pub mod files;
 pub mod hypothesis;
 pub mod incremental;
+pub mod longitudinal;
 pub mod metric;
 pub mod report;
 pub mod score;
@@ -66,6 +67,7 @@ pub use explain::{rank_hotspots, Explanation, Hotspot, ModelExplanation};
 pub use extract::{extract_corpus, CorpusFeatures};
 pub use hypothesis::{standard_battery, Hypothesis};
 pub use incremental::{IncrReport, IncrementalTestbed};
+pub use longitudinal::{EpochOutcome, LongitudinalConfig, LongitudinalReport};
 pub use metric::SecurityReport;
 // Re-export the engine types so downstream users configure extraction
 // without naming the pipeline crate.

@@ -13,7 +13,7 @@ use crate::score::CompiledModel;
 use corpus::Corpus;
 use cvedb::SelectionCriteria;
 use pipeline::{parallel_map, PipelineConfig, PipelineReport};
-use secml::dataset::{ColMatrix, Dataset};
+use secml::dataset::{ColMatrix, ColMatrixBuilder, Dataset};
 use secml::eval::{
     cross_validate_classifier_jobs, cross_validate_regressor_jobs, ClassificationReport,
     RegressionReport,
@@ -24,7 +24,10 @@ use secml::linreg::LinearRegression;
 use secml::logreg::LogisticRegression;
 use secml::nb::GaussianNb;
 use secml::preprocess::Standardizer;
-use secml::select::{info_gain_scores, pearson_scores, top_k};
+use secml::select::{
+    info_gain_column, info_gain_scores, label_entropy, pearson_column, pearson_scores,
+    pearson_target_stats, top_k,
+};
 use secml::tree::DecisionTree;
 use secml::{Classifier, Regressor};
 use std::fmt;
@@ -419,6 +422,221 @@ impl Trainer {
         };
         (model, report)
     }
+
+    /// Out-of-core training entry point. Consumes raw dense feature rows
+    /// (in `schema` order, one per history, in `histories` order) through
+    /// a single pass, optionally spilling the working matrices under
+    /// `spill_dir` so peak memory stays bounded by one column rather than
+    /// the whole matrix. All transformations then run column-at-a-time in
+    /// the exact float-operation order of [`train_with_report`], and the
+    /// final model fits are the same code paths — so the returned model
+    /// is bit-identical to in-RAM training on the same data. (This path
+    /// skips cross-validation: the final fits never depend on it.)
+    ///
+    /// `schema` must be the sorted feature-name union — for the standard
+    /// testbed every program emits the full name set, so the sorted names
+    /// of any extracted vector qualify.
+    pub fn train_streaming(
+        &self,
+        schema: &[String],
+        rows: impl IntoIterator<Item = Vec<f64>>,
+        histories: &[cvedb::AppHistory],
+        spill_dir: Option<&std::path::Path>,
+    ) -> std::io::Result<TrainedModel> {
+        assert!(!histories.is_empty(), "no histories to train on");
+
+        // Optional prefix projection of the schema (the eager path's
+        // `project_prefix`), done on column indices so rows stream.
+        let (all_feature_names, proj): (Vec<String>, Vec<usize>) = match &self.config.feature_prefix
+        {
+            Some(prefix) => schema
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.starts_with(prefix.as_str()))
+                .map(|(i, n)| (n.clone(), i))
+                .unzip(),
+            None => (schema.to_vec(), (0..schema.len()).collect()),
+        };
+        let width = all_feature_names.len();
+
+        // Pass 1: stream every row through the (cell-local) log1p into
+        // the raw working matrix.
+        let mut builder = ColMatrixBuilder::new(width);
+        if let Some(dir) = spill_dir {
+            builder = builder.spill(&dir.join("raw"))?;
+        }
+        let mut n_rows = 0usize;
+        for row in rows {
+            assert_eq!(row.len(), schema.len(), "row width must match schema");
+            let mut r: Vec<f64> = proj.iter().map(|&i| row[i]).collect();
+            if self.config.log_transform {
+                for v in r.iter_mut() {
+                    *v = v.signum() * v.abs().ln_1p();
+                }
+            }
+            builder.push_row(&r)?;
+            n_rows += 1;
+        }
+        assert_eq!(n_rows, histories.len(), "one row per selected history");
+        let raw = builder.finish()?;
+
+        let counts: Vec<f64> = histories.iter().map(|h| (h.total as f64).log10()).collect();
+
+        // Pass 2, column-at-a-time: standardizer statistics and (when
+        // filtering) selection scores. Accumulation order per column is
+        // identical to `Standardizer::fit` / the row-major scorers.
+        let n = n_rows.max(1) as f64;
+        let mut means = vec![0.0; width];
+        let mut stds = vec![0.0; width];
+        let mut scores = vec![0.0; width];
+        let select_labels: Option<Vec<usize>> = (self.config.top_k_features.is_some()
+            && self.config.selection_method == SelectionMethod::InfoGainVsHighSeverity)
+            .then(|| {
+                histories
+                    .iter()
+                    .map(|h| Hypothesis::AnyHighSeverity.label(h))
+                    .collect()
+            });
+        let (my, syy) = pearson_target_stats(&counts);
+        let parent = select_labels.as_deref().map(label_entropy);
+        for j in 0..width {
+            let mut col = raw.col_owned(j);
+            let mut m = 0.0;
+            for &v in &col {
+                m += v;
+            }
+            m /= n;
+            let mut s = 0.0;
+            for &v in &col {
+                s += (v - m) * (v - m);
+            }
+            s = (s / n).sqrt();
+            if s < 1e-12 {
+                s = 1.0;
+            }
+            means[j] = m;
+            stds[j] = s;
+            if self.config.top_k_features.is_some() {
+                for v in col.iter_mut() {
+                    *v = (*v - m) / s;
+                }
+                scores[j] = match (&select_labels, parent) {
+                    (Some(labels), Some(parent)) => info_gain_column(&col, labels, parent),
+                    _ => pearson_column(&col, &counts, my, syy),
+                };
+            }
+        }
+        let standardizer = Standardizer { means, stds };
+
+        let kept: Vec<usize> = match self.config.top_k_features {
+            Some(k) => {
+                let mut idx = top_k(&scores, k.min(width));
+                idx.sort_unstable();
+                idx
+            }
+            None => (0..width).collect(),
+        };
+        let feature_names: Vec<String> =
+            kept.iter().map(|&i| all_feature_names[i].clone()).collect();
+
+        // Pass 3: materialize the kept standardized columns as the
+        // training matrix — spilled again when out-of-core, so peak RSS
+        // stays one column wide.
+        let standardized = |&j: &usize| {
+            let mut col = raw.col_owned(j);
+            for v in col.iter_mut() {
+                *v = (*v - standardizer.means[j]) / standardizer.stds[j];
+            }
+            col
+        };
+        let matrix = match spill_dir {
+            Some(dir) => {
+                ColMatrix::spill_columns(&dir.join("train"), n_rows, kept.iter().map(standardized))?
+            }
+            None => ColMatrix::from_columns(kept.iter().map(standardized).collect()),
+        };
+        if matrix.n_cols() > 0 {
+            matrix.sorted(0);
+        }
+
+        // Final fits only — same worker split and the same fit calls as
+        // the eager path, whose outputs never depend on CV.
+        let battery = standard_battery();
+        let jobs = self.resolved_train_jobs();
+        let labelled: Vec<(Hypothesis, Vec<usize>, usize)> = battery
+            .iter()
+            .map(|&hypothesis| {
+                let labels: Vec<usize> = histories.iter().map(|h| hypothesis.label(h)).collect();
+                let positives = labels.iter().sum();
+                (hypothesis, labels, positives)
+            })
+            .collect();
+        let trainable: Vec<&(Hypothesis, Vec<usize>, usize)> = labelled
+            .iter()
+            .filter(|(_, labels, p)| *p > 0 && *p < labels.len())
+            .collect();
+        let w1 = jobs.min(trainable.len()).max(1);
+        let w2 = (jobs / w1).max(1);
+        let trained: Vec<BoxedClassifier> = parallel_map(w1, &trainable, |_, (_, labels, _)| {
+            let mut model = self.config.learner.make_sized(self.config.forest_trees, w2);
+            model.fit_matrix(&matrix, labels);
+            model
+        });
+
+        let mut hypotheses = Vec::new();
+        let mut trained_iter = trained.into_iter();
+        for (hypothesis, labels, positives) in labelled {
+            if positives == 0 || positives == labels.len() {
+                continue;
+            }
+            hypotheses.push((
+                hypothesis,
+                trained_iter.next().expect("one model per trainable task"),
+            ));
+        }
+
+        let mut count_model = LinearRegression::ridge(1.0);
+        count_model.fit_matrix(&matrix, &counts);
+
+        let severity_models: Vec<(SeverityBand, LinearRegression)> = SeverityBand::ALL
+            .iter()
+            .map(|&band| {
+                let targets: Vec<f64> = histories
+                    .iter()
+                    .map(|h| (1.0 + band.count(h) as f64).log10())
+                    .collect();
+                let mut model = LinearRegression::ridge(1.0);
+                model.fit_matrix(&matrix, &targets);
+                (band, model)
+            })
+            .collect();
+
+        let risk_labels: Vec<usize> = histories
+            .iter()
+            .map(|h| Hypothesis::AnyHighSeverity.label(h))
+            .collect();
+        let risk_weights = if risk_labels.iter().sum::<usize>() > 0
+            && risk_labels.iter().sum::<usize>() < risk_labels.len()
+        {
+            let mut lr = LogisticRegression::new();
+            lr.fit_matrix(&matrix, &risk_labels);
+            lr.weights
+        } else {
+            count_model.coefficients.clone()
+        };
+
+        Ok(TrainedModel {
+            feature_names,
+            log_transform: self.config.log_transform,
+            standardizer,
+            kept,
+            all_feature_names,
+            hypotheses,
+            count_model,
+            severity_models,
+            risk_weights,
+        })
+    }
 }
 
 /// Cross-validation outcome for one hypothesis.
@@ -558,6 +776,26 @@ impl TrainedModel {
             &mut out,
         );
         out
+    }
+
+    /// Transform a raw dense feature row — already in training-schema
+    /// order (see [`TrainedModel::schema`]) — into the model's input row.
+    /// The streaming twin of [`prepare_row`](TrainedModel::prepare_row)
+    /// for callers that cache dense rows instead of feature maps.
+    pub fn prepare_dense_row(&self, full: &[f64]) -> Vec<f64> {
+        let mut full = full.to_vec();
+        if self.log_transform {
+            for v in full.iter_mut() {
+                *v = v.signum() * v.abs().ln_1p();
+            }
+        }
+        self.standardizer.transform_row(&mut full);
+        self.kept.iter().map(|&i| full[i]).collect()
+    }
+
+    /// The full (pre-selection) training schema, in column order.
+    pub fn schema(&self) -> &[String] {
+        &self.all_feature_names
     }
 
     /// Predicted probability for one hypothesis (None if it was degenerate
@@ -731,6 +969,72 @@ mod tests {
                 assert!((0.0..=1.0).contains(&p), "{learner}: {p}");
             }
         }
+    }
+
+    #[test]
+    fn streaming_training_is_bit_identical_to_eager() {
+        let corpus = corpus();
+        let trainer = Trainer::with_config(TrainerConfig {
+            top_k_features: Some(14),
+            ..Default::default()
+        });
+        let eager = trainer.train(corpus).compile().to_bytes();
+
+        let histories = corpus.db.select(&trainer.config.selection);
+        let selected: Vec<&corpus::GeneratedApp> = histories
+            .iter()
+            .map(|h| corpus.apps.iter().find(|a| a.spec.name == h.app).unwrap())
+            .collect();
+        let extraction = extract::extract_apps(selected.iter().copied(), PipelineConfig::default());
+        let schema: Vec<String> = {
+            let mut names: Vec<String> = extraction.features[0]
+                .1
+                .iter()
+                .map(|(k, _)| k.to_string())
+                .collect();
+            names.sort();
+            names
+        };
+        let rows: Vec<Vec<f64>> = extraction
+            .features
+            .iter()
+            .map(|(_, fv)| {
+                let mut out = Vec::new();
+                fv.fill_dense(&schema, &mut out);
+                out
+            })
+            .collect();
+
+        let in_ram = trainer
+            .train_streaming(&schema, rows.iter().cloned(), &histories, None)
+            .unwrap();
+        assert_eq!(
+            eager,
+            in_ram.compile().to_bytes(),
+            "in-RAM streaming differs"
+        );
+
+        let dir = std::env::temp_dir().join(format!("clvy-train-spill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spilled = trainer
+            .train_streaming(&schema, rows, &histories, Some(&dir))
+            .unwrap();
+        assert_eq!(
+            eager,
+            spilled.compile().to_bytes(),
+            "spilled streaming differs"
+        );
+
+        // The dense-row scorer matches the feature-map scorer.
+        let fv = Testbed::new().extract(&selected[0].program);
+        let mut dense = Vec::new();
+        fv.fill_dense(&schema, &mut dense);
+        let a = spilled.prepare_row(&fv);
+        let b = spilled.prepare_dense_row(&dense);
+        assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -110,52 +110,49 @@ pub struct Corpus {
 }
 
 impl Corpus {
-    /// Generate the corpus from a configuration.
+    /// Generate the corpus from a configuration. This is the eager facade
+    /// over [`Corpus::stream`]: it drains the streaming iterator and keeps
+    /// every app resident — fine at test scale, but longitudinal callers
+    /// should consume the stream directly.
     pub fn generate(config: &CorpusConfig) -> Corpus {
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut apps = Vec::new();
-        let mut db = CveDatabase::new();
-        let mut next_cve = 1u32;
-        let cal = Calibration::for_config(config);
+        let mut stream = Corpus::stream(config);
+        let apps: Vec<GeneratedApp> = stream.by_ref().collect();
+        Corpus {
+            config: config.clone(),
+            apps,
+            db: stream.into_db(),
+        }
+    }
 
+    /// A lazy, seeded iterator over the corpus's applications, yielding
+    /// them in the exact order (and from the exact RNG call sequence)
+    /// `generate` uses — draining it is bit-identical to the eager path,
+    /// but only one app is ever resident at a time.
+    pub fn stream(config: &CorpusConfig) -> CorpusStream {
         let mix = [
             (Dialect::C, config.language_mix[0]),
             (Dialect::Cpp, config.language_mix[1]),
             (Dialect::Python, config.language_mix[2]),
             (Dialect::Java, config.language_mix[3]),
         ];
-        let mut index = 0usize;
+        let mut schedule = Vec::with_capacity(config.n_apps() + config.short_history_apps);
         for (dialect, count) in mix {
-            for _ in 0..count {
-                let spec =
-                    AppSpec::sample(index, dialect, &mut rng, config.min_kloc, config.max_kloc);
-                index += 1;
-                let app = Self::generate_app(&spec, &cal, &mut rng, &mut next_cve, &mut db);
-                apps.push(app);
-            }
+            schedule.extend(std::iter::repeat_n((dialect, false), count));
         }
-
         // Short-history rejects: young projects whose records cannot span
         // five years.
-        for _ in 0..config.short_history_apps {
-            let mut spec = AppSpec::sample(
-                index,
-                Dialect::C,
-                &mut rng,
-                config.min_kloc,
-                config.max_kloc,
-            );
-            index += 1;
-            spec.first_release_year = 2014;
-            spec.name = format!("young-{}", spec.name);
-            let app = Self::generate_app(&spec, &cal, &mut rng, &mut next_cve, &mut db);
-            apps.push(app);
-        }
-
-        Corpus {
+        schedule.extend(std::iter::repeat_n(
+            (Dialect::C, true),
+            config.short_history_apps,
+        ));
+        CorpusStream {
             config: config.clone(),
-            apps,
-            db,
+            cal: Calibration::for_config(config),
+            rng: StdRng::seed_from_u64(config.seed),
+            db: CveDatabase::new(),
+            next_cve: 1,
+            schedule,
+            index: 0,
         }
     }
 
@@ -186,8 +183,75 @@ impl Corpus {
     }
 }
 
+/// The lazy producer behind [`Corpus::stream`]. CVE records accumulate
+/// into an internal database as apps are yielded; recover it with
+/// [`db`](CorpusStream::db) or [`into_db`](CorpusStream::into_db) once
+/// the relevant prefix has been consumed.
+#[derive(Debug, Clone)]
+pub struct CorpusStream {
+    config: CorpusConfig,
+    cal: Calibration,
+    rng: StdRng,
+    db: CveDatabase,
+    next_cve: u32,
+    /// Per-app `(dialect, short_history)` plan, fixed by the config.
+    schedule: Vec<(Dialect, bool)>,
+    index: usize,
+}
+
+impl CorpusStream {
+    /// The configuration the stream was built from.
+    pub fn config(&self) -> &CorpusConfig {
+        &self.config
+    }
+
+    /// CVE records synthesized for the apps yielded so far.
+    pub fn db(&self) -> &CveDatabase {
+        &self.db
+    }
+
+    /// Consume the stream, returning the accumulated CVE database.
+    pub fn into_db(self) -> CveDatabase {
+        self.db
+    }
+}
+
+impl Iterator for CorpusStream {
+    type Item = GeneratedApp;
+
+    fn next(&mut self) -> Option<GeneratedApp> {
+        let &(dialect, short_history) = self.schedule.get(self.index)?;
+        let mut spec = AppSpec::sample(
+            self.index,
+            dialect,
+            &mut self.rng,
+            self.config.min_kloc,
+            self.config.max_kloc,
+        );
+        if short_history {
+            spec.first_release_year = 2014;
+            spec.name = format!("young-{}", spec.name);
+        }
+        self.index += 1;
+        Some(Corpus::generate_app(
+            &spec,
+            &self.cal,
+            &mut self.rng,
+            &mut self.next_cve,
+            &mut self.db,
+        ))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.schedule.len() - self.index;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for CorpusStream {}
+
 /// Pick the CWE classes for an app's seeds, respecting language safety.
-fn sample_cwes(spec: &AppSpec, count: usize, rng: &mut StdRng) -> Vec<(Cwe, bool)> {
+pub(crate) fn sample_cwes(spec: &AppSpec, count: usize, rng: &mut StdRng) -> Vec<(Cwe, bool)> {
     // Weighted mix loosely following the real CWE distribution in CVE data.
     const WEIGHTED: &[(Cwe, u32)] = &[
         (Cwe::StackBufferOverflow, 14),
@@ -258,6 +322,13 @@ impl Calibration {
     /// the LoC-only R² lands near `target_loc_r2` regardless of how much the
     /// size axis is compressed.
     pub fn for_config(config: &CorpusConfig) -> Calibration {
+        Calibration::for_range(config.min_kloc, config.max_kloc, config.target_loc_r2)
+    }
+
+    /// [`Calibration::for_config`] for callers without a full
+    /// `CorpusConfig` — the longitudinal stream carries only a size range
+    /// and R² target.
+    pub fn for_range(min_kloc: f64, max_kloc: f64, target_loc_r2: f64) -> Calibration {
         let slope = 0.39;
         // The paper's intercept (0.17) belongs to its 1–10,000 kLoC axis.
         // With the size axis compressed, keeping 0.17 would push expected
@@ -266,11 +337,11 @@ impl Calibration {
         // the scale-free quantities FIG-2 compares.
         let intercept = 0.17 + 0.85;
         // x ~ U[log10(min), log10(max)] ⇒ Var(x) = range²/12.
-        let range = (config.max_kloc.log10() - config.min_kloc.log10()).max(1e-6);
+        let range = (max_kloc.log10() - min_kloc.log10()).max(1e-6);
         let var_x = range * range / 12.0;
         let explained = slope * slope * var_x;
         // R² = explained / (explained + residual).
-        let residual = explained * (1.0 - config.target_loc_r2) / config.target_loc_r2;
+        let residual = explained * (1.0 - target_loc_r2) / target_loc_r2;
         // 55 % of the residual is quality-driven (recoverable from code
         // properties), 45 % is irreducible.
         let var_quality_term = 0.55 * residual;
@@ -349,6 +420,49 @@ mod tests {
             assert_eq!(x.seeded, y.seeded);
         }
         assert_eq!(a.db.len(), b.db.len());
+    }
+
+    #[test]
+    fn generate_matches_streamed_collect_bitwise() {
+        let config = CorpusConfig::small(6, 90210);
+        let eager = Corpus::generate(&config);
+        let mut stream = Corpus::stream(&config);
+        assert_eq!(stream.len(), config.n_apps() + config.short_history_apps);
+        let streamed: Vec<GeneratedApp> = stream.by_ref().collect();
+        let db = stream.into_db();
+        assert_eq!(eager.apps.len(), streamed.len());
+        for (a, b) in eager.apps.iter().zip(&streamed) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.files, b.files);
+            assert_eq!(a.seeded, b.seeded);
+        }
+        assert_eq!(eager.db.len(), db.len());
+        for app in &eager.apps {
+            let x: Vec<String> = eager
+                .db
+                .records_for(&app.spec.name)
+                .iter()
+                .map(|r| format!("{r:?}"))
+                .collect();
+            let y: Vec<String> = db
+                .records_for(&app.spec.name)
+                .iter()
+                .map(|r| format!("{r:?}"))
+                .collect();
+            assert_eq!(x, y, "records for {}", app.spec.name);
+        }
+    }
+
+    #[test]
+    fn stream_db_accumulates_with_yielded_prefix() {
+        let config = CorpusConfig::small(5, 31337);
+        let mut stream = Corpus::stream(&config);
+        assert!(stream.db().is_empty());
+        let first = stream.next().expect("at least one app");
+        assert_eq!(
+            stream.db().records_for(&first.spec.name).len(),
+            first.seeded.len()
+        );
     }
 
     #[test]

@@ -28,10 +28,12 @@
 pub mod cve;
 pub mod generator;
 pub mod spec;
+pub mod stream;
 pub mod survey;
 pub mod synth;
 pub mod vuln;
 
-pub use generator::{Corpus, CorpusConfig, GeneratedApp};
+pub use generator::{Corpus, CorpusConfig, CorpusStream, GeneratedApp};
 pub use spec::{AppSpec, Domain};
+pub use stream::{EpochApp, LongitudinalStream, StreamConfig, TenantKnobs};
 pub use vuln::SeededVuln;

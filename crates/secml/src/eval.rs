@@ -123,6 +123,25 @@ pub fn roc_auc(truth: &[usize], scores: &[f64]) -> f64 {
     (rank_sum - pos as f64 * (pos as f64 + 1.0) / 2.0) / (pos as f64 * neg as f64)
 }
 
+/// Brier score: mean squared error of predicted probabilities against
+/// the 0/1 labels. Lower is better; 0.25 is the no-skill score for a
+/// balanced class. Returns 0.0 for an empty input.
+pub fn brier_score(truth: &[usize], probs: &[f64]) -> f64 {
+    assert_eq!(truth.len(), probs.len());
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = truth
+        .iter()
+        .zip(probs)
+        .map(|(&t, &p)| {
+            let d = p - t as f64;
+            d * d
+        })
+        .sum();
+    sum / truth.len() as f64
+}
+
 /// Regression metrics bundle.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RegressionReport {
@@ -444,5 +463,15 @@ mod tests {
         let par = cross_validate_classifier_jobs(LogisticRegression::new, &m, &y, 5, 4);
         assert_eq!(seq.auc.to_bits(), par.auc.to_bits());
         assert_eq!(seq.matrix, par.matrix);
+    }
+
+    #[test]
+    fn brier_score_basics() {
+        // Perfect predictions score 0, maximally wrong score 1.
+        assert_eq!(brier_score(&[1, 0], &[1.0, 0.0]), 0.0);
+        assert_eq!(brier_score(&[1, 0], &[0.0, 1.0]), 1.0);
+        // Uniform 0.5 guess on balanced labels scores 0.25.
+        assert!((brier_score(&[1, 0, 1, 0], &[0.5; 4]) - 0.25).abs() < 1e-12);
+        assert_eq!(brier_score(&[], &[]), 0.0);
     }
 }

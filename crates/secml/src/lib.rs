@@ -36,8 +36,8 @@ pub mod select;
 pub mod tree;
 
 pub use attribution::RowAttribution;
-pub use dataset::{ColMatrix, Dataset};
-pub use eval::{ClassificationReport, ConfusionMatrix, RegressionReport};
+pub use dataset::{ColMatrix, ColMatrixBuilder, Dataset};
+pub use eval::{brier_score, roc_auc, ClassificationReport, ConfusionMatrix, RegressionReport};
 pub use infer::{link_battery, CompiledClassifier, CompiledRegressor, FlatForest, FlatTree};
 
 /// A trained binary classifier: predicts the probability of class 1.

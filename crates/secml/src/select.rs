@@ -5,29 +5,46 @@
 //! filters: Pearson-correlation ranking against the target, and information
 //! gain of a median split against a binary label.
 
+/// Target-side moments for [`pearson_column`]: `(mean, Σ(y-mean)²)`.
+/// Shared across every column so the out-of-core path computes them once.
+pub fn pearson_target_stats(target: &[f64]) -> (f64, f64) {
+    let n = target.len() as f64;
+    let my = target.iter().sum::<f64>() / n;
+    let syy: f64 = target.iter().map(|v| (v - my) * (v - my)).sum();
+    (my, syy)
+}
+
+/// Pearson correlation of one column (in row order) with the target,
+/// given the target moments from [`pearson_target_stats`]. The
+/// accumulation order matches the row-major scorer exactly, so a
+/// column streamed from disk scores bit-identically to its in-RAM twin.
+pub fn pearson_column(col: &[f64], target: &[f64], my: f64, syy: f64) -> f64 {
+    let n = col.len() as f64;
+    let mx = col.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for (&x, &y) in col.iter().zip(target) {
+        sxx += (x - mx) * (x - mx);
+        sxy += (x - mx) * (y - my);
+    }
+    if sxx < 1e-12 || syy < 1e-12 {
+        0.0
+    } else {
+        sxy / (sxx.sqrt() * syy.sqrt())
+    }
+}
+
 /// Pearson correlation of each column with the numeric target.
 pub fn pearson_scores(rows: &[Vec<f64>], target: &[f64]) -> Vec<f64> {
     let cols = rows.first().map(|r| r.len()).unwrap_or(0);
-    let n = rows.len() as f64;
     if rows.is_empty() {
         return vec![0.0; cols];
     }
-    let my = target.iter().sum::<f64>() / n;
-    let syy: f64 = target.iter().map(|v| (v - my) * (v - my)).sum();
+    let (my, syy) = pearson_target_stats(target);
     (0..cols)
         .map(|c| {
-            let mx = rows.iter().map(|r| r[c]).sum::<f64>() / n;
-            let mut sxx = 0.0;
-            let mut sxy = 0.0;
-            for (row, &y) in rows.iter().zip(target) {
-                sxx += (row[c] - mx) * (row[c] - mx);
-                sxy += (row[c] - mx) * (y - my);
-            }
-            if sxx < 1e-12 || syy < 1e-12 {
-                0.0
-            } else {
-                sxy / (sxx.sqrt() * syy.sqrt())
-            }
+            let col: Vec<f64> = rows.iter().map(|r| r[c]).collect();
+            pearson_column(&col, target, my, syy)
         })
         .collect()
 }
@@ -41,48 +58,61 @@ pub fn info_gain_scores(rows: &[Vec<f64>], labels: &[usize]) -> Vec<f64> {
     if rows.is_empty() {
         return vec![0.0; cols];
     }
-    let parent = entropy(labels.iter().copied());
-    let n = rows.len() as f64;
+    let parent = label_entropy(labels);
     (0..cols)
         .map(|c| {
-            // Sort (value, label) pairs by value; sweep split points,
-            // maintaining left-side counts incrementally.
-            let mut pairs: Vec<(f64, usize)> =
-                rows.iter().zip(labels).map(|(r, &l)| (r[c], l)).collect();
-            pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
-            let total_ones = labels.iter().filter(|&&l| l == 1).count();
-            let mut left_n = 0usize;
-            let mut left_ones = 0usize;
-            let mut best = 0.0f64;
-            for w in 0..pairs.len() - 1 {
-                left_n += 1;
-                left_ones += (pairs[w].1 == 1) as usize;
-                if pairs[w].0 == pairs[w + 1].0 {
-                    continue; // not a valid split point
-                }
-                let right_n = pairs.len() - left_n;
-                let right_ones = total_ones - left_ones;
-                let h = |ones: usize, count: usize| {
-                    if count == 0 {
-                        return 0.0;
-                    }
-                    let p1 = ones as f64 / count as f64;
-                    let p0 = 1.0 - p1;
-                    let mut e = 0.0;
-                    for p in [p0, p1] {
-                        if p > 0.0 {
-                            e -= p * p.log2();
-                        }
-                    }
-                    e
-                };
-                let weighted = (left_n as f64 / n) * h(left_ones, left_n)
-                    + (right_n as f64 / n) * h(right_ones, right_n);
-                best = best.max(parent - weighted);
-            }
-            best
+            let col: Vec<f64> = rows.iter().map(|r| r[c]).collect();
+            info_gain_column(&col, labels, parent)
         })
         .collect()
+}
+
+/// Entropy of a binary label vector — the parent entropy passed to
+/// [`info_gain_column`].
+pub fn label_entropy(labels: &[usize]) -> f64 {
+    entropy(labels.iter().copied())
+}
+
+/// Best-split information gain of one column (in row order) against the
+/// labels, given the precomputed parent entropy. Same sweep as the
+/// row-major scorer, so streamed columns score bit-identically.
+pub fn info_gain_column(col: &[f64], labels: &[usize], parent: f64) -> f64 {
+    let n = col.len() as f64;
+    // Sort (value, label) pairs by value; sweep split points,
+    // maintaining left-side counts incrementally.
+    let mut pairs: Vec<(f64, usize)> = col.iter().zip(labels).map(|(&v, &l)| (v, l)).collect();
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let total_ones = labels.iter().filter(|&&l| l == 1).count();
+    let mut left_n = 0usize;
+    let mut left_ones = 0usize;
+    let mut best = 0.0f64;
+    for w in 0..pairs.len().saturating_sub(1) {
+        left_n += 1;
+        left_ones += (pairs[w].1 == 1) as usize;
+        if pairs[w].0 == pairs[w + 1].0 {
+            continue; // not a valid split point
+        }
+        let right_n = pairs.len() - left_n;
+        let right_ones = total_ones - left_ones;
+        let h = |ones: usize, count: usize| {
+            if count == 0 {
+                return 0.0;
+            }
+            let p1 = ones as f64 / count as f64;
+            let p0 = 1.0 - p1;
+            let mut e = 0.0;
+            for p in [p0, p1] {
+                if p > 0.0 {
+                    e -= p * p.log2();
+                }
+            }
+            e
+        };
+        let weighted = (left_n as f64 / n) * h(left_ones, left_n)
+            + (right_n as f64 / n) * h(right_ones, right_n);
+        best = best.max(parent - weighted);
+    }
+    best
 }
 
 fn entropy(labels: impl Iterator<Item = usize>) -> f64 {

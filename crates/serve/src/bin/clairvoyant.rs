@@ -13,6 +13,9 @@
 //! clairvoyant gate <before> <after>      CI gate: exit 1 if risk rises
 //! clairvoyant serve [--model PATH]       run the scoring daemon
 //! clairvoyant query <op> [args…]         talk to a running daemon
+//! clairvoyant longitudinal [--epochs N] [--apps N] [--serve-addr A]…
+//!                                        replay an evolving corpus: stream,
+//!                                        retrain per epoch, hot-redeploy
 //! ```
 //!
 //! Commands that train the metric extract corpus features through the
@@ -21,12 +24,13 @@
 //! and `query` speak the length-prefixed JSON protocol of the
 //! `clairvoyant-serve` crate (DESIGN.md §11).
 
+use clairvoyant::longitudinal::{replay, LongitudinalConfig};
 use clairvoyant::prelude::*;
 use clairvoyant::report::{explanation_json, security_report_json, Json};
 use clairvoyant::{
     classify_delta, version_delta_compiled, IncrementalTestbed, RiskChange, Testbed,
 };
-use serve::client::{error_type, is_ok, Client};
+use serve::client::{error_type, is_ok, Client, Fleet};
 use serve::server::{ModelState, ServeConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -54,6 +58,7 @@ fn main() -> ExitCode {
         "watch" => watch(rest, &engine, train_jobs),
         "serve" => serve_cmd(rest, &engine, train_jobs),
         "query" => query_cmd(rest),
+        "longitudinal" => longitudinal_cmd(rest, &engine, train_jobs),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -115,6 +120,17 @@ commands:
                                 query score [--json] <files…>
                                 query explain [--json] [--top-k N] <files…>
                                 query compare <fileA> <fileB>
+  longitudinal [--epochs N] [--apps N] [--seed N] [--window-years N]
+               [--work-dir PATH] [--in-ram] [--serve-addr A]… [--json]
+                              replay an evolving longitudinal corpus: stream
+                              N apps per epoch (never all resident), extract
+                              only changed apps through the incremental
+                              engine, retrain on a sliding ground-truth
+                              window (spill-to-disk matrices unless
+                              --in-ram), measure model drift (stale vs fresh
+                              AUC/Brier), and hot-reload each epoch's CLVY
+                              into every --serve-addr daemon; --json prints
+                              the deterministic drift report
 
 options (pipeline engine, for commands that train the metric):
   --jobs <N>                  extraction worker threads (0 = all cores)
@@ -648,6 +664,117 @@ fn query_cmd(args: &[String]) -> Result<ExitCode, String> {
         }
         other => Err(format!("unknown query op `{other}`")),
     }
+}
+
+/// Replay an evolving longitudinal corpus: stream → extract (incremental)
+/// → retrain (out-of-core) → hot-redeploy into a fleet of daemons.
+fn longitudinal_cmd(
+    args: &[String],
+    engine: &PipelineConfig,
+    train_jobs: usize,
+) -> Result<ExitCode, String> {
+    let mut config = LongitudinalConfig {
+        trainer: TrainerConfig {
+            pipeline: engine.clone(),
+            train_jobs,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut addrs: Vec<String> = Vec::new();
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let number = |flag: &str, it: &mut std::slice::Iter<String>| -> Result<usize, String> {
+            let value = it.next().ok_or(format!("{flag} needs a number"))?;
+            value
+                .parse()
+                .map_err(|_| format!("{flag}: `{value}` is not a number"))
+        };
+        match arg.as_str() {
+            "--epochs" => config.epochs = number("--epochs", &mut it)?.max(1),
+            "--apps" => config.stream.apps = number("--apps", &mut it)?.max(1),
+            "--seed" => config.stream.seed = number("--seed", &mut it)? as u64,
+            "--window-years" => {
+                config.window_years = number("--window-years", &mut it)? as i32;
+                if config.window_years < 6 {
+                    return Err("--window-years must be at least 6 (the selection \
+                                rule needs 5+ years of history)"
+                        .into());
+                }
+            }
+            "--work-dir" => {
+                config.work_dir = PathBuf::from(it.next().ok_or("--work-dir needs a path")?);
+            }
+            "--in-ram" => config.out_of_core = false,
+            "--serve-addr" => addrs.push(it.next().ok_or("--serve-addr needs host:port")?.clone()),
+            "--json" => json = true,
+            other => return Err(format!("longitudinal does not understand `{other}`")),
+        }
+    }
+    let fleet = Fleet::new(addrs);
+    if !fleet.is_empty() {
+        // Fail fast before streaming 100k apps at an unreachable fleet.
+        fleet.health_all()?;
+        eprintln!("fleet healthy: {}", fleet.addrs().join(", "));
+    }
+    eprintln!(
+        "replaying {} epoch(s) over {} app(s) ({}, work dir `{}`)…",
+        config.epochs,
+        config.stream.apps,
+        if config.out_of_core {
+            "out-of-core"
+        } else {
+            "in-RAM"
+        },
+        config.work_dir.display(),
+    );
+    let report = replay(&config, |epoch, path| {
+        if fleet.is_empty() {
+            return Ok(());
+        }
+        let fingerprints = fleet.reload_all(&path.to_string_lossy())?;
+        eprintln!(
+            "epoch {epoch}: redeployed `{}` to {} daemon(s) (model {})",
+            path.display(),
+            fingerprints.len(),
+            fingerprints.first().map(String::as_str).unwrap_or("?"),
+        );
+        Ok(())
+    })
+    .map_err(|e| format!("replay failed: {e}"))?;
+    for e in &report.epochs {
+        let stale = match (e.stale_auc, e.stale_brier) {
+            (Some(auc), Some(brier)) => format!("stale auc {auc:.3} brier {brier:.3}  "),
+            _ => String::new(),
+        };
+        let line = format!(
+            "epoch {} (≤{}): {} changed, {} trained, {} features  {}fresh auc {:.3} \
+             brier {:.3}  extract {}ms retrain {}ms  model {}",
+            e.epoch,
+            e.cutoff_year,
+            e.apps_changed,
+            e.trained_apps,
+            e.n_features,
+            stale,
+            e.fresh_auc,
+            e.fresh_brier,
+            e.extract_ms,
+            e.retrain_ms,
+            e.fingerprint,
+        );
+        // With --json, stdout carries only the drift report; the human
+        // summary (which includes wall-clock noise) moves to stderr.
+        if json {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    }
+    if json {
+        println!("{}", report.drift_json());
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 /// The wire name of a path's dialect (mirrors [`dialect_of`]).

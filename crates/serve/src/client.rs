@@ -282,6 +282,67 @@ impl Client {
     }
 }
 
+/// A set of scoring daemons addressed together — the longitudinal
+/// replay's redeploy target. Members are plain addresses; connections
+/// are opened per call, so a fleet value stays cheap to clone around
+/// and a crashed member surfaces as a connect error, not a stale socket.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    addrs: Vec<String>,
+}
+
+impl Fleet {
+    pub fn new(addrs: impl IntoIterator<Item = impl Into<String>>) -> Fleet {
+        Fleet {
+            addrs: addrs.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    pub fn addrs(&self) -> &[String] {
+        &self.addrs
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Hot-reload every member from the CLVY file at `path`, returning
+    /// each member's reported post-swap model fingerprint (in member
+    /// order). Fails on the first member that refuses or cannot be
+    /// reached — the caller decides whether a half-deployed fleet is
+    /// acceptable and retries accordingly.
+    pub fn reload_all(&self, path: &str) -> Result<Vec<String>, String> {
+        let mut fingerprints = Vec::with_capacity(self.addrs.len());
+        for addr in &self.addrs {
+            let mut client = Client::connect(addr.as_str()).map_err(|e| format!("{addr}: {e}"))?;
+            let response = client
+                .reload(Some(path))
+                .map_err(|e| format!("{addr}: {e}"))?;
+            if !is_ok(&response) {
+                return Err(format!("{addr}: reload rejected: {response}"));
+            }
+            let fingerprint = match &response {
+                Json::Object(obj) => json::get_str(obj, "model").unwrap_or_default().to_string(),
+                _ => String::new(),
+            };
+            fingerprints.push(fingerprint);
+        }
+        Ok(fingerprints)
+    }
+
+    /// Health-check every member; Ok only when all respond ok.
+    pub fn health_all(&self) -> Result<(), String> {
+        for addr in &self.addrs {
+            let mut client = Client::connect(addr.as_str()).map_err(|e| format!("{addr}: {e}"))?;
+            let response = client.health().map_err(|e| format!("{addr}: {e}"))?;
+            if !is_ok(&response) {
+                return Err(format!("{addr}: unhealthy: {response}"));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Render a feature vector as the protocol's `features` object.
 fn features_value(features: &static_analysis::FeatureVector) -> Json {
     Json::Object(
